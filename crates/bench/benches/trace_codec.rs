@@ -1,0 +1,43 @@
+//! Trace-format cost: binary encode/decode throughput and TSV export, on
+//! a real application trace. The compact codec is what makes
+//! Recorder-style always-on tracing affordable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfs_semantics_bench::app_trace;
+use recorder::TraceSet;
+
+fn bench_codec(c: &mut Criterion) {
+    let (trace, _) = app_trace(hpcapps::AppId::FlashFbs, 8);
+    let records = trace.total_records() as u64;
+    let encoded = trace.encode();
+
+    let mut g = c.benchmark_group("trace_codec");
+    g.throughput(Throughput::Elements(records));
+    g.bench_function("encode", |b| b.iter(|| trace.encode()));
+    g.bench_function("decode", |b| b.iter(|| TraceSet::decode(&encoded).expect("decode")));
+    g.bench_function("tsv_export", |b| b.iter(|| recorder::tsv::to_tsv(&trace)));
+    g.bench_function("merge_by_time", |b| b.iter(|| trace.merged_by_time()));
+    g.finish();
+
+    eprintln!(
+        "trace: {} records, {} bytes encoded ({:.1} B/record)",
+        records,
+        encoded.len(),
+        encoded.len() as f64 / records as f64
+    );
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    // Post-processing pipeline cost: adjust + resolve, per record.
+    let (trace, _) = app_trace(hpcapps::AppId::FlashFbs, 8);
+    let records = trace.total_records() as u64;
+    let mut g = c.benchmark_group("trace_pipeline");
+    g.throughput(Throughput::Elements(records));
+    g.bench_function("adjust", |b| b.iter(|| recorder::adjust::apply(&trace)));
+    let adjusted = recorder::adjust::apply(&trace);
+    g.bench_function("resolve_offsets", |b| b.iter(|| recorder::offset::resolve(&adjusted)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Shared workload generators for the benchmark suite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recorder::{AccessKind, DataAccess, Layer, PathId, ResolvedTrace, SyncEvent, SyncKind};
+
+/// Uniformly random accesses over a file span — Algorithm 1's "practice"
+/// regime where the sweep is effectively linear.
+pub fn random_accesses(n: usize, ranks: u32, span: u64, seed: u64) -> Vec<DataAccess> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let len = rng.gen_range(64..4096u64);
+            let offset = rng.gen_range(0..span);
+            DataAccess {
+                rank: rng.gen_range(0..ranks),
+                t_start: i as u64 * 10,
+                t_end: i as u64 * 10 + 5,
+                file: PathId(0),
+                offset,
+                len,
+                kind: if rng.gen_bool(0.7) { AccessKind::Write } else { AccessKind::Read },
+                origin: Layer::App,
+                fd: 3,
+            }
+        })
+        .collect()
+}
+
+/// Worst case for Algorithm 1: every access overlaps every other
+/// (quadratic pair count).
+pub fn worst_case_accesses(n: usize, ranks: u32) -> Vec<DataAccess> {
+    (0..n)
+        .map(|i| DataAccess {
+            rank: i as u32 % ranks,
+            t_start: i as u64 * 10,
+            t_end: i as u64 * 10 + 5,
+            file: PathId(0),
+            offset: 0,
+            len: 1 << 20,
+            kind: AccessKind::Write,
+            origin: Layer::App,
+            fd: 3,
+        })
+        .collect()
+}
+
+/// A synthetic resolved trace with opens/commits/closes sprinkled in, for
+/// the conflict-detector benchmarks.
+pub fn synthetic_resolved(n: usize, ranks: u32, seed: u64) -> ResolvedTrace {
+    let accesses = random_accesses(n, ranks, 1 << 22, seed);
+    let mut syncs = Vec::new();
+    for r in 0..ranks {
+        syncs.push(SyncEvent { rank: r, t: 0, file: PathId(0), kind: SyncKind::Open });
+        for k in 1..8u64 {
+            syncs.push(SyncEvent {
+                rank: r,
+                t: k * (n as u64 * 10 / 8),
+                file: PathId(0),
+                kind: SyncKind::Commit,
+            });
+        }
+        syncs.push(SyncEvent {
+            rank: r,
+            t: n as u64 * 10 + 1,
+            file: PathId(0),
+            kind: SyncKind::Close,
+        });
+    }
+    syncs.sort_by_key(|s| s.t);
+    ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+}
+
+/// Run one application replica and return its adjusted trace + resolution,
+/// for end-to-end pipeline benchmarks.
+pub fn app_trace(id: hpcapps::AppId, nranks: u32) -> (recorder::TraceSet, ResolvedTrace) {
+    let spec = hpcapps::spec(id);
+    let out = iolibs::run_app(&iolibs::RunConfig::new(nranks, 99), |ctx| spec.run(ctx));
+    let adjusted = recorder::adjust::apply(&out.trace);
+    let resolved = recorder::offset::resolve(&adjusted);
+    (adjusted, resolved)
+}

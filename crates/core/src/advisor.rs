@@ -1,0 +1,176 @@
+//! The commit-insertion advisor — §4.1's practical payoff: "A programmer
+//! running the application on a PFS with weak consistency can prevent the
+//! conflicts by inserting commit operations at suitable points, or the
+//! designer of a parallel I/O library can insert commit operations
+//! automatically."
+//!
+//! Given a resolved trace, the advisor proposes the minimal set of
+//! `fsync` insertion points (one after each conflicting write that is not
+//! already followed by a commit before its conflicting partner) and
+//! *verifies* the proposal by splicing the synthetic commits into the
+//! sync-event stream and re-running the §5.2 detector: the patched trace
+//! must be conflict-free under commit semantics.
+
+use recorder::{PathId, ResolvedTrace, SyncEvent, SyncKind};
+
+use crate::conflict::{detect_conflicts, AnalysisModel, ConflictReport};
+
+/// One suggested `fsync`: process `rank` should commit `file` right after
+/// the write that completes at `after_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CommitInsertion {
+    pub rank: u32,
+    pub file: PathId,
+    /// Insert the fsync immediately after the operation ending here.
+    pub after_t: u64,
+    /// Number of conflict pairs this insertion is the `first` side of.
+    pub resolves: u64,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone)]
+pub struct CommitAdvice {
+    pub insertions: Vec<CommitInsertion>,
+    /// Conflict marks before patching (commit semantics).
+    pub before: ConflictReport,
+    /// Conflict report of the patched trace — empty if the advice is
+    /// sound (checked by [`advise_commits`] itself).
+    pub after: ConflictReport,
+}
+
+impl CommitAdvice {
+    /// The advice removes every commit-semantics conflict.
+    pub fn is_sufficient(&self) -> bool {
+        self.after.total() == 0
+    }
+}
+
+/// Propose and verify commit insertions that make `resolved` conflict-free
+/// under commit semantics.
+pub fn advise_commits(resolved: &ResolvedTrace) -> CommitAdvice {
+    let before = detect_conflicts(resolved, AnalysisModel::Commit);
+
+    // One insertion per distinct conflicting first-write.
+    let mut map: std::collections::BTreeMap<(u32, PathId, u64), u64> = Default::default();
+    for p in &before.pairs {
+        let key = (p.first.rank, p.first.file, p.first.t_end);
+        *map.entry(key).or_insert(0) += 1;
+    }
+    let insertions: Vec<CommitInsertion> = map
+        .into_iter()
+        .map(|((rank, file, after_t), resolves)| CommitInsertion { rank, file, after_t, resolves })
+        .collect();
+
+    // Verify: splice the synthetic commits in and re-detect.
+    let patched = apply_insertions(resolved, &insertions);
+    let after = detect_conflicts(&patched, AnalysisModel::Commit);
+
+    CommitAdvice { insertions, before, after }
+}
+
+/// Splice the advised fsyncs into a copy of the trace's sync stream.
+pub fn apply_insertions(resolved: &ResolvedTrace, insertions: &[CommitInsertion]) -> ResolvedTrace {
+    let mut syncs: Vec<SyncEvent> = resolved.syncs.clone();
+    for ins in insertions {
+        syncs.push(SyncEvent {
+            rank: ins.rank,
+            t: ins.after_t, // "first event >= t" semantics puts it right after
+            file: ins.file,
+            kind: SyncKind::Commit,
+        });
+    }
+    syncs.sort_by_key(|s| (s.t, s.rank));
+    ResolvedTrace {
+        accesses: resolved.accesses.clone(),
+        syncs,
+        seek_mismatches: resolved.seek_mismatches,
+        short_reads: resolved.short_reads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recorder::{AccessKind, DataAccess, Layer};
+
+    const F: PathId = PathId(0);
+
+    fn acc(rank: u32, t: u64, offset: u64, len: u64, kind: AccessKind) -> DataAccess {
+        DataAccess {
+            rank,
+            t_start: t,
+            t_end: t + 1,
+            file: F,
+            offset,
+            len,
+            kind,
+            origin: Layer::App,
+            fd: 3,
+        }
+    }
+
+    fn sync(rank: u32, t: u64, kind: SyncKind) -> SyncEvent {
+        SyncEvent { rank, t, file: F, kind }
+    }
+
+    #[test]
+    fn advises_one_commit_per_conflicting_write() {
+        // r0 writes, r1 reads and overwrites later; no commits anywhere.
+        let resolved = ResolvedTrace {
+            accesses: vec![
+                acc(0, 10, 0, 100, AccessKind::Write),
+                acc(1, 50, 0, 100, AccessKind::Read),
+                acc(1, 60, 0, 100, AccessKind::Write),
+            ],
+            syncs: vec![sync(0, 0, SyncKind::Open), sync(1, 1, SyncKind::Open)],
+            seek_mismatches: 0,
+            short_reads: 0,
+        };
+        let advice = advise_commits(&resolved);
+        assert!(advice.before.total() > 0);
+        assert!(advice.is_sufficient(), "patched trace still conflicts: {:?}", advice.after);
+        // Two conflicting writes (r0@10 and r1@60? the latter is only a
+        // `first` if something follows it — nothing does), so exactly one
+        // insertion for r0.
+        assert_eq!(advice.insertions.len(), 1);
+        assert_eq!(advice.insertions[0].rank, 0);
+        assert_eq!(advice.insertions[0].after_t, 11);
+        assert_eq!(advice.insertions[0].resolves, 2, "clears both the RAW and the WAW");
+    }
+
+    #[test]
+    fn clean_trace_needs_no_advice() {
+        let resolved = ResolvedTrace {
+            accesses: vec![
+                acc(0, 10, 0, 100, AccessKind::Write),
+                acc(1, 50, 200, 100, AccessKind::Write),
+            ],
+            syncs: vec![],
+            seek_mismatches: 0,
+            short_reads: 0,
+        };
+        let advice = advise_commits(&resolved);
+        assert!(advice.insertions.is_empty());
+        assert!(advice.is_sufficient());
+    }
+
+    #[test]
+    fn chained_conflicts_get_chained_commits() {
+        // w0 → w1 → w2 on the same bytes by three ranks: both w0 and w1
+        // need a commit.
+        let resolved = ResolvedTrace {
+            accesses: vec![
+                acc(0, 10, 0, 10, AccessKind::Write),
+                acc(1, 20, 0, 10, AccessKind::Write),
+                acc(2, 30, 0, 10, AccessKind::Write),
+            ],
+            syncs: vec![],
+            seek_mismatches: 0,
+            short_reads: 0,
+        };
+        let advice = advise_commits(&resolved);
+        assert!(advice.is_sufficient());
+        let ranks: Vec<u32> = advice.insertions.iter().map(|i| i.rank).collect();
+        assert_eq!(ranks, vec![0, 1]);
+    }
+}

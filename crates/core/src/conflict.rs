@@ -1,0 +1,590 @@
+//! Conflict detection under commit and session semantics (§5.2).
+//!
+//! Two tuples `(t₁, r₁, os₁, oe₁, type₁)` and `(t₂, r₂, os₂, oe₂, type₂)`
+//! with `t₁ < t₂` are a conflict pair if:
+//!
+//! 1. they overlap;
+//! 2. the first operation is a write (a write-after-read pair cannot
+//!    conflict, since race-free programs synchronize the read before the
+//!    write starts);
+//! 3. **commit semantics**: `r₁` executes no commit operation between `t₁`
+//!    and `t₂` (commit operations: fsync, fdatasync, close — footnote 2);
+//! 4. **session semantics**: there is no close by `r₁` at `t_c` and open
+//!    by `r₂` at `t_o` with `t₁ < t_c < t_o < t₂`.
+//!
+//! As in the paper, each record is extended with `to` (time of the last
+//! preceding open) and `tc` (time of the first succeeding close/commit by
+//! the same process); both a scan variant (mark records by traversing each
+//! process in timestamp order) and a binary-search variant (search the
+//! per-process open/commit tables) are implemented — they must agree, and
+//! the benchmark suite compares their cost.
+
+use std::collections::BTreeMap;
+
+use recorder::{AccessKind, DataAccess, PathId, ResolvedTrace, SyncKind};
+
+/// Which relaxed model the detector is checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisModel {
+    Commit,
+    Session,
+}
+
+/// RAW or WAW (§4.1; write-after-read cannot conflict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConflictKind {
+    /// Read-after-write.
+    Raw,
+    /// Write-after-write.
+    Waw,
+}
+
+/// Same process (S) or distinct processes (D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConflictScope {
+    Same,
+    Distinct,
+}
+
+/// One detected conflict pair, `first.t_start < second.t_start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictPair {
+    pub file: PathId,
+    pub first: DataAccess,
+    pub second: DataAccess,
+    pub kind: ConflictKind,
+    pub scope: ConflictScope,
+}
+
+/// Summary of all conflicts found in one trace under one model — one row
+/// of Table 4.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConflictReport {
+    pub model_checked: Option<AnalysisModel>,
+    pub pairs: Vec<ConflictPair>,
+    pub waw_same: u64,
+    pub waw_distinct: u64,
+    pub raw_same: u64,
+    pub raw_distinct: u64,
+}
+
+impl ConflictReport {
+    pub fn total(&self) -> u64 {
+        self.waw_same + self.waw_distinct + self.raw_same + self.raw_distinct
+    }
+
+    pub fn has_distinct_process_conflicts(&self) -> bool {
+        self.waw_distinct + self.raw_distinct > 0
+    }
+
+    pub fn has_same_process_conflicts(&self) -> bool {
+        self.waw_same + self.raw_same > 0
+    }
+
+    /// The four ✓-columns of Table 4: (WAW-S, WAW-D, RAW-S, RAW-D).
+    pub fn table4_marks(&self) -> (bool, bool, bool, bool) {
+        (
+            self.waw_same > 0,
+            self.waw_distinct > 0,
+            self.raw_same > 0,
+            self.raw_distinct > 0,
+        )
+    }
+
+    fn add(&mut self, pair: ConflictPair) {
+        match (pair.kind, pair.scope) {
+            (ConflictKind::Waw, ConflictScope::Same) => self.waw_same += 1,
+            (ConflictKind::Waw, ConflictScope::Distinct) => self.waw_distinct += 1,
+            (ConflictKind::Raw, ConflictScope::Same) => self.raw_same += 1,
+            (ConflictKind::Raw, ConflictScope::Distinct) => self.raw_distinct += 1,
+        }
+        self.pairs.push(pair);
+    }
+}
+
+/// Per-(rank, file) synchronization tables, each sorted by time.
+#[derive(Debug, Default)]
+struct SyncTables {
+    opens: BTreeMap<(u32, PathId), Vec<u64>>,
+    closes: BTreeMap<(u32, PathId), Vec<u64>>,
+    commits: BTreeMap<(u32, PathId), Vec<u64>>, // fsync/fdatasync AND close
+}
+
+impl SyncTables {
+    fn build(resolved: &ResolvedTrace) -> Self {
+        let mut t = SyncTables::default();
+        for s in &resolved.syncs {
+            let key = (s.rank, s.file);
+            match s.kind {
+                SyncKind::Open => t.opens.entry(key).or_default().push(s.t),
+                SyncKind::Close => {
+                    t.closes.entry(key).or_default().push(s.t);
+                    t.commits.entry(key).or_default().push(s.t);
+                }
+                SyncKind::Commit => t.commits.entry(key).or_default().push(s.t),
+            }
+        }
+        // Sync events arrive in global time order, but per-key order is
+        // what binary search needs — enforce it.
+        for v in t.opens.values_mut().chain(t.closes.values_mut()).chain(t.commits.values_mut()) {
+            v.sort_unstable();
+        }
+        t
+    }
+
+    /// Last event `<= t` — an open at the same instant as the access
+    /// counts as preceding it (matching the scan variant's event order
+    /// `open < access < close/commit` at equal times).
+    fn last_before(table: &BTreeMap<(u32, PathId), Vec<u64>>, key: (u32, PathId), t: u64) -> Option<u64> {
+        let v = table.get(&key)?;
+        let idx = v.partition_point(|&x| x <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(v[idx - 1])
+        }
+    }
+
+    /// First event `>= t` — a close/commit at the same instant as the
+    /// access counts as succeeding it.
+    fn first_after(table: &BTreeMap<(u32, PathId), Vec<u64>>, key: (u32, PathId), t: u64) -> Option<u64> {
+        let v = table.get(&key)?;
+        let idx = v.partition_point(|&x| x < t);
+        v.get(idx).copied()
+    }
+}
+
+/// The per-record extension of §5.2: `to` and `tc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtendedAccess {
+    pub access: DataAccess,
+    /// Time of the last preceding `open` by this process on this file.
+    pub to: Option<u64>,
+    /// Time of the first succeeding `close` by this process on this file.
+    pub tc_close: Option<u64>,
+    /// Time of the first succeeding commit (`fsync`/`fdatasync`/`close`).
+    pub tc_commit: Option<u64>,
+}
+
+/// Extend every access via binary search in the per-process sync tables
+/// (the paper's suggested O(log n)-per-record variant).
+pub fn extend_binary_search(resolved: &ResolvedTrace) -> Vec<ExtendedAccess> {
+    let tables = SyncTables::build(resolved);
+    resolved
+        .accesses
+        .iter()
+        .map(|a| {
+            let key = (a.rank, a.file);
+            ExtendedAccess {
+                access: *a,
+                to: SyncTables::last_before(&tables.opens, key, a.t_start),
+                tc_close: SyncTables::first_after(&tables.closes, key, a.t_start),
+                tc_commit: SyncTables::first_after(&tables.commits, key, a.t_start),
+            }
+        })
+        .collect()
+}
+
+/// Extend every access by one forward + one backward scan over each
+/// process's records in timestamp order (the paper's alternative "mark
+/// while traversing" variant). Must agree with
+/// [`extend_binary_search`]; the benchmarks compare their cost.
+pub fn extend_scan(resolved: &ResolvedTrace) -> Vec<ExtendedAccess> {
+    // Merge accesses and syncs per (rank, file) in time order.
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Acc(usize),
+        Open(u64),
+        Close(u64),
+        Commit(u64),
+    }
+    let mut per_key: BTreeMap<(u32, PathId), Vec<(u64, Ev)>> = BTreeMap::new();
+    for (i, a) in resolved.accesses.iter().enumerate() {
+        per_key.entry((a.rank, a.file)).or_default().push((a.t_start, Ev::Acc(i)));
+    }
+    for s in &resolved.syncs {
+        let ev = match s.kind {
+            SyncKind::Open => Ev::Open(s.t),
+            SyncKind::Close => Ev::Close(s.t),
+            SyncKind::Commit => Ev::Commit(s.t),
+        };
+        per_key.entry((s.rank, s.file)).or_default().push((s.t, ev));
+    }
+
+    let mut out: Vec<ExtendedAccess> = resolved
+        .accesses
+        .iter()
+        .map(|a| ExtendedAccess { access: *a, to: None, tc_close: None, tc_commit: None })
+        .collect();
+
+    for events in per_key.values_mut() {
+        // Stable order: syncs at the same instant as an access sort as the
+        // binary-search variant treats them (open: strictly before; close /
+        // commit: strictly after). Order same-time events as
+        // open < access < close/commit.
+        events.sort_by_key(|(t, ev)| {
+            (*t, match ev {
+                Ev::Open(_) => 0u8,
+                Ev::Acc(_) => 1,
+                Ev::Close(_) => 2,
+                Ev::Commit(_) => 2,
+            })
+        });
+        // Forward: last open seen so far.
+        let mut last_open: Option<u64> = None;
+        for (_, ev) in events.iter() {
+            match ev {
+                Ev::Open(t) => last_open = Some(*t),
+                Ev::Acc(i) => out[*i].to = last_open,
+                _ => {}
+            }
+        }
+        // Backward: next close / next commit.
+        let mut next_close: Option<u64> = None;
+        let mut next_commit: Option<u64> = None;
+        for (_, ev) in events.iter().rev() {
+            match ev {
+                Ev::Close(t) => {
+                    next_close = Some(*t);
+                    next_commit = Some(next_commit.map_or(*t, |c: u64| c.min(*t)));
+                }
+                Ev::Commit(t) => next_commit = Some(next_commit.map_or(*t, |c: u64| c.min(*t))),
+                Ev::Acc(i) => {
+                    out[*i].tc_close = next_close;
+                    out[*i].tc_commit = next_commit;
+                }
+                Ev::Open(_) => {}
+            }
+        }
+    }
+    out
+}
+
+/// Options for conflict detection.
+#[derive(Debug, Clone, Copy)]
+pub struct ConflictOptions {
+    /// Use binary-search extension (true, default) or the scan variant.
+    pub binary_search: bool,
+    /// For the session condition, treat any commit (fsync) as if it were
+    /// the close — the paper's combined-`tc` formalization. Off by default:
+    /// under session semantics only a close publishes, so the refined
+    /// check uses the close table.
+    pub session_uses_commit_as_close: bool,
+}
+
+impl Default for ConflictOptions {
+    fn default() -> Self {
+        ConflictOptions { binary_search: true, session_uses_commit_as_close: false }
+    }
+}
+
+/// Detect all conflict pairs in `resolved` under `model`.
+pub fn detect_conflicts(resolved: &ResolvedTrace, model: AnalysisModel) -> ConflictReport {
+    detect_conflicts_opt(resolved, model, ConflictOptions::default())
+}
+
+/// Detect conflicts with explicit options.
+pub fn detect_conflicts_opt(
+    resolved: &ResolvedTrace,
+    model: AnalysisModel,
+    opts: ConflictOptions,
+) -> ConflictReport {
+    let extended = if opts.binary_search {
+        extend_binary_search(resolved)
+    } else {
+        extend_scan(resolved)
+    };
+
+    // Group extended accesses by file and run the overlap sweep per file.
+    let mut by_file: BTreeMap<PathId, Vec<usize>> = BTreeMap::new();
+    for (i, e) in extended.iter().enumerate() {
+        by_file.entry(e.access.file).or_default().push(i);
+    }
+
+    let mut report = ConflictReport { model_checked: Some(model), ..Default::default() };
+    for (file, idxs) in by_file {
+        let mut order = idxs.clone();
+        order.sort_by_key(|&i| (extended[i].access.offset, extended[i].access.end()));
+        for (pos, &i) in order.iter().enumerate() {
+            let a = &extended[i];
+            for &j in &order[pos + 1..] {
+                let b = &extended[j];
+                if b.access.offset >= a.access.end() {
+                    break;
+                }
+                // Order the overlapping pair by timestamp (rank breaks ties
+                // deterministically).
+                let (first, second) = if (a.access.t_start, a.access.rank)
+                    <= (b.access.t_start, b.access.rank)
+                {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                if first.access.kind != AccessKind::Write {
+                    continue; // write-after-read is not a potential conflict
+                }
+                let conflicting = match model {
+                    AnalysisModel::Commit => {
+                        // Condition 3: no commit by r1 in (t1, t2).
+                        match first.tc_commit {
+                            Some(tc) => tc > second.access.t_start,
+                            None => true,
+                        }
+                    }
+                    AnalysisModel::Session => {
+                        // Condition 4: ¬(t1 < tc1 < to2 < t2).
+                        let tc1 = if opts.session_uses_commit_as_close {
+                            first.tc_commit
+                        } else {
+                            first.tc_close
+                        };
+                        let ordered = match (tc1, second.to) {
+                            (Some(tc), Some(to)) => {
+                                first.access.t_start < tc
+                                    && tc < to
+                                    && to < second.access.t_start
+                            }
+                            _ => false,
+                        };
+                        !ordered
+                    }
+                };
+                if !conflicting {
+                    continue;
+                }
+                let kind = match second.access.kind {
+                    AccessKind::Read => ConflictKind::Raw,
+                    AccessKind::Write => ConflictKind::Waw,
+                };
+                let scope = if first.access.rank == second.access.rank {
+                    ConflictScope::Same
+                } else {
+                    ConflictScope::Distinct
+                };
+                report.add(ConflictPair {
+                    file,
+                    first: first.access,
+                    second: second.access,
+                    kind,
+                    scope,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recorder::{Layer, SyncEvent};
+
+    const F: PathId = PathId(0);
+
+    fn acc(rank: u32, t: u64, offset: u64, len: u64, kind: AccessKind) -> DataAccess {
+        DataAccess {
+            rank,
+            t_start: t,
+            t_end: t + 1,
+            file: F,
+            offset,
+            len,
+            kind,
+            origin: Layer::App,
+            fd: 3,
+        }
+    }
+
+    fn sync(rank: u32, t: u64, kind: SyncKind) -> SyncEvent {
+        SyncEvent { rank, t, file: F, kind }
+    }
+
+    fn resolved(accesses: Vec<DataAccess>, syncs: Vec<SyncEvent>) -> ResolvedTrace {
+        ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+    }
+
+    #[test]
+    fn raw_distinct_without_sync_conflicts_under_both_models() {
+        let r = resolved(
+            vec![
+                acc(0, 10, 0, 100, AccessKind::Write),
+                acc(1, 50, 0, 100, AccessKind::Read),
+            ],
+            vec![sync(0, 1, SyncKind::Open), sync(1, 2, SyncKind::Open)],
+        );
+        for model in [AnalysisModel::Commit, AnalysisModel::Session] {
+            let rep = detect_conflicts(&r, model);
+            assert_eq!(rep.total(), 1, "{model:?}");
+            assert_eq!(rep.table4_marks(), (false, false, false, true));
+        }
+    }
+
+    #[test]
+    fn commit_between_clears_commit_conflict_only() {
+        // write(r0)@10, fsync(r0)@20, read(r1)@50.
+        let r = resolved(
+            vec![
+                acc(0, 10, 0, 100, AccessKind::Write),
+                acc(1, 50, 0, 100, AccessKind::Read),
+            ],
+            vec![
+                sync(0, 1, SyncKind::Open),
+                sync(1, 2, SyncKind::Open),
+                sync(0, 20, SyncKind::Commit),
+            ],
+        );
+        assert_eq!(detect_conflicts(&r, AnalysisModel::Commit).total(), 0);
+        // Session: r1 opened before the fsync (and an fsync is not a
+        // close) → still a conflict.
+        assert_eq!(detect_conflicts(&r, AnalysisModel::Session).total(), 1);
+    }
+
+    #[test]
+    fn close_to_open_clears_session_conflict() {
+        // write(r0)@10, close(r0)@20, open(r1)@30, read(r1)@50.
+        let r = resolved(
+            vec![
+                acc(0, 10, 0, 100, AccessKind::Write),
+                acc(1, 50, 0, 100, AccessKind::Read),
+            ],
+            vec![
+                sync(0, 1, SyncKind::Open),
+                sync(0, 20, SyncKind::Close),
+                sync(1, 30, SyncKind::Open),
+            ],
+        );
+        assert_eq!(detect_conflicts(&r, AnalysisModel::Session).total(), 0);
+        assert_eq!(detect_conflicts(&r, AnalysisModel::Commit).total(), 0);
+    }
+
+    #[test]
+    fn open_before_close_still_session_conflict() {
+        // write(r0)@10, open(r1)@15, close(r0)@20, read(r1)@50: the reader's
+        // session began before the writer's close.
+        let r = resolved(
+            vec![
+                acc(0, 10, 0, 100, AccessKind::Write),
+                acc(1, 50, 0, 100, AccessKind::Read),
+            ],
+            vec![
+                sync(0, 1, SyncKind::Open),
+                sync(1, 15, SyncKind::Open),
+                sync(0, 20, SyncKind::Close),
+            ],
+        );
+        let rep = detect_conflicts(&r, AnalysisModel::Session);
+        assert_eq!(rep.total(), 1);
+        assert_eq!(rep.table4_marks(), (false, false, false, true));
+        // Commit: the close at 20 is a commit before the read at 50.
+        assert_eq!(detect_conflicts(&r, AnalysisModel::Commit).total(), 0);
+    }
+
+    #[test]
+    fn war_is_never_a_conflict() {
+        let r = resolved(
+            vec![
+                acc(0, 10, 0, 100, AccessKind::Read),
+                acc(1, 50, 0, 100, AccessKind::Write),
+            ],
+            vec![sync(0, 1, SyncKind::Open), sync(1, 2, SyncKind::Open)],
+        );
+        for model in [AnalysisModel::Commit, AnalysisModel::Session] {
+            assert_eq!(detect_conflicts(&r, model).total(), 0);
+        }
+    }
+
+    #[test]
+    fn waw_same_process_classified() {
+        let r = resolved(
+            vec![
+                acc(0, 10, 0, 10, AccessKind::Write),
+                acc(0, 20, 5, 10, AccessKind::Write),
+            ],
+            vec![sync(0, 1, SyncKind::Open)],
+        );
+        let rep = detect_conflicts(&r, AnalysisModel::Session);
+        assert_eq!(rep.table4_marks(), (true, false, false, false));
+        assert_eq!(rep.pairs[0].scope, ConflictScope::Same);
+    }
+
+    #[test]
+    fn non_overlapping_never_conflicts() {
+        let r = resolved(
+            vec![
+                acc(0, 10, 0, 10, AccessKind::Write),
+                acc(1, 20, 10, 10, AccessKind::Write),
+            ],
+            vec![],
+        );
+        for model in [AnalysisModel::Commit, AnalysisModel::Session] {
+            assert_eq!(detect_conflicts(&r, model).total(), 0);
+        }
+    }
+
+    #[test]
+    fn scan_and_binary_search_variants_agree() {
+        // A denser scenario with several files, opens, closes and commits.
+        let mut accesses = Vec::new();
+        let mut syncs = Vec::new();
+        for rank in 0..4u32 {
+            syncs.push(sync(rank, rank as u64, SyncKind::Open));
+            for k in 0..6u64 {
+                accesses.push(acc(
+                    rank,
+                    10 + k * 17 + rank as u64,
+                    (k * 13 + rank as u64 * 7) % 60,
+                    20,
+                    if k % 3 == 0 { AccessKind::Read } else { AccessKind::Write },
+                ));
+                if k == 2 {
+                    syncs.push(sync(rank, 11 + k * 17 + rank as u64, SyncKind::Commit));
+                }
+            }
+            syncs.push(sync(rank, 200 + rank as u64, SyncKind::Close));
+        }
+        let r = resolved(accesses, syncs);
+        for model in [AnalysisModel::Commit, AnalysisModel::Session] {
+            let bs = detect_conflicts_opt(
+                &r,
+                model,
+                ConflictOptions { binary_search: true, ..Default::default() },
+            );
+            let scan = detect_conflicts_opt(
+                &r,
+                model,
+                ConflictOptions { binary_search: false, ..Default::default() },
+            );
+            assert_eq!(bs.table4_marks(), scan.table4_marks());
+            assert_eq!(bs.total(), scan.total(), "{model:?}");
+            let mut p1 = bs.pairs.clone();
+            let mut p2 = scan.pairs.clone();
+            let key = |p: &ConflictPair| (p.first.t_start, p.second.t_start, p.first.offset);
+            p1.sort_by_key(key);
+            p2.sort_by_key(key);
+            assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn session_conflicts_are_superset_of_commit_conflicts_here() {
+        // Commit-visible scenarios are also session-visible when every
+        // commit is an fsync (not a close).
+        let r = resolved(
+            vec![
+                acc(0, 10, 0, 100, AccessKind::Write),
+                acc(1, 50, 0, 100, AccessKind::Write),
+                acc(0, 70, 50, 10, AccessKind::Write),
+                acc(1, 90, 55, 10, AccessKind::Read),
+            ],
+            vec![
+                sync(0, 1, SyncKind::Open),
+                sync(1, 2, SyncKind::Open),
+                sync(0, 60, SyncKind::Commit),
+            ],
+        );
+        let c = detect_conflicts(&r, AnalysisModel::Commit);
+        let s = detect_conflicts(&r, AnalysisModel::Session);
+        assert!(s.total() >= c.total());
+    }
+}

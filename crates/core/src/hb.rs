@@ -1,0 +1,257 @@
+//! Happens-before validation (§5.2).
+//!
+//! The conflict detector orders operations by (adjusted) timestamps. The
+//! paper validates that this is sound by rebuilding the execution order
+//! imposed by communication — "we matched sends to receives and collective
+//! function invocations" — and checking that for every conflicting pair,
+//! the earlier-timestamped operation also happens-before the later one:
+//! the program's synchronization, not the clock, enforces the order.
+//!
+//! The index here answers `happens_before((r₁,t₁), (r₂,t₂))` queries by a
+//! single forward pass over the time-sorted synchronization edges,
+//! computing for every rank the earliest local time that is reachable
+//! from the source event:
+//!
+//! * a send posted by a reached rank *after* its reach time makes the
+//!   receiver reached at the receive's completion;
+//! * a barrier entered by a reached rank makes *all* participants reached
+//!   at the barrier exit.
+
+use std::collections::HashMap;
+
+use recorder::{Func, Layer, TraceSet};
+
+/// Happens-before index over one (adjusted) trace.
+pub struct HbIndex {
+    nranks: usize,
+    /// Message edges sorted by send time.
+    messages: Vec<(u64, u32, u32, u64)>, // (t_send, src, dst, t_recv_end)
+    /// Barrier participations: per epoch, per-rank enter times and the
+    /// common exit time.
+    barriers: Vec<BarrierEpoch>,
+}
+
+#[derive(Debug, Clone)]
+struct BarrierEpoch {
+    enter: Vec<Option<u64>>,
+    exit: u64,
+}
+
+impl HbIndex {
+    /// Build from a trace (use the barrier-adjusted trace so query
+    /// timestamps match the conflict detector's).
+    pub fn build(trace: &TraceSet) -> Self {
+        let nranks = trace.ranks.len();
+        // Match sends to receives by sequence number.
+        let mut send_at: HashMap<u64, (u32, u64)> = HashMap::new();
+        let mut recv_at: HashMap<u64, (u32, u64)> = HashMap::new();
+        let mut barrier_events: HashMap<u64, BarrierEpoch> = HashMap::new();
+        for rec in trace.ranks.iter().flatten() {
+            if rec.layer != Layer::Mpi {
+                continue;
+            }
+            match rec.func {
+                Func::MpiSend { seq, .. } => {
+                    send_at.insert(seq, (rec.rank, rec.t_start));
+                }
+                Func::MpiRecv { seq, .. } => {
+                    recv_at.insert(seq, (rec.rank, rec.t_end));
+                }
+                Func::MpiBarrier { epoch } => {
+                    let e = barrier_events.entry(epoch).or_insert_with(|| BarrierEpoch {
+                        enter: vec![None; nranks],
+                        exit: 0,
+                    });
+                    e.enter[rec.rank as usize] = Some(rec.t_start);
+                    e.exit = e.exit.max(rec.t_end);
+                }
+                _ => {}
+            }
+        }
+        let mut messages: Vec<(u64, u32, u32, u64)> = send_at
+            .iter()
+            .filter_map(|(seq, &(src, t_send))| {
+                recv_at.get(seq).map(|&(dst, t_recv_end)| (t_send, src, dst, t_recv_end))
+            })
+            .collect();
+        messages.sort_unstable();
+        let mut epochs: Vec<u64> = barrier_events.keys().copied().collect();
+        epochs.sort_unstable();
+        let barriers = epochs.into_iter().map(|e| barrier_events.remove(&e).expect("epoch")).collect();
+        HbIndex { nranks, messages, barriers }
+    }
+
+    /// Number of matched message edges (diagnostics).
+    pub fn matched_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    pub fn barrier_epochs(&self) -> usize {
+        self.barriers.len()
+    }
+
+    /// Does `(r1, t1)` happen-before `(r2, t2)`?
+    ///
+    /// Computes, per rank, the earliest reachable local time starting from
+    /// `(r1, t1)`, by relaxing all sync edges; edges only move forward in
+    /// time, so iterating until fixpoint over the (few) barrier epochs and
+    /// time-sorted messages terminates quickly.
+    pub fn happens_before(&self, r1: u32, t1: u64, r2: u32, t2: u64) -> bool {
+        if r1 == r2 {
+            return t1 <= t2;
+        }
+        let mut reach: Vec<Option<u64>> = vec![None; self.nranks];
+        reach[r1 as usize] = Some(t1);
+        // Fixpoint: message edges are time-sorted so one pass usually
+        // suffices; barriers can unlock earlier messages on other ranks, so
+        // iterate a bounded number of rounds.
+        for _ in 0..self.barriers.len() + 2 {
+            let mut changed = false;
+            for &(t_send, src, dst, t_recv_end) in &self.messages {
+                if let Some(r) = reach[src as usize] {
+                    if t_send >= r {
+                        let cur = reach[dst as usize];
+                        if cur.is_none() || cur.expect("some") > t_recv_end {
+                            reach[dst as usize] = Some(t_recv_end);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            for b in &self.barriers {
+                let entered_reached = b.enter.iter().enumerate().any(|(r, &e)| {
+                    matches!((e, reach[r]), (Some(enter), Some(rt)) if enter >= rt)
+                });
+                if entered_reached {
+                    for slot in reach.iter_mut() {
+                        if slot.is_none() || slot.expect("some") > b.exit {
+                            *slot = Some(b.exit);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        matches!(reach[r2 as usize], Some(rt) if rt <= t2)
+    }
+}
+
+/// Result of validating a set of conflict pairs against the
+/// happens-before order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HbValidation {
+    /// Cross-process pairs whose timestamp order is enforced by program
+    /// synchronization.
+    pub synchronized: u64,
+    /// Cross-process pairs with no happens-before path — a genuine data
+    /// race (the paper found none in its race-free applications).
+    pub racy: u64,
+    /// Same-process pairs (ordered by program order by construction).
+    pub same_process: u64,
+}
+
+/// Validate every conflict pair of `report` against the happens-before
+/// order of `trace` (§5.2's FLASH validation).
+pub fn validate_conflicts(
+    trace: &TraceSet,
+    report: &crate::conflict::ConflictReport,
+) -> HbValidation {
+    let index = HbIndex::build(trace);
+    let mut v = HbValidation::default();
+    for p in &report.pairs {
+        if p.first.rank == p.second.rank {
+            v.same_process += 1;
+        } else if index.happens_before(
+            p.first.rank,
+            p.first.t_end,
+            p.second.rank,
+            p.second.t_start,
+        ) {
+            v.synchronized += 1;
+        } else {
+            v.racy += 1;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recorder::Record;
+
+    fn mpi(rank: u32, t0: u64, t1: u64, func: Func) -> Record {
+        Record { t_start: t0, t_end: t1, rank, layer: Layer::Mpi, origin: Layer::Mpi, func }
+    }
+
+    #[test]
+    fn message_creates_edge() {
+        let trace = TraceSet {
+            paths: vec![],
+            ranks: vec![
+                vec![mpi(0, 10, 11, Func::MpiSend { dst: 1, tag: 0, seq: 7 })],
+                vec![mpi(1, 20, 21, Func::MpiRecv { src: 0, tag: 0, seq: 7 })],
+            ],
+            skews_ns: vec![0, 0],
+        };
+        let idx = HbIndex::build(&trace);
+        assert_eq!(idx.matched_messages(), 1);
+        assert!(idx.happens_before(0, 5, 1, 25), "before send → after recv");
+        assert!(idx.happens_before(0, 10, 1, 21));
+        assert!(!idx.happens_before(0, 12, 1, 25), "event after the send is not ordered");
+        assert!(!idx.happens_before(1, 0, 0, 100), "no reverse edge");
+    }
+
+    #[test]
+    fn barrier_orders_everyone() {
+        let trace = TraceSet {
+            paths: vec![],
+            ranks: vec![
+                vec![mpi(0, 10, 30, Func::MpiBarrier { epoch: 0 })],
+                vec![mpi(1, 20, 30, Func::MpiBarrier { epoch: 0 })],
+                vec![mpi(2, 25, 30, Func::MpiBarrier { epoch: 0 })],
+            ],
+            skews_ns: vec![0, 0, 0],
+        };
+        let idx = HbIndex::build(&trace);
+        assert_eq!(idx.barrier_epochs(), 1);
+        // Anything before rank 0's barrier entry happens-before anything
+        // after any rank's exit.
+        assert!(idx.happens_before(0, 9, 2, 31));
+        assert!(idx.happens_before(1, 19, 0, 30));
+        // After the exit there is no ordering to times before it.
+        assert!(!idx.happens_before(0, 31, 2, 29));
+    }
+
+    #[test]
+    fn transitive_message_chain() {
+        // 0 → 1 → 2.
+        let trace = TraceSet {
+            paths: vec![],
+            ranks: vec![
+                vec![mpi(0, 10, 11, Func::MpiSend { dst: 1, tag: 0, seq: 1 })],
+                vec![
+                    mpi(1, 20, 21, Func::MpiRecv { src: 0, tag: 0, seq: 1 }),
+                    mpi(1, 30, 31, Func::MpiSend { dst: 2, tag: 0, seq: 2 }),
+                ],
+                vec![mpi(2, 40, 41, Func::MpiRecv { src: 1, tag: 0, seq: 2 })],
+            ],
+            skews_ns: vec![0, 0, 0],
+        };
+        let idx = HbIndex::build(&trace);
+        assert!(idx.happens_before(0, 5, 2, 45));
+        assert!(!idx.happens_before(2, 0, 0, 100));
+    }
+
+    #[test]
+    fn same_rank_is_program_order() {
+        let trace = TraceSet { paths: vec![], ranks: vec![vec![]], skews_ns: vec![0] };
+        let idx = HbIndex::build(&trace);
+        assert!(idx.happens_before(0, 5, 0, 6));
+        assert!(idx.happens_before(0, 5, 0, 5));
+        assert!(!idx.happens_before(0, 6, 0, 5));
+    }
+}

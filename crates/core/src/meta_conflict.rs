@@ -1,0 +1,288 @@
+//! Metadata-conflict detection — the paper's stated future work (§7: "we
+//! plan to expand our conflicts detection algorithm to support metadata
+//! operations").
+//!
+//! Several PFSs (GekkoFS, BatchFS) relax *metadata* consistency while
+//! keeping data consistency strict: a file created by one process may not
+//! be immediately visible to `open`/`stat` on another node. The analysis
+//! here finds the namespace dependencies that such relaxation can break:
+//! pairs where one process *mutates* a path (create, mkdir, unlink,
+//! rename, truncate) and a different process subsequently *depends* on
+//! that mutation (opens the file, stats it, creates inside the new
+//! directory).
+//!
+//! Unlike data conflicts, synchronization does not absolve these pairs —
+//! a barrier orders the operations but does not force the metadata server
+//! to publish the namespace change. The report therefore counts every
+//! cross-process dependency, and separately notes how many are ordered by
+//! program synchronization (all of them, for race-free programs).
+
+use std::collections::BTreeMap;
+
+use recorder::{Func, Layer, MetaKind, PathId, TraceSet};
+
+/// How a metadata operation interacts with the namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaRole {
+    /// Creates the binding (open with O_CREAT, mkdir, mknod, rename-to).
+    Create,
+    /// Removes the binding (unlink, rmdir, rename-from, remove).
+    Remove,
+    /// Mutates the node without (un)binding (truncate, chmod, utime).
+    Mutate,
+    /// Reads namespace state (open without create, stat family, access,
+    /// readdir of the parent).
+    Observe,
+}
+
+/// Categories of cross-process namespace dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetaPairKind {
+    /// A creates the file/dir, B opens/stats it — B fails with ENOENT if
+    /// the creation has not propagated.
+    CreateThenObserve,
+    /// A creates, B also mutates (e.g. truncates or renames it).
+    CreateThenMutate,
+    /// A removes, B observes — B may still see the removed binding (or
+    /// fail where the paper-strict PFS would succeed).
+    RemoveThenObserve,
+    /// Two mutations from different processes (ordering-sensitive).
+    MutateThenMutate,
+}
+
+/// One metadata event in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaEvent {
+    pub rank: u32,
+    pub t: u64,
+    pub path: PathId,
+    pub role: MetaRole,
+    /// POSIX function name.
+    pub func: &'static str,
+}
+
+/// One cross-process dependency pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaPair {
+    pub kind: MetaPairKind,
+    pub first: MetaEvent,
+    pub second: MetaEvent,
+}
+
+/// The report: all cross-process namespace dependencies found.
+#[derive(Debug, Clone, Default)]
+pub struct MetaConflictReport {
+    pub pairs: Vec<MetaPair>,
+    pub by_kind: BTreeMap<MetaPairKind, u64>,
+    /// Total metadata events examined.
+    pub events: u64,
+}
+
+impl MetaConflictReport {
+    pub fn total(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+
+    pub fn count(&self, kind: MetaPairKind) -> u64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// True if the application's namespace use requires *strong metadata*
+    /// consistency (i.e., it has cross-process namespace dependencies a
+    /// BatchFS/GekkoFS-style lazily-published namespace could break).
+    pub fn requires_strong_metadata(&self) -> bool {
+        self.total() > 0
+    }
+}
+
+/// Extract the metadata event of one record, if any. `open` is a metadata
+/// event too: with `O_CREAT` on a not-yet-existing binding it creates,
+/// otherwise it observes.
+fn event_of(rec: &recorder::Record) -> Option<MetaEvent> {
+    if rec.layer != Layer::Posix {
+        return None;
+    }
+    let (path, role, func): (PathId, MetaRole, &'static str) = match rec.func {
+        Func::Open { path, flags, .. } => {
+            let creates = flags & recorder::offset::flag_bits::CREATE != 0;
+            (path, if creates { MetaRole::Create } else { MetaRole::Observe }, "open")
+        }
+        Func::MetaPath { op, path } => {
+            let role = match op {
+                MetaKind::Mkdir | MetaKind::Mknod | MetaKind::Mknodat | MetaKind::Symlink => {
+                    MetaRole::Create
+                }
+                MetaKind::Unlink | MetaKind::Rmdir | MetaKind::Remove => MetaRole::Remove,
+                MetaKind::Truncate | MetaKind::Chmod | MetaKind::Chown | MetaKind::Utime => {
+                    MetaRole::Mutate
+                }
+                MetaKind::Stat
+                | MetaKind::Stat64
+                | MetaKind::Lstat
+                | MetaKind::Lstat64
+                | MetaKind::Access
+                | MetaKind::Faccessat
+                | MetaKind::Opendir
+                | MetaKind::Readdir
+                | MetaKind::Readlink => MetaRole::Observe,
+                _ => return None,
+            };
+            (path, role, op.name())
+        }
+        Func::MetaPath2 { op: MetaKind::Rename, path, .. } => (path, MetaRole::Remove, "rename"),
+        _ => return None,
+    };
+    Some(MetaEvent { rank: rec.rank, t: rec.t_start, path, role, func })
+}
+
+/// Detect cross-process namespace dependencies in an (adjusted) trace.
+///
+/// For each path, the last *binding-changing* event (create/remove) and
+/// last mutation are tracked in time order; any later event by a
+/// *different* rank that depends on it forms a pair. Repeated identical
+/// dependencies (e.g. 63 ranks opening the file rank 0 created) each
+/// count — the fan-out is exactly the metadata-server load a relaxed
+/// design must handle.
+pub fn detect_meta_conflicts(trace: &TraceSet) -> MetaConflictReport {
+    let mut report = MetaConflictReport::default();
+    // Per path: last create / remove / mutate events.
+    let mut last: BTreeMap<PathId, [Option<MetaEvent>; 3]> = BTreeMap::new();
+
+    let mut events: Vec<MetaEvent> =
+        trace.ranks.iter().flatten().filter_map(event_of).collect();
+    events.sort_by_key(|e| (e.t, e.rank));
+    report.events = events.len() as u64;
+
+    for e in events {
+        let slots = last.entry(e.path).or_default();
+        let push = |kind: MetaPairKind, first: MetaEvent, report: &mut MetaConflictReport| {
+            if first.rank != e.rank {
+                report.pairs.push(MetaPair { kind, first, second: e });
+                *report.by_kind.entry(kind).or_insert(0) += 1;
+            }
+        };
+        match e.role {
+            MetaRole::Observe => {
+                // Depends on the latest binding change.
+                match (slots[0], slots[1]) {
+                    (Some(c), Some(r)) if r.t > c.t => {
+                        push(MetaPairKind::RemoveThenObserve, r, &mut report)
+                    }
+                    (Some(c), _) => push(MetaPairKind::CreateThenObserve, c, &mut report),
+                    (None, Some(r)) => push(MetaPairKind::RemoveThenObserve, r, &mut report),
+                    (None, None) => {}
+                }
+            }
+            MetaRole::Mutate => {
+                if let Some(c) = slots[0] {
+                    push(MetaPairKind::CreateThenMutate, c, &mut report);
+                }
+                if let Some(m) = slots[2] {
+                    push(MetaPairKind::MutateThenMutate, m, &mut report);
+                }
+                slots[2] = Some(e);
+            }
+            MetaRole::Create => {
+                slots[0] = Some(e);
+                slots[1] = None; // a re-create supersedes a prior removal
+            }
+            MetaRole::Remove => {
+                if let Some(c) = slots[0] {
+                    push(MetaPairKind::CreateThenMutate, c, &mut report);
+                }
+                slots[1] = Some(e);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recorder::offset::flag_bits;
+    use recorder::Record;
+
+    const P: PathId = PathId(0);
+
+    fn posix(rank: u32, t: u64, func: Func) -> Record {
+        Record { t_start: t, t_end: t + 1, rank, layer: Layer::Posix, origin: Layer::App, func }
+    }
+
+    fn trace(records: Vec<Record>) -> TraceSet {
+        let mut ranks: Vec<Vec<Record>> = vec![Vec::new(); 4];
+        for r in records {
+            ranks[r.rank as usize].push(r);
+        }
+        TraceSet { paths: vec!["/f".into()], ranks, skews_ns: vec![0; 4] }
+    }
+
+    #[test]
+    fn create_then_open_by_other_rank() {
+        let t = trace(vec![
+            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
+            posix(1, 5, Func::Open { path: P, flags: flag_bits::READ, fd: 3 }),
+            posix(2, 6, Func::MetaPath { op: MetaKind::Stat, path: P }),
+        ]);
+        let r = detect_meta_conflicts(&t);
+        assert_eq!(r.count(MetaPairKind::CreateThenObserve), 2);
+        assert!(r.requires_strong_metadata());
+    }
+
+    #[test]
+    fn same_rank_dependencies_do_not_count() {
+        let t = trace(vec![
+            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
+            posix(0, 2, Func::MetaPath { op: MetaKind::Stat, path: P }),
+        ]);
+        let r = detect_meta_conflicts(&t);
+        assert_eq!(r.total(), 0);
+        assert!(!r.requires_strong_metadata());
+    }
+
+    #[test]
+    fn unlink_then_access() {
+        let t = trace(vec![
+            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
+            posix(0, 2, Func::MetaPath { op: MetaKind::Unlink, path: P }),
+            posix(1, 5, Func::MetaPath { op: MetaKind::Access, path: P }),
+        ]);
+        let r = detect_meta_conflicts(&t);
+        assert_eq!(r.count(MetaPairKind::RemoveThenObserve), 1);
+        // The unlink by the creator itself is same-rank: not a pair.
+        assert_eq!(r.count(MetaPairKind::CreateThenMutate), 0);
+    }
+
+    #[test]
+    fn cross_rank_remove_after_create() {
+        let t = trace(vec![
+            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
+            posix(1, 5, Func::MetaPath { op: MetaKind::Unlink, path: P }),
+        ]);
+        let r = detect_meta_conflicts(&t);
+        assert_eq!(r.count(MetaPairKind::CreateThenMutate), 1);
+    }
+
+    #[test]
+    fn mutate_then_mutate_cross_rank() {
+        let t = trace(vec![
+            posix(0, 1, Func::MetaPath { op: MetaKind::Chmod, path: P }),
+            posix(1, 2, Func::MetaPath { op: MetaKind::Chmod, path: P }),
+        ]);
+        let r = detect_meta_conflicts(&t);
+        assert_eq!(r.count(MetaPairKind::MutateThenMutate), 1);
+    }
+
+    #[test]
+    fn recreate_supersedes_removal() {
+        let t = trace(vec![
+            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
+            posix(0, 2, Func::MetaPath { op: MetaKind::Unlink, path: P }),
+            posix(0, 3, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 4 }),
+            posix(1, 5, Func::MetaPath { op: MetaKind::Stat, path: P }),
+        ]);
+        let r = detect_meta_conflicts(&t);
+        assert_eq!(r.count(MetaPairKind::CreateThenObserve), 1);
+        assert_eq!(r.count(MetaPairKind::RemoveThenObserve), 0);
+    }
+}

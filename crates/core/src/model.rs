@@ -1,0 +1,218 @@
+//! The consistency-semantics categorization (§3) and the PFS registry
+//! (Table 1).
+
+use std::fmt;
+
+/// The four consistency-semantics categories, strongest first. This is the
+/// analysis-side lattice; the execution-side twin lives in `pfssim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConsistencyModel {
+    /// POSIX sequential consistency under the happens-before order (§3.1):
+    /// a read of a byte returns the value of the latest happens-before
+    /// write to that byte.
+    Strong,
+    /// Updates become globally visible when the writer executes a commit
+    /// operation — fsync, fdatasync, fflush, close (§3.2, footnote 2).
+    Commit,
+    /// Close-to-open: updates become visible to sessions opened after the
+    /// writer closed the file (§3.3).
+    Session,
+    /// Updates become visible eventually, with no commit required (§3.4).
+    Eventual,
+}
+
+impl ConsistencyModel {
+    pub const ALL: [ConsistencyModel; 4] = [
+        ConsistencyModel::Strong,
+        ConsistencyModel::Commit,
+        ConsistencyModel::Session,
+        ConsistencyModel::Eventual,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ConsistencyModel::Strong => "strong",
+            ConsistencyModel::Commit => "commit",
+            ConsistencyModel::Session => "session",
+            ConsistencyModel::Eventual => "eventual",
+        }
+    }
+
+    /// `self` provides at least the guarantees of `required`.
+    pub fn satisfies(self, required: ConsistencyModel) -> bool {
+        self <= required
+    }
+}
+
+impl fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One file system of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfsEntry {
+    pub name: &'static str,
+    pub model: ConsistencyModel,
+    /// Whether reads/writes by a *single* process take effect in program
+    /// order (§3.5: true for all studied PFSs except BurstFS; PLFS and
+    /// PVFS2 leave overlapping writes undefined).
+    pub same_process_ordering: bool,
+    /// One-line characterization, for reports.
+    pub note: &'static str,
+}
+
+impl PfsEntry {
+    /// Can an application with requirement `required` (and, if
+    /// `has_same_process_conflicts`, same-process RAW/WAW pairs) run
+    /// correctly on this PFS?
+    pub fn supports(&self, required: ConsistencyModel, has_same_process_conflicts: bool) -> bool {
+        if !self.model.satisfies(required) {
+            return false;
+        }
+        !has_same_process_conflicts || self.same_process_ordering
+    }
+}
+
+/// The registry of Table 1: "HPC file systems and their consistency
+/// semantics".
+///
+/// ```
+/// use semantics_core::{ConsistencyModel, PfsRegistry};
+/// let reg = PfsRegistry::default();
+/// // An application that needs commit semantics and has same-process
+/// // conflicts can run on UnifyFS but not on BurstFS or NFS.
+/// let ok: Vec<&str> = reg
+///     .compatible(ConsistencyModel::Commit, true)
+///     .iter()
+///     .map(|e| e.name)
+///     .collect();
+/// assert!(ok.contains(&"UnifyFS") && ok.contains(&"Lustre"));
+/// assert!(!ok.contains(&"BurstFS") && !ok.contains(&"NFS"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PfsRegistry {
+    entries: Vec<PfsEntry>,
+}
+
+impl Default for PfsRegistry {
+    fn default() -> Self {
+        use ConsistencyModel::*;
+        let e = |name, model, spo, note| PfsEntry {
+            name,
+            model,
+            same_process_ordering: spo,
+            note,
+        };
+        PfsRegistry {
+            entries: vec![
+                e("GPFS", Strong, true, "distributed locking; lazy metadata options"),
+                e("Lustre", Strong, true, "distributed lock manager; locking can be disabled"),
+                e("GekkoFS", Strong, true, "relaxed metadata, strict data consistency"),
+                e("BeeGFS", Strong, true, "POSIX semantics"),
+                e("BatchFS", Strong, true, "relaxed metadata, strict data consistency"),
+                e("OrangeFS", Strong, true, "non-conflicting write semantics (PVFS2 lineage)"),
+                e("BSCFS", Commit, true, "burst-buffer shared checkpoint FS"),
+                e("UnifyFS", Commit, true, "fsync commits; lamination makes files read-only"),
+                e("SymphonyFS", Commit, true, "fsync acts as the commit"),
+                e("BurstFS", Commit, false, "no same-process read-after-write ordering"),
+                e("NFS", Session, true, "close-to-open cache consistency"),
+                e("AFS", Session, true, "close-to-open"),
+                e("DDN IME", Session, true, "close-to-open"),
+                e("Gfarm/BB", Session, true, "close-to-open over node-local burst buffers"),
+                e("PLFS", Eventual, false, "overlapping writes undefined; N-1 → N-N rewrite"),
+                e("echofs", Eventual, true, "POSIX locally, global visibility on drain"),
+                e("MarFS", Eventual, true, "near-POSIX over cloud objects"),
+            ],
+        }
+    }
+}
+
+impl PfsRegistry {
+    pub fn entries(&self) -> &[PfsEntry] {
+        &self.entries
+    }
+
+    pub fn get(&self, name: &str) -> Option<&PfsEntry> {
+        self.entries.iter().find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All file systems in one category (one row of Table 1).
+    pub fn by_model(&self, model: ConsistencyModel) -> Vec<&PfsEntry> {
+        self.entries.iter().filter(|e| e.model == model).collect()
+    }
+
+    /// All file systems an application can run on, given its analyzed
+    /// requirement.
+    pub fn compatible(
+        &self,
+        required: ConsistencyModel,
+        has_same_process_conflicts: bool,
+    ) -> Vec<&PfsEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.supports(required, has_same_process_conflicts))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_ordering() {
+        use ConsistencyModel::*;
+        assert!(Strong.satisfies(Session));
+        assert!(Commit.satisfies(Session));
+        assert!(!Session.satisfies(Commit));
+        assert!(!Eventual.satisfies(Session));
+        assert!(Session.satisfies(Eventual));
+    }
+
+    #[test]
+    fn registry_matches_table1_rows() {
+        let reg = PfsRegistry::default();
+        let names = |m| {
+            let mut v: Vec<&str> = reg.by_model(m).iter().map(|e| e.name).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            names(ConsistencyModel::Strong),
+            vec!["BatchFS", "BeeGFS", "GPFS", "GekkoFS", "Lustre", "OrangeFS"]
+        );
+        assert_eq!(
+            names(ConsistencyModel::Commit),
+            vec!["BSCFS", "BurstFS", "SymphonyFS", "UnifyFS"]
+        );
+        assert_eq!(
+            names(ConsistencyModel::Session),
+            vec!["AFS", "DDN IME", "Gfarm/BB", "NFS"]
+        );
+        assert_eq!(names(ConsistencyModel::Eventual), vec!["MarFS", "PLFS", "echofs"]);
+    }
+
+    #[test]
+    fn burstfs_rejects_same_process_conflicts() {
+        let reg = PfsRegistry::default();
+        let burstfs = reg.get("BurstFS").unwrap();
+        assert!(burstfs.supports(ConsistencyModel::Commit, false));
+        assert!(!burstfs.supports(ConsistencyModel::Commit, true));
+        let unifyfs = reg.get("UnifyFS").unwrap();
+        assert!(unifyfs.supports(ConsistencyModel::Commit, true));
+    }
+
+    #[test]
+    fn compatible_respects_strength() {
+        let reg = PfsRegistry::default();
+        // An app needing commit semantics can run on all strong + commit
+        // systems (minus BurstFS when it has same-process conflicts).
+        let ok = reg.compatible(ConsistencyModel::Commit, true);
+        assert!(ok.iter().any(|e| e.name == "Lustre"));
+        assert!(ok.iter().any(|e| e.name == "UnifyFS"));
+        assert!(!ok.iter().any(|e| e.name == "BurstFS"));
+        assert!(!ok.iter().any(|e| e.name == "NFS"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Algorithm 1: detecting overlaps.
+//!
+//! Records are the `(t, r, os, oe, type)` tuples of §5.1 (our
+//! [`DataAccess`] uses an *exclusive* end offset `oe = offset + len`).
+//! Tuples are sorted by starting offset; for each tuple the sweep scans
+//! forward until the next start offset passes the current end — "quadratic
+//! in the worst case, \[but\] in practice the running time (sorting
+//! excepted) is linear in the number of records".
+
+use recorder::{DataAccess, PathId};
+
+/// Output of overlap detection over one file (or a whole trace when
+/// grouped by file).
+#[derive(Debug, Clone, Default)]
+pub struct OverlapResult {
+    /// Index pairs `(i, j)` into the input slice, each an overlapping pair.
+    pub pairs: Vec<(u32, u32)>,
+    /// The paper's table `P`: which rank pairs overlap. Entries `(r_i,
+    /// r_j)` with `r_i <= r_j`, deduplicated and sorted.
+    pub rank_pairs: Vec<(u32, u32)>,
+}
+
+impl OverlapResult {
+    pub fn count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn involves_distinct_ranks(&self) -> bool {
+        self.rank_pairs.iter().any(|(a, b)| a != b)
+    }
+}
+
+/// Algorithm 1 over the accesses of **one file**. The input order is
+/// arbitrary; indices in the result refer to the input slice.
+///
+/// ```
+/// use recorder::{AccessKind, DataAccess, Layer, PathId};
+/// use semantics_core::overlap::detect_overlaps;
+/// let acc = |rank, t, offset, len| DataAccess {
+///     rank, t_start: t, t_end: t + 1, file: PathId(0), offset, len,
+///     kind: AccessKind::Write, origin: Layer::App, fd: 3,
+/// };
+/// // Two writes overlapping on byte 10, one disjoint write.
+/// let r = detect_overlaps(&[acc(0, 0, 0, 11), acc(1, 1, 10, 10), acc(2, 2, 100, 5)]);
+/// assert_eq!(r.count(), 1);
+/// assert!(r.involves_distinct_ranks());
+/// ```
+pub fn detect_overlaps(accesses: &[DataAccess]) -> OverlapResult {
+    let mut order: Vec<u32> = (0..accesses.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let a = &accesses[i as usize];
+        (a.offset, a.end(), a.t_start)
+    });
+    let mut out = OverlapResult::default();
+    for (pos, &i) in order.iter().enumerate() {
+        let a = &accesses[i as usize];
+        for &j in &order[pos + 1..] {
+            let b = &accesses[j as usize];
+            if b.offset >= a.end() {
+                break; // sorted by start: no later tuple can overlap `a`
+            }
+            out.pairs.push((i, j));
+            let (lo, hi) = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+            out.rank_pairs.push((lo, hi));
+        }
+    }
+    out.rank_pairs.sort_unstable();
+    out.rank_pairs.dedup();
+    out
+}
+
+/// The paper's suggested optimization (§5.1): "Although we have not done
+/// so, sorting can be replaced by merging as records for each rank are
+/// already sorted." This variant takes per-rank record lists that are
+/// already offset-sorted, k-way-merges them into the global offset order,
+/// and then runs the same sweep — O(n·log k) for the ordering instead of
+/// O(n·log n).
+///
+/// Returns `None` if some rank's list is not offset-sorted (the
+/// precondition the paper notes; callers fall back to
+/// [`detect_overlaps`]). Pair indices refer to the *concatenation* of the
+/// per-rank lists, in input order.
+pub fn detect_overlaps_merge(per_rank: &[Vec<DataAccess>]) -> Option<OverlapResult> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Precondition check + global index assignment.
+    let mut base = Vec::with_capacity(per_rank.len());
+    let mut total = 0u32;
+    for list in per_rank {
+        base.push(total);
+        if list.windows(2).any(|w| w[0].offset > w[1].offset) {
+            return None;
+        }
+        total += list.len() as u32;
+    }
+
+    // K-way merge by (offset, end).
+    let mut heap: BinaryHeap<Reverse<(u64, u64, usize, usize)>> = per_rank
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(r, l)| Reverse((l[0].offset, l[0].end(), r, 0)))
+        .collect();
+    let mut order: Vec<u32> = Vec::with_capacity(total as usize);
+    while let Some(Reverse((_, _, r, i))) = heap.pop() {
+        order.push(base[r] + i as u32);
+        if let Some(next) = per_rank[r].get(i + 1) {
+            heap.push(Reverse((next.offset, next.end(), r, i + 1)));
+        }
+    }
+
+    // Identical sweep to Algorithm 1, addressing through the merge order.
+    let acc = |i: u32| {
+        let r = base.partition_point(|&b| b <= i) - 1;
+        &per_rank[r][(i - base[r]) as usize]
+    };
+    let mut out = OverlapResult::default();
+    for (pos, &i) in order.iter().enumerate() {
+        let a = acc(i);
+        for &j in &order[pos + 1..] {
+            let b = acc(j);
+            if b.offset >= a.end() {
+                break;
+            }
+            out.pairs.push((i, j));
+            let (lo, hi) = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+            out.rank_pairs.push((lo, hi));
+        }
+    }
+    out.rank_pairs.sort_unstable();
+    out.rank_pairs.dedup();
+    Some(out)
+}
+
+/// O(n²) reference implementation for property testing.
+pub fn detect_overlaps_bruteforce(accesses: &[DataAccess]) -> OverlapResult {
+    let mut out = OverlapResult::default();
+    for i in 0..accesses.len() {
+        for j in i + 1..accesses.len() {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if a.offset < b.end() && b.offset < a.end() {
+                out.pairs.push((i as u32, j as u32));
+                let (lo, hi) =
+                    if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+                out.rank_pairs.push((lo, hi));
+            }
+        }
+    }
+    out.rank_pairs.sort_unstable();
+    out.rank_pairs.dedup();
+    out
+}
+
+/// Group a resolved trace's accesses by file, preserving global time order
+/// within each group.
+pub fn group_by_file(accesses: &[DataAccess]) -> Vec<(PathId, Vec<DataAccess>)> {
+    let mut map: std::collections::BTreeMap<PathId, Vec<DataAccess>> = Default::default();
+    for a in accesses {
+        map.entry(a.file).or_default().push(*a);
+    }
+    map.into_iter().collect()
+}
+
+/// Normalize a pair list into a canonical (sorted, both orders collapsed)
+/// set for comparisons in tests.
+pub fn canonical_pairs(r: &OverlapResult) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = r
+        .pairs
+        .iter()
+        .map(|&(i, j)| if i <= j { (i, j) } else { (j, i) })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recorder::{AccessKind, Layer};
+
+    fn acc(rank: u32, t: u64, offset: u64, len: u64) -> DataAccess {
+        DataAccess {
+            rank,
+            t_start: t,
+            t_end: t + 1,
+            file: PathId(0),
+            offset,
+            len,
+            kind: AccessKind::Write,
+            origin: Layer::App,
+            fd: 3,
+        }
+    }
+
+    #[test]
+    fn disjoint_accesses_do_not_overlap() {
+        let accs = vec![acc(0, 0, 0, 10), acc(1, 1, 10, 10), acc(2, 2, 20, 10)];
+        let r = detect_overlaps(&accs);
+        assert!(r.pairs.is_empty());
+        assert!(!r.involves_distinct_ranks());
+    }
+
+    #[test]
+    fn adjacent_is_not_overlap_exclusive_end() {
+        // [0,10) and [10,20) share no byte.
+        let accs = vec![acc(0, 0, 0, 10), acc(1, 1, 10, 10)];
+        assert_eq!(detect_overlaps(&accs).count(), 0);
+    }
+
+    #[test]
+    fn single_byte_overlap_detected() {
+        let accs = vec![acc(0, 0, 0, 11), acc(1, 1, 10, 10)];
+        let r = detect_overlaps(&accs);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.rank_pairs, vec![(0, 1)]);
+        assert!(r.involves_distinct_ranks());
+    }
+
+    #[test]
+    fn containment_and_identity() {
+        let accs = vec![acc(0, 0, 0, 100), acc(0, 1, 10, 5), acc(1, 2, 0, 100)];
+        let r = detect_overlaps(&accs);
+        assert_eq!(canonical_pairs(&r), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn same_rank_overlap_has_diagonal_rank_pair() {
+        let accs = vec![acc(3, 0, 0, 10), acc(3, 1, 5, 10)];
+        let r = detect_overlaps(&accs);
+        assert_eq!(r.rank_pairs, vec![(3, 3)]);
+        assert!(!r.involves_distinct_ranks());
+    }
+
+    #[test]
+    fn merge_variant_matches_sort_variant() {
+        // Per-rank offset-sorted lists with plenty of cross-rank overlap.
+        let mut per_rank: Vec<Vec<DataAccess>> = Vec::new();
+        for r in 0..4u32 {
+            per_rank.push(
+                (0..20u64).map(|k| acc(r, k * 7 + r as u64, k * 13 + r as u64 * 5, 30)).collect(),
+            );
+        }
+        let flat: Vec<DataAccess> = per_rank.iter().flatten().copied().collect();
+        let merged = detect_overlaps_merge(&per_rank).expect("sorted input");
+        let sorted = detect_overlaps(&flat);
+        assert_eq!(canonical_pairs(&merged), canonical_pairs(&sorted));
+        assert_eq!(merged.rank_pairs, sorted.rank_pairs);
+    }
+
+    #[test]
+    fn merge_variant_rejects_unsorted_input() {
+        let per_rank = vec![vec![acc(0, 0, 100, 10), acc(0, 1, 0, 10)]];
+        assert!(detect_overlaps_merge(&per_rank).is_none());
+    }
+
+    #[test]
+    fn merge_variant_empty_ranks() {
+        let per_rank = vec![Vec::new(), vec![acc(1, 0, 0, 10)], Vec::new()];
+        let r = detect_overlaps_merge(&per_rank).expect("sorted");
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_dense_case() {
+        let accs: Vec<DataAccess> =
+            (0..40).map(|i| acc(i % 4, i as u64, (i as u64 * 7) % 50, 12)).collect();
+        let fast = detect_overlaps(&accs);
+        let slow = detect_overlaps_bruteforce(&accs);
+        assert_eq!(canonical_pairs(&fast), canonical_pairs(&slow));
+        assert_eq!(fast.rank_pairs, slow.rank_pairs);
+    }
+}

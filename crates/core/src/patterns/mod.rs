@@ -1,0 +1,14 @@
+//! Access-pattern analysis (§4, §6.2).
+//!
+//! * [`lowlevel`] — Figure 1: the consecutive / monotonic / random
+//!   percentages, from the local (per-process) and global (PFS-side)
+//!   perspectives.
+//! * [`highlevel`] — Table 3: the X–Y process/file pattern (N-N, N-1,
+//!   M-M, M-1, N-M, 1-1) and the consecutive / strided / strided-cyclic
+//!   shape.
+
+pub mod highlevel;
+pub mod lowlevel;
+
+pub use highlevel::{classify, FilePattern, HighLevelReport, Letter, ShapeClass};
+pub use lowlevel::{global_pattern, local_pattern, AccessClass, PatternStats};

@@ -1,0 +1,114 @@
+//! The headline question (§6.3): what is the weakest consistency model
+//! under which an application runs correctly?
+//!
+//! The paper's reasoning: "all but one of the applications we studied can
+//! execute correctly with session semantics, provided that conflicts on
+//! the same process are properly handled" — i.e. same-process RAW/WAW
+//! pairs are harmless on every studied PFS except BurstFS, while
+//! *distinct-process* conflicts under a model mean that model is too weak.
+
+use crate::conflict::ConflictReport;
+use crate::model::ConsistencyModel;
+
+/// The verdict for one application configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Weakest model that avoids distinct-process conflicts (assuming the
+    /// PFS preserves same-process ordering, like all of Table 1 except
+    /// BurstFS).
+    pub required: ConsistencyModel,
+    /// Weakest model with *no* conflicts at all — what a BurstFS-like
+    /// system (no same-process ordering) would need.
+    pub required_strict: ConsistencyModel,
+    /// Whether same-process conflicts exist under session semantics.
+    pub same_process_conflicts: bool,
+}
+
+/// Derive the verdict from the session- and commit-semantics conflict
+/// reports. (Eventual consistency is out of scope, as in the paper:
+/// traditional applications rely on a deterministic write→read
+/// relationship, §3.5.)
+pub fn required_model(session: &ConflictReport, commit: &ConflictReport) -> Verdict {
+    let required = if !session.has_distinct_process_conflicts() {
+        ConsistencyModel::Session
+    } else if !commit.has_distinct_process_conflicts() {
+        ConsistencyModel::Commit
+    } else {
+        ConsistencyModel::Strong
+    };
+    let required_strict = if session.total() == 0 {
+        ConsistencyModel::Session
+    } else if commit.total() == 0 {
+        ConsistencyModel::Commit
+    } else {
+        ConsistencyModel::Strong
+    };
+    Verdict {
+        required,
+        required_strict,
+        same_process_conflicts: session.has_same_process_conflicts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::{AnalysisModel, ConflictReport};
+
+    fn report(model: AnalysisModel, waw_s: u64, waw_d: u64, raw_s: u64, raw_d: u64) -> ConflictReport {
+        ConflictReport {
+            model_checked: Some(model),
+            pairs: Vec::new(),
+            waw_same: waw_s,
+            waw_distinct: waw_d,
+            raw_same: raw_s,
+            raw_distinct: raw_d,
+        }
+    }
+
+    #[test]
+    fn clean_app_needs_only_session() {
+        let v = required_model(
+            &report(AnalysisModel::Session, 0, 0, 0, 0),
+            &report(AnalysisModel::Commit, 0, 0, 0, 0),
+        );
+        assert_eq!(v.required, ConsistencyModel::Session);
+        assert_eq!(v.required_strict, ConsistencyModel::Session);
+        assert!(!v.same_process_conflicts);
+    }
+
+    #[test]
+    fn same_process_only_still_session_but_not_for_burstfs() {
+        // The NWChem/GAMESS shape: WAW-S/RAW-S under session.
+        let v = required_model(
+            &report(AnalysisModel::Session, 2, 0, 1, 0),
+            &report(AnalysisModel::Commit, 2, 0, 1, 0),
+        );
+        assert_eq!(v.required, ConsistencyModel::Session);
+        assert!(v.same_process_conflicts);
+        // A BurstFS-like PFS would need strong (conflicts under both
+        // relaxed models).
+        assert_eq!(v.required_strict, ConsistencyModel::Strong);
+    }
+
+    #[test]
+    fn flash_shape_needs_commit() {
+        // WAW-D under session, clean under commit.
+        let v = required_model(
+            &report(AnalysisModel::Session, 3, 2, 0, 0),
+            &report(AnalysisModel::Commit, 0, 0, 0, 0),
+        );
+        assert_eq!(v.required, ConsistencyModel::Commit);
+        assert_eq!(v.required_strict, ConsistencyModel::Commit);
+    }
+
+    #[test]
+    fn distinct_conflicts_under_both_need_strong() {
+        let v = required_model(
+            &report(AnalysisModel::Session, 0, 2, 0, 0),
+            &report(AnalysisModel::Commit, 0, 1, 0, 0),
+        );
+        assert_eq!(v.required, ConsistencyModel::Strong);
+        assert_eq!(v.required_strict, ConsistencyModel::Strong);
+    }
+}

@@ -1,0 +1,35 @@
+//! Chombo (Table 4: clean): 3D variable-coefficient AMR Poisson solve.
+//! The plot file is one shared HDF5 file per output with every rank
+//! writing its box at a rank-strided offset (N-1 strided); no explicit
+//! flush, so metadata is written once at close and no conflicts arise.
+
+use iolibs::{AppCtx, H5File, H5Opts};
+
+use crate::registry::ScaleParams;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/chombo").unwrap();
+    }
+    ctx.barrier();
+    let outputs = (p.steps / p.ckpt_interval.max(1)).clamp(1, 4);
+    let per_rank = p.bytes_per_rank;
+    for o in 0..outputs {
+        ctx.compute(p.compute_ns);
+        let path = format!("/chombo/poisson.{o}.3d.hdf5");
+        let mut f = H5File::create(ctx, &path, H5Opts::default()).unwrap();
+        let total = per_rank * ctx.nranks() as u64;
+        let dset = f.create_dataset(ctx, "level_0/data:datatype=0", total).unwrap();
+        crate::util::h5_write_chunks(
+            ctx,
+            &mut f,
+            &dset,
+            ctx.rank() as u64 * per_rank,
+            &vec![o as u8; per_rank as usize],
+            4,
+        )
+        .unwrap();
+        f.close(ctx).unwrap();
+        ctx.barrier();
+    }
+}

@@ -1,0 +1,38 @@
+//! ENZO (Table 4: RAW-S): adaptive-mesh astrophysics, non-cosmological
+//! collapse test. Each rank writes its own HDF5 file per output (N-N
+//! consecutive), with one dataset per AMR grid. The many small grids blow
+//! through HDF5's metadata cache, forcing the library to read back
+//! symbol-table blocks it wrote earlier in the same session — the
+//! same-process read-after-write Table 4 reports.
+
+use iolibs::{AppCtx, H5File, H5Opts};
+
+use crate::registry::ScaleParams;
+
+/// AMR grids per output file — deliberately larger than twice the
+/// (reduced) metadata cache so read-backs occur.
+pub const GRIDS: u32 = 24;
+/// Reduced metadata-cache capacity for the collapse test's many grids.
+pub const CACHE_SLOTS: u32 = 8;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/enzo").unwrap();
+    }
+    ctx.barrier();
+    let outputs = (p.steps / p.ckpt_interval.max(1)).max(1);
+    for out in 0..outputs {
+        ctx.compute(p.compute_ns);
+        let path = format!("/enzo/DD{out:04}_{:04}.cpu", ctx.rank());
+        let opts = H5Opts::serial().with_cache_slots(CACHE_SLOTS);
+        let mut f = H5File::create(ctx, &path, opts).unwrap();
+        for g in 0..GRIDS {
+            let bytes = p.bytes_per_rank / GRIDS as u64 + 512;
+            let dset = f.create_dataset(ctx, &format!("Grid{g:08}"), bytes).unwrap();
+            crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &vec![g as u8; bytes as usize], 2)
+                .unwrap();
+        }
+        f.close(ctx).unwrap();
+        ctx.barrier();
+    }
+}

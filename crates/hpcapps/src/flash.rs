@@ -1,0 +1,108 @@
+//! FLASH (§6.2.2, §6.3, Figure 2, Table 4's one cross-process conflict).
+//!
+//! Sedov-explosion configuration (Table 5): 100 time steps, checkpoint
+//! every 20 steps, plus a plot file per checkpoint step. Two I/O modes:
+//!
+//! * **fbs** (fixed block size) — HDF5 over collective MPI-IO: the library
+//!   aggregates dataset writes onto 6 aggregator ranks (M-1 strided
+//!   cyclic).
+//! * **nofbs** (dynamic block size) — independent I/O: every rank writes
+//!   its own blocks (N-1 strided, ~50% random from the PFS's view).
+//!
+//! In both modes FLASH calls `H5Fflush` after writing each dataset — the
+//! source of the WAW-S and WAW-D conflicts under session semantics, which
+//! disappear under commit semantics (the flush's fsync is a commit). Two
+//! one-line fixes are modelled as variants: enabling HDF5 collective
+//! metadata, or dropping the explicit flush (§6.3).
+
+use iolibs::{AppCtx, H5File, H5Opts};
+
+use crate::registry::ScaleParams;
+
+/// Which FLASH variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashMode {
+    /// Collective I/O (fixed block size), explicit per-dataset flush.
+    Fbs,
+    /// Independent I/O (dynamic block size), explicit per-dataset flush.
+    Nofbs,
+    /// Fix 1: collective metadata (rank 0 does all metadata I/O).
+    FbsCollectiveMetadata,
+    /// Fix 2: the explicit `H5Fflush` removed (close implies the flush).
+    FbsNoFlush,
+}
+
+/// Number of mesh variables per checkpoint file.
+pub const CKPT_DATASETS: u32 = 12;
+/// Plot-file variables (smaller output, rank 0 writes the data).
+pub const PLOT_DATASETS: u32 = 4;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: FlashMode) {
+    let opts = match mode {
+        FlashMode::Fbs | FlashMode::FbsNoFlush => H5Opts::collective(),
+        FlashMode::FbsCollectiveMetadata => H5Opts::collective().with_collective_metadata(),
+        FlashMode::Nofbs => H5Opts::default(), // independent data, independent metadata
+    };
+    let flush_each_dataset = !matches!(mode, FlashMode::FbsNoFlush);
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/flash").unwrap();
+    }
+    ctx.barrier();
+
+    let ckpt_interval = p.ckpt_interval.max(1);
+    let mut ckpt_id = 0;
+    for step in 0..p.steps {
+        ctx.compute(p.compute_ns);
+        ctx.barrier();
+        if (step + 1) % ckpt_interval != 0 {
+            continue;
+        }
+        // ---- checkpoint file ----
+        let path = format!("/flash/sedov_hdf5_chk_{ckpt_id:04}");
+        let mut f = H5File::create(ctx, &path, opts).unwrap();
+        for d in 0..CKPT_DATASETS {
+            // nofbs: per-dataset sizes vary (dynamic block size); fbs:
+            // uniform (fixed block size).
+            let per_rank = match mode {
+                FlashMode::Nofbs => p.bytes_per_rank * (1 + (d as u64 % 3)),
+                _ => p.bytes_per_rank,
+            };
+            let total = per_rank * ctx.nranks() as u64;
+            let dset = f.create_dataset(ctx, &format!("unk{d:02}"), total).unwrap();
+            let my_off = ctx.rank() as u64 * per_rank;
+            let payload = vec![(d as u8).wrapping_add(ctx.rank() as u8); per_rank as usize];
+            f.write(ctx, &dset, my_off, &payload).unwrap();
+            if flush_each_dataset {
+                f.flush(ctx).unwrap();
+            }
+        }
+        f.close(ctx).unwrap();
+
+        // ---- plot file: rank 0 writes the (reduced) data, the usual
+        // subset of ranks performs metadata writes ----
+        let path = format!("/flash/sedov_hdf5_plt_cnt_{ckpt_id:04}");
+        let mut f = H5File::create(ctx, &path, opts).unwrap();
+        for d in 0..PLOT_DATASETS {
+            let total = p.bytes_per_rank * 4;
+            let dset = f.create_dataset(ctx, &format!("plot{d:02}"), total).unwrap();
+            if opts.collective_data {
+                // Collective call: rank 0 contributes everything, the rest
+                // contribute empty hyperslabs.
+                let data = if ctx.rank() == 0 {
+                    vec![d as u8; total as usize]
+                } else {
+                    Vec::new()
+                };
+                f.write(ctx, &dset, 0, &data).unwrap();
+            } else if ctx.rank() == 0 {
+                f.write(ctx, &dset, 0, &vec![d as u8; total as usize]).unwrap();
+            }
+            if flush_each_dataset {
+                f.flush(ctx).unwrap();
+            }
+        }
+        f.close(ctx).unwrap();
+        ckpt_id += 1;
+    }
+    ctx.barrier();
+}

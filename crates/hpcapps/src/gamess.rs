@@ -1,0 +1,46 @@
+//! GAMESS (Table 4: WAW-S): closed-shell SCF test. Half the ranks are
+//! compute processes that keep per-process `.dat`/`F10` scratch files
+//! (M-M consecutive); each SCF iteration appends integrals and rewrites
+//! the file's bookkeeping block in place (same process, same session →
+//! WAW-S).
+
+use iolibs::AppCtx;
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// Bookkeeping block rewritten each iteration.
+pub const BOOK: u64 = 1024;
+/// SCF iterations.
+pub const ITERS: u32 = 4;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/gamess").unwrap();
+    }
+    ctx.barrier();
+
+    // Only even ranks do I/O (GAMESS dedicates half the processes to
+    // computation with scratch I/O, half to data serving).
+    let is_writer = ctx.rank().is_multiple_of(2);
+    if is_writer {
+        let path = format!("/gamess/f10_{:03}.dat", ctx.rank());
+        let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
+        let mut tail = BOOK;
+        ctx.pwrite(fd, 0, &vec![1u8; BOOK as usize]).unwrap();
+        for it in 0..ITERS {
+            ctx.compute(p.compute_ns);
+            let data = vec![it as u8; p.bytes_per_rank as usize];
+            ctx.pwrite(fd, tail, &data).unwrap();
+            tail += data.len() as u64;
+        }
+        // Final bookkeeping rewrite: the WAW-S.
+        ctx.pwrite(fd, 0, &vec![2u8; BOOK as usize]).unwrap();
+        ctx.close(fd).unwrap();
+    } else {
+        for _ in 0..ITERS {
+            ctx.compute(p.compute_ns);
+        }
+    }
+    ctx.barrier();
+}

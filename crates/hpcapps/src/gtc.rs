@@ -1,0 +1,40 @@
+//! GTC (Table 4: clean): gyrokinetic toroidal turbulence, built-in 64p
+//! input. Rank 0 appends diagnostic history records every step —
+//! 1-1 consecutive log-style output.
+
+use iolibs::AppCtx;
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/gtc").unwrap();
+    }
+    ctx.barrier();
+
+    let (hist, sheareb) = if ctx.rank() == 0 {
+        (
+            Some(ctx.open("/gtc/history.out", OpenFlags::append_create()).unwrap()),
+            Some(ctx.open("/gtc/sheareb.out", OpenFlags::append_create()).unwrap()),
+        )
+    } else {
+        (None, None)
+    };
+
+    for _ in 0..p.steps {
+        ctx.compute(p.compute_ns);
+        let diag = ctx.gather(0, &(ctx.rank() as u64).to_le_bytes());
+        if let (Some(h), Some(s)) = (hist, sheareb) {
+            let blob: Vec<u8> = diag.expect("root gather").concat();
+            ctx.write(h, &blob).unwrap();
+            ctx.write(s, &vec![0u8; 1024]).unwrap();
+        }
+        ctx.barrier();
+    }
+    if let (Some(h), Some(s)) = (hist, sheareb) {
+        ctx.close(h).unwrap();
+        ctx.close(s).unwrap();
+    }
+    ctx.barrier();
+}

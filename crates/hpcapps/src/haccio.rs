@@ -1,0 +1,49 @@
+//! HACC-IO (Table 4: clean): the CORAL cosmology I/O kernel. Captures
+//! HACC's checkpoint pattern — nine particle variables streamed out per
+//! rank — through either raw POSIX or MPI-IO independent file-per-process
+//! (both N-N consecutive).
+
+use iolibs::{AppCtx, MpiFile, MpiIoHints};
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// HACC writes 9 particle variables (x,y,z,vx,vy,vz,phi,pid,mask).
+pub const VARIABLES: u64 = 9;
+
+/// I/O interface variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaccIo {
+    Posix,
+    MpiIo,
+}
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: HaccIo) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/hacc").unwrap();
+    }
+    ctx.barrier();
+    ctx.compute(p.compute_ns);
+    let var_bytes = p.bytes_per_rank.max(VARIABLES) / VARIABLES * 2;
+
+    match io {
+        HaccIo::Posix => {
+            let path = format!("/hacc/restart.{:05}.posix", ctx.rank());
+            let fd = ctx.open(&path, OpenFlags::wronly_create_trunc()).unwrap();
+            for v in 0..VARIABLES {
+                ctx.write(fd, &vec![v as u8; var_bytes as usize]).unwrap();
+            }
+            ctx.close(fd).unwrap();
+        }
+        HaccIo::MpiIo => {
+            let path = format!("/hacc/restart.{:05}.mpiio", ctx.rank());
+            let mf =
+                MpiFile::open_independent(ctx, &path, MpiIoHints::default()).unwrap();
+            for v in 0..VARIABLES {
+                mf.write_at(ctx, v * var_bytes, &vec![v as u8; var_bytes as usize]).unwrap();
+            }
+            mf.close_independent(ctx).unwrap();
+        }
+    }
+    ctx.barrier();
+}

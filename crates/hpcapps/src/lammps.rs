@@ -1,0 +1,125 @@
+//! LAMMPS (§6.2.1, §6.3): the same dump workload through five I/O paths.
+//!
+//! Table 5: 2D LJ flow, 100 steps, dump every 20 steps (unscaled atom
+//! coordinates). The five configurations exhibit exactly the per-library
+//! behaviours of Table 3 / Table 4:
+//!
+//! * POSIX — rank 0 appends to one dump file (1-1 consecutive, clean).
+//! * MPI-IO — collective dump to one file per dump (M-1 strided, clean).
+//! * HDF5 — rank 0 writes one HDF5 file per dump (1-1 consecutive, clean:
+//!   no flush ⇒ metadata written once at close).
+//! * NetCDF — rank 0 appends records to one file; every record rewrites
+//!   the header's `numrecs` (WAW-S).
+//! * ADIOS — aggregators append subfiles; rank 0 overwrites the `md.idx`
+//!   status byte every step (WAW-S).
+
+use iolibs::{AdiosWriter, AppCtx, H5File, H5Opts, MpiFile, MpiIoHints, NcFile};
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// Which I/O library writes the dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LammpsIo {
+    Posix,
+    MpiIo,
+    Hdf5,
+    NetCdf,
+    Adios,
+}
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/lammps").unwrap();
+    }
+    ctx.barrier();
+    let per_rank = p.bytes_per_rank;
+    let interval = p.ckpt_interval.max(1);
+
+    // Library-lifetime handles.
+    let mut nc = match io {
+        LammpsIo::NetCdf if ctx.rank() == 0 => {
+            Some(NcFile::create(ctx, "/lammps/dump.nc").unwrap())
+        }
+        _ => None,
+    };
+    if io == LammpsIo::NetCdf {
+        ctx.barrier(); // others wait for the creator
+    }
+    let mut adios = match io {
+        LammpsIo::Adios => Some(AdiosWriter::open(ctx, "/lammps/dump.bp", 8).unwrap()),
+        _ => None,
+    };
+    let posix_fd = match io {
+        LammpsIo::Posix if ctx.rank() == 0 => {
+            Some(ctx.open("/lammps/dump.lammpstrj", OpenFlags::append_create()).unwrap())
+        }
+        _ => None,
+    };
+
+    let mut dump_id = 0;
+    for step in 0..p.steps {
+        ctx.compute(p.compute_ns);
+        ctx.barrier();
+        if (step + 1) % interval != 0 {
+            continue;
+        }
+        match io {
+            LammpsIo::Posix => {
+                // Rank 0 gathers coordinates and appends one frame.
+                let frame = ctx.gather(0, &vec![ctx.rank() as u8; per_rank as usize]);
+                if let Some(fd) = posix_fd {
+                    let frame = frame.expect("root gather");
+                    for chunk in frame {
+                        ctx.write(fd, &chunk).unwrap();
+                    }
+                }
+            }
+            LammpsIo::MpiIo => {
+                let path = format!("/lammps/dump_{dump_id}.mpiio");
+                let mf = MpiFile::open(ctx, &path, true, MpiIoHints { cb_nodes: 6 }).unwrap();
+                let off = ctx.rank() as u64 * per_rank;
+                mf.write_at_all(ctx, off, &vec![ctx.rank() as u8; per_rank as usize]).unwrap();
+                mf.close(ctx).unwrap();
+            }
+            LammpsIo::Hdf5 => {
+                let frame = ctx.gather(0, &vec![ctx.rank() as u8; per_rank as usize]);
+                if ctx.rank() == 0 {
+                    let frame = frame.expect("root gather");
+                    let path = format!("/lammps/dump_{dump_id}.h5");
+                    let mut f = H5File::create(ctx, &path, H5Opts::serial()).unwrap();
+                    let total = per_rank * ctx.nranks() as u64;
+                    let dset = f.create_dataset(ctx, "coordinates", total).unwrap();
+                    let blob: Vec<u8> = frame.concat();
+                    crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &blob, 8).unwrap();
+                    f.close(ctx).unwrap();
+                }
+                ctx.barrier();
+            }
+            LammpsIo::NetCdf => {
+                let frame = ctx.gather(0, &vec![ctx.rank() as u8; per_rank as usize]);
+                if let Some(nc) = nc.as_mut() {
+                    let blob: Vec<u8> = frame.expect("root gather").concat();
+                    nc.put_record(ctx, &blob).unwrap();
+                }
+                ctx.barrier();
+            }
+            LammpsIo::Adios => {
+                let w = adios.as_mut().expect("adios engine");
+                w.write_step(ctx, &vec![ctx.rank() as u8; per_rank as usize]).unwrap();
+            }
+        }
+        dump_id += 1;
+    }
+
+    if let Some(fd) = posix_fd {
+        ctx.close(fd).unwrap();
+    }
+    if let Some(nc) = nc {
+        nc.close(ctx).unwrap();
+    }
+    if let Some(a) = adios {
+        a.close(ctx).unwrap();
+    }
+    ctx.barrier();
+}

@@ -1,0 +1,53 @@
+//! LBANN (§6.2.3, Table 4: clean): the study's read-intensive outlier —
+//! autoencoder training on CIFAR-10. Every rank reads the *entire* dataset
+//! file into memory with plain `read()` calls: locally each stream is
+//! perfectly consecutive, but from the PFS's perspective the 64
+//! interleaved full-file scans look largely random (Figure 1). The
+//! training data is staged by rank 0 and closed before the readers open,
+//! so the shared reads are close-to-open clean.
+
+use iolibs::AppCtx;
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// Read granularity (the framework reads sample batches).
+pub const CHUNK: u64 = 16 * 1024;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/datasets").unwrap();
+    }
+    ctx.barrier();
+
+    // Stage the dataset (stands in for CIFAR-10's 60000 32×32 images).
+    let total = (p.bytes_per_rank * ctx.nranks() as u64).max(4 * CHUNK);
+    if ctx.rank() == 0 {
+        let fd = ctx.open("/datasets/cifar10.bin", OpenFlags::wronly_create_trunc()).unwrap();
+        let mut written = 0u64;
+        while written < total {
+            let n = CHUNK.min(total - written);
+            ctx.write(fd, &vec![0xd5u8; n as usize]).unwrap();
+            written += n;
+        }
+        ctx.close(fd).unwrap();
+    }
+    ctx.barrier();
+
+    // Training: every rank sizes and loads the whole dataset, then
+    // computes epochs.
+    ctx.stat("/datasets/cifar10.bin").unwrap();
+    let fd = ctx.open("/datasets/cifar10.bin", OpenFlags::rdonly()).unwrap();
+    ctx.fstat(fd).unwrap();
+    loop {
+        let out = ctx.read(fd, CHUNK).unwrap();
+        if out.data.is_empty() {
+            break;
+        }
+    }
+    ctx.close(fd).unwrap();
+    for _ in 0..p.steps.min(5) {
+        ctx.compute(p.compute_ns);
+        ctx.barrier();
+    }
+}

@@ -1,0 +1,21 @@
+//! MACSio (Table 4: WAW-S): the ALE3D I/O proxy, dumping through Silo's
+//! multi-file (PMPIO) driver — N ranks into M files with baton passing
+//! (N-M strided). The same-process WAW comes from Silo's two-stage
+//! directory-table update inside each writer's baton turn.
+
+use iolibs::{AppCtx, SiloFile, SiloOpts};
+
+use crate::registry::ScaleParams;
+
+/// Number of Silo files per dump (M of N-M).
+pub const N_FILES: u32 = 8;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    let dumps = (p.steps / p.ckpt_interval.max(1)).max(1);
+    let opts = SiloOpts { n_files: N_FILES, block_bytes: p.bytes_per_rank.max(1024) };
+    for d in 0..dumps {
+        ctx.compute(p.compute_ns);
+        SiloFile::dump(ctx, "/macsio", d, opts).unwrap();
+    }
+    ctx.barrier();
+}

@@ -1,0 +1,63 @@
+//! MILC-QCD (Table 4: clean): lattice-QCD gauge-configuration output.
+//! With `save_serial`, rank 0 gathers the lattice and streams it into one
+//! file (1-1 consecutive); with `save_parallel`, every rank writes its
+//! sub-lattice into the shared file at its rank offset (N-1 strided).
+
+use iolibs::AppCtx;
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// Serial vs parallel lattice save.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilcMode {
+    Serial,
+    Parallel,
+}
+
+/// Lattice file header written by rank 0 (below the pattern classifier's
+/// metadata threshold, like the real ~100-byte MILC header).
+pub const HEADER: u64 = 256;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: MilcMode) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/milc").unwrap();
+    }
+    ctx.barrier();
+    let saves = (p.steps / p.ckpt_interval.max(1)).max(1);
+    let per_rank = p.bytes_per_rank;
+
+    for s in 0..saves {
+        ctx.compute(p.compute_ns);
+        let path = format!("/milc/l4896f21b708_{s:03}.lat");
+        match mode {
+            MilcMode::Serial => {
+                let lattice = ctx.gather(0, &vec![ctx.rank() as u8; per_rank as usize]);
+                if ctx.rank() == 0 {
+                    let fd = ctx.open(&path, OpenFlags::wronly_create_trunc()).unwrap();
+                    ctx.write(fd, &vec![b'M'; HEADER as usize]).unwrap();
+                    for chunk in lattice.expect("root gather") {
+                        ctx.write(fd, &chunk).unwrap();
+                    }
+                    ctx.close(fd).unwrap();
+                }
+                ctx.barrier();
+            }
+            MilcMode::Parallel => {
+                // Rank 0 creates the file and writes the header; everyone
+                // then writes its sub-lattice at a rank-strided offset.
+                if ctx.rank() == 0 {
+                    let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
+                    ctx.write(fd, &vec![b'M'; HEADER as usize]).unwrap();
+                    ctx.close(fd).unwrap();
+                }
+                ctx.barrier();
+                let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
+                let off = HEADER + ctx.rank() as u64 * per_rank;
+                ctx.pwrite(fd, off, &vec![ctx.rank() as u8; per_rank as usize]).unwrap();
+                ctx.close(fd).unwrap();
+                ctx.barrier();
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Nek5000 (Table 4: clean): doubly-periodic eddy solution (Table 5: 1000
+//! steps, checkpoint every 100). Rank 0 gathers the spectral-element
+//! fields and streams one `.f` field file per checkpoint — 1-1
+//! consecutive.
+
+use iolibs::AppCtx;
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/nek5000").unwrap();
+    }
+    ctx.barrier();
+    let ckpts = (p.steps / p.ckpt_interval.max(1)).max(1);
+    for c in 0..ckpts {
+        ctx.compute(p.compute_ns);
+        let fields = ctx.gather(0, &vec![ctx.rank() as u8; p.bytes_per_rank as usize]);
+        if ctx.rank() == 0 {
+            let path = format!("/nek5000/eddy_uv0.f{:05}", c + 1);
+            let fd = ctx.open(&path, OpenFlags::wronly_create_trunc()).unwrap();
+            for chunk in fields.expect("root gather") {
+                ctx.write(fd, &chunk).unwrap();
+            }
+            ctx.close(fd).unwrap();
+        }
+        ctx.barrier();
+    }
+}

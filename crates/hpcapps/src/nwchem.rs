@@ -1,0 +1,60 @@
+//! NWChem (Table 4: WAW-S and RAW-S): molecular-dynamics trajectory run
+//! (Table 5: 5 equilibration + 30 data-gathering steps, solute coordinates
+//! written every step). Each rank appends step data to its own
+//! scratch/restart file (N-N consecutive); the restart header is written
+//! at start, rewritten at the end of the run (WAW-S) and verified by
+//! reading it back within the same open session (RAW-S); rank 0
+//! additionally appends the shared trajectory file (1-1).
+
+use iolibs::AppCtx;
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// Size of the rewritten restart header.
+pub const HEADER: u64 = 2048;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/nwchem").unwrap();
+    }
+    ctx.barrier();
+
+    // Per-rank scratch/restart file, open for the whole run.
+    let scratch = format!("/nwchem/scratch_{:03}.db", ctx.rank());
+    let sfd = ctx.open(&scratch, OpenFlags::rdwr_create()).unwrap();
+    ctx.pwrite(sfd, 0, &vec![0x11u8; HEADER as usize]).unwrap();
+    // Rank 0 also owns the trajectory file.
+    let traj = if ctx.rank() == 0 {
+        Some(ctx.open("/nwchem/md.trj", OpenFlags::append_create()).unwrap())
+    } else {
+        None
+    };
+
+    let mut tail = HEADER;
+    for _step in 0..p.steps {
+        ctx.compute(p.compute_ns);
+        // Append this step's data to the scratch file.
+        let data = vec![ctx.rank() as u8; p.bytes_per_rank as usize];
+        ctx.pwrite(sfd, tail, &data).unwrap();
+        tail += data.len() as u64;
+
+        // Rank 0 appends solute coordinates to the trajectory every step.
+        let coords = ctx.gather(0, &[ctx.rank() as u8; 64]);
+        if let Some(tfd) = traj {
+            let blob: Vec<u8> = coords.expect("root gather").concat();
+            ctx.write(tfd, &blob).unwrap();
+        }
+        ctx.barrier();
+    }
+
+    // Finalize the restart: rewrite the header (WAW-S: same bytes, same
+    // process, same session) and verify it (RAW-S).
+    ctx.pwrite(sfd, 0, &vec![0x22u8; HEADER as usize]).unwrap();
+    ctx.pread(sfd, 0, HEADER).unwrap();
+    ctx.close(sfd).unwrap();
+    if let Some(tfd) = traj {
+        ctx.close(tfd).unwrap();
+    }
+    ctx.barrier();
+}

@@ -1,0 +1,64 @@
+//! ParaDiS (Table 4: clean; §6.2.1, §6.4): dislocation-dynamics restart
+//! dumps, through either raw POSIX or HDF5 — the paper's example of an
+//! I/O library adding metadata operations (lstat, fstat, ftruncate appear
+//! only in the HDF5 configuration). Both variants write one shared restart
+//! file per dump with every rank at its own strided offset (N-1 strided).
+
+use iolibs::{AppCtx, H5File, H5Opts};
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// I/O path for the restart dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParadisIo {
+    Posix,
+    Hdf5,
+}
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: ParadisIo) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/paradis").unwrap();
+    }
+    ctx.barrier();
+    let dumps = (p.steps / p.ckpt_interval.max(1)).max(1);
+    let per_rank = p.bytes_per_rank;
+
+    for d in 0..dumps {
+        ctx.compute(p.compute_ns);
+        match io {
+            ParadisIo::Posix => {
+                let path = format!("/paradis/rs{d:04}.data");
+                if ctx.rank() == 0 {
+                    let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
+                    ctx.close(fd).unwrap();
+                }
+                ctx.barrier();
+                let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
+                let off = ctx.rank() as u64 * per_rank;
+                crate::util::pwrite_chunks(ctx, fd, off, &vec![ctx.rank() as u8; per_rank as usize], 4)
+                    .unwrap();
+                ctx.close(fd).unwrap();
+            }
+            ParadisIo::Hdf5 => {
+                let path = format!("/paradis/rs{d:04}.h5");
+                // Independent data, one dataset per dump: each rank writes
+                // its hyperslab directly.
+                let mut f = H5File::create(ctx, &path, H5Opts::default()).unwrap();
+                let total = per_rank * ctx.nranks() as u64;
+                let dset = f.create_dataset(ctx, "nodes", total).unwrap();
+                crate::util::h5_write_chunks(
+                    ctx,
+                    &mut f,
+                    &dset,
+                    ctx.rank() as u64 * per_rank,
+                    &vec![ctx.rank() as u8; per_rank as usize],
+                    4,
+                )
+                .unwrap();
+                f.close(ctx).unwrap();
+            }
+        }
+        ctx.barrier();
+    }
+}

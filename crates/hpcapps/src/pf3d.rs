@@ -1,0 +1,38 @@
+//! pF3D-IO (Table 4: RAW-S): one laser-plasma checkpoint step. Every rank
+//! streams its ~2 GB (scaled down) of checkpoint state into its own file
+//! (N-N consecutive) and then reads the leading header back to validate
+//! the dump before the run ends — a same-process read-after-write within
+//! one open session.
+
+use iolibs::AppCtx;
+use pfssim::{OpenFlags, Whence};
+
+use crate::registry::ScaleParams;
+
+/// Checkpoint header size (validated by read-back).
+pub const HEADER: u64 = 1024;
+/// Number of write chunks the checkpoint is streamed in.
+pub const CHUNKS: u64 = 16;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/pf3d").unwrap();
+    }
+    ctx.barrier();
+    ctx.compute(p.compute_ns);
+
+    let path = format!("/pf3d/ckpt_{:05}.dat", ctx.rank());
+    let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
+    // Header, then the state streamed in consecutive chunks via the fd
+    // cursor.
+    ctx.write(fd, &vec![0xCAu8; HEADER as usize]).unwrap();
+    let chunk = (p.bytes_per_rank * 4 / CHUNKS).max(1);
+    for c in 0..CHUNKS {
+        ctx.write(fd, &vec![c as u8; chunk as usize]).unwrap();
+    }
+    // Validate: rewind and read the header back (RAW-S).
+    ctx.lseek(fd, 0, Whence::Set).unwrap();
+    ctx.read(fd, HEADER).unwrap();
+    ctx.close(fd).unwrap();
+    ctx.barrier();
+}

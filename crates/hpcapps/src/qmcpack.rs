@@ -1,0 +1,39 @@
+//! QMCPACK (Table 4: clean): diffusion Monte Carlo of a water molecule
+//! (Table 5: 100 warm-up + 40 computation steps, checkpoint every 20).
+//! Rank 0 gathers walker state and writes a small HDF5 checkpoint file
+//! per interval — 1-1 consecutive, few datasets, no flush: metadata is
+//! written exactly once at close, so no conflicts.
+
+use iolibs::{AppCtx, H5File, H5Opts};
+
+use crate::registry::ScaleParams;
+
+pub const DATASETS: u32 = 3;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/qmcpack").unwrap();
+    }
+    ctx.barrier();
+    let ckpts = (p.steps / p.ckpt_interval.max(1)).max(1);
+    for c in 0..ckpts {
+        ctx.compute(p.compute_ns);
+        let walkers = ctx.gather(0, &vec![ctx.rank() as u8; p.bytes_per_rank as usize]);
+        if ctx.rank() == 0 {
+            let blob: Vec<u8> = walkers.expect("root gather").concat();
+            let path = format!("/qmcpack/qmc.s{c:03}.config.h5");
+            let mut f = H5File::create(ctx, &path, H5Opts::serial()).unwrap();
+            let per = (blob.len() as u64 / DATASETS as u64).max(1);
+            for d in 0..DATASETS {
+                let lo = (d as u64 * per) as usize;
+                let hi = ((d as u64 + 1) * per).min(blob.len() as u64) as usize;
+                let dset = f
+                    .create_dataset(ctx, &format!("state_{d}"), (hi - lo) as u64)
+                    .unwrap();
+                crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &blob[lo..hi], 4).unwrap();
+            }
+            f.close(ctx).unwrap();
+        }
+        ctx.barrier();
+    }
+}

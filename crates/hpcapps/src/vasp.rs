@@ -1,0 +1,64 @@
+//! VASP (Table 4: clean): elastic-properties run for zinc-blende GaAs.
+//! Rank 0 streams the textual outputs (OUTCAR/CONTCAR, 1-1 consecutive);
+//! the wavefunction file (WAVECAR) is written by rank 0 in a setup pass,
+//! closed, and then read in full by every rank — close-to-open ordered,
+//! so the shared N-1 consecutive reads are conflict-free even under
+//! session semantics.
+
+use iolibs::AppCtx;
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// Chunks each rank reads the wavefunction file in.
+pub const READ_CHUNKS: u64 = 8;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/vasp").unwrap();
+    }
+    ctx.barrier();
+
+    // Setup: rank 0 produces WAVECAR and closes it.
+    let wavecar_bytes = p.bytes_per_rank * ctx.nranks() as u64 / 4;
+    if ctx.rank() == 0 {
+        let fd = ctx.open("/vasp/WAVECAR", OpenFlags::wronly_create_trunc()).unwrap();
+        let chunk = (wavecar_bytes / READ_CHUNKS).max(1);
+        for c in 0..READ_CHUNKS {
+            ctx.write(fd, &vec![c as u8; chunk as usize]).unwrap();
+        }
+        ctx.close(fd).unwrap();
+    }
+    ctx.barrier();
+
+    // Every rank probes, then loads the full wavefunction (N-1
+    // consecutive reads).
+    ctx.stat("/vasp/WAVECAR").unwrap();
+    let fd = ctx.open("/vasp/WAVECAR", OpenFlags::rdonly()).unwrap();
+    let chunk = (wavecar_bytes / READ_CHUNKS).max(1);
+    loop {
+        let out = ctx.read(fd, chunk).unwrap();
+        if out.data.is_empty() {
+            break;
+        }
+    }
+    ctx.close(fd).unwrap();
+
+    // Electronic steps; rank 0 appends OUTCAR text.
+    let outcar = if ctx.rank() == 0 {
+        Some(ctx.open("/vasp/OUTCAR", OpenFlags::append_create()).unwrap())
+    } else {
+        None
+    };
+    for _ in 0..p.steps.min(10) {
+        ctx.compute(p.compute_ns);
+        if let Some(fd) = outcar {
+            ctx.write(fd, &vec![b'V'; 600]).unwrap();
+        }
+        ctx.barrier();
+    }
+    if let Some(fd) = outcar {
+        ctx.close(fd).unwrap();
+    }
+    ctx.barrier();
+}

@@ -1,0 +1,33 @@
+//! VPIC-IO (Table 4: clean): the plasma-physics I/O kernel — a 1D particle
+//! array with eight variables per particle, written collectively through
+//! HDF5 into one shared file. The MPI-IO aggregators turn this into the
+//! M-1 strided-cyclic pattern of Table 3 (one cycle per variable).
+
+use iolibs::{AppCtx, H5File, H5Opts};
+
+use crate::registry::ScaleParams;
+
+/// Each particle has eight variables (x,y,z,ux,uy,uz,q,id).
+pub const VARIABLES: u32 = 8;
+
+pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/vpic").unwrap();
+    }
+    ctx.barrier();
+    ctx.compute(p.compute_ns);
+
+    let per_rank = p.bytes_per_rank;
+    let total = per_rank * ctx.nranks() as u64;
+    let mut f = H5File::create(ctx, "/vpic/particle.h5", H5Opts::collective()).unwrap();
+    for v in 0..VARIABLES {
+        let dset = f.create_dataset(ctx, &format!("var{v}"), total).unwrap();
+        f.write(ctx, &dset, ctx.rank() as u64 * per_rank, &vec![
+            v as u8;
+            per_rank as usize
+        ])
+        .unwrap();
+    }
+    f.close(ctx).unwrap();
+    ctx.barrier();
+}

@@ -1,0 +1,118 @@
+//! A multi-application workflow: simulation → analysis, coupled only
+//! through the file system.
+//!
+//! §3.5 of the paper defers "non-traditional, emerging scientific
+//! workloads, e.g., workflows in which simulation data is pipelined to
+//! analysis modules" to future work; §7 repeats the plan. This module
+//! provides that workload: a *producer* job writes snapshot files and
+//! exits; a *consumer* job — a separate MPI world, no communication with
+//! the producer — later reads them and writes a reduced result. The two
+//! jobs synchronize through nothing but the PFS, which is exactly the
+//! regime where consistency semantics (and metadata visibility) decide
+//! correctness.
+
+use iolibs::AppCtx;
+use pfssim::OpenFlags;
+
+use crate::registry::ScaleParams;
+
+/// Snapshots the producer writes (one shared file per snapshot, N-1).
+pub const SNAPSHOTS: u32 = 3;
+
+/// Producer job: the simulation. Every rank writes its slice of each
+/// snapshot file and closes it — a well-behaved producer.
+pub fn producer(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/pipeline").unwrap();
+    }
+    ctx.barrier();
+    let per_rank = p.bytes_per_rank;
+    for s in 0..SNAPSHOTS {
+        ctx.compute(p.compute_ns);
+        let path = format!("/pipeline/snap_{s:04}.dat");
+        if ctx.rank() == 0 {
+            let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
+            ctx.close(fd).unwrap();
+        }
+        ctx.barrier();
+        let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
+        let off = ctx.rank() as u64 * per_rank;
+        crate::util::pwrite_chunks(ctx, fd, off, &vec![s as u8 + 1; per_rank as usize], 4)
+            .unwrap();
+        ctx.close(fd).unwrap();
+        ctx.barrier();
+    }
+}
+
+/// In-situ monitoring (single job, two roles): rank 0 streams a log file
+/// while the other ranks keep it open and re-read the growing tail —
+/// "tail -f" analytics. Unlike the staged pipeline, the readers' sessions
+/// begin *before* the writer's close, so this coupling genuinely needs
+/// consistency stronger than close-to-open: the conflict detector flags
+/// RAW-D under both relaxed models, and under session semantics the
+/// readers actually see a frozen snapshot.
+pub fn insitu_monitor(ctx: &mut AppCtx, p: &ScaleParams) {
+    if ctx.rank() == 0 {
+        ctx.mkdir_p("/insitu").unwrap();
+        let fd = ctx.open("/insitu/stream.log", OpenFlags::rdwr_create()).unwrap();
+        ctx.close(fd).unwrap();
+    }
+    ctx.barrier();
+    let fd = if ctx.rank() == 0 {
+        ctx.open("/insitu/stream.log", OpenFlags::rdwr()).unwrap()
+    } else {
+        // Readers open once, before any data exists, and hold the session.
+        ctx.open("/insitu/stream.log", OpenFlags::rdonly()).unwrap()
+    };
+    for step in 0..p.steps.min(6) {
+        ctx.compute(p.compute_ns);
+        if ctx.rank() == 0 {
+            ctx.pwrite(fd, step as u64 * 512, &vec![step as u8 + 1; 512]).unwrap();
+        }
+        ctx.barrier(); // the monitor is told new data exists…
+        if ctx.rank() != 0 {
+            // …and reads the newest block through its long-lived session.
+            ctx.pread(fd, step as u64 * 512, 512).unwrap();
+        }
+        ctx.barrier();
+    }
+    ctx.close(fd).unwrap();
+    ctx.barrier();
+}
+
+/// Consumer job: the analysis. Every rank reads its slice of every
+/// snapshot (the producer's decomposition is known from the metadata
+/// convention) and rank 0 writes the reduced time series.
+pub fn consumer(ctx: &mut AppCtx, p: &ScaleParams) {
+    let per_rank = p.bytes_per_rank;
+    let out = if ctx.rank() == 0 {
+        Some(ctx.open("/pipeline/analysis.out", OpenFlags::append_create()).unwrap())
+    } else {
+        None
+    };
+    for s in 0..SNAPSHOTS {
+        let path = format!("/pipeline/snap_{s:04}.dat");
+        // The consumer job discovers the snapshot through the namespace —
+        // the cross-job metadata dependency.
+        let exists = ctx.access(&path).unwrap();
+        if !exists {
+            continue; // relaxed metadata could legitimately get us here
+        }
+        let fd = ctx.open(&path, OpenFlags::rdonly()).unwrap();
+        let off = ctx.rank() as u64 * per_rank;
+        let data = ctx.pread(fd, off, per_rank).unwrap().data;
+        ctx.close(fd).unwrap();
+        // Reduce: sum of this rank's bytes, combined across ranks.
+        let local_sum: u64 = data.iter().map(|&b| b as u64).sum();
+        let total = ctx.allreduce_sum_u64(local_sum);
+        if let Some(ofd) = out {
+            ctx.write(ofd, format!("snap {s}: {total}\n").as_bytes()).unwrap();
+        }
+        ctx.compute(p.compute_ns);
+        ctx.barrier();
+    }
+    if let Some(ofd) = out {
+        ctx.close(ofd).unwrap();
+    }
+    ctx.barrier();
+}

@@ -1,0 +1,626 @@
+//! The per-rank application context and the run harness.
+//!
+//! [`AppCtx`] is what a simulated application programs against: MPI-style
+//! communication (delegated to [`mpisim`]), POSIX file I/O (delegated to
+//! [`pfssim`] with latency from the cost model), and transparent tracing of
+//! every POSIX call into a [`recorder::RankTracer`] with the correct
+//! *origin* layer attribution.
+//!
+//! [`run_app`] executes one SPMD closure on every rank, performs the
+//! startup barrier the paper uses for clock adjustment (§5.2), merges the
+//! MPI runtime's happens-before events into each rank's trace, and returns
+//! the assembled [`TraceSet`] together with the quiesced file system.
+
+use mpisim::{CostModel, OpClass, Rank, SchedMode, World, WorldCfg};
+use pfssim::{
+    FsResult, MetaOp, Observation, OpenFlags, Pfs, PfsConfig, ReadOut, SemanticsModel, StatInfo,
+    Whence, WriteOut,
+};
+use recorder::{
+    Func, Layer, MetaKind, RankTracer, Record, SeekWhence, SharedInterner, TraceSet,
+};
+
+/// A POSIX file descriptor in the simulated file system.
+pub type Fd = u32;
+
+/// Configuration of one simulated application run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub nranks: u32,
+    pub seed: u64,
+    /// Consistency engine the PFS executes with. (The traces themselves are
+    /// engine-independent for race-free programs; the engine matters for
+    /// the stale-read validation experiments.)
+    pub semantics: SemanticsModel,
+    pub max_skew_ns: u64,
+    pub mode: SchedMode,
+    pub cost: CostModel,
+    pub pfs: PfsConfig,
+    /// Initial simulated time of this job (workflow stages chain clocks).
+    pub start_time_ns: u64,
+}
+
+impl RunConfig {
+    pub fn new(nranks: u32, seed: u64) -> Self {
+        RunConfig {
+            nranks,
+            seed,
+            semantics: SemanticsModel::Strong,
+            max_skew_ns: 20_000,
+            mode: SchedMode::Deterministic,
+            cost: CostModel::default(),
+            pfs: PfsConfig::default(),
+            start_time_ns: 0,
+        }
+    }
+
+    pub fn with_semantics(mut self, semantics: SemanticsModel) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    pub fn free_running(mut self) -> Self {
+        self.mode = SchedMode::Free;
+        self
+    }
+
+    pub fn with_max_skew_ns(mut self, ns: u64) -> Self {
+        self.max_skew_ns = ns;
+        self
+    }
+}
+
+/// Everything one run produces.
+pub struct RunOutcome {
+    /// The multi-level trace, with raw (skewed, unadjusted) timestamps —
+    /// exactly what a Recorder-style tracer would hand the analysis.
+    pub trace: TraceSet,
+    /// The file system, already quiesced (all buffered writes propagated).
+    pub pfs: Pfs,
+    /// Per-rank read-observation logs for cross-engine staleness diffing.
+    pub observations: Vec<Vec<Observation>>,
+    /// Final simulated time.
+    pub final_time_ns: u64,
+}
+
+/// Run `f` as an SPMD program on `cfg.nranks` ranks against a fresh file
+/// system, quiescing it (propagating all buffered writes) at the end.
+pub fn run_app<F>(cfg: &RunConfig, f: F) -> RunOutcome
+where
+    F: Fn(&mut AppCtx) + Sync,
+{
+    let pfs = Pfs::new(cfg.pfs.clone().with_semantics(cfg.semantics));
+    let out = run_app_on(cfg, &pfs, f);
+    pfs.quiesce();
+    out
+}
+
+/// One stage of a multi-application workflow.
+pub struct PipelineOutcome {
+    /// The per-stage outcomes (each stage is one job: its own MPI world,
+    /// its own trace).
+    pub stages: Vec<RunOutcome>,
+    /// All stage traces merged into one analyzable trace: stage `j`
+    /// rank `r` becomes global rank `j·nranks + r`; timestamps are already
+    /// on one absolute timeline because stage clocks are chained — see
+    /// [`recorder::combine::merge_jobs`].
+    pub combined: TraceSet,
+    /// The shared file system, quiesced after the last stage.
+    pub pfs: Pfs,
+}
+
+/// Run a workflow: each stage is a separate job (fresh MPI world, fresh
+/// clients, **no** cross-stage communication) against one shared file
+/// system. `gap_ns` is the scheduler gap between jobs. The file system is
+/// *not* quiesced between stages — a consumer job sees exactly what the
+/// producer's engine published — and is quiesced after the last stage.
+pub fn run_pipeline(
+    cfg: &RunConfig,
+    gap_ns: u64,
+    stages: &[&(dyn Fn(&mut AppCtx) + Sync)],
+) -> PipelineOutcome {
+    let pfs = Pfs::new(cfg.pfs.clone().with_semantics(cfg.semantics));
+    let mut outs: Vec<RunOutcome> = Vec::with_capacity(stages.len());
+    let mut start = cfg.start_time_ns;
+    for (j, stage) in stages.iter().enumerate() {
+        let stage_cfg = RunConfig {
+            seed: cfg.seed.wrapping_add(j as u64),
+            start_time_ns: start,
+            ..cfg.clone()
+        };
+        let out = run_app_on(&stage_cfg, &pfs, |ctx| stage(ctx));
+        start = out.final_time_ns + gap_ns;
+        outs.push(out);
+    }
+    // Stage clocks are chained, so the traces are already on one absolute
+    // timeline: merge without further shifting.
+    let combined =
+        recorder::combine::merge_jobs(&outs.iter().map(|o| o.trace.clone()).collect::<Vec<_>>());
+    pfs.quiesce();
+    PipelineOutcome { stages: outs, combined, pfs }
+}
+
+/// Run `f` against an existing file system (workflow stages share one).
+/// Does **not** quiesce.
+pub fn run_app_on<F>(cfg: &RunConfig, pfs: &Pfs, f: F) -> RunOutcome
+where
+    F: Fn(&mut AppCtx) + Sync,
+{
+    let pfs = pfs.clone();
+    let interner = recorder::shared_interner();
+    let world_cfg = WorldCfg {
+        nranks: cfg.nranks,
+        seed: cfg.seed,
+        mode: cfg.mode,
+        max_skew_ns: cfg.max_skew_ns,
+        cost: cfg.cost.clone(),
+        start_ns: cfg.start_time_ns,
+    };
+    let out = World::run(&world_cfg, |rank| {
+        let r = rank.rank();
+        let mut ctx = AppCtx::new(
+            rank,
+            pfs.client(r),
+            RankTracer::new(r, SharedInterner::clone(&interner)),
+            pfs.config().clone(),
+        );
+        // The paper's runs start with a barrier whose exit is used as t=0
+        // for clock adjustment; the harness issues it on behalf of the app.
+        ctx.barrier();
+        f(&mut ctx);
+        ctx.into_parts()
+    });
+
+    // Merge the MPI runtime's event log into each rank's record stream.
+    let mut tracers = Vec::with_capacity(cfg.nranks as usize);
+    let mut observations = Vec::with_capacity(cfg.nranks as usize);
+    for (rank, ((tracer, obs), events)) in
+        out.results.into_iter().zip(out.events).enumerate()
+    {
+        let skew = out.skews_ns[rank];
+        let mut records = tracer.into_records();
+        let mpi_records: Vec<Record> = events
+            .iter()
+            .map(|e| {
+                let func = match e.kind {
+                    mpisim::EventKind::Barrier { epoch } => Func::MpiBarrier { epoch },
+                    mpisim::EventKind::Send { dst, tag, seq } => Func::MpiSend { dst, tag, seq },
+                    mpisim::EventKind::Recv { src, tag, seq } => Func::MpiRecv { src, tag, seq },
+                };
+                Record {
+                    t_start: apply_skew(e.t_start, skew),
+                    t_end: apply_skew(e.t_end, skew),
+                    rank: rank as u32,
+                    layer: Layer::Mpi,
+                    origin: Layer::Mpi,
+                    func,
+                }
+            })
+            .collect();
+        records = merge_by_time(records, mpi_records);
+        let mut t = RankTracer::new(rank as u32, SharedInterner::clone(&interner));
+        for r in records {
+            t.record(r.t_start, r.t_end, r.layer, r.origin, r.func);
+        }
+        tracers.push(t);
+        observations.push(obs);
+    }
+    let trace = TraceSet::assemble(interner, tracers, out.skews_ns);
+    RunOutcome { trace, pfs, observations, final_time_ns: out.final_time_ns }
+}
+
+fn apply_skew(t: u64, skew: i64) -> u64 {
+    if skew >= 0 {
+        t.saturating_add(skew as u64)
+    } else {
+        t.saturating_sub(skew.unsigned_abs())
+    }
+}
+
+fn merge_by_time(a: Vec<Record>, b: Vec<Record>) -> Vec<Record> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x.t_start <= y.t_start {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(ia.next().expect("peeked")),
+            (None, Some(_)) => out.push(ib.next().expect("peeked")),
+            (None, None) => return out,
+        }
+    }
+}
+
+/// The per-rank application context: communication + traced POSIX I/O.
+pub struct AppCtx {
+    rank: Rank,
+    client: pfssim::PfsClient,
+    tracer: RankTracer,
+    pfs_cfg: PfsConfig,
+    origin: Layer,
+    next_lib_id: u32,
+}
+
+impl AppCtx {
+    fn new(rank: Rank, client: pfssim::PfsClient, tracer: RankTracer, pfs_cfg: PfsConfig) -> Self {
+        AppCtx { rank, client, tracer, pfs_cfg, origin: Layer::App, next_lib_id: 1 }
+    }
+
+    fn into_parts(mut self) -> (RankTracer, Vec<Observation>) {
+        let obs = self.client.take_observations();
+        (self.tracer, obs)
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank.rank()
+    }
+
+    pub fn nranks(&self) -> u32 {
+        self.rank.nranks()
+    }
+
+    pub fn semantics(&self) -> SemanticsModel {
+        self.pfs_cfg.semantics
+    }
+
+    /// Allocate an id for a library-level handle (MPI-IO fh, HDF5 id, …).
+    pub fn alloc_lib_id(&mut self) -> u32 {
+        let id = self.next_lib_id;
+        self.next_lib_id += 1;
+        id
+    }
+
+    /// Run `f` with POSIX records attributed to `origin` (the I/O library
+    /// issuing them).
+    pub fn with_origin<R>(&mut self, origin: Layer, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.origin;
+        self.origin = origin;
+        let r = f(self);
+        self.origin = prev;
+        r
+    }
+
+    /// Emit a record at a layer above POSIX (the library-level call itself).
+    pub fn record_lib(&mut self, layer: Layer, t_start: u64, t_end: u64, func: Func) {
+        let (s, e) = (self.rank.local_clock(t_start), self.rank.local_clock(t_end));
+        self.tracer.record(s, e, layer, layer, func);
+    }
+
+    /// Current true simulated time (costs nothing).
+    pub fn now(&self) -> u64 {
+        self.rank.now()
+    }
+
+    /// Intern a path/name for trace records.
+    pub fn intern(&self, s: &str) -> recorder::PathId {
+        self.tracer.intern(s)
+    }
+
+    // ------------------------------------------------------------------
+    // Communication (delegated to mpisim; events merged into the trace by
+    // the harness)
+    // ------------------------------------------------------------------
+
+    pub fn barrier(&mut self) {
+        self.rank.barrier();
+    }
+
+    pub fn send(&mut self, dst: u32, tag: u32, payload: Vec<u8>) {
+        self.rank.send(dst, tag, payload);
+    }
+
+    pub fn recv(&mut self, src: u32, tag: u32) -> Vec<u8> {
+        self.rank.recv(src, tag).0
+    }
+
+    pub fn bcast(&mut self, root: u32, data: &[u8]) -> Vec<u8> {
+        self.rank.bcast(root, data)
+    }
+
+    pub fn gather(&mut self, root: u32, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+        self.rank.gather(root, mine)
+    }
+
+    pub fn allgather(&mut self, mine: &[u8]) -> Vec<Vec<u8>> {
+        self.rank.allgather(mine)
+    }
+
+    pub fn allreduce_sum_u64(&mut self, v: u64) -> u64 {
+        self.rank.allreduce_sum_u64(v)
+    }
+
+    pub fn allreduce_max_u64(&mut self, v: u64) -> u64 {
+        self.rank.allreduce_max_u64(v)
+    }
+
+    pub fn exscan_sum_u64(&mut self, v: u64) -> u64 {
+        self.rank.exscan_sum_u64(v)
+    }
+
+    pub fn compute(&mut self, ns: u64) {
+        self.rank.compute(ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Traced POSIX layer
+    // ------------------------------------------------------------------
+
+    fn posix_op<R>(
+        &mut self,
+        class: OpClass,
+        bytes: u64,
+        f: impl FnOnce(&mut pfssim::PfsClient, u64) -> FsResult<R>,
+    ) -> FsResult<(u64, u64, R)> {
+        let client = &mut self.client;
+        let (t0, t1, res) = self.rank.timed_op(class, bytes, |now| f(client, now));
+        res.map(|r| (t0, t1, r))
+    }
+
+    fn rec_posix(&mut self, t0: u64, t1: u64, func: Func) {
+        let (s, e) = (self.rank.local_clock(t0), self.rank.local_clock(t1));
+        self.tracer.record(s, e, Layer::Posix, self.origin, func);
+    }
+
+    /// Locks a strong-consistency PFS would take for a data op of `len`
+    /// bytes; modelled as extra latency before the op.
+    fn lock_latency(&mut self, len: u64) {
+        if self.pfs_cfg.semantics == SemanticsModel::Strong && len > 0 {
+            let locks = len.div_ceil(self.pfs_cfg.lock_granularity);
+            for _ in 0..locks.min(4) {
+                // Cap the modelled round trips; the lock *count* statistics
+                // live in pfssim and are exact.
+                self.rank.timed_op(OpClass::FsLock, 0, |_| {});
+            }
+        }
+    }
+
+    pub fn open(&mut self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        let pid = self.intern(path);
+        let (t0, t1, fd) = self.posix_op(OpClass::FsOpen, 0, |c, now| c.open(path, flags, now))?;
+        self.rec_posix(t0, t1, Func::Open { path: pid, flags: flags.to_bits(), fd });
+        Ok(fd)
+    }
+
+    pub fn close(&mut self, fd: Fd) -> FsResult<()> {
+        let (t0, t1, ()) = self.posix_op(OpClass::FsClose, 0, |c, now| c.close(fd, now))?;
+        self.rec_posix(t0, t1, Func::Close { fd });
+        Ok(())
+    }
+
+    pub fn write(&mut self, fd: Fd, data: &[u8]) -> FsResult<WriteOut> {
+        self.lock_latency(data.len() as u64);
+        let (t0, t1, out) =
+            self.posix_op(OpClass::FsWrite, data.len() as u64, |c, now| c.write(fd, data, now))?;
+        self.rec_posix(t0, t1, Func::Write { fd, count: data.len() as u64 });
+        Ok(out)
+    }
+
+    pub fn pwrite(&mut self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<WriteOut> {
+        self.lock_latency(data.len() as u64);
+        let (t0, t1, out) = self.posix_op(OpClass::FsWrite, data.len() as u64, |c, now| {
+            c.pwrite(fd, offset, data, now)
+        })?;
+        self.rec_posix(t0, t1, Func::Pwrite { fd, offset, count: data.len() as u64 });
+        Ok(out)
+    }
+
+    pub fn read(&mut self, fd: Fd, len: u64) -> FsResult<ReadOut> {
+        self.lock_latency(len);
+        let (t0, t1, out) = self.posix_op(OpClass::FsRead, len, |c, now| c.read(fd, len, now))?;
+        self.rec_posix(t0, t1, Func::Read { fd, count: len, ret: out.data.len() as u64 });
+        Ok(out)
+    }
+
+    pub fn pread(&mut self, fd: Fd, offset: u64, len: u64) -> FsResult<ReadOut> {
+        self.lock_latency(len);
+        let (t0, t1, out) =
+            self.posix_op(OpClass::FsRead, len, |c, now| c.pread(fd, offset, len, now))?;
+        self.rec_posix(
+            t0,
+            t1,
+            Func::Pread { fd, offset, count: len, ret: out.data.len() as u64 },
+        );
+        Ok(out)
+    }
+
+    pub fn lseek(&mut self, fd: Fd, offset: i64, whence: Whence) -> FsResult<u64> {
+        let (t0, t1, ret) =
+            self.posix_op(OpClass::FsSeek, 0, |c, now| c.lseek(fd, offset, whence, now))?;
+        let w = match whence {
+            Whence::Set => SeekWhence::Set,
+            Whence::Cur => SeekWhence::Cur,
+            Whence::End => SeekWhence::End,
+        };
+        self.rec_posix(t0, t1, Func::Lseek { fd, offset, whence: w, ret });
+        Ok(ret)
+    }
+
+    pub fn fsync(&mut self, fd: Fd) -> FsResult<()> {
+        let (t0, t1, ()) = self.posix_op(OpClass::FsSync, 0, |c, now| c.fsync(fd, now))?;
+        self.rec_posix(t0, t1, Func::Fsync { fd });
+        Ok(())
+    }
+
+    pub fn fdatasync(&mut self, fd: Fd) -> FsResult<()> {
+        let (t0, t1, ()) = self.posix_op(OpClass::FsSync, 0, |c, now| c.fdatasync(fd, now))?;
+        self.rec_posix(t0, t1, Func::Fdatasync { fd });
+        Ok(())
+    }
+
+    pub fn ftruncate(&mut self, fd: Fd, len: u64) -> FsResult<()> {
+        let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.ftruncate(fd, len, now))?;
+        self.rec_posix(t0, t1, Func::Ftruncate { fd, len });
+        Ok(())
+    }
+
+    pub fn mmap(&mut self, fd: Fd, offset: u64, len: u64) -> FsResult<ReadOut> {
+        let (t0, t1, out) =
+            self.posix_op(OpClass::FsRead, len, |c, now| c.mmap(fd, offset, len, now))?;
+        self.rec_posix(t0, t1, Func::Mmap { fd, offset, count: out.data.len() as u64 });
+        Ok(out)
+    }
+
+    pub fn msync(&mut self, fd: Fd) -> FsResult<()> {
+        let (t0, t1, ()) = self.posix_op(OpClass::FsSync, 0, |c, now| c.msync(fd, now))?;
+        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Msync, fd });
+        Ok(())
+    }
+
+    /// `stat(2)`. Recorded even when it fails (a tracer sees failed probes
+    /// of not-yet-existing files too).
+    pub fn stat(&mut self, path: &str) -> FsResult<StatInfo> {
+        let pid = self.intern(path);
+        let client = &mut self.client;
+        let (t0, t1, res) = self.rank.timed_op(OpClass::FsMeta, 0, |now| client.stat(path, now));
+        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Stat, path: pid });
+        res
+    }
+
+    /// `lstat(2)`. Recorded even when it fails.
+    pub fn lstat(&mut self, path: &str) -> FsResult<StatInfo> {
+        let pid = self.intern(path);
+        let client = &mut self.client;
+        let (t0, t1, res) = self.rank.timed_op(OpClass::FsMeta, 0, |now| client.lstat(path, now));
+        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Lstat, path: pid });
+        res
+    }
+
+    pub fn fstat(&mut self, fd: Fd) -> FsResult<StatInfo> {
+        let (t0, t1, info) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.fstat(fd, now))?;
+        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Fstat, fd });
+        Ok(info)
+    }
+
+    pub fn access(&mut self, path: &str) -> FsResult<bool> {
+        let pid = self.intern(path);
+        let (t0, t1, ok) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.access(path, now))?;
+        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Access, path: pid });
+        Ok(ok)
+    }
+
+    pub fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        let pid = self.intern(path);
+        let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.mkdir(path, now))?;
+        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Mkdir, path: pid });
+        Ok(())
+    }
+
+    /// `mkdir` that tolerates the directory already existing (the common
+    /// "ensure output dir" idiom; every rank calls it).
+    pub fn mkdir_p(&mut self, path: &str) -> FsResult<()> {
+        match self.mkdir(path) {
+            Err(pfssim::FsError::AlreadyExists { .. }) | Ok(()) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    pub fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        let pid = self.intern(path);
+        let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.rmdir(path, now))?;
+        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Rmdir, path: pid });
+        Ok(())
+    }
+
+    pub fn unlink(&mut self, path: &str) -> FsResult<()> {
+        let pid = self.intern(path);
+        let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.unlink(path, now))?;
+        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Unlink, path: pid });
+        Ok(())
+    }
+
+    pub fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        let p1 = self.intern(from);
+        let p2 = self.intern(to);
+        let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.rename(from, to, now))?;
+        self.rec_posix(t0, t1, Func::MetaPath2 { op: MetaKind::Rename, path: p1, path2: p2 });
+        Ok(())
+    }
+
+    pub fn getcwd(&mut self) -> FsResult<String> {
+        let (t0, t1, cwd) = self.posix_op(OpClass::FsMeta, 0, |c, now| Ok(c.getcwd(now)))?;
+        self.rec_posix(t0, t1, Func::MetaPlain { op: MetaKind::Getcwd });
+        Ok(cwd)
+    }
+
+    pub fn chdir(&mut self, path: &str) -> FsResult<()> {
+        let pid = self.intern(path);
+        let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.chdir(path, now))?;
+        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Chdir, path: pid });
+        Ok(())
+    }
+
+    pub fn readdir(&mut self, path: &str) -> FsResult<Vec<pfssim::DirEntry>> {
+        let pid = self.intern(path);
+        let (t0, t1, entries) =
+            self.posix_op(OpClass::FsMeta, 0, |c, now| c.readdir(path, now))?;
+        // One opendir, one readdir per entry, one closedir — matching how a
+        // real tracer would see the loop.
+        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Opendir, path: pid });
+        for _ in &entries {
+            self.rec_posix(t1, t1, Func::MetaPath { op: MetaKind::Readdir, path: pid });
+        }
+        self.rec_posix(t1, t1, Func::MetaPath { op: MetaKind::Closedir, path: pid });
+        Ok(entries)
+    }
+
+    pub fn dup(&mut self, fd: Fd) -> FsResult<Fd> {
+        let (t0, t1, nfd) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.dup(fd, now))?;
+        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Dup, fd });
+        Ok(nfd)
+    }
+
+    pub fn fcntl(&mut self, fd: Fd) -> FsResult<()> {
+        let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.fcntl(fd, now))?;
+        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Fcntl, fd });
+        Ok(())
+    }
+
+    pub fn umask(&mut self, mask: u32) {
+        let client = &mut self.client;
+        let (t0, t1, ()) =
+            self.rank.timed_op(OpClass::FsMeta, 0, |now| client.umask(mask, now));
+        self.rec_posix(t0, t1, Func::MetaPlain { op: MetaKind::Umask });
+    }
+
+    pub fn fileno(&mut self, fd: Fd) -> FsResult<Fd> {
+        let (t0, t1, r) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.fileno(fd, now))?;
+        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Fileno, fd });
+        Ok(r)
+    }
+
+    /// Emit a behaviour-less counted metadata op by path (chmod, utime, …).
+    pub fn meta_path(&mut self, op: MetaKind, path: &str) {
+        let pid = self.intern(path);
+        let client = &mut self.client;
+        let (t0, t1, ()) = self.rank.timed_op(OpClass::FsMeta, 0, |_now| {
+            if let Some(m) = meta_kind_to_pfs(op) {
+                client.count_meta(m);
+            }
+        });
+        self.rec_posix(t0, t1, Func::MetaPath { op, path: pid });
+    }
+}
+
+/// Map the trace-side metadata vocabulary onto the simulator's counters.
+fn meta_kind_to_pfs(op: MetaKind) -> Option<MetaOp> {
+    MetaOp::ALL.iter().copied().find(|m| m.name() == op.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_vocabularies_agree() {
+        // Every trace-side MetaKind has a pfssim counter with the same name.
+        for &k in MetaKind::ALL {
+            assert!(meta_kind_to_pfs(k).is_some(), "no pfssim MetaOp for {}", k.name());
+        }
+        assert_eq!(MetaKind::ALL.len(), MetaOp::ALL.len());
+    }
+}

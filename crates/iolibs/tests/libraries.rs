@@ -1,0 +1,142 @@
+//! Direct tests of the individual I/O-library models (the application
+//! suite exercises them end-to-end; these pin down each model's own
+//! contract).
+
+use iolibs::{run_app, AppCtx, NcFile, RunConfig, SiloFile, SiloOpts};
+use recorder::{adjust, offset, AccessKind, Func, Layer};
+
+#[test]
+fn netcdf_file_layout_and_sync() {
+    let out = run_app(&RunConfig::new(1, 3), |ctx: &mut AppCtx| {
+        let mut nc = NcFile::create(ctx, "/t.nc").unwrap();
+        nc.put_record(ctx, &[1u8; 3000]).unwrap();
+        nc.put_record(ctx, &[2u8; 3000]).unwrap();
+        nc.sync(ctx).unwrap();
+        nc.close(ctx).unwrap();
+    });
+    // Header, then records appended back to back.
+    let img = out.pfs.published_image("/t.nc").unwrap();
+    assert_eq!(img.size(), iolibs::netcdf::NC_HEADER + 6000);
+    assert_eq!(img.read(iolibs::netcdf::NC_HEADER, 1), vec![1]);
+    assert_eq!(img.read(iolibs::netcdf::NC_HEADER + 3000, 1), vec![2]);
+    // Record data is streamed in ≤2 KiB pieces; numrecs rewritten per record.
+    let resolved = offset::resolve(&adjust::apply(&out.trace));
+    let data_writes = resolved
+        .accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Write && a.len > 4)
+        .count();
+    assert!(data_writes >= 4, "records stream in pieces");
+    // nc_sync emitted a commit.
+    assert!(resolved.syncs.iter().any(|s| s.kind == recorder::SyncKind::Commit));
+    // Library-level records present.
+    assert!(out
+        .trace
+        .rank_records(0)
+        .iter()
+        .any(|r| r.layer == Layer::NetCdf && matches!(r.func, Func::LibCall { .. })));
+}
+
+#[test]
+fn silo_group_assignment_covers_all_ranks() {
+    // 10 ranks into 3 files: groups of 4/4/2; every rank writes exactly
+    // one block, every file gets a TOC.
+    let out = run_app(&RunConfig::new(10, 7), |ctx: &mut AppCtx| {
+        SiloFile::dump(ctx, "/d", 0, SiloOpts { n_files: 3, block_bytes: 1024 }).unwrap();
+    });
+    let files = out.pfs.list_files();
+    assert_eq!(files.len(), 3);
+    for (idx, f) in files.iter().enumerate() {
+        let img = out.pfs.published_image(f).unwrap();
+        assert!(img.size() > iolibs::silo::SILO_TOC, "{f} has data");
+        // Group sizes: ceil(10/3)=4 → files 0,1 hold 4 blocks, file 2 holds 2.
+        let group = if idx < 2 { 4 } else { 2 };
+        assert_eq!(
+            img.size(),
+            iolibs::silo::SILO_TOC + group as u64 * 1024,
+            "{f} block count"
+        );
+    }
+}
+
+#[test]
+fn silo_writers_hold_the_file_exclusively() {
+    // Within a group, open/close intervals never interleave (the PMPIO
+    // baton): verified through the sync events.
+    let out = run_app(&RunConfig::new(8, 9), |ctx: &mut AppCtx| {
+        SiloFile::dump(ctx, "/d", 0, SiloOpts { n_files: 2, block_bytes: 512 }).unwrap();
+    });
+    let resolved = offset::resolve(&adjust::apply(&out.trace));
+    let mut open_depth: std::collections::HashMap<recorder::PathId, i32> = Default::default();
+    for s in &resolved.syncs {
+        let d = open_depth.entry(s.file).or_insert(0);
+        match s.kind {
+            recorder::SyncKind::Open => {
+                *d += 1;
+                assert!(*d <= 1, "two writers held a Silo file simultaneously");
+            }
+            recorder::SyncKind::Close => *d -= 1,
+            recorder::SyncKind::Commit => {}
+        }
+    }
+}
+
+#[test]
+fn adios_step_count_reflected_in_index() {
+    let out = run_app(&RunConfig::new(4, 11), |ctx: &mut AppCtx| {
+        let mut w = iolibs::AdiosWriter::open(ctx, "/o.bp", 2).unwrap();
+        for _ in 0..5 {
+            w.write_step(ctx, &[9u8; 100]).unwrap();
+        }
+        w.close(ctx).unwrap();
+    });
+    let idx = out.pfs.published_image("/o.bp/md.idx").unwrap();
+    assert_eq!(
+        idx.size(),
+        iolibs::adios::IDX_HEADER + 5 * iolibs::adios::IDX_ENTRY,
+        "one index entry per step"
+    );
+    // The status byte carries the last step number.
+    assert_eq!(idx.read(iolibs::adios::IDX_STATUS_OFF, 1), vec![4]);
+    // Subfiles hold each group's concatenated payloads.
+    let d0 = out.pfs.published_image("/o.bp/data.0").unwrap();
+    assert_eq!(d0.size(), 5 * 2 * 100, "2 ranks × 100 B × 5 steps");
+}
+
+#[test]
+fn hdf5_dataset_offsets_are_deterministic_and_disjoint() {
+    let out = run_app(&RunConfig::new(1, 13), |ctx: &mut AppCtx| {
+        let mut f = iolibs::H5File::create(ctx, "/x.h5", iolibs::H5Opts::serial()).unwrap();
+        let d1 = f.create_dataset(ctx, "a", 1000).unwrap();
+        let d2 = f.create_dataset(ctx, "b", 1000).unwrap();
+        assert!(d1.data_off >= iolibs::hdf5::ALLOC_BASE);
+        assert!(d2.data_off >= d1.data_off + 1000, "allocations must not overlap");
+        f.write(ctx, &d1, 0, &[1u8; 1000]).unwrap();
+        f.write(ctx, &d2, 0, &[2u8; 1000]).unwrap();
+        f.close(ctx).unwrap();
+    });
+    let img = out.pfs.published_image("/x.h5").unwrap();
+    assert_eq!(img.read(iolibs::hdf5::ALLOC_BASE + iolibs::hdf5::OBJ_HEADER, 1), vec![1]);
+}
+
+#[test]
+fn mpiio_collective_with_partial_participation() {
+    // Half the ranks contribute empty hyperslabs; the data still lands
+    // exactly where the contributors put it.
+    let out = run_app(&RunConfig::new(8, 17), |ctx: &mut AppCtx| {
+        let mf = iolibs::MpiFile::open(ctx, "/p", true, iolibs::MpiIoHints { cb_nodes: 2 })
+            .unwrap();
+        let (off, data) = if ctx.rank() % 2 == 0 {
+            (ctx.rank() as u64 / 2 * 1000, vec![ctx.rank() as u8 + 1; 1000])
+        } else {
+            (0, Vec::new())
+        };
+        mf.write_at_all(ctx, off, &data).unwrap();
+        mf.close(ctx).unwrap();
+    });
+    let img = out.pfs.published_image("/p").unwrap();
+    assert_eq!(img.size(), 4000);
+    for k in 0..4u64 {
+        assert_eq!(img.read(k * 1000, 1), vec![(k * 2) as u8 + 1]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Communication primitives: barrier, point-to-point, and collectives.
+//!
+//! All collectives are built from buffered sends and blocking receives on a
+//! reserved tag, so every collective leaves point-to-point happens-before
+//! edges in the event log — the same edges §5.2 of the paper reconstructs
+//! ("we matched sends to receives and collective function invocations").
+
+use crate::clock::OpClass;
+use crate::event::{EventKind, MpiEvent};
+use crate::sched::BlockReason;
+use crate::world::Rank;
+
+/// Tag reserved for collective traffic. User tags must stay below this.
+pub const COLLECTIVE_TAG: u32 = u32::MAX;
+
+/// What a barrier participation looked like, in true simulated time.
+/// Every participant of one epoch observes the same `t_exit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierInfo {
+    pub epoch: u64,
+    pub t_enter: u64,
+    pub t_exit: u64,
+}
+
+/// Completion record of a send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendInfo {
+    pub seq: u64,
+    pub t_start: u64,
+    pub t_end: u64,
+}
+
+/// Completion record of a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvInfo {
+    pub src: u32,
+    pub tag: u32,
+    pub seq: u64,
+    pub t_start: u64,
+    pub t_end: u64,
+}
+
+impl Rank {
+    /// Block until every rank has entered the barrier. All participants of
+    /// one epoch observe the same exit time: a barrier starts at every rank
+    /// before it completes at any rank.
+    pub fn barrier(&self) -> BarrierInfo {
+        let me = self.rank as usize;
+        let mut st = self.turn_begin();
+        let t_enter = st.clock_ns;
+        let epoch = st.barrier_epoch;
+        st.clock_ns += self.shared().cost.barrier_ns;
+        st.barrier_count += 1;
+        if st.barrier_count == self.nranks() {
+            // Last arrival: release everyone.
+            st.barrier_count = 0;
+            st.barrier_epoch += 1;
+            let t_exit = st.clock_ns;
+            debug_assert_eq!(st.barrier_release.len() as u64, epoch);
+            st.barrier_release.push(t_exit);
+            for r in 0..self.nranks() as usize {
+                if st.status[r] == crate::sched::RankStatus::Blocked(BlockReason::Barrier { epoch })
+                {
+                    st.status[r] = crate::sched::RankStatus::Computing;
+                }
+            }
+            st.events[me].push(MpiEvent {
+                rank: self.rank,
+                t_start: t_enter,
+                t_end: t_exit,
+                kind: EventKind::Barrier { epoch },
+            });
+            self.turn_end(st);
+            BarrierInfo { epoch, t_enter, t_exit }
+        } else {
+            let mut st = self.park(st, BlockReason::Barrier { epoch });
+            let t_exit = st.barrier_release[epoch as usize];
+            st.events[me].push(MpiEvent {
+                rank: self.rank,
+                t_start: t_enter,
+                t_end: t_exit,
+                kind: EventKind::Barrier { epoch },
+            });
+            drop(st);
+            BarrierInfo { epoch, t_enter, t_exit }
+        }
+    }
+
+    /// Post a buffered message; completes locally without waiting for the
+    /// matching receive (standard-mode send with eager buffering).
+    pub fn send(&self, dst: u32, tag: u32, payload: Vec<u8>) -> SendInfo {
+        assert!(dst < self.nranks(), "send to invalid rank {dst}");
+        let me = self.rank as usize;
+        let len = payload.len() as u64;
+        let mut st = self.turn_begin();
+        let t_start = st.clock_ns;
+        st.clock_ns += self.shared().cost.cost(OpClass::Send, len);
+        let t_end = st.clock_ns;
+        let seq = st.put_msg(self.rank, dst, tag, payload);
+        st.events[me].push(MpiEvent {
+            rank: self.rank,
+            t_start,
+            t_end,
+            kind: EventKind::Send { dst, tag, seq },
+        });
+        self.turn_end(st);
+        SendInfo { seq, t_start, t_end }
+    }
+
+    /// Block until a message from `src` with `tag` is available, then
+    /// consume it. Matching is FIFO per `(src, dst, tag)` channel, like MPI's
+    /// non-overtaking rule.
+    pub fn recv(&self, src: u32, tag: u32) -> (Vec<u8>, RecvInfo) {
+        assert!(src < self.nranks(), "recv from invalid rank {src}");
+        let me = self.rank as usize;
+        loop {
+            let mut st = self.turn_begin();
+            let t_start = st.clock_ns;
+            if let Some(msg) = st.take_msg(src, self.rank, tag) {
+                let len = msg.payload.len() as u64;
+                st.clock_ns += self.shared().cost.cost(OpClass::Recv, len);
+                let t_end = st.clock_ns;
+                st.events[me].push(MpiEvent {
+                    rank: self.rank,
+                    t_start,
+                    t_end,
+                    kind: EventKind::Recv { src, tag, seq: msg.seq },
+                });
+                self.turn_end(st);
+                return (
+                    msg.payload,
+                    RecvInfo { src, tag, seq: msg.seq, t_start, t_end },
+                );
+            }
+            let st = self.park(st, BlockReason::Recv);
+            drop(st); // woken by a send: loop and re-check the mailbox
+        }
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns the payload on
+    /// all ranks.
+    pub fn bcast(&self, root: u32, data: &[u8]) -> Vec<u8> {
+        if self.rank == root {
+            for dst in 0..self.nranks() {
+                if dst != root {
+                    self.send(dst, COLLECTIVE_TAG, data.to_vec());
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root, COLLECTIVE_TAG).0
+        }
+    }
+
+    /// Gather each rank's buffer at `root`. Returns `Some(buffers)` indexed
+    /// by rank at the root, `None` elsewhere.
+    pub fn gather(&self, root: u32, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.nranks() as usize];
+            out[root as usize] = mine.to_vec();
+            for src in 0..self.nranks() {
+                if src != root {
+                    out[src as usize] = self.recv(src, COLLECTIVE_TAG).0;
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, COLLECTIVE_TAG, mine.to_vec());
+            None
+        }
+    }
+
+    /// Gather everyone's buffer on every rank (gather at 0, then one framed
+    /// broadcast — Θ(n) messages, not Θ(n²)).
+    pub fn allgather(&self, mine: &[u8]) -> Vec<Vec<u8>> {
+        let gathered = self.gather(0, mine);
+        if self.rank == 0 {
+            let parts = gathered.expect("root gather");
+            let framed = frame(&parts);
+            self.bcast(0, &framed);
+            parts
+        } else {
+            let framed = self.bcast(0, &[]);
+            unframe(&framed)
+        }
+    }
+
+    /// Sum-reduce a `u64` across all ranks; result on every rank.
+    pub fn allreduce_sum_u64(&self, mine: u64) -> u64 {
+        let parts = self.allgather(&mine.to_le_bytes());
+        parts
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
+            .sum()
+    }
+
+    /// Max-reduce a `u64` across all ranks; result on every rank.
+    pub fn allreduce_max_u64(&self, mine: u64) -> u64 {
+        let parts = self.allgather(&mine.to_le_bytes());
+        parts
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Exclusive prefix sum: rank r receives the sum over ranks < r.
+    pub fn exscan_sum_u64(&self, mine: u64) -> u64 {
+        let parts = self.allgather(&mine.to_le_bytes());
+        parts[..self.rank as usize]
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
+            .sum()
+    }
+
+    /// Scatter: rank `root`'s `parts[d]` is delivered to rank `d`.
+    pub fn scatter(&self, root: u32, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
+        if self.rank == root {
+            let parts = parts.expect("root must supply the parts");
+            assert_eq!(parts.len(), self.nranks() as usize);
+            for (dst, buf) in parts.iter().enumerate() {
+                if dst as u32 != root {
+                    self.send(dst as u32, COLLECTIVE_TAG, buf.clone());
+                }
+            }
+            parts[root as usize].clone()
+        } else {
+            self.recv(root, COLLECTIVE_TAG).0
+        }
+    }
+
+    /// Sum-reduce a `u64` to `root` only (cheaper than the all-variant:
+    /// Θ(n) messages, no broadcast leg).
+    pub fn reduce_sum_u64(&self, root: u32, mine: u64) -> Option<u64> {
+        self.gather(root, &mine.to_le_bytes()).map(|parts| {
+            parts
+                .iter()
+                .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
+                .sum()
+        })
+    }
+
+    /// Combined send+receive with one partner each way (`MPI_Sendrecv`):
+    /// posts the send first (buffered), then blocks on the receive, so
+    /// symmetric exchanges cannot deadlock.
+    pub fn sendrecv(
+        &self,
+        dst: u32,
+        send_tag: u32,
+        payload: Vec<u8>,
+        src: u32,
+        recv_tag: u32,
+    ) -> Vec<u8> {
+        self.send(dst, send_tag, payload);
+        self.recv(src, recv_tag).0
+    }
+
+    /// Personalized all-to-all: `outgoing[d]` goes to rank `d`; returns the
+    /// buffers received, indexed by source. Θ(n²) messages — fine at the 64
+    /// ranks the paper focuses on; the MPI-IO layer uses targeted sends to
+    /// aggregators instead at scale.
+    pub fn alltoallv(&self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(outgoing.len(), self.nranks() as usize);
+        let mut incoming = vec![Vec::new(); self.nranks() as usize];
+        for (dst, buf) in outgoing.into_iter().enumerate() {
+            if dst as u32 == self.rank {
+                incoming[dst] = buf;
+            } else {
+                self.send(dst as u32, COLLECTIVE_TAG, buf);
+            }
+        }
+        for src in 0..self.nranks() {
+            if src != self.rank {
+                incoming[src as usize] = self.recv(src, COLLECTIVE_TAG).0;
+            }
+        }
+        incoming
+    }
+
+    fn shared(&self) -> &crate::world::Shared {
+        &self.shared
+    }
+}
+
+/// Length-prefix framing for allgather's broadcast leg.
+fn frame(parts: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| 4 + p.len()).sum();
+    let mut out = Vec::with_capacity(4 + total);
+    out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+fn unframe(buf: &[u8]) -> Vec<Vec<u8>> {
+    let n = u32::from_le_bytes(buf[0..4].try_into().expect("frame count")) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 4;
+    for _ in 0..n {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("frame len")) as usize;
+        pos += 4;
+        out.push(buf[pos..pos + len].to_vec());
+        pos += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let parts = vec![vec![1u8, 2, 3], vec![], vec![9u8; 100]];
+        assert_eq!(unframe(&frame(&parts)), parts);
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for simulated-runtime misuse.
+
+use std::fmt;
+
+/// Errors raised by the simulated runtime. Most runtime misuse (deadlock,
+/// rank exiting while peers wait in a barrier) aborts the simulation with a
+/// panic carrying one of these, because the simulated program itself is
+/// buggy; `SimError` is the payload used in those panics and in the few
+/// recoverable APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Every live rank is blocked: the simulated program deadlocked.
+    Deadlock { blocked: Vec<u32> },
+    /// A rank index outside `0..nranks` was used.
+    InvalidRank { rank: u32, nranks: u32 },
+    /// A collective was invoked with inconsistent participation
+    /// (e.g. a rank finished while others sat in a barrier).
+    CollectiveMismatch { detail: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulated program deadlocked; blocked ranks: {blocked:?}")
+            }
+            SimError::InvalidRank { rank, nranks } => {
+                write!(f, "rank {rank} out of range (world size {nranks})")
+            }
+            SimError::CollectiveMismatch { detail } => {
+                write!(f, "collective participation mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,65 @@
+//! The happens-before event log.
+//!
+//! Every communication operation is recorded with enough identity to match
+//! its counterpart on the peer rank: a send and its receive share a global
+//! message sequence number, and every barrier participation carries the
+//! barrier epoch. §5.2 of the paper rebuilds the execution order imposed by
+//! communication from exactly this information ("we matched sends to receives
+//! and collective function invocations").
+
+/// What kind of communication event occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Entered and exited barrier `epoch`. A barrier starts at all ranks
+    /// before it completes at any rank, so `t_start` of every participant
+    /// happens-before `t_end` of every participant.
+    Barrier { epoch: u64 },
+    /// Posted message `seq` to `dst` with `tag`.
+    Send { dst: u32, tag: u32, seq: u64 },
+    /// Consumed message `seq` from `src` with `tag`. A send starts before its
+    /// matching receive completes.
+    Recv { src: u32, tag: u32, seq: u64 },
+}
+
+/// One communication event on one rank, in true (unskewed) simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpiEvent {
+    pub rank: u32,
+    pub t_start: u64,
+    pub t_end: u64,
+    pub kind: EventKind,
+}
+
+impl MpiEvent {
+    /// The matching key for pairing this event with its counterpart:
+    /// `Some(seq)` for point-to-point events, `None` for barriers.
+    pub fn message_seq(&self) -> Option<u64> {
+        match self.kind {
+            EventKind::Send { seq, .. } | EventKind::Recv { seq, .. } => Some(seq),
+            EventKind::Barrier { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_seq_only_for_p2p() {
+        let b = MpiEvent {
+            rank: 0,
+            t_start: 0,
+            t_end: 1,
+            kind: EventKind::Barrier { epoch: 3 },
+        };
+        assert_eq!(b.message_seq(), None);
+        let s = MpiEvent {
+            rank: 0,
+            t_start: 0,
+            t_end: 1,
+            kind: EventKind::Send { dst: 1, tag: 9, seq: 42 },
+        };
+        assert_eq!(s.message_seq(), Some(42));
+    }
+}

@@ -1,0 +1,182 @@
+//! The lockstep token scheduler and the shared simulator state.
+//!
+//! All mutable simulator state lives in one [`SimState`] behind a single
+//! mutex; a condvar coordinates rank threads. A rank performs a simulated
+//! operation by acquiring the *turn*:
+//!
+//! * it marks itself `Requesting` and waits until dispatched;
+//! * dispatch (deterministic mode) waits until **every** live rank is either
+//!   requesting, blocked, or finished — i.e. no rank is still computing —
+//!   then grants the turn to a seeded-RNG choice among the requesters;
+//! * the granted rank advances the simulated clock and mutates shared state
+//!   (mailboxes, barrier, the attached file system) while holding the lock,
+//!   then releases the turn.
+//!
+//! Because only the turn holder touches shared state, a `(seed, program)`
+//! pair fully determines the interleaving, the clock, and therefore every
+//! recorded trace — which is what makes the paper's experiments reproducible
+//! here. In [`SchedMode::Free`] dispatch grants the first requester without
+//! waiting for lockstep, trading determinism for speed.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::MpiEvent;
+
+/// Scheduling discipline for the simulated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Lockstep token protocol; the next rank to act is chosen by an RNG
+    /// seeded from the world seed. Identical seeds ⇒ identical traces.
+    Deterministic,
+    /// Grant whichever rank requests first. Faster, not reproducible.
+    Free,
+}
+
+/// Why a rank is parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockReason {
+    /// Waiting for a matching message.
+    Recv,
+    /// Waiting inside barrier `epoch`.
+    Barrier { epoch: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RankStatus {
+    /// Running application code between simulated operations.
+    Computing,
+    /// Waiting to be granted the turn.
+    Requesting,
+    /// Holds the turn.
+    Granted,
+    /// Parked inside a blocking primitive.
+    Blocked(BlockReason),
+    /// Returned from its program.
+    Finished,
+}
+
+/// A buffered point-to-point message.
+#[derive(Debug, Clone)]
+pub(crate) struct Msg {
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+/// The whole mutable world: scheduler bookkeeping, clock, mailboxes, barrier
+/// state, and the happens-before event log.
+pub(crate) struct SimState {
+    pub mode: SchedMode,
+    pub rng: StdRng,
+    pub status: Vec<RankStatus>,
+    pub deadlocked: bool,
+    /// Global simulated time, nanoseconds.
+    pub clock_ns: u64,
+    /// FIFO mailboxes keyed by (src, dst, tag).
+    pub mailboxes: HashMap<(u32, u32, u32), VecDeque<Msg>>,
+    pub next_msg_seq: u64,
+    /// Barrier: number of ranks arrived in the current epoch.
+    pub barrier_count: u32,
+    pub barrier_epoch: u64,
+    /// Release time of each completed barrier epoch, indexed by epoch.
+    pub barrier_release: Vec<u64>,
+    /// Per-rank happens-before event log.
+    pub events: Vec<Vec<MpiEvent>>,
+}
+
+impl SimState {
+    pub fn new(nranks: u32, seed: u64, mode: SchedMode, start_ns: u64) -> Self {
+        SimState {
+            mode,
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed),
+            status: vec![RankStatus::Computing; nranks as usize],
+            deadlocked: false,
+            clock_ns: start_ns,
+            mailboxes: HashMap::new(),
+            next_msg_seq: 0,
+            barrier_count: 0,
+            barrier_epoch: 0,
+            barrier_release: Vec::new(),
+            events: (0..nranks).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Grant the turn to some requesting rank if the dispatch rule allows it.
+    /// Must be called after every status change; callers then notify the
+    /// condvar.
+    pub fn try_dispatch(&mut self) {
+        if self.deadlocked || self.status.contains(&RankStatus::Granted) {
+            return;
+        }
+        if self.mode == SchedMode::Deterministic
+            && self.status.contains(&RankStatus::Computing)
+        {
+            // Lockstep: wait until every live rank has declared itself.
+            return;
+        }
+        let requesting: Vec<usize> = self
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == RankStatus::Requesting)
+            .map(|(i, _)| i)
+            .collect();
+        if requesting.is_empty() {
+            let all_parked = self
+                .status
+                .iter()
+                .all(|s| matches!(s, RankStatus::Blocked(_) | RankStatus::Finished));
+            let any_blocked = self
+                .status
+                .iter()
+                .any(|s| matches!(s, RankStatus::Blocked(_)));
+            if all_parked && any_blocked {
+                self.deadlocked = true;
+            }
+            return;
+        }
+        let pick = match self.mode {
+            SchedMode::Deterministic => requesting[self.rng.gen_range(0..requesting.len())],
+            SchedMode::Free => requesting[0],
+        };
+        self.status[pick] = RankStatus::Granted;
+    }
+
+    /// Pop the oldest message on channel (src → dst, tag), if any.
+    pub fn take_msg(&mut self, src: u32, dst: u32, tag: u32) -> Option<Msg> {
+        let q = self.mailboxes.get_mut(&(src, dst, tag))?;
+        let m = q.pop_front();
+        if q.is_empty() {
+            self.mailboxes.remove(&(src, dst, tag));
+        }
+        m
+    }
+
+    /// Buffer a message and wake the destination if it is parked in a
+    /// receive (it re-checks its mailbox when re-granted).
+    pub fn put_msg(&mut self, src: u32, dst: u32, tag: u32, payload: Vec<u8>) -> u64 {
+        let seq = self.next_msg_seq;
+        self.next_msg_seq += 1;
+        self.mailboxes
+            .entry((src, dst, tag))
+            .or_default()
+            .push_back(Msg { seq, payload });
+        if self.status[dst as usize] == RankStatus::Blocked(BlockReason::Recv) {
+            self.status[dst as usize] = RankStatus::Computing;
+        }
+        seq
+    }
+
+    /// Blocked ranks the deadlock error should name.
+    pub fn blocked_ranks(&self) -> Vec<u32> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, RankStatus::Blocked(_)))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}

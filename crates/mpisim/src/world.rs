@@ -1,0 +1,302 @@
+//! World construction, rank handles and the turn protocol.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::{apply_skew, CostModel, OpClass};
+use crate::error::SimError;
+use crate::event::MpiEvent;
+use crate::sched::{RankStatus, SchedMode, SimState};
+
+/// Configuration for a simulated world.
+#[derive(Debug, Clone)]
+pub struct WorldCfg {
+    /// Number of MPI ranks (threads).
+    pub nranks: u32,
+    /// Seed controlling both the deterministic scheduler and the per-rank
+    /// clock skew.
+    pub seed: u64,
+    /// Scheduling discipline.
+    pub mode: SchedMode,
+    /// Maximum absolute per-rank clock skew, nanoseconds. The paper measured
+    /// < 20 µs on Quartz; the default matches that bound.
+    pub max_skew_ns: u64,
+    /// Latency model.
+    pub cost: CostModel,
+    /// Initial simulated time. Jobs of a workflow chain their clocks by
+    /// starting each world where the previous one ended.
+    pub start_ns: u64,
+}
+
+impl WorldCfg {
+    /// A deterministic world of `nranks` ranks with the paper-calibrated
+    /// defaults.
+    pub fn new(nranks: u32, seed: u64) -> Self {
+        WorldCfg {
+            nranks,
+            seed,
+            mode: SchedMode::Deterministic,
+            max_skew_ns: 20_000, // 20 µs, the bound observed in §5.2
+            cost: CostModel::default(),
+            start_ns: 0,
+        }
+    }
+
+    pub fn free_running(mut self) -> Self {
+        self.mode = SchedMode::Free;
+        self
+    }
+
+    pub fn with_max_skew_ns(mut self, ns: u64) -> Self {
+        self.max_skew_ns = ns;
+        self
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+pub(crate) struct Shared {
+    pub state: Mutex<SimState>,
+    pub cv: Condvar,
+    pub nranks: u32,
+    pub cost: CostModel,
+    /// Immutable per-rank clock skew offsets (signed ns).
+    pub skews: Vec<i64>,
+}
+
+/// A handle to one simulated world. Create with [`World::new`], obtain one
+/// [`Rank`] per thread with [`World::rank`], or use [`World::run`] to drive
+/// a closure on every rank.
+pub struct World {
+    pub(crate) shared: Arc<Shared>,
+}
+
+/// Everything a world run produces besides the per-rank return values:
+/// the happens-before event log, the final simulated time, and the skew
+/// offsets that were applied to recorded timestamps.
+#[derive(Debug)]
+pub struct RunOutput<T> {
+    /// Per-rank return values of the rank closure, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank communication event logs (true, unskewed timestamps).
+    pub events: Vec<Vec<MpiEvent>>,
+    /// Simulated time at the end of the run.
+    pub final_time_ns: u64,
+    /// The per-rank skew that was applied to recorded timestamps.
+    pub skews_ns: Vec<i64>,
+}
+
+impl World {
+    pub fn new(cfg: &WorldCfg) -> Self {
+        assert!(cfg.nranks > 0, "world must have at least one rank");
+        let mut skew_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0c10_c0c1_0c0c_105e);
+        let skews = (0..cfg.nranks)
+            .map(|_| {
+                if cfg.max_skew_ns == 0 {
+                    0
+                } else {
+                    skew_rng.gen_range(-(cfg.max_skew_ns as i64)..=(cfg.max_skew_ns as i64))
+                }
+            })
+            .collect();
+        World {
+            shared: Arc::new(Shared {
+                state: Mutex::new(SimState::new(cfg.nranks, cfg.seed, cfg.mode, cfg.start_ns)),
+                cv: Condvar::new(),
+                nranks: cfg.nranks,
+                cost: cfg.cost.clone(),
+                skews,
+            }),
+        }
+    }
+
+    /// The rank handle for `rank`; each thread must use exactly one.
+    pub fn rank(&self, rank: u32) -> Rank {
+        assert!(
+            rank < self.shared.nranks,
+            "{}",
+            SimError::InvalidRank { rank, nranks: self.shared.nranks }
+        );
+        Rank { shared: Arc::clone(&self.shared), rank }
+    }
+
+    /// Spawn one thread per rank running `f`, wait for all of them, and
+    /// collect results plus the event log.
+    ///
+    /// # Panics
+    /// Panics (propagating from rank threads) if the simulated program
+    /// deadlocks or a rank panics.
+    pub fn run<T, F>(cfg: &WorldCfg, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(Rank) -> T + Sync,
+    {
+        let world = World::new(cfg);
+        let results: Vec<T> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.nranks)
+                .map(|r| {
+                    let rank = world.rank(r);
+                    let f = &f;
+                    s.spawn(move || {
+                        let out = f(rank.clone_handle());
+                        rank.finish();
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        });
+        let st = world.shared.state.lock();
+        RunOutput {
+            results,
+            events: st.events.clone(),
+            final_time_ns: st.clock_ns,
+            skews_ns: world.shared.skews.clone(),
+        }
+    }
+}
+
+/// One simulated MPI rank. Owned by the thread that plays that rank.
+/// Cloning yields another handle to the same rank (useful for layered
+/// wrappers); all handles of one rank must stay on that rank's thread.
+pub struct Rank {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) rank: u32,
+}
+
+impl Clone for Rank {
+    fn clone(&self) -> Self {
+        self.clone_handle()
+    }
+}
+
+impl Rank {
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn nranks(&self) -> u32 {
+        self.shared.nranks
+    }
+
+    /// The skew offset applied to this rank's recorded timestamps.
+    pub fn skew_ns(&self) -> i64 {
+        self.shared.skews[self.rank as usize]
+    }
+
+    /// Convert a true simulated timestamp into this rank's skewed local
+    /// clock reading — what the tracer records.
+    pub fn local_clock(&self, true_ns: u64) -> u64 {
+        apply_skew(true_ns, self.skew_ns())
+    }
+
+    /// Current true simulated time. Takes the world lock; mainly for tests
+    /// and reporting.
+    pub fn now(&self) -> u64 {
+        self.shared.state.lock().clock_ns
+    }
+
+    pub(crate) fn clone_handle(&self) -> Rank {
+        Rank { shared: Arc::clone(&self.shared), rank: self.rank }
+    }
+
+    /// Acquire the scheduler turn. Returns with the world lock held and
+    /// this rank's status set to `Granted`.
+    pub(crate) fn turn_begin(&self) -> MutexGuard<'_, SimState> {
+        let mut st = self.shared.state.lock();
+        let me = self.rank as usize;
+        st.status[me] = RankStatus::Requesting;
+        st.try_dispatch();
+        self.shared.cv.notify_all();
+        loop {
+            if st.deadlocked {
+                let blocked = st.blocked_ranks();
+                drop(st);
+                panic!("{}", SimError::Deadlock { blocked });
+            }
+            if st.status[me] == RankStatus::Granted {
+                return st;
+            }
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Release the turn acquired by [`Rank::turn_begin`].
+    pub(crate) fn turn_end(&self, mut st: MutexGuard<'_, SimState>) {
+        let me = self.rank as usize;
+        st.status[me] = RankStatus::Computing;
+        st.try_dispatch();
+        self.shared.cv.notify_all();
+    }
+
+    /// Park this rank with `reason` (caller holds the turn), and return when
+    /// some other rank wakes it. The returned guard holds the world lock;
+    /// the rank is back in `Computing` and must re-request the turn for its
+    /// next operation.
+    pub(crate) fn park<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, SimState>,
+        reason: crate::sched::BlockReason,
+    ) -> MutexGuard<'a, SimState> {
+        let me = self.rank as usize;
+        st.status[me] = RankStatus::Blocked(reason);
+        st.try_dispatch();
+        self.shared.cv.notify_all();
+        loop {
+            if st.deadlocked {
+                let blocked = st.blocked_ranks();
+                drop(st);
+                panic!("{}", SimError::Deadlock { blocked });
+            }
+            if !matches!(st.status[me], RankStatus::Blocked(_)) {
+                return st;
+            }
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Execute `f` while holding the turn, after advancing the simulated
+    /// clock by the cost of `(class, bytes)`. `f` receives the operation's
+    /// start time and runs with exclusive access to all shared simulation
+    /// state — this is the hook the file-system layer uses. Returns
+    /// `(t_start, t_end, f(t_start))` in true simulated time.
+    pub fn timed_op<R>(
+        &self,
+        class: OpClass,
+        bytes: u64,
+        f: impl FnOnce(u64) -> R,
+    ) -> (u64, u64, R) {
+        let mut st = self.turn_begin();
+        let t0 = st.clock_ns;
+        st.clock_ns += self.shared.cost.cost(class, bytes);
+        let t1 = st.clock_ns;
+        let r = f(t0);
+        self.turn_end(st);
+        (t0, t1, r)
+    }
+
+    /// Advance the clock by `ns` of pure computation.
+    pub fn compute(&self, ns: u64) {
+        let (_, _, ()) = self.timed_op(OpClass::Compute, ns, |_| {});
+    }
+
+    /// Mark this rank finished. Called automatically by [`World::run`].
+    pub fn finish(&self) {
+        let mut st = self.shared.state.lock();
+        st.status[self.rank as usize] = RankStatus::Finished;
+        st.try_dispatch();
+        self.shared.cv.notify_all();
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the simulated runtime: deterministic replay and
+//! deadlock-freedom over randomized (but well-formed) SPMD programs.
+
+use proptest::prelude::*;
+
+use mpisim::{World, WorldCfg};
+
+/// One step of a generated SPMD program. Every rank executes the same
+/// step sequence (SPMD), so collectives always match.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Compute(u16),
+    Barrier,
+    /// Ring exchange with the given tag: rank r sends to r+1 mod n.
+    Ring(u8),
+    /// Gather to the given root.
+    Gather(u8),
+    /// All-to-one then broadcast.
+    Allreduce,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u16..2000).prop_map(Step::Compute),
+        Just(Step::Barrier),
+        any::<u8>().prop_map(Step::Ring),
+        any::<u8>().prop_map(Step::Gather),
+        Just(Step::Allreduce),
+    ]
+}
+
+fn execute(nranks: u32, seed: u64, steps: &[Step]) -> mpisim::RunOutput<u64> {
+    World::run(&WorldCfg::new(nranks, seed), |r| {
+        let mut acc = 0u64;
+        for step in steps {
+            match *step {
+                Step::Compute(ns) => r.compute(ns as u64),
+                Step::Barrier => {
+                    r.barrier();
+                }
+                Step::Ring(tag) => {
+                    let n = r.nranks();
+                    let right = (r.rank() + 1) % n;
+                    let left = (r.rank() + n - 1) % n;
+                    let got = r.sendrecv(
+                        right,
+                        tag as u32,
+                        vec![r.rank() as u8],
+                        left,
+                        tag as u32,
+                    );
+                    acc += got[0] as u64;
+                }
+                Step::Gather(root) => {
+                    let root = root as u32 % r.nranks();
+                    if let Some(parts) = r.gather(root, &[r.rank() as u8]) {
+                        acc += parts.iter().map(|p| p[0] as u64).sum::<u64>();
+                    }
+                }
+                Step::Allreduce => {
+                    acc += r.allreduce_sum_u64(r.rank() as u64);
+                }
+            }
+        }
+        acc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any well-formed SPMD program completes (no deadlock) and replays
+    /// bit-identically under the same seed.
+    #[test]
+    fn deterministic_replay_of_random_programs(
+        steps in prop::collection::vec(step_strategy(), 1..12),
+        nranks in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let a = execute(nranks, seed, &steps);
+        let b = execute(nranks, seed, &steps);
+        prop_assert_eq!(&a.results, &b.results);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(a.final_time_ns, b.final_time_ns);
+    }
+
+    /// The computed values are interleaving-independent: a different seed
+    /// permutes the schedule but every deterministic reduction result is
+    /// unchanged.
+    #[test]
+    fn results_are_schedule_invariant(
+        steps in prop::collection::vec(step_strategy(), 1..10),
+        nranks in 2u32..5,
+    ) {
+        let a = execute(nranks, 1, &steps);
+        let b = execute(nranks, 2, &steps);
+        prop_assert_eq!(a.results, b.results);
+    }
+
+    /// Every send is eventually matched: the event log has equal numbers
+    /// of sends and receives with a bijection on sequence numbers.
+    #[test]
+    fn sends_and_receives_pair_up(
+        steps in prop::collection::vec(step_strategy(), 1..10),
+        nranks in 2u32..5,
+        seed in any::<u64>(),
+    ) {
+        let out = execute(nranks, seed, &steps);
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for e in out.events.iter().flatten() {
+            match e.kind {
+                mpisim::EventKind::Send { seq, .. } => sends.push(seq),
+                mpisim::EventKind::Recv { seq, .. } => recvs.push(seq),
+                mpisim::EventKind::Barrier { .. } => {}
+            }
+        }
+        sends.sort_unstable();
+        recvs.sort_unstable();
+        prop_assert_eq!(sends, recvs);
+    }
+}

@@ -1,0 +1,372 @@
+//! Integration tests for the simulated MPI runtime: determinism, barrier
+//! semantics, message matching, collectives, skew, and deadlock detection.
+
+use mpisim::{EventKind, Rank, RunOutput, SchedMode, World, WorldCfg};
+
+fn run<T: Send>(nranks: u32, seed: u64, f: impl Fn(Rank) -> T + Sync) -> RunOutput<T> {
+    World::run(&WorldCfg::new(nranks, seed), f)
+}
+
+#[test]
+fn single_rank_trivial_program() {
+    let out = run(1, 7, |r| {
+        r.compute(100);
+        r.rank()
+    });
+    assert_eq!(out.results, vec![0]);
+    assert!(out.final_time_ns >= 100);
+}
+
+#[test]
+fn barrier_all_ranks_same_exit_time() {
+    let out = run(8, 1, |r| {
+        r.compute(10 * (r.rank() as u64 + 1));
+        r.barrier()
+    });
+    let exit = out.results[0].t_exit;
+    for info in &out.results {
+        assert_eq!(info.t_exit, exit, "all participants share one exit time");
+        assert!(info.t_enter < exit, "barrier entered before it completes");
+        assert_eq!(info.epoch, 0);
+    }
+}
+
+#[test]
+fn barrier_no_rank_exits_before_all_enter() {
+    // Rank i enters the barrier only after computing i*1000 ns, so the last
+    // entry is at >= 7000; no exit may precede that.
+    let out = run(8, 3, |r| {
+        r.compute(1000 * r.rank() as u64 + 1);
+        r.barrier()
+    });
+    let max_enter = out.results.iter().map(|b| b.t_enter).max().unwrap();
+    for info in &out.results {
+        assert!(info.t_exit > max_enter);
+    }
+}
+
+#[test]
+fn consecutive_barriers_have_increasing_epochs() {
+    let out = run(4, 9, |r| {
+        let a = r.barrier();
+        let b = r.barrier();
+        let c = r.barrier();
+        (a.epoch, b.epoch, c.epoch)
+    });
+    for &(a, b, c) in &out.results {
+        assert_eq!((a, b, c), (0, 1, 2));
+    }
+}
+
+#[test]
+fn send_recv_delivers_payload() {
+    let out = run(2, 5, |r| {
+        if r.rank() == 0 {
+            r.send(1, 42, vec![1, 2, 3]);
+            Vec::new()
+        } else {
+            r.recv(0, 42).0
+        }
+    });
+    assert_eq!(out.results[1], vec![1, 2, 3]);
+}
+
+#[test]
+fn send_recv_fifo_per_channel() {
+    let out = run(2, 5, |r| {
+        if r.rank() == 0 {
+            for i in 0..10u8 {
+                r.send(1, 7, vec![i]);
+            }
+            Vec::new()
+        } else {
+            (0..10).map(|_| r.recv(0, 7).0[0]).collect()
+        }
+    });
+    assert_eq!(out.results[1], (0..10).collect::<Vec<u8>>());
+}
+
+#[test]
+fn messages_on_different_tags_do_not_cross() {
+    let out = run(2, 11, |r| {
+        if r.rank() == 0 {
+            r.send(1, 1, vec![b'a']);
+            r.send(1, 2, vec![b'b']);
+            (0, 0)
+        } else {
+            // Receive in the opposite order of posting.
+            let b = r.recv(0, 2).0[0];
+            let a = r.recv(0, 1).0[0];
+            (a, b)
+        }
+    });
+    assert_eq!(out.results[1], (b'a', b'b'));
+}
+
+#[test]
+fn send_happens_before_matching_recv() {
+    let out = run(2, 13, |r| {
+        if r.rank() == 0 {
+            r.compute(500);
+            r.send(1, 0, vec![0]);
+        } else {
+            r.recv(0, 0);
+        }
+    });
+    let send = out.events[0]
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Send { .. }))
+        .unwrap();
+    let recv = out.events[1]
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Recv { .. }))
+        .unwrap();
+    assert_eq!(send.message_seq(), recv.message_seq());
+    assert!(send.t_start < recv.t_end, "send starts before recv completes");
+}
+
+#[test]
+fn bcast_delivers_to_all() {
+    let out = run(8, 17, |r| {
+        let data = if r.rank() == 3 { vec![9, 9, 9] } else { vec![] };
+        r.bcast(3, &data)
+    });
+    for v in &out.results {
+        assert_eq!(*v, vec![9, 9, 9]);
+    }
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    let out = run(6, 19, |r| r.gather(2, &[r.rank() as u8]));
+    for (rank, res) in out.results.iter().enumerate() {
+        if rank == 2 {
+            let bufs = res.as_ref().unwrap();
+            for (i, b) in bufs.iter().enumerate() {
+                assert_eq!(b, &vec![i as u8]);
+            }
+        } else {
+            assert!(res.is_none());
+        }
+    }
+}
+
+#[test]
+fn allgather_same_result_everywhere() {
+    let out = run(5, 23, |r| r.allgather(&[r.rank() as u8 * 2]));
+    let expected: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i * 2]).collect();
+    for res in &out.results {
+        assert_eq!(*res, expected);
+    }
+}
+
+#[test]
+fn allreduce_and_exscan() {
+    let out = run(8, 29, |r| {
+        let sum = r.allreduce_sum_u64(r.rank() as u64 + 1);
+        let max = r.allreduce_max_u64(r.rank() as u64);
+        let pre = r.exscan_sum_u64(10);
+        (sum, max, pre)
+    });
+    for (rank, &(sum, max, pre)) in out.results.iter().enumerate() {
+        assert_eq!(sum, 36);
+        assert_eq!(max, 7);
+        assert_eq!(pre, 10 * rank as u64);
+    }
+}
+
+#[test]
+fn alltoallv_personalized_exchange() {
+    let n = 4u32;
+    let out = run(n, 31, |r| {
+        let outgoing: Vec<Vec<u8>> = (0..n).map(|d| vec![r.rank() as u8, d as u8]).collect();
+        r.alltoallv(outgoing)
+    });
+    for (me, incoming) in out.results.iter().enumerate() {
+        for (src, buf) in incoming.iter().enumerate() {
+            assert_eq!(buf, &vec![src as u8, me as u8]);
+        }
+    }
+}
+
+#[test]
+fn deterministic_mode_reproduces_event_log() {
+    let program = |r: Rank| {
+        for step in 0..5 {
+            r.compute(100 + r.rank() as u64);
+            if r.rank() != 0 {
+                r.send(0, step, vec![r.rank() as u8]);
+            } else {
+                for src in 1..r.nranks() {
+                    r.recv(src, step);
+                }
+            }
+            r.barrier();
+        }
+    };
+    let a = run(6, 77, program);
+    let b = run(6, 77, program);
+    assert_eq!(a.events, b.events, "same seed ⇒ identical event log");
+    assert_eq!(a.final_time_ns, b.final_time_ns);
+
+    let c = run(6, 78, program);
+    // A different seed permutes the interleaving; the logs should differ in
+    // timing even though the program is the same.
+    assert_ne!(
+        a.events, c.events,
+        "different seed should yield a different interleaving"
+    );
+}
+
+#[test]
+fn free_mode_completes() {
+    let cfg = WorldCfg::new(8, 7).free_running();
+    assert_eq!(cfg.mode, SchedMode::Free);
+    let out = World::run(&cfg, |r| {
+        r.barrier();
+        r.allreduce_sum_u64(1)
+    });
+    for &v in &out.results {
+        assert_eq!(v, 8);
+    }
+}
+
+#[test]
+fn skew_bounded_and_deterministic() {
+    let cfg = WorldCfg::new(16, 99).with_max_skew_ns(20_000);
+    let w1 = World::run(&cfg, |r| r.skew_ns());
+    let w2 = World::run(&cfg, |r| r.skew_ns());
+    assert_eq!(w1.results, w2.results);
+    assert!(w1.results.iter().any(|&s| s != 0), "some rank should be skewed");
+    for &s in &w1.results {
+        assert!(s.unsigned_abs() <= 20_000);
+    }
+    assert_eq!(w1.skews_ns, w1.results);
+}
+
+#[test]
+fn zero_skew_option() {
+    let cfg = WorldCfg::new(4, 1).with_max_skew_ns(0);
+    let out = World::run(&cfg, |r| r.skew_ns());
+    assert!(out.results.iter().all(|&s| s == 0));
+}
+
+#[test]
+fn local_clock_applies_skew() {
+    let cfg = WorldCfg::new(2, 5).with_max_skew_ns(1000);
+    let out = World::run(&cfg, |r| (r.skew_ns(), r.local_clock(1_000_000)));
+    for &(skew, local) in &out.results {
+        assert_eq!(local as i64, 1_000_000 + skew);
+    }
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn deadlock_detected_on_unmatched_recv() {
+    run(2, 3, |r| {
+        if r.rank() == 0 {
+            r.recv(1, 0); // rank 1 never sends
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn deadlock_detected_when_rank_skips_barrier() {
+    run(3, 3, |r| {
+        if r.rank() != 2 {
+            r.barrier(); // rank 2 exits without participating
+        }
+    });
+}
+
+#[test]
+fn timed_op_advances_clock_monotonically() {
+    let out = run(2, 41, |r| {
+        let (a0, a1, ()) = r.timed_op(mpisim::OpClass::FsWrite, 4096, |_| {});
+        let (b0, b1, ()) = r.timed_op(mpisim::OpClass::FsRead, 0, |_| {});
+        (a0, a1, b0, b1)
+    });
+    for &(a0, a1, b0, b1) in &out.results {
+        assert!(a0 < a1);
+        assert!(a1 <= b0, "ops of one rank are totally ordered");
+        assert!(b0 < b1);
+    }
+}
+
+#[test]
+fn events_are_per_rank_and_time_ordered() {
+    let out = run(4, 55, |r| {
+        r.barrier();
+        if r.rank() == 0 {
+            r.send(1, 0, vec![1]);
+        } else if r.rank() == 1 {
+            r.recv(0, 0);
+        }
+        r.barrier();
+    });
+    for (rank, evs) in out.events.iter().enumerate() {
+        let mut last = 0;
+        for e in evs {
+            assert_eq!(e.rank as usize, rank);
+            assert!(e.t_start >= last, "per-rank events are time ordered");
+            last = e.t_start;
+        }
+    }
+}
+
+#[test]
+fn large_world_smoke() {
+    // The scale study runs 1024 ranks; make sure the runtime handles a
+    // few hundred threads with barriers and a reduction.
+    let out = run(256, 4, |r| {
+        r.barrier();
+        r.allreduce_sum_u64(1)
+    });
+    for &v in &out.results {
+        assert_eq!(v, 256);
+    }
+}
+
+#[test]
+fn scatter_delivers_each_part() {
+    let out = run(6, 61, |r| {
+        if r.rank() == 2 {
+            let parts: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i * 3]).collect();
+            r.scatter(2, Some(&parts))
+        } else {
+            r.scatter(2, None)
+        }
+    });
+    for (rank, part) in out.results.iter().enumerate() {
+        assert_eq!(*part, vec![rank as u8 * 3]);
+    }
+}
+
+#[test]
+fn reduce_sum_lands_at_root_only() {
+    let out = run(8, 67, |r| r.reduce_sum_u64(3, r.rank() as u64 + 1));
+    for (rank, res) in out.results.iter().enumerate() {
+        if rank == 3 {
+            assert_eq!(*res, Some(36));
+        } else {
+            assert_eq!(*res, None);
+        }
+    }
+}
+
+#[test]
+fn sendrecv_ring_exchange_does_not_deadlock() {
+    // Every rank sends to its right neighbour and receives from its left —
+    // the classic pattern that deadlocks with unbuffered blocking sends.
+    let out = run(8, 71, |r| {
+        let n = r.nranks();
+        let right = (r.rank() + 1) % n;
+        let left = (r.rank() + n - 1) % n;
+        r.sendrecv(right, 5, vec![r.rank() as u8], left, 5)
+    });
+    for (rank, got) in out.results.iter().enumerate() {
+        let left = (rank + 8 - 1) % 8;
+        assert_eq!(*got, vec![left as u8]);
+    }
+}

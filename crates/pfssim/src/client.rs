@@ -1,0 +1,716 @@
+//! The per-process PFS client: file descriptors, cursors, POSIX-style data
+//! and metadata calls, and the read-observation log.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::{PfsConfig, SemanticsModel};
+use crate::engine;
+use crate::error::{FsError, FsResult};
+use crate::flags::{OpenFlags, Whence};
+use crate::image::FileImage;
+use crate::namespace::{normalize, DirEntry};
+use crate::state::{FileId, PfsState};
+use crate::stats::MetaOp;
+use crate::tag::{TagRun, WriteTag};
+
+/// Result of a write: where it landed and its provenance tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOut {
+    /// Resolved absolute file offset of the first byte.
+    pub offset: u64,
+    pub len: u64,
+    pub tag: WriteTag,
+    /// Extent locks acquired (non-zero only under strong semantics).
+    pub locks: u64,
+}
+
+/// Result of a read: the bytes, where they came from, and a provenance
+/// digest for cross-engine comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOut {
+    /// Resolved absolute file offset of the first byte.
+    pub offset: u64,
+    pub data: Vec<u8>,
+    /// Per-byte provenance, run-length encoded.
+    pub tags: Vec<TagRun>,
+    /// FNV digest of `tags` (and the returned length).
+    pub digest: u64,
+}
+
+/// `stat`-style metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatInfo {
+    pub is_dir: bool,
+    /// Size as visible to the calling process (includes its own buffered
+    /// writes).
+    pub size: u64,
+}
+
+/// One entry of the read-observation log: enough to compare what the same
+/// deterministic program observed under two different consistency engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Per-client sequence number of the read.
+    pub op_idx: u64,
+    pub file: FileId,
+    pub offset: u64,
+    pub len: u64,
+    /// Digest of the provenance runs the read returned.
+    pub digest: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FdEntry {
+    file: FileId,
+    path: String,
+    flags: OpenFlags,
+    cursor: u64,
+    /// Session-semantics open-time snapshot.
+    snapshot: Option<Arc<FileImage>>,
+}
+
+/// A per-process client of one [`crate::Pfs`] instance.
+///
+/// Every data/metadata call takes `now`: the caller's simulated timestamp,
+/// used by the eventual engine's propagation delay. Clients are not
+/// thread-safe (one per simulated process, like a POSIX process's fd table).
+pub struct PfsClient {
+    state: Arc<Mutex<PfsState>>,
+    cfg: PfsConfig,
+    rank: u32,
+    /// Unique client-instance (process) identity; owns this client's
+    /// buffered writes.
+    client_id: u64,
+    fds: HashMap<u32, FdEntry>,
+    next_fd: u32,
+    cwd: String,
+    observations: Vec<Observation>,
+    next_obs: u64,
+}
+
+impl PfsClient {
+    pub(crate) fn new(state: Arc<Mutex<PfsState>>, cfg: PfsConfig, rank: u32) -> Self {
+        let client_id = {
+            let mut st = state.lock();
+            let id = st.next_client_id;
+            st.next_client_id += 1;
+            id
+        };
+        PfsClient {
+            state,
+            cfg,
+            rank,
+            client_id,
+            fds: HashMap::new(),
+            next_fd: 3, // 0-2 reserved, as in POSIX
+            cwd: "/".to_string(),
+            observations: Vec::new(),
+            next_obs: 0,
+        }
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn semantics(&self) -> SemanticsModel {
+        self.cfg.semantics
+    }
+
+    /// The read-observation log accumulated so far.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    pub fn take_observations(&mut self) -> Vec<Observation> {
+        std::mem::take(&mut self.observations)
+    }
+
+    fn fd(&self, fd: u32) -> FsResult<&FdEntry> {
+        self.fds.get(&fd).ok_or(FsError::BadFd { fd })
+    }
+
+    fn fd_mut(&mut self, fd: u32) -> FsResult<&mut FdEntry> {
+        self.fds.get_mut(&fd).ok_or(FsError::BadFd { fd })
+    }
+
+    fn norm(&self, path: &str) -> FsResult<String> {
+        normalize(&self.cwd, path)
+    }
+
+    /// The consistency model in effect for a descriptor opened with
+    /// `flags`: `O_LAZY` downgrades a strong-consistency PFS to commit
+    /// semantics for that descriptor (the §2.2 tunable-consistency
+    /// extension); it never *strengthens* an already-relaxed PFS.
+    fn effective(&self, flags: OpenFlags) -> SemanticsModel {
+        if flags.lazy && self.cfg.semantics == SemanticsModel::Strong {
+            SemanticsModel::Commit
+        } else {
+            self.cfg.semantics
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Open / close
+    // ------------------------------------------------------------------
+
+    /// POSIX `open(2)`. Under session semantics a read-capable open
+    /// snapshots the currently published image (close-to-open: the reader
+    /// sees exactly the sessions closed before this open).
+    pub fn open(&mut self, path: &str, flags: OpenFlags, now: u64) -> FsResult<u32> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        st.stats.opens += 1;
+        let existing = st.ns.lookup(&path);
+        let file = match existing {
+            Some(crate::namespace::Node::File(id)) => {
+                if flags.create && flags.excl {
+                    return Err(FsError::AlreadyExists { path });
+                }
+                id
+            }
+            Some(crate::namespace::Node::Dir) => {
+                return Err(FsError::NotAFile { path });
+            }
+            None => {
+                if !flags.create {
+                    return Err(FsError::NotFound { path });
+                }
+                let id = st.alloc_file();
+                st.ns.create_file(&path, id)?;
+                id
+            }
+        };
+        if st.file(file).laminated && flags.write {
+            return Err(FsError::Denied { detail: format!("{path} is laminated (read-only)") });
+        }
+        if flags.truncate && flags.write {
+            let node = st.file_mut(file);
+            Arc::make_mut(&mut node.published).truncate(0);
+            node.publish_version += 1;
+            // Buffered state from earlier sessions is discarded too.
+            node.pending.clear();
+            node.delayed.clear();
+        }
+        if self.cfg.semantics == SemanticsModel::Eventual {
+            engine::mature_delayed(&mut st, &self.cfg, file, now);
+        }
+        let snapshot = if self.cfg.semantics == SemanticsModel::Session {
+            Some(Arc::clone(&st.file(file).published))
+        } else {
+            None
+        };
+        drop(st);
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(fd, FdEntry { file, path, flags, cursor: 0, snapshot });
+        Ok(fd)
+    }
+
+    /// POSIX `close(2)`. Under commit and session semantics this publishes
+    /// the process's buffered writes to the file (a close is a commit; a
+    /// close is the end of a session).
+    pub fn close(&mut self, fd: u32, _now: u64) -> FsResult<()> {
+        let entry = self.fds.remove(&fd).ok_or(FsError::BadFd { fd })?;
+        let mut st = self.state.lock();
+        st.stats.closes += 1;
+        match self.effective(entry.flags) {
+            SemanticsModel::Commit | SemanticsModel::Session => {
+                engine::publish_client(&mut st, &self.cfg, entry.file, self.client_id);
+            }
+            SemanticsModel::Strong | SemanticsModel::Eventual => {}
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data operations
+    // ------------------------------------------------------------------
+
+    /// POSIX `write(2)`: writes at the cursor (or at EOF under `O_APPEND`)
+    /// and advances the cursor.
+    pub fn write(&mut self, fd: u32, data: &[u8], now: u64) -> FsResult<WriteOut> {
+        let rank = self.rank;
+        let client_id = self.client_id;
+        let cfg = self.cfg.clone();
+        let entry = self.fds.get_mut(&fd).ok_or(FsError::BadFd { fd })?;
+        if !entry.flags.write {
+            return Err(FsError::Denied { detail: format!("fd {fd} not open for writing") });
+        }
+        let mut st = self.state.lock();
+        if st.file(entry.file).laminated {
+            return Err(FsError::Denied { detail: format!("{} is laminated", entry.path) });
+        }
+        let model = if entry.flags.lazy && cfg.semantics == SemanticsModel::Strong {
+            SemanticsModel::Commit
+        } else {
+            cfg.semantics
+        };
+        let offset = if entry.flags.append {
+            engine::visible_size(&st, model, entry.file, client_id, entry.snapshot.as_ref())
+        } else {
+            entry.cursor
+        };
+        let (tag, locks) = engine::write(
+            &mut st,
+            &cfg,
+            model,
+            client_id,
+            rank,
+            entry.file,
+            offset,
+            data.to_vec(),
+            now,
+        );
+        drop(st);
+        entry.cursor = offset + data.len() as u64;
+        Ok(WriteOut { offset, len: data.len() as u64, tag, locks })
+    }
+
+    /// POSIX `pwrite(2)`: writes at `offset` without moving the cursor
+    /// (and, per POSIX, ignoring `O_APPEND`).
+    pub fn pwrite(&mut self, fd: u32, offset: u64, data: &[u8], now: u64) -> FsResult<WriteOut> {
+        let rank = self.rank;
+        let client_id = self.client_id;
+        let cfg = self.cfg.clone();
+        let entry = self.fds.get(&fd).ok_or(FsError::BadFd { fd })?;
+        if !entry.flags.write {
+            return Err(FsError::Denied { detail: format!("fd {fd} not open for writing") });
+        }
+        let model = self.effective(entry.flags);
+        let file = entry.file;
+        let mut st = self.state.lock();
+        if st.file(file).laminated {
+            return Err(FsError::Denied { detail: "laminated".into() });
+        }
+        let (tag, locks) =
+            engine::write(&mut st, &cfg, model, client_id, rank, file, offset, data.to_vec(), now);
+        Ok(WriteOut { offset, len: data.len() as u64, tag, locks })
+    }
+
+    /// POSIX `read(2)`: reads at the cursor, advances it by the bytes
+    /// actually read (short reads at EOF, like POSIX).
+    pub fn read(&mut self, fd: u32, len: u64, now: u64) -> FsResult<ReadOut> {
+        let offset = self.fd(fd)?.cursor;
+        let out = self.read_at(fd, offset, len, now)?;
+        self.fd_mut(fd)?.cursor = offset + out.data.len() as u64;
+        Ok(out)
+    }
+
+    /// POSIX `pread(2)`: reads at `offset` without moving the cursor.
+    pub fn pread(&mut self, fd: u32, offset: u64, len: u64, now: u64) -> FsResult<ReadOut> {
+        self.read_at(fd, offset, len, now)
+    }
+
+    fn read_at(&mut self, fd: u32, offset: u64, len: u64, now: u64) -> FsResult<ReadOut> {
+        let client_id = self.client_id;
+        let cfg = self.cfg.clone();
+        let entry = self.fds.get(&fd).ok_or(FsError::BadFd { fd })?;
+        if !entry.flags.read {
+            return Err(FsError::Denied { detail: format!("fd {fd} not open for reading") });
+        }
+        let model = self.effective(entry.flags);
+        let file = entry.file;
+        let snapshot = entry.snapshot.clone();
+        let mut st = self.state.lock();
+        st.stats.reads += 1;
+        if model == SemanticsModel::Strong {
+            let locks = if len == 0 { 0 } else { len.div_ceil(cfg.lock_granularity) };
+            st.stats.locks_acquired += locks;
+            if len > 0 {
+                let rev = engine::lock_revocations(&st, file, self.rank, offset, offset + len);
+                st.stats.lock_revocations += rev;
+            }
+        }
+        let (data, tags) = engine::read_view(
+            &mut st,
+            &cfg,
+            model,
+            client_id,
+            file,
+            offset,
+            len,
+            snapshot.as_ref(),
+            now,
+        );
+        st.stats.bytes_read += data.len() as u64;
+        let stripe = cfg.stripe_size;
+        st.stats.stripe_account(offset, data.len() as u64, stripe, false);
+        drop(st);
+        let digest = digest_runs(data.len() as u64, &tags);
+        self.observations.push(Observation {
+            op_idx: self.next_obs,
+            file,
+            offset,
+            len,
+            digest,
+        });
+        self.next_obs += 1;
+        Ok(ReadOut { offset, data, tags, digest })
+    }
+
+    /// POSIX `lseek(2)`.
+    pub fn lseek(&mut self, fd: u32, offset: i64, whence: Whence, _now: u64) -> FsResult<u64> {
+        let client_id = self.client_id;
+        let entry = self.fds.get(&fd).ok_or(FsError::BadFd { fd })?;
+        let base = match whence {
+            Whence::Set => 0,
+            Whence::Cur => entry.cursor as i64,
+            Whence::End => {
+                let model = self.effective(entry.flags);
+                let st = self.state.lock();
+                engine::visible_size(&st, model, entry.file, client_id, entry.snapshot.as_ref())
+                    as i64
+            }
+        };
+        let pos = base + offset;
+        if pos < 0 {
+            return Err(FsError::Invalid { detail: format!("seek to negative offset {pos}") });
+        }
+        let entry = self.fds.get_mut(&fd).expect("checked above");
+        entry.cursor = pos as u64;
+        Ok(entry.cursor)
+    }
+
+    /// POSIX `fsync(2)`: a *commit* under commit semantics (globally
+    /// publishes this process's buffered writes). Under session semantics it
+    /// persists but does **not** publish — visibility still requires
+    /// close-to-open. Under eventual semantics it does not accelerate
+    /// propagation.
+    pub fn fsync(&mut self, fd: u32, _now: u64) -> FsResult<()> {
+        let entry = self.fd(fd)?;
+        let model = self.effective(entry.flags);
+        let file = entry.file;
+        let mut st = self.state.lock();
+        st.stats.commits += 1;
+        if model == SemanticsModel::Commit {
+            engine::publish_client(&mut st, &self.cfg, file, self.client_id);
+        }
+        Ok(())
+    }
+
+    /// POSIX `fdatasync(2)`: same visibility behaviour as [`Self::fsync`].
+    pub fn fdatasync(&mut self, fd: u32, now: u64) -> FsResult<()> {
+        self.fsync(fd, now)
+    }
+
+    /// UnifyFS-style lamination: publish everything (all processes) and
+    /// make the file permanently read-only.
+    pub fn laminate(&mut self, path: &str, _now: u64) -> FsResult<()> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        let file = st.ns.expect_file(&path)?;
+        st.stats.commits += 1;
+        engine::mature_delayed(&mut st, &self.cfg, file, u64::MAX);
+        let owners: Vec<u64> = st.file(file).pending.keys().copied().collect();
+        for o in owners {
+            engine::publish_client(&mut st, &self.cfg, file, o);
+        }
+        st.file_mut(file).laminated = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata operations
+    // ------------------------------------------------------------------
+
+    /// POSIX `stat(2)` (also used for `stat64`).
+    pub fn stat(&mut self, path: &str, _now: u64) -> FsResult<StatInfo> {
+        let path = self.norm(path)?;
+        let client_id = self.client_id;
+        let cfg = self.cfg.clone();
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Stat);
+        match st.ns.lookup(&path) {
+            Some(crate::namespace::Node::Dir) => Ok(StatInfo { is_dir: true, size: 0 }),
+            Some(crate::namespace::Node::File(id)) => {
+                let size = engine::visible_size(&st, cfg.semantics, id, client_id, None);
+                Ok(StatInfo { is_dir: false, size })
+            }
+            None => Err(FsError::NotFound { path }),
+        }
+    }
+
+    /// POSIX `lstat(2)` — identical to `stat` here (no symlinks), but
+    /// counted separately for the metadata census.
+    pub fn lstat(&mut self, path: &str, now: u64) -> FsResult<StatInfo> {
+        {
+            let mut st = self.state.lock();
+            st.stats.count_meta(MetaOp::Lstat);
+        }
+        let out = self.stat(path, now);
+        // stat() above also counted a Stat; undo to keep the census honest.
+        let mut st = self.state.lock();
+        if let Some(c) = st.stats.meta_ops.get_mut(&MetaOp::Stat) {
+            *c -= 1;
+        }
+        out
+    }
+
+    /// POSIX `fstat(2)`.
+    pub fn fstat(&mut self, fd: u32, _now: u64) -> FsResult<StatInfo> {
+        let client_id = self.client_id;
+        let entry = self.fds.get(&fd).ok_or(FsError::BadFd { fd })?;
+        let model = self.effective(entry.flags);
+        let file = entry.file;
+        let snapshot = entry.snapshot.clone();
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Fstat);
+        let size = engine::visible_size(&st, model, file, client_id, snapshot.as_ref());
+        Ok(StatInfo { is_dir: false, size })
+    }
+
+    /// POSIX `access(2)` — existence check.
+    pub fn access(&mut self, path: &str, _now: u64) -> FsResult<bool> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Access);
+        Ok(st.ns.exists(&path))
+    }
+
+    pub fn mkdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Mkdir);
+        st.ns.mkdir(&path)
+    }
+
+    pub fn rmdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Rmdir);
+        st.ns.rmdir(&path)
+    }
+
+    pub fn unlink(&mut self, path: &str, _now: u64) -> FsResult<()> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Unlink);
+        st.ns.unlink(&path).map(|_| ())
+    }
+
+    pub fn rename(&mut self, from: &str, to: &str, _now: u64) -> FsResult<()> {
+        let from = self.norm(from)?;
+        let to = self.norm(to)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Rename);
+        st.ns.rename(&from, &to)
+    }
+
+    pub fn getcwd(&mut self, _now: u64) -> String {
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Getcwd);
+        self.cwd.clone()
+    }
+
+    pub fn chdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Chdir);
+        st.ns.expect_dir(&path)?;
+        drop(st);
+        self.cwd = path;
+        Ok(())
+    }
+
+    /// `opendir` + N×`readdir` + `closedir`, counted individually for the
+    /// metadata census; returns the entries.
+    pub fn readdir(&mut self, path: &str, _now: u64) -> FsResult<Vec<DirEntry>> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Opendir);
+        let entries = st.ns.list(&path)?;
+        for _ in &entries {
+            st.stats.count_meta(MetaOp::Readdir);
+        }
+        st.stats.count_meta(MetaOp::Closedir);
+        Ok(entries)
+    }
+
+    /// POSIX `truncate(2)`. Truncation acts on the published image
+    /// immediately (metadata operations keep strong semantics, per the
+    /// paper's scoping in §3) and discards buffered extents beyond the new
+    /// length.
+    pub fn truncate(&mut self, path: &str, len: u64, _now: u64) -> FsResult<()> {
+        let path = self.norm(path)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Truncate);
+        let file = st.ns.expect_file(&path)?;
+        truncate_node(&mut st, file, len);
+        let published = Arc::clone(&st.file(file).published);
+        drop(st);
+        self.refresh_own_snapshots(file, &published);
+        Ok(())
+    }
+
+    /// POSIX `ftruncate(2)`.
+    pub fn ftruncate(&mut self, fd: u32, len: u64, _now: u64) -> FsResult<()> {
+        let entry = self.fd(fd)?;
+        let file = entry.file;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Ftruncate);
+        truncate_node(&mut st, file, len);
+        let published = Arc::clone(&st.file(file).published);
+        drop(st);
+        self.refresh_own_snapshots(file, &published);
+        Ok(())
+    }
+
+    /// After this process truncates a file, its *own* session snapshots of
+    /// that file are refreshed (a local cache update, as an NFS client would
+    /// do). Other processes' open sessions are untouched: close-to-open
+    /// still governs cross-process visibility.
+    fn refresh_own_snapshots(&mut self, file: FileId, published: &Arc<FileImage>) {
+        if self.cfg.semantics != SemanticsModel::Session {
+            return;
+        }
+        for entry in self.fds.values_mut() {
+            if entry.file == file && entry.snapshot.is_some() {
+                entry.snapshot = Some(Arc::clone(published));
+            }
+        }
+    }
+
+    /// POSIX `dup(2)`. Deviation from POSIX: the duplicate gets an
+    /// independent cursor (a shared open-file description is not modelled);
+    /// none of the studied applications relies on cursor sharing.
+    pub fn dup(&mut self, fd: u32, _now: u64) -> FsResult<u32> {
+        let entry = self.fd(fd)?.clone();
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Dup);
+        drop(st);
+        let new_fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(new_fd, entry);
+        Ok(new_fd)
+    }
+
+    /// POSIX `fcntl(2)` — counted no-op (the studied applications use it
+    /// only for flag queries).
+    pub fn fcntl(&mut self, fd: u32, _now: u64) -> FsResult<()> {
+        self.fd(fd)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Fcntl);
+        Ok(())
+    }
+
+    /// `umask` — counted no-op.
+    pub fn umask(&mut self, _mask: u32, _now: u64) {
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Umask);
+    }
+
+    /// `fileno` — counted no-op (stdio fd query).
+    pub fn fileno(&mut self, fd: u32, _now: u64) -> FsResult<u32> {
+        self.fd(fd)?;
+        let mut st = self.state.lock();
+        st.stats.count_meta(MetaOp::Fileno);
+        Ok(fd)
+    }
+
+    /// `mmap` of a file region, modelled as a counted read without cursor
+    /// movement (LBANN-style dataset mapping).
+    pub fn mmap(&mut self, fd: u32, offset: u64, len: u64, now: u64) -> FsResult<ReadOut> {
+        {
+            let mut st = self.state.lock();
+            st.stats.count_meta(MetaOp::Mmap);
+        }
+        self.read_at(fd, offset, len, now)
+    }
+
+    /// `msync`: counted, with the visibility effect of `fsync`.
+    pub fn msync(&mut self, fd: u32, now: u64) -> FsResult<()> {
+        {
+            let mut st = self.state.lock();
+            st.stats.count_meta(MetaOp::Msync);
+        }
+        self.fsync(fd, now)
+    }
+
+    /// Count a metadata op that has no modelled behaviour (chmod, chown,
+    /// utime, …) so library models can still emit it for the census.
+    pub fn count_meta(&mut self, op: MetaOp) {
+        let mut st = self.state.lock();
+        st.stats.count_meta(op);
+    }
+
+    /// Open fds (diagnostics; a well-behaved app closes everything).
+    pub fn open_fds(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.fds.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The current cursor of `fd` (testing aid).
+    pub fn cursor(&self, fd: u32) -> FsResult<u64> {
+        Ok(self.fd(fd)?.cursor)
+    }
+
+    /// The file identity behind `fd` (testing / tracing aid).
+    pub fn fd_file(&self, fd: u32) -> FsResult<FileId> {
+        Ok(self.fd(fd)?.file)
+    }
+
+    /// The normalized path behind `fd`.
+    pub fn fd_path(&self, fd: u32) -> FsResult<&str> {
+        Ok(&self.fd(fd)?.path)
+    }
+}
+
+fn truncate_node(st: &mut PfsState, file: FileId, len: u64) {
+    let node = st.file_mut(file);
+    Arc::make_mut(&mut node.published).truncate(len);
+    node.publish_version += 1;
+    for extents in node.pending.values_mut() {
+        extents.retain_mut(|e| {
+            if e.off >= len {
+                return false;
+            }
+            let keep = (len - e.off).min(e.data.len() as u64) as usize;
+            e.data.truncate(keep);
+            !e.data.is_empty()
+        });
+    }
+    let delayed = std::mem::take(&mut node.delayed);
+    node.delayed = delayed
+        .into_iter()
+        .filter_map(|mut e| {
+            if e.off >= len {
+                return None;
+            }
+            let keep = (len - e.off).min(e.data.len() as u64) as usize;
+            e.data.truncate(keep);
+            if e.data.is_empty() {
+                None
+            } else {
+                Some(e)
+            }
+        })
+        .collect();
+}
+
+/// FNV-1a digest over a read's length and provenance runs.
+fn digest_runs(len: u64, runs: &[TagRun]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(len);
+    for r in runs {
+        mix(r.len);
+        match r.tag {
+            Some(t) => {
+                mix(t.rank as u64 + 1);
+                mix(t.seq + 1);
+            }
+            None => mix(0),
+        }
+    }
+    h
+}

@@ -1,0 +1,45 @@
+//! File system error type.
+
+use std::fmt;
+
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors returned by the simulated file system. These mirror the errno
+/// values a real PFS client would surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// ENOENT — path or parent directory does not exist.
+    NotFound { path: String },
+    /// EEXIST — `O_CREAT | O_EXCL` on an existing file, or mkdir on an
+    /// existing path.
+    AlreadyExists { path: String },
+    /// EBADF — file descriptor not open (or opened without the needed mode).
+    BadFd { fd: u32 },
+    /// EISDIR / ENOTDIR — wrong node kind for the operation.
+    NotAFile { path: String },
+    NotADirectory { path: String },
+    /// ENOTEMPTY — rmdir on a non-empty directory.
+    NotEmpty { path: String },
+    /// EACCES — operation not permitted by the open mode (e.g. write on a
+    /// read-only fd) or on a laminated (read-only) file.
+    Denied { detail: String },
+    /// EINVAL — malformed argument (negative seek, bad path, …).
+    Invalid { detail: String },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound { path } => write!(f, "ENOENT: {path}"),
+            FsError::AlreadyExists { path } => write!(f, "EEXIST: {path}"),
+            FsError::BadFd { fd } => write!(f, "EBADF: fd {fd}"),
+            FsError::NotAFile { path } => write!(f, "EISDIR: {path}"),
+            FsError::NotADirectory { path } => write!(f, "ENOTDIR: {path}"),
+            FsError::NotEmpty { path } => write!(f, "ENOTEMPTY: {path}"),
+            FsError::Denied { detail } => write!(f, "EACCES: {detail}"),
+            FsError::Invalid { detail } => write!(f, "EINVAL: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}

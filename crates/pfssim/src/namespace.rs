@@ -1,0 +1,238 @@
+//! The file-system namespace: a flat map of normalized absolute paths.
+//!
+//! The metadata server of a PFS owns the namespace; here it is a single
+//! ordered map, which also makes directory listing a range scan. Paths are
+//! normalized to `/a/b/c` form (no trailing slash, no `.`/`..`).
+
+use std::collections::BTreeMap;
+
+use crate::error::{FsError, FsResult};
+use crate::state::FileId;
+
+/// One entry returned by `readdir`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    pub name: String,
+    pub is_dir: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Node {
+    Dir,
+    File(FileId),
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Namespace {
+    nodes: BTreeMap<String, Node>,
+}
+
+/// Normalize `path` to an absolute `/a/b` form. Relative paths are resolved
+/// against `cwd`.
+pub(crate) fn normalize(cwd: &str, path: &str) -> FsResult<String> {
+    if path.is_empty() {
+        return Err(FsError::Invalid { detail: "empty path".into() });
+    }
+    let joined = if path.starts_with('/') {
+        path.to_string()
+    } else {
+        format!("{}/{}", cwd.trim_end_matches('/'), path)
+    };
+    let mut parts: Vec<&str> = Vec::new();
+    for comp in joined.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    Ok(format!("/{}", parts.join("/")))
+}
+
+/// The parent directory of a normalized path (`/` for top-level entries).
+pub(crate) fn parent_of(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+    }
+}
+
+impl Namespace {
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_string(), Node::Dir);
+        Namespace { nodes }
+    }
+
+    pub fn lookup(&self, path: &str) -> Option<Node> {
+        self.nodes.get(path).copied()
+    }
+
+    pub fn expect_dir(&self, path: &str) -> FsResult<()> {
+        match self.lookup(path) {
+            Some(Node::Dir) => Ok(()),
+            Some(Node::File(_)) => Err(FsError::NotADirectory { path: path.into() }),
+            None => Err(FsError::NotFound { path: path.into() }),
+        }
+    }
+
+    pub fn expect_file(&self, path: &str) -> FsResult<FileId> {
+        match self.lookup(path) {
+            Some(Node::File(id)) => Ok(id),
+            Some(Node::Dir) => Err(FsError::NotAFile { path: path.into() }),
+            None => Err(FsError::NotFound { path: path.into() }),
+        }
+    }
+
+    /// Bind `path` to a file, checking the parent exists.
+    pub fn create_file(&mut self, path: &str, id: FileId) -> FsResult<()> {
+        self.expect_dir(&parent_of(path))?;
+        if self.nodes.contains_key(path) {
+            return Err(FsError::AlreadyExists { path: path.into() });
+        }
+        self.nodes.insert(path.to_string(), Node::File(id));
+        Ok(())
+    }
+
+    pub fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        if path == "/" {
+            return Err(FsError::AlreadyExists { path: path.into() });
+        }
+        self.expect_dir(&parent_of(path))?;
+        if self.nodes.contains_key(path) {
+            return Err(FsError::AlreadyExists { path: path.into() });
+        }
+        self.nodes.insert(path.to_string(), Node::Dir);
+        Ok(())
+    }
+
+    fn children<'a>(&'a self, dir: &'a str) -> impl Iterator<Item = (&'a String, &'a Node)> + 'a {
+        let prefix = if dir == "/" { "/".to_string() } else { format!("{dir}/") };
+        let plen = prefix.len();
+        self.nodes
+            .range(prefix.clone()..)
+            .take_while(move |(k, _)| k.starts_with(&prefix))
+            .filter(move |(k, _)| k.len() > plen && !k[plen..].contains('/'))
+    }
+
+    pub fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        self.expect_dir(path)?;
+        if path == "/" {
+            return Err(FsError::Denied { detail: "cannot remove /".into() });
+        }
+        if self.children(path).next().is_some() {
+            return Err(FsError::NotEmpty { path: path.into() });
+        }
+        self.nodes.remove(path);
+        Ok(())
+    }
+
+    /// Unlink a file binding; the file's data lives until the caller drops
+    /// it (inode table keeps it, like an open-unlinked POSIX file).
+    pub fn unlink(&mut self, path: &str) -> FsResult<FileId> {
+        let id = self.expect_file(path)?;
+        self.nodes.remove(path);
+        Ok(id)
+    }
+
+    /// Rename a file (directories are not movable in this model).
+    pub fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        let id = self.expect_file(from)?;
+        self.expect_dir(&parent_of(to))?;
+        if let Some(Node::Dir) = self.lookup(to) {
+            return Err(FsError::NotAFile { path: to.into() });
+        }
+        self.nodes.remove(from);
+        self.nodes.insert(to.to_string(), Node::File(id));
+        Ok(())
+    }
+
+    pub fn list(&self, dir: &str) -> FsResult<Vec<DirEntry>> {
+        self.expect_dir(dir)?;
+        let prefix_len = if dir == "/" { 1 } else { dir.len() + 1 };
+        Ok(self
+            .children(dir)
+            .map(|(k, n)| DirEntry {
+                name: k[prefix_len..].to_string(),
+                is_dir: matches!(n, Node::Dir),
+            })
+            .collect())
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_paths() {
+        assert_eq!(normalize("/", "/a/b").unwrap(), "/a/b");
+        assert_eq!(normalize("/", "a/b/").unwrap(), "/a/b");
+        assert_eq!(normalize("/x", "y").unwrap(), "/x/y");
+        assert_eq!(normalize("/x", "./y/../z").unwrap(), "/x/z");
+        assert_eq!(normalize("/", "/").unwrap(), "/");
+        assert!(normalize("/", "").is_err());
+    }
+
+    #[test]
+    fn parent_computation() {
+        assert_eq!(parent_of("/a/b"), "/a");
+        assert_eq!(parent_of("/a"), "/");
+        assert_eq!(parent_of("/"), "/");
+    }
+
+    #[test]
+    fn create_requires_parent() {
+        let mut ns = Namespace::new();
+        assert!(matches!(
+            ns.create_file("/d/f", FileId(0)),
+            Err(FsError::NotFound { .. })
+        ));
+        ns.mkdir("/d").unwrap();
+        ns.create_file("/d/f", FileId(0)).unwrap();
+        assert!(matches!(
+            ns.create_file("/d/f", FileId(1)),
+            Err(FsError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn rmdir_refuses_nonempty() {
+        let mut ns = Namespace::new();
+        ns.mkdir("/d").unwrap();
+        ns.create_file("/d/f", FileId(0)).unwrap();
+        assert!(matches!(ns.rmdir("/d"), Err(FsError::NotEmpty { .. })));
+        ns.unlink("/d/f").unwrap();
+        ns.rmdir("/d").unwrap();
+        assert!(!ns.exists("/d"));
+    }
+
+    #[test]
+    fn listing_is_immediate_children_only() {
+        let mut ns = Namespace::new();
+        ns.mkdir("/d").unwrap();
+        ns.mkdir("/d/sub").unwrap();
+        ns.create_file("/d/f", FileId(0)).unwrap();
+        ns.create_file("/d/sub/g", FileId(1)).unwrap();
+        let mut names: Vec<String> = ns.list("/d").unwrap().into_iter().map(|e| e.name).collect();
+        names.sort();
+        assert_eq!(names, vec!["f", "sub"]);
+        let root: Vec<String> = ns.list("/").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(root, vec!["d"]);
+    }
+
+    #[test]
+    fn rename_moves_binding() {
+        let mut ns = Namespace::new();
+        ns.create_file("/a", FileId(7)).unwrap();
+        ns.rename("/a", "/b").unwrap();
+        assert!(!ns.exists("/a"));
+        assert_eq!(ns.expect_file("/b").unwrap(), FileId(7));
+    }
+}

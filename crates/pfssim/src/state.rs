@@ -1,0 +1,208 @@
+//! Global PFS state: the inode table, pending-write buffers, and the
+//! top-level [`Pfs`] handle.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::client::PfsClient;
+use crate::config::{PfsConfig, SemanticsModel};
+use crate::error::FsResult;
+use crate::image::FileImage;
+use crate::namespace::Namespace;
+use crate::stats::PfsStats;
+use crate::tag::WriteTag;
+
+/// Opaque file identity (inode number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub(crate) u32);
+
+impl FileId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A buffered write that is not yet globally visible.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingExtent {
+    pub off: u64,
+    pub data: Vec<u8>,
+    pub tag: WriteTag,
+}
+
+/// An eventual-semantics write waiting out its propagation delay.
+#[derive(Debug, Clone)]
+pub(crate) struct DelayedExtent {
+    pub mature_at: u64,
+    /// Owning client instance (see `PfsState::next_client_id`).
+    pub owner: u64,
+    pub off: u64,
+    pub data: Vec<u8>,
+    pub tag: WriteTag,
+}
+
+/// One file's server-side state.
+#[derive(Debug)]
+pub(crate) struct FileNode {
+    /// The globally visible image. `Arc` so session opens can snapshot it
+    /// in O(1); publishing clones on demand (`Arc::make_mut`).
+    pub published: Arc<FileImage>,
+    /// Bumped on every publish; session opens record it (diagnostics).
+    pub publish_version: u64,
+    /// Laminated (UnifyFS): permanently read-only.
+    pub laminated: bool,
+    /// Buffered writes per *client instance* (commit / session engines),
+    /// in write order. Keyed by client id, not rank: two jobs of a
+    /// workflow may reuse rank numbers, and one job's buffered writes must
+    /// not become another process's "own" data.
+    pub pending: HashMap<u64, Vec<PendingExtent>>,
+    /// Delay queue (eventual engine), FIFO in global write order.
+    pub delayed: VecDeque<DelayedExtent>,
+    /// Strong engine only: which rank last held the write lock on each
+    /// extent (rank stands in for the client node, as Lustre grants locks
+    /// per client). Used to count revocations.
+    pub write_locks: crate::tag::SegMap,
+}
+
+impl FileNode {
+    pub fn new() -> Self {
+        FileNode {
+            published: Arc::new(FileImage::new()),
+            publish_version: 0,
+            laminated: false,
+            pending: HashMap::new(),
+            delayed: VecDeque::new(),
+            write_locks: crate::tag::SegMap::new(),
+        }
+    }
+}
+
+pub(crate) struct PfsState {
+    pub files: Vec<FileNode>,
+    pub ns: Namespace,
+    pub stats: PfsStats,
+    /// Per-rank write sequence counters. Per-rank (not global) so that a
+    /// write's tag depends only on the issuing rank's program order —
+    /// identical logical writes get identical tags regardless of how the
+    /// scheduler interleaved the engines' differing latencies.
+    pub next_write_seq: std::collections::HashMap<u32, u64>,
+    /// Client-instance id allocator (a POSIX process identity: every
+    /// `Pfs::client` call creates a new one).
+    pub next_client_id: u64,
+}
+
+impl PfsState {
+    pub fn file(&self, id: FileId) -> &FileNode {
+        &self.files[id.index()]
+    }
+
+    pub fn file_mut(&mut self, id: FileId) -> &mut FileNode {
+        &mut self.files[id.index()]
+    }
+
+    pub fn alloc_file(&mut self) -> FileId {
+        self.files.push(FileNode::new());
+        FileId((self.files.len() - 1) as u32)
+    }
+}
+
+/// A simulated parallel file system instance. Cheap to clone handles from
+/// ([`Pfs::client`]); all state is shared — cloning the `Pfs` itself
+/// yields another handle to the *same* file system (jobs of a workflow
+/// share one instance).
+pub struct Pfs {
+    pub(crate) state: Arc<Mutex<PfsState>>,
+    pub(crate) cfg: PfsConfig,
+}
+
+impl Clone for Pfs {
+    fn clone(&self) -> Self {
+        Pfs { state: Arc::clone(&self.state), cfg: self.cfg.clone() }
+    }
+}
+
+impl Pfs {
+    pub fn new(cfg: PfsConfig) -> Self {
+        let stats = PfsStats::new(cfg.data_servers);
+        Pfs {
+            state: Arc::new(Mutex::new(PfsState {
+                files: Vec::new(),
+                ns: Namespace::new(),
+                stats,
+                next_write_seq: HashMap::new(),
+                next_client_id: 0,
+            })),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &PfsConfig {
+        &self.cfg
+    }
+
+    pub fn semantics(&self) -> SemanticsModel {
+        self.cfg.semantics
+    }
+
+    /// A client handle for `rank`. Each simulated process owns one.
+    pub fn client(&self, rank: u32) -> PfsClient {
+        PfsClient::new(Arc::clone(&self.state), self.cfg.clone(), rank)
+    }
+
+    /// Snapshot of the server statistics.
+    pub fn stats(&self) -> PfsStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Force-propagate everything: mature all delayed writes and publish all
+    /// pending buffers, in global write order. Used at end of run so the
+    /// final on-disk state can be inspected regardless of engine.
+    pub fn quiesce(&self) {
+        let mut st = self.state.lock();
+        let cfg = self.cfg.clone();
+        for idx in 0..st.files.len() {
+            crate::engine::mature_delayed(&mut st, &cfg, FileId(idx as u32), u64::MAX);
+            let owners: Vec<u64> = st.files[idx].pending.keys().copied().collect();
+            for o in owners {
+                crate::engine::publish_client(&mut st, &cfg, FileId(idx as u32), o);
+            }
+        }
+    }
+
+    /// The published image of `path` (call [`Pfs::quiesce`] first if the
+    /// run used a buffering engine and you want the final state).
+    pub fn published_image(&self, path: &str) -> FsResult<FileImage> {
+        let st = self.state.lock();
+        let norm = crate::namespace::normalize("/", path)?;
+        let id = st.ns.expect_file(&norm)?;
+        Ok((*st.file(id).published).clone())
+    }
+
+    /// All file paths currently bound in the namespace, sorted.
+    pub fn list_files(&self) -> Vec<String> {
+        let st = self.state.lock();
+        let mut out = Vec::new();
+        let mut stack = vec!["/".to_string()];
+        while let Some(dir) = stack.pop() {
+            if let Ok(entries) = st.ns.list(&dir) {
+                for e in entries {
+                    let full = if dir == "/" {
+                        format!("/{}", e.name)
+                    } else {
+                        format!("{}/{}", dir, e.name)
+                    };
+                    if e.is_dir {
+                        stack.push(full);
+                    } else {
+                        out.push(full);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}

@@ -1,0 +1,267 @@
+//! Server-side statistics: metadata operation counters, lock-manager and
+//! data-server traffic. These feed the motivation benchmarks (strong
+//! consistency ⇒ lock/metadata-server bottleneck, §3.1) and the per-server
+//! load reports.
+
+use std::collections::BTreeMap;
+
+/// Every POSIX metadata / utility operation the paper's study monitored
+/// (footnote 3 of §6.4). The simulator counts all of them; the ones with
+/// real behaviour in `pfssim` are implemented in the client, the rest are
+/// counted no-ops so the Figure 3 census has the full vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum MetaOp {
+    Mmap,
+    Mmap64,
+    Msync,
+    Stat,
+    Stat64,
+    Lstat,
+    Lstat64,
+    Fstat,
+    Fstat64,
+    Getcwd,
+    Mkdir,
+    Rmdir,
+    Chdir,
+    Link,
+    Linkat,
+    Unlink,
+    Symlink,
+    Symlinkat,
+    Readlink,
+    Readlinkat,
+    Rename,
+    Chmod,
+    Chown,
+    Lchown,
+    Utime,
+    Opendir,
+    Readdir,
+    Closedir,
+    Rewinddir,
+    Mknod,
+    Mknodat,
+    Fcntl,
+    Dup,
+    Dup2,
+    Pipe,
+    Mkfifo,
+    Umask,
+    Fileno,
+    Access,
+    Faccessat,
+    Tmpfile,
+    Remove,
+    Truncate,
+    Ftruncate,
+}
+
+impl MetaOp {
+    /// The POSIX function name, for reports and trace export.
+    pub fn name(self) -> &'static str {
+        use MetaOp::*;
+        match self {
+            Mmap => "mmap",
+            Mmap64 => "mmap64",
+            Msync => "msync",
+            Stat => "stat",
+            Stat64 => "stat64",
+            Lstat => "lstat",
+            Lstat64 => "lstat64",
+            Fstat => "fstat",
+            Fstat64 => "fstat64",
+            Getcwd => "getcwd",
+            Mkdir => "mkdir",
+            Rmdir => "rmdir",
+            Chdir => "chdir",
+            Link => "link",
+            Linkat => "linkat",
+            Unlink => "unlink",
+            Symlink => "symlink",
+            Symlinkat => "symlinkat",
+            Readlink => "readlink",
+            Readlinkat => "readlinkat",
+            Rename => "rename",
+            Chmod => "chmod",
+            Chown => "chown",
+            Lchown => "lchown",
+            Utime => "utime",
+            Opendir => "opendir",
+            Readdir => "readdir",
+            Closedir => "closedir",
+            Rewinddir => "rewinddir",
+            Mknod => "mknod",
+            Mknodat => "mknodat",
+            Fcntl => "fcntl",
+            Dup => "dup",
+            Dup2 => "dup2",
+            Pipe => "pipe",
+            Mkfifo => "mkfifo",
+            Umask => "umask",
+            Fileno => "fileno",
+            Access => "access",
+            Faccessat => "faccessat",
+            Tmpfile => "tmpfile",
+            Remove => "remove",
+            Truncate => "truncate",
+            Ftruncate => "ftruncate",
+        }
+    }
+
+    pub const ALL: [MetaOp; 44] = [
+        MetaOp::Mmap,
+        MetaOp::Mmap64,
+        MetaOp::Msync,
+        MetaOp::Stat,
+        MetaOp::Stat64,
+        MetaOp::Lstat,
+        MetaOp::Lstat64,
+        MetaOp::Fstat,
+        MetaOp::Fstat64,
+        MetaOp::Getcwd,
+        MetaOp::Mkdir,
+        MetaOp::Rmdir,
+        MetaOp::Chdir,
+        MetaOp::Link,
+        MetaOp::Linkat,
+        MetaOp::Unlink,
+        MetaOp::Symlink,
+        MetaOp::Symlinkat,
+        MetaOp::Readlink,
+        MetaOp::Readlinkat,
+        MetaOp::Rename,
+        MetaOp::Chmod,
+        MetaOp::Chown,
+        MetaOp::Lchown,
+        MetaOp::Utime,
+        MetaOp::Opendir,
+        MetaOp::Readdir,
+        MetaOp::Closedir,
+        MetaOp::Rewinddir,
+        MetaOp::Mknod,
+        MetaOp::Mknodat,
+        MetaOp::Fcntl,
+        MetaOp::Dup,
+        MetaOp::Dup2,
+        MetaOp::Pipe,
+        MetaOp::Mkfifo,
+        MetaOp::Umask,
+        MetaOp::Fileno,
+        MetaOp::Access,
+        MetaOp::Faccessat,
+        MetaOp::Tmpfile,
+        MetaOp::Remove,
+        MetaOp::Truncate,
+        MetaOp::Ftruncate,
+    ];
+}
+
+/// Aggregate server-side statistics of one PFS instance.
+#[derive(Debug, Clone, Default)]
+pub struct PfsStats {
+    /// Total write calls that reached the file system.
+    pub writes: u64,
+    /// Total read calls.
+    pub reads: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    /// Extent locks acquired (strong semantics only) — the lock-manager
+    /// traffic the paper blames for the metadata-server bottleneck.
+    pub locks_acquired: u64,
+    /// Lock revocations: a client touched an extent whose write lock was
+    /// last held by a *different* client (the Lustre-style callback storm
+    /// that makes shared-file strong consistency expensive).
+    pub lock_revocations: u64,
+    /// open / close round trips to the metadata server.
+    pub opens: u64,
+    pub closes: u64,
+    /// Explicit commits (fsync / fdatasync / laminate).
+    pub commits: u64,
+    /// Publish events (pending extents becoming globally visible).
+    pub publishes: u64,
+    /// Extents currently buffered (pending, not yet visible).
+    pub pending_extents: u64,
+    /// Metadata operation counts.
+    pub meta_ops: BTreeMap<MetaOp, u64>,
+    /// Per-data-server bytes written, indexed by server (striped layout).
+    pub server_bytes_written: Vec<u64>,
+    /// Per-data-server bytes read.
+    pub server_bytes_read: Vec<u64>,
+}
+
+impl PfsStats {
+    pub fn new(data_servers: u32) -> Self {
+        PfsStats {
+            server_bytes_written: vec![0; data_servers as usize],
+            server_bytes_read: vec![0; data_servers as usize],
+            ..Default::default()
+        }
+    }
+
+    pub fn count_meta(&mut self, op: MetaOp) {
+        *self.meta_ops.entry(op).or_insert(0) += 1;
+    }
+
+    pub fn meta_total(&self) -> u64 {
+        self.meta_ops.values().sum()
+    }
+
+    /// Attribute `len` bytes at `offset` to data servers under a
+    /// round-robin stripe layout.
+    pub fn stripe_account(&mut self, offset: u64, len: u64, stripe: u64, write: bool) {
+        let n = self.server_bytes_written.len() as u64;
+        if n == 0 || len == 0 {
+            return;
+        }
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let stripe_idx = pos / stripe;
+            let server = (stripe_idx % n) as usize;
+            let stripe_end = (stripe_idx + 1) * stripe;
+            let chunk = stripe_end.min(end) - pos;
+            if write {
+                self.server_bytes_written[server] += chunk;
+            } else {
+                self.server_bytes_read[server] += chunk;
+            }
+            pos += chunk;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_accounting_round_robin() {
+        let mut s = PfsStats::new(4);
+        // 10 bytes at offset 0 with stripe 4 → servers 0,1,2 get 4,4,2.
+        s.stripe_account(0, 10, 4, true);
+        assert_eq!(s.server_bytes_written, vec![4, 4, 2, 0]);
+        // Offset 4 → starts at server 1.
+        s.stripe_account(4, 4, 4, false);
+        assert_eq!(s.server_bytes_read, vec![0, 4, 0, 0]);
+    }
+
+    #[test]
+    fn meta_counting() {
+        let mut s = PfsStats::new(1);
+        s.count_meta(MetaOp::Stat);
+        s.count_meta(MetaOp::Stat);
+        s.count_meta(MetaOp::Unlink);
+        assert_eq!(s.meta_ops[&MetaOp::Stat], 2);
+        assert_eq!(s.meta_total(), 3);
+    }
+
+    #[test]
+    fn all_ops_have_unique_names() {
+        let mut names: Vec<&str> = MetaOp::ALL.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MetaOp::ALL.len());
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-byte write provenance: tags and the interval map that stores them.
+
+use std::collections::BTreeMap;
+
+/// Identity of a write: who wrote the byte and the global write sequence
+/// number of the operation. Tags let a reader (or the analysis) decide
+/// whether it observed the most recent happens-before write or a stale one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WriteTag {
+    /// Writer rank.
+    pub rank: u32,
+    /// Per-rank write sequence number: the position of this write in the
+    /// issuing rank's program order. Per-rank (not global) so that a tag
+    /// depends only on program order, never on scheduler interleaving —
+    /// which is what makes tags comparable across consistency engines.
+    pub seq: u64,
+}
+
+/// A run of `len` bytes that all carry the same provenance. `None` means
+/// the bytes were never written (file holes read as zeros).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagRun {
+    pub len: u64,
+    pub tag: Option<WriteTag>,
+}
+
+/// An interval map from byte ranges to [`WriteTag`]s.
+///
+/// Invariants: segments are disjoint, non-empty, and sorted by start offset.
+/// Adjacent segments with equal tags are coalesced.
+///
+/// ```
+/// use pfssim::{SegMap, WriteTag};
+/// let mut m = SegMap::new();
+/// m.insert(0, 10, WriteTag { rank: 1, seq: 0 });
+/// m.insert(5, 8, WriteTag { rank: 2, seq: 0 });
+/// let runs = m.query(0, 10);
+/// assert_eq!(runs.len(), 3); // [0,5) rank 1 | [5,8) rank 2 | [8,10) rank 1
+/// assert_eq!(runs[1].tag.unwrap().rank, 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegMap {
+    /// start → (end, tag); `end` is exclusive.
+    segs: BTreeMap<u64, (u64, WriteTag)>,
+}
+
+impl SegMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Number of stored segments (after coalescing).
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Record that `[start, end)` was written with `tag`, overwriting any
+    /// previous provenance in that range.
+    pub fn insert(&mut self, start: u64, end: u64, tag: WriteTag) {
+        assert!(start <= end, "invalid range");
+        if start == end {
+            return;
+        }
+        // Find every segment overlapping [start, end) — plus the one that
+        // may begin before `start` — split the edges, remove the middle.
+        let mut to_reinsert: Vec<(u64, u64, WriteTag)> = Vec::new();
+        let mut to_remove: Vec<u64> = Vec::new();
+
+        // Segment starting before `start` that may overlap.
+        if let Some((&s, &(e, t))) = self.segs.range(..start).next_back() {
+            if e > start {
+                to_remove.push(s);
+                to_reinsert.push((s, start, t));
+                if e > end {
+                    to_reinsert.push((end, e, t));
+                }
+            }
+        }
+        // Segments starting within [start, end).
+        for (&s, &(e, t)) in self.segs.range(start..end) {
+            to_remove.push(s);
+            if e > end {
+                to_reinsert.push((end, e, t));
+            }
+        }
+        for s in to_remove {
+            self.segs.remove(&s);
+        }
+        for (s, e, t) in to_reinsert {
+            if s < e {
+                self.segs.insert(s, (e, t));
+            }
+        }
+        self.segs.insert(start, (end, tag));
+        self.coalesce_around(start, end);
+    }
+
+    /// Merge equal-tag neighbours around the freshly inserted range.
+    fn coalesce_around(&mut self, start: u64, end: u64) {
+        // Merge with predecessor.
+        let mut cur_start = start;
+        if let Some((&ps, &(pe, pt))) = self.segs.range(..cur_start).next_back() {
+            let (ce, ct) = self.segs[&cur_start];
+            if pe == cur_start && pt == ct {
+                self.segs.remove(&cur_start);
+                self.segs.insert(ps, (ce, ct));
+                cur_start = ps;
+            }
+        }
+        // Merge with successor.
+        let (ce, ct) = self.segs[&cur_start];
+        debug_assert!(ce >= end);
+        if let Some((&ns, &(ne, nt))) = self.segs.range(cur_start + 1..).next() {
+            if ns == ce && nt == ct {
+                self.segs.remove(&ns);
+                self.segs.insert(cur_start, (ne, ct));
+            }
+        }
+    }
+
+    /// The provenance of `[start, end)` as a sequence of runs covering the
+    /// whole range (holes yield `tag: None`).
+    pub fn query(&self, start: u64, end: u64) -> Vec<TagRun> {
+        let mut runs = Vec::new();
+        if start >= end {
+            return runs;
+        }
+        let mut pos = start;
+        // The segment possibly covering `start`.
+        let mut iter: Vec<(u64, u64, WriteTag)> = Vec::new();
+        if let Some((&s, &(e, t))) = self.segs.range(..=start).next_back() {
+            if e > start {
+                iter.push((s.max(start), e, t));
+            }
+        }
+        for (&s, &(e, t)) in self.segs.range(start + 1..end) {
+            iter.push((s, e, t));
+        }
+        for (s, e, t) in iter {
+            if s > pos {
+                runs.push(TagRun { len: s - pos, tag: None });
+            }
+            let run_end = e.min(end);
+            runs.push(TagRun { len: run_end - pos.max(s), tag: Some(t) });
+            pos = run_end;
+            if pos >= end {
+                break;
+            }
+        }
+        if pos < end {
+            runs.push(TagRun { len: end - pos, tag: None });
+        }
+        runs
+    }
+
+    /// Iterate all segments as `(start, end, tag)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, WriteTag)> + '_ {
+        self.segs.iter().map(|(&s, &(e, t))| (s, e, t))
+    }
+
+    /// A 64-bit FNV-1a digest of the provenance of `[start, end)` — used by
+    /// the observation log to compare what reads saw across engines without
+    /// storing full runs.
+    pub fn digest(&self, start: u64, end: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for run in self.query(start, end) {
+            mix(run.len);
+            match run.tag {
+                Some(t) => {
+                    mix(t.rank as u64 + 1);
+                    mix(t.seq + 1);
+                }
+                None => mix(0),
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(rank: u32, seq: u64) -> WriteTag {
+        WriteTag { rank, seq }
+    }
+
+    fn runs(m: &SegMap, s: u64, e: u64) -> Vec<(u64, Option<(u32, u64)>)> {
+        m.query(s, e)
+            .into_iter()
+            .map(|r| (r.len, r.tag.map(|t| (t.rank, t.seq))))
+            .collect()
+    }
+
+    #[test]
+    fn empty_map_is_all_holes() {
+        let m = SegMap::new();
+        assert_eq!(runs(&m, 0, 10), vec![(10, None)]);
+        assert!(m.query(5, 5).is_empty());
+    }
+
+    #[test]
+    fn single_insert() {
+        let mut m = SegMap::new();
+        m.insert(10, 20, tag(1, 1));
+        assert_eq!(
+            runs(&m, 0, 30),
+            vec![(10, None), (10, Some((1, 1))), (10, None)]
+        );
+    }
+
+    #[test]
+    fn overwrite_middle_splits() {
+        let mut m = SegMap::new();
+        m.insert(0, 30, tag(1, 1));
+        m.insert(10, 20, tag(2, 2));
+        assert_eq!(
+            runs(&m, 0, 30),
+            vec![(10, Some((1, 1))), (10, Some((2, 2))), (10, Some((1, 1)))]
+        );
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_covering_removes_inner() {
+        let mut m = SegMap::new();
+        m.insert(5, 10, tag(1, 1));
+        m.insert(12, 15, tag(1, 2));
+        m.insert(0, 20, tag(3, 3));
+        assert_eq!(runs(&m, 0, 20), vec![(20, Some((3, 3)))]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn partial_overlap_left_and_right() {
+        let mut m = SegMap::new();
+        m.insert(0, 10, tag(1, 1));
+        m.insert(20, 30, tag(2, 2));
+        m.insert(5, 25, tag(3, 3));
+        assert_eq!(
+            runs(&m, 0, 30),
+            vec![(5, Some((1, 1))), (20, Some((3, 3))), (5, Some((2, 2)))]
+        );
+    }
+
+    #[test]
+    fn coalesces_equal_adjacent_tags() {
+        let mut m = SegMap::new();
+        m.insert(0, 10, tag(1, 1));
+        m.insert(10, 20, tag(1, 1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(runs(&m, 0, 20), vec![(20, Some((1, 1)))]);
+    }
+
+    #[test]
+    fn digest_changes_with_provenance() {
+        let mut a = SegMap::new();
+        a.insert(0, 10, tag(1, 1));
+        let mut b = SegMap::new();
+        b.insert(0, 10, tag(1, 2));
+        assert_ne!(a.digest(0, 10), b.digest(0, 10));
+        assert_eq!(a.digest(0, 10), a.clone().digest(0, 10));
+        // Outside the written range the digest is the hole digest.
+        let empty = SegMap::new();
+        assert_eq!(a.digest(20, 30), empty.digest(20, 30));
+    }
+
+    #[test]
+    fn query_is_exact_at_boundaries() {
+        let mut m = SegMap::new();
+        m.insert(10, 20, tag(1, 1));
+        assert_eq!(runs(&m, 10, 20), vec![(10, Some((1, 1)))]);
+        assert_eq!(runs(&m, 9, 10), vec![(1, None)]);
+        assert_eq!(runs(&m, 20, 21), vec![(1, None)]);
+        assert_eq!(runs(&m, 15, 16), vec![(1, Some((1, 1)))]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests: the strong engine must agree with a trivial
+//! reference model (a flat byte array), and the buffering engines must
+//! converge to the same final image once quiesced, for any single-writer
+//! operation sequence.
+
+use proptest::prelude::*;
+
+use pfssim::{OpenFlags, Pfs, PfsConfig, SemanticsModel, Whence};
+
+/// A single-file operation for the reference-model comparison.
+#[derive(Debug, Clone)]
+enum Op {
+    Write(Vec<u8>),
+    Pwrite(u64, Vec<u8>),
+    SeekSet(u64),
+    SeekCur(i64),
+    SeekEnd(i64),
+    Read(u64),
+    Pread(u64, u64),
+    Truncate(u64),
+    Fsync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 1..64).prop_map(Op::Write),
+        (0u64..512, prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(o, d)| Op::Pwrite(o, d)),
+        (0u64..512).prop_map(Op::SeekSet),
+        (-64i64..64).prop_map(Op::SeekCur),
+        (-64i64..0).prop_map(Op::SeekEnd),
+        (1u64..128).prop_map(Op::Read),
+        (0u64..512, 1u64..128).prop_map(|(o, l)| Op::Pread(o, l)),
+        (0u64..512).prop_map(Op::Truncate),
+        Just(Op::Fsync),
+    ]
+}
+
+/// Reference: flat in-memory file with a cursor.
+#[derive(Default)]
+struct RefFile {
+    data: Vec<u8>,
+    cursor: u64,
+}
+
+impl RefFile {
+    fn write_at(&mut self, off: u64, bytes: &[u8]) {
+        let end = off as usize + bytes.len();
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        self.data[off as usize..end].copy_from_slice(bytes);
+    }
+
+    fn apply(&mut self, op: &Op) -> Option<Vec<u8>> {
+        match op {
+            Op::Write(d) => {
+                let off = self.cursor;
+                self.write_at(off, d);
+                self.cursor += d.len() as u64;
+                None
+            }
+            Op::Pwrite(o, d) => {
+                self.write_at(*o, d);
+                None
+            }
+            Op::SeekSet(o) => {
+                self.cursor = *o;
+                None
+            }
+            Op::SeekCur(delta) => {
+                let pos = self.cursor as i64 + delta;
+                if pos >= 0 {
+                    self.cursor = pos as u64;
+                }
+                None
+            }
+            Op::SeekEnd(delta) => {
+                let pos = self.data.len() as i64 + delta;
+                if pos >= 0 {
+                    self.cursor = pos as u64;
+                }
+                None
+            }
+            Op::Read(len) => {
+                let off = self.cursor as usize;
+                let end = (off + *len as usize).min(self.data.len());
+                let out = if off >= self.data.len() {
+                    Vec::new()
+                } else {
+                    self.data[off..end].to_vec()
+                };
+                self.cursor += out.len() as u64;
+                Some(out)
+            }
+            Op::Pread(o, len) => {
+                let off = *o as usize;
+                let end = (off + *len as usize).min(self.data.len());
+                Some(if off >= self.data.len() {
+                    Vec::new()
+                } else {
+                    self.data[off..end].to_vec()
+                })
+            }
+            Op::Truncate(l) => {
+                self.data.resize(*l as usize, 0);
+                if *l < self.data.len() as u64 {
+                    self.data.truncate(*l as usize);
+                }
+                None
+            }
+            Op::Fsync => None,
+        }
+    }
+}
+
+fn run_engine(model: SemanticsModel, ops: &[Op]) -> (Vec<Option<Vec<u8>>>, Vec<u8>) {
+    let fs = Pfs::new(PfsConfig::default().with_semantics(model));
+    let mut c = fs.client(0);
+    let fd = c.open("/f", OpenFlags::rdwr_create(), 0).unwrap();
+    let mut reads = Vec::new();
+    let mut now = 1u64;
+    for op in ops {
+        now += 1;
+        let r = match op {
+            Op::Write(d) => {
+                c.write(fd, d, now).unwrap();
+                None
+            }
+            Op::Pwrite(o, d) => {
+                c.pwrite(fd, *o, d, now).unwrap();
+                None
+            }
+            Op::SeekSet(o) => {
+                c.lseek(fd, *o as i64, Whence::Set, now).unwrap();
+                None
+            }
+            Op::SeekCur(delta) => {
+                let _ = c.lseek(fd, *delta, Whence::Cur, now);
+                None
+            }
+            Op::SeekEnd(delta) => {
+                let _ = c.lseek(fd, *delta, Whence::End, now);
+                None
+            }
+            Op::Read(len) => Some(c.read(fd, *len, now).unwrap().data),
+            Op::Pread(o, len) => Some(c.pread(fd, *o, *len, now).unwrap().data),
+            Op::Truncate(l) => {
+                c.ftruncate(fd, *l, now).unwrap();
+                None
+            }
+            Op::Fsync => {
+                c.fsync(fd, now).unwrap();
+                None
+            }
+        };
+        reads.push(r);
+    }
+    c.close(fd, now + 1).unwrap();
+    fs.quiesce();
+    let img = fs.published_image("/f").unwrap();
+    let size = img.size();
+    (reads, img.read(0, size))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The strong engine behaves exactly like a flat byte array with a
+    /// cursor, for any single-process op sequence.
+    #[test]
+    fn strong_engine_matches_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut reference = RefFile::default();
+        let ref_reads: Vec<Option<Vec<u8>>> = ops.iter().map(|op| {
+            // Mirror client rules the reference must skip: negative seeks
+            // are rejected by the client, so clamp the same way.
+            reference.apply(op)
+        }).collect();
+        let (reads, final_img) = run_engine(SemanticsModel::Strong, &ops);
+        prop_assert_eq!(reads, ref_reads);
+        prop_assert_eq!(final_img, reference.data);
+    }
+
+    /// Single-process programs are engine-invariant: every read returns the
+    /// same bytes (read-your-writes), and after quiesce the published image
+    /// is identical under all four models.
+    #[test]
+    fn single_writer_engine_invariance(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let (strong_reads, strong_img) = run_engine(SemanticsModel::Strong, &ops);
+        for model in [SemanticsModel::Commit, SemanticsModel::Session, SemanticsModel::Eventual] {
+            let (reads, img) = run_engine(model, &ops);
+            prop_assert_eq!(&reads, &strong_reads, "reads differ under {:?}", model);
+            prop_assert_eq!(&img, &strong_img, "final image differs under {:?}", model);
+        }
+    }
+}

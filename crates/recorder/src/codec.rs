@@ -1,0 +1,492 @@
+//! Compact binary trace codec.
+//!
+//! Layout:
+//! ```text
+//! magic "RTRC" | version u8
+//! varint n_paths | (varint len, utf8 bytes)*
+//! varint n_ranks | (zigzag skew)*
+//! per rank: varint n_records | records
+//! ```
+//! Records are delta-encoded in time (`t_start` as delta from the previous
+//! record's `t_start`, `t_end` as delta from own `t_start`), which keeps
+//! traces small since records are near-sorted.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::record::{Func, Layer, MetaKind, PathId, Record, SeekWhence};
+use crate::traceset::TraceSet;
+
+const MAGIC: &[u8; 4] = b"RTRC";
+const VERSION: u8 = 1;
+
+/// Codec error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    BadMagic,
+    BadVersion(u8),
+    Truncated,
+    BadTag(u8),
+    BadUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad trace magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::Truncated => write!(f, "truncated trace"),
+            CodecError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            CodecError::BadUtf8 => write!(f, "invalid utf8 in path table"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(CodecError::Truncated);
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_func(buf: &mut BytesMut, func: &Func) {
+    match *func {
+        Func::Open { path, flags, fd } => {
+            buf.put_u8(0);
+            put_varint(buf, path.0 as u64);
+            put_varint(buf, flags as u64);
+            put_varint(buf, fd as u64);
+        }
+        Func::Close { fd } => {
+            buf.put_u8(1);
+            put_varint(buf, fd as u64);
+        }
+        Func::Read { fd, count, ret } => {
+            buf.put_u8(2);
+            put_varint(buf, fd as u64);
+            put_varint(buf, count);
+            put_varint(buf, ret);
+        }
+        Func::Write { fd, count } => {
+            buf.put_u8(3);
+            put_varint(buf, fd as u64);
+            put_varint(buf, count);
+        }
+        Func::Pread { fd, offset, count, ret } => {
+            buf.put_u8(4);
+            put_varint(buf, fd as u64);
+            put_varint(buf, offset);
+            put_varint(buf, count);
+            put_varint(buf, ret);
+        }
+        Func::Pwrite { fd, offset, count } => {
+            buf.put_u8(5);
+            put_varint(buf, fd as u64);
+            put_varint(buf, offset);
+            put_varint(buf, count);
+        }
+        Func::Lseek { fd, offset, whence, ret } => {
+            buf.put_u8(6);
+            put_varint(buf, fd as u64);
+            put_varint(buf, zigzag(offset));
+            buf.put_u8(whence.to_u8());
+            put_varint(buf, ret);
+        }
+        Func::Fsync { fd } => {
+            buf.put_u8(7);
+            put_varint(buf, fd as u64);
+        }
+        Func::Fdatasync { fd } => {
+            buf.put_u8(8);
+            put_varint(buf, fd as u64);
+        }
+        Func::Ftruncate { fd, len } => {
+            buf.put_u8(9);
+            put_varint(buf, fd as u64);
+            put_varint(buf, len);
+        }
+        Func::Mmap { fd, offset, count } => {
+            buf.put_u8(10);
+            put_varint(buf, fd as u64);
+            put_varint(buf, offset);
+            put_varint(buf, count);
+        }
+        Func::MetaPath { op, path } => {
+            buf.put_u8(11);
+            buf.put_u8(op.to_u8());
+            put_varint(buf, path.0 as u64);
+        }
+        Func::MetaPath2 { op, path, path2 } => {
+            buf.put_u8(12);
+            buf.put_u8(op.to_u8());
+            put_varint(buf, path.0 as u64);
+            put_varint(buf, path2.0 as u64);
+        }
+        Func::MetaFd { op, fd } => {
+            buf.put_u8(13);
+            buf.put_u8(op.to_u8());
+            put_varint(buf, fd as u64);
+        }
+        Func::MetaPlain { op } => {
+            buf.put_u8(14);
+            buf.put_u8(op.to_u8());
+        }
+        Func::MpiBarrier { epoch } => {
+            buf.put_u8(15);
+            put_varint(buf, epoch);
+        }
+        Func::MpiSend { dst, tag, seq } => {
+            buf.put_u8(16);
+            put_varint(buf, dst as u64);
+            put_varint(buf, tag as u64);
+            put_varint(buf, seq);
+        }
+        Func::MpiRecv { src, tag, seq } => {
+            buf.put_u8(17);
+            put_varint(buf, src as u64);
+            put_varint(buf, tag as u64);
+            put_varint(buf, seq);
+        }
+        Func::MpiFileOpen { path, fh } => {
+            buf.put_u8(18);
+            put_varint(buf, path.0 as u64);
+            put_varint(buf, fh as u64);
+        }
+        Func::MpiFileClose { fh } => {
+            buf.put_u8(19);
+            put_varint(buf, fh as u64);
+        }
+        Func::MpiFileWriteAt { fh, offset, count } => {
+            buf.put_u8(20);
+            put_varint(buf, fh as u64);
+            put_varint(buf, offset);
+            put_varint(buf, count);
+        }
+        Func::MpiFileWriteAtAll { fh, offset, count } => {
+            buf.put_u8(21);
+            put_varint(buf, fh as u64);
+            put_varint(buf, offset);
+            put_varint(buf, count);
+        }
+        Func::MpiFileReadAt { fh, offset, count } => {
+            buf.put_u8(22);
+            put_varint(buf, fh as u64);
+            put_varint(buf, offset);
+            put_varint(buf, count);
+        }
+        Func::MpiFileReadAtAll { fh, offset, count } => {
+            buf.put_u8(23);
+            put_varint(buf, fh as u64);
+            put_varint(buf, offset);
+            put_varint(buf, count);
+        }
+        Func::MpiFileSync { fh } => {
+            buf.put_u8(24);
+            put_varint(buf, fh as u64);
+        }
+        Func::H5Fcreate { path, id } => {
+            buf.put_u8(25);
+            put_varint(buf, path.0 as u64);
+            put_varint(buf, id as u64);
+        }
+        Func::H5Fopen { path, id } => {
+            buf.put_u8(26);
+            put_varint(buf, path.0 as u64);
+            put_varint(buf, id as u64);
+        }
+        Func::H5Fclose { id } => {
+            buf.put_u8(27);
+            put_varint(buf, id as u64);
+        }
+        Func::H5Fflush { id } => {
+            buf.put_u8(28);
+            put_varint(buf, id as u64);
+        }
+        Func::H5Dcreate { file, name, id } => {
+            buf.put_u8(29);
+            put_varint(buf, file as u64);
+            put_varint(buf, name.0 as u64);
+            put_varint(buf, id as u64);
+        }
+        Func::H5Dopen { file, name, id } => {
+            buf.put_u8(30);
+            put_varint(buf, file as u64);
+            put_varint(buf, name.0 as u64);
+            put_varint(buf, id as u64);
+        }
+        Func::H5Dwrite { dset, count } => {
+            buf.put_u8(31);
+            put_varint(buf, dset as u64);
+            put_varint(buf, count);
+        }
+        Func::H5Dread { dset, count } => {
+            buf.put_u8(32);
+            put_varint(buf, dset as u64);
+            put_varint(buf, count);
+        }
+        Func::H5Dclose { id } => {
+            buf.put_u8(33);
+            put_varint(buf, id as u64);
+        }
+        Func::LibCall { name, a, b } => {
+            buf.put_u8(34);
+            put_varint(buf, name.0 as u64);
+            put_varint(buf, a);
+            put_varint(buf, b);
+        }
+    }
+}
+
+fn get_func(buf: &mut Bytes) -> Result<Func, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let v = |buf: &mut Bytes| get_varint(buf);
+    let func = match tag {
+        0 => Func::Open {
+            path: PathId(v(buf)? as u32),
+            flags: v(buf)? as u32,
+            fd: v(buf)? as u32,
+        },
+        1 => Func::Close { fd: v(buf)? as u32 },
+        2 => Func::Read { fd: v(buf)? as u32, count: v(buf)?, ret: v(buf)? },
+        3 => Func::Write { fd: v(buf)? as u32, count: v(buf)? },
+        4 => Func::Pread { fd: v(buf)? as u32, offset: v(buf)?, count: v(buf)?, ret: v(buf)? },
+        5 => Func::Pwrite { fd: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        6 => {
+            let fd = v(buf)? as u32;
+            let offset = unzigzag(v(buf)?);
+            if !buf.has_remaining() {
+                return Err(CodecError::Truncated);
+            }
+            let whence = SeekWhence::from_u8(buf.get_u8());
+            let ret = v(buf)?;
+            Func::Lseek { fd, offset, whence, ret }
+        }
+        7 => Func::Fsync { fd: v(buf)? as u32 },
+        8 => Func::Fdatasync { fd: v(buf)? as u32 },
+        9 => Func::Ftruncate { fd: v(buf)? as u32, len: v(buf)? },
+        10 => Func::Mmap { fd: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        11 => {
+            let op = meta_from(buf)?;
+            Func::MetaPath { op, path: PathId(v(buf)? as u32) }
+        }
+        12 => {
+            let op = meta_from(buf)?;
+            Func::MetaPath2 {
+                op,
+                path: PathId(v(buf)? as u32),
+                path2: PathId(v(buf)? as u32),
+            }
+        }
+        13 => {
+            let op = meta_from(buf)?;
+            Func::MetaFd { op, fd: v(buf)? as u32 }
+        }
+        14 => Func::MetaPlain { op: meta_from(buf)? },
+        15 => Func::MpiBarrier { epoch: v(buf)? },
+        16 => Func::MpiSend { dst: v(buf)? as u32, tag: v(buf)? as u32, seq: v(buf)? },
+        17 => Func::MpiRecv { src: v(buf)? as u32, tag: v(buf)? as u32, seq: v(buf)? },
+        18 => Func::MpiFileOpen { path: PathId(v(buf)? as u32), fh: v(buf)? as u32 },
+        19 => Func::MpiFileClose { fh: v(buf)? as u32 },
+        20 => Func::MpiFileWriteAt { fh: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        21 => Func::MpiFileWriteAtAll { fh: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        22 => Func::MpiFileReadAt { fh: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        23 => Func::MpiFileReadAtAll { fh: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        24 => Func::MpiFileSync { fh: v(buf)? as u32 },
+        25 => Func::H5Fcreate { path: PathId(v(buf)? as u32), id: v(buf)? as u32 },
+        26 => Func::H5Fopen { path: PathId(v(buf)? as u32), id: v(buf)? as u32 },
+        27 => Func::H5Fclose { id: v(buf)? as u32 },
+        28 => Func::H5Fflush { id: v(buf)? as u32 },
+        29 => Func::H5Dcreate {
+            file: v(buf)? as u32,
+            name: PathId(v(buf)? as u32),
+            id: v(buf)? as u32,
+        },
+        30 => Func::H5Dopen {
+            file: v(buf)? as u32,
+            name: PathId(v(buf)? as u32),
+            id: v(buf)? as u32,
+        },
+        31 => Func::H5Dwrite { dset: v(buf)? as u32, count: v(buf)? },
+        32 => Func::H5Dread { dset: v(buf)? as u32, count: v(buf)? },
+        33 => Func::H5Dclose { id: v(buf)? as u32 },
+        34 => Func::LibCall { name: PathId(v(buf)? as u32), a: v(buf)?, b: v(buf)? },
+        other => return Err(CodecError::BadTag(other)),
+    };
+    Ok(func)
+}
+
+fn meta_from(buf: &mut Bytes) -> Result<MetaKind, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let v = buf.get_u8();
+    if (v as usize) < MetaKind::ALL.len() {
+        Ok(MetaKind::from_u8(v))
+    } else {
+        Err(CodecError::BadTag(v))
+    }
+}
+
+impl TraceSet {
+    /// Serialize to the binary trace format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64 + self.total_records() * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        put_varint(&mut buf, self.paths.len() as u64);
+        for p in &self.paths {
+            put_varint(&mut buf, p.len() as u64);
+            buf.put_slice(p.as_bytes());
+        }
+        put_varint(&mut buf, self.ranks.len() as u64);
+        for &s in &self.skews_ns {
+            put_varint(&mut buf, zigzag(s));
+        }
+        for rank in &self.ranks {
+            put_varint(&mut buf, rank.len() as u64);
+            let mut prev_start = 0u64;
+            for rec in rank {
+                put_varint(&mut buf, zigzag(rec.t_start as i64 - prev_start as i64));
+                put_varint(&mut buf, rec.t_end - rec.t_start.min(rec.t_end));
+                prev_start = rec.t_start;
+                buf.put_u8(rec.layer.to_u8());
+                buf.put_u8(rec.origin.to_u8());
+                put_func(&mut buf, &rec.func);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialize from the binary trace format.
+    pub fn decode(data: &[u8]) -> Result<TraceSet, CodecError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        if buf.remaining() < 5 {
+            return Err(CodecError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let n_paths = get_varint(&mut buf)? as usize;
+        let mut paths = Vec::with_capacity(n_paths);
+        for _ in 0..n_paths {
+            let len = get_varint(&mut buf)? as usize;
+            if buf.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            let bytes = buf.copy_to_bytes(len);
+            paths.push(String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)?);
+        }
+        let n_ranks = get_varint(&mut buf)? as usize;
+        let mut skews_ns = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            skews_ns.push(unzigzag(get_varint(&mut buf)?));
+        }
+        let mut ranks = Vec::with_capacity(n_ranks);
+        for rank in 0..n_ranks {
+            let n = get_varint(&mut buf)? as usize;
+            let mut records = Vec::with_capacity(n);
+            let mut prev_start = 0u64;
+            for _ in 0..n {
+                let t_start = (prev_start as i64 + unzigzag(get_varint(&mut buf)?)) as u64;
+                let dur = get_varint(&mut buf)?;
+                prev_start = t_start;
+                if buf.remaining() < 2 {
+                    return Err(CodecError::Truncated);
+                }
+                let layer = Layer::from_u8(buf.get_u8());
+                let origin = Layer::from_u8(buf.get_u8());
+                let func = get_func(&mut buf)?;
+                records.push(Record {
+                    t_start,
+                    t_end: t_start + dur,
+                    rank: rank as u32,
+                    layer,
+                    origin,
+                    func,
+                });
+            }
+            ranks.push(records);
+        }
+        Ok(TraceSet { paths, ranks, skews_ns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = BytesMut::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut b = Bytes::from(buf.to_vec());
+        for &v in &values {
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-5i64, 0, 1, -1, i64::MAX, i64::MIN, 123456] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(TraceSet::decode(b"xxxx\x01"), Err(CodecError::BadMagic));
+        assert_eq!(TraceSet::decode(b"RT"), Err(CodecError::Truncated));
+        assert_eq!(TraceSet::decode(b"RTRC\x07"), Err(CodecError::BadVersion(7)));
+    }
+
+    #[test]
+    fn empty_traceset_roundtrip() {
+        let ts = TraceSet::default();
+        assert_eq!(TraceSet::decode(&ts.encode()).unwrap(), ts);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property test: any trace survives an encode/decode roundtrip bit-exactly.
+
+use proptest::prelude::*;
+use recorder::{Func, Layer, MetaKind, PathId, Record, SeekWhence, TraceSet};
+
+const N_PATHS: u32 = 8;
+
+fn path_id() -> impl Strategy<Value = PathId> {
+    (0..N_PATHS).prop_map(PathId)
+}
+
+fn meta_kind() -> impl Strategy<Value = MetaKind> {
+    (0..MetaKind::ALL.len()).prop_map(|i| MetaKind::ALL[i])
+}
+
+fn layer() -> impl Strategy<Value = Layer> {
+    (0..Layer::ALL.len()).prop_map(|i| Layer::ALL[i])
+}
+
+fn whence() -> impl Strategy<Value = SeekWhence> {
+    prop_oneof![Just(SeekWhence::Set), Just(SeekWhence::Cur), Just(SeekWhence::End)]
+}
+
+fn func() -> impl Strategy<Value = Func> {
+    let small = any::<u32>();
+    let big = any::<u64>();
+    prop_oneof![
+        (path_id(), small, small).prop_map(|(path, flags, fd)| Func::Open { path, flags, fd }),
+        small.prop_map(|fd| Func::Close { fd }),
+        (small, big, big).prop_map(|(fd, count, ret)| Func::Read { fd, count, ret }),
+        (small, big).prop_map(|(fd, count)| Func::Write { fd, count }),
+        (small, big, big, big)
+            .prop_map(|(fd, offset, count, ret)| Func::Pread { fd, offset, count, ret }),
+        (small, big, big).prop_map(|(fd, offset, count)| Func::Pwrite { fd, offset, count }),
+        (small, any::<i64>(), whence(), big)
+            .prop_map(|(fd, offset, whence, ret)| Func::Lseek { fd, offset, whence, ret }),
+        small.prop_map(|fd| Func::Fsync { fd }),
+        small.prop_map(|fd| Func::Fdatasync { fd }),
+        (small, big).prop_map(|(fd, len)| Func::Ftruncate { fd, len }),
+        (small, big, big).prop_map(|(fd, offset, count)| Func::Mmap { fd, offset, count }),
+        (meta_kind(), path_id()).prop_map(|(op, path)| Func::MetaPath { op, path }),
+        (meta_kind(), path_id(), path_id())
+            .prop_map(|(op, path, path2)| Func::MetaPath2 { op, path, path2 }),
+        (meta_kind(), small).prop_map(|(op, fd)| Func::MetaFd { op, fd }),
+        meta_kind().prop_map(|op| Func::MetaPlain { op }),
+        big.prop_map(|epoch| Func::MpiBarrier { epoch }),
+        (small, small, big).prop_map(|(dst, tag, seq)| Func::MpiSend { dst, tag, seq }),
+        (small, small, big).prop_map(|(src, tag, seq)| Func::MpiRecv { src, tag, seq }),
+        (path_id(), small).prop_map(|(path, fh)| Func::MpiFileOpen { path, fh }),
+        small.prop_map(|fh| Func::MpiFileClose { fh }),
+        (small, big, big)
+            .prop_map(|(fh, offset, count)| Func::MpiFileWriteAt { fh, offset, count }),
+        (small, big, big)
+            .prop_map(|(fh, offset, count)| Func::MpiFileWriteAtAll { fh, offset, count }),
+        (small, big, big).prop_map(|(fh, offset, count)| Func::MpiFileReadAt { fh, offset, count }),
+        (small, big, big)
+            .prop_map(|(fh, offset, count)| Func::MpiFileReadAtAll { fh, offset, count }),
+        small.prop_map(|fh| Func::MpiFileSync { fh }),
+        (path_id(), small).prop_map(|(path, id)| Func::H5Fcreate { path, id }),
+        (path_id(), small).prop_map(|(path, id)| Func::H5Fopen { path, id }),
+        small.prop_map(|id| Func::H5Fclose { id }),
+        small.prop_map(|id| Func::H5Fflush { id }),
+        (small, path_id(), small).prop_map(|(file, name, id)| Func::H5Dcreate { file, name, id }),
+        (small, path_id(), small).prop_map(|(file, name, id)| Func::H5Dopen { file, name, id }),
+        (small, big).prop_map(|(dset, count)| Func::H5Dwrite { dset, count }),
+        (small, big).prop_map(|(dset, count)| Func::H5Dread { dset, count }),
+        small.prop_map(|id| Func::H5Dclose { id }),
+        (path_id(), big, big).prop_map(|(name, a, b)| Func::LibCall { name, a, b }),
+    ]
+}
+
+prop_compose! {
+    fn rank_records(rank: u32)(
+        items in prop::collection::vec((0u64..1_000_000, 0u64..1000, layer(), layer(), func()), 0..50)
+    ) -> Vec<Record> {
+        // Make timestamps non-decreasing within the rank, like real traces.
+        let mut t = 0u64;
+        items
+            .into_iter()
+            .map(|(dt, dur, layer, origin, func)| {
+                t += dt;
+                Record { t_start: t, t_end: t + dur, rank, layer, origin, func }
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_roundtrip(
+        r0 in rank_records(0),
+        r1 in rank_records(1),
+        r2 in rank_records(2),
+        s in prop::collection::vec(-20_000i64..20_000, 3..=3),
+    ) {
+        let trace = TraceSet {
+            paths: (0..N_PATHS).map(|i| format!("/p{i}")).collect(),
+            ranks: vec![r0, r1, r2],
+            skews_ns: s,
+        };
+        let encoded = trace.encode();
+        let decoded = TraceSet::decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TraceSet::decode(&data);
+    }
+}

@@ -1,0 +1,217 @@
+//! `tracetool` — work with saved binary traces (`.rtrc`).
+//!
+//! ```text
+//! tracetool capture <config> --out FILE [--ranks N] [--seed S]
+//! tracetool info FILE                 trace statistics
+//! tracetool dump FILE [--rank R] [--limit N]
+//! tracetool conflicts FILE [--model session|commit]
+//! tracetool patterns FILE             Table 3 label + Figure 1 percentages
+//! tracetool census FILE               metadata-operation census
+//! tracetool report FILE               full per-run report (paper §7 artifact style)
+//! tracetool list                      available configurations for capture
+//! ```
+//!
+//! Traces are adjusted (barrier-rebased) before analysis, exactly as the
+//! paper's pipeline does.
+
+use recorder::stats::{SizeHistogram, TraceStats};
+use recorder::{adjust, offset, TraceSet};
+use semantics_core::conflict::{detect_conflicts, AnalysisModel};
+use semantics_core::metadata::MetadataCensus;
+use semantics_core::patterns::{global_pattern, highlevel, local_pattern, AccessClass};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracetool <capture|info|dump|conflicts|patterns|census|report|list> [args]"
+    );
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load(path: &str) -> TraceSet {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    TraceSet::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("cannot decode {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let rest = &args[1..];
+
+    match cmd.as_str() {
+        "list" => {
+            for spec in hpcapps::all_specs() {
+                println!("{:<24} {}", spec.config_name(), spec.table5);
+            }
+        }
+        "capture" => {
+            let Some(config) = rest.first() else { usage() };
+            let ranks: u32 = flag(rest, "--ranks").map_or(16, |v| v.parse().expect("--ranks N"));
+            let seed: u64 = flag(rest, "--seed").map_or(2021, |v| v.parse().expect("--seed S"));
+            let out_path = flag(rest, "--out").unwrap_or_else(|| format!("{config}.rtrc"));
+            let spec = hpcapps::all_specs()
+                .into_iter()
+                .find(|s| s.config_name().eq_ignore_ascii_case(config))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown configuration {config}; try `tracetool list`");
+                    std::process::exit(1);
+                });
+            let out = iolibs::run_app(&iolibs::RunConfig::new(ranks, seed), |ctx| spec.run(ctx));
+            std::fs::write(&out_path, out.trace.encode()).expect("write trace");
+            println!(
+                "captured {} records from {} ({} ranks, seed {seed}) → {out_path}",
+                out.trace.total_records(),
+                spec.config_name(),
+                ranks
+            );
+        }
+        "info" => {
+            let Some(path) = rest.first() else { usage() };
+            let trace = load(path);
+            let s = TraceStats::from_trace(&trace);
+            println!("ranks          : {}", trace.nranks());
+            println!("records        : {}", s.total_records());
+            println!("files          : {}", s.files);
+            println!("bytes written  : {}", s.bytes_written);
+            println!("bytes read     : {}", s.bytes_read);
+            println!("small writes   : {:.1}% under 4KiB", 100.0 * s.small_write_fraction(4096));
+            println!("per layer      :");
+            for (layer, n) in &s.per_layer {
+                println!("  {:<8} {}", layer.name(), n);
+            }
+            if let Some(b) = s.write_sizes.mode() {
+                println!("modal write sz : {}", SizeHistogram::label(b));
+            }
+            println!("top functions  :");
+            let mut fns: Vec<_> = s.function_counters.iter().collect();
+            fns.sort_by_key(|(_, &n)| std::cmp::Reverse(n));
+            for (name, n) in fns.into_iter().take(12) {
+                println!("  {name:<22} {n}");
+            }
+        }
+        "dump" => {
+            let Some(path) = rest.first() else { usage() };
+            let trace = load(path);
+            let limit: usize =
+                flag(rest, "--limit").map_or(usize::MAX, |v| v.parse().expect("--limit N"));
+            match flag(rest, "--rank") {
+                Some(r) => {
+                    let rank: u32 = r.parse().expect("--rank R");
+                    for line in recorder::tsv::rank_to_tsv(&trace, rank).lines().take(limit + 1) {
+                        println!("{line}");
+                    }
+                }
+                None => {
+                    for line in recorder::tsv::to_tsv(&trace).lines().take(limit + 1) {
+                        println!("{line}");
+                    }
+                }
+            }
+        }
+        "conflicts" => {
+            let Some(path) = rest.first() else { usage() };
+            let trace = adjust::apply(&load(path));
+            let model = match flag(rest, "--model").as_deref() {
+                None | Some("session") => AnalysisModel::Session,
+                Some("commit") => AnalysisModel::Commit,
+                Some(other) => {
+                    eprintln!("unknown model {other}");
+                    std::process::exit(2);
+                }
+            };
+            let resolved = offset::resolve(&trace);
+            let report = detect_conflicts(&resolved, model);
+            let (ws, wd, rs, rd) = report.table4_marks();
+            println!(
+                "{model:?} semantics: {} pairs | WAW-S:{ws} WAW-D:{wd} RAW-S:{rs} RAW-D:{rd}",
+                report.total()
+            );
+            for p in report.pairs.iter().take(20) {
+                println!(
+                    "  {:?}-{:?} {}: rank {} [{}..{}) t={} → rank {} [{}..{}) t={}",
+                    p.kind,
+                    p.scope,
+                    trace.path(p.file),
+                    p.first.rank,
+                    p.first.offset,
+                    p.first.end(),
+                    p.first.t_start,
+                    p.second.rank,
+                    p.second.offset,
+                    p.second.end(),
+                    p.second.t_start,
+                );
+            }
+            if report.pairs.len() > 20 {
+                println!("  … and {} more", report.pairs.len() - 20);
+            }
+        }
+        "patterns" => {
+            let Some(path) = rest.first() else { usage() };
+            let trace = adjust::apply(&load(path));
+            let resolved = offset::resolve(&trace);
+            let hl = highlevel::classify(&resolved, trace.nranks());
+            let local = local_pattern(&resolved);
+            let global = global_pattern(&resolved);
+            println!("high-level : {}", hl.label());
+            println!(
+                "local      : {:.1}% consecutive, {:.1}% monotonic, {:.1}% random",
+                local.pct(AccessClass::Consecutive),
+                local.pct(AccessClass::Monotonic),
+                local.pct(AccessClass::Random),
+            );
+            println!(
+                "global     : {:.1}% consecutive, {:.1}% monotonic, {:.1}% random",
+                global.pct(AccessClass::Consecutive),
+                global.pct(AccessClass::Monotonic),
+                global.pct(AccessClass::Random),
+            );
+            for fp in hl.per_file.iter().take(16) {
+                let fit = fp
+                    .stride
+                    .map(|f| match f.cycle {
+                        Some(c) => format!(" offset={}·i+{} cycle={c}", f.a, f.b),
+                        None => format!(" offset={}·i+{}", f.a, f.b),
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "  {:<40} {:<14} {:>3} writers {:>10} bytes{fit}",
+                    trace.path(fp.file),
+                    fp.shape.name(),
+                    fp.writers.len(),
+                    fp.bytes,
+                );
+            }
+        }
+        "census" => {
+            let Some(path) = rest.first() else { usage() };
+            let trace = load(path);
+            let census = MetadataCensus::from_trace(&trace);
+            for (op, by_layer) in &census.counts {
+                let layers: Vec<String> =
+                    by_layer.iter().map(|(l, n)| format!("{}:{n}", l.name())).collect();
+                println!("{:<12} {}", op.name(), layers.join(" "));
+            }
+            println!(
+                "unused: {}",
+                census.unused_ops().iter().map(|o| o.name()).collect::<Vec<_>>().join(", ")
+            );
+        }
+        "report" => {
+            let Some(path) = rest.first() else { usage() };
+            let trace = adjust::apply(&load(path));
+            let report = semantics_core::apprun::build(&trace);
+            print!("{}", report.render(path));
+        }
+        _ => usage(),
+    }
+}

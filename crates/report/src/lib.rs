@@ -1,0 +1,30 @@
+//! # report-gen — regenerating the paper's tables and figures
+//!
+//! One module per experiment, all driven by [`runner`], which executes an
+//! application replica through the simulated stack and runs the full
+//! analysis pipeline (adjust → resolve → overlaps/conflicts → patterns →
+//! census → verdict) on the trace.
+//!
+//! | Paper artifact | Module / function |
+//! |---|---|
+//! | Table 1 (PFS categorization) | [`tables::table1`] |
+//! | Table 2 (build configurations) | [`tables::table2`] |
+//! | Table 3 (high-level patterns) | [`tables::table3`] |
+//! | Table 4 (session conflicts) | [`tables::table4`] |
+//! | Table 5 (application configs) | [`tables::table5`] |
+//! | Figure 1 (low-level pattern %) | [`figures::fig1`] |
+//! | Figure 2 (FLASH access detail) | [`figures::fig2_csv`] |
+//! | Figure 3 (metadata census) | [`figures::fig3`] |
+//! | §5.2 validation | [`hbval::validate`] |
+//! | §6.1 scale invariance | [`scale::scale_study`] |
+//! | §6.3 FLASH fixes | [`tables::flash_fix`] |
+//! | semantics-matrix (extension) | [`matrix::semantics_matrix`] |
+
+pub mod figures;
+pub mod hbval;
+pub mod matrix;
+pub mod runner;
+pub mod scale;
+pub mod tables;
+
+pub use runner::{analyze, analyze_all, AnalyzedRun, ReportCfg};

@@ -1,0 +1,100 @@
+//! Run one application configuration through the stack and the full
+//! analysis pipeline.
+
+use hpcapps::{AppSpec, ScaleParams};
+use iolibs::{run_app, RunConfig, RunOutcome};
+use recorder::{adjust, offset, ResolvedTrace};
+use semantics_core::conflict::{detect_conflicts, AnalysisModel, ConflictReport};
+use semantics_core::hb::{validate_conflicts, HbValidation};
+use semantics_core::metadata::MetadataCensus;
+use semantics_core::patterns::{global_pattern, highlevel, local_pattern, PatternStats};
+use semantics_core::verdict::{required_model, Verdict};
+
+/// Global knobs for a report run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportCfg {
+    /// World size. The paper's presented results use 64 ranks.
+    pub nranks: u32,
+    pub seed: u64,
+    /// Maximum injected clock skew (ns); the paper observed < 20 µs.
+    pub max_skew_ns: u64,
+}
+
+impl Default for ReportCfg {
+    fn default() -> Self {
+        ReportCfg { nranks: 64, seed: 2021, max_skew_ns: 20_000 }
+    }
+}
+
+/// Everything the analysis produces for one configuration.
+pub struct AnalyzedRun {
+    pub spec: AppSpec,
+    pub outcome: RunOutcome,
+    pub resolved: ResolvedTrace,
+    pub session: ConflictReport,
+    pub commit: ConflictReport,
+    pub highlevel: highlevel::HighLevelReport,
+    pub local: PatternStats,
+    pub global: PatternStats,
+    pub census: MetadataCensus,
+    pub verdict: Verdict,
+    pub hb: HbValidation,
+    pub nranks: u32,
+}
+
+impl AnalyzedRun {
+    pub fn name(&self) -> String {
+        self.spec.config_name()
+    }
+
+    /// Measured Table 4 marks under session semantics.
+    pub fn session_marks(&self) -> (bool, bool, bool, bool) {
+        self.session.table4_marks()
+    }
+}
+
+/// Run and analyze one configuration.
+pub fn analyze(cfg: &ReportCfg, spec: &AppSpec) -> AnalyzedRun {
+    analyze_with_params(cfg, spec, &spec.params)
+}
+
+/// Run and analyze one configuration with overridden scale parameters.
+pub fn analyze_with_params(cfg: &ReportCfg, spec: &AppSpec, params: &ScaleParams) -> AnalyzedRun {
+    let run_cfg =
+        RunConfig::new(cfg.nranks, cfg.seed).with_max_skew_ns(cfg.max_skew_ns);
+    let outcome = run_app(&run_cfg, |ctx| spec.run_with(ctx, params));
+    let adjusted = adjust::apply(&outcome.trace);
+    let resolved = offset::resolve(&adjusted);
+    let session = detect_conflicts(&resolved, AnalysisModel::Session);
+    let commit = detect_conflicts(&resolved, AnalysisModel::Commit);
+    let highlevel = highlevel::classify(&resolved, cfg.nranks);
+    let local = local_pattern(&resolved);
+    let global = global_pattern(&resolved);
+    let census = MetadataCensus::from_trace(&adjusted);
+    let verdict = required_model(&session, &commit);
+    let hb = validate_conflicts(&adjusted, &session);
+    AnalyzedRun {
+        spec: spec.clone(),
+        outcome,
+        resolved,
+        session,
+        commit,
+        highlevel,
+        local,
+        global,
+        census,
+        verdict,
+        hb,
+        nranks: cfg.nranks,
+    }
+}
+
+/// Analyze every Table 4 configuration (plus, optionally, the extra
+/// variants).
+pub fn analyze_all(cfg: &ReportCfg, include_variants: bool) -> Vec<AnalyzedRun> {
+    hpcapps::all_specs()
+        .iter()
+        .filter(|s| include_variants || s.in_table4 || matches!(s.id, hpcapps::AppId::FlashNofbs))
+        .map(|s| analyze(cfg, s))
+        .collect()
+}

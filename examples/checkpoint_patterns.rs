@@ -1,0 +1,50 @@
+//! Checkpoint-pattern tour (Table 3): the same logical job — "every rank
+//! saves its state" — produces very different PFS-level patterns depending
+//! on the I/O strategy. Runs the HACC-IO (N-N), MILC-parallel (N-1
+//! strided), VPIC-IO (M-1 strided cyclic via collective aggregation) and
+//! MACSio (N-M baton) replicas and classifies each trace.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_patterns
+//! ```
+
+use pfs_semantics::prelude::*;
+use semantics_core::patterns::AccessClass;
+
+fn study(id: AppId, nranks: u32) {
+    let spec = hpcapps::spec(id);
+    let out = run_app(&RunConfig::new(nranks, 3), |ctx| spec.run(ctx));
+    let adjusted = recorder::adjust::apply(&out.trace);
+    let resolved = recorder::offset::resolve(&adjusted);
+    let hl = highlevel::classify(&resolved, nranks);
+    let global = global_pattern(&resolved);
+    let writers: std::collections::BTreeSet<u32> = resolved
+        .accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Write)
+        .map(|a| a.rank)
+        .collect();
+    println!(
+        "{:<18} → {:<22} | {:>2} POSIX-writing ranks, {:>3} files, global random {:>5.1}%",
+        spec.config_name(),
+        hl.label(),
+        writers.len(),
+        hl.per_file.len(),
+        global.pct(AccessClass::Random),
+    );
+}
+
+fn main() {
+    let nranks = 16;
+    println!("Checkpoint strategies at {nranks} ranks (Table 3 classification):\n");
+    study(AppId::HaccIoPosix, nranks); // file per process
+    study(AppId::MilcParallel, nranks); // shared file, one region per rank
+    study(AppId::VpicIo, nranks); // shared file via collective aggregators
+    study(AppId::Macsio, nranks); // file per group, baton-passed
+    study(AppId::Lbann, nranks); // shared file read by everyone
+    println!(
+        "\nN-N spreads metadata load, N-1 concentrates it; collective buffering (M-1)\n\
+         reduces the PFS writer count to the aggregators; N-M is the middle ground.\n\
+         These are exactly the trade-offs the paper's Table 3 catalogues."
+    );
+}

@@ -1,0 +1,64 @@
+//! The FLASH deep dive of §6.3: the one application in the study whose
+//! conflicts involve *distinct* processes — and the two one-line fixes
+//! that make it safe on relaxed-consistency file systems.
+//!
+//! ```text
+//! cargo run --release --example flash_conflict_study
+//! ```
+
+use pfs_semantics::prelude::*;
+use semantics_core::hb::validate_conflicts;
+
+fn analyze(spec: &AppSpec, nranks: u32) -> (ConflictReport, ConflictReport, TraceSet) {
+    let out = run_app(&RunConfig::new(nranks, 7), |ctx| spec.run(ctx));
+    let adjusted = recorder::adjust::apply(&out.trace);
+    let resolved = recorder::offset::resolve(&adjusted);
+    (
+        detect_conflicts(&resolved, AnalysisModel::Session),
+        detect_conflicts(&resolved, AnalysisModel::Commit),
+        adjusted,
+    )
+}
+
+fn main() {
+    let nranks = 16;
+
+    println!("=== FLASH as shipped (H5Fflush after every dataset) ===");
+    let spec = hpcapps::spec(AppId::FlashFbs);
+    let (session, commit, adjusted) = analyze(&spec, nranks);
+    let (ws, wd, rs, rd) = session.table4_marks();
+    println!("session semantics : WAW-S:{ws} WAW-D:{wd} RAW-S:{rs} RAW-D:{rd}");
+    println!("commit semantics  : {} conflicts (the flush's fsync is a commit)", commit.total());
+
+    // Show one cross-process pair: the rotating HDF5 superblock writer.
+    if let Some(p) = session.pairs.iter().find(|p| p.first.rank != p.second.rank) {
+        println!(
+            "example WAW-D     : rank {} wrote [{}..{}) at t={:.2} ms; rank {} rewrote it at t={:.2} ms",
+            p.first.rank,
+            p.first.offset,
+            p.first.end(),
+            p.first.t_start as f64 / 1e6,
+            p.second.rank,
+            p.second.t_start as f64 / 1e6,
+        );
+    }
+
+    // §5.2's validation: the conflicting accesses are synchronized by MPI.
+    let hb = validate_conflicts(&adjusted, &session);
+    println!(
+        "happens-before    : {} cross-process pairs synchronized, {} racy",
+        hb.synchronized, hb.racy
+    );
+
+    println!("\n=== Fix 1: HDF5 collective metadata (rank 0 does all metadata I/O) ===");
+    let (session, _, _) = analyze(&hpcapps::spec(AppId::FlashFbsCollectiveMeta), nranks);
+    let (ws, wd, rs, rd) = session.table4_marks();
+    println!("session semantics : WAW-S:{ws} WAW-D:{wd} RAW-S:{rs} RAW-D:{rd}");
+    println!("→ conflicts are now same-process only; every session-consistency PFS suffices");
+
+    println!("\n=== Fix 2: drop the explicit H5Fflush (H5Fclose implies it) ===");
+    let (session, _, _) = analyze(&hpcapps::spec(AppId::FlashFbsNoFlush), nranks);
+    let (ws, wd, rs, rd) = session.table4_marks();
+    println!("session semantics : WAW-S:{ws} WAW-D:{wd} RAW-S:{rs} RAW-D:{rd}");
+    println!("→ metadata is written once per file; no conflicts at all");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run one application replica, analyze its trace, and ask
+//! the headline question — what is the weakest PFS consistency model this
+//! application can run on, and which real file systems qualify?
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pfs_semantics::prelude::*;
+
+fn main() {
+    let nranks = 16;
+    let spec = hpcapps::spec(AppId::FlashFbs);
+    println!("application : {} ({})", spec.config_name(), spec.table5);
+    println!("world size  : {nranks} ranks\n");
+
+    // 1. Run the replica through the simulated MPI + I/O-library + PFS
+    //    stack, collecting a multi-level trace.
+    let out = run_app(&RunConfig::new(nranks, 42), |ctx| spec.run(ctx));
+    println!(
+        "trace       : {} records across {} ranks",
+        out.trace.total_records(),
+        out.trace.nranks()
+    );
+
+    // 2. Post-process exactly as the paper does: barrier-adjust the
+    //    timestamps (§5.2), then derive (offset, length) for every data
+    //    access (§5.1).
+    let adjusted = recorder::adjust::apply(&out.trace);
+    let resolved = recorder::offset::resolve(&adjusted);
+    println!("accesses    : {} resolved data accesses", resolved.accesses.len());
+
+    // 3. Detect conflicts under the two relaxed models.
+    let session = detect_conflicts(&resolved, AnalysisModel::Session);
+    let commit = detect_conflicts(&resolved, AnalysisModel::Commit);
+    let (ws, wd, rs, rd) = session.table4_marks();
+    println!("session     : WAW-S:{ws} WAW-D:{wd} RAW-S:{rs} RAW-D:{rd} ({} pairs)", session.total());
+    println!("commit      : {} pairs", commit.total());
+
+    // 4. The verdict, and the PFSs it admits (Table 1).
+    let verdict = required_model(&session, &commit);
+    println!("\nweakest sufficient model: {}", verdict.required);
+    let registry = PfsRegistry::default();
+    let compatible = registry.compatible(verdict.required, verdict.same_process_conflicts);
+    println!("compatible file systems :");
+    for pfs in compatible {
+        println!("  - {:<12} ({} consistency; {})", pfs.name, pfs.model, pfs.note);
+    }
+
+    // 5. Access patterns (Table 3 / Figure 1).
+    let hl = highlevel::classify(&resolved, nranks);
+    let local = local_pattern(&resolved);
+    let global = global_pattern(&resolved);
+    println!("\nhigh-level pattern      : {}", hl.label());
+    println!(
+        "local view              : {:.0}% consecutive, {:.0}% random",
+        local.pct(semantics_core::patterns::AccessClass::Consecutive),
+        local.pct(semantics_core::patterns::AccessClass::Random),
+    );
+    println!(
+        "global (PFS) view       : {:.0}% consecutive, {:.0}% random",
+        global.pct(semantics_core::patterns::AccessClass::Consecutive),
+        global.pct(semantics_core::patterns::AccessClass::Random),
+    );
+}

@@ -1,0 +1,72 @@
+//! Tunable consistency (§2.2 / §2.3): the `O_LAZY` descriptor flag from
+//! the PDL POSIX HPC-extensions proposal, on top of a strong-consistency
+//! PFS — per-file relaxation without changing file systems.
+//!
+//! A checkpoint writer opens its shared file twice, once strictly and once
+//! lazily, and we compare what the lock manager had to do and when a
+//! concurrent reader could see the data.
+//!
+//! ```text
+//! cargo run --release --example tunable_consistency
+//! ```
+
+use pfs_semantics::prelude::*;
+
+const RANKS: u32 = 8;
+const CHUNK: usize = 64 * 1024;
+
+fn checkpoint(lazy: bool) -> (pfssim::PfsStats, bool) {
+    let fs = Pfs::new(PfsConfig::default().with_semantics(SemanticsModel::Strong));
+    // N-1 checkpoint: every "rank" (client) writes its slice.
+    let mut clients: Vec<_> = (0..RANKS).map(|r| fs.client(r)).collect();
+    let mut fds = Vec::new();
+    for (r, c) in clients.iter_mut().enumerate() {
+        let mut flags = if r == 0 { OpenFlags::rdwr_create() } else { OpenFlags::rdwr() };
+        if lazy {
+            flags = flags.with_lazy();
+        }
+        fds.push(c.open("/ckpt.dat", flags, r as u64).unwrap());
+    }
+    for (r, c) in clients.iter_mut().enumerate() {
+        let off = r as u64 * CHUNK as u64;
+        c.pwrite(fds[r], off, &vec![r as u8; CHUNK], 100 + r as u64).unwrap();
+    }
+
+    // Mid-checkpoint, a reader probes the file.
+    let mut reader = fs.client(RANKS);
+    let rfd = reader.open("/ckpt.dat", OpenFlags::rdonly(), 500).unwrap();
+    let mid_read_sees_data = !reader.pread(rfd, 0, 16, 501).unwrap().data.is_empty();
+
+    // Writers flush (the O_LAZY synchronization call) and close.
+    for (r, c) in clients.iter_mut().enumerate() {
+        c.fsync(fds[r], 600 + r as u64).unwrap();
+        c.close(fds[r], 700 + r as u64).unwrap();
+    }
+    (fs.stats(), mid_read_sees_data)
+}
+
+fn main() {
+    println!("N-1 checkpoint, {RANKS} writers × {CHUNK} bytes, strong-consistency PFS\n");
+
+    let (strict, strict_mid) = checkpoint(false);
+    println!("strict descriptors:");
+    println!("  extent locks acquired : {}", strict.locks_acquired);
+    println!("  lock revocations      : {}", strict.lock_revocations);
+    println!("  mid-checkpoint reader sees data: {strict_mid}");
+
+    let (lazy, lazy_mid) = checkpoint(true);
+    println!("\nO_LAZY descriptors:");
+    println!("  extent locks acquired : {}", lazy.locks_acquired);
+    println!("  lock revocations      : {}", lazy.lock_revocations);
+    println!("  publishes at flush    : {}", lazy.publishes);
+    println!("  mid-checkpoint reader sees data: {lazy_mid}");
+
+    println!(
+        "\nThe lazy run acquires no write locks at all — the writes buffer locally and\n\
+         publish at fsync, exactly the per-file commit semantics the paper's Table 4\n\
+         shows the applications can tolerate. The price: the mid-checkpoint reader\n\
+         saw nothing (visibility deferred to the flush). That trade is the entire\n\
+         thesis of the paper, available here per descriptor instead of per file system."
+    );
+    assert!(strict.locks_acquired > 0 && lazy.locks_acquired == strict.reads);
+}

@@ -1,0 +1,184 @@
+//! Workflow (multi-application) analysis — the paper's future-work item,
+//! exercised end to end: a simulation job and an analysis job coupled only
+//! through the file system.
+
+use hpcapps::workflow;
+use hpcapps::ScaleParams;
+use pfs_semantics::prelude::*;
+use semantics_core::meta_conflict::{detect_meta_conflicts, MetaPairKind};
+
+fn pipeline(model: SemanticsModel, gap_ns: u64, eventual_delay_ns: u64) -> iolibs::PipelineOutcome {
+    let p = ScaleParams::default().quick();
+    let mut cfg = RunConfig::new(8, 31).with_semantics(model);
+    cfg.pfs = cfg.pfs.with_eventual_delay_ns(eventual_delay_ns);
+    iolibs::run_pipeline(
+        &cfg,
+        gap_ns,
+        &[
+            &move |ctx: &mut AppCtx| workflow::producer(ctx, &p),
+            &move |ctx: &mut AppCtx| workflow::consumer(ctx, &p),
+        ],
+    )
+}
+
+#[test]
+fn combined_trace_has_both_jobs() {
+    let out = pipeline(SemanticsModel::Strong, 1_000_000, 0);
+    assert_eq!(out.stages.len(), 2);
+    assert_eq!(out.combined.nranks(), 16, "8 producer + 8 consumer ranks");
+    // Consumer records come after producer records in combined time.
+    let max_producer_t = out.stages[0]
+        .trace
+        .ranks
+        .iter()
+        .flatten()
+        .map(|r| r.t_end)
+        .max()
+        .unwrap();
+    let consumer_first = out
+        .combined
+        .ranks[8..]
+        .iter()
+        .flatten()
+        .map(|r| r.t_start)
+        .min()
+        .unwrap();
+    assert!(consumer_first > max_producer_t);
+}
+
+#[test]
+fn cross_job_data_flow_is_session_safe() {
+    // The producer closes every snapshot before exiting; the consumer
+    // opens afterwards: close-to-open, so no data conflicts under either
+    // relaxed model — a well-formed workflow runs on any session PFS.
+    let out = pipeline(SemanticsModel::Strong, 1_000_000, 0);
+    let adjusted = recorder::adjust::apply(&out.combined);
+    let resolved = recorder::offset::resolve(&adjusted);
+    assert!(resolved.accesses.iter().any(|a| a.rank >= 8 && a.kind == AccessKind::Read),
+        "the consumer must actually read producer data");
+    for model in [AnalysisModel::Session, AnalysisModel::Commit] {
+        let report = detect_conflicts(&resolved, model);
+        assert_eq!(report.total(), 0, "{model:?}: cross-job RAW must be close-to-open clean");
+    }
+}
+
+#[test]
+fn cross_job_metadata_dependencies_are_detected() {
+    // The consumer discovers snapshot files the producer created: that is
+    // a cross-process namespace dependency — harmless on every Table 1
+    // system for *data*, but exactly what relaxed-metadata designs
+    // (BatchFS, GekkoFS) may delay.
+    let out = pipeline(SemanticsModel::Strong, 1_000_000, 0);
+    let adjusted = recorder::adjust::apply(&out.combined);
+    let report = detect_meta_conflicts(&adjusted);
+    assert!(report.count(MetaPairKind::CreateThenObserve) > 0);
+    assert!(report.requires_strong_metadata());
+}
+
+#[test]
+fn consumer_result_is_engine_invariant_for_commit_and_session() {
+    let expected = pipeline(SemanticsModel::Strong, 1_000_000, 0)
+        .pfs
+        .published_image("/pipeline/analysis.out")
+        .unwrap();
+    for model in [SemanticsModel::Commit, SemanticsModel::Session] {
+        let img = pipeline(model, 1_000_000, 0)
+            .pfs
+            .published_image("/pipeline/analysis.out")
+            .unwrap();
+        let size = expected.size();
+        assert_eq!(
+            img.read(0, size),
+            expected.read(0, size),
+            "{model:?}: analysis output differs"
+        );
+    }
+}
+
+#[test]
+fn eventual_consistency_breaks_the_pipeline_when_the_gap_is_short() {
+    // Propagation delay far longer than the inter-job gap: the consumer
+    // reads holes instead of snapshot data, and its reduced sums are
+    // wrong — the workflow-level consequence of eventual consistency.
+    let strong = pipeline(SemanticsModel::Strong, 1_000, 0)
+        .pfs
+        .published_image("/pipeline/analysis.out")
+        .unwrap();
+    let eventual_out = pipeline(SemanticsModel::Eventual, 1_000, 60_000_000_000);
+    let eventual = eventual_out.pfs.published_image("/pipeline/analysis.out").unwrap();
+    let size = strong.size();
+    assert_ne!(
+        eventual.read(0, size),
+        strong.read(0, size),
+        "a 60 s propagation delay must corrupt the analysis of a back-to-back pipeline"
+    );
+
+    // With a gap comfortably above the delay, the pipeline is correct
+    // again — eventual consistency is *eventually* fine.
+    let patient = pipeline(SemanticsModel::Eventual, 120_000_000_000, 60_000_000_000)
+        .pfs
+        .published_image("/pipeline/analysis.out")
+        .unwrap();
+    assert_eq!(patient.read(0, size), strong.read(0, size));
+}
+
+#[test]
+fn insitu_monitoring_needs_more_than_session() {
+    // The adversarial coupling: readers hold their session open while the
+    // producer streams. Statically: RAW-D under both relaxed models.
+    let p = ScaleParams::default().quick();
+    let out = run_app(&RunConfig::new(4, 41), |ctx: &mut AppCtx| {
+        workflow::insitu_monitor(ctx, &p)
+    });
+    let resolved = recorder::offset::resolve(&recorder::adjust::apply(&out.trace));
+    let session = detect_conflicts(&resolved, AnalysisModel::Session);
+    let commit = detect_conflicts(&resolved, AnalysisModel::Commit);
+    assert!(session.raw_distinct > 0, "long-lived reader sessions are RAW-D");
+    assert!(commit.raw_distinct > 0, "the producer never commits mid-stream");
+    assert_eq!(
+        required_model(&session, &commit).required,
+        ConsistencyModel::Strong,
+        "in-situ monitoring is the coupling that really needs strong consistency"
+    );
+
+    // Dynamically: under session semantics the readers observe a frozen
+    // (empty) snapshot — stale reads — while strong serves fresh data.
+    // Compare observation digests between strong and session runs.
+    let strong_cfg = RunConfig::new(4, 41);
+    let strong_out = run_app(&strong_cfg, |ctx: &mut AppCtx| workflow::insitu_monitor(ctx, &p));
+    let session_cfg = RunConfig::new(4, 41).with_semantics(SemanticsModel::Session);
+    let session_out = run_app(&session_cfg, |ctx: &mut AppCtx| workflow::insitu_monitor(ctx, &p));
+    let mut stale = 0;
+    for (s_rank, w_rank) in strong_out.observations.iter().zip(&session_out.observations) {
+        for (s, w) in s_rank.iter().zip(w_rank) {
+            if s.digest != w.digest {
+                stale += 1;
+            }
+        }
+    }
+    assert!(stale > 0, "session readers must actually observe stale data");
+}
+
+#[test]
+fn advisor_downgrades_insitu_monitoring_to_commit() {
+    // §4.1: "a programmer … can prevent the conflicts by inserting commit
+    // operations at suitable points". For the in-situ monitor, the advisor
+    // proposes fsyncs after the producer's writes; with them spliced in,
+    // the coupling becomes safe on commit-consistency PFSs.
+    let p = ScaleParams::default().quick();
+    let out = run_app(&RunConfig::new(4, 43), |ctx: &mut AppCtx| {
+        workflow::insitu_monitor(ctx, &p)
+    });
+    let resolved = recorder::offset::resolve(&recorder::adjust::apply(&out.trace));
+
+    let advice = semantics_core::advisor::advise_commits(&resolved);
+    assert!(!advice.insertions.is_empty());
+    assert!(advice.insertions.iter().all(|i| i.rank == 0), "only the producer must commit");
+    assert!(advice.is_sufficient());
+
+    // The verdict improves from strong to commit.
+    let patched = semantics_core::advisor::apply_insertions(&resolved, &advice.insertions);
+    let session = detect_conflicts(&patched, AnalysisModel::Session);
+    let commit = detect_conflicts(&patched, AnalysisModel::Commit);
+    assert_eq!(required_model(&session, &commit).required, ConsistencyModel::Commit);
+}
