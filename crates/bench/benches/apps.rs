@@ -2,7 +2,7 @@
 //! long it takes to run an application replica through the simulated
 //! stack *and* produce its Table 3 / Table 4 / Figure 1 / Figure 3 rows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfs_semantics_bench::mini;
 use recorder::{adjust, offset};
 use semantics_core::conflict::{detect_conflicts, AnalysisModel};
 use semantics_core::metadata::MetadataCensus;
@@ -10,11 +10,9 @@ use semantics_core::patterns::{global_pattern, highlevel, local_pattern};
 
 const NRANKS: u32 = 8;
 
-fn trace_gen(c: &mut Criterion) {
+fn trace_gen() {
     // Trace generation: the replica running through mpisim + iolibs +
     // pfssim with the recorder attached.
-    let mut g = c.benchmark_group("apps/trace_gen");
-    g.sample_size(10);
     for id in [
         hpcapps::AppId::FlashFbs,
         hpcapps::AppId::LammpsAdios,
@@ -22,50 +20,45 @@ fn trace_gen(c: &mut Criterion) {
         hpcapps::AppId::Lbann,
     ] {
         let spec = hpcapps::spec(id);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{id:?}")), &spec, |b, s| {
-            b.iter(|| iolibs::run_app(&iolibs::RunConfig::new(NRANKS, 5), |ctx| s.run(ctx)))
+        mini::bench("apps/trace_gen", &format!("{id:?}"), || {
+            iolibs::run_app(&iolibs::RunConfig::new(NRANKS, 5), |ctx| spec.run(ctx))
         });
     }
-    g.finish();
 }
 
-fn per_artifact(c: &mut Criterion) {
+fn per_artifact() {
     // Fixed trace, per-artifact analysis cost.
     let (adjusted, resolved) = pfs_semantics_bench::app_trace(hpcapps::AppId::FlashFbs, NRANKS);
 
-    let mut g = c.benchmark_group("apps/artifacts");
-    g.bench_function("table3_highlevel", |b| b.iter(|| highlevel::classify(&resolved, NRANKS)));
-    g.bench_function("table4_session", |b| {
-        b.iter(|| detect_conflicts(&resolved, AnalysisModel::Session))
+    mini::bench("apps/artifacts", "table3_highlevel", || highlevel::classify(&resolved, NRANKS));
+    mini::bench("apps/artifacts", "table4_session", || {
+        detect_conflicts(&resolved, AnalysisModel::Session)
     });
-    g.bench_function("table4_commit", |b| {
-        b.iter(|| detect_conflicts(&resolved, AnalysisModel::Commit))
+    mini::bench("apps/artifacts", "table4_commit", || {
+        detect_conflicts(&resolved, AnalysisModel::Commit)
     });
-    g.bench_function("fig1_local", |b| b.iter(|| local_pattern(&resolved)));
-    g.bench_function("fig1_global", |b| b.iter(|| global_pattern(&resolved)));
-    g.bench_function("fig3_census", |b| b.iter(|| MetadataCensus::from_trace(&adjusted)));
-    g.finish();
+    mini::bench("apps/artifacts", "fig1_local", || local_pattern(&resolved));
+    mini::bench("apps/artifacts", "fig1_global", || global_pattern(&resolved));
+    mini::bench("apps/artifacts", "fig3_census", || MetadataCensus::from_trace(&adjusted));
 }
 
-fn full_pipeline(c: &mut Criterion) {
+fn full_pipeline() {
     // Everything for one configuration: run + adjust + resolve + all
     // artifacts — one Table 3/4 row's total cost.
     let spec = hpcapps::spec(hpcapps::AppId::FlashFbs);
-    let mut g = c.benchmark_group("apps/full_pipeline");
-    g.sample_size(10);
-    g.bench_function("flash_fbs_row", |b| {
-        b.iter(|| {
-            let out = iolibs::run_app(&iolibs::RunConfig::new(NRANKS, 5), |ctx| spec.run(ctx));
-            let adjusted = adjust::apply(&out.trace);
-            let resolved = offset::resolve(&adjusted);
-            let session = detect_conflicts(&resolved, AnalysisModel::Session);
-            let commit = detect_conflicts(&resolved, AnalysisModel::Commit);
-            let hl = highlevel::classify(&resolved, NRANKS);
-            (session.total(), commit.total(), hl.label())
-        })
+    mini::bench("apps/full_pipeline", "flash_fbs_row", || {
+        let out = iolibs::run_app(&iolibs::RunConfig::new(NRANKS, 5), |ctx| spec.run(ctx));
+        let adjusted = adjust::apply(&out.trace);
+        let resolved = offset::resolve(&adjusted);
+        let session = detect_conflicts(&resolved, AnalysisModel::Session);
+        let commit = detect_conflicts(&resolved, AnalysisModel::Commit);
+        let hl = highlevel::classify(&resolved, NRANKS);
+        (session.total(), commit.total(), hl.label())
     });
-    g.finish();
 }
 
-criterion_group!(benches, trace_gen, per_artifact, full_pipeline);
-criterion_main!(benches);
+fn main() {
+    trace_gen();
+    per_artifact();
+    full_pipeline();
+}

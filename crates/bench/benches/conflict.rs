@@ -3,51 +3,44 @@
 //! per-process scan vs binary searches in the open/commit tables ("the
 //! overhead for the binary searches will be negligible").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pfs_semantics_bench::{app_trace, synthetic_resolved};
+use pfs_semantics_bench::{app_trace, mini, synthetic_resolved};
 use semantics_core::conflict::{
     detect_conflicts_opt, extend_binary_search, extend_scan, AnalysisModel, ConflictOptions,
 };
 
-fn bench_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("conflict/models");
+fn bench_models() {
     for n in [2_000usize, 8_000] {
         let trace = synthetic_resolved(n, 64, 7);
-        g.throughput(Throughput::Elements(n as u64));
         for (name, model) in
             [("commit", AnalysisModel::Commit), ("session", AnalysisModel::Session)]
         {
-            g.bench_with_input(BenchmarkId::new(name, n), &trace, |b, t| {
-                b.iter(|| detect_conflicts_opt(t, model, ConflictOptions::default()))
+            mini::bench("conflict/models", &format!("{name}/{n}"), || {
+                detect_conflicts_opt(&trace, model, ConflictOptions::default())
             });
         }
     }
-    g.finish();
 }
 
-fn bench_extension_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("conflict/extension");
+fn bench_extension_variants() {
     let trace = synthetic_resolved(8_000, 64, 7);
-    g.throughput(Throughput::Elements(8_000));
-    g.bench_function("binary_search", |b| b.iter(|| extend_binary_search(&trace)));
-    g.bench_function("scan", |b| b.iter(|| extend_scan(&trace)));
-    g.finish();
+    mini::bench("conflict/extension", "binary_search", || extend_binary_search(&trace));
+    mini::bench("conflict/extension", "scan", || extend_scan(&trace));
 }
 
-fn bench_table4_flash(c: &mut Criterion) {
+fn bench_table4_flash() {
     // The Table 4 row that matters: FLASH, end-to-end conflict detection
     // on a real (simulated) trace.
     let (_, resolved) = app_trace(hpcapps::AppId::FlashFbs, 8);
-    let mut g = c.benchmark_group("conflict/table4_flash");
-    g.sample_size(20);
-    g.bench_function("session", |b| {
-        b.iter(|| detect_conflicts_opt(&resolved, AnalysisModel::Session, ConflictOptions::default()))
+    mini::bench("conflict/table4_flash", "session", || {
+        detect_conflicts_opt(&resolved, AnalysisModel::Session, ConflictOptions::default())
     });
-    g.bench_function("commit", |b| {
-        b.iter(|| detect_conflicts_opt(&resolved, AnalysisModel::Commit, ConflictOptions::default()))
+    mini::bench("conflict/table4_flash", "commit", || {
+        detect_conflicts_opt(&resolved, AnalysisModel::Commit, ConflictOptions::default())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_models, bench_extension_variants, bench_table4_flash);
-criterion_main!(benches);
+fn main() {
+    bench_models();
+    bench_extension_variants();
+    bench_table4_flash();
+}

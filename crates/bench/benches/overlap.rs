@@ -4,32 +4,25 @@
 //! regime; the `worst_case` series (all accesses overlap) shows the
 //! quadratic blow-up; `bruteforce` is the O(n²) reference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pfs_semantics_bench::{random_accesses, worst_case_accesses};
+use pfs_semantics_bench::{mini, random_accesses, worst_case_accesses};
 use recorder::DataAccess;
 use semantics_core::overlap::{detect_overlaps, detect_overlaps_bruteforce, detect_overlaps_merge};
 
-fn bench_random(c: &mut Criterion) {
-    let mut g = c.benchmark_group("overlap/random");
+fn bench_random() {
     for n in [1_000usize, 4_000, 16_000] {
         let accs = random_accesses(n, 64, 1 << 24, 42);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("sweep", n), &accs, |b, a| {
-            b.iter(|| detect_overlaps(a))
-        });
+        mini::bench("overlap/random", &format!("sweep/{n}"), || detect_overlaps(&accs));
         if n <= 4_000 {
-            g.bench_with_input(BenchmarkId::new("bruteforce", n), &accs, |b, a| {
-                b.iter(|| detect_overlaps_bruteforce(a))
+            mini::bench("overlap/random", &format!("bruteforce/{n}"), || {
+                detect_overlaps_bruteforce(&accs)
             });
         }
     }
-    g.finish();
 }
 
-fn bench_merge_variant(c: &mut Criterion) {
+fn bench_merge_variant() {
     // The §5.1 ablation: sort-based vs merge-based ordering, on per-rank
     // pre-sorted record lists.
-    let mut g = c.benchmark_group("overlap/merge_ablation");
     for n in [4_000usize, 16_000] {
         let mut per_rank: Vec<Vec<DataAccess>> = vec![Vec::new(); 64];
         for a in random_accesses(n, 64, 1 << 24, 9) {
@@ -39,29 +32,22 @@ fn bench_merge_variant(c: &mut Criterion) {
             list.sort_by_key(|a| (a.offset, a.end()));
         }
         let flat: Vec<DataAccess> = per_rank.iter().flatten().copied().collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("sort", n), &flat, |b, f| {
-            b.iter(|| detect_overlaps(f))
-        });
-        g.bench_with_input(BenchmarkId::new("merge", n), &per_rank, |b, pr| {
-            b.iter(|| detect_overlaps_merge(pr).expect("sorted"))
+        mini::bench("overlap/merge_ablation", &format!("sort/{n}"), || detect_overlaps(&flat));
+        mini::bench("overlap/merge_ablation", &format!("merge/{n}"), || {
+            detect_overlaps_merge(&per_rank).expect("sorted")
         });
     }
-    g.finish();
 }
 
-fn bench_worst_case(c: &mut Criterion) {
-    let mut g = c.benchmark_group("overlap/worst_case");
-    g.sample_size(10);
+fn bench_worst_case() {
     for n in [256usize, 512, 1024] {
         let accs = worst_case_accesses(n, 64);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("sweep", n), &accs, |b, a| {
-            b.iter(|| detect_overlaps(a))
-        });
+        mini::bench("overlap/worst_case", &format!("sweep/{n}"), || detect_overlaps(&accs));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_random, bench_merge_variant, bench_worst_case);
-criterion_main!(benches);
+fn main() {
+    bench_random();
+    bench_merge_variant();
+    bench_worst_case();
+}

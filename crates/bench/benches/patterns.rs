@@ -2,13 +2,11 @@
 //! Figure 1 (local/global consecutive–monotonic–random percentages) and
 //! Table 3 (high-level X-Y classification).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pfs_semantics_bench::{app_trace, random_accesses};
+use pfs_semantics_bench::{app_trace, mini, random_accesses};
 use recorder::ResolvedTrace;
 use semantics_core::patterns::{global_pattern, highlevel, local_pattern};
 
-fn bench_lowlevel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("patterns/lowlevel");
+fn bench_lowlevel() {
     for n in [4_000usize, 16_000] {
         let resolved = ResolvedTrace {
             accesses: random_accesses(n, 64, 1 << 24, 5),
@@ -16,30 +14,21 @@ fn bench_lowlevel(c: &mut Criterion) {
             seek_mismatches: 0,
             short_reads: 0,
         };
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("local", n), &resolved, |b, r| {
-            b.iter(|| local_pattern(r))
-        });
-        g.bench_with_input(BenchmarkId::new("global", n), &resolved, |b, r| {
-            b.iter(|| global_pattern(r))
-        });
+        mini::bench("patterns/lowlevel", &format!("local/{n}"), || local_pattern(&resolved));
+        mini::bench("patterns/lowlevel", &format!("global/{n}"), || global_pattern(&resolved));
     }
-    g.finish();
 }
 
-fn bench_highlevel_apps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("patterns/table3");
-    g.sample_size(20);
+fn bench_highlevel_apps() {
     for id in [hpcapps::AppId::FlashFbs, hpcapps::AppId::HaccIoPosix, hpcapps::AppId::Lbann] {
         let (_, resolved) = app_trace(id, 8);
-        g.bench_with_input(
-            BenchmarkId::new("classify", format!("{id:?}")),
-            &resolved,
-            |b, r| b.iter(|| highlevel::classify(r, 8)),
-        );
+        mini::bench("patterns/table3", &format!("classify/{id:?}"), || {
+            highlevel::classify(&resolved, 8)
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_lowlevel, bench_highlevel_apps);
-criterion_main!(benches);
+fn main() {
+    bench_lowlevel();
+    bench_highlevel_apps();
+}

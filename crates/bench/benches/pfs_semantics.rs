@@ -9,7 +9,7 @@
 //! server becomes the bottleneck" — in numbers: locks = writes under
 //! strong, zero under every relaxed engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfs_semantics_bench::mini;
 use pfssim::{OpenFlags, Pfs, PfsConfig, SemanticsModel};
 
 const WRITES: u64 = 256;
@@ -28,15 +28,10 @@ fn write_workload(model: SemanticsModel) -> Pfs {
     fs
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pfs/engine_writes");
-    g.throughput(Throughput::Bytes(WRITES * WRITE_SIZE as u64));
+fn bench_engines() {
     for model in SemanticsModel::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |b, &m| {
-            b.iter(|| write_workload(m))
-        });
+        mini::bench("pfs/engine_writes", model.name(), || write_workload(model));
     }
-    g.finish();
 
     // Print the lock/publish counters once per engine — the §3.1 argument.
     for model in SemanticsModel::ALL {
@@ -52,62 +47,56 @@ fn bench_engines(c: &mut Criterion) {
     }
 }
 
-fn bench_shared_file_contention(c: &mut Criterion) {
+fn bench_shared_file_contention() {
     // 16 clients interleaving writes to one shared file: strong semantics
     // pays one lock per extent; the relaxed engines pay none.
-    let mut g = c.benchmark_group("pfs/shared_file");
-    g.sample_size(20);
     for model in [SemanticsModel::Strong, SemanticsModel::Commit] {
-        g.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |b, &m| {
-            b.iter(|| {
-                let fs = Pfs::new(PfsConfig::default().with_semantics(m));
-                let mut clients: Vec<_> = (0..16).map(|r| fs.client(r)).collect();
-                let buf = vec![1u8; 4096];
-                let mut fds = Vec::new();
+        mini::bench("pfs/shared_file", model.name(), || {
+            let fs = Pfs::new(PfsConfig::default().with_semantics(model));
+            let mut clients: Vec<_> = (0..16).map(|r| fs.client(r)).collect();
+            let buf = vec![1u8; 4096];
+            let mut fds = Vec::new();
+            for (r, cl) in clients.iter_mut().enumerate() {
+                let flags = if r == 0 {
+                    OpenFlags::rdwr_create()
+                } else {
+                    OpenFlags::rdwr()
+                };
+                fds.push(cl.open("/shared", flags, r as u64).unwrap());
+            }
+            for step in 0..32u64 {
                 for (r, cl) in clients.iter_mut().enumerate() {
-                    let flags = if r == 0 {
-                        OpenFlags::rdwr_create()
-                    } else {
-                        OpenFlags::rdwr()
-                    };
-                    fds.push(cl.open("/shared", flags, r as u64).unwrap());
+                    let off = (step * 16 + r as u64) * 4096;
+                    cl.pwrite(fds[r], off, &buf, step * 100 + r as u64).unwrap();
                 }
-                for step in 0..32u64 {
-                    for (r, cl) in clients.iter_mut().enumerate() {
-                        let off = (step * 16 + r as u64) * 4096;
-                        cl.pwrite(fds[r], off, &buf, step * 100 + r as u64).unwrap();
-                    }
-                }
-                for (r, mut cl) in clients.into_iter().enumerate() {
-                    cl.close(fds[r], 10_000 + r as u64).unwrap();
-                }
-                fs
-            })
+            }
+            for (r, mut cl) in clients.into_iter().enumerate() {
+                cl.close(fds[r], 10_000 + r as u64).unwrap();
+            }
+            fs
         });
     }
-    g.finish();
 }
 
-fn bench_session_snapshots(c: &mut Criterion) {
+fn bench_session_snapshots() {
     // Session opens snapshot the published image via Arc (O(1)); this
     // verifies snapshots stay cheap as the file grows.
-    let mut g = c.benchmark_group("pfs/session_open");
     for mb in [1usize, 8] {
         let fs = Pfs::new(PfsConfig::default().with_semantics(SemanticsModel::Session));
         let mut w = fs.client(0);
         let fd = w.open("/big", OpenFlags::wronly_create_trunc(), 0).unwrap();
         w.write(fd, &vec![1u8; mb << 20], 1).unwrap();
         w.close(fd, 2).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{mb}MiB")), &fs, |b, fs| {
-            b.iter(|| {
-                let mut r = fs.client(1);
-                let fd = r.open("/big", OpenFlags::rdonly(), 100).unwrap();
-                r.close(fd, 101).unwrap();
-            })
+        mini::bench("pfs/session_open", &format!("{mb}MiB"), || {
+            let mut r = fs.client(1);
+            let fd = r.open("/big", OpenFlags::rdonly(), 100).unwrap();
+            r.close(fd, 101).unwrap();
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_shared_file_contention, bench_session_snapshots);
-criterion_main!(benches);
+fn main() {
+    bench_engines();
+    bench_shared_file_contention();
+    bench_session_snapshots();
+}

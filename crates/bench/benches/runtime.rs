@@ -2,8 +2,8 @@
 //! scheduler vs free-running dispatch, and of the core primitives the
 //! application replicas lean on (barrier, point-to-point, allgather).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpisim::{SchedMode, World, WorldCfg};
+use pfs_semantics_bench::mini;
 
 fn cfg(nranks: u32, mode: SchedMode) -> WorldCfg {
     let mut c = WorldCfg::new(nranks, 7);
@@ -11,79 +11,59 @@ fn cfg(nranks: u32, mode: SchedMode) -> WorldCfg {
     c
 }
 
-fn bench_barrier(c: &mut Criterion) {
-    let mut g = c.benchmark_group("runtime/barriers");
-    g.sample_size(10);
+fn bench_barrier() {
     const ROUNDS: u64 = 50;
     for nranks in [8u32, 32] {
         for (name, mode) in
             [("det", SchedMode::Deterministic), ("free", SchedMode::Free)]
         {
-            g.throughput(Throughput::Elements(ROUNDS * nranks as u64));
-            g.bench_with_input(
-                BenchmarkId::new(name, nranks),
-                &cfg(nranks, mode),
-                |b, cfg| {
-                    b.iter(|| {
-                        World::run(cfg, |r| {
-                            for _ in 0..ROUNDS {
-                                r.barrier();
-                            }
-                        })
-                    })
-                },
-            );
-        }
-    }
-    g.finish();
-}
-
-fn bench_p2p(c: &mut Criterion) {
-    let mut g = c.benchmark_group("runtime/ping_pong");
-    g.sample_size(10);
-    const ROUNDS: u32 = 200;
-    for (name, mode) in [("det", SchedMode::Deterministic), ("free", SchedMode::Free)] {
-        g.throughput(Throughput::Elements(ROUNDS as u64 * 2));
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg(2, mode), |b, cfg| {
-            b.iter(|| {
-                World::run(cfg, |r| {
-                    for i in 0..ROUNDS {
-                        if r.rank() == 0 {
-                            r.send(1, i, vec![0u8; 256]);
-                            r.recv(1, i);
-                        } else {
-                            r.recv(0, i);
-                            r.send(0, i, vec![0u8; 256]);
-                        }
+            let cfg = cfg(nranks, mode);
+            mini::bench("runtime/barriers", &format!("{name}/{nranks}"), || {
+                World::run(&cfg, |r| {
+                    for _ in 0..ROUNDS {
+                        r.barrier();
                     }
                 })
+            });
+        }
+    }
+}
+
+fn bench_p2p() {
+    const ROUNDS: u32 = 200;
+    for (name, mode) in [("det", SchedMode::Deterministic), ("free", SchedMode::Free)] {
+        let cfg = cfg(2, mode);
+        mini::bench("runtime/ping_pong", name, || {
+            World::run(&cfg, |r| {
+                for i in 0..ROUNDS {
+                    if r.rank() == 0 {
+                        r.send(1, i, vec![0u8; 256]);
+                        r.recv(1, i);
+                    } else {
+                        r.recv(0, i);
+                        r.send(0, i, vec![0u8; 256]);
+                    }
+                }
             })
         });
     }
-    g.finish();
 }
 
-fn bench_allgather(c: &mut Criterion) {
-    let mut g = c.benchmark_group("runtime/allgather");
-    g.sample_size(10);
+fn bench_allgather() {
     for nranks in [8u32, 32] {
-        g.throughput(Throughput::Bytes(nranks as u64 * 1024 * 10));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(nranks),
-            &cfg(nranks, SchedMode::Deterministic),
-            |b, cfg| {
-                b.iter(|| {
-                    World::run(cfg, |r| {
-                        for _ in 0..10 {
-                            r.allgather(&vec![r.rank() as u8; 1024]);
-                        }
-                    })
-                })
-            },
-        );
+        let cfg = cfg(nranks, SchedMode::Deterministic);
+        mini::bench("runtime/allgather", &format!("{nranks}"), || {
+            World::run(&cfg, |r| {
+                for _ in 0..10 {
+                    r.allgather(&vec![r.rank() as u8; 1024]);
+                }
+            })
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_barrier, bench_p2p, bench_allgather);
-criterion_main!(benches);
+fn main() {
+    bench_barrier();
+    bench_p2p();
+    bench_allgather();
+}

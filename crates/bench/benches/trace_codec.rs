@@ -2,22 +2,18 @@
 //! a real application trace. The compact codec is what makes
 //! Recorder-style always-on tracing affordable.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use pfs_semantics_bench::app_trace;
+use pfs_semantics_bench::{app_trace, mini};
 use recorder::TraceSet;
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec() {
     let (trace, _) = app_trace(hpcapps::AppId::FlashFbs, 8);
     let records = trace.total_records() as u64;
     let encoded = trace.encode();
 
-    let mut g = c.benchmark_group("trace_codec");
-    g.throughput(Throughput::Elements(records));
-    g.bench_function("encode", |b| b.iter(|| trace.encode()));
-    g.bench_function("decode", |b| b.iter(|| TraceSet::decode(&encoded).expect("decode")));
-    g.bench_function("tsv_export", |b| b.iter(|| recorder::tsv::to_tsv(&trace)));
-    g.bench_function("merge_by_time", |b| b.iter(|| trace.merged_by_time()));
-    g.finish();
+    mini::bench("trace_codec", "encode", || trace.encode());
+    mini::bench("trace_codec", "decode", || TraceSet::decode(&encoded).expect("decode"));
+    mini::bench("trace_codec", "tsv_export", || recorder::tsv::to_tsv(&trace));
+    mini::bench("trace_codec", "merge_by_time", || trace.merged_by_time());
 
     eprintln!(
         "trace: {} records, {} bytes encoded ({:.1} B/record)",
@@ -27,17 +23,15 @@ fn bench_codec(c: &mut Criterion) {
     );
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     // Post-processing pipeline cost: adjust + resolve, per record.
     let (trace, _) = app_trace(hpcapps::AppId::FlashFbs, 8);
-    let records = trace.total_records() as u64;
-    let mut g = c.benchmark_group("trace_pipeline");
-    g.throughput(Throughput::Elements(records));
-    g.bench_function("adjust", |b| b.iter(|| recorder::adjust::apply(&trace)));
+    mini::bench("trace_pipeline", "adjust", || recorder::adjust::apply(&trace));
     let adjusted = recorder::adjust::apply(&trace);
-    g.bench_function("resolve_offsets", |b| b.iter(|| recorder::offset::resolve(&adjusted)));
-    g.finish();
+    mini::bench("trace_pipeline", "resolve_offsets", || recorder::offset::resolve(&adjusted));
 }
 
-criterion_group!(benches, bench_codec, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    bench_codec();
+    bench_pipeline();
+}

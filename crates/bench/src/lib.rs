@@ -1,19 +1,20 @@
-//! Shared workload generators for the benchmark suite.
+//! Shared workload generators for the benchmark suite, plus a minimal
+//! dependency-free timing harness (`mini`) used by the `harness = false`
+//! bench binaries in place of criterion.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use recorder::{AccessKind, DataAccess, Layer, PathId, ResolvedTrace, SyncEvent, SyncKind};
+use simrng::SimRng;
 
 /// Uniformly random accesses over a file span — Algorithm 1's "practice"
 /// regime where the sweep is effectively linear.
 pub fn random_accesses(n: usize, ranks: u32, span: u64, seed: u64) -> Vec<DataAccess> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
-            let len = rng.gen_range(64..4096u64);
-            let offset = rng.gen_range(0..span);
+            let len = rng.range_u64(64, 4096);
+            let offset = rng.range_u64(0, span);
             DataAccess {
-                rank: rng.gen_range(0..ranks),
+                rank: rng.range_u32(0, ranks),
                 t_start: i as u64 * 10,
                 t_end: i as u64 * 10 + 5,
                 file: PathId(0),
@@ -79,4 +80,43 @@ pub fn app_trace(id: hpcapps::AppId, nranks: u32) -> (recorder::TraceSet, Resolv
     let adjusted = recorder::adjust::apply(&out.trace);
     let resolved = recorder::offset::resolve(&adjusted);
     (adjusted, resolved)
+}
+
+/// Minimal timing harness: warm up, then grow the batch size until a
+/// sample takes long enough to be meaningful, and report the per-iteration
+/// time of the final batch.
+pub mod mini {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    fn fmt_time(secs: f64) -> String {
+        if secs < 1e-6 {
+            format!("{:8.1} ns", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:8.2} µs", secs * 1e6)
+        } else if secs < 1.0 {
+            format!("{:8.2} ms", secs * 1e3)
+        } else {
+            format!("{secs:8.3} s ")
+        }
+    }
+
+    /// Time `f` and print `group/name: <time> per iter`.
+    pub fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
+        black_box(f());
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt.as_millis() >= 50 || iters >= 1 << 16 {
+                let per = dt.as_secs_f64() / iters as f64;
+                println!("{group:<28} {name:<24} {} per iter  ({iters} iters)", fmt_time(per));
+                return;
+            }
+            iters *= 4;
+        }
+    }
 }

@@ -23,6 +23,9 @@ use std::collections::BTreeMap;
 
 use recorder::{AccessKind, DataAccess, PathId, ResolvedTrace, SyncKind};
 
+use crate::overlap::FileGroups;
+use crate::parallel::analyze_files_parallel;
+
 /// Which relaxed model the detector is checking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AnalysisModel {
@@ -100,43 +103,66 @@ impl ConflictReport {
         }
         self.pairs.push(pair);
     }
+
+    /// Append another (per-file partial) report; partials arrive sorted by
+    /// file, so appending keeps the pair order of the serial detector.
+    fn merge(&mut self, other: ConflictReport) {
+        self.pairs.extend(other.pairs);
+        self.waw_same += other.waw_same;
+        self.waw_distinct += other.waw_distinct;
+        self.raw_same += other.raw_same;
+        self.raw_distinct += other.raw_distinct;
+    }
 }
 
-/// Per-(rank, file) synchronization tables, each sorted by time.
+/// One event table keyed by `(rank, file)`: a sorted key vector with
+/// ranges into one flat, per-key ascending timestamp array. A lookup is a
+/// single binary search over a dense `Vec` — this replaces the former
+/// `BTreeMap<(u32, PathId), Vec<u64>>` per table (three pointer-chasing
+/// maps and one `Vec` allocation per key).
 #[derive(Debug, Default)]
-struct SyncTables {
-    opens: BTreeMap<(u32, PathId), Vec<u64>>,
-    closes: BTreeMap<(u32, PathId), Vec<u64>>,
-    commits: BTreeMap<(u32, PathId), Vec<u64>>, // fsync/fdatasync AND close
+struct SortedTable {
+    keys: Vec<(u32, PathId)>,
+    /// Parallel to `keys`: `times[start..end]` for that key.
+    ranges: Vec<(u32, u32)>,
+    times: Vec<u64>,
 }
 
-impl SyncTables {
-    fn build(resolved: &ResolvedTrace) -> Self {
-        let mut t = SyncTables::default();
-        for s in &resolved.syncs {
-            let key = (s.rank, s.file);
-            match s.kind {
-                SyncKind::Open => t.opens.entry(key).or_default().push(s.t),
-                SyncKind::Close => {
-                    t.closes.entry(key).or_default().push(s.t);
-                    t.commits.entry(key).or_default().push(s.t);
-                }
-                SyncKind::Commit => t.commits.entry(key).or_default().push(s.t),
+impl SortedTable {
+    fn build(mut events: Vec<((u32, PathId), u64)>) -> Self {
+        // Sorting (key, t) groups keys AND orders each key's times.
+        events.sort_unstable();
+        let mut t = SortedTable::default();
+        let mut start = 0;
+        while start < events.len() {
+            let key = events[start].0;
+            let mut end = start + 1;
+            while end < events.len() && events[end].0 == key {
+                end += 1;
             }
-        }
-        // Sync events arrive in global time order, but per-key order is
-        // what binary search needs — enforce it.
-        for v in t.opens.values_mut().chain(t.closes.values_mut()).chain(t.commits.values_mut()) {
-            v.sort_unstable();
+            t.keys.push(key);
+            t.ranges.push((t.times.len() as u32, (t.times.len() + end - start) as u32));
+            t.times.extend(events[start..end].iter().map(|e| e.1));
+            start = end;
         }
         t
+    }
+
+    fn slice(&self, key: (u32, PathId)) -> &[u64] {
+        match self.keys.binary_search(&key) {
+            Ok(k) => {
+                let (lo, hi) = self.ranges[k];
+                &self.times[lo as usize..hi as usize]
+            }
+            Err(_) => &[],
+        }
     }
 
     /// Last event `<= t` — an open at the same instant as the access
     /// counts as preceding it (matching the scan variant's event order
     /// `open < access < close/commit` at equal times).
-    fn last_before(table: &BTreeMap<(u32, PathId), Vec<u64>>, key: (u32, PathId), t: u64) -> Option<u64> {
-        let v = table.get(&key)?;
+    fn last_before(&self, key: (u32, PathId), t: u64) -> Option<u64> {
+        let v = self.slice(key);
         let idx = v.partition_point(|&x| x <= t);
         if idx == 0 {
             None
@@ -147,10 +173,42 @@ impl SyncTables {
 
     /// First event `>= t` — a close/commit at the same instant as the
     /// access counts as succeeding it.
-    fn first_after(table: &BTreeMap<(u32, PathId), Vec<u64>>, key: (u32, PathId), t: u64) -> Option<u64> {
-        let v = table.get(&key)?;
+    fn first_after(&self, key: (u32, PathId), t: u64) -> Option<u64> {
+        let v = self.slice(key);
         let idx = v.partition_point(|&x| x < t);
         v.get(idx).copied()
+    }
+}
+
+/// Per-(rank, file) synchronization tables, each sorted by time.
+#[derive(Debug, Default)]
+struct SyncTables {
+    opens: SortedTable,
+    closes: SortedTable,
+    commits: SortedTable, // fsync/fdatasync AND close
+}
+
+impl SyncTables {
+    fn build(resolved: &ResolvedTrace) -> Self {
+        let mut opens = Vec::new();
+        let mut closes = Vec::new();
+        let mut commits = Vec::new();
+        for s in &resolved.syncs {
+            let key = (s.rank, s.file);
+            match s.kind {
+                SyncKind::Open => opens.push((key, s.t)),
+                SyncKind::Close => {
+                    closes.push((key, s.t));
+                    commits.push((key, s.t));
+                }
+                SyncKind::Commit => commits.push((key, s.t)),
+            }
+        }
+        SyncTables {
+            opens: SortedTable::build(opens),
+            closes: SortedTable::build(closes),
+            commits: SortedTable::build(commits),
+        }
     }
 }
 
@@ -177,9 +235,9 @@ pub fn extend_binary_search(resolved: &ResolvedTrace) -> Vec<ExtendedAccess> {
             let key = (a.rank, a.file);
             ExtendedAccess {
                 access: *a,
-                to: SyncTables::last_before(&tables.opens, key, a.t_start),
-                tc_close: SyncTables::first_after(&tables.closes, key, a.t_start),
-                tc_commit: SyncTables::first_after(&tables.commits, key, a.t_start),
+                to: tables.opens.last_before(key, a.t_start),
+                tc_close: tables.closes.first_after(key, a.t_start),
+                tc_commit: tables.commits.first_after(key, a.t_start),
             }
         })
         .collect()
@@ -289,87 +347,128 @@ pub fn detect_conflicts_opt(
     model: AnalysisModel,
     opts: ConflictOptions,
 ) -> ConflictReport {
+    detect_conflicts_opt_threaded(resolved, model, opts, 1)
+}
+
+/// [`detect_conflicts`] with per-file work fanned across `threads` scoped
+/// worker threads (`0` = one per core, `1` = serial). The report is
+/// identical to the serial one for every thread count: files are merged
+/// in [`PathId`] order regardless of completion order.
+pub fn detect_conflicts_threaded(
+    resolved: &ResolvedTrace,
+    model: AnalysisModel,
+    threads: usize,
+) -> ConflictReport {
+    detect_conflicts_opt_threaded(resolved, model, ConflictOptions::default(), threads)
+}
+
+/// Threaded conflict detection with explicit options.
+pub fn detect_conflicts_opt_threaded(
+    resolved: &ResolvedTrace,
+    model: AnalysisModel,
+    opts: ConflictOptions,
+    threads: usize,
+) -> ConflictReport {
     let extended = if opts.binary_search {
         extend_binary_search(resolved)
     } else {
         extend_scan(resolved)
     };
 
-    // Group extended accesses by file and run the overlap sweep per file.
-    let mut by_file: BTreeMap<PathId, Vec<usize>> = BTreeMap::new();
-    for (i, e) in extended.iter().enumerate() {
-        by_file.entry(e.access.file).or_default().push(i);
-    }
-
+    // Group by file (zero-copy index ranges) and run the overlap sweep per
+    // file, one work item per file.
+    let groups = FileGroups::new(&resolved.accesses);
     let mut report = ConflictReport { model_checked: Some(model), ..Default::default() };
-    for (file, idxs) in by_file {
-        let mut order = idxs.clone();
-        order.sort_by_key(|&i| (extended[i].access.offset, extended[i].access.end()));
-        for (pos, &i) in order.iter().enumerate() {
-            let a = &extended[i];
-            for &j in &order[pos + 1..] {
-                let b = &extended[j];
-                if b.access.offset >= a.access.end() {
-                    break;
-                }
-                // Order the overlapping pair by timestamp (rank breaks ties
-                // deterministically).
-                let (first, second) = if (a.access.t_start, a.access.rank)
-                    <= (b.access.t_start, b.access.rank)
-                {
-                    (a, b)
-                } else {
-                    (b, a)
-                };
-                if first.access.kind != AccessKind::Write {
-                    continue; // write-after-read is not a potential conflict
-                }
-                let conflicting = match model {
-                    AnalysisModel::Commit => {
-                        // Condition 3: no commit by r1 in (t1, t2).
-                        match first.tc_commit {
-                            Some(tc) => tc > second.access.t_start,
-                            None => true,
-                        }
-                    }
-                    AnalysisModel::Session => {
-                        // Condition 4: ¬(t1 < tc1 < to2 < t2).
-                        let tc1 = if opts.session_uses_commit_as_close {
-                            first.tc_commit
-                        } else {
-                            first.tc_close
-                        };
-                        let ordered = match (tc1, second.to) {
-                            (Some(tc), Some(to)) => {
-                                first.access.t_start < tc
-                                    && tc < to
-                                    && to < second.access.t_start
-                            }
-                            _ => false,
-                        };
-                        !ordered
-                    }
-                };
-                if !conflicting {
-                    continue;
-                }
-                let kind = match second.access.kind {
-                    AccessKind::Read => ConflictKind::Raw,
-                    AccessKind::Write => ConflictKind::Waw,
-                };
-                let scope = if first.access.rank == second.access.rank {
-                    ConflictScope::Same
-                } else {
-                    ConflictScope::Distinct
-                };
-                report.add(ConflictPair {
-                    file,
-                    first: first.access,
-                    second: second.access,
-                    kind,
-                    scope,
-                });
+    let extended = &extended;
+    for (_, partial) in analyze_files_parallel(&groups, threads, |file, idxs| {
+        file_conflicts(extended, file, idxs, model, opts)
+    }) {
+        report.merge(partial);
+    }
+    report
+}
+
+/// The §5.2 check over the accesses of one file (given as indices into the
+/// extended slice, in input order).
+fn file_conflicts(
+    extended: &[ExtendedAccess],
+    file: PathId,
+    idxs: &[u32],
+    model: AnalysisModel,
+    opts: ConflictOptions,
+) -> ConflictReport {
+    let mut order = idxs.to_vec();
+    // Stable: ties keep input order, so pair order matches the serial
+    // detector exactly.
+    order.sort_by_key(|&i| {
+        let a = &extended[i as usize].access;
+        (a.offset, a.end())
+    });
+    let mut report = ConflictReport::default();
+    for (pos, &i) in order.iter().enumerate() {
+        let a = &extended[i as usize];
+        for &j in &order[pos + 1..] {
+            let b = &extended[j as usize];
+            if b.access.offset >= a.access.end() {
+                break;
             }
+            // Order the overlapping pair by timestamp (rank breaks ties
+            // deterministically).
+            let (first, second) = if (a.access.t_start, a.access.rank)
+                <= (b.access.t_start, b.access.rank)
+            {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            if first.access.kind != AccessKind::Write {
+                continue; // write-after-read is not a potential conflict
+            }
+            let conflicting = match model {
+                AnalysisModel::Commit => {
+                    // Condition 3: no commit by r1 in (t1, t2).
+                    match first.tc_commit {
+                        Some(tc) => tc > second.access.t_start,
+                        None => true,
+                    }
+                }
+                AnalysisModel::Session => {
+                    // Condition 4: ¬(t1 < tc1 < to2 < t2).
+                    let tc1 = if opts.session_uses_commit_as_close {
+                        first.tc_commit
+                    } else {
+                        first.tc_close
+                    };
+                    let ordered = match (tc1, second.to) {
+                        (Some(tc), Some(to)) => {
+                            first.access.t_start < tc
+                                && tc < to
+                                && to < second.access.t_start
+                        }
+                        _ => false,
+                    };
+                    !ordered
+                }
+            };
+            if !conflicting {
+                continue;
+            }
+            let kind = match second.access.kind {
+                AccessKind::Read => ConflictKind::Raw,
+                AccessKind::Write => ConflictKind::Waw,
+            };
+            let scope = if first.access.rank == second.access.rank {
+                ConflictScope::Same
+            } else {
+                ConflictScope::Distinct
+            };
+            report.add(ConflictPair {
+                file,
+                first: first.access,
+                second: second.access,
+                kind,
+                scope,
+            });
         }
     }
     report

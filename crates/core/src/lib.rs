@@ -42,10 +42,18 @@ pub mod meta_conflict;
 pub mod metadata;
 pub mod model;
 pub mod overlap;
+pub mod parallel;
 pub mod patterns;
 pub mod verdict;
 
-pub use conflict::{AnalysisModel, ConflictPair, ConflictReport, ConflictScope, ConflictKind};
+pub use conflict::{
+    detect_conflicts_threaded, AnalysisModel, ConflictPair, ConflictReport, ConflictScope,
+    ConflictKind,
+};
 pub use model::{ConsistencyModel, PfsEntry, PfsRegistry};
-pub use overlap::{detect_overlaps, detect_overlaps_bruteforce, detect_overlaps_merge, OverlapResult};
+pub use overlap::{
+    count_overlaps, detect_overlaps, detect_overlaps_bruteforce, detect_overlaps_merge,
+    FileGroups, OverlapCount, OverlapResult,
+};
+pub use parallel::{analyze_files_parallel, parallel_map_indexed};
 pub use verdict::{required_model, Verdict};

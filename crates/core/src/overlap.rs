@@ -7,6 +7,8 @@
 //! in the worst case, \[but\] in practice the running time (sorting
 //! excepted) is linear in the number of records".
 
+use std::collections::HashSet;
+
 use recorder::{DataAccess, PathId};
 
 /// Output of overlap detection over one file (or a whole trace when
@@ -30,6 +32,70 @@ impl OverlapResult {
     }
 }
 
+/// Counting-only output of [`count_overlaps`]: the pair count and rank
+/// table without the pair list itself, so worst-case (quadratic-pair)
+/// inputs need O(ranks²) memory instead of O(pairs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OverlapCount {
+    /// Number of overlapping pairs ([`OverlapResult::count`]).
+    pub pairs: u64,
+    /// Same table `P` as [`OverlapResult::rank_pairs`].
+    pub rank_pairs: Vec<(u32, u32)>,
+}
+
+impl OverlapCount {
+    pub fn involves_distinct_ranks(&self) -> bool {
+        self.rank_pairs.iter().any(|(a, b)| a != b)
+    }
+}
+
+/// The §5.1 sweep over an offset-sorted index order: for each tuple, scan
+/// forward while start offsets stay below its (exclusive) end.
+fn sweep(
+    accesses: &[DataAccess],
+    order: &[u32],
+    mut emit: impl FnMut(u32, u32, &DataAccess, &DataAccess),
+) {
+    for (pos, &i) in order.iter().enumerate() {
+        let a = &accesses[i as usize];
+        for &j in &order[pos + 1..] {
+            let b = &accesses[j as usize];
+            if b.offset >= a.end() {
+                break; // sorted by start: no later tuple can overlap `a`
+            }
+            emit(i, j, a, b);
+        }
+    }
+}
+
+fn offset_order(accesses: &[DataAccess], idxs: Option<&[u32]>) -> Vec<u32> {
+    let mut order: Vec<u32> = match idxs {
+        Some(idxs) => idxs.to_vec(),
+        None => (0..accesses.len() as u32).collect(),
+    };
+    order.sort_by_key(|&i| {
+        let a = &accesses[i as usize];
+        (a.offset, a.end(), a.t_start)
+    });
+    order
+}
+
+fn detect_in_order(accesses: &[DataAccess], order: &[u32]) -> OverlapResult {
+    let mut out = OverlapResult::default();
+    // Streaming dedup of the rank table: a seen-set instead of pushing one
+    // entry per pair and sort+dedup afterwards.
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    sweep(accesses, order, |i, j, a, b| {
+        out.pairs.push((i, j));
+        let rp = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+        if seen.insert(rp) {
+            out.rank_pairs.push(rp);
+        }
+    });
+    out.rank_pairs.sort_unstable();
+    out
+}
+
 /// Algorithm 1 over the accesses of **one file**. The input order is
 /// arbitrary; indices in the result refer to the input slice.
 ///
@@ -46,26 +112,40 @@ impl OverlapResult {
 /// assert!(r.involves_distinct_ranks());
 /// ```
 pub fn detect_overlaps(accesses: &[DataAccess]) -> OverlapResult {
-    let mut order: Vec<u32> = (0..accesses.len() as u32).collect();
-    order.sort_by_key(|&i| {
-        let a = &accesses[i as usize];
-        (a.offset, a.end(), a.t_start)
-    });
-    let mut out = OverlapResult::default();
-    for (pos, &i) in order.iter().enumerate() {
-        let a = &accesses[i as usize];
-        for &j in &order[pos + 1..] {
-            let b = &accesses[j as usize];
-            if b.offset >= a.end() {
-                break; // sorted by start: no later tuple can overlap `a`
-            }
-            out.pairs.push((i, j));
-            let (lo, hi) = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
-            out.rank_pairs.push((lo, hi));
+    detect_in_order(accesses, &offset_order(accesses, None))
+}
+
+/// Algorithm 1 over the subset of `accesses` named by `idxs` (typically
+/// one [`FileGroups`] group). Pair indices refer to the full `accesses`
+/// slice, so no per-file copies are needed.
+pub fn detect_overlaps_in(accesses: &[DataAccess], idxs: &[u32]) -> OverlapResult {
+    detect_in_order(accesses, &offset_order(accesses, Some(idxs)))
+}
+
+/// Counting-only Algorithm 1: identical sweep, but only the pair count
+/// and rank table are kept. Equivalent to
+/// `detect_overlaps(accesses).count()` / `.rank_pairs` without
+/// materializing the (worst-case quadratic) pair list.
+pub fn count_overlaps(accesses: &[DataAccess]) -> OverlapCount {
+    count_in_order(accesses, &offset_order(accesses, None))
+}
+
+/// Counting-only Algorithm 1 over the subset named by `idxs`.
+pub fn count_overlaps_in(accesses: &[DataAccess], idxs: &[u32]) -> OverlapCount {
+    count_in_order(accesses, &offset_order(accesses, Some(idxs)))
+}
+
+fn count_in_order(accesses: &[DataAccess], order: &[u32]) -> OverlapCount {
+    let mut out = OverlapCount::default();
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    sweep(accesses, order, |_, _, a, b| {
+        out.pairs += 1;
+        let rp = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+        if seen.insert(rp) {
+            out.rank_pairs.push(rp);
         }
-    }
+    });
     out.rank_pairs.sort_unstable();
-    out.rank_pairs.dedup();
     out
 }
 
@@ -116,6 +196,7 @@ pub fn detect_overlaps_merge(per_rank: &[Vec<DataAccess>]) -> Option<OverlapResu
         &per_rank[r][(i - base[r]) as usize]
     };
     let mut out = OverlapResult::default();
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
     for (pos, &i) in order.iter().enumerate() {
         let a = acc(i);
         for &j in &order[pos + 1..] {
@@ -124,12 +205,13 @@ pub fn detect_overlaps_merge(per_rank: &[Vec<DataAccess>]) -> Option<OverlapResu
                 break;
             }
             out.pairs.push((i, j));
-            let (lo, hi) = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
-            out.rank_pairs.push((lo, hi));
+            let rp = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+            if seen.insert(rp) {
+                out.rank_pairs.push(rp);
+            }
         }
     }
     out.rank_pairs.sort_unstable();
-    out.rank_pairs.dedup();
     Some(out)
 }
 
@@ -152,14 +234,65 @@ pub fn detect_overlaps_bruteforce(accesses: &[DataAccess]) -> OverlapResult {
     out
 }
 
-/// Group a resolved trace's accesses by file, preserving global time order
-/// within each group.
-pub fn group_by_file(accesses: &[DataAccess]) -> Vec<(PathId, Vec<DataAccess>)> {
-    let mut map: std::collections::BTreeMap<PathId, Vec<DataAccess>> = Default::default();
-    for a in accesses {
-        map.entry(a.file).or_default().push(*a);
+/// Zero-copy grouping of a trace's accesses by file.
+///
+/// One stable index sort replaces the per-file `Vec<DataAccess>` clones
+/// the analysis used to make: each group is a slice of indices into the
+/// original access slice, **in input order** within the group (groups
+/// themselves are sorted by [`PathId`]). The whole structure is two flat
+/// vectors, no per-file allocation, and the accesses are never copied.
+///
+/// Overlap convention (shared by every consumer of a group): a
+/// [`DataAccess`] covers the half-open byte range `[offset, end())` with
+/// `end() = offset + len` **exclusive**, so accesses that merely touch
+/// (`a.end() == b.offset`) do not overlap.
+#[derive(Debug, Clone, Default)]
+pub struct FileGroups {
+    /// Indices into the access slice, grouped by file, input order within
+    /// each group.
+    order: Vec<u32>,
+    /// Per-file `(file, start..end)` ranges into `order`, sorted by file.
+    ranges: Vec<(PathId, u32, u32)>,
+}
+
+impl FileGroups {
+    pub fn new(accesses: &[DataAccess]) -> Self {
+        let mut order: Vec<u32> = (0..accesses.len() as u32).collect();
+        // Stable: equal files keep input order.
+        order.sort_by_key(|&i| accesses[i as usize].file);
+        let mut ranges: Vec<(PathId, u32, u32)> = Vec::new();
+        let mut start = 0;
+        while start < order.len() {
+            let file = accesses[order[start] as usize].file;
+            let mut end = start + 1;
+            while end < order.len() && accesses[order[end] as usize].file == file {
+                end += 1;
+            }
+            ranges.push((file, start as u32, end as u32));
+            start = end;
+        }
+        Self { order, ranges }
     }
-    map.into_iter().collect()
+
+    /// Number of distinct files.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The `k`-th group (groups are sorted by file).
+    pub fn group(&self, k: usize) -> (PathId, &[u32]) {
+        let (file, lo, hi) = self.ranges[k];
+        (file, &self.order[lo as usize..hi as usize])
+    }
+
+    /// Iterate `(file, indices)` groups in file order.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, &[u32])> + '_ {
+        (0..self.len()).map(|k| self.group(k))
+    }
 }
 
 /// Normalize a pair list into a canonical (sorted, both orders collapsed)
@@ -231,6 +364,76 @@ mod tests {
         let r = detect_overlaps(&accs);
         assert_eq!(r.rank_pairs, vec![(3, 3)]);
         assert!(!r.involves_distinct_ranks());
+    }
+
+    #[test]
+    fn counting_mode_matches_full_detection() {
+        let accs: Vec<DataAccess> =
+            (0..60).map(|i| acc(i % 5, i as u64, (i as u64 * 11) % 70, 15)).collect();
+        let full = detect_overlaps(&accs);
+        let count = count_overlaps(&accs);
+        assert_eq!(count.pairs, full.count() as u64);
+        assert_eq!(count.rank_pairs, full.rank_pairs);
+    }
+
+    #[test]
+    fn subset_detection_matches_filtered_input() {
+        // Accesses over two interleaved "logical" sets; detect on one set
+        // by indices and compare against detecting on a filtered copy.
+        let accs: Vec<DataAccess> =
+            (0..40).map(|i| acc(i % 3, i as u64, (i as u64 * 7) % 50, 12)).collect();
+        let idxs: Vec<u32> = (0..accs.len() as u32).filter(|i| i % 2 == 0).collect();
+        let subset: Vec<DataAccess> = idxs.iter().map(|&i| accs[i as usize]).collect();
+        let by_idx = detect_overlaps_in(&accs, &idxs);
+        let by_copy = detect_overlaps(&subset);
+        // Map the copy's local indices back to global ones.
+        let remap: Vec<(u32, u32)> = by_copy
+            .pairs
+            .iter()
+            .map(|&(i, j)| (idxs[i as usize], idxs[j as usize]))
+            .collect();
+        let canon = |mut v: Vec<(u32, u32)>| {
+            for p in &mut v {
+                if p.0 > p.1 {
+                    *p = (p.1, p.0);
+                }
+            }
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(canon(by_idx.pairs), canon(remap));
+        assert_eq!(by_idx.rank_pairs, by_copy.rank_pairs);
+    }
+
+    #[test]
+    fn file_groups_preserve_input_order() {
+        let mut accs = Vec::new();
+        for i in 0..30u64 {
+            let mut a = acc((i % 4) as u32, 100 - i, (i * 9) % 40, 8);
+            a.file = PathId((i % 3) as u32);
+            accs.push(a);
+        }
+        let groups = FileGroups::new(&accs);
+        assert_eq!(groups.len(), 3);
+        let mut seen = 0usize;
+        let mut last_file = None;
+        for (file, idxs) in groups.iter() {
+            if let Some(lf) = last_file {
+                assert!(file > lf, "groups sorted by file");
+            }
+            last_file = Some(file);
+            assert!(idxs.windows(2).all(|w| w[0] < w[1]), "input order within group");
+            assert!(idxs.iter().all(|&i| accs[i as usize].file == file));
+            seen += idxs.len();
+        }
+        assert_eq!(seen, accs.len());
+    }
+
+    #[test]
+    fn file_groups_empty_input() {
+        let groups = FileGroups::new(&[]);
+        assert!(groups.is_empty());
+        assert_eq!(groups.iter().count(), 0);
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! pattern is likely to appear more random than the local pattern since
 //! the I/O requests from concurrent processes are interleaved in time".
 
-use std::collections::BTreeMap;
-
-use recorder::{DataAccess, PathId, ResolvedTrace};
+use recorder::{DataAccess, ResolvedTrace};
 
 /// Classification of one access relative to its predecessor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,38 +80,61 @@ pub fn classify_stream(stream: impl IntoIterator<Item = (u64, u64)>) -> PatternS
     stats
 }
 
-/// Figure 1(b): the local pattern, streaming accesses per `(rank, file)`.
-pub fn local_pattern(resolved: &ResolvedTrace) -> PatternStats {
-    let mut streams: BTreeMap<(u32, PathId), Vec<(u64, u64)>> = BTreeMap::new();
-    for a in &resolved.accesses {
-        streams.entry((a.rank, a.file)).or_default().push((a.offset, a.len));
-    }
+/// Classify all streams of one sorted index order in a single pass: a
+/// stream boundary is wherever `stream_key` changes. Zero-copy — one index
+/// sort over the original access slice instead of one `Vec` per stream.
+fn classify_sorted<K: PartialEq>(
+    accesses: &[DataAccess],
+    order: &[u32],
+    stream_key: impl Fn(&DataAccess) -> K,
+) -> PatternStats {
     let mut stats = PatternStats::default();
-    for s in streams.into_values() {
-        stats.merge(&classify_stream(s));
+    let mut prev: Option<(K, u64)> = None; // (stream key, prev end offset)
+    for &i in order {
+        let a = &accesses[i as usize];
+        let key = stream_key(a);
+        if let Some((pk, pe)) = &prev {
+            if *pk == key {
+                let class = if a.offset == *pe {
+                    AccessClass::Consecutive
+                } else if a.offset > *pe {
+                    AccessClass::Monotonic
+                } else {
+                    AccessClass::Random
+                };
+                stats.add(class);
+            }
+        }
+        prev = Some((key, a.offset + a.len));
     }
     stats
+}
+
+/// Figure 1(b): the local pattern, streaming accesses per `(rank, file)`.
+pub fn local_pattern(resolved: &ResolvedTrace) -> PatternStats {
+    let accs = &resolved.accesses;
+    let mut order: Vec<u32> = (0..accs.len() as u32).collect();
+    // Stable: within a (rank, file) stream the input (time) order holds.
+    order.sort_by_key(|&i| (accs[i as usize].rank, accs[i as usize].file));
+    classify_sorted(accs, &order, |a| (a.rank, a.file))
 }
 
 /// Figure 1(a): the global pattern, streaming accesses per file in global
 /// (adjusted) time order.
 pub fn global_pattern(resolved: &ResolvedTrace) -> PatternStats {
-    let mut streams: BTreeMap<PathId, Vec<&DataAccess>> = BTreeMap::new();
-    for a in &resolved.accesses {
-        streams.entry(a.file).or_default().push(a);
-    }
-    let mut stats = PatternStats::default();
-    for mut accs in streams.into_values() {
-        accs.sort_by_key(|a| (a.t_start, a.rank));
-        stats.merge(&classify_stream(accs.iter().map(|a| (a.offset, a.len))));
-    }
-    stats
+    let accs = &resolved.accesses;
+    let mut order: Vec<u32> = (0..accs.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let a = &accs[i as usize];
+        (a.file, a.t_start, a.rank)
+    });
+    classify_sorted(accs, &order, |a| a.file)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use recorder::{AccessKind, Layer};
+    use recorder::{AccessKind, Layer, PathId};
 
     #[test]
     fn stream_classification() {

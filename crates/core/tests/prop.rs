@@ -1,104 +1,122 @@
-//! Property tests for the analysis algorithms.
+//! Property-style tests for the analysis algorithms.
+//!
+//! Offline build: instead of `proptest`, each property runs over a few
+//! hundred pseudo-random cases generated from pinned [`simrng`] seeds, so
+//! failures reproduce exactly by rerunning the test.
 
-use proptest::prelude::*;
 use recorder::{AccessKind, DataAccess, Layer, PathId, ResolvedTrace, SyncEvent, SyncKind};
 use semantics_core::conflict::{
     detect_conflicts, detect_conflicts_opt, AnalysisModel, ConflictOptions,
 };
 use semantics_core::overlap::{canonical_pairs, detect_overlaps, detect_overlaps_bruteforce};
+use simrng::SimRng;
 
-fn access_strategy(n_ranks: u32) -> impl Strategy<Value = DataAccess> {
-    (0..n_ranks, 0u64..1000, 0u64..200, 1u64..50, any::<bool>()).prop_map(
-        |(rank, t, offset, len, write)| DataAccess {
-            rank,
-            t_start: t,
-            t_end: t + 1,
-            file: PathId(0),
-            offset,
-            len,
-            kind: if write { AccessKind::Write } else { AccessKind::Read },
-            origin: Layer::App,
-            fd: 3,
-        },
-    )
+fn random_access(rng: &mut SimRng, n_ranks: u32) -> DataAccess {
+    let t = rng.range_u64(0, 1000);
+    DataAccess {
+        rank: rng.range_u32(0, n_ranks),
+        t_start: t,
+        t_end: t + 1,
+        file: PathId(0),
+        offset: rng.range_u64(0, 200),
+        len: rng.range_u64(1, 50),
+        kind: if rng.gen_bool(0.5) { AccessKind::Write } else { AccessKind::Read },
+        origin: Layer::App,
+        fd: 3,
+    }
 }
 
-fn sync_strategy(n_ranks: u32) -> impl Strategy<Value = SyncEvent> {
-    (0..n_ranks, 0u64..1000, 0u8..3).prop_map(|(rank, t, k)| SyncEvent {
-        rank,
-        t,
+fn random_sync(rng: &mut SimRng, n_ranks: u32) -> SyncEvent {
+    SyncEvent {
+        rank: rng.range_u32(0, n_ranks),
+        t: rng.range_u64(0, 1000),
         file: PathId(0),
-        kind: match k {
+        kind: match rng.range_u32(0, 3) {
             0 => SyncKind::Open,
             1 => SyncKind::Close,
             _ => SyncKind::Commit,
         },
-    })
-}
-
-prop_compose! {
-    fn trace_strategy()(
-        mut accesses in prop::collection::vec(access_strategy(4), 0..60),
-        mut syncs in prop::collection::vec(sync_strategy(4), 0..20),
-    ) -> ResolvedTrace {
-        accesses.sort_by_key(|a| (a.t_start, a.rank));
-        // Unique timestamps: the §5.2 premise is that synchronized
-        // conflicting operations are strictly ordered in time (they sit
-        // tens of milliseconds apart in real traces), so simultaneous
-        // accesses are out of the detector's domain.
-        accesses.dedup_by_key(|a| a.t_start);
-        syncs.sort_by_key(|s| (s.t, s.rank));
-        ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_accesses(rng: &mut SimRng, max: usize, n_ranks: u32) -> Vec<DataAccess> {
+    let n = rng.range_usize(0, max + 1);
+    (0..n).map(|_| random_access(rng, n_ranks)).collect()
+}
 
-    /// Algorithm 1 equals the O(n²) reference.
-    #[test]
-    fn overlap_sweep_matches_bruteforce(accesses in prop::collection::vec(access_strategy(4), 0..80)) {
+fn random_trace(rng: &mut SimRng) -> ResolvedTrace {
+    let mut accesses = random_accesses(rng, 60, 4);
+    let mut syncs: Vec<SyncEvent> =
+        (0..rng.range_usize(0, 20)).map(|_| random_sync(rng, 4)).collect();
+    accesses.sort_by_key(|a| (a.t_start, a.rank));
+    // Unique timestamps: the §5.2 premise is that synchronized conflicting
+    // operations are strictly ordered in time (they sit tens of
+    // milliseconds apart in real traces), so simultaneous accesses are out
+    // of the detector's domain.
+    accesses.dedup_by_key(|a| a.t_start);
+    syncs.sort_by_key(|s| (s.t, s.rank));
+    ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+}
+
+/// Algorithm 1 equals the O(n²) reference.
+#[test]
+fn overlap_sweep_matches_bruteforce() {
+    let mut rng = SimRng::seed_from_u64(0xA1);
+    for _ in 0..128 {
+        let accesses = random_accesses(&mut rng, 80, 4);
         let fast = detect_overlaps(&accesses);
         let slow = detect_overlaps_bruteforce(&accesses);
-        prop_assert_eq!(canonical_pairs(&fast), canonical_pairs(&slow));
-        prop_assert_eq!(fast.rank_pairs, slow.rank_pairs);
+        assert_eq!(canonical_pairs(&fast), canonical_pairs(&slow));
+        assert_eq!(fast.rank_pairs, slow.rank_pairs);
     }
+}
 
-    /// Overlap detection is insensitive to input permutation.
-    #[test]
-    fn overlap_permutation_invariant(
-        accesses in prop::collection::vec(access_strategy(4), 0..40),
-        seed in any::<u64>(),
-    ) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// Overlap detection is insensitive to input permutation.
+#[test]
+fn overlap_permutation_invariant() {
+    let mut rng = SimRng::seed_from_u64(0xA2);
+    for _ in 0..128 {
+        let accesses = random_accesses(&mut rng, 40, 4);
         let base = detect_overlaps(&accesses);
-        let base_count = base.pairs.len();
         let mut shuffled = accesses.clone();
-        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        rng.shuffle(&mut shuffled);
         let shuf = detect_overlaps(&shuffled);
-        prop_assert_eq!(shuf.pairs.len(), base_count);
-        prop_assert_eq!(shuf.rank_pairs, base.rank_pairs);
+        assert_eq!(shuf.pairs.len(), base.pairs.len());
+        assert_eq!(shuf.rank_pairs, base.rank_pairs);
     }
+}
 
-    /// The scan and binary-search extensions yield identical conflicts.
-    #[test]
-    fn conflict_variants_agree(trace in trace_strategy()) {
+/// The scan and binary-search extensions yield identical conflicts.
+#[test]
+fn conflict_variants_agree() {
+    let mut rng = SimRng::seed_from_u64(0xA3);
+    for _ in 0..128 {
+        let trace = random_trace(&mut rng);
         for model in [AnalysisModel::Commit, AnalysisModel::Session] {
-            let a = detect_conflicts_opt(&trace, model,
-                ConflictOptions { binary_search: true, ..Default::default() });
-            let b = detect_conflicts_opt(&trace, model,
-                ConflictOptions { binary_search: false, ..Default::default() });
-            prop_assert_eq!(a.total(), b.total());
-            prop_assert_eq!(a.table4_marks(), b.table4_marks());
+            let a = detect_conflicts_opt(
+                &trace,
+                model,
+                ConflictOptions { binary_search: true, ..Default::default() },
+            );
+            let b = detect_conflicts_opt(
+                &trace,
+                model,
+                ConflictOptions { binary_search: false, ..Default::default() },
+            );
+            assert_eq!(a.total(), b.total());
+            assert_eq!(a.table4_marks(), b.table4_marks());
         }
     }
+}
 
-    /// Commit conflicts are a subset of session conflicts when sessions
-    /// treat commits as closes (the paper's combined-tc formalization):
-    /// every commit-visible conflict is also session-visible.
-    #[test]
-    fn commit_subset_of_session_combined(trace in trace_strategy()) {
+/// Commit conflicts are a subset of session conflicts when sessions treat
+/// commits as closes (the paper's combined-tc formalization): every
+/// commit-visible conflict is also session-visible.
+#[test]
+fn commit_subset_of_session_combined() {
+    let mut rng = SimRng::seed_from_u64(0xA4);
+    for _ in 0..128 {
+        let trace = random_trace(&mut rng);
         let commit = detect_conflicts(&trace, AnalysisModel::Commit);
         let session = detect_conflicts_opt(
             &trace,
@@ -111,22 +129,24 @@ proptest! {
         };
         let skeys: std::collections::HashSet<_> = session.pairs.iter().map(key).collect();
         for p in &commit.pairs {
-            prop_assert!(
-                skeys.contains(&key(p)),
-                "commit conflict missing under session: {:?}", p
-            );
+            assert!(skeys.contains(&key(p)), "commit conflict missing under session: {p:?}");
         }
     }
+}
 
-    /// Conflicts are invariant under a uniform time shift.
-    #[test]
-    fn conflicts_invariant_under_time_shift(trace in trace_strategy(), shift in 0u64..10_000) {
+/// Conflicts are invariant under a uniform time shift.
+#[test]
+fn conflicts_invariant_under_time_shift() {
+    let mut rng = SimRng::seed_from_u64(0xA5);
+    for _ in 0..128 {
+        let trace = random_trace(&mut rng);
+        let shift = rng.range_u64(0, 10_000);
         let shifted = ResolvedTrace {
-            accesses: trace.accesses.iter().map(|a| DataAccess {
-                t_start: a.t_start + shift,
-                t_end: a.t_end + shift,
-                ..*a
-            }).collect(),
+            accesses: trace
+                .accesses
+                .iter()
+                .map(|a| DataAccess { t_start: a.t_start + shift, t_end: a.t_end + shift, ..*a })
+                .collect(),
             syncs: trace.syncs.iter().map(|s| SyncEvent { t: s.t + shift, ..*s }).collect(),
             seek_mismatches: 0,
             short_reads: 0,
@@ -134,15 +154,19 @@ proptest! {
         for model in [AnalysisModel::Commit, AnalysisModel::Session] {
             let a = detect_conflicts(&trace, model);
             let b = detect_conflicts(&shifted, model);
-            prop_assert_eq!(a.total(), b.total());
-            prop_assert_eq!(a.table4_marks(), b.table4_marks());
+            assert_eq!(a.total(), b.total());
+            assert_eq!(a.table4_marks(), b.table4_marks());
         }
     }
+}
 
-    /// Removing all sync events can only add conflicts (sync events only
-    /// ever clear conditions 3 and 4).
-    #[test]
-    fn syncs_only_reduce_conflicts(trace in trace_strategy()) {
+/// Removing all sync events can only add conflicts (sync events only ever
+/// clear conditions 3 and 4).
+#[test]
+fn syncs_only_reduce_conflicts() {
+    let mut rng = SimRng::seed_from_u64(0xA6);
+    for _ in 0..128 {
+        let trace = random_trace(&mut rng);
         let no_sync = ResolvedTrace {
             accesses: trace.accesses.clone(),
             syncs: vec![],
@@ -152,47 +176,45 @@ proptest! {
         for model in [AnalysisModel::Commit, AnalysisModel::Session] {
             let with = detect_conflicts(&trace, model);
             let without = detect_conflicts(&no_sync, model);
-            prop_assert!(without.total() >= with.total(), "{:?}", model);
+            assert!(without.total() >= with.total(), "{model:?}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The merge-based variant (the paper's "sorting can be replaced by
-    /// merging" note) agrees with the sort-based Algorithm 1 on any
-    /// per-rank offset-sorted input.
-    #[test]
-    fn overlap_merge_matches_sort(
-        mut accesses in prop::collection::vec(access_strategy(4), 0..60),
-    ) {
+/// The merge-based variant (the paper's "sorting can be replaced by
+/// merging" note) agrees with the sort-based Algorithm 1 on any per-rank
+/// offset-sorted input.
+#[test]
+fn overlap_merge_matches_sort() {
+    let mut rng = SimRng::seed_from_u64(0xA7);
+    for _ in 0..64 {
+        let accesses = random_accesses(&mut rng, 60, 4);
         // Build per-rank offset-sorted lists (the precondition).
         let mut per_rank: Vec<Vec<DataAccess>> = vec![Vec::new(); 4];
-        for a in accesses.drain(..) {
+        for a in accesses {
             per_rank[a.rank as usize].push(a);
         }
         for list in &mut per_rank {
             list.sort_by_key(|a| (a.offset, a.end()));
         }
         let flat: Vec<DataAccess> = per_rank.iter().flatten().copied().collect();
-        let merged = semantics_core::overlap::detect_overlaps_merge(&per_rank)
-            .expect("input is sorted");
+        let merged =
+            semantics_core::overlap::detect_overlaps_merge(&per_rank).expect("input is sorted");
         let sorted = detect_overlaps(&flat);
-        prop_assert_eq!(canonical_pairs(&merged), canonical_pairs(&sorted));
-        prop_assert_eq!(merged.rank_pairs, sorted.rank_pairs);
+        assert_eq!(canonical_pairs(&merged), canonical_pairs(&sorted));
+        assert_eq!(merged.rank_pairs, sorted.rank_pairs);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The advisor's proposed commit insertions always eliminate every
-    /// commit-semantics conflict, on arbitrary traces.
-    #[test]
-    fn advisor_is_always_sufficient(trace in trace_strategy()) {
+/// The advisor's proposed commit insertions always eliminate every
+/// commit-semantics conflict, on arbitrary traces.
+#[test]
+fn advisor_is_always_sufficient() {
+    let mut rng = SimRng::seed_from_u64(0xA8);
+    for _ in 0..96 {
+        let trace = random_trace(&mut rng);
         let advice = semantics_core::advisor::advise_commits(&trace);
-        prop_assert!(
+        assert!(
             advice.is_sufficient(),
             "{} conflicts survive {} insertions",
             advice.after.total(),
@@ -200,6 +222,6 @@ proptest! {
         );
         // And it never proposes more insertions than there were
         // conflicting first-writes.
-        prop_assert!(advice.insertions.len() as u64 <= advice.before.total());
+        assert!(advice.insertions.len() as u64 <= advice.before.total());
     }
 }

@@ -2,11 +2,12 @@
 //! reconstructs offsets from open flags, seeks and byte counts alone; the
 //! simulator knows where every operation *actually* landed. For random
 //! single-file op sequences (including appends, seeks, truncates and
-//! short reads) the two must agree exactly.
+//! short reads) the two must agree exactly. Cases come from pinned
+//! [`simrng`] seeds so the suite runs with no registry dependencies.
 
 use iolibs::{run_app, AppCtx, RunConfig};
-use proptest::prelude::*;
 use recorder::{adjust, offset, AccessKind};
+use simrng::SimRng;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -20,17 +21,17 @@ enum Op {
     Fsync,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u16..2000).prop_map(Op::Write),
-        (0u32..5000, 1u16..2000).prop_map(|(o, l)| Op::Pwrite(o, l)),
-        (1u16..2000).prop_map(Op::Read),
-        (0u32..5000, 1u16..2000).prop_map(|(o, l)| Op::Pread(o, l)),
-        (0u32..5000).prop_map(Op::SeekSet),
-        (-500i16..0).prop_map(Op::SeekEnd),
-        (0u32..5000).prop_map(Op::Truncate),
-        Just(Op::Fsync),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.range_u32(0, 8) {
+        0 => Op::Write(rng.range_u64(1, 2000) as u16),
+        1 => Op::Pwrite(rng.range_u64(0, 5000) as u32, rng.range_u64(1, 2000) as u16),
+        2 => Op::Read(rng.range_u64(1, 2000) as u16),
+        3 => Op::Pread(rng.range_u64(0, 5000) as u32, rng.range_u64(1, 2000) as u16),
+        4 => Op::SeekSet(rng.range_u64(0, 5000) as u32),
+        5 => Op::SeekEnd(rng.range_i64_inclusive(-500, -1) as i16),
+        6 => Op::Truncate(rng.range_u64(0, 5000) as u32),
+        _ => Op::Fsync,
+    }
 }
 
 /// Execute the ops on rank 0 (rank 1 idles at barriers) and record the
@@ -85,22 +86,21 @@ fn ground_truth(ops: &[Op], append: bool) -> (Vec<(u64, u64, bool)>, recorder::T
 
 static TRUTH: std::sync::Mutex<Vec<(u64, u64, bool)>> = std::sync::Mutex::new(Vec::new());
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn resolver_matches_simulator(
-        ops in prop::collection::vec(op_strategy(), 1..30),
-        append in any::<bool>(),
-    ) {
+#[test]
+fn resolver_matches_simulator() {
+    let mut rng = SimRng::seed_from_u64(0x0FF5E7);
+    for _ in 0..48 {
+        let ops: Vec<Op> =
+            (0..rng.range_usize(1, 30)).map(|_| random_op(&mut rng)).collect();
+        let append = rng.gen_bool(0.5);
         let (truth, trace) = ground_truth(&ops, append);
         let resolved = offset::resolve(&adjust::apply(&trace));
-        prop_assert_eq!(resolved.seek_mismatches, 0, "pure §5.1 derivation must suffice");
+        assert_eq!(resolved.seek_mismatches, 0, "pure §5.1 derivation must suffice");
         let derived: Vec<(u64, u64, bool)> = resolved
             .accesses
             .iter()
             .map(|a| (a.offset, a.len, a.kind == AccessKind::Write))
             .collect();
-        prop_assert_eq!(derived, truth);
+        assert_eq!(derived, truth);
     }
 }

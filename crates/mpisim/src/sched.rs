@@ -21,8 +21,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simrng::SimRng;
 
 use crate::event::MpiEvent;
 
@@ -70,7 +69,7 @@ pub(crate) struct Msg {
 /// state, and the happens-before event log.
 pub(crate) struct SimState {
     pub mode: SchedMode,
-    pub rng: StdRng,
+    pub rng: SimRng,
     pub status: Vec<RankStatus>,
     pub deadlocked: bool,
     /// Global simulated time, nanoseconds.
@@ -91,7 +90,7 @@ impl SimState {
     pub fn new(nranks: u32, seed: u64, mode: SchedMode, start_ns: u64) -> Self {
         SimState {
             mode,
-            rng: StdRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed),
+            rng: SimRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed),
             status: vec![RankStatus::Computing; nranks as usize],
             deadlocked: false,
             clock_ns: start_ns,
@@ -139,7 +138,7 @@ impl SimState {
             return;
         }
         let pick = match self.mode {
-            SchedMode::Deterministic => requesting[self.rng.gen_range(0..requesting.len())],
+            SchedMode::Deterministic => requesting[self.rng.range_usize(0, requesting.len())],
             SchedMode::Free => requesting[0],
         };
         self.status[pick] = RankStatus::Granted;

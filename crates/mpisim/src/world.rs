@@ -1,10 +1,8 @@
 //! World construction, rank handles and the turn protocol.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simrng::SimRng;
 
 use crate::clock::{apply_skew, CostModel, OpClass};
 use crate::error::SimError;
@@ -95,13 +93,13 @@ pub struct RunOutput<T> {
 impl World {
     pub fn new(cfg: &WorldCfg) -> Self {
         assert!(cfg.nranks > 0, "world must have at least one rank");
-        let mut skew_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0c10_c0c1_0c0c_105e);
+        let mut skew_rng = SimRng::seed_from_u64(cfg.seed ^ 0x0c10_c0c1_0c0c_105e);
         let skews = (0..cfg.nranks)
             .map(|_| {
                 if cfg.max_skew_ns == 0 {
                     0
                 } else {
-                    skew_rng.gen_range(-(cfg.max_skew_ns as i64)..=(cfg.max_skew_ns as i64))
+                    skew_rng.range_i64_inclusive(-(cfg.max_skew_ns as i64), cfg.max_skew_ns as i64)
                 }
             })
             .collect();
@@ -158,7 +156,7 @@ impl World {
                 })
                 .collect()
         });
-        let st = world.shared.state.lock();
+        let st = world.shared.state.lock().unwrap();
         RunOutput {
             results,
             events: st.events.clone(),
@@ -205,7 +203,7 @@ impl Rank {
     /// Current true simulated time. Takes the world lock; mainly for tests
     /// and reporting.
     pub fn now(&self) -> u64 {
-        self.shared.state.lock().clock_ns
+        self.shared.state.lock().unwrap().clock_ns
     }
 
     pub(crate) fn clone_handle(&self) -> Rank {
@@ -215,7 +213,7 @@ impl Rank {
     /// Acquire the scheduler turn. Returns with the world lock held and
     /// this rank's status set to `Granted`.
     pub(crate) fn turn_begin(&self) -> MutexGuard<'_, SimState> {
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.state.lock().unwrap();
         let me = self.rank as usize;
         st.status[me] = RankStatus::Requesting;
         st.try_dispatch();
@@ -229,7 +227,7 @@ impl Rank {
             if st.status[me] == RankStatus::Granted {
                 return st;
             }
-            self.shared.cv.wait(&mut st);
+            st = self.shared.cv.wait(st).unwrap();
         }
     }
 
@@ -263,7 +261,7 @@ impl Rank {
             if !matches!(st.status[me], RankStatus::Blocked(_)) {
                 return st;
             }
-            self.shared.cv.wait(&mut st);
+            st = self.shared.cv.wait(st).unwrap();
         }
     }
 
@@ -294,7 +292,7 @@ impl Rank {
 
     /// Mark this rank finished. Called automatically by [`World::run`].
     pub fn finish(&self) {
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.state.lock().unwrap();
         st.status[self.rank as usize] = RankStatus::Finished;
         st.try_dispatch();
         self.shared.cv.notify_all();

@@ -1,9 +1,9 @@
-//! Property tests for the simulated runtime: deterministic replay and
-//! deadlock-freedom over randomized (but well-formed) SPMD programs.
-
-use proptest::prelude::*;
+//! Property-style tests for the simulated runtime: deterministic replay
+//! and deadlock-freedom over randomized (but well-formed) SPMD programs,
+//! generated from pinned [`simrng`] seeds.
 
 use mpisim::{World, WorldCfg};
+use simrng::SimRng;
 
 /// One step of a generated SPMD program. Every rank executes the same
 /// step sequence (SPMD), so collectives always match.
@@ -19,14 +19,18 @@ enum Step {
     Allreduce,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (1u16..2000).prop_map(Step::Compute),
-        Just(Step::Barrier),
-        any::<u8>().prop_map(Step::Ring),
-        any::<u8>().prop_map(Step::Gather),
-        Just(Step::Allreduce),
-    ]
+fn random_step(rng: &mut SimRng) -> Step {
+    match rng.range_u32(0, 5) {
+        0 => Step::Compute(rng.range_u64(1, 2000) as u16),
+        1 => Step::Barrier,
+        2 => Step::Ring(rng.next_u32() as u8),
+        3 => Step::Gather(rng.next_u32() as u8),
+        _ => Step::Allreduce,
+    }
+}
+
+fn random_steps(rng: &mut SimRng, min: usize, max: usize) -> Vec<Step> {
+    (0..rng.range_usize(min, max)).map(|_| random_step(rng)).collect()
 }
 
 fn execute(nranks: u32, seed: u64, steps: &[Step]) -> mpisim::RunOutput<u64> {
@@ -66,45 +70,47 @@ fn execute(nranks: u32, seed: u64, steps: &[Step]) -> mpisim::RunOutput<u64> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Any well-formed SPMD program completes (no deadlock) and replays
-    /// bit-identically under the same seed.
-    #[test]
-    fn deterministic_replay_of_random_programs(
-        steps in prop::collection::vec(step_strategy(), 1..12),
-        nranks in 2u32..6,
-        seed in any::<u64>(),
-    ) {
+/// Any well-formed SPMD program completes (no deadlock) and replays
+/// bit-identically under the same seed.
+#[test]
+fn deterministic_replay_of_random_programs() {
+    let mut rng = SimRng::seed_from_u64(0x51D1);
+    for _ in 0..32 {
+        let steps = random_steps(&mut rng, 1, 12);
+        let nranks = rng.range_u32(2, 6);
+        let seed = rng.next_u64();
         let a = execute(nranks, seed, &steps);
         let b = execute(nranks, seed, &steps);
-        prop_assert_eq!(&a.results, &b.results);
-        prop_assert_eq!(&a.events, &b.events);
-        prop_assert_eq!(a.final_time_ns, b.final_time_ns);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.final_time_ns, b.final_time_ns);
     }
+}
 
-    /// The computed values are interleaving-independent: a different seed
-    /// permutes the schedule but every deterministic reduction result is
-    /// unchanged.
-    #[test]
-    fn results_are_schedule_invariant(
-        steps in prop::collection::vec(step_strategy(), 1..10),
-        nranks in 2u32..5,
-    ) {
+/// The computed values are interleaving-independent: a different seed
+/// permutes the schedule but every deterministic reduction result is
+/// unchanged.
+#[test]
+fn results_are_schedule_invariant() {
+    let mut rng = SimRng::seed_from_u64(0x51D2);
+    for _ in 0..32 {
+        let steps = random_steps(&mut rng, 1, 10);
+        let nranks = rng.range_u32(2, 5);
         let a = execute(nranks, 1, &steps);
         let b = execute(nranks, 2, &steps);
-        prop_assert_eq!(a.results, b.results);
+        assert_eq!(a.results, b.results);
     }
+}
 
-    /// Every send is eventually matched: the event log has equal numbers
-    /// of sends and receives with a bijection on sequence numbers.
-    #[test]
-    fn sends_and_receives_pair_up(
-        steps in prop::collection::vec(step_strategy(), 1..10),
-        nranks in 2u32..5,
-        seed in any::<u64>(),
-    ) {
+/// Every send is eventually matched: the event log has equal numbers of
+/// sends and receives with a bijection on sequence numbers.
+#[test]
+fn sends_and_receives_pair_up() {
+    let mut rng = SimRng::seed_from_u64(0x51D3);
+    for _ in 0..32 {
+        let steps = random_steps(&mut rng, 1, 10);
+        let nranks = rng.range_u32(2, 5);
+        let seed = rng.next_u64();
         let out = execute(nranks, seed, &steps);
         let mut sends = Vec::new();
         let mut recvs = Vec::new();
@@ -117,6 +123,6 @@ proptest! {
         }
         sends.sort_unstable();
         recvs.sort_unstable();
-        prop_assert_eq!(sends, recvs);
+        assert_eq!(sends, recvs);
     }
 }

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::config::{PfsConfig, SemanticsModel};
 use crate::engine;
@@ -94,7 +94,7 @@ pub struct PfsClient {
 impl PfsClient {
     pub(crate) fn new(state: Arc<Mutex<PfsState>>, cfg: PfsConfig, rank: u32) -> Self {
         let client_id = {
-            let mut st = state.lock();
+            let mut st = state.lock().unwrap();
             let id = st.next_client_id;
             st.next_client_id += 1;
             id
@@ -162,7 +162,7 @@ impl PfsClient {
     /// sees exactly the sessions closed before this open).
     pub fn open(&mut self, path: &str, flags: OpenFlags, now: u64) -> FsResult<u32> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.opens += 1;
         let existing = st.ns.lookup(&path);
         let file = match existing {
@@ -215,7 +215,7 @@ impl PfsClient {
     /// close is the end of a session).
     pub fn close(&mut self, fd: u32, _now: u64) -> FsResult<()> {
         let entry = self.fds.remove(&fd).ok_or(FsError::BadFd { fd })?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.closes += 1;
         match self.effective(entry.flags) {
             SemanticsModel::Commit | SemanticsModel::Session => {
@@ -240,7 +240,7 @@ impl PfsClient {
         if !entry.flags.write {
             return Err(FsError::Denied { detail: format!("fd {fd} not open for writing") });
         }
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if st.file(entry.file).laminated {
             return Err(FsError::Denied { detail: format!("{} is laminated", entry.path) });
         }
@@ -282,7 +282,7 @@ impl PfsClient {
         }
         let model = self.effective(entry.flags);
         let file = entry.file;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if st.file(file).laminated {
             return Err(FsError::Denied { detail: "laminated".into() });
         }
@@ -315,7 +315,7 @@ impl PfsClient {
         let model = self.effective(entry.flags);
         let file = entry.file;
         let snapshot = entry.snapshot.clone();
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.reads += 1;
         if model == SemanticsModel::Strong {
             let locks = if len == 0 { 0 } else { len.div_ceil(cfg.lock_granularity) };
@@ -361,7 +361,7 @@ impl PfsClient {
             Whence::Cur => entry.cursor as i64,
             Whence::End => {
                 let model = self.effective(entry.flags);
-                let st = self.state.lock();
+                let st = self.state.lock().unwrap();
                 engine::visible_size(&st, model, entry.file, client_id, entry.snapshot.as_ref())
                     as i64
             }
@@ -384,7 +384,7 @@ impl PfsClient {
         let entry = self.fd(fd)?;
         let model = self.effective(entry.flags);
         let file = entry.file;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.commits += 1;
         if model == SemanticsModel::Commit {
             engine::publish_client(&mut st, &self.cfg, file, self.client_id);
@@ -401,7 +401,7 @@ impl PfsClient {
     /// make the file permanently read-only.
     pub fn laminate(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let file = st.ns.expect_file(&path)?;
         st.stats.commits += 1;
         engine::mature_delayed(&mut st, &self.cfg, file, u64::MAX);
@@ -422,7 +422,7 @@ impl PfsClient {
         let path = self.norm(path)?;
         let client_id = self.client_id;
         let cfg = self.cfg.clone();
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Stat);
         match st.ns.lookup(&path) {
             Some(crate::namespace::Node::Dir) => Ok(StatInfo { is_dir: true, size: 0 }),
@@ -438,12 +438,12 @@ impl PfsClient {
     /// counted separately for the metadata census.
     pub fn lstat(&mut self, path: &str, now: u64) -> FsResult<StatInfo> {
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.stats.count_meta(MetaOp::Lstat);
         }
         let out = self.stat(path, now);
         // stat() above also counted a Stat; undo to keep the census honest.
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if let Some(c) = st.stats.meta_ops.get_mut(&MetaOp::Stat) {
             *c -= 1;
         }
@@ -457,7 +457,7 @@ impl PfsClient {
         let model = self.effective(entry.flags);
         let file = entry.file;
         let snapshot = entry.snapshot.clone();
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Fstat);
         let size = engine::visible_size(&st, model, file, client_id, snapshot.as_ref());
         Ok(StatInfo { is_dir: false, size })
@@ -466,28 +466,28 @@ impl PfsClient {
     /// POSIX `access(2)` — existence check.
     pub fn access(&mut self, path: &str, _now: u64) -> FsResult<bool> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Access);
         Ok(st.ns.exists(&path))
     }
 
     pub fn mkdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Mkdir);
         st.ns.mkdir(&path)
     }
 
     pub fn rmdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Rmdir);
         st.ns.rmdir(&path)
     }
 
     pub fn unlink(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Unlink);
         st.ns.unlink(&path).map(|_| ())
     }
@@ -495,20 +495,20 @@ impl PfsClient {
     pub fn rename(&mut self, from: &str, to: &str, _now: u64) -> FsResult<()> {
         let from = self.norm(from)?;
         let to = self.norm(to)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Rename);
         st.ns.rename(&from, &to)
     }
 
     pub fn getcwd(&mut self, _now: u64) -> String {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Getcwd);
         self.cwd.clone()
     }
 
     pub fn chdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Chdir);
         st.ns.expect_dir(&path)?;
         drop(st);
@@ -520,7 +520,7 @@ impl PfsClient {
     /// metadata census; returns the entries.
     pub fn readdir(&mut self, path: &str, _now: u64) -> FsResult<Vec<DirEntry>> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Opendir);
         let entries = st.ns.list(&path)?;
         for _ in &entries {
@@ -536,7 +536,7 @@ impl PfsClient {
     /// length.
     pub fn truncate(&mut self, path: &str, len: u64, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Truncate);
         let file = st.ns.expect_file(&path)?;
         truncate_node(&mut st, file, len);
@@ -550,7 +550,7 @@ impl PfsClient {
     pub fn ftruncate(&mut self, fd: u32, len: u64, _now: u64) -> FsResult<()> {
         let entry = self.fd(fd)?;
         let file = entry.file;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Ftruncate);
         truncate_node(&mut st, file, len);
         let published = Arc::clone(&st.file(file).published);
@@ -579,7 +579,7 @@ impl PfsClient {
     /// none of the studied applications relies on cursor sharing.
     pub fn dup(&mut self, fd: u32, _now: u64) -> FsResult<u32> {
         let entry = self.fd(fd)?.clone();
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Dup);
         drop(st);
         let new_fd = self.next_fd;
@@ -592,21 +592,21 @@ impl PfsClient {
     /// only for flag queries).
     pub fn fcntl(&mut self, fd: u32, _now: u64) -> FsResult<()> {
         self.fd(fd)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Fcntl);
         Ok(())
     }
 
     /// `umask` — counted no-op.
     pub fn umask(&mut self, _mask: u32, _now: u64) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Umask);
     }
 
     /// `fileno` — counted no-op (stdio fd query).
     pub fn fileno(&mut self, fd: u32, _now: u64) -> FsResult<u32> {
         self.fd(fd)?;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Fileno);
         Ok(fd)
     }
@@ -615,7 +615,7 @@ impl PfsClient {
     /// movement (LBANN-style dataset mapping).
     pub fn mmap(&mut self, fd: u32, offset: u64, len: u64, now: u64) -> FsResult<ReadOut> {
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.stats.count_meta(MetaOp::Mmap);
         }
         self.read_at(fd, offset, len, now)
@@ -624,7 +624,7 @@ impl PfsClient {
     /// `msync`: counted, with the visibility effect of `fsync`.
     pub fn msync(&mut self, fd: u32, now: u64) -> FsResult<()> {
         {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             st.stats.count_meta(MetaOp::Msync);
         }
         self.fsync(fd, now)
@@ -633,7 +633,7 @@ impl PfsClient {
     /// Count a metadata op that has no modelled behaviour (chmod, chown,
     /// utime, …) so library models can still emit it for the census.
     pub fn count_meta(&mut self, op: MetaOp) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.count_meta(op);
     }
 

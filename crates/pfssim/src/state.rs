@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::client::PfsClient;
 use crate::config::{PfsConfig, SemanticsModel};
@@ -154,14 +154,14 @@ impl Pfs {
 
     /// Snapshot of the server statistics.
     pub fn stats(&self) -> PfsStats {
-        self.state.lock().stats.clone()
+        self.state.lock().unwrap().stats.clone()
     }
 
     /// Force-propagate everything: mature all delayed writes and publish all
     /// pending buffers, in global write order. Used at end of run so the
     /// final on-disk state can be inspected regardless of engine.
     pub fn quiesce(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let cfg = self.cfg.clone();
         for idx in 0..st.files.len() {
             crate::engine::mature_delayed(&mut st, &cfg, FileId(idx as u32), u64::MAX);
@@ -175,7 +175,7 @@ impl Pfs {
     /// The published image of `path` (call [`Pfs::quiesce`] first if the
     /// run used a buffering engine and you want the final state).
     pub fn published_image(&self, path: &str) -> FsResult<FileImage> {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         let norm = crate::namespace::normalize("/", path)?;
         let id = st.ns.expect_file(&norm)?;
         Ok((*st.file(id).published).clone())
@@ -183,7 +183,7 @@ impl Pfs {
 
     /// All file paths currently bound in the namespace, sorted.
     pub fn list_files(&self) -> Vec<String> {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         let mut out = Vec::new();
         let mut stack = vec!["/".to_string()];
         while let Some(dir) = stack.pop() {

@@ -1,11 +1,11 @@
-//! Property-based tests: the strong engine must agree with a trivial
+//! Property-style tests: the strong engine must agree with a trivial
 //! reference model (a flat byte array), and the buffering engines must
 //! converge to the same final image once quiesced, for any single-writer
-//! operation sequence.
-
-use proptest::prelude::*;
+//! operation sequence. Cases come from pinned [`simrng`] seeds so the
+//! suite runs with no registry dependencies.
 
 use pfssim::{OpenFlags, Pfs, PfsConfig, SemanticsModel, Whence};
+use simrng::SimRng;
 
 /// A single-file operation for the reference-model comparison.
 #[derive(Debug, Clone)]
@@ -21,19 +21,26 @@ enum Op {
     Fsync,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        prop::collection::vec(any::<u8>(), 1..64).prop_map(Op::Write),
-        (0u64..512, prop::collection::vec(any::<u8>(), 1..64))
-            .prop_map(|(o, d)| Op::Pwrite(o, d)),
-        (0u64..512).prop_map(Op::SeekSet),
-        (-64i64..64).prop_map(Op::SeekCur),
-        (-64i64..0).prop_map(Op::SeekEnd),
-        (1u64..128).prop_map(Op::Read),
-        (0u64..512, 1u64..128).prop_map(|(o, l)| Op::Pread(o, l)),
-        (0u64..512).prop_map(Op::Truncate),
-        Just(Op::Fsync),
-    ]
+fn random_bytes(rng: &mut SimRng, min: usize, max: usize) -> Vec<u8> {
+    (0..rng.range_usize(min, max)).map(|_| rng.next_u32() as u8).collect()
+}
+
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.range_u32(0, 9) {
+        0 => Op::Write(random_bytes(rng, 1, 64)),
+        1 => Op::Pwrite(rng.range_u64(0, 512), random_bytes(rng, 1, 64)),
+        2 => Op::SeekSet(rng.range_u64(0, 512)),
+        3 => Op::SeekCur(rng.range_i64_inclusive(-64, 63)),
+        4 => Op::SeekEnd(rng.range_i64_inclusive(-64, -1)),
+        5 => Op::Read(rng.range_u64(1, 128)),
+        6 => Op::Pread(rng.range_u64(0, 512), rng.range_u64(1, 128)),
+        7 => Op::Truncate(rng.range_u64(0, 512)),
+        _ => Op::Fsync,
+    }
+}
+
+fn random_ops(rng: &mut SimRng) -> Vec<Op> {
+    (0..rng.range_usize(1, 40)).map(|_| random_op(rng)).collect()
 }
 
 /// Reference: flat in-memory file with a cursor.
@@ -163,34 +170,35 @@ fn run_engine(model: SemanticsModel, ops: &[Op]) -> (Vec<Option<Vec<u8>>>, Vec<u
     (reads, img.read(0, size))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The strong engine behaves exactly like a flat byte array with a
-    /// cursor, for any single-process op sequence.
-    #[test]
-    fn strong_engine_matches_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
+/// The strong engine behaves exactly like a flat byte array with a
+/// cursor, for any single-process op sequence.
+#[test]
+fn strong_engine_matches_reference() {
+    let mut rng = SimRng::seed_from_u64(0xF5A);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng);
         let mut reference = RefFile::default();
-        let ref_reads: Vec<Option<Vec<u8>>> = ops.iter().map(|op| {
-            // Mirror client rules the reference must skip: negative seeks
-            // are rejected by the client, so clamp the same way.
-            reference.apply(op)
-        }).collect();
+        let ref_reads: Vec<Option<Vec<u8>>> =
+            ops.iter().map(|op| reference.apply(op)).collect();
         let (reads, final_img) = run_engine(SemanticsModel::Strong, &ops);
-        prop_assert_eq!(reads, ref_reads);
-        prop_assert_eq!(final_img, reference.data);
+        assert_eq!(reads, ref_reads);
+        assert_eq!(final_img, reference.data);
     }
+}
 
-    /// Single-process programs are engine-invariant: every read returns the
-    /// same bytes (read-your-writes), and after quiesce the published image
-    /// is identical under all four models.
-    #[test]
-    fn single_writer_engine_invariance(ops in prop::collection::vec(op_strategy(), 1..40)) {
+/// Single-process programs are engine-invariant: every read returns the
+/// same bytes (read-your-writes), and after quiesce the published image
+/// is identical under all four models.
+#[test]
+fn single_writer_engine_invariance() {
+    let mut rng = SimRng::seed_from_u64(0xF5B);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng);
         let (strong_reads, strong_img) = run_engine(SemanticsModel::Strong, &ops);
         for model in [SemanticsModel::Commit, SemanticsModel::Session, SemanticsModel::Eventual] {
             let (reads, img) = run_engine(model, &ops);
-            prop_assert_eq!(&reads, &strong_reads, "reads differ under {:?}", model);
-            prop_assert_eq!(&img, &strong_img, "final image differs under {:?}", model);
+            assert_eq!(&reads, &strong_reads, "reads differ under {model:?}");
+            assert_eq!(&img, &strong_img, "final image differs under {model:?}");
         }
     }
 }

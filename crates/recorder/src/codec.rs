@@ -11,8 +11,6 @@
 //! record's `t_start`, `t_end` as delta from own `t_start`), which keeps
 //! traces small since records are near-sorted.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::record::{Func, Layer, MetaKind, PathId, Record, SeekWhence};
 use crate::traceset::TraceSet;
 
@@ -43,19 +41,51 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// Minimal byte reader over a borrowed slice (replaces `bytes::Bytes`,
+/// which the offline build cannot depend on).
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn has_remaining(&self) -> bool {
+        self.pos < self.data.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+fn get_varint(buf: &mut Reader<'_>) -> Result<u64, CodecError> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
@@ -82,187 +112,187 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_func(buf: &mut BytesMut, func: &Func) {
+fn put_func(buf: &mut Vec<u8>, func: &Func) {
     match *func {
         Func::Open { path, flags, fd } => {
-            buf.put_u8(0);
+            buf.push(0);
             put_varint(buf, path.0 as u64);
             put_varint(buf, flags as u64);
             put_varint(buf, fd as u64);
         }
         Func::Close { fd } => {
-            buf.put_u8(1);
+            buf.push(1);
             put_varint(buf, fd as u64);
         }
         Func::Read { fd, count, ret } => {
-            buf.put_u8(2);
+            buf.push(2);
             put_varint(buf, fd as u64);
             put_varint(buf, count);
             put_varint(buf, ret);
         }
         Func::Write { fd, count } => {
-            buf.put_u8(3);
+            buf.push(3);
             put_varint(buf, fd as u64);
             put_varint(buf, count);
         }
         Func::Pread { fd, offset, count, ret } => {
-            buf.put_u8(4);
+            buf.push(4);
             put_varint(buf, fd as u64);
             put_varint(buf, offset);
             put_varint(buf, count);
             put_varint(buf, ret);
         }
         Func::Pwrite { fd, offset, count } => {
-            buf.put_u8(5);
+            buf.push(5);
             put_varint(buf, fd as u64);
             put_varint(buf, offset);
             put_varint(buf, count);
         }
         Func::Lseek { fd, offset, whence, ret } => {
-            buf.put_u8(6);
+            buf.push(6);
             put_varint(buf, fd as u64);
             put_varint(buf, zigzag(offset));
-            buf.put_u8(whence.to_u8());
+            buf.push(whence.to_u8());
             put_varint(buf, ret);
         }
         Func::Fsync { fd } => {
-            buf.put_u8(7);
+            buf.push(7);
             put_varint(buf, fd as u64);
         }
         Func::Fdatasync { fd } => {
-            buf.put_u8(8);
+            buf.push(8);
             put_varint(buf, fd as u64);
         }
         Func::Ftruncate { fd, len } => {
-            buf.put_u8(9);
+            buf.push(9);
             put_varint(buf, fd as u64);
             put_varint(buf, len);
         }
         Func::Mmap { fd, offset, count } => {
-            buf.put_u8(10);
+            buf.push(10);
             put_varint(buf, fd as u64);
             put_varint(buf, offset);
             put_varint(buf, count);
         }
         Func::MetaPath { op, path } => {
-            buf.put_u8(11);
-            buf.put_u8(op.to_u8());
+            buf.push(11);
+            buf.push(op.to_u8());
             put_varint(buf, path.0 as u64);
         }
         Func::MetaPath2 { op, path, path2 } => {
-            buf.put_u8(12);
-            buf.put_u8(op.to_u8());
+            buf.push(12);
+            buf.push(op.to_u8());
             put_varint(buf, path.0 as u64);
             put_varint(buf, path2.0 as u64);
         }
         Func::MetaFd { op, fd } => {
-            buf.put_u8(13);
-            buf.put_u8(op.to_u8());
+            buf.push(13);
+            buf.push(op.to_u8());
             put_varint(buf, fd as u64);
         }
         Func::MetaPlain { op } => {
-            buf.put_u8(14);
-            buf.put_u8(op.to_u8());
+            buf.push(14);
+            buf.push(op.to_u8());
         }
         Func::MpiBarrier { epoch } => {
-            buf.put_u8(15);
+            buf.push(15);
             put_varint(buf, epoch);
         }
         Func::MpiSend { dst, tag, seq } => {
-            buf.put_u8(16);
+            buf.push(16);
             put_varint(buf, dst as u64);
             put_varint(buf, tag as u64);
             put_varint(buf, seq);
         }
         Func::MpiRecv { src, tag, seq } => {
-            buf.put_u8(17);
+            buf.push(17);
             put_varint(buf, src as u64);
             put_varint(buf, tag as u64);
             put_varint(buf, seq);
         }
         Func::MpiFileOpen { path, fh } => {
-            buf.put_u8(18);
+            buf.push(18);
             put_varint(buf, path.0 as u64);
             put_varint(buf, fh as u64);
         }
         Func::MpiFileClose { fh } => {
-            buf.put_u8(19);
+            buf.push(19);
             put_varint(buf, fh as u64);
         }
         Func::MpiFileWriteAt { fh, offset, count } => {
-            buf.put_u8(20);
+            buf.push(20);
             put_varint(buf, fh as u64);
             put_varint(buf, offset);
             put_varint(buf, count);
         }
         Func::MpiFileWriteAtAll { fh, offset, count } => {
-            buf.put_u8(21);
+            buf.push(21);
             put_varint(buf, fh as u64);
             put_varint(buf, offset);
             put_varint(buf, count);
         }
         Func::MpiFileReadAt { fh, offset, count } => {
-            buf.put_u8(22);
+            buf.push(22);
             put_varint(buf, fh as u64);
             put_varint(buf, offset);
             put_varint(buf, count);
         }
         Func::MpiFileReadAtAll { fh, offset, count } => {
-            buf.put_u8(23);
+            buf.push(23);
             put_varint(buf, fh as u64);
             put_varint(buf, offset);
             put_varint(buf, count);
         }
         Func::MpiFileSync { fh } => {
-            buf.put_u8(24);
+            buf.push(24);
             put_varint(buf, fh as u64);
         }
         Func::H5Fcreate { path, id } => {
-            buf.put_u8(25);
+            buf.push(25);
             put_varint(buf, path.0 as u64);
             put_varint(buf, id as u64);
         }
         Func::H5Fopen { path, id } => {
-            buf.put_u8(26);
+            buf.push(26);
             put_varint(buf, path.0 as u64);
             put_varint(buf, id as u64);
         }
         Func::H5Fclose { id } => {
-            buf.put_u8(27);
+            buf.push(27);
             put_varint(buf, id as u64);
         }
         Func::H5Fflush { id } => {
-            buf.put_u8(28);
+            buf.push(28);
             put_varint(buf, id as u64);
         }
         Func::H5Dcreate { file, name, id } => {
-            buf.put_u8(29);
+            buf.push(29);
             put_varint(buf, file as u64);
             put_varint(buf, name.0 as u64);
             put_varint(buf, id as u64);
         }
         Func::H5Dopen { file, name, id } => {
-            buf.put_u8(30);
+            buf.push(30);
             put_varint(buf, file as u64);
             put_varint(buf, name.0 as u64);
             put_varint(buf, id as u64);
         }
         Func::H5Dwrite { dset, count } => {
-            buf.put_u8(31);
+            buf.push(31);
             put_varint(buf, dset as u64);
             put_varint(buf, count);
         }
         Func::H5Dread { dset, count } => {
-            buf.put_u8(32);
+            buf.push(32);
             put_varint(buf, dset as u64);
             put_varint(buf, count);
         }
         Func::H5Dclose { id } => {
-            buf.put_u8(33);
+            buf.push(33);
             put_varint(buf, id as u64);
         }
         Func::LibCall { name, a, b } => {
-            buf.put_u8(34);
+            buf.push(34);
             put_varint(buf, name.0 as u64);
             put_varint(buf, a);
             put_varint(buf, b);
@@ -270,12 +300,12 @@ fn put_func(buf: &mut BytesMut, func: &Func) {
     }
 }
 
-fn get_func(buf: &mut Bytes) -> Result<Func, CodecError> {
+fn get_func(buf: &mut Reader<'_>) -> Result<Func, CodecError> {
     if !buf.has_remaining() {
         return Err(CodecError::Truncated);
     }
     let tag = buf.get_u8();
-    let v = |buf: &mut Bytes| get_varint(buf);
+    let v = |buf: &mut Reader<'_>| get_varint(buf);
     let func = match tag {
         0 => Func::Open {
             path: PathId(v(buf)? as u32),
@@ -351,7 +381,7 @@ fn get_func(buf: &mut Bytes) -> Result<Func, CodecError> {
     Ok(func)
 }
 
-fn meta_from(buf: &mut Bytes) -> Result<MetaKind, CodecError> {
+fn meta_from(buf: &mut Reader<'_>) -> Result<MetaKind, CodecError> {
     if !buf.has_remaining() {
         return Err(CodecError::Truncated);
     }
@@ -366,13 +396,13 @@ fn meta_from(buf: &mut Bytes) -> Result<MetaKind, CodecError> {
 impl TraceSet {
     /// Serialize to the binary trace format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(64 + self.total_records() * 8);
-        buf.put_slice(MAGIC);
-        buf.put_u8(VERSION);
+        let mut buf = Vec::with_capacity(64 + self.total_records() * 8);
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
         put_varint(&mut buf, self.paths.len() as u64);
         for p in &self.paths {
             put_varint(&mut buf, p.len() as u64);
-            buf.put_slice(p.as_bytes());
+            buf.extend_from_slice(p.as_bytes());
         }
         put_varint(&mut buf, self.ranks.len() as u64);
         for &s in &self.skews_ns {
@@ -385,23 +415,21 @@ impl TraceSet {
                 put_varint(&mut buf, zigzag(rec.t_start as i64 - prev_start as i64));
                 put_varint(&mut buf, rec.t_end - rec.t_start.min(rec.t_end));
                 prev_start = rec.t_start;
-                buf.put_u8(rec.layer.to_u8());
-                buf.put_u8(rec.origin.to_u8());
+                buf.push(rec.layer.to_u8());
+                buf.push(rec.origin.to_u8());
                 put_func(&mut buf, &rec.func);
             }
         }
-        buf.to_vec()
+        buf
     }
 
     /// Deserialize from the binary trace format.
     pub fn decode(data: &[u8]) -> Result<TraceSet, CodecError> {
-        let mut buf = Bytes::copy_from_slice(data);
+        let mut buf = Reader { data, pos: 0 };
         if buf.remaining() < 5 {
             return Err(CodecError::Truncated);
         }
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        if buf.take(4)? != MAGIC.as_slice() {
             return Err(CodecError::BadMagic);
         }
         let version = buf.get_u8();
@@ -415,7 +443,7 @@ impl TraceSet {
             if buf.remaining() < len {
                 return Err(CodecError::Truncated);
             }
-            let bytes = buf.copy_to_bytes(len);
+            let bytes = buf.take(len)?;
             paths.push(String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)?);
         }
         let n_ranks = get_varint(&mut buf)? as usize;
@@ -459,12 +487,12 @@ mod tests {
 
     #[test]
     fn varint_roundtrip() {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
         for &v in &values {
             put_varint(&mut buf, v);
         }
-        let mut b = Bytes::from(buf.to_vec());
+        let mut b = Reader { data: &buf, pos: 0 };
         for &v in &values {
             assert_eq!(get_varint(&mut b).unwrap(), v);
         }

@@ -1,112 +1,116 @@
-//! Property test: any trace survives an encode/decode roundtrip bit-exactly.
+//! Property-style test: any trace survives an encode/decode roundtrip
+//! bit-exactly. Cases are generated from pinned [`simrng`] seeds instead
+//! of `proptest` so the suite runs with no registry dependencies.
 
-use proptest::prelude::*;
 use recorder::{Func, Layer, MetaKind, PathId, Record, SeekWhence, TraceSet};
+use simrng::SimRng;
 
 const N_PATHS: u32 = 8;
 
-fn path_id() -> impl Strategy<Value = PathId> {
-    (0..N_PATHS).prop_map(PathId)
+fn path_id(rng: &mut SimRng) -> PathId {
+    PathId(rng.range_u32(0, N_PATHS))
 }
 
-fn meta_kind() -> impl Strategy<Value = MetaKind> {
-    (0..MetaKind::ALL.len()).prop_map(|i| MetaKind::ALL[i])
+fn meta_kind(rng: &mut SimRng) -> MetaKind {
+    MetaKind::ALL[rng.range_usize(0, MetaKind::ALL.len())]
 }
 
-fn layer() -> impl Strategy<Value = Layer> {
-    (0..Layer::ALL.len()).prop_map(|i| Layer::ALL[i])
+fn layer(rng: &mut SimRng) -> Layer {
+    Layer::ALL[rng.range_usize(0, Layer::ALL.len())]
 }
 
-fn whence() -> impl Strategy<Value = SeekWhence> {
-    prop_oneof![Just(SeekWhence::Set), Just(SeekWhence::Cur), Just(SeekWhence::End)]
+fn whence(rng: &mut SimRng) -> SeekWhence {
+    [SeekWhence::Set, SeekWhence::Cur, SeekWhence::End][rng.range_usize(0, 3)]
 }
 
-fn func() -> impl Strategy<Value = Func> {
-    let small = any::<u32>();
-    let big = any::<u64>();
-    prop_oneof![
-        (path_id(), small, small).prop_map(|(path, flags, fd)| Func::Open { path, flags, fd }),
-        small.prop_map(|fd| Func::Close { fd }),
-        (small, big, big).prop_map(|(fd, count, ret)| Func::Read { fd, count, ret }),
-        (small, big).prop_map(|(fd, count)| Func::Write { fd, count }),
-        (small, big, big, big)
-            .prop_map(|(fd, offset, count, ret)| Func::Pread { fd, offset, count, ret }),
-        (small, big, big).prop_map(|(fd, offset, count)| Func::Pwrite { fd, offset, count }),
-        (small, any::<i64>(), whence(), big)
-            .prop_map(|(fd, offset, whence, ret)| Func::Lseek { fd, offset, whence, ret }),
-        small.prop_map(|fd| Func::Fsync { fd }),
-        small.prop_map(|fd| Func::Fdatasync { fd }),
-        (small, big).prop_map(|(fd, len)| Func::Ftruncate { fd, len }),
-        (small, big, big).prop_map(|(fd, offset, count)| Func::Mmap { fd, offset, count }),
-        (meta_kind(), path_id()).prop_map(|(op, path)| Func::MetaPath { op, path }),
-        (meta_kind(), path_id(), path_id())
-            .prop_map(|(op, path, path2)| Func::MetaPath2 { op, path, path2 }),
-        (meta_kind(), small).prop_map(|(op, fd)| Func::MetaFd { op, fd }),
-        meta_kind().prop_map(|op| Func::MetaPlain { op }),
-        big.prop_map(|epoch| Func::MpiBarrier { epoch }),
-        (small, small, big).prop_map(|(dst, tag, seq)| Func::MpiSend { dst, tag, seq }),
-        (small, small, big).prop_map(|(src, tag, seq)| Func::MpiRecv { src, tag, seq }),
-        (path_id(), small).prop_map(|(path, fh)| Func::MpiFileOpen { path, fh }),
-        small.prop_map(|fh| Func::MpiFileClose { fh }),
-        (small, big, big)
-            .prop_map(|(fh, offset, count)| Func::MpiFileWriteAt { fh, offset, count }),
-        (small, big, big)
-            .prop_map(|(fh, offset, count)| Func::MpiFileWriteAtAll { fh, offset, count }),
-        (small, big, big).prop_map(|(fh, offset, count)| Func::MpiFileReadAt { fh, offset, count }),
-        (small, big, big)
-            .prop_map(|(fh, offset, count)| Func::MpiFileReadAtAll { fh, offset, count }),
-        small.prop_map(|fh| Func::MpiFileSync { fh }),
-        (path_id(), small).prop_map(|(path, id)| Func::H5Fcreate { path, id }),
-        (path_id(), small).prop_map(|(path, id)| Func::H5Fopen { path, id }),
-        small.prop_map(|id| Func::H5Fclose { id }),
-        small.prop_map(|id| Func::H5Fflush { id }),
-        (small, path_id(), small).prop_map(|(file, name, id)| Func::H5Dcreate { file, name, id }),
-        (small, path_id(), small).prop_map(|(file, name, id)| Func::H5Dopen { file, name, id }),
-        (small, big).prop_map(|(dset, count)| Func::H5Dwrite { dset, count }),
-        (small, big).prop_map(|(dset, count)| Func::H5Dread { dset, count }),
-        small.prop_map(|id| Func::H5Dclose { id }),
-        (path_id(), big, big).prop_map(|(name, a, b)| Func::LibCall { name, a, b }),
-    ]
-}
-
-prop_compose! {
-    fn rank_records(rank: u32)(
-        items in prop::collection::vec((0u64..1_000_000, 0u64..1000, layer(), layer(), func()), 0..50)
-    ) -> Vec<Record> {
-        // Make timestamps non-decreasing within the rank, like real traces.
-        let mut t = 0u64;
-        items
-            .into_iter()
-            .map(|(dt, dur, layer, origin, func)| {
-                t += dt;
-                Record { t_start: t, t_end: t + dur, rank, layer, origin, func }
-            })
-            .collect()
+fn func(rng: &mut SimRng) -> Func {
+    let small = |rng: &mut SimRng| rng.next_u32();
+    let big = |rng: &mut SimRng| rng.next_u64();
+    match rng.range_u32(0, 35) {
+        0 => Func::Open { path: path_id(rng), flags: small(rng), fd: small(rng) },
+        1 => Func::Close { fd: small(rng) },
+        2 => Func::Read { fd: small(rng), count: big(rng), ret: big(rng) },
+        3 => Func::Write { fd: small(rng), count: big(rng) },
+        4 => Func::Pread { fd: small(rng), offset: big(rng), count: big(rng), ret: big(rng) },
+        5 => Func::Pwrite { fd: small(rng), offset: big(rng), count: big(rng) },
+        6 => Func::Lseek {
+            fd: small(rng),
+            offset: rng.next_u64() as i64,
+            whence: whence(rng),
+            ret: big(rng),
+        },
+        7 => Func::Fsync { fd: small(rng) },
+        8 => Func::Fdatasync { fd: small(rng) },
+        9 => Func::Ftruncate { fd: small(rng), len: big(rng) },
+        10 => Func::Mmap { fd: small(rng), offset: big(rng), count: big(rng) },
+        11 => Func::MetaPath { op: meta_kind(rng), path: path_id(rng) },
+        12 => Func::MetaPath2 { op: meta_kind(rng), path: path_id(rng), path2: path_id(rng) },
+        13 => Func::MetaFd { op: meta_kind(rng), fd: small(rng) },
+        14 => Func::MetaPlain { op: meta_kind(rng) },
+        15 => Func::MpiBarrier { epoch: big(rng) },
+        16 => Func::MpiSend { dst: small(rng), tag: small(rng), seq: big(rng) },
+        17 => Func::MpiRecv { src: small(rng), tag: small(rng), seq: big(rng) },
+        18 => Func::MpiFileOpen { path: path_id(rng), fh: small(rng) },
+        19 => Func::MpiFileClose { fh: small(rng) },
+        20 => Func::MpiFileWriteAt { fh: small(rng), offset: big(rng), count: big(rng) },
+        21 => Func::MpiFileWriteAtAll { fh: small(rng), offset: big(rng), count: big(rng) },
+        22 => Func::MpiFileReadAt { fh: small(rng), offset: big(rng), count: big(rng) },
+        23 => Func::MpiFileReadAtAll { fh: small(rng), offset: big(rng), count: big(rng) },
+        24 => Func::MpiFileSync { fh: small(rng) },
+        25 => Func::H5Fcreate { path: path_id(rng), id: small(rng) },
+        26 => Func::H5Fopen { path: path_id(rng), id: small(rng) },
+        27 => Func::H5Fclose { id: small(rng) },
+        28 => Func::H5Fflush { id: small(rng) },
+        29 => Func::H5Dcreate { file: small(rng), name: path_id(rng), id: small(rng) },
+        30 => Func::H5Dopen { file: small(rng), name: path_id(rng), id: small(rng) },
+        31 => Func::H5Dwrite { dset: small(rng), count: big(rng) },
+        32 => Func::H5Dread { dset: small(rng), count: big(rng) },
+        33 => Func::H5Dclose { id: small(rng) },
+        _ => Func::LibCall { name: path_id(rng), a: big(rng), b: big(rng) },
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn rank_records(rng: &mut SimRng, rank: u32) -> Vec<Record> {
+    // Non-decreasing timestamps within the rank, like real traces.
+    let n = rng.range_usize(0, 50);
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            t += rng.range_u64(0, 1_000_000);
+            let dur = rng.range_u64(0, 1000);
+            Record {
+                t_start: t,
+                t_end: t + dur,
+                rank,
+                layer: layer(rng),
+                origin: layer(rng),
+                func: func(rng),
+            }
+        })
+        .collect()
+}
 
-    #[test]
-    fn encode_decode_roundtrip(
-        r0 in rank_records(0),
-        r1 in rank_records(1),
-        r2 in rank_records(2),
-        s in prop::collection::vec(-20_000i64..20_000, 3..=3),
-    ) {
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0xC0DEC);
+    for _ in 0..128 {
         let trace = TraceSet {
             paths: (0..N_PATHS).map(|i| format!("/p{i}")).collect(),
-            ranks: vec![r0, r1, r2],
-            skews_ns: s,
+            ranks: (0..3).map(|r| rank_records(&mut rng, r)).collect(),
+            skews_ns: (0..3).map(|_| rng.range_i64_inclusive(-20_000, 19_999)).collect(),
         };
         let encoded = trace.encode();
         let decoded = TraceSet::decode(&encoded).expect("decode");
-        prop_assert_eq!(decoded, trace);
+        assert_eq!(decoded, trace);
     }
+}
 
-    #[test]
-    fn decode_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decode_never_panics_on_garbage() {
+    let mut rng = SimRng::seed_from_u64(0xBADD);
+    for _ in 0..256 {
+        let n = rng.range_usize(0, 256);
+        let data: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
         let _ = TraceSet::decode(&data);
     }
 }

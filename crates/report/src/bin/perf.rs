@@ -1,0 +1,254 @@
+//! The PR-1 perf harness: serial vs. parallel analysis timings.
+//!
+//! ```text
+//! perf [--out BENCH_PR1.json] [--ranks N] [--reps R] [--no-e2e]
+//! ```
+//!
+//! Three workloads, all from pinned seeds so runs are comparable:
+//!
+//! * **overlap** — per-file overlap detection on a synthetic multi-file
+//!   trace: the seed's clone-based grouping (one `Vec<DataAccess>` per
+//!   file) against the zero-copy [`FileGroups`] sweep, the counting-only
+//!   mode, and the threaded file fan-out.
+//! * **conflict** — §5.2 conflict detection, serial vs.
+//!   [`detect_conflicts_threaded`] across thread counts.
+//! * **e2e** — the full `report all` analysis
+//!   ([`analyze_all_threaded`]), the app-level fan-out.
+//!
+//! Results land in a JSON artifact (default `BENCH_PR1.json`) recording
+//! the machine's available parallelism, so numbers from a single-core CI
+//! box are honestly labeled as such.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use recorder::{AccessKind, DataAccess, Layer, PathId, ResolvedTrace, SyncEvent, SyncKind};
+use report_gen::json::Json;
+use report_gen::{analyze_all_threaded, ReportCfg};
+use semantics_core::conflict::{detect_conflicts, detect_conflicts_threaded, AnalysisModel};
+use semantics_core::overlap::{count_overlaps_in, detect_overlaps, detect_overlaps_in, FileGroups};
+use semantics_core::parallel::analyze_files_parallel;
+use simrng::SimRng;
+
+const SEED: u64 = 0xBE7C_4242;
+
+struct Args {
+    out: String,
+    ranks: u32,
+    reps: usize,
+    e2e: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: "BENCH_PR1.json".to_string(), ranks: 16, reps: 3, e2e: true };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                args.out = argv[i].clone();
+            }
+            "--ranks" => {
+                i += 1;
+                args.ranks = argv[i].parse().expect("--ranks N");
+            }
+            "--reps" => {
+                i += 1;
+                args.reps = argv[i].parse().expect("--reps R");
+            }
+            "--no-e2e" => args.e2e = false,
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f()); // warm caches
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+fn synth_accesses(rng: &mut SimRng, n: usize, ranks: u32, files: u32, span: u64) -> Vec<DataAccess> {
+    (0..n)
+        .map(|i| {
+            let len = rng.range_u64(64, 4096);
+            DataAccess {
+                rank: rng.range_u32(0, ranks),
+                t_start: i as u64 * 3,
+                t_end: i as u64 * 3 + 2,
+                file: PathId(rng.range_u32(0, files)),
+                offset: rng.range_u64(0, span),
+                len,
+                kind: if rng.gen_bool(0.7) { AccessKind::Write } else { AccessKind::Read },
+                origin: Layer::App,
+                fd: 3,
+            }
+        })
+        .collect()
+}
+
+fn synth_trace(rng: &mut SimRng, n: usize, ranks: u32, files: u32) -> ResolvedTrace {
+    let accesses = synth_accesses(rng, n, ranks, files, 1 << 22);
+    let horizon = n as u64 * 3;
+    // A sync event stream dense enough to exercise the to/tc extension.
+    let mut syncs: Vec<SyncEvent> = (0..n / 8)
+        .map(|_| SyncEvent {
+            rank: rng.range_u32(0, ranks),
+            t: rng.range_u64(0, horizon),
+            file: PathId(rng.range_u32(0, files)),
+            kind: match rng.range_u32(0, 3) {
+                0 => SyncKind::Open,
+                1 => SyncKind::Close,
+                _ => SyncKind::Commit,
+            },
+        })
+        .collect();
+    syncs.sort_by_key(|s| (s.t, s.rank));
+    ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+}
+
+/// The seed's grouping strategy, kept here as the baseline: clone every
+/// access into one `Vec` per file, then run Algorithm 1 per group.
+fn baseline_clone_overlaps(accesses: &[DataAccess]) -> u64 {
+    let mut by_file: BTreeMap<PathId, Vec<DataAccess>> = BTreeMap::new();
+    for a in accesses {
+        by_file.entry(a.file).or_default().push(*a);
+    }
+    by_file.values().map(|g| detect_overlaps(g).pairs.len() as u64).sum()
+}
+
+fn thread_counts() -> Vec<usize> {
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2, 4, 8];
+    if !counts.contains(&avail) {
+        counts.push(avail);
+        counts.sort_unstable();
+    }
+    counts
+}
+
+fn threaded_obj(entries: &[(usize, f64)]) -> Json {
+    let mut obj = Json::obj();
+    for (t, ms) in entries {
+        obj = obj.field(&t.to_string(), *ms);
+    }
+    obj
+}
+
+fn main() {
+    let args = parse_args();
+    let counts = thread_counts();
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("perf: {avail} hardware threads available; timing at {counts:?}");
+
+    // --- overlap -----------------------------------------------------
+    let (n_acc, n_files) = (120_000usize, 16u32);
+    let mut rng = SimRng::seed_from_u64(SEED);
+    let accesses = synth_accesses(&mut rng, n_acc, 64, n_files, 1 << 22);
+    let groups = FileGroups::new(&accesses);
+
+    let base_ms = time_ms(args.reps, || baseline_clone_overlaps(&accesses));
+    let zero_ms = time_ms(args.reps, || {
+        groups
+            .iter()
+            .map(|(_, idxs)| detect_overlaps_in(&accesses, idxs).pairs.len() as u64)
+            .sum::<u64>()
+    });
+    let count_ms = time_ms(args.reps, || {
+        groups.iter().map(|(_, idxs)| count_overlaps_in(&accesses, idxs).pairs).sum::<u64>()
+    });
+    eprintln!(
+        "overlap   n={n_acc} files={n_files}: clone-baseline {base_ms:.1} ms, \
+         zero-copy {zero_ms:.1} ms, counting {count_ms:.1} ms"
+    );
+    let mut overlap_threaded = Vec::new();
+    for &t in &counts {
+        let ms = time_ms(args.reps, || {
+            analyze_files_parallel(&groups, t, |_, idxs| count_overlaps_in(&accesses, idxs).pairs)
+                .iter()
+                .map(|(_, n)| n)
+                .sum::<u64>()
+        });
+        eprintln!("overlap   counting, {t} thread(s): {ms:.1} ms");
+        overlap_threaded.push((t, ms));
+    }
+
+    // --- conflict ----------------------------------------------------
+    let n_conf = 60_000usize;
+    let mut rng = SimRng::seed_from_u64(SEED ^ 0xC0F);
+    let trace = synth_trace(&mut rng, n_conf, 64, n_files);
+    let serial_ms =
+        time_ms(args.reps, || detect_conflicts(&trace, AnalysisModel::Session).total());
+    eprintln!("conflict  n={n_conf}: serial {serial_ms:.1} ms");
+    let mut conflict_threaded = Vec::new();
+    for &t in &counts {
+        let ms = time_ms(args.reps, || {
+            detect_conflicts_threaded(&trace, AnalysisModel::Session, t).total()
+        });
+        eprintln!("conflict  {t} thread(s): {ms:.1} ms");
+        conflict_threaded.push((t, ms));
+    }
+
+    // --- end-to-end --------------------------------------------------
+    let mut e2e_threaded = Vec::new();
+    if args.e2e {
+        let cfg = ReportCfg { nranks: args.ranks, seed: 2021, max_skew_ns: 20_000 };
+        for &t in &counts {
+            let ms = time_ms(1, || analyze_all_threaded(&cfg, false, t).len());
+            eprintln!("e2e       all configs @ {} ranks, {t} thread(s): {ms:.0} ms", args.ranks);
+            e2e_threaded.push((t, ms));
+        }
+    }
+
+    // --- artifact ----------------------------------------------------
+    let mut doc = Json::obj()
+        .field("bench", "PR1 parallel analysis engine")
+        .field("seed", SEED)
+        .field("reps_best_of", args.reps)
+        .field("available_parallelism", avail)
+        .field(
+            "thread_counts",
+            counts.iter().map(|&t| Json::U64(t as u64)).collect::<Vec<_>>(),
+        )
+        .field(
+            "overlap",
+            Json::obj()
+                .field("n_accesses", n_acc)
+                .field("n_files", n_files)
+                .field("baseline_clone_group_ms", base_ms)
+                .field("zero_copy_ms", zero_ms)
+                .field("counting_ms", count_ms)
+                .field("serial_speedup_vs_baseline", base_ms / zero_ms)
+                .field("threaded_counting_ms", threaded_obj(&overlap_threaded)),
+        )
+        .field(
+            "conflict",
+            Json::obj()
+                .field("n_accesses", n_conf)
+                .field("n_files", n_files)
+                .field("model", "session")
+                .field("serial_ms", serial_ms)
+                .field("threaded_ms", threaded_obj(&conflict_threaded)),
+        );
+    if args.e2e {
+        doc = doc.field(
+            "e2e",
+            Json::obj()
+                .field("what", "analyze_all (report all analysis phase)")
+                .field("nranks", args.ranks)
+                .field("threaded_ms", threaded_obj(&e2e_threaded)),
+        );
+    }
+    std::fs::write(&args.out, doc.pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {}", args.out);
+}

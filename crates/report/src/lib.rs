@@ -22,9 +22,10 @@
 
 pub mod figures;
 pub mod hbval;
+pub mod json;
 pub mod matrix;
 pub mod runner;
 pub mod scale;
 pub mod tables;
 
-pub use runner::{analyze, analyze_all, AnalyzedRun, ReportCfg};
+pub use runner::{analyze, analyze_all, analyze_all_threaded, AnalyzedRun, ReportCfg};

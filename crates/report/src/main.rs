@@ -1,7 +1,7 @@
 //! The `report` binary: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! report <command> [--ranks N] [--seed S] [--out DIR]
+//! report <command> [--ranks N] [--seed S] [--out DIR] [--threads N]
 //!
 //! commands:
 //!   table1 table2 table3 table4 table5   one table
@@ -16,7 +16,7 @@
 use std::io::Write as _;
 
 use hpcapps::AppId;
-use report_gen::{analyze, analyze_all, figures, hbval, matrix, scale, tables, ReportCfg};
+use report_gen::{analyze, analyze_all_threaded, figures, hbval, matrix, scale, tables, ReportCfg};
 
 struct Args {
     command: String,
@@ -25,6 +25,8 @@ struct Args {
     out: String,
     small: u32,
     large: u32,
+    /// Worker threads for the per-configuration fan-out; 0 = one per core.
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +37,7 @@ fn parse_args() -> Args {
         out: "reports".to_string(),
         small: 16,
         large: 64,
+        threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -59,6 +62,10 @@ fn parse_args() -> Args {
             "--large" => {
                 i += 1;
                 args.large = argv[i].parse().expect("--large N");
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = argv[i].parse().expect("--threads N");
             }
             "--config" => {
                 i += 1; // consumed by the subcommand itself
@@ -89,15 +96,15 @@ fn main() {
         "table2" => print!("{}", tables::table2()),
         "table5" => print!("{}", tables::table5()),
         "table3" => {
-            let runs = analyze_all(&cfg, false);
+            let runs = analyze_all_threaded(&cfg, false, args.threads);
             print!("{}", tables::table3(&runs));
         }
         "table4" => {
-            let runs = analyze_all(&cfg, false);
+            let runs = analyze_all_threaded(&cfg, false, args.threads);
             print!("{}", tables::table4(&runs));
         }
         "fig1" => {
-            let runs = analyze_all(&cfg, false);
+            let runs = analyze_all_threaded(&cfg, false, args.threads);
             print!("{}", figures::fig1(&runs));
         }
         "fig2" => {
@@ -109,7 +116,7 @@ fn main() {
             write_artifact(&args.out, "fig2_nofbs.csv", &figures::fig2_csv(&nofbs, false));
         }
         "fig3" => {
-            let runs = analyze_all(&cfg, false);
+            let runs = analyze_all_threaded(&cfg, false, args.threads);
             print!("{}", figures::fig3(&runs));
         }
         "flash-fix" => {
@@ -168,7 +175,7 @@ fn main() {
             // CI gate: every configuration must reproduce its paper-expected
             // Table 3 label and Table 4 marks. Exit code 1 on any mismatch.
             let mut failures = 0usize;
-            let runs = analyze_all(&cfg, false);
+            let runs = analyze_all_threaded(&cfg, false, args.threads);
             for r in &runs {
                 let t3_ok = r.highlevel.label() == r.spec.expected_table3;
                 let t4_ok = r.session.table4_marks() == r.spec.expected_session.as_tuple()
@@ -266,7 +273,7 @@ fn main() {
             print!("{}", tables::table1());
             print!("{}", tables::table2());
             print!("{}", tables::table5());
-            let runs = analyze_all(&cfg, false);
+            let runs = analyze_all_threaded(&cfg, false, args.threads);
             let t3 = tables::table3(&runs);
             let t4 = tables::table4(&runs);
             let f1 = figures::fig1(&runs);
@@ -326,29 +333,38 @@ fn main() {
 }
 
 fn summary_json(runs: &[report_gen::AnalyzedRun]) -> String {
-    use serde_json::json;
-    let configs: Vec<serde_json::Value> = runs
+    use report_gen::json::Json;
+    let marks = |(a, b, c, d): (bool, bool, bool, bool)| {
+        Json::Arr(vec![Json::Bool(a), Json::Bool(b), Json::Bool(c), Json::Bool(d)])
+    };
+    let configs: Vec<Json> = runs
         .iter()
         .map(|r| {
-            let (ws, wd, rs, rd) = r.session.table4_marks();
-            json!({
-                "config": r.name(),
-                "app": r.spec.app,
-                "iolib": r.spec.iolib,
-                "expected_table3": r.spec.expected_table3,
-                "measured_table3": r.highlevel.label(),
-                "expected_session": r.spec.expected_session.as_tuple(),
-                "measured_session": [ws, wd, rs, rd],
-                "commit_conflicts": r.commit.total(),
-                "session_conflicts": r.session.total(),
-                "required_model": r.verdict.required.name(),
-                "global_random_pct": r.global.pct(semantics_core::patterns::AccessClass::Random),
-                "local_random_pct": r.local.pct(semantics_core::patterns::AccessClass::Random),
-                "records": r.outcome.trace.total_records(),
-                "hb_racy": r.hb.racy,
-            })
+            Json::obj()
+                .field("config", r.name())
+                .field("app", r.spec.app)
+                .field("iolib", r.spec.iolib)
+                .field("expected_table3", r.spec.expected_table3)
+                .field("measured_table3", r.highlevel.label())
+                .field("expected_session", marks(r.spec.expected_session.as_tuple()))
+                .field("measured_session", marks(r.session.table4_marks()))
+                .field("commit_conflicts", r.commit.total())
+                .field("session_conflicts", r.session.total())
+                .field("required_model", r.verdict.required.name())
+                .field(
+                    "global_random_pct",
+                    r.global.pct(semantics_core::patterns::AccessClass::Random),
+                )
+                .field(
+                    "local_random_pct",
+                    r.local.pct(semantics_core::patterns::AccessClass::Random),
+                )
+                .field("records", r.outcome.trace.total_records())
+                .field("hb_racy", r.hb.racy)
         })
         .collect();
-    serde_json::to_string_pretty(&json!({ "nranks": runs.first().map_or(0, |r| r.nranks), "configs": configs }))
-        .expect("serialize summary")
+    Json::obj()
+        .field("nranks", runs.first().map_or(0, |r| r.nranks))
+        .field("configs", configs)
+        .pretty()
 }

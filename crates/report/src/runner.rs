@@ -89,12 +89,30 @@ pub fn analyze_with_params(cfg: &ReportCfg, spec: &AppSpec, params: &ScaleParams
     }
 }
 
-/// Analyze every Table 4 configuration (plus, optionally, the extra
-/// variants).
-pub fn analyze_all(cfg: &ReportCfg, include_variants: bool) -> Vec<AnalyzedRun> {
+fn selected_specs(include_variants: bool) -> Vec<AppSpec> {
     hpcapps::all_specs()
         .iter()
         .filter(|s| include_variants || s.in_table4 || matches!(s.id, hpcapps::AppId::FlashNofbs))
-        .map(|s| analyze(cfg, s))
+        .cloned()
         .collect()
+}
+
+/// Analyze every Table 4 configuration (plus, optionally, the extra
+/// variants).
+pub fn analyze_all(cfg: &ReportCfg, include_variants: bool) -> Vec<AnalyzedRun> {
+    selected_specs(include_variants).iter().map(|s| analyze(cfg, s)).collect()
+}
+
+/// [`analyze_all`] with the configurations fanned across `threads` worker
+/// threads (`0` = one per core, `1` = serial). Each configuration is an
+/// independent simulation + analysis, so this is the app-level
+/// parallelism; results come back in spec order, so every artifact
+/// rendered from them is byte-identical to the serial run.
+pub fn analyze_all_threaded(
+    cfg: &ReportCfg,
+    include_variants: bool,
+    threads: usize,
+) -> Vec<AnalyzedRun> {
+    let specs = selected_specs(include_variants);
+    semantics_core::parallel_map_indexed(specs.len(), threads, |k| analyze(cfg, &specs[k]))
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Rebuild and run the PR-1 perf harness, refreshing BENCH_PR1.json at the
+# repo root. Extra arguments are passed through to `perf`, e.g.:
+#
+#   scripts/bench.sh                 # full run, best-of-3
+#   scripts/bench.sh --no-e2e        # skip the end-to-end fan-out
+#   scripts/bench.sh --ranks 64      # paper-scale end-to-end
+#
+# The mini micro-benchmarks (crates/bench) are separate:
+#   cargo bench -p bench
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -p report-gen
+exec ./target/release/perf "$@"
