@@ -30,7 +30,9 @@ fn per_artifact() {
     // Fixed trace, per-artifact analysis cost.
     let (adjusted, resolved) = pfs_semantics_bench::app_trace(hpcapps::AppId::FlashFbs, NRANKS);
 
-    mini::bench("apps/artifacts", "table3_highlevel", || highlevel::classify(&resolved, NRANKS));
+    mini::bench("apps/artifacts", "table3_highlevel", || {
+        highlevel::classify(&resolved, NRANKS)
+    });
     mini::bench("apps/artifacts", "table4_session", || {
         detect_conflicts(&resolved, AnalysisModel::Session)
     });
@@ -38,8 +40,12 @@ fn per_artifact() {
         detect_conflicts(&resolved, AnalysisModel::Commit)
     });
     mini::bench("apps/artifacts", "fig1_local", || local_pattern(&resolved));
-    mini::bench("apps/artifacts", "fig1_global", || global_pattern(&resolved));
-    mini::bench("apps/artifacts", "fig3_census", || MetadataCensus::from_trace(&adjusted));
+    mini::bench("apps/artifacts", "fig1_global", || {
+        global_pattern(&resolved)
+    });
+    mini::bench("apps/artifacts", "fig3_census", || {
+        MetadataCensus::from_trace(&adjusted)
+    });
 }
 
 fn full_pipeline() {

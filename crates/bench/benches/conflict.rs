@@ -11,9 +11,10 @@ use semantics_core::conflict::{
 fn bench_models() {
     for n in [2_000usize, 8_000] {
         let trace = synthetic_resolved(n, 64, 7);
-        for (name, model) in
-            [("commit", AnalysisModel::Commit), ("session", AnalysisModel::Session)]
-        {
+        for (name, model) in [
+            ("commit", AnalysisModel::Commit),
+            ("session", AnalysisModel::Session),
+        ] {
             mini::bench("conflict/models", &format!("{name}/{n}"), || {
                 detect_conflicts_opt(&trace, model, ConflictOptions::default())
             });
@@ -23,7 +24,9 @@ fn bench_models() {
 
 fn bench_extension_variants() {
     let trace = synthetic_resolved(8_000, 64, 7);
-    mini::bench("conflict/extension", "binary_search", || extend_binary_search(&trace));
+    mini::bench("conflict/extension", "binary_search", || {
+        extend_binary_search(&trace)
+    });
     mini::bench("conflict/extension", "scan", || extend_scan(&trace));
 }
 
@@ -32,7 +35,11 @@ fn bench_table4_flash() {
     // on a real (simulated) trace.
     let (_, resolved) = app_trace(hpcapps::AppId::FlashFbs, 8);
     mini::bench("conflict/table4_flash", "session", || {
-        detect_conflicts_opt(&resolved, AnalysisModel::Session, ConflictOptions::default())
+        detect_conflicts_opt(
+            &resolved,
+            AnalysisModel::Session,
+            ConflictOptions::default(),
+        )
     });
     mini::bench("conflict/table4_flash", "commit", || {
         detect_conflicts_opt(&resolved, AnalysisModel::Commit, ConflictOptions::default())

@@ -11,7 +11,9 @@ use semantics_core::overlap::{detect_overlaps, detect_overlaps_bruteforce, detec
 fn bench_random() {
     for n in [1_000usize, 4_000, 16_000] {
         let accs = random_accesses(n, 64, 1 << 24, 42);
-        mini::bench("overlap/random", &format!("sweep/{n}"), || detect_overlaps(&accs));
+        mini::bench("overlap/random", &format!("sweep/{n}"), || {
+            detect_overlaps(&accs)
+        });
         if n <= 4_000 {
             mini::bench("overlap/random", &format!("bruteforce/{n}"), || {
                 detect_overlaps_bruteforce(&accs)
@@ -32,7 +34,9 @@ fn bench_merge_variant() {
             list.sort_by_key(|a| (a.offset, a.end()));
         }
         let flat: Vec<DataAccess> = per_rank.iter().flatten().copied().collect();
-        mini::bench("overlap/merge_ablation", &format!("sort/{n}"), || detect_overlaps(&flat));
+        mini::bench("overlap/merge_ablation", &format!("sort/{n}"), || {
+            detect_overlaps(&flat)
+        });
         mini::bench("overlap/merge_ablation", &format!("merge/{n}"), || {
             detect_overlaps_merge(&per_rank).expect("sorted")
         });
@@ -42,7 +46,9 @@ fn bench_merge_variant() {
 fn bench_worst_case() {
     for n in [256usize, 512, 1024] {
         let accs = worst_case_accesses(n, 64);
-        mini::bench("overlap/worst_case", &format!("sweep/{n}"), || detect_overlaps(&accs));
+        mini::bench("overlap/worst_case", &format!("sweep/{n}"), || {
+            detect_overlaps(&accs)
+        });
     }
 }
 

@@ -14,13 +14,21 @@ fn bench_lowlevel() {
             seek_mismatches: 0,
             short_reads: 0,
         };
-        mini::bench("patterns/lowlevel", &format!("local/{n}"), || local_pattern(&resolved));
-        mini::bench("patterns/lowlevel", &format!("global/{n}"), || global_pattern(&resolved));
+        mini::bench("patterns/lowlevel", &format!("local/{n}"), || {
+            local_pattern(&resolved)
+        });
+        mini::bench("patterns/lowlevel", &format!("global/{n}"), || {
+            global_pattern(&resolved)
+        });
     }
 }
 
 fn bench_highlevel_apps() {
-    for id in [hpcapps::AppId::FlashFbs, hpcapps::AppId::HaccIoPosix, hpcapps::AppId::Lbann] {
+    for id in [
+        hpcapps::AppId::FlashFbs,
+        hpcapps::AppId::HaccIoPosix,
+        hpcapps::AppId::Lbann,
+    ] {
         let (_, resolved) = app_trace(id, 8);
         mini::bench("patterns/table3", &format!("classify/{id:?}"), || {
             highlevel::classify(&resolved, 8)

@@ -18,7 +18,9 @@ const WRITE_SIZE: usize = 64 * 1024;
 fn write_workload(model: SemanticsModel) -> Pfs {
     let fs = Pfs::new(PfsConfig::default().with_semantics(model));
     let mut c = fs.client(0);
-    let fd = c.open("/bench", OpenFlags::wronly_create_trunc(), 0).unwrap();
+    let fd = c
+        .open("/bench", OpenFlags::wronly_create_trunc(), 0)
+        .unwrap();
     let buf = vec![7u8; WRITE_SIZE];
     for i in 0..WRITES {
         c.pwrite(fd, i * WRITE_SIZE as u64, &buf, i).unwrap();

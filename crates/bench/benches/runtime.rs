@@ -14,9 +14,7 @@ fn cfg(nranks: u32, mode: SchedMode) -> WorldCfg {
 fn bench_barrier() {
     const ROUNDS: u64 = 50;
     for nranks in [8u32, 32] {
-        for (name, mode) in
-            [("det", SchedMode::Deterministic), ("free", SchedMode::Free)]
-        {
+        for (name, mode) in [("det", SchedMode::Deterministic), ("free", SchedMode::Free)] {
             let cfg = cfg(nranks, mode);
             mini::bench("runtime/barriers", &format!("{name}/{nranks}"), || {
                 World::run(&cfg, |r| {

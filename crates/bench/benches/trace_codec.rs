@@ -11,8 +11,12 @@ fn bench_codec() {
     let encoded = trace.encode();
 
     mini::bench("trace_codec", "encode", || trace.encode());
-    mini::bench("trace_codec", "decode", || TraceSet::decode(&encoded).expect("decode"));
-    mini::bench("trace_codec", "tsv_export", || recorder::tsv::to_tsv(&trace));
+    mini::bench("trace_codec", "decode", || {
+        TraceSet::decode(&encoded).expect("decode")
+    });
+    mini::bench("trace_codec", "tsv_export", || {
+        recorder::tsv::to_tsv(&trace)
+    });
     mini::bench("trace_codec", "merge_by_time", || trace.merged_by_time());
 
     eprintln!(
@@ -26,9 +30,13 @@ fn bench_codec() {
 fn bench_pipeline() {
     // Post-processing pipeline cost: adjust + resolve, per record.
     let (trace, _) = app_trace(hpcapps::AppId::FlashFbs, 8);
-    mini::bench("trace_pipeline", "adjust", || recorder::adjust::apply(&trace));
+    mini::bench("trace_pipeline", "adjust", || {
+        recorder::adjust::apply(&trace)
+    });
     let adjusted = recorder::adjust::apply(&trace);
-    mini::bench("trace_pipeline", "resolve_offsets", || recorder::offset::resolve(&adjusted));
+    mini::bench("trace_pipeline", "resolve_offsets", || {
+        recorder::offset::resolve(&adjusted)
+    });
 }
 
 fn main() {

@@ -20,7 +20,11 @@ pub fn random_accesses(n: usize, ranks: u32, span: u64, seed: u64) -> Vec<DataAc
                 file: PathId(0),
                 offset,
                 len,
-                kind: if rng.gen_bool(0.7) { AccessKind::Write } else { AccessKind::Read },
+                kind: if rng.gen_bool(0.7) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 origin: Layer::App,
                 fd: 3,
             }
@@ -52,7 +56,12 @@ pub fn synthetic_resolved(n: usize, ranks: u32, seed: u64) -> ResolvedTrace {
     let accesses = random_accesses(n, ranks, 1 << 22, seed);
     let mut syncs = Vec::new();
     for r in 0..ranks {
-        syncs.push(SyncEvent { rank: r, t: 0, file: PathId(0), kind: SyncKind::Open });
+        syncs.push(SyncEvent {
+            rank: r,
+            t: 0,
+            file: PathId(0),
+            kind: SyncKind::Open,
+        });
         for k in 1..8u64 {
             syncs.push(SyncEvent {
                 rank: r,
@@ -69,7 +78,12 @@ pub fn synthetic_resolved(n: usize, ranks: u32, seed: u64) -> ResolvedTrace {
         });
     }
     syncs.sort_by_key(|s| s.t);
-    ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+    ResolvedTrace {
+        accesses,
+        syncs,
+        seek_mismatches: 0,
+        short_reads: 0,
+    }
 }
 
 /// Run one application replica and return its adjusted trace + resolution,
@@ -113,7 +127,10 @@ pub mod mini {
             let dt = t0.elapsed();
             if dt.as_millis() >= 50 || iters >= 1 << 16 {
                 let per = dt.as_secs_f64() / iters as f64;
-                println!("{group:<28} {name:<24} {} per iter  ({iters} iters)", fmt_time(per));
+                println!(
+                    "{group:<28} {name:<24} {} per iter  ({iters} iters)",
+                    fmt_time(per)
+                );
                 return;
             }
             iters *= 4;

@@ -58,14 +58,23 @@ pub fn advise_commits(resolved: &ResolvedTrace) -> CommitAdvice {
     }
     let insertions: Vec<CommitInsertion> = map
         .into_iter()
-        .map(|((rank, file, after_t), resolves)| CommitInsertion { rank, file, after_t, resolves })
+        .map(|((rank, file, after_t), resolves)| CommitInsertion {
+            rank,
+            file,
+            after_t,
+            resolves,
+        })
         .collect();
 
     // Verify: splice the synthetic commits in and re-detect.
     let patched = apply_insertions(resolved, &insertions);
     let after = detect_conflicts(&patched, AnalysisModel::Commit);
 
-    CommitAdvice { insertions, before, after }
+    CommitAdvice {
+        insertions,
+        before,
+        after,
+    }
 }
 
 /// Splice the advised fsyncs into a copy of the trace's sync stream.
@@ -110,7 +119,12 @@ mod tests {
     }
 
     fn sync(rank: u32, t: u64, kind: SyncKind) -> SyncEvent {
-        SyncEvent { rank, t, file: F, kind }
+        SyncEvent {
+            rank,
+            t,
+            file: F,
+            kind,
+        }
     }
 
     #[test]
@@ -128,14 +142,21 @@ mod tests {
         };
         let advice = advise_commits(&resolved);
         assert!(advice.before.total() > 0);
-        assert!(advice.is_sufficient(), "patched trace still conflicts: {:?}", advice.after);
+        assert!(
+            advice.is_sufficient(),
+            "patched trace still conflicts: {:?}",
+            advice.after
+        );
         // Two conflicting writes (r0@10 and r1@60? the latter is only a
         // `first` if something follows it — nothing does), so exactly one
         // insertion for r0.
         assert_eq!(advice.insertions.len(), 1);
         assert_eq!(advice.insertions[0].rank, 0);
         assert_eq!(advice.insertions[0].after_t, 11);
-        assert_eq!(advice.insertions[0].resolves, 2, "clears both the RAW and the WAW");
+        assert_eq!(
+            advice.insertions[0].resolves, 2,
+            "clears both the RAW and the WAW"
+        );
     }
 
     #[test]

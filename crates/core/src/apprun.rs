@@ -76,7 +76,10 @@ pub fn build_from_resolved(trace: &TraceSet, resolved: &ResolvedTrace) -> AppRun
                 }
             }
         }
-        streams.entry((a.file, a.rank)).or_default().push((a.offset, a.len));
+        streams
+            .entry((a.file, a.rank))
+            .or_default()
+            .push((a.offset, a.len));
     }
     for ((file, _), stream) in streams {
         if let Some(f) = files.get_mut(&file) {
@@ -85,7 +88,9 @@ pub fn build_from_resolved(trace: &TraceSet, resolved: &ResolvedTrace) -> AppRun
     }
     for (report, model) in [(&session, 0usize), (&commit, 1usize)] {
         for p in &report.pairs {
-            let Some(f) = files.get_mut(&p.file) else { continue };
+            let Some(f) = files.get_mut(&p.file) else {
+                continue;
+            };
             let slot = match model {
                 0 => &mut f.session_conflicts,
                 _ => &mut f.commit_conflicts,
@@ -104,7 +109,12 @@ pub fn build_from_resolved(trace: &TraceSet, resolved: &ResolvedTrace) -> AppRun
         f.writers.sort_unstable();
     });
     files.sort_by(|a, b| a.path.cmp(&b.path));
-    AppRunReport { stats, files, verdict, seek_mismatches: resolved.seek_mismatches }
+    AppRunReport {
+        stats,
+        files,
+        verdict,
+        seek_mismatches: resolved.seek_mismatches,
+    }
 }
 
 impl AppRunReport {
@@ -180,7 +190,14 @@ mod tests {
     const F: PathId = PathId(0);
 
     fn posix(rank: u32, t: u64, func: Func) -> Record {
-        Record { t_start: t, t_end: t + 1, rank, layer: Layer::Posix, origin: Layer::App, func }
+        Record {
+            t_start: t,
+            t_end: t + 1,
+            rank,
+            layer: Layer::Posix,
+            origin: Layer::App,
+            func,
+        }
     }
 
     fn trace() -> TraceSet {
@@ -188,11 +205,36 @@ mod tests {
         TraceSet {
             paths: vec!["/x".into()],
             ranks: vec![vec![
-                posix(0, 0, Func::Open { path: F, flags, fd: 3 }),
+                posix(
+                    0,
+                    0,
+                    Func::Open {
+                        path: F,
+                        flags,
+                        fd: 3,
+                    },
+                ),
                 posix(0, 1, Func::Write { fd: 3, count: 100 }),
-                posix(0, 2, Func::Lseek { fd: 3, offset: 0, whence: SeekWhence::Set, ret: 0 }),
+                posix(
+                    0,
+                    2,
+                    Func::Lseek {
+                        fd: 3,
+                        offset: 0,
+                        whence: SeekWhence::Set,
+                        ret: 0,
+                    },
+                ),
                 posix(0, 3, Func::Write { fd: 3, count: 100 }), // WAW-S
-                posix(0, 4, Func::Read { fd: 3, count: 50, ret: 50 }), // cursor at 100
+                posix(
+                    0,
+                    4,
+                    Func::Read {
+                        fd: 3,
+                        count: 50,
+                        ret: 50,
+                    },
+                ), // cursor at 100
                 posix(0, 5, Func::Close { fd: 3 }),
             ]],
             skews_ns: vec![0],

@@ -23,6 +23,7 @@ use std::collections::BTreeMap;
 
 use recorder::{AccessKind, DataAccess, PathId, ResolvedTrace, SyncKind};
 
+use crate::context::AnalysisContext;
 use crate::overlap::FileGroups;
 use crate::parallel::analyze_files_parallel;
 
@@ -141,7 +142,8 @@ impl SortedTable {
                 end += 1;
             }
             t.keys.push(key);
-            t.ranges.push((t.times.len() as u32, (t.times.len() + end - start) as u32));
+            t.ranges
+                .push((t.times.len() as u32, (t.times.len() + end - start) as u32));
             t.times.extend(events[start..end].iter().map(|e| e.1));
             start = end;
         }
@@ -180,16 +182,18 @@ impl SortedTable {
     }
 }
 
-/// Per-(rank, file) synchronization tables, each sorted by time.
+/// Per-(rank, file) synchronization tables, each sorted by time. Retained
+/// by [`crate::context::AnalysisContext`] so one build serves every
+/// consumer of the sync windows.
 #[derive(Debug, Default)]
-struct SyncTables {
+pub(crate) struct SyncTables {
     opens: SortedTable,
     closes: SortedTable,
     commits: SortedTable, // fsync/fdatasync AND close
 }
 
 impl SyncTables {
-    fn build(resolved: &ResolvedTrace) -> Self {
+    pub(crate) fn build(resolved: &ResolvedTrace) -> Self {
         let mut opens = Vec::new();
         let mut closes = Vec::new();
         let mut commits = Vec::new();
@@ -210,6 +214,22 @@ impl SyncTables {
             commits: SortedTable::build(commits),
         }
     }
+
+    /// Last `open` by `(rank, file)` at or before `t`.
+    pub(crate) fn last_open(&self, key: (u32, PathId), t: u64) -> Option<u64> {
+        self.opens.last_before(key, t)
+    }
+
+    /// First `close` by `(rank, file)` at or after `t`.
+    pub(crate) fn next_close(&self, key: (u32, PathId), t: u64) -> Option<u64> {
+        self.closes.first_after(key, t)
+    }
+
+    /// First commit (`fsync`/`fdatasync`/`close`) by `(rank, file)` at or
+    /// after `t`.
+    pub(crate) fn next_commit(&self, key: (u32, PathId), t: u64) -> Option<u64> {
+        self.commits.first_after(key, t)
+    }
 }
 
 /// The per-record extension of §5.2: `to` and `tc`.
@@ -227,8 +247,14 @@ pub struct ExtendedAccess {
 /// Extend every access via binary search in the per-process sync tables
 /// (the paper's suggested O(log n)-per-record variant).
 pub fn extend_binary_search(resolved: &ResolvedTrace) -> Vec<ExtendedAccess> {
+    extend_with_tables(resolved).1
+}
+
+/// [`extend_binary_search`], also returning the sync tables themselves so
+/// the context can keep them alongside the extension.
+pub(crate) fn extend_with_tables(resolved: &ResolvedTrace) -> (SyncTables, Vec<ExtendedAccess>) {
     let tables = SyncTables::build(resolved);
-    resolved
+    let extended = resolved
         .accesses
         .iter()
         .map(|a| {
@@ -240,7 +266,8 @@ pub fn extend_binary_search(resolved: &ResolvedTrace) -> Vec<ExtendedAccess> {
                 tc_commit: tables.commits.first_after(key, a.t_start),
             }
         })
-        .collect()
+        .collect();
+    (tables, extended)
 }
 
 /// Extend every access by one forward + one backward scan over each
@@ -258,7 +285,10 @@ pub fn extend_scan(resolved: &ResolvedTrace) -> Vec<ExtendedAccess> {
     }
     let mut per_key: BTreeMap<(u32, PathId), Vec<(u64, Ev)>> = BTreeMap::new();
     for (i, a) in resolved.accesses.iter().enumerate() {
-        per_key.entry((a.rank, a.file)).or_default().push((a.t_start, Ev::Acc(i)));
+        per_key
+            .entry((a.rank, a.file))
+            .or_default()
+            .push((a.t_start, Ev::Acc(i)));
     }
     for s in &resolved.syncs {
         let ev = match s.kind {
@@ -272,7 +302,12 @@ pub fn extend_scan(resolved: &ResolvedTrace) -> Vec<ExtendedAccess> {
     let mut out: Vec<ExtendedAccess> = resolved
         .accesses
         .iter()
-        .map(|a| ExtendedAccess { access: *a, to: None, tc_close: None, tc_commit: None })
+        .map(|a| ExtendedAccess {
+            access: *a,
+            to: None,
+            tc_close: None,
+            tc_commit: None,
+        })
         .collect();
 
     for events in per_key.values_mut() {
@@ -281,12 +316,15 @@ pub fn extend_scan(resolved: &ResolvedTrace) -> Vec<ExtendedAccess> {
         // commit: strictly after). Order same-time events as
         // open < access < close/commit.
         events.sort_by_key(|(t, ev)| {
-            (*t, match ev {
-                Ev::Open(_) => 0u8,
-                Ev::Acc(_) => 1,
-                Ev::Close(_) => 2,
-                Ev::Commit(_) => 2,
-            })
+            (
+                *t,
+                match ev {
+                    Ev::Open(_) => 0u8,
+                    Ev::Acc(_) => 1,
+                    Ev::Close(_) => 2,
+                    Ev::Commit(_) => 2,
+                },
+            )
         });
         // Forward: last open seen so far.
         let mut last_open: Option<u64> = None;
@@ -332,7 +370,10 @@ pub struct ConflictOptions {
 
 impl Default for ConflictOptions {
     fn default() -> Self {
-        ConflictOptions { binary_search: true, session_uses_commit_as_close: false }
+        ConflictOptions {
+            binary_search: true,
+            session_uses_commit_as_close: false,
+        }
     }
 }
 
@@ -363,22 +404,30 @@ pub fn detect_conflicts_threaded(
 }
 
 /// Threaded conflict detection with explicit options.
+///
+/// The default binary-search variant is a thin wrapper over a fresh
+/// [`AnalysisContext`]; the scan variant keeps its own fully independent
+/// path (extension and per-file sort), which is what the equivalence
+/// tests compare the fused detector against.
 pub fn detect_conflicts_opt_threaded(
     resolved: &ResolvedTrace,
     model: AnalysisModel,
     opts: ConflictOptions,
     threads: usize,
 ) -> ConflictReport {
-    let extended = if opts.binary_search {
-        extend_binary_search(resolved)
-    } else {
-        extend_scan(resolved)
-    };
+    if opts.binary_search {
+        let ctx = AnalysisContext::new(resolved);
+        return detect_conflicts_in(&ctx, model, opts, threads);
+    }
+    let extended = extend_scan(resolved);
 
     // Group by file (zero-copy index ranges) and run the overlap sweep per
     // file, one work item per file.
     let groups = FileGroups::new(&resolved.accesses);
-    let mut report = ConflictReport { model_checked: Some(model), ..Default::default() };
+    let mut report = ConflictReport {
+        model_checked: Some(model),
+        ..Default::default()
+    };
     let extended = &extended;
     for (_, partial) in analyze_files_parallel(&groups, threads, |file, idxs| {
         file_conflicts(extended, file, idxs, model, opts)
@@ -386,6 +435,182 @@ pub fn detect_conflicts_opt_threaded(
         report.merge(partial);
     }
     report
+}
+
+/// Single-model detection over a prebuilt [`AnalysisContext`]: reuses the
+/// context's extension and per-file offset-sorted order instead of
+/// re-deriving both.
+pub fn detect_conflicts_in(
+    ctx: &AnalysisContext,
+    model: AnalysisModel,
+    opts: ConflictOptions,
+    threads: usize,
+) -> ConflictReport {
+    let mut report = ConflictReport {
+        model_checked: Some(model),
+        ..Default::default()
+    };
+    for partial in crate::parallel::parallel_map_indexed(ctx.file_count(), threads, |k| {
+        let (file, order) = ctx.conflict_group(k);
+        let mut partial = ConflictReport::default();
+        sweep_pairs(ctx.extended(), order, |first, second| {
+            if conflicting(first, second, model, opts) {
+                partial.add(classify_pair(file, first, second));
+            }
+        });
+        partial
+    }) {
+        report.merge(partial);
+    }
+    report
+}
+
+/// Session and commit reports from one fused sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FusedReports {
+    pub session: ConflictReport,
+    pub commit: ConflictReport,
+}
+
+/// Fused §5.2 detection: one overlap enumeration per file, each candidate
+/// pair classified against **both** models — they share the sweep and
+/// differ only in the sync-window condition, so checking them together
+/// halves the enumeration work of two [`detect_conflicts`] calls.
+///
+/// Both reports are exactly equal (pairs, order, counts) to what the two
+/// separate runs produce; `tests/fused.rs` asserts this on random traces.
+pub fn detect_conflicts_fused(ctx: &AnalysisContext) -> FusedReports {
+    detect_conflicts_fused_threaded(ctx, 1)
+}
+
+/// [`detect_conflicts_fused`] with per-file work fanned across `threads`
+/// worker threads (`0` = one per core). Deterministic: per-file partials
+/// merge in [`PathId`] order regardless of completion order.
+pub fn detect_conflicts_fused_threaded(ctx: &AnalysisContext, threads: usize) -> FusedReports {
+    let opts = ConflictOptions::default();
+    let mut out = FusedReports {
+        session: ConflictReport {
+            model_checked: Some(AnalysisModel::Session),
+            ..Default::default()
+        },
+        commit: ConflictReport {
+            model_checked: Some(AnalysisModel::Commit),
+            ..Default::default()
+        },
+    };
+    for (session, commit) in crate::parallel::parallel_map_indexed(ctx.file_count(), threads, |k| {
+        let (file, order) = ctx.conflict_group(k);
+        let mut session = ConflictReport::default();
+        let mut commit = ConflictReport::default();
+        sweep_pairs(ctx.extended(), order, |first, second| {
+            let on_session = conflicting(first, second, AnalysisModel::Session, opts);
+            let on_commit = conflicting(first, second, AnalysisModel::Commit, opts);
+            if !(on_session || on_commit) {
+                return;
+            }
+            let pair = classify_pair(file, first, second);
+            if on_session {
+                session.add(pair);
+            }
+            if on_commit {
+                commit.add(pair);
+            }
+        });
+        (session, commit)
+    }) {
+        out.session.merge(session);
+        out.commit.merge(commit);
+    }
+    out
+}
+
+/// Enumerate candidate pairs of one file in the canonical order: `order`
+/// is offset-sorted (stable), the inner scan stops when start offsets
+/// pass the current end (Algorithm 1), the pair is ordered by
+/// `(t_start, rank)`, and write-after-read pairs are skipped. Every
+/// detector variant visits pairs through this one enumeration, which is
+/// what makes their reports identical element-for-element.
+#[inline]
+fn sweep_pairs(
+    extended: &[ExtendedAccess],
+    order: &[u32],
+    mut visit: impl FnMut(&ExtendedAccess, &ExtendedAccess),
+) {
+    for (pos, &i) in order.iter().enumerate() {
+        let a = &extended[i as usize];
+        for &j in &order[pos + 1..] {
+            let b = &extended[j as usize];
+            if b.access.offset >= a.access.end() {
+                break;
+            }
+            // Order the overlapping pair by timestamp (rank breaks ties
+            // deterministically).
+            let (first, second) =
+                if (a.access.t_start, a.access.rank) <= (b.access.t_start, b.access.rank) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+            if first.access.kind != AccessKind::Write {
+                continue; // write-after-read is not a potential conflict
+            }
+            visit(first, second);
+        }
+    }
+}
+
+/// Conditions 3/4 of §5.2 for an ordered candidate pair.
+#[inline]
+fn conflicting(
+    first: &ExtendedAccess,
+    second: &ExtendedAccess,
+    model: AnalysisModel,
+    opts: ConflictOptions,
+) -> bool {
+    match model {
+        AnalysisModel::Commit => {
+            // Condition 3: no commit by r1 in (t1, t2).
+            match first.tc_commit {
+                Some(tc) => tc > second.access.t_start,
+                None => true,
+            }
+        }
+        AnalysisModel::Session => {
+            // Condition 4: ¬(t1 < tc1 < to2 < t2).
+            let tc1 = if opts.session_uses_commit_as_close {
+                first.tc_commit
+            } else {
+                first.tc_close
+            };
+            let ordered = match (tc1, second.to) {
+                (Some(tc), Some(to)) => {
+                    first.access.t_start < tc && tc < to && to < second.access.t_start
+                }
+                _ => false,
+            };
+            !ordered
+        }
+    }
+}
+
+#[inline]
+fn classify_pair(file: PathId, first: &ExtendedAccess, second: &ExtendedAccess) -> ConflictPair {
+    let kind = match second.access.kind {
+        AccessKind::Read => ConflictKind::Raw,
+        AccessKind::Write => ConflictKind::Waw,
+    };
+    let scope = if first.access.rank == second.access.rank {
+        ConflictScope::Same
+    } else {
+        ConflictScope::Distinct
+    };
+    ConflictPair {
+        file,
+        first: first.access,
+        second: second.access,
+        kind,
+        scope,
+    }
 }
 
 /// The §5.2 check over the accesses of one file (given as indices into the
@@ -405,72 +630,11 @@ fn file_conflicts(
         (a.offset, a.end())
     });
     let mut report = ConflictReport::default();
-    for (pos, &i) in order.iter().enumerate() {
-        let a = &extended[i as usize];
-        for &j in &order[pos + 1..] {
-            let b = &extended[j as usize];
-            if b.access.offset >= a.access.end() {
-                break;
-            }
-            // Order the overlapping pair by timestamp (rank breaks ties
-            // deterministically).
-            let (first, second) = if (a.access.t_start, a.access.rank)
-                <= (b.access.t_start, b.access.rank)
-            {
-                (a, b)
-            } else {
-                (b, a)
-            };
-            if first.access.kind != AccessKind::Write {
-                continue; // write-after-read is not a potential conflict
-            }
-            let conflicting = match model {
-                AnalysisModel::Commit => {
-                    // Condition 3: no commit by r1 in (t1, t2).
-                    match first.tc_commit {
-                        Some(tc) => tc > second.access.t_start,
-                        None => true,
-                    }
-                }
-                AnalysisModel::Session => {
-                    // Condition 4: ¬(t1 < tc1 < to2 < t2).
-                    let tc1 = if opts.session_uses_commit_as_close {
-                        first.tc_commit
-                    } else {
-                        first.tc_close
-                    };
-                    let ordered = match (tc1, second.to) {
-                        (Some(tc), Some(to)) => {
-                            first.access.t_start < tc
-                                && tc < to
-                                && to < second.access.t_start
-                        }
-                        _ => false,
-                    };
-                    !ordered
-                }
-            };
-            if !conflicting {
-                continue;
-            }
-            let kind = match second.access.kind {
-                AccessKind::Read => ConflictKind::Raw,
-                AccessKind::Write => ConflictKind::Waw,
-            };
-            let scope = if first.access.rank == second.access.rank {
-                ConflictScope::Same
-            } else {
-                ConflictScope::Distinct
-            };
-            report.add(ConflictPair {
-                file,
-                first: first.access,
-                second: second.access,
-                kind,
-                scope,
-            });
+    sweep_pairs(extended, &order, |first, second| {
+        if conflicting(first, second, model, opts) {
+            report.add(classify_pair(file, first, second));
         }
-    }
+    });
     report
 }
 
@@ -496,11 +660,21 @@ mod tests {
     }
 
     fn sync(rank: u32, t: u64, kind: SyncKind) -> SyncEvent {
-        SyncEvent { rank, t, file: F, kind }
+        SyncEvent {
+            rank,
+            t,
+            file: F,
+            kind,
+        }
     }
 
     fn resolved(accesses: Vec<DataAccess>, syncs: Vec<SyncEvent>) -> ResolvedTrace {
-        ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+        ResolvedTrace {
+            accesses,
+            syncs,
+            seek_mismatches: 0,
+            short_reads: 0,
+        }
     }
 
     #[test]
@@ -634,7 +808,11 @@ mod tests {
                     10 + k * 17 + rank as u64,
                     (k * 13 + rank as u64 * 7) % 60,
                     20,
-                    if k % 3 == 0 { AccessKind::Read } else { AccessKind::Write },
+                    if k % 3 == 0 {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    },
                 ));
                 if k == 2 {
                     syncs.push(sync(rank, 11 + k * 17 + rank as u64, SyncKind::Commit));
@@ -647,12 +825,18 @@ mod tests {
             let bs = detect_conflicts_opt(
                 &r,
                 model,
-                ConflictOptions { binary_search: true, ..Default::default() },
+                ConflictOptions {
+                    binary_search: true,
+                    ..Default::default()
+                },
             );
             let scan = detect_conflicts_opt(
                 &r,
                 model,
-                ConflictOptions { binary_search: false, ..Default::default() },
+                ConflictOptions {
+                    binary_search: false,
+                    ..Default::default()
+                },
             );
             assert_eq!(bs.table4_marks(), scan.table4_marks());
             assert_eq!(bs.total(), scan.total(), "{model:?}");

@@ -71,14 +71,23 @@ impl HbIndex {
         let mut messages: Vec<(u64, u32, u32, u64)> = send_at
             .iter()
             .filter_map(|(seq, &(src, t_send))| {
-                recv_at.get(seq).map(|&(dst, t_recv_end)| (t_send, src, dst, t_recv_end))
+                recv_at
+                    .get(seq)
+                    .map(|&(dst, t_recv_end)| (t_send, src, dst, t_recv_end))
             })
             .collect();
         messages.sort_unstable();
         let mut epochs: Vec<u64> = barrier_events.keys().copied().collect();
         epochs.sort_unstable();
-        let barriers = epochs.into_iter().map(|e| barrier_events.remove(&e).expect("epoch")).collect();
-        HbIndex { nranks, messages, barriers }
+        let barriers = epochs
+            .into_iter()
+            .map(|e| barrier_events.remove(&e).expect("epoch"))
+            .collect();
+        HbIndex {
+            nranks,
+            messages,
+            barriers,
+        }
     }
 
     /// Number of matched message edges (diagnostics).
@@ -97,10 +106,26 @@ impl HbIndex {
     /// time, so iterating until fixpoint over the (few) barrier epochs and
     /// time-sorted messages terminates quickly.
     pub fn happens_before(&self, r1: u32, t1: u64, r2: u32, t2: u64) -> bool {
+        self.happens_before_scratch(&mut Vec::new(), r1, t1, r2, t2)
+    }
+
+    /// [`HbIndex::happens_before`] with a caller-provided scratch buffer
+    /// for the per-rank reach times. [`validate_conflicts`] issues one
+    /// query per conflict pair; reusing one buffer across all of them
+    /// removes a `vec![None; nranks]` allocation per pair.
+    pub fn happens_before_scratch(
+        &self,
+        reach: &mut Vec<Option<u64>>,
+        r1: u32,
+        t1: u64,
+        r2: u32,
+        t2: u64,
+    ) -> bool {
         if r1 == r2 {
             return t1 <= t2;
         }
-        let mut reach: Vec<Option<u64>> = vec![None; self.nranks];
+        reach.clear();
+        reach.resize(self.nranks, None);
         reach[r1 as usize] = Some(t1);
         // Fixpoint: message edges are time-sorted so one pass usually
         // suffices; barriers can unlock earlier messages on other ranks, so
@@ -119,9 +144,10 @@ impl HbIndex {
                 }
             }
             for b in &self.barriers {
-                let entered_reached = b.enter.iter().enumerate().any(|(r, &e)| {
-                    matches!((e, reach[r]), (Some(enter), Some(rt)) if enter >= rt)
-                });
+                let entered_reached =
+                    b.enter.iter().enumerate().any(
+                        |(r, &e)| matches!((e, reach[r]), (Some(enter), Some(rt)) if enter >= rt),
+                    );
                 if entered_reached {
                     for slot in reach.iter_mut() {
                         if slot.is_none() || slot.expect("some") > b.exit {
@@ -159,12 +185,23 @@ pub fn validate_conflicts(
     trace: &TraceSet,
     report: &crate::conflict::ConflictReport,
 ) -> HbValidation {
-    let index = HbIndex::build(trace);
+    validate_conflicts_with(&HbIndex::build(trace), report)
+}
+
+/// [`validate_conflicts`] against an already-built index (e.g. the one a
+/// [`crate::context::AnalysisContext`] holds). One scratch reach buffer
+/// is reused across all queried pairs.
+pub fn validate_conflicts_with(
+    index: &HbIndex,
+    report: &crate::conflict::ConflictReport,
+) -> HbValidation {
     let mut v = HbValidation::default();
+    let mut reach: Vec<Option<u64>> = Vec::new();
     for p in &report.pairs {
         if p.first.rank == p.second.rank {
             v.same_process += 1;
-        } else if index.happens_before(
+        } else if index.happens_before_scratch(
+            &mut reach,
             p.first.rank,
             p.first.t_end,
             p.second.rank,
@@ -184,7 +221,14 @@ mod tests {
     use recorder::Record;
 
     fn mpi(rank: u32, t0: u64, t1: u64, func: Func) -> Record {
-        Record { t_start: t0, t_end: t1, rank, layer: Layer::Mpi, origin: Layer::Mpi, func }
+        Record {
+            t_start: t0,
+            t_end: t1,
+            rank,
+            layer: Layer::Mpi,
+            origin: Layer::Mpi,
+            func,
+        }
     }
 
     #[test]
@@ -192,8 +236,26 @@ mod tests {
         let trace = TraceSet {
             paths: vec![],
             ranks: vec![
-                vec![mpi(0, 10, 11, Func::MpiSend { dst: 1, tag: 0, seq: 7 })],
-                vec![mpi(1, 20, 21, Func::MpiRecv { src: 0, tag: 0, seq: 7 })],
+                vec![mpi(
+                    0,
+                    10,
+                    11,
+                    Func::MpiSend {
+                        dst: 1,
+                        tag: 0,
+                        seq: 7,
+                    },
+                )],
+                vec![mpi(
+                    1,
+                    20,
+                    21,
+                    Func::MpiRecv {
+                        src: 0,
+                        tag: 0,
+                        seq: 7,
+                    },
+                )],
             ],
             skews_ns: vec![0, 0],
         };
@@ -201,7 +263,10 @@ mod tests {
         assert_eq!(idx.matched_messages(), 1);
         assert!(idx.happens_before(0, 5, 1, 25), "before send → after recv");
         assert!(idx.happens_before(0, 10, 1, 21));
-        assert!(!idx.happens_before(0, 12, 1, 25), "event after the send is not ordered");
+        assert!(
+            !idx.happens_before(0, 12, 1, 25),
+            "event after the send is not ordered"
+        );
         assert!(!idx.happens_before(1, 0, 0, 100), "no reverse edge");
     }
 
@@ -232,12 +297,48 @@ mod tests {
         let trace = TraceSet {
             paths: vec![],
             ranks: vec![
-                vec![mpi(0, 10, 11, Func::MpiSend { dst: 1, tag: 0, seq: 1 })],
+                vec![mpi(
+                    0,
+                    10,
+                    11,
+                    Func::MpiSend {
+                        dst: 1,
+                        tag: 0,
+                        seq: 1,
+                    },
+                )],
                 vec![
-                    mpi(1, 20, 21, Func::MpiRecv { src: 0, tag: 0, seq: 1 }),
-                    mpi(1, 30, 31, Func::MpiSend { dst: 2, tag: 0, seq: 2 }),
+                    mpi(
+                        1,
+                        20,
+                        21,
+                        Func::MpiRecv {
+                            src: 0,
+                            tag: 0,
+                            seq: 1,
+                        },
+                    ),
+                    mpi(
+                        1,
+                        30,
+                        31,
+                        Func::MpiSend {
+                            dst: 2,
+                            tag: 0,
+                            seq: 2,
+                        },
+                    ),
                 ],
-                vec![mpi(2, 40, 41, Func::MpiRecv { src: 1, tag: 0, seq: 2 })],
+                vec![mpi(
+                    2,
+                    40,
+                    41,
+                    Func::MpiRecv {
+                        src: 1,
+                        tag: 0,
+                        seq: 2,
+                    },
+                )],
             ],
             skews_ns: vec![0, 0, 0],
         };
@@ -248,7 +349,11 @@ mod tests {
 
     #[test]
     fn same_rank_is_program_order() {
-        let trace = TraceSet { paths: vec![], ranks: vec![vec![]], skews_ns: vec![0] };
+        let trace = TraceSet {
+            paths: vec![],
+            ranks: vec![vec![]],
+            skews_ns: vec![0],
+        };
         let idx = HbIndex::build(&trace);
         assert!(idx.happens_before(0, 5, 0, 6));
         assert!(idx.happens_before(0, 5, 0, 5));

@@ -8,6 +8,10 @@
 //!   Table 1.
 //! * [`overlap`] — Algorithm 1: detecting overlapping accesses by a sorted
 //!   sweep over `(t, r, os, oe, type)` tuples.
+//! * [`context`] — the shared [`AnalysisContext`]: per-file grouping,
+//!   sync tables, the §5.2 extension, and every sort order the analyses
+//!   share, built once per resolved trace and reused by all of them
+//!   (including the fused session+commit conflict sweep).
 //! * [`conflict`] — §5.2: which overlaps are potential conflicts
 //!   (RAW-[S|D] / WAW-[S|D]) under commit and session semantics, using the
 //!   per-record `to` (last preceding open) / `tc` (first succeeding
@@ -37,6 +41,7 @@
 pub mod advisor;
 pub mod apprun;
 pub mod conflict;
+pub mod context;
 pub mod hb;
 pub mod meta_conflict;
 pub mod metadata;
@@ -47,13 +52,14 @@ pub mod patterns;
 pub mod verdict;
 
 pub use conflict::{
-    detect_conflicts_threaded, AnalysisModel, ConflictPair, ConflictReport, ConflictScope,
-    ConflictKind,
+    detect_conflicts_fused, detect_conflicts_fused_threaded, detect_conflicts_threaded,
+    AnalysisModel, ConflictKind, ConflictPair, ConflictReport, ConflictScope, FusedReports,
 };
+pub use context::{AnalysisContext, SweepColumns};
 pub use model::{ConsistencyModel, PfsEntry, PfsRegistry};
 pub use overlap::{
-    count_overlaps, detect_overlaps, detect_overlaps_bruteforce, detect_overlaps_merge,
-    FileGroups, OverlapCount, OverlapResult,
+    count_overlaps, detect_overlaps, detect_overlaps_bruteforce, detect_overlaps_merge, FileGroups,
+    OverlapCount, OverlapResult,
 };
 pub use parallel::{analyze_files_parallel, parallel_map_indexed};
 pub use verdict::{required_model, Verdict};

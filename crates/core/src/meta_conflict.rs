@@ -105,7 +105,15 @@ fn event_of(rec: &recorder::Record) -> Option<MetaEvent> {
     let (path, role, func): (PathId, MetaRole, &'static str) = match rec.func {
         Func::Open { path, flags, .. } => {
             let creates = flags & recorder::offset::flag_bits::CREATE != 0;
-            (path, if creates { MetaRole::Create } else { MetaRole::Observe }, "open")
+            (
+                path,
+                if creates {
+                    MetaRole::Create
+                } else {
+                    MetaRole::Observe
+                },
+                "open",
+            )
         }
         Func::MetaPath { op, path } => {
             let role = match op {
@@ -129,10 +137,20 @@ fn event_of(rec: &recorder::Record) -> Option<MetaEvent> {
             };
             (path, role, op.name())
         }
-        Func::MetaPath2 { op: MetaKind::Rename, path, .. } => (path, MetaRole::Remove, "rename"),
+        Func::MetaPath2 {
+            op: MetaKind::Rename,
+            path,
+            ..
+        } => (path, MetaRole::Remove, "rename"),
         _ => return None,
     };
-    Some(MetaEvent { rank: rec.rank, t: rec.t_start, path, role, func })
+    Some(MetaEvent {
+        rank: rec.rank,
+        t: rec.t_start,
+        path,
+        role,
+        func,
+    })
 }
 
 /// Detect cross-process namespace dependencies in an (adjusted) trace.
@@ -148,8 +166,7 @@ pub fn detect_meta_conflicts(trace: &TraceSet) -> MetaConflictReport {
     // Per path: last create / remove / mutate events.
     let mut last: BTreeMap<PathId, [Option<MetaEvent>; 3]> = BTreeMap::new();
 
-    let mut events: Vec<MetaEvent> =
-        trace.ranks.iter().flatten().filter_map(event_of).collect();
+    let mut events: Vec<MetaEvent> = trace.ranks.iter().flatten().filter_map(event_of).collect();
     events.sort_by_key(|e| (e.t, e.rank));
     report.events = events.len() as u64;
 
@@ -157,7 +174,11 @@ pub fn detect_meta_conflicts(trace: &TraceSet) -> MetaConflictReport {
         let slots = last.entry(e.path).or_default();
         let push = |kind: MetaPairKind, first: MetaEvent, report: &mut MetaConflictReport| {
             if first.rank != e.rank {
-                report.pairs.push(MetaPair { kind, first, second: e });
+                report.pairs.push(MetaPair {
+                    kind,
+                    first,
+                    second: e,
+                });
                 *report.by_kind.entry(kind).or_insert(0) += 1;
             }
         };
@@ -206,7 +227,14 @@ mod tests {
     const P: PathId = PathId(0);
 
     fn posix(rank: u32, t: u64, func: Func) -> Record {
-        Record { t_start: t, t_end: t + 1, rank, layer: Layer::Posix, origin: Layer::App, func }
+        Record {
+            t_start: t,
+            t_end: t + 1,
+            rank,
+            layer: Layer::Posix,
+            origin: Layer::App,
+            func,
+        }
     }
 
     fn trace(records: Vec<Record>) -> TraceSet {
@@ -214,15 +242,42 @@ mod tests {
         for r in records {
             ranks[r.rank as usize].push(r);
         }
-        TraceSet { paths: vec!["/f".into()], ranks, skews_ns: vec![0; 4] }
+        TraceSet {
+            paths: vec!["/f".into()],
+            ranks,
+            skews_ns: vec![0; 4],
+        }
     }
 
     #[test]
     fn create_then_open_by_other_rank() {
         let t = trace(vec![
-            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
-            posix(1, 5, Func::Open { path: P, flags: flag_bits::READ, fd: 3 }),
-            posix(2, 6, Func::MetaPath { op: MetaKind::Stat, path: P }),
+            posix(
+                0,
+                1,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::CREATE | flag_bits::WRITE,
+                    fd: 3,
+                },
+            ),
+            posix(
+                1,
+                5,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::READ,
+                    fd: 3,
+                },
+            ),
+            posix(
+                2,
+                6,
+                Func::MetaPath {
+                    op: MetaKind::Stat,
+                    path: P,
+                },
+            ),
         ]);
         let r = detect_meta_conflicts(&t);
         assert_eq!(r.count(MetaPairKind::CreateThenObserve), 2);
@@ -232,8 +287,23 @@ mod tests {
     #[test]
     fn same_rank_dependencies_do_not_count() {
         let t = trace(vec![
-            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
-            posix(0, 2, Func::MetaPath { op: MetaKind::Stat, path: P }),
+            posix(
+                0,
+                1,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::CREATE | flag_bits::WRITE,
+                    fd: 3,
+                },
+            ),
+            posix(
+                0,
+                2,
+                Func::MetaPath {
+                    op: MetaKind::Stat,
+                    path: P,
+                },
+            ),
         ]);
         let r = detect_meta_conflicts(&t);
         assert_eq!(r.total(), 0);
@@ -243,9 +313,31 @@ mod tests {
     #[test]
     fn unlink_then_access() {
         let t = trace(vec![
-            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
-            posix(0, 2, Func::MetaPath { op: MetaKind::Unlink, path: P }),
-            posix(1, 5, Func::MetaPath { op: MetaKind::Access, path: P }),
+            posix(
+                0,
+                1,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::CREATE | flag_bits::WRITE,
+                    fd: 3,
+                },
+            ),
+            posix(
+                0,
+                2,
+                Func::MetaPath {
+                    op: MetaKind::Unlink,
+                    path: P,
+                },
+            ),
+            posix(
+                1,
+                5,
+                Func::MetaPath {
+                    op: MetaKind::Access,
+                    path: P,
+                },
+            ),
         ]);
         let r = detect_meta_conflicts(&t);
         assert_eq!(r.count(MetaPairKind::RemoveThenObserve), 1);
@@ -256,8 +348,23 @@ mod tests {
     #[test]
     fn cross_rank_remove_after_create() {
         let t = trace(vec![
-            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
-            posix(1, 5, Func::MetaPath { op: MetaKind::Unlink, path: P }),
+            posix(
+                0,
+                1,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::CREATE | flag_bits::WRITE,
+                    fd: 3,
+                },
+            ),
+            posix(
+                1,
+                5,
+                Func::MetaPath {
+                    op: MetaKind::Unlink,
+                    path: P,
+                },
+            ),
         ]);
         let r = detect_meta_conflicts(&t);
         assert_eq!(r.count(MetaPairKind::CreateThenMutate), 1);
@@ -266,8 +373,22 @@ mod tests {
     #[test]
     fn mutate_then_mutate_cross_rank() {
         let t = trace(vec![
-            posix(0, 1, Func::MetaPath { op: MetaKind::Chmod, path: P }),
-            posix(1, 2, Func::MetaPath { op: MetaKind::Chmod, path: P }),
+            posix(
+                0,
+                1,
+                Func::MetaPath {
+                    op: MetaKind::Chmod,
+                    path: P,
+                },
+            ),
+            posix(
+                1,
+                2,
+                Func::MetaPath {
+                    op: MetaKind::Chmod,
+                    path: P,
+                },
+            ),
         ]);
         let r = detect_meta_conflicts(&t);
         assert_eq!(r.count(MetaPairKind::MutateThenMutate), 1);
@@ -276,10 +397,40 @@ mod tests {
     #[test]
     fn recreate_supersedes_removal() {
         let t = trace(vec![
-            posix(0, 1, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 3 }),
-            posix(0, 2, Func::MetaPath { op: MetaKind::Unlink, path: P }),
-            posix(0, 3, Func::Open { path: P, flags: flag_bits::CREATE | flag_bits::WRITE, fd: 4 }),
-            posix(1, 5, Func::MetaPath { op: MetaKind::Stat, path: P }),
+            posix(
+                0,
+                1,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::CREATE | flag_bits::WRITE,
+                    fd: 3,
+                },
+            ),
+            posix(
+                0,
+                2,
+                Func::MetaPath {
+                    op: MetaKind::Unlink,
+                    path: P,
+                },
+            ),
+            posix(
+                0,
+                3,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::CREATE | flag_bits::WRITE,
+                    fd: 4,
+                },
+            ),
+            posix(
+                1,
+                5,
+                Func::MetaPath {
+                    op: MetaKind::Stat,
+                    path: P,
+                },
+            ),
         ]);
         let r = detect_meta_conflicts(&t);
         assert_eq!(r.count(MetaPairKind::CreateThenObserve), 1);

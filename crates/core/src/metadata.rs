@@ -94,7 +94,10 @@ mod tests {
             rank,
             layer: Layer::Posix,
             origin,
-            func: Func::MetaPath { op, path: PathId(0) },
+            func: Func::MetaPath {
+                op,
+                path: PathId(0),
+            },
         }
     }
 
@@ -129,10 +132,19 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = MetadataCensus::default();
-        a.counts.entry(MetaKind::Stat).or_default().insert(Layer::App, 2);
+        a.counts
+            .entry(MetaKind::Stat)
+            .or_default()
+            .insert(Layer::App, 2);
         let mut b = MetadataCensus::default();
-        b.counts.entry(MetaKind::Stat).or_default().insert(Layer::App, 3);
-        b.counts.entry(MetaKind::Unlink).or_default().insert(Layer::Adios, 1);
+        b.counts
+            .entry(MetaKind::Stat)
+            .or_default()
+            .insert(Layer::App, 3);
+        b.counts
+            .entry(MetaKind::Unlink)
+            .or_default()
+            .insert(Layer::Adios, 1);
         a.merge(&b);
         assert_eq!(a.count(MetaKind::Stat), 5);
         assert_eq!(a.count(MetaKind::Unlink), 1);

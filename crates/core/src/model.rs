@@ -107,22 +107,72 @@ impl Default for PfsRegistry {
         };
         PfsRegistry {
             entries: vec![
-                e("GPFS", Strong, true, "distributed locking; lazy metadata options"),
-                e("Lustre", Strong, true, "distributed lock manager; locking can be disabled"),
-                e("GekkoFS", Strong, true, "relaxed metadata, strict data consistency"),
+                e(
+                    "GPFS",
+                    Strong,
+                    true,
+                    "distributed locking; lazy metadata options",
+                ),
+                e(
+                    "Lustre",
+                    Strong,
+                    true,
+                    "distributed lock manager; locking can be disabled",
+                ),
+                e(
+                    "GekkoFS",
+                    Strong,
+                    true,
+                    "relaxed metadata, strict data consistency",
+                ),
                 e("BeeGFS", Strong, true, "POSIX semantics"),
-                e("BatchFS", Strong, true, "relaxed metadata, strict data consistency"),
-                e("OrangeFS", Strong, true, "non-conflicting write semantics (PVFS2 lineage)"),
+                e(
+                    "BatchFS",
+                    Strong,
+                    true,
+                    "relaxed metadata, strict data consistency",
+                ),
+                e(
+                    "OrangeFS",
+                    Strong,
+                    true,
+                    "non-conflicting write semantics (PVFS2 lineage)",
+                ),
                 e("BSCFS", Commit, true, "burst-buffer shared checkpoint FS"),
-                e("UnifyFS", Commit, true, "fsync commits; lamination makes files read-only"),
+                e(
+                    "UnifyFS",
+                    Commit,
+                    true,
+                    "fsync commits; lamination makes files read-only",
+                ),
                 e("SymphonyFS", Commit, true, "fsync acts as the commit"),
-                e("BurstFS", Commit, false, "no same-process read-after-write ordering"),
+                e(
+                    "BurstFS",
+                    Commit,
+                    false,
+                    "no same-process read-after-write ordering",
+                ),
                 e("NFS", Session, true, "close-to-open cache consistency"),
                 e("AFS", Session, true, "close-to-open"),
                 e("DDN IME", Session, true, "close-to-open"),
-                e("Gfarm/BB", Session, true, "close-to-open over node-local burst buffers"),
-                e("PLFS", Eventual, false, "overlapping writes undefined; N-1 → N-N rewrite"),
-                e("echofs", Eventual, true, "POSIX locally, global visibility on drain"),
+                e(
+                    "Gfarm/BB",
+                    Session,
+                    true,
+                    "close-to-open over node-local burst buffers",
+                ),
+                e(
+                    "PLFS",
+                    Eventual,
+                    false,
+                    "overlapping writes undefined; N-1 → N-N rewrite",
+                ),
+                e(
+                    "echofs",
+                    Eventual,
+                    true,
+                    "POSIX locally, global visibility on drain",
+                ),
                 e("MarFS", Eventual, true, "near-POSIX over cloud objects"),
             ],
         }
@@ -135,7 +185,9 @@ impl PfsRegistry {
     }
 
     pub fn get(&self, name: &str) -> Option<&PfsEntry> {
-        self.entries.iter().find(|e| e.name.eq_ignore_ascii_case(name))
+        self.entries
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
     }
 
     /// All file systems in one category (one row of Table 1).
@@ -191,7 +243,10 @@ mod tests {
             names(ConsistencyModel::Session),
             vec!["AFS", "DDN IME", "Gfarm/BB", "NFS"]
         );
-        assert_eq!(names(ConsistencyModel::Eventual), vec!["MarFS", "PLFS", "echofs"]);
+        assert_eq!(
+            names(ConsistencyModel::Eventual),
+            vec!["MarFS", "PLFS", "echofs"]
+        );
     }
 
     #[test]

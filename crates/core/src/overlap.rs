@@ -87,7 +87,11 @@ fn detect_in_order(accesses: &[DataAccess], order: &[u32]) -> OverlapResult {
     let mut seen: HashSet<(u32, u32)> = HashSet::new();
     sweep(accesses, order, |i, j, a, b| {
         out.pairs.push((i, j));
-        let rp = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+        let rp = if a.rank <= b.rank {
+            (a.rank, b.rank)
+        } else {
+            (b.rank, a.rank)
+        };
         if seen.insert(rp) {
             out.rank_pairs.push(rp);
         }
@@ -140,7 +144,11 @@ fn count_in_order(accesses: &[DataAccess], order: &[u32]) -> OverlapCount {
     let mut seen: HashSet<(u32, u32)> = HashSet::new();
     sweep(accesses, order, |_, _, a, b| {
         out.pairs += 1;
-        let rp = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+        let rp = if a.rank <= b.rank {
+            (a.rank, b.rank)
+        } else {
+            (b.rank, a.rank)
+        };
         if seen.insert(rp) {
             out.rank_pairs.push(rp);
         }
@@ -205,7 +213,11 @@ pub fn detect_overlaps_merge(per_rank: &[Vec<DataAccess>]) -> Option<OverlapResu
                 break;
             }
             out.pairs.push((i, j));
-            let rp = if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+            let rp = if a.rank <= b.rank {
+                (a.rank, b.rank)
+            } else {
+                (b.rank, a.rank)
+            };
             if seen.insert(rp) {
                 out.rank_pairs.push(rp);
             }
@@ -223,8 +235,11 @@ pub fn detect_overlaps_bruteforce(accesses: &[DataAccess]) -> OverlapResult {
             let (a, b) = (&accesses[i], &accesses[j]);
             if a.offset < b.end() && b.offset < a.end() {
                 out.pairs.push((i as u32, j as u32));
-                let (lo, hi) =
-                    if a.rank <= b.rank { (a.rank, b.rank) } else { (b.rank, a.rank) };
+                let (lo, hi) = if a.rank <= b.rank {
+                    (a.rank, b.rank)
+                } else {
+                    (b.rank, a.rank)
+                };
                 out.rank_pairs.push((lo, hi));
             }
         }
@@ -287,6 +302,18 @@ impl FileGroups {
     pub fn group(&self, k: usize) -> (PathId, &[u32]) {
         let (file, lo, hi) = self.ranges[k];
         (file, &self.order[lo as usize..hi as usize])
+    }
+
+    /// The flat grouped index order: input order within each file's range.
+    pub(crate) fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// `(file, start, end)` bounds of the `k`-th group's slice of
+    /// [`FileGroups::order`].
+    pub(crate) fn bounds(&self, k: usize) -> (PathId, usize, usize) {
+        let (file, lo, hi) = self.ranges[k];
+        (file, lo as usize, hi as usize)
     }
 
     /// Iterate `(file, indices)` groups in file order.
@@ -368,8 +395,9 @@ mod tests {
 
     #[test]
     fn counting_mode_matches_full_detection() {
-        let accs: Vec<DataAccess> =
-            (0..60).map(|i| acc(i % 5, i as u64, (i as u64 * 11) % 70, 15)).collect();
+        let accs: Vec<DataAccess> = (0..60)
+            .map(|i| acc(i % 5, i as u64, (i as u64 * 11) % 70, 15))
+            .collect();
         let full = detect_overlaps(&accs);
         let count = count_overlaps(&accs);
         assert_eq!(count.pairs, full.count() as u64);
@@ -380,8 +408,9 @@ mod tests {
     fn subset_detection_matches_filtered_input() {
         // Accesses over two interleaved "logical" sets; detect on one set
         // by indices and compare against detecting on a filtered copy.
-        let accs: Vec<DataAccess> =
-            (0..40).map(|i| acc(i % 3, i as u64, (i as u64 * 7) % 50, 12)).collect();
+        let accs: Vec<DataAccess> = (0..40)
+            .map(|i| acc(i % 3, i as u64, (i as u64 * 7) % 50, 12))
+            .collect();
         let idxs: Vec<u32> = (0..accs.len() as u32).filter(|i| i % 2 == 0).collect();
         let subset: Vec<DataAccess> = idxs.iter().map(|&i| accs[i as usize]).collect();
         let by_idx = detect_overlaps_in(&accs, &idxs);
@@ -422,7 +451,10 @@ mod tests {
                 assert!(file > lf, "groups sorted by file");
             }
             last_file = Some(file);
-            assert!(idxs.windows(2).all(|w| w[0] < w[1]), "input order within group");
+            assert!(
+                idxs.windows(2).all(|w| w[0] < w[1]),
+                "input order within group"
+            );
             assert!(idxs.iter().all(|&i| accs[i as usize].file == file));
             seen += idxs.len();
         }
@@ -442,7 +474,9 @@ mod tests {
         let mut per_rank: Vec<Vec<DataAccess>> = Vec::new();
         for r in 0..4u32 {
             per_rank.push(
-                (0..20u64).map(|k| acc(r, k * 7 + r as u64, k * 13 + r as u64 * 5, 30)).collect(),
+                (0..20u64)
+                    .map(|k| acc(r, k * 7 + r as u64, k * 13 + r as u64 * 5, 30))
+                    .collect(),
             );
         }
         let flat: Vec<DataAccess> = per_rank.iter().flatten().copied().collect();
@@ -467,8 +501,9 @@ mod tests {
 
     #[test]
     fn matches_bruteforce_on_dense_case() {
-        let accs: Vec<DataAccess> =
-            (0..40).map(|i| acc(i % 4, i as u64, (i as u64 * 7) % 50, 12)).collect();
+        let accs: Vec<DataAccess> = (0..40)
+            .map(|i| acc(i % 4, i as u64, (i as u64 * 7) % 50, 12))
+            .collect();
         let fast = detect_overlaps(&accs);
         let slow = detect_overlaps_bruteforce(&accs);
         assert_eq!(canonical_pairs(&fast), canonical_pairs(&slow));

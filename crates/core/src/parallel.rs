@@ -19,7 +19,9 @@ pub fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -61,7 +63,10 @@ where
     for (k, r) in rx {
         slots[k] = Some(r);
     }
-    slots.into_iter().map(|r| r.expect("every index produced exactly once")).collect()
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produced exactly once"))
+        .collect()
 }
 
 /// Fan per-file analysis across `threads` worker threads: `f` is called
@@ -69,11 +74,7 @@ where
 /// files are claimed work-stealing style, and the results come back
 /// sorted by [`PathId`] (the group order), so any merge over them is
 /// deterministic.
-pub fn analyze_files_parallel<R, F>(
-    groups: &FileGroups,
-    threads: usize,
-    f: F,
-) -> Vec<(PathId, R)>
+pub fn analyze_files_parallel<R, F>(groups: &FileGroups, threads: usize, f: F) -> Vec<(PathId, R)>
 where
     R: Send,
     F: Fn(PathId, &[u32]) -> R + Sync,
@@ -92,7 +93,11 @@ mod tests {
     fn indexed_map_is_in_order_for_any_thread_count() {
         for threads in [0, 1, 2, 3, 8] {
             let out = parallel_map_indexed(17, threads, |i| i * i);
-            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 

@@ -12,7 +12,9 @@
 
 use std::collections::BTreeMap;
 
-use recorder::{PathId, ResolvedTrace};
+use recorder::{DataAccess, PathId, ResolvedTrace};
+
+use crate::overlap::FileGroups;
 
 /// One letter of the X-Y pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +95,12 @@ pub struct HighLevelReport {
 impl HighLevelReport {
     /// `"N-1 strided"`-style label.
     pub fn label(&self) -> String {
-        format!("{}-{} {}", self.x.symbol(), self.y.symbol(), self.shape.name())
+        format!(
+            "{}-{} {}",
+            self.x.symbol(),
+            self.y.symbol(),
+            self.shape.name()
+        )
     }
 
     pub fn xy(&self) -> String {
@@ -110,7 +117,9 @@ pub struct ClassifyOptions {
 
 impl Default for ClassifyOptions {
     fn default() -> Self {
-        ClassifyOptions { meta_threshold: 512 }
+        ClassifyOptions {
+            meta_threshold: 512,
+        }
     }
 }
 
@@ -128,7 +137,10 @@ fn regions_of(stream: &[(u64, u64)]) -> Vec<Region> {
     for &(off, len) in stream {
         match regions.last_mut() {
             Some(r) if r.end == off => r.end = off + len,
-            _ => regions.push(Region { start: off, end: off + len }),
+            _ => regions.push(Region {
+                start: off,
+                end: off + len,
+            }),
         }
     }
     regions
@@ -171,8 +183,10 @@ fn classify_file(per_writer: &BTreeMap<u32, Vec<(u64, u64)>>) -> (ShapeClass, Op
         };
     }
 
-    let regions: Vec<(u32, Vec<Region>)> =
-        per_writer.iter().map(|(&r, s)| (r, regions_of(s))).collect();
+    let regions: Vec<(u32, Vec<Region>)> = per_writer
+        .iter()
+        .map(|(&r, s)| (r, regions_of(s)))
+        .collect();
 
     // Consecutive: every writer produced exactly one contiguous region,
     // and either the file is unshared or all streams cover the same range
@@ -188,8 +202,19 @@ fn classify_file(per_writer: &BTreeMap<u32, Vec<(u64, u64)>>) -> (ShapeClass, Op
         let mut sorted = starts.clone();
         sorted.sort_unstable();
         return if arithmetic(&sorted) {
-            let a = if sorted.len() > 1 { sorted[1] - sorted[0] } else { 0 };
-            (ShapeClass::Strided, Some(StrideFit { a, b: sorted[0], cycle: None }))
+            let a = if sorted.len() > 1 {
+                sorted[1] - sorted[0]
+            } else {
+                0
+            };
+            (
+                ShapeClass::Strided,
+                Some(StrideFit {
+                    a,
+                    b: sorted[0],
+                    cycle: None,
+                }),
+            )
         } else {
             (ShapeClass::Irregular, None)
         };
@@ -200,7 +225,11 @@ fn classify_file(per_writer: &BTreeMap<u32, Vec<(u64, u64)>>) -> (ShapeClass, Op
     if !regions.iter().all(|(_, rs)| rs.len() == k) {
         return (ShapeClass::Irregular, None);
     }
-    let mut fit = StrideFit { a: 0, b: u64::MAX, cycle: None };
+    let mut fit = StrideFit {
+        a: 0,
+        b: u64::MAX,
+        cycle: None,
+    };
     for round in 0..k {
         let mut starts: Vec<u64> = regions.iter().map(|(_, rs)| rs[round].start).collect();
         starts.sort_unstable();
@@ -208,16 +237,20 @@ fn classify_file(per_writer: &BTreeMap<u32, Vec<(u64, u64)>>) -> (ShapeClass, Op
             return (ShapeClass::Irregular, None);
         }
         if round == 0 {
-            fit.a = if starts.len() > 1 { starts[1] - starts[0] } else { 0 };
+            fit.a = if starts.len() > 1 {
+                starts[1] - starts[0]
+            } else {
+                0
+            };
             fit.b = starts[0];
         }
     }
     // Cyclic if every writer's rounds are equally spaced with a common
     // cycle length.
     let cycle = regions[0].1[1].start - regions[0].1[0].start;
-    let cyclic = regions.iter().all(|(_, rs)| {
-        rs.windows(2).all(|w| w[1].start - w[0].start == cycle)
-    });
+    let cyclic = regions
+        .iter()
+        .all(|(_, rs)| rs.windows(2).all(|w| w[1].start - w[0].start == cycle));
     if cyclic {
         fit.cycle = Some(cycle);
         (ShapeClass::StridedCyclic, Some(fit))
@@ -238,50 +271,61 @@ pub fn classify_opt(
     nranks: u32,
     opts: ClassifyOptions,
 ) -> HighLevelReport {
-    // Bucket above-threshold accesses per file per direction per rank, in
-    // time order; each file is then classified by its *dominant* direction
+    classify_grouped(
+        &resolved.accesses,
+        &FileGroups::new(&resolved.accesses),
+        nranks,
+        opts,
+    )
+}
+
+/// Classify over a prebuilt [`FileGroups`] — the shared grouping of
+/// [`crate::context::AnalysisContext`]. Groups iterate in [`PathId`]
+/// order with input (time) order inside each group, the same file/stream
+/// order the map-based bucketing produced, so the report is identical.
+pub fn classify_grouped(
+    accesses: &[DataAccess],
+    groups: &FileGroups,
+    nranks: u32,
+    opts: ClassifyOptions,
+) -> HighLevelReport {
+    // Bucket above-threshold accesses per direction per rank, in time
+    // order; each file is then classified by its *dominant* direction
     // (LBANN's dataset is written once by rank 0 but read in full by every
     // rank — the reads are its pattern).
     type PerRankStreams = BTreeMap<u32, Vec<(u64, u64)>>;
-    let mut by_dir: BTreeMap<PathId, [PerRankStreams; 2]> = BTreeMap::new();
-    let mut dir_bytes: BTreeMap<PathId, [u64; 2]> = BTreeMap::new();
-    for a in &resolved.accesses {
-        if a.len < opts.meta_threshold {
-            continue;
+    let mut per_file: Vec<FilePattern> = Vec::new();
+    for (file, idxs) in groups.iter() {
+        let mut dirs: [PerRankStreams; 2] = [BTreeMap::new(), BTreeMap::new()];
+        let mut dir_bytes = [0u64; 2];
+        for &i in idxs {
+            let a = &accesses[i as usize];
+            if a.len < opts.meta_threshold {
+                continue;
+            }
+            let d = match a.kind {
+                recorder::AccessKind::Write => 0,
+                recorder::AccessKind::Read => 1,
+            };
+            dirs[d].entry(a.rank).or_default().push((a.offset, a.len));
+            dir_bytes[d] += a.len;
         }
-        let d = match a.kind {
-            recorder::AccessKind::Write => 0,
-            recorder::AccessKind::Read => 1,
-        };
-        by_dir.entry(a.file).or_default()[d]
-            .entry(a.rank)
-            .or_default()
-            .push((a.offset, a.len));
-        dir_bytes.entry(a.file).or_default()[d] += a.len;
-    }
-    let mut files: BTreeMap<PathId, BTreeMap<u32, Vec<(u64, u64)>>> = BTreeMap::new();
-    let mut bytes: BTreeMap<PathId, u64> = BTreeMap::new();
-    for (file, dirs) in by_dir {
-        let [w, r] = dir_bytes[&file];
+        if dirs[0].is_empty() && dirs[1].is_empty() {
+            continue; // only below-threshold (library metadata) accesses
+        }
+        let [w, r] = dir_bytes;
         let (dominant, total) = if w >= r { (0, w) } else { (1, r) };
         let [writes, reads] = dirs;
-        files.insert(file, if dominant == 0 { writes } else { reads });
-        bytes.insert(file, total);
+        let per_writer = if dominant == 0 { writes } else { reads };
+        let (shape, stride) = classify_file(&per_writer);
+        per_file.push(FilePattern {
+            file,
+            writers: per_writer.keys().copied().collect(),
+            shape,
+            bytes: total,
+            stride,
+        });
     }
-
-    let per_file: Vec<FilePattern> = files
-        .iter()
-        .map(|(&file, per_writer)| {
-            let (shape, stride) = classify_file(per_writer);
-            FilePattern {
-                file,
-                writers: per_writer.keys().copied().collect(),
-                shape,
-                bytes: bytes[&file],
-                stride,
-            }
-        })
-        .collect();
 
     // Group files by (shape, writer count) and pick the group with the
     // most bytes as the application's dominant pattern.
@@ -293,7 +337,9 @@ pub fn classify_opt(
             ShapeClass::StridedCyclic => 2,
             ShapeClass::Irregular => 3,
         };
-        let e = groups.entry((shape_key, fp.writers.len())).or_insert((0, Vec::new()));
+        let e = groups
+            .entry((shape_key, fp.writers.len()))
+            .or_insert((0, Vec::new()));
         e.0 += fp.bytes;
         e.1.push(fp);
     }
@@ -326,7 +372,14 @@ pub fn classify_opt(
         }
     };
 
-    HighLevelReport { per_file, x, y, shape, participating_ranks: participating, group_files: nfiles }
+    HighLevelReport {
+        per_file,
+        x,
+        y,
+        shape,
+        participating_ranks: participating,
+        group_files: nfiles,
+    }
 }
 
 #[cfg(test)]
@@ -349,7 +402,12 @@ mod tests {
     }
 
     fn resolved(accesses: Vec<DataAccess>) -> ResolvedTrace {
-        ResolvedTrace { accesses, syncs: vec![], seek_mismatches: 0, short_reads: 0 }
+        ResolvedTrace {
+            accesses,
+            syncs: vec![],
+            seek_mismatches: 0,
+            short_reads: 0,
+        }
     }
 
     #[test]
@@ -367,8 +425,9 @@ mod tests {
     #[test]
     fn n_1_strided() {
         // 4 ranks, one shared file, one region per rank at rank*4096.
-        let a: Vec<DataAccess> =
-            (0..4u32).map(|r| acc(r, r as u64, 0, r as u64 * 4096, 4096)).collect();
+        let a: Vec<DataAccess> = (0..4u32)
+            .map(|r| acc(r, r as u64, 0, r as u64 * 4096, 4096))
+            .collect();
         let rep = classify(&resolved(a), 4);
         assert_eq!(rep.label(), "N-1 strided");
     }
@@ -380,23 +439,44 @@ mod tests {
         let cycle = 8192u64;
         for round in 0..3u64 {
             for (i, r) in [0u32, 4].iter().enumerate() {
-                a.push(acc(*r, round * 10 + *r as u64, 0, round * cycle + i as u64 * 2048, 2048));
+                a.push(acc(
+                    *r,
+                    round * 10 + *r as u64,
+                    0,
+                    round * cycle + i as u64 * 2048,
+                    2048,
+                ));
             }
         }
         let rep = classify(&resolved(a), 8);
         assert_eq!(rep.label(), "M-1 strided cyclic");
         // The fitted parameters: offset = 2048·i + 0, cycle 8192.
         let fit = rep.per_file[0].stride.expect("cyclic pattern has a fit");
-        assert_eq!(fit, StrideFit { a: 2048, b: 0, cycle: Some(8192) });
+        assert_eq!(
+            fit,
+            StrideFit {
+                a: 2048,
+                b: 0,
+                cycle: Some(8192)
+            }
+        );
     }
 
     #[test]
     fn stride_fit_for_plain_strided() {
-        let a: Vec<DataAccess> =
-            (0..4u32).map(|r| acc(r, r as u64, 0, 100 + r as u64 * 4096, 4096)).collect();
+        let a: Vec<DataAccess> = (0..4u32)
+            .map(|r| acc(r, r as u64, 0, 100 + r as u64 * 4096, 4096))
+            .collect();
         let rep = classify(&resolved(a), 4);
         let fit = rep.per_file[0].stride.expect("strided pattern has a fit");
-        assert_eq!(fit, StrideFit { a: 4096, b: 100, cycle: None });
+        assert_eq!(
+            fit,
+            StrideFit {
+                a: 4096,
+                b: 100,
+                cycle: None
+            }
+        );
         // Consecutive files carry no fit.
         let c = vec![acc(0, 1, 0, 0, 4096)];
         let rep = classify(&resolved(c), 4);
@@ -410,7 +490,13 @@ mod tests {
         let round_starts = [0u64, 10_000, 50_000]; // irregular pitch
         for (j, base) in round_starts.iter().enumerate() {
             for r in 0..4u32 {
-                a.push(acc(r, j as u64 * 10 + r as u64, 0, base + r as u64 * 2048, 2048));
+                a.push(acc(
+                    r,
+                    j as u64 * 10 + r as u64,
+                    0,
+                    base + r as u64 * 2048,
+                    2048,
+                ));
             }
         }
         let rep = classify(&resolved(a), 4);

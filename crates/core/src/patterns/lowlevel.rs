@@ -110,13 +110,26 @@ fn classify_sorted<K: PartialEq>(
     stats
 }
 
+/// Classify the local streams of a prebuilt `(rank, file)`-sorted order
+/// (stable over input/time order) — the entry point
+/// [`crate::context::AnalysisContext`] uses to share its index.
+pub(crate) fn classify_local_in(accesses: &[DataAccess], order: &[u32]) -> PatternStats {
+    classify_sorted(accesses, order, |a| (a.rank, a.file))
+}
+
+/// Classify the global streams of a prebuilt `(file, t_start, rank)`-sorted
+/// order.
+pub(crate) fn classify_global_in(accesses: &[DataAccess], order: &[u32]) -> PatternStats {
+    classify_sorted(accesses, order, |a| a.file)
+}
+
 /// Figure 1(b): the local pattern, streaming accesses per `(rank, file)`.
 pub fn local_pattern(resolved: &ResolvedTrace) -> PatternStats {
     let accs = &resolved.accesses;
     let mut order: Vec<u32> = (0..accs.len() as u32).collect();
     // Stable: within a (rank, file) stream the input (time) order holds.
     order.sort_by_key(|&i| (accs[i as usize].rank, accs[i as usize].file));
-    classify_sorted(accs, &order, |a| (a.rank, a.file))
+    classify_local_in(accs, &order)
 }
 
 /// Figure 1(a): the global pattern, streaming accesses per file in global
@@ -128,7 +141,7 @@ pub fn global_pattern(resolved: &ResolvedTrace) -> PatternStats {
         let a = &accs[i as usize];
         (a.file, a.t_start, a.rank)
     });
-    classify_sorted(accs, &order, |a| a.file)
+    classify_global_in(accs, &order)
 }
 
 #[cfg(test)]
@@ -140,7 +153,14 @@ mod tests {
     fn stream_classification() {
         // 0..10, 10..20 (consecutive), 30..40 (monotonic), 5..15 (random).
         let s = classify_stream(vec![(0, 10), (10, 10), (30, 10), (5, 10)]);
-        assert_eq!(s, PatternStats { consecutive: 1, monotonic: 1, random: 1 });
+        assert_eq!(
+            s,
+            PatternStats {
+                consecutive: 1,
+                monotonic: 1,
+                random: 1
+            }
+        );
         assert!((s.pct(AccessClass::Random) - 33.333).abs() < 0.01);
     }
 
@@ -180,7 +200,14 @@ mod tests {
             short_reads: 0,
         };
         let local = local_pattern(&resolved);
-        assert_eq!(local, PatternStats { consecutive: 2, monotonic: 0, random: 0 });
+        assert_eq!(
+            local,
+            PatternStats {
+                consecutive: 2,
+                monotonic: 0,
+                random: 0
+            }
+        );
         let global = global_pattern(&resolved);
         assert_eq!(global.random, 1, "interleaving introduces a backwards jump");
         assert!(global.random > 0 || global.monotonic > 0);
@@ -189,13 +216,24 @@ mod tests {
     #[test]
     fn separate_files_are_separate_streams() {
         let resolved = ResolvedTrace {
-            accesses: vec![acc(0, 1, 0, 0, 10), acc(0, 2, 1, 0, 10), acc(0, 3, 0, 10, 10)],
+            accesses: vec![
+                acc(0, 1, 0, 0, 10),
+                acc(0, 2, 1, 0, 10),
+                acc(0, 3, 0, 10, 10),
+            ],
             syncs: vec![],
             seek_mismatches: 0,
             short_reads: 0,
         };
         let local = local_pattern(&resolved);
         // file 0: 0..10 then 10..20 (consecutive); file 1: single access.
-        assert_eq!(local, PatternStats { consecutive: 1, monotonic: 0, random: 0 });
+        assert_eq!(
+            local,
+            PatternStats {
+                consecutive: 1,
+                monotonic: 0,
+                random: 0
+            }
+        );
     }
 }

@@ -55,7 +55,13 @@ mod tests {
     use super::*;
     use crate::conflict::{AnalysisModel, ConflictReport};
 
-    fn report(model: AnalysisModel, waw_s: u64, waw_d: u64, raw_s: u64, raw_d: u64) -> ConflictReport {
+    fn report(
+        model: AnalysisModel,
+        waw_s: u64,
+        waw_d: u64,
+        raw_s: u64,
+        raw_d: u64,
+    ) -> ConflictReport {
         ConflictReport {
             model_checked: Some(model),
             pairs: Vec::new(),

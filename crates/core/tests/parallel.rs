@@ -22,7 +22,11 @@ fn random_access(rng: &mut SimRng, n_ranks: u32, n_files: u32) -> DataAccess {
         file: PathId(rng.range_u32(0, n_files)),
         offset: rng.range_u64(0, 300),
         len: rng.range_u64(1, 60),
-        kind: if rng.gen_bool(0.5) { AccessKind::Write } else { AccessKind::Read },
+        kind: if rng.gen_bool(0.5) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
         origin: Layer::App,
         fd: 3,
     }
@@ -30,8 +34,7 @@ fn random_access(rng: &mut SimRng, n_ranks: u32, n_files: u32) -> DataAccess {
 
 fn random_trace(rng: &mut SimRng, n_files: u32) -> ResolvedTrace {
     let n = rng.range_usize(0, 120);
-    let mut accesses: Vec<DataAccess> =
-        (0..n).map(|_| random_access(rng, 4, n_files)).collect();
+    let mut accesses: Vec<DataAccess> = (0..n).map(|_| random_access(rng, 4, n_files)).collect();
     accesses.sort_by_key(|a| (a.t_start, a.rank));
     accesses.dedup_by_key(|a| a.t_start);
     let mut syncs: Vec<SyncEvent> = (0..rng.range_usize(0, 30))
@@ -47,7 +50,12 @@ fn random_trace(rng: &mut SimRng, n_files: u32) -> ResolvedTrace {
         })
         .collect();
     syncs.sort_by_key(|s| (s.t, s.rank));
-    ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+    ResolvedTrace {
+        accesses,
+        syncs,
+        seek_mismatches: 0,
+        short_reads: 0,
+    }
 }
 
 /// `detect_conflicts_threaded` returns a report *equal* to the serial one
@@ -90,8 +98,7 @@ fn counting_mode_equals_detection() {
     let mut rng = SimRng::seed_from_u64(0xC0);
     for _ in 0..96 {
         let n = rng.range_usize(0, 150);
-        let accesses: Vec<DataAccess> =
-            (0..n).map(|_| random_access(&mut rng, 4, 1)).collect();
+        let accesses: Vec<DataAccess> = (0..n).map(|_| random_access(&mut rng, 4, 1)).collect();
         let full = detect_overlaps(&accesses);
         let count = count_overlaps(&accesses);
         assert_eq!(count.pairs, full.pairs.len() as u64);
@@ -108,8 +115,10 @@ fn file_fanout_is_ordered_and_complete() {
     for _ in 0..32 {
         let trace = random_trace(&mut rng, 8);
         let groups = FileGroups::new(&trace.accesses);
-        let serial: Vec<(PathId, usize)> =
-            groups.iter().map(|(file, idxs)| (file, idxs.len())).collect();
+        let serial: Vec<(PathId, usize)> = groups
+            .iter()
+            .map(|(file, idxs)| (file, idxs.len()))
+            .collect();
         for threads in THREAD_COUNTS {
             let par = analyze_files_parallel(&groups, threads, |_, idxs| idxs.len());
             assert_eq!(par, serial, "threads={threads}");

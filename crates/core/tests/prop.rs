@@ -20,7 +20,11 @@ fn random_access(rng: &mut SimRng, n_ranks: u32) -> DataAccess {
         file: PathId(0),
         offset: rng.range_u64(0, 200),
         len: rng.range_u64(1, 50),
-        kind: if rng.gen_bool(0.5) { AccessKind::Write } else { AccessKind::Read },
+        kind: if rng.gen_bool(0.5) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
         origin: Layer::App,
         fd: 3,
     }
@@ -46,8 +50,9 @@ fn random_accesses(rng: &mut SimRng, max: usize, n_ranks: u32) -> Vec<DataAccess
 
 fn random_trace(rng: &mut SimRng) -> ResolvedTrace {
     let mut accesses = random_accesses(rng, 60, 4);
-    let mut syncs: Vec<SyncEvent> =
-        (0..rng.range_usize(0, 20)).map(|_| random_sync(rng, 4)).collect();
+    let mut syncs: Vec<SyncEvent> = (0..rng.range_usize(0, 20))
+        .map(|_| random_sync(rng, 4))
+        .collect();
     accesses.sort_by_key(|a| (a.t_start, a.rank));
     // Unique timestamps: the §5.2 premise is that synchronized conflicting
     // operations are strictly ordered in time (they sit tens of
@@ -55,7 +60,12 @@ fn random_trace(rng: &mut SimRng) -> ResolvedTrace {
     // of the detector's domain.
     accesses.dedup_by_key(|a| a.t_start);
     syncs.sort_by_key(|s| (s.t, s.rank));
-    ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+    ResolvedTrace {
+        accesses,
+        syncs,
+        seek_mismatches: 0,
+        short_reads: 0,
+    }
 }
 
 /// Algorithm 1 equals the O(n²) reference.
@@ -96,12 +106,18 @@ fn conflict_variants_agree() {
             let a = detect_conflicts_opt(
                 &trace,
                 model,
-                ConflictOptions { binary_search: true, ..Default::default() },
+                ConflictOptions {
+                    binary_search: true,
+                    ..Default::default()
+                },
             );
             let b = detect_conflicts_opt(
                 &trace,
                 model,
-                ConflictOptions { binary_search: false, ..Default::default() },
+                ConflictOptions {
+                    binary_search: false,
+                    ..Default::default()
+                },
             );
             assert_eq!(a.total(), b.total());
             assert_eq!(a.table4_marks(), b.table4_marks());
@@ -121,15 +137,27 @@ fn commit_subset_of_session_combined() {
         let session = detect_conflicts_opt(
             &trace,
             AnalysisModel::Session,
-            ConflictOptions { binary_search: true, session_uses_commit_as_close: true },
+            ConflictOptions {
+                binary_search: true,
+                session_uses_commit_as_close: true,
+            },
         );
         // Pair sets: every commit conflict must appear among session ones.
         let key = |p: &semantics_core::ConflictPair| {
-            (p.first.rank, p.first.t_start, p.second.rank, p.second.t_start, p.first.offset)
+            (
+                p.first.rank,
+                p.first.t_start,
+                p.second.rank,
+                p.second.t_start,
+                p.first.offset,
+            )
         };
         let skeys: std::collections::HashSet<_> = session.pairs.iter().map(key).collect();
         for p in &commit.pairs {
-            assert!(skeys.contains(&key(p)), "commit conflict missing under session: {p:?}");
+            assert!(
+                skeys.contains(&key(p)),
+                "commit conflict missing under session: {p:?}"
+            );
         }
     }
 }
@@ -145,9 +173,20 @@ fn conflicts_invariant_under_time_shift() {
             accesses: trace
                 .accesses
                 .iter()
-                .map(|a| DataAccess { t_start: a.t_start + shift, t_end: a.t_end + shift, ..*a })
+                .map(|a| DataAccess {
+                    t_start: a.t_start + shift,
+                    t_end: a.t_end + shift,
+                    ..*a
+                })
                 .collect(),
-            syncs: trace.syncs.iter().map(|s| SyncEvent { t: s.t + shift, ..*s }).collect(),
+            syncs: trace
+                .syncs
+                .iter()
+                .map(|s| SyncEvent {
+                    t: s.t + shift,
+                    ..*s
+                })
+                .collect(),
             seek_mismatches: 0,
             short_reads: 0,
         };

@@ -19,7 +19,9 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
         let path = format!("/chombo/poisson.{o}.3d.hdf5");
         let mut f = H5File::create(ctx, &path, H5Opts::default()).unwrap();
         let total = per_rank * ctx.nranks() as u64;
-        let dset = f.create_dataset(ctx, "level_0/data:datatype=0", total).unwrap();
+        let dset = f
+            .create_dataset(ctx, "level_0/data:datatype=0", total)
+            .unwrap();
         crate::util::h5_write_chunks(
             ctx,
             &mut f,

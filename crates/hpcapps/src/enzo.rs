@@ -28,7 +28,9 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
         let mut f = H5File::create(ctx, &path, opts).unwrap();
         for g in 0..GRIDS {
             let bytes = p.bytes_per_rank / GRIDS as u64 + 512;
-            let dset = f.create_dataset(ctx, &format!("Grid{g:08}"), bytes).unwrap();
+            let dset = f
+                .create_dataset(ctx, &format!("Grid{g:08}"), bytes)
+                .unwrap();
             crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &vec![g as u8; bytes as usize], 2)
                 .unwrap();
         }

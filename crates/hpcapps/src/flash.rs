@@ -84,7 +84,9 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: FlashMode) {
         let mut f = H5File::create(ctx, &path, opts).unwrap();
         for d in 0..PLOT_DATASETS {
             let total = p.bytes_per_rank * 4;
-            let dset = f.create_dataset(ctx, &format!("plot{d:02}"), total).unwrap();
+            let dset = f
+                .create_dataset(ctx, &format!("plot{d:02}"), total)
+                .unwrap();
             if opts.collective_data {
                 // Collective call: rank 0 contributes everything, the rest
                 // contribute empty hyperslabs.
@@ -95,7 +97,8 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: FlashMode) {
                 };
                 f.write(ctx, &dset, 0, &data).unwrap();
             } else if ctx.rank() == 0 {
-                f.write(ctx, &dset, 0, &vec![d as u8; total as usize]).unwrap();
+                f.write(ctx, &dset, 0, &vec![d as u8; total as usize])
+                    .unwrap();
             }
             if flush_each_dataset {
                 f.flush(ctx).unwrap();

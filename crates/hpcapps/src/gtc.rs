@@ -15,8 +15,14 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
 
     let (hist, sheareb) = if ctx.rank() == 0 {
         (
-            Some(ctx.open("/gtc/history.out", OpenFlags::append_create()).unwrap()),
-            Some(ctx.open("/gtc/sheareb.out", OpenFlags::append_create()).unwrap()),
+            Some(
+                ctx.open("/gtc/history.out", OpenFlags::append_create())
+                    .unwrap(),
+            ),
+            Some(
+                ctx.open("/gtc/sheareb.out", OpenFlags::append_create())
+                    .unwrap(),
+            ),
         )
     } else {
         (None, None)

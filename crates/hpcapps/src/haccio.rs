@@ -37,10 +37,10 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: HaccIo) {
         }
         HaccIo::MpiIo => {
             let path = format!("/hacc/restart.{:05}.mpiio", ctx.rank());
-            let mf =
-                MpiFile::open_independent(ctx, &path, MpiIoHints::default()).unwrap();
+            let mf = MpiFile::open_independent(ctx, &path, MpiIoHints::default()).unwrap();
             for v in 0..VARIABLES {
-                mf.write_at(ctx, v * var_bytes, &vec![v as u8; var_bytes as usize]).unwrap();
+                mf.write_at(ctx, v * var_bytes, &vec![v as u8; var_bytes as usize])
+                    .unwrap();
             }
             mf.close_independent(ctx).unwrap();
         }

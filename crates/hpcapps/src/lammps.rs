@@ -51,9 +51,10 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
         _ => None,
     };
     let posix_fd = match io {
-        LammpsIo::Posix if ctx.rank() == 0 => {
-            Some(ctx.open("/lammps/dump.lammpstrj", OpenFlags::append_create()).unwrap())
-        }
+        LammpsIo::Posix if ctx.rank() == 0 => Some(
+            ctx.open("/lammps/dump.lammpstrj", OpenFlags::append_create())
+                .unwrap(),
+        ),
         _ => None,
     };
 
@@ -79,7 +80,8 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
                 let path = format!("/lammps/dump_{dump_id}.mpiio");
                 let mf = MpiFile::open(ctx, &path, true, MpiIoHints { cb_nodes: 6 }).unwrap();
                 let off = ctx.rank() as u64 * per_rank;
-                mf.write_at_all(ctx, off, &vec![ctx.rank() as u8; per_rank as usize]).unwrap();
+                mf.write_at_all(ctx, off, &vec![ctx.rank() as u8; per_rank as usize])
+                    .unwrap();
                 mf.close(ctx).unwrap();
             }
             LammpsIo::Hdf5 => {
@@ -106,7 +108,8 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
             }
             LammpsIo::Adios => {
                 let w = adios.as_mut().expect("adios engine");
-                w.write_step(ctx, &vec![ctx.rank() as u8; per_rank as usize]).unwrap();
+                w.write_step(ctx, &vec![ctx.rank() as u8; per_rank as usize])
+                    .unwrap();
             }
         }
         dump_id += 1;

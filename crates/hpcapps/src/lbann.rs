@@ -23,7 +23,9 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     // Stage the dataset (stands in for CIFAR-10's 60000 32×32 images).
     let total = (p.bytes_per_rank * ctx.nranks() as u64).max(4 * CHUNK);
     if ctx.rank() == 0 {
-        let fd = ctx.open("/datasets/cifar10.bin", OpenFlags::wronly_create_trunc()).unwrap();
+        let fd = ctx
+            .open("/datasets/cifar10.bin", OpenFlags::wronly_create_trunc())
+            .unwrap();
         let mut written = 0u64;
         while written < total {
             let n = CHUNK.min(total - written);
@@ -37,7 +39,9 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     // Training: every rank sizes and loads the whole dataset, then
     // computes epochs.
     ctx.stat("/datasets/cifar10.bin").unwrap();
-    let fd = ctx.open("/datasets/cifar10.bin", OpenFlags::rdonly()).unwrap();
+    let fd = ctx
+        .open("/datasets/cifar10.bin", OpenFlags::rdonly())
+        .unwrap();
     ctx.fstat(fd).unwrap();
     loop {
         let out = ctx.read(fd, CHUNK).unwrap();

@@ -36,4 +36,4 @@ pub mod vasp;
 pub mod vpicio;
 pub mod workflow;
 
-pub use registry::{all_specs, spec, AppId, AppSpec, Marks, ScaleParams};
+pub use registry::{all_specs, spec, spec_ref, specs, AppId, AppSpec, Marks, ScaleParams};

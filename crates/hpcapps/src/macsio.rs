@@ -12,7 +12,10 @@ pub const N_FILES: u32 = 8;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     let dumps = (p.steps / p.ckpt_interval.max(1)).max(1);
-    let opts = SiloOpts { n_files: N_FILES, block_bytes: p.bytes_per_rank.max(1024) };
+    let opts = SiloOpts {
+        n_files: N_FILES,
+        block_bytes: p.bytes_per_rank.max(1024),
+    };
     for d in 0..dumps {
         ctx.compute(p.compute_ns);
         SiloFile::dump(ctx, "/macsio", d, opts).unwrap();

@@ -54,7 +54,8 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: MilcMode) {
                 ctx.barrier();
                 let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
                 let off = HEADER + ctx.rank() as u64 * per_rank;
-                ctx.pwrite(fd, off, &vec![ctx.rank() as u8; per_rank as usize]).unwrap();
+                ctx.pwrite(fd, off, &vec![ctx.rank() as u8; per_rank as usize])
+                    .unwrap();
                 ctx.close(fd).unwrap();
                 ctx.barrier();
             }

@@ -26,7 +26,10 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     ctx.pwrite(sfd, 0, &vec![0x11u8; HEADER as usize]).unwrap();
     // Rank 0 also owns the trajectory file.
     let traj = if ctx.rank() == 0 {
-        Some(ctx.open("/nwchem/md.trj", OpenFlags::append_create()).unwrap())
+        Some(
+            ctx.open("/nwchem/md.trj", OpenFlags::append_create())
+                .unwrap(),
+        )
     } else {
         None
     };

@@ -36,8 +36,14 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: ParadisIo) {
                 ctx.barrier();
                 let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
                 let off = ctx.rank() as u64 * per_rank;
-                crate::util::pwrite_chunks(ctx, fd, off, &vec![ctx.rank() as u8; per_rank as usize], 4)
-                    .unwrap();
+                crate::util::pwrite_chunks(
+                    ctx,
+                    fd,
+                    off,
+                    &vec![ctx.rank() as u8; per_rank as usize],
+                    4,
+                )
+                .unwrap();
                 ctx.close(fd).unwrap();
             }
             ParadisIo::Hdf5 => {

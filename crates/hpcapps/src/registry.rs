@@ -66,11 +66,21 @@ pub struct Marks {
 
 impl Marks {
     pub const fn none() -> Self {
-        Marks { waw_s: false, waw_d: false, raw_s: false, raw_d: false }
+        Marks {
+            waw_s: false,
+            waw_d: false,
+            raw_s: false,
+            raw_d: false,
+        }
     }
 
     pub const fn new(waw_s: bool, waw_d: bool, raw_s: bool, raw_d: bool) -> Self {
-        Marks { waw_s, waw_d, raw_s, raw_d }
+        Marks {
+            waw_s,
+            waw_d,
+            raw_s,
+            raw_d,
+        }
     }
 
     pub fn as_tuple(self) -> (bool, bool, bool, bool) {
@@ -174,8 +184,20 @@ macro_rules! runner {
     }};
 }
 
-/// All registered configurations, in Table 4 order (fix variants last).
+/// All registered configurations as one lazily-built `'static` slice, in
+/// Table 4 order (fix variants last). Callers that only read specs borrow
+/// from here instead of cloning the whole registry.
+pub fn specs() -> &'static [AppSpec] {
+    static SPECS: std::sync::OnceLock<Vec<AppSpec>> = std::sync::OnceLock::new();
+    SPECS.get_or_init(build_specs)
+}
+
+/// All registered configurations, cloned ([`specs`] is the borrowed view).
 pub fn all_specs() -> Vec<AppSpec> {
+    specs().to_vec()
+}
+
+fn build_specs() -> Vec<AppSpec> {
     use AppId::*;
     let base = ScaleParams::default();
     let spec = |id,
@@ -531,9 +553,14 @@ pub fn all_specs() -> Vec<AppSpec> {
     ]
 }
 
-/// Look up one configuration.
+/// Look up one configuration (cloned; see [`spec_ref`] for the borrow).
 pub fn spec(id: AppId) -> AppSpec {
-    all_specs().into_iter().find(|s| s.id == id).expect("registered app")
+    spec_ref(id).clone()
+}
+
+/// Look up one configuration in the `'static` registry.
+pub fn spec_ref(id: AppId) -> &'static AppSpec {
+    specs().iter().find(|s| s.id == id).expect("registered app")
 }
 
 #[cfg(test)]

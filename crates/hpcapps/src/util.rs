@@ -49,7 +49,12 @@ pub fn h5_write_chunks(
     let mut pos = 0u64;
     while pos < len {
         let end = (pos + chunk).min(len);
-        file.write(ctx, dset, offset_in_dset + pos, &data[pos as usize..end as usize])?;
+        file.write(
+            ctx,
+            dset,
+            offset_in_dset + pos,
+            &data[pos as usize..end as usize],
+        )?;
         pos = end;
     }
     Ok(())

@@ -22,7 +22,9 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     // Setup: rank 0 produces WAVECAR and closes it.
     let wavecar_bytes = p.bytes_per_rank * ctx.nranks() as u64 / 4;
     if ctx.rank() == 0 {
-        let fd = ctx.open("/vasp/WAVECAR", OpenFlags::wronly_create_trunc()).unwrap();
+        let fd = ctx
+            .open("/vasp/WAVECAR", OpenFlags::wronly_create_trunc())
+            .unwrap();
         let chunk = (wavecar_bytes / READ_CHUNKS).max(1);
         for c in 0..READ_CHUNKS {
             ctx.write(fd, &vec![c as u8; chunk as usize]).unwrap();
@@ -46,7 +48,10 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
 
     // Electronic steps; rank 0 appends OUTCAR text.
     let outcar = if ctx.rank() == 0 {
-        Some(ctx.open("/vasp/OUTCAR", OpenFlags::append_create()).unwrap())
+        Some(
+            ctx.open("/vasp/OUTCAR", OpenFlags::append_create())
+                .unwrap(),
+        )
     } else {
         None
     };

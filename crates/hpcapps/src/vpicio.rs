@@ -22,10 +22,12 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     let mut f = H5File::create(ctx, "/vpic/particle.h5", H5Opts::collective()).unwrap();
     for v in 0..VARIABLES {
         let dset = f.create_dataset(ctx, &format!("var{v}"), total).unwrap();
-        f.write(ctx, &dset, ctx.rank() as u64 * per_rank, &vec![
-            v as u8;
-            per_rank as usize
-        ])
+        f.write(
+            ctx,
+            &dset,
+            ctx.rank() as u64 * per_rank,
+            &vec![v as u8; per_rank as usize],
+        )
         .unwrap();
     }
     f.close(ctx).unwrap();

@@ -37,8 +37,7 @@ pub fn producer(ctx: &mut AppCtx, p: &ScaleParams) {
         ctx.barrier();
         let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
         let off = ctx.rank() as u64 * per_rank;
-        crate::util::pwrite_chunks(ctx, fd, off, &vec![s as u8 + 1; per_rank as usize], 4)
-            .unwrap();
+        crate::util::pwrite_chunks(ctx, fd, off, &vec![s as u8 + 1; per_rank as usize], 4).unwrap();
         ctx.close(fd).unwrap();
         ctx.barrier();
     }
@@ -54,7 +53,9 @@ pub fn producer(ctx: &mut AppCtx, p: &ScaleParams) {
 pub fn insitu_monitor(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
         ctx.mkdir_p("/insitu").unwrap();
-        let fd = ctx.open("/insitu/stream.log", OpenFlags::rdwr_create()).unwrap();
+        let fd = ctx
+            .open("/insitu/stream.log", OpenFlags::rdwr_create())
+            .unwrap();
         ctx.close(fd).unwrap();
     }
     ctx.barrier();
@@ -67,7 +68,8 @@ pub fn insitu_monitor(ctx: &mut AppCtx, p: &ScaleParams) {
     for step in 0..p.steps.min(6) {
         ctx.compute(p.compute_ns);
         if ctx.rank() == 0 {
-            ctx.pwrite(fd, step as u64 * 512, &vec![step as u8 + 1; 512]).unwrap();
+            ctx.pwrite(fd, step as u64 * 512, &vec![step as u8 + 1; 512])
+                .unwrap();
         }
         ctx.barrier(); // the monitor is told new data exists…
         if ctx.rank() != 0 {
@@ -86,7 +88,10 @@ pub fn insitu_monitor(ctx: &mut AppCtx, p: &ScaleParams) {
 pub fn consumer(ctx: &mut AppCtx, p: &ScaleParams) {
     let per_rank = p.bytes_per_rank;
     let out = if ctx.rank() == 0 {
-        Some(ctx.open("/pipeline/analysis.out", OpenFlags::append_create()).unwrap())
+        Some(
+            ctx.open("/pipeline/analysis.out", OpenFlags::append_create())
+                .unwrap(),
+        )
     } else {
         None
     };
@@ -106,7 +111,8 @@ pub fn consumer(ctx: &mut AppCtx, p: &ScaleParams) {
         let local_sum: u64 = data.iter().map(|&b| b as u64).sum();
         let total = ctx.allreduce_sum_u64(local_sum);
         if let Some(ofd) = out {
-            ctx.write(ofd, format!("snap {s}: {total}\n").as_bytes()).unwrap();
+            ctx.write(ofd, format!("snap {s}: {total}\n").as_bytes())
+                .unwrap();
         }
         ctx.compute(p.compute_ns);
         ctx.barrier();

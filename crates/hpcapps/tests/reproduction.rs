@@ -24,7 +24,8 @@ fn check(spec: &AppSpec) {
     let adjusted = adjust::apply(&out.trace);
     let resolved = offset::resolve(&adjusted);
     assert_eq!(
-        resolved.seek_mismatches, 0,
+        resolved.seek_mismatches,
+        0,
         "{}: offset resolution must be exact",
         spec.config_name()
     );
@@ -66,7 +67,12 @@ fn check(spec: &AppSpec) {
     // §5.2 validation: every cross-process conflict must be synchronized
     // by the program (timestamp order = happens-before order).
     let v = validate_conflicts(&adjusted, &session);
-    assert_eq!(v.racy, 0, "{}: unsynchronized conflicting accesses", spec.config_name());
+    assert_eq!(
+        v.racy,
+        0,
+        "{}: unsynchronized conflicting accesses",
+        spec.config_name()
+    );
 }
 
 macro_rules! app_test {
@@ -121,6 +127,9 @@ fn headline_sixteen_of_seventeen() {
     }
     assert_eq!(session_ok.len(), 17);
     let weaker_ok = session_ok.values().filter(|&&ok| ok).count();
-    assert_eq!(weaker_ok, 16, "16 of 17 run correctly under session semantics");
+    assert_eq!(
+        weaker_ok, 16,
+        "16 of 17 run correctly under session semantics"
+    );
     assert!(!session_ok["FLASH"]);
 }

@@ -68,7 +68,10 @@ impl AdiosWriter {
             ctx.barrier();
             let data_fd = if Self::is_aggregator(ctx, n_writers) {
                 let sub = ctx.rank() / ctx.nranks().div_ceil(n_writers);
-                Some(ctx.open(&format!("{dir}/data.{sub}"), OpenFlags::wronly_create_trunc())?)
+                Some(ctx.open(
+                    &format!("{dir}/data.{sub}"),
+                    OpenFlags::wronly_create_trunc(),
+                )?)
             } else {
                 None
             };
@@ -88,7 +91,16 @@ impl AdiosWriter {
         })?;
         let name = ctx.intern("adios_open");
         let t1 = ctx.now();
-        ctx.record_lib(Layer::Adios, t0, t1, Func::LibCall { name, a: id as u64, b: 0 });
+        ctx.record_lib(
+            Layer::Adios,
+            t0,
+            t1,
+            Func::LibCall {
+                name,
+                a: id as u64,
+                b: 0,
+            },
+        );
         Ok(AdiosWriter {
             id,
             dir: dir.to_string(),
@@ -132,7 +144,11 @@ impl AdiosWriter {
             let md_tail = self.md_tail;
             ctx.with_origin(Layer::Adios, |ctx| -> FsResult<()> {
                 // Append the step index entry…
-                ctx.pwrite(idx_fd, IDX_HEADER + step * IDX_ENTRY, &[1u8; IDX_ENTRY as usize])?;
+                ctx.pwrite(
+                    idx_fd,
+                    IDX_HEADER + step * IDX_ENTRY,
+                    &[1u8; IDX_ENTRY as usize],
+                )?;
                 // …append variable metadata…
                 ctx.pwrite(md_fd, md_tail, &[2u8; 256])?;
                 // …and overwrite the single status byte (the WAW-S).
@@ -149,7 +165,11 @@ impl AdiosWriter {
             Layer::Adios,
             t0,
             t1,
-            Func::LibCall { name, a: self.id as u64, b: payload.len() as u64 },
+            Func::LibCall {
+                name,
+                a: self.id as u64,
+                b: payload.len() as u64,
+            },
         );
         Ok(())
     }
@@ -175,7 +195,16 @@ impl AdiosWriter {
         ctx.barrier();
         let name = ctx.intern("adios_close");
         let t1 = ctx.now();
-        ctx.record_lib(Layer::Adios, t0, t1, Func::LibCall { name, a: self.id as u64, b: 0 });
+        ctx.record_lib(
+            Layer::Adios,
+            t0,
+            t1,
+            Func::LibCall {
+                name,
+                a: self.id as u64,
+                b: 0,
+            },
+        );
         Ok(())
     }
 }

@@ -16,9 +16,7 @@ use pfssim::{
     FsResult, MetaOp, Observation, OpenFlags, Pfs, PfsConfig, ReadOut, SemanticsModel, StatInfo,
     Whence, WriteOut,
 };
-use recorder::{
-    Func, Layer, MetaKind, RankTracer, Record, SeekWhence, SharedInterner, TraceSet,
-};
+use recorder::{Func, Layer, MetaKind, RankTracer, Record, SeekWhence, SharedInterner, TraceSet};
 
 /// A POSIX file descriptor in the simulated file system.
 pub type Fd = u32;
@@ -137,7 +135,11 @@ pub fn run_pipeline(
     let combined =
         recorder::combine::merge_jobs(&outs.iter().map(|o| o.trace.clone()).collect::<Vec<_>>());
     pfs.quiesce();
-    PipelineOutcome { stages: outs, combined, pfs }
+    PipelineOutcome {
+        stages: outs,
+        combined,
+        pfs,
+    }
 }
 
 /// Run `f` against an existing file system (workflow stages share one).
@@ -174,9 +176,7 @@ where
     // Merge the MPI runtime's event log into each rank's record stream.
     let mut tracers = Vec::with_capacity(cfg.nranks as usize);
     let mut observations = Vec::with_capacity(cfg.nranks as usize);
-    for (rank, ((tracer, obs), events)) in
-        out.results.into_iter().zip(out.events).enumerate()
-    {
+    for (rank, ((tracer, obs), events)) in out.results.into_iter().zip(out.events).enumerate() {
         let skew = out.skews_ns[rank];
         let mut records = tracer.into_records();
         let mpi_records: Vec<Record> = events
@@ -206,7 +206,12 @@ where
         observations.push(obs);
     }
     let trace = TraceSet::assemble(interner, tracers, out.skews_ns);
-    RunOutcome { trace, pfs, observations, final_time_ns: out.final_time_ns }
+    RunOutcome {
+        trace,
+        pfs,
+        observations,
+        final_time_ns: out.final_time_ns,
+    }
 }
 
 fn apply_skew(t: u64, skew: i64) -> u64 {
@@ -248,7 +253,14 @@ pub struct AppCtx {
 
 impl AppCtx {
     fn new(rank: Rank, client: pfssim::PfsClient, tracer: RankTracer, pfs_cfg: PfsConfig) -> Self {
-        AppCtx { rank, client, tracer, pfs_cfg, origin: Layer::App, next_lib_id: 1 }
+        AppCtx {
+            rank,
+            client,
+            tracer,
+            pfs_cfg,
+            origin: Layer::App,
+            next_lib_id: 1,
+        }
     }
 
     fn into_parts(mut self) -> (RankTracer, Vec<Observation>) {
@@ -382,7 +394,15 @@ impl AppCtx {
     pub fn open(&mut self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
         let pid = self.intern(path);
         let (t0, t1, fd) = self.posix_op(OpClass::FsOpen, 0, |c, now| c.open(path, flags, now))?;
-        self.rec_posix(t0, t1, Func::Open { path: pid, flags: flags.to_bits(), fd });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::Open {
+                path: pid,
+                flags: flags.to_bits(),
+                fd,
+            },
+        );
         Ok(fd)
     }
 
@@ -394,9 +414,17 @@ impl AppCtx {
 
     pub fn write(&mut self, fd: Fd, data: &[u8]) -> FsResult<WriteOut> {
         self.lock_latency(data.len() as u64);
-        let (t0, t1, out) =
-            self.posix_op(OpClass::FsWrite, data.len() as u64, |c, now| c.write(fd, data, now))?;
-        self.rec_posix(t0, t1, Func::Write { fd, count: data.len() as u64 });
+        let (t0, t1, out) = self.posix_op(OpClass::FsWrite, data.len() as u64, |c, now| {
+            c.write(fd, data, now)
+        })?;
+        self.rec_posix(
+            t0,
+            t1,
+            Func::Write {
+                fd,
+                count: data.len() as u64,
+            },
+        );
         Ok(out)
     }
 
@@ -405,14 +433,30 @@ impl AppCtx {
         let (t0, t1, out) = self.posix_op(OpClass::FsWrite, data.len() as u64, |c, now| {
             c.pwrite(fd, offset, data, now)
         })?;
-        self.rec_posix(t0, t1, Func::Pwrite { fd, offset, count: data.len() as u64 });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::Pwrite {
+                fd,
+                offset,
+                count: data.len() as u64,
+            },
+        );
         Ok(out)
     }
 
     pub fn read(&mut self, fd: Fd, len: u64) -> FsResult<ReadOut> {
         self.lock_latency(len);
         let (t0, t1, out) = self.posix_op(OpClass::FsRead, len, |c, now| c.read(fd, len, now))?;
-        self.rec_posix(t0, t1, Func::Read { fd, count: len, ret: out.data.len() as u64 });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::Read {
+                fd,
+                count: len,
+                ret: out.data.len() as u64,
+            },
+        );
         Ok(out)
     }
 
@@ -423,20 +467,35 @@ impl AppCtx {
         self.rec_posix(
             t0,
             t1,
-            Func::Pread { fd, offset, count: len, ret: out.data.len() as u64 },
+            Func::Pread {
+                fd,
+                offset,
+                count: len,
+                ret: out.data.len() as u64,
+            },
         );
         Ok(out)
     }
 
     pub fn lseek(&mut self, fd: Fd, offset: i64, whence: Whence) -> FsResult<u64> {
-        let (t0, t1, ret) =
-            self.posix_op(OpClass::FsSeek, 0, |c, now| c.lseek(fd, offset, whence, now))?;
+        let (t0, t1, ret) = self.posix_op(OpClass::FsSeek, 0, |c, now| {
+            c.lseek(fd, offset, whence, now)
+        })?;
         let w = match whence {
             Whence::Set => SeekWhence::Set,
             Whence::Cur => SeekWhence::Cur,
             Whence::End => SeekWhence::End,
         };
-        self.rec_posix(t0, t1, Func::Lseek { fd, offset, whence: w, ret });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::Lseek {
+                fd,
+                offset,
+                whence: w,
+                ret,
+            },
+        );
         Ok(ret)
     }
 
@@ -461,13 +520,28 @@ impl AppCtx {
     pub fn mmap(&mut self, fd: Fd, offset: u64, len: u64) -> FsResult<ReadOut> {
         let (t0, t1, out) =
             self.posix_op(OpClass::FsRead, len, |c, now| c.mmap(fd, offset, len, now))?;
-        self.rec_posix(t0, t1, Func::Mmap { fd, offset, count: out.data.len() as u64 });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::Mmap {
+                fd,
+                offset,
+                count: out.data.len() as u64,
+            },
+        );
         Ok(out)
     }
 
     pub fn msync(&mut self, fd: Fd) -> FsResult<()> {
         let (t0, t1, ()) = self.posix_op(OpClass::FsSync, 0, |c, now| c.msync(fd, now))?;
-        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Msync, fd });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaFd {
+                op: MetaKind::Msync,
+                fd,
+            },
+        );
         Ok(())
     }
 
@@ -476,8 +550,17 @@ impl AppCtx {
     pub fn stat(&mut self, path: &str) -> FsResult<StatInfo> {
         let pid = self.intern(path);
         let client = &mut self.client;
-        let (t0, t1, res) = self.rank.timed_op(OpClass::FsMeta, 0, |now| client.stat(path, now));
-        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Stat, path: pid });
+        let (t0, t1, res) = self
+            .rank
+            .timed_op(OpClass::FsMeta, 0, |now| client.stat(path, now));
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Stat,
+                path: pid,
+            },
+        );
         res
     }
 
@@ -485,28 +568,58 @@ impl AppCtx {
     pub fn lstat(&mut self, path: &str) -> FsResult<StatInfo> {
         let pid = self.intern(path);
         let client = &mut self.client;
-        let (t0, t1, res) = self.rank.timed_op(OpClass::FsMeta, 0, |now| client.lstat(path, now));
-        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Lstat, path: pid });
+        let (t0, t1, res) = self
+            .rank
+            .timed_op(OpClass::FsMeta, 0, |now| client.lstat(path, now));
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Lstat,
+                path: pid,
+            },
+        );
         res
     }
 
     pub fn fstat(&mut self, fd: Fd) -> FsResult<StatInfo> {
         let (t0, t1, info) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.fstat(fd, now))?;
-        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Fstat, fd });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaFd {
+                op: MetaKind::Fstat,
+                fd,
+            },
+        );
         Ok(info)
     }
 
     pub fn access(&mut self, path: &str) -> FsResult<bool> {
         let pid = self.intern(path);
         let (t0, t1, ok) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.access(path, now))?;
-        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Access, path: pid });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Access,
+                path: pid,
+            },
+        );
         Ok(ok)
     }
 
     pub fn mkdir(&mut self, path: &str) -> FsResult<()> {
         let pid = self.intern(path);
         let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.mkdir(path, now))?;
-        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Mkdir, path: pid });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Mkdir,
+                path: pid,
+            },
+        );
         Ok(())
     }
 
@@ -522,14 +635,28 @@ impl AppCtx {
     pub fn rmdir(&mut self, path: &str) -> FsResult<()> {
         let pid = self.intern(path);
         let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.rmdir(path, now))?;
-        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Rmdir, path: pid });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Rmdir,
+                path: pid,
+            },
+        );
         Ok(())
     }
 
     pub fn unlink(&mut self, path: &str) -> FsResult<()> {
         let pid = self.intern(path);
         let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.unlink(path, now))?;
-        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Unlink, path: pid });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Unlink,
+                path: pid,
+            },
+        );
         Ok(())
     }
 
@@ -537,59 +664,128 @@ impl AppCtx {
         let p1 = self.intern(from);
         let p2 = self.intern(to);
         let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.rename(from, to, now))?;
-        self.rec_posix(t0, t1, Func::MetaPath2 { op: MetaKind::Rename, path: p1, path2: p2 });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath2 {
+                op: MetaKind::Rename,
+                path: p1,
+                path2: p2,
+            },
+        );
         Ok(())
     }
 
     pub fn getcwd(&mut self) -> FsResult<String> {
         let (t0, t1, cwd) = self.posix_op(OpClass::FsMeta, 0, |c, now| Ok(c.getcwd(now)))?;
-        self.rec_posix(t0, t1, Func::MetaPlain { op: MetaKind::Getcwd });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPlain {
+                op: MetaKind::Getcwd,
+            },
+        );
         Ok(cwd)
     }
 
     pub fn chdir(&mut self, path: &str) -> FsResult<()> {
         let pid = self.intern(path);
         let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.chdir(path, now))?;
-        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Chdir, path: pid });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Chdir,
+                path: pid,
+            },
+        );
         Ok(())
     }
 
     pub fn readdir(&mut self, path: &str) -> FsResult<Vec<pfssim::DirEntry>> {
         let pid = self.intern(path);
-        let (t0, t1, entries) =
-            self.posix_op(OpClass::FsMeta, 0, |c, now| c.readdir(path, now))?;
+        let (t0, t1, entries) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.readdir(path, now))?;
         // One opendir, one readdir per entry, one closedir — matching how a
         // real tracer would see the loop.
-        self.rec_posix(t0, t1, Func::MetaPath { op: MetaKind::Opendir, path: pid });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Opendir,
+                path: pid,
+            },
+        );
         for _ in &entries {
-            self.rec_posix(t1, t1, Func::MetaPath { op: MetaKind::Readdir, path: pid });
+            self.rec_posix(
+                t1,
+                t1,
+                Func::MetaPath {
+                    op: MetaKind::Readdir,
+                    path: pid,
+                },
+            );
         }
-        self.rec_posix(t1, t1, Func::MetaPath { op: MetaKind::Closedir, path: pid });
+        self.rec_posix(
+            t1,
+            t1,
+            Func::MetaPath {
+                op: MetaKind::Closedir,
+                path: pid,
+            },
+        );
         Ok(entries)
     }
 
     pub fn dup(&mut self, fd: Fd) -> FsResult<Fd> {
         let (t0, t1, nfd) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.dup(fd, now))?;
-        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Dup, fd });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaFd {
+                op: MetaKind::Dup,
+                fd,
+            },
+        );
         Ok(nfd)
     }
 
     pub fn fcntl(&mut self, fd: Fd) -> FsResult<()> {
         let (t0, t1, ()) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.fcntl(fd, now))?;
-        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Fcntl, fd });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaFd {
+                op: MetaKind::Fcntl,
+                fd,
+            },
+        );
         Ok(())
     }
 
     pub fn umask(&mut self, mask: u32) {
         let client = &mut self.client;
-        let (t0, t1, ()) =
-            self.rank.timed_op(OpClass::FsMeta, 0, |now| client.umask(mask, now));
-        self.rec_posix(t0, t1, Func::MetaPlain { op: MetaKind::Umask });
+        let (t0, t1, ()) = self
+            .rank
+            .timed_op(OpClass::FsMeta, 0, |now| client.umask(mask, now));
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaPlain {
+                op: MetaKind::Umask,
+            },
+        );
     }
 
     pub fn fileno(&mut self, fd: Fd) -> FsResult<Fd> {
         let (t0, t1, r) = self.posix_op(OpClass::FsMeta, 0, |c, now| c.fileno(fd, now))?;
-        self.rec_posix(t0, t1, Func::MetaFd { op: MetaKind::Fileno, fd });
+        self.rec_posix(
+            t0,
+            t1,
+            Func::MetaFd {
+                op: MetaKind::Fileno,
+                fd,
+            },
+        );
         Ok(r)
     }
 
@@ -619,7 +815,11 @@ mod tests {
     fn meta_vocabularies_agree() {
         // Every trace-side MetaKind has a pfssim counter with the same name.
         for &k in MetaKind::ALL {
-            assert!(meta_kind_to_pfs(k).is_some(), "no pfssim MetaOp for {}", k.name());
+            assert!(
+                meta_kind_to_pfs(k).is_some(),
+                "no pfssim MetaOp for {}",
+                k.name()
+            );
         }
         assert_eq!(MetaKind::ALL.len(), MetaOp::ALL.len());
     }

@@ -89,11 +89,17 @@ impl Default for H5Opts {
 
 impl H5Opts {
     pub fn serial() -> Self {
-        H5Opts { serial: true, ..Default::default() }
+        H5Opts {
+            serial: true,
+            ..Default::default()
+        }
     }
 
     pub fn collective() -> Self {
-        H5Opts { collective_data: true, ..Default::default() }
+        H5Opts {
+            collective_data: true,
+            ..Default::default()
+        }
     }
 
     pub fn with_collective_metadata(mut self) -> Self {
@@ -160,7 +166,9 @@ impl H5File {
         } else if self.opts.collective_metadata {
             vec![0]
         } else {
-            (0..ctx.nranks()).step_by(self.opts.metadata_stride.max(1) as usize).collect()
+            (0..ctx.nranks())
+                .step_by(self.opts.metadata_stride.max(1) as usize)
+                .collect()
         }
     }
 
@@ -173,8 +181,11 @@ impl H5File {
 
     fn symtab_off(&self, ctx: &AppCtx, participant: u32) -> u64 {
         let participants = self.participants(ctx);
-        let idx =
-            participants.iter().position(|&p| p == participant).unwrap_or(0) as u64 % SYMTAB_SLOTS;
+        let idx = participants
+            .iter()
+            .position(|&p| p == participant)
+            .unwrap_or(0) as u64
+            % SYMTAB_SLOTS;
         SYMTAB_BASE + idx * SYMTAB_ENTRY
     }
 
@@ -282,7 +293,11 @@ impl H5File {
         if !self.owners_used.contains(&owner) {
             self.owners_used.push(owner);
         }
-        self.cache.push_back(CacheEntry { k, header_off, owner });
+        self.cache.push_back(CacheEntry {
+            k,
+            header_off,
+            owner,
+        });
 
         // Eviction: cache over capacity → oldest header is written out by
         // its owner.
@@ -305,9 +320,7 @@ impl H5File {
             if let Some(e) = self.written.iter().find(|e| e.k == needed).copied() {
                 if ctx.rank() == e.owner {
                     let fd = self.fd_for_posix();
-                    ctx.with_origin(Layer::Hdf5, |ctx| {
-                        ctx.pread(fd, e.header_off, OBJ_HEADER)
-                    })?;
+                    ctx.with_origin(Layer::Hdf5, |ctx| ctx.pread(fd, e.header_off, OBJ_HEADER))?;
                 }
             }
         }
@@ -322,9 +335,18 @@ impl H5File {
             Layer::Hdf5,
             t0,
             t1,
-            Func::H5Dcreate { file: self.id, name: nid, id: dset_id },
+            Func::H5Dcreate {
+                file: self.id,
+                name: nid,
+                id: dset_id,
+            },
         );
-        Ok(H5Dataset { id: dset_id, name: name.to_string(), data_off, size: total_bytes })
+        Ok(H5Dataset {
+            id: dset_id,
+            name: name.to_string(),
+            data_off,
+            size: total_bytes,
+        })
     }
 
     /// `H5Dwrite` of this rank's hyperslab `[offset_in_dset, +data.len())`.
@@ -352,7 +374,10 @@ impl H5File {
             Layer::Hdf5,
             t0,
             t1,
-            Func::H5Dwrite { dset: dset.id, count: data.len() as u64 },
+            Func::H5Dwrite {
+                dset: dset.id,
+                count: data.len() as u64,
+            },
         );
         Ok(())
     }
@@ -371,11 +396,20 @@ impl H5File {
             Storage::Mpi(mf) => mf.read_at_all(ctx, abs, len)?,
             Storage::Posix(fd) => {
                 let fd = *fd;
-                ctx.with_origin(Layer::Hdf5, |ctx| ctx.pread(fd, abs, len))?.data
+                ctx.with_origin(Layer::Hdf5, |ctx| ctx.pread(fd, abs, len))?
+                    .data
             }
         };
         let t1 = ctx.now();
-        ctx.record_lib(Layer::Hdf5, t0, t1, Func::H5Dread { dset: dset.id, count: len });
+        ctx.record_lib(
+            Layer::Hdf5,
+            t0,
+            t1,
+            Func::H5Dread {
+                dset: dset.id,
+                count: len,
+            },
+        );
         Ok(data)
     }
 

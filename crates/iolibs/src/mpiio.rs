@@ -65,7 +65,12 @@ impl MpiFile {
         let pid = ctx.intern(path);
         let t1 = ctx.now();
         ctx.record_lib(Layer::MpiIo, t0, t1, Func::MpiFileOpen { path: pid, fh });
-        Ok(MpiFile { fh, fd, path: path.to_string(), hints })
+        Ok(MpiFile {
+            fh,
+            fd,
+            path: path.to_string(),
+            hints,
+        })
     }
 
     /// `MPI_File_open` on `MPI_COMM_SELF`: a per-rank file, no
@@ -74,12 +79,16 @@ impl MpiFile {
     pub fn open_independent(ctx: &mut AppCtx, path: &str, hints: MpiIoHints) -> FsResult<Self> {
         let t0 = ctx.now();
         let fh = ctx.alloc_lib_id();
-        let fd =
-            ctx.with_origin(Layer::MpiIo, |ctx| ctx.open(path, OpenFlags::rdwr_create()))?;
+        let fd = ctx.with_origin(Layer::MpiIo, |ctx| ctx.open(path, OpenFlags::rdwr_create()))?;
         let pid = ctx.intern(path);
         let t1 = ctx.now();
         ctx.record_lib(Layer::MpiIo, t0, t1, Func::MpiFileOpen { path: pid, fh });
-        Ok(MpiFile { fh, fd, path: path.to_string(), hints })
+        Ok(MpiFile {
+            fh,
+            fd,
+            path: path.to_string(),
+            hints,
+        })
     }
 
     /// Non-collective close (for handles from
@@ -110,7 +119,11 @@ impl MpiFile {
             Layer::MpiIo,
             t0,
             t1,
-            Func::MpiFileWriteAt { fh: self.fh, offset, count: data.len() as u64 },
+            Func::MpiFileWriteAt {
+                fh: self.fh,
+                offset,
+                count: data.len() as u64,
+            },
         );
         Ok(())
     }
@@ -124,7 +137,11 @@ impl MpiFile {
             Layer::MpiIo,
             t0,
             t1,
-            Func::MpiFileReadAt { fh: self.fh, offset, count: len },
+            Func::MpiFileReadAt {
+                fh: self.fh,
+                offset,
+                count: len,
+            },
         );
         Ok(out.data)
     }
@@ -167,7 +184,11 @@ impl MpiFile {
                 Layer::MpiIo,
                 t0,
                 t1,
-                Func::MpiFileWriteAtAll { fh: self.fh, offset, count: 0 },
+                Func::MpiFileWriteAtAll {
+                    fh: self.fh,
+                    offset,
+                    count: 0,
+                },
             );
             return Ok(()); // nothing to write anywhere
         }
@@ -236,7 +257,11 @@ impl MpiFile {
             Layer::MpiIo,
             t0,
             t1,
-            Func::MpiFileWriteAtAll { fh: self.fh, offset, count: data.len() as u64 },
+            Func::MpiFileWriteAtAll {
+                fh: self.fh,
+                offset,
+                count: data.len() as u64,
+            },
         );
         Ok(())
     }
@@ -272,11 +297,15 @@ impl MpiFile {
 
         // Aggregators read their domain and push pieces to every rank.
         if aggs.contains(&ctx.rank()) {
-            let ai = aggs.iter().position(|&a| a == ctx.rank()).expect("is aggregator");
+            let ai = aggs
+                .iter()
+                .position(|&a| a == ctx.rank())
+                .expect("is aggregator");
             let d_lo = lo + ai as u64 * domain;
             let d_hi = (d_lo + domain).min(hi);
             let buf = if d_hi > d_lo {
-                ctx.with_origin(Layer::MpiIo, |ctx| ctx.pread(self.fd, d_lo, d_hi - d_lo))?.data
+                ctx.with_origin(Layer::MpiIo, |ctx| ctx.pread(self.fd, d_lo, d_hi - d_lo))?
+                    .data
             } else {
                 Vec::new()
             };
@@ -286,9 +315,7 @@ impl MpiFile {
                 let mut msg = Vec::new();
                 if p_hi > p_lo {
                     msg.extend_from_slice(&p_lo.to_le_bytes());
-                    msg.extend_from_slice(
-                        &buf[(p_lo - d_lo) as usize..(p_hi - d_lo) as usize],
-                    );
+                    msg.extend_from_slice(&buf[(p_lo - d_lo) as usize..(p_hi - d_lo) as usize]);
                 } else {
                     msg.extend_from_slice(&u64::MAX.to_le_bytes());
                 }
@@ -316,7 +343,11 @@ impl MpiFile {
             Layer::MpiIo,
             t0,
             t1,
-            Func::MpiFileReadAtAll { fh: self.fh, offset, count: len },
+            Func::MpiFileReadAtAll {
+                fh: self.fh,
+                offset,
+                count: len,
+            },
         );
         Ok(out)
     }

@@ -40,8 +40,23 @@ impl NcFile {
         })?;
         let name = ctx.intern("nc_create");
         let t1 = ctx.now();
-        ctx.record_lib(Layer::NetCdf, t0, t1, Func::LibCall { name, a: id as u64, b: 0 });
-        Ok(NcFile { id, fd, path: path.to_string(), tail: NC_HEADER, numrecs: 0 })
+        ctx.record_lib(
+            Layer::NetCdf,
+            t0,
+            t1,
+            Func::LibCall {
+                name,
+                a: id as u64,
+                b: 0,
+            },
+        );
+        Ok(NcFile {
+            id,
+            fd,
+            path: path.to_string(),
+            tail: NC_HEADER,
+            numrecs: 0,
+        })
     }
 
     pub fn path(&self) -> &str {
@@ -62,7 +77,11 @@ impl NcFile {
                 ctx.pwrite(self.fd, off + pos as u64, &data[pos..end])?;
                 pos = end;
             }
-            ctx.pwrite(self.fd, NC_NUMRECS_OFF, &(self.numrecs + 1).to_be_bytes()[4..])?;
+            ctx.pwrite(
+                self.fd,
+                NC_NUMRECS_OFF,
+                &(self.numrecs + 1).to_be_bytes()[4..],
+            )?;
             Ok(())
         })?;
         self.tail += data.len() as u64;
@@ -73,7 +92,11 @@ impl NcFile {
             Layer::NetCdf,
             t0,
             t1,
-            Func::LibCall { name, a: self.id as u64, b: data.len() as u64 },
+            Func::LibCall {
+                name,
+                a: self.id as u64,
+                b: data.len() as u64,
+            },
         );
         Ok(())
     }
@@ -84,7 +107,16 @@ impl NcFile {
         ctx.with_origin(Layer::NetCdf, |ctx| ctx.fsync(self.fd))?;
         let name = ctx.intern("nc_sync");
         let t1 = ctx.now();
-        ctx.record_lib(Layer::NetCdf, t0, t1, Func::LibCall { name, a: self.id as u64, b: 0 });
+        ctx.record_lib(
+            Layer::NetCdf,
+            t0,
+            t1,
+            Func::LibCall {
+                name,
+                a: self.id as u64,
+                b: 0,
+            },
+        );
         Ok(())
     }
 
@@ -94,7 +126,16 @@ impl NcFile {
         ctx.with_origin(Layer::NetCdf, |ctx| ctx.close(self.fd))?;
         let name = ctx.intern("nc_close");
         let t1 = ctx.now();
-        ctx.record_lib(Layer::NetCdf, t0, t1, Func::LibCall { name, a: self.id as u64, b: 0 });
+        ctx.record_lib(
+            Layer::NetCdf,
+            t0,
+            t1,
+            Func::LibCall {
+                name,
+                a: self.id as u64,
+                b: 0,
+            },
+        );
         Ok(())
     }
 }

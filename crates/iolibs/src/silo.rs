@@ -32,7 +32,10 @@ pub struct SiloOpts {
 
 impl Default for SiloOpts {
     fn default() -> Self {
-        SiloOpts { n_files: 8, block_bytes: 4096 }
+        SiloOpts {
+            n_files: 8,
+            block_bytes: 4096,
+        }
     }
 }
 
@@ -108,7 +111,11 @@ impl SiloFile {
             Layer::Silo,
             t0,
             t1,
-            Func::LibCall { name, a: id as u64, b: opts.block_bytes },
+            Func::LibCall {
+                name,
+                a: id as u64,
+                b: opts.block_bytes,
+            },
         );
         Ok(())
     }

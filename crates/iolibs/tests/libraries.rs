@@ -28,7 +28,10 @@ fn netcdf_file_layout_and_sync() {
         .count();
     assert!(data_writes >= 4, "records stream in pieces");
     // nc_sync emitted a commit.
-    assert!(resolved.syncs.iter().any(|s| s.kind == recorder::SyncKind::Commit));
+    assert!(resolved
+        .syncs
+        .iter()
+        .any(|s| s.kind == recorder::SyncKind::Commit));
     // Library-level records present.
     assert!(out
         .trace
@@ -42,7 +45,16 @@ fn silo_group_assignment_covers_all_ranks() {
     // 10 ranks into 3 files: groups of 4/4/2; every rank writes exactly
     // one block, every file gets a TOC.
     let out = run_app(&RunConfig::new(10, 7), |ctx: &mut AppCtx| {
-        SiloFile::dump(ctx, "/d", 0, SiloOpts { n_files: 3, block_bytes: 1024 }).unwrap();
+        SiloFile::dump(
+            ctx,
+            "/d",
+            0,
+            SiloOpts {
+                n_files: 3,
+                block_bytes: 1024,
+            },
+        )
+        .unwrap();
     });
     let files = out.pfs.list_files();
     assert_eq!(files.len(), 3);
@@ -64,7 +76,16 @@ fn silo_writers_hold_the_file_exclusively() {
     // Within a group, open/close intervals never interleave (the PMPIO
     // baton): verified through the sync events.
     let out = run_app(&RunConfig::new(8, 9), |ctx: &mut AppCtx| {
-        SiloFile::dump(ctx, "/d", 0, SiloOpts { n_files: 2, block_bytes: 512 }).unwrap();
+        SiloFile::dump(
+            ctx,
+            "/d",
+            0,
+            SiloOpts {
+                n_files: 2,
+                block_bytes: 512,
+            },
+        )
+        .unwrap();
     });
     let resolved = offset::resolve(&adjust::apply(&out.trace));
     let mut open_depth: std::collections::HashMap<recorder::PathId, i32> = Default::default();
@@ -110,13 +131,19 @@ fn hdf5_dataset_offsets_are_deterministic_and_disjoint() {
         let d1 = f.create_dataset(ctx, "a", 1000).unwrap();
         let d2 = f.create_dataset(ctx, "b", 1000).unwrap();
         assert!(d1.data_off >= iolibs::hdf5::ALLOC_BASE);
-        assert!(d2.data_off >= d1.data_off + 1000, "allocations must not overlap");
+        assert!(
+            d2.data_off >= d1.data_off + 1000,
+            "allocations must not overlap"
+        );
         f.write(ctx, &d1, 0, &[1u8; 1000]).unwrap();
         f.write(ctx, &d2, 0, &[2u8; 1000]).unwrap();
         f.close(ctx).unwrap();
     });
     let img = out.pfs.published_image("/x.h5").unwrap();
-    assert_eq!(img.read(iolibs::hdf5::ALLOC_BASE + iolibs::hdf5::OBJ_HEADER, 1), vec![1]);
+    assert_eq!(
+        img.read(iolibs::hdf5::ALLOC_BASE + iolibs::hdf5::OBJ_HEADER, 1),
+        vec![1]
+    );
 }
 
 #[test]
@@ -124,10 +151,13 @@ fn mpiio_collective_with_partial_participation() {
     // Half the ranks contribute empty hyperslabs; the data still lands
     // exactly where the contributors put it.
     let out = run_app(&RunConfig::new(8, 17), |ctx: &mut AppCtx| {
-        let mf = iolibs::MpiFile::open(ctx, "/p", true, iolibs::MpiIoHints { cb_nodes: 2 })
-            .unwrap();
+        let mf =
+            iolibs::MpiFile::open(ctx, "/p", true, iolibs::MpiIoHints { cb_nodes: 2 }).unwrap();
         let (off, data) = if ctx.rank() % 2 == 0 {
-            (ctx.rank() as u64 / 2 * 1000, vec![ctx.rank() as u8 + 1; 1000])
+            (
+                ctx.rank() as u64 / 2 * 1000,
+                vec![ctx.rank() as u8 + 1; 1000],
+            )
         } else {
             (0, Vec::new())
         };

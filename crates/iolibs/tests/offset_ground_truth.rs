@@ -90,12 +90,16 @@ static TRUTH: std::sync::Mutex<Vec<(u64, u64, bool)>> = std::sync::Mutex::new(Ve
 fn resolver_matches_simulator() {
     let mut rng = SimRng::seed_from_u64(0x0FF5E7);
     for _ in 0..48 {
-        let ops: Vec<Op> =
-            (0..rng.range_usize(1, 30)).map(|_| random_op(&mut rng)).collect();
+        let ops: Vec<Op> = (0..rng.range_usize(1, 30))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let append = rng.gen_bool(0.5);
         let (truth, trace) = ground_truth(&ops, append);
         let resolved = offset::resolve(&adjust::apply(&trace));
-        assert_eq!(resolved.seek_mismatches, 0, "pure §5.1 derivation must suffice");
+        assert_eq!(
+            resolved.seek_mismatches, 0,
+            "pure §5.1 derivation must suffice"
+        );
         let derived: Vec<(u64, u64, bool)> = resolved
             .accesses
             .iter()

@@ -2,8 +2,8 @@
 //! + library models, validated through the recorder's offset resolution.
 
 use iolibs::{
-    run_app, AdiosWriter, AppCtx, H5File, H5Opts, MpiFile, MpiIoHints, NcFile, RunConfig,
-    SiloFile, SiloOpts,
+    run_app, AdiosWriter, AppCtx, H5File, H5Opts, MpiFile, MpiIoHints, NcFile, RunConfig, SiloFile,
+    SiloOpts,
 };
 use pfssim::{OpenFlags, SemanticsModel};
 use recorder::{adjust, offset, AccessKind, Func, Layer};
@@ -25,7 +25,8 @@ fn harness_emits_startup_barrier_and_skews() {
     for rank in 0..4 {
         let recs = out.trace.rank_records(rank);
         assert!(
-            recs.iter().any(|r| matches!(r.func, Func::MpiBarrier { epoch: 0 })),
+            recs.iter()
+                .any(|r| matches!(r.func, Func::MpiBarrier { epoch: 0 })),
             "startup barrier missing on rank {rank}"
         );
     }
@@ -49,9 +50,18 @@ fn posix_roundtrip_and_resolution() {
     for rank in 0..2 {
         let acc: Vec<_> = r.accesses.iter().filter(|a| a.rank == rank).collect();
         assert_eq!(acc.len(), 3);
-        assert_eq!((acc[0].offset, acc[0].len, acc[0].kind), (0, 100, AccessKind::Write));
-        assert_eq!((acc[1].offset, acc[1].len, acc[1].kind), (100, 50, AccessKind::Write));
-        assert_eq!((acc[2].offset, acc[2].len, acc[2].kind), (0, 100, AccessKind::Read));
+        assert_eq!(
+            (acc[0].offset, acc[0].len, acc[0].kind),
+            (0, 100, AccessKind::Write)
+        );
+        assert_eq!(
+            (acc[1].offset, acc[1].len, acc[1].kind),
+            (100, 50, AccessKind::Write)
+        );
+        assert_eq!(
+            (acc[2].offset, acc[2].len, acc[2].kind),
+            (0, 100, AccessKind::Read)
+        );
     }
     // Final file contents verified through the PFS.
     let img = out.pfs.published_image("/out_1").unwrap();
@@ -62,16 +72,26 @@ fn posix_roundtrip_and_resolution() {
 #[test]
 fn traces_are_deterministic_per_seed() {
     let program = |ctx: &mut AppCtx| {
-        let fd = ctx.open(&format!("/f{}", ctx.rank()), OpenFlags::rdwr_create()).unwrap();
+        let fd = ctx
+            .open(&format!("/f{}", ctx.rank()), OpenFlags::rdwr_create())
+            .unwrap();
         ctx.write(fd, &[1; 64]).unwrap();
         ctx.barrier();
         ctx.close(fd).unwrap();
     };
     let a = run_app(&cfg(6, 42), program);
     let b = run_app(&cfg(6, 42), program);
-    assert_eq!(a.trace.encode(), b.trace.encode(), "same seed ⇒ identical trace bytes");
+    assert_eq!(
+        a.trace.encode(),
+        b.trace.encode(),
+        "same seed ⇒ identical trace bytes"
+    );
     let c = run_app(&cfg(6, 43), program);
-    assert_ne!(a.trace.encode(), c.trace.encode(), "different seed ⇒ different interleaving");
+    assert_ne!(
+        a.trace.encode(),
+        c.trace.encode(),
+        "different seed ⇒ different interleaving"
+    );
 }
 
 #[test]
@@ -124,7 +144,8 @@ fn mpiio_collective_read_returns_each_ranks_slice() {
     let out = run_app(&cfg(nranks, 9), |ctx: &mut AppCtx| {
         let mf = MpiFile::open(ctx, "/in", true, MpiIoHints { cb_nodes: 2 }).unwrap();
         let off = ctx.rank() as u64 * chunk;
-        mf.write_at_all(ctx, off, &vec![ctx.rank() as u8 + 1; chunk as usize]).unwrap();
+        mf.write_at_all(ctx, off, &vec![ctx.rank() as u8 + 1; chunk as usize])
+            .unwrap();
         mf.sync(ctx).unwrap();
         let data = mf.read_at_all(ctx, off, chunk).unwrap();
         assert_eq!(data, vec![ctx.rank() as u8 + 1; chunk as usize]);
@@ -169,7 +190,8 @@ fn hdf5_flush_rotates_superblock_writer() {
         let mut f = H5File::create(ctx, "/ckpt.h5", H5Opts::default()).unwrap();
         for i in 0..4 {
             let d = f.create_dataset(ctx, &format!("d{i}"), 8 * 256).unwrap();
-            f.write(ctx, &d, ctx.rank() as u64 * 256, &[i as u8; 256]).unwrap();
+            f.write(ctx, &d, ctx.rank() as u64 * 256, &[i as u8; 256])
+                .unwrap();
             f.flush(ctx).unwrap();
         }
         f.close(ctx).unwrap();
@@ -181,9 +203,15 @@ fn hdf5_flush_rotates_superblock_writer() {
         .filter(|a| a.kind == AccessKind::Write && a.offset == 0)
         .map(|a| a.rank)
         .collect();
-    assert!(sb_writers.len() >= 4, "superblock written once per flush + close");
+    assert!(
+        sb_writers.len() >= 4,
+        "superblock written once per flush + close"
+    );
     sb_writers.dedup();
-    assert!(sb_writers.len() > 1, "superblock writer must rotate: {sb_writers:?}");
+    assert!(
+        sb_writers.len() > 1,
+        "superblock writer must rotate: {sb_writers:?}"
+    );
     // H5Fflush issues fsync (a commit) on every rank.
     assert!(r.syncs.iter().any(|s| s.kind == recorder::SyncKind::Commit));
 }
@@ -191,12 +219,16 @@ fn hdf5_flush_rotates_superblock_writer() {
 #[test]
 fn hdf5_collective_metadata_pins_rank0() {
     let out = run_app(&cfg(8, 7), |ctx: &mut AppCtx| {
-        let mut f =
-            H5File::create(ctx, "/ckpt.h5", H5Opts::default().with_collective_metadata())
-                .unwrap();
+        let mut f = H5File::create(
+            ctx,
+            "/ckpt.h5",
+            H5Opts::default().with_collective_metadata(),
+        )
+        .unwrap();
         for i in 0..4 {
             let d = f.create_dataset(ctx, &format!("d{i}"), 8 * 256).unwrap();
-            f.write(ctx, &d, ctx.rank() as u64 * 256, &[i as u8; 256]).unwrap();
+            f.write(ctx, &d, ctx.rank() as u64 * 256, &[i as u8; 256])
+                .unwrap();
             f.flush(ctx).unwrap();
         }
         f.close(ctx).unwrap();
@@ -206,7 +238,10 @@ fn hdf5_collective_metadata_pins_rank0() {
     // come from rank 0.
     for a in r.accesses.iter().filter(|a| a.kind == AccessKind::Write) {
         if a.offset < iolibs::hdf5::ALLOC_BASE {
-            assert_eq!(a.rank, 0, "collective metadata must pin metadata I/O to rank 0");
+            assert_eq!(
+                a.rank, 0,
+                "collective metadata must pin metadata I/O to rank 0"
+            );
         }
     }
 }
@@ -216,8 +251,7 @@ fn hdf5_cache_eviction_causes_read_back() {
     // Serial file with many datasets: deep B-tree traversals read evicted
     // metadata blocks back (ENZO's RAW-S mechanism).
     let out = run_app(&cfg(1, 11), |ctx: &mut AppCtx| {
-        let mut f =
-            H5File::create(ctx, "/enzo.h5", H5Opts::serial().with_cache_slots(4)).unwrap();
+        let mut f = H5File::create(ctx, "/enzo.h5", H5Opts::serial().with_cache_slots(4)).unwrap();
         for i in 0..12 {
             let d = f.create_dataset(ctx, &format!("grid{i}"), 512).unwrap();
             f.write(ctx, &d, 0, &[i as u8; 512]).unwrap();
@@ -225,15 +259,23 @@ fn hdf5_cache_eviction_causes_read_back() {
         f.close(ctx).unwrap();
     });
     let r = resolved(&out);
-    let reads: Vec<_> = r.accesses.iter().filter(|a| a.kind == AccessKind::Read).collect();
+    let reads: Vec<_> = r
+        .accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Read)
+        .collect();
     assert!(!reads.is_empty(), "expected metadata read-backs");
     // Each read-back hits bytes previously written by the same rank.
-    let writes: Vec<_> = r.accesses.iter().filter(|a| a.kind == AccessKind::Write).collect();
+    let writes: Vec<_> = r
+        .accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Write)
+        .collect();
     for rd in &reads {
         assert!(
-            writes.iter().any(|w| w.t_start < rd.t_start
-                && w.offset < rd.end()
-                && rd.offset < w.end()),
+            writes
+                .iter()
+                .any(|w| w.t_start < rd.t_start && w.offset < rd.end() && rd.offset < w.end()),
             "read-back at {} did not hit a prior write",
             rd.offset
         );
@@ -257,7 +299,10 @@ fn netcdf_rewrites_numrecs_every_record() {
             a.kind == AccessKind::Write && a.offset == iolibs::netcdf::NC_NUMRECS_OFF && a.len == 4
         })
         .count();
-    assert_eq!(numrecs_writes, 3, "numrecs rewritten once per record (WAW-S source)");
+    assert_eq!(
+        numrecs_writes, 3,
+        "numrecs rewritten once per record (WAW-S source)"
+    );
 }
 
 #[test]
@@ -275,7 +320,11 @@ fn adios_overwrites_status_byte_on_rank0() {
         .iter()
         .filter(|a| a.kind == AccessKind::Write && a.len == 1 && a.offset == 0)
         .collect();
-    assert_eq!(status_writes.len(), 3, "status byte rewritten once per step");
+    assert_eq!(
+        status_writes.len(),
+        3,
+        "status byte rewritten once per step"
+    );
     assert!(status_writes.iter().all(|a| a.rank == 0));
     // Subfiles exist for both aggregators.
     assert!(out.pfs.published_image("/lj.bp/data.0").is_ok());
@@ -286,12 +335,25 @@ fn adios_overwrites_status_byte_on_rank0() {
 #[test]
 fn silo_baton_produces_waw_s_within_session_only() {
     let out = run_app(&cfg(8, 19), |ctx: &mut AppCtx| {
-        SiloFile::dump(ctx, "/macsio", 0, SiloOpts { n_files: 2, block_bytes: 1024 }).unwrap();
+        SiloFile::dump(
+            ctx,
+            "/macsio",
+            0,
+            SiloOpts {
+                n_files: 2,
+                block_bytes: 1024,
+            },
+        )
+        .unwrap();
     });
     let r = resolved(&out);
     // Each rank double-writes its TOC slot: find same-rank overlapping
     // write pairs with no close in between — they must exist…
-    let writes: Vec<_> = r.accesses.iter().filter(|a| a.kind == AccessKind::Write).collect();
+    let writes: Vec<_> = r
+        .accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Write)
+        .collect();
     let mut same_rank_overwrites = 0;
     for (i, w1) in writes.iter().enumerate() {
         for w2 in &writes[i + 1..] {
@@ -304,7 +366,10 @@ fn silo_baton_produces_waw_s_within_session_only() {
             }
         }
     }
-    assert!(same_rank_overwrites >= 8, "every rank overwrites its TOC slot");
+    assert!(
+        same_rank_overwrites >= 8,
+        "every rank overwrites its TOC slot"
+    );
     // …and the baton order means each rank's session is closed before the
     // next rank opens: check per-file open/close alternation.
     let mut last_close: std::collections::HashMap<recorder::PathId, u64> = Default::default();
@@ -327,7 +392,9 @@ fn silo_baton_produces_waw_s_within_session_only() {
 fn origin_attribution_is_preserved() {
     let out = run_app(&cfg(2, 23), |ctx: &mut AppCtx| {
         // App-level POSIX…
-        let fd = ctx.open(&format!("/app_{}", ctx.rank()), OpenFlags::rdwr_create()).unwrap();
+        let fd = ctx
+            .open(&format!("/app_{}", ctx.rank()), OpenFlags::rdwr_create())
+            .unwrap();
         ctx.write(fd, &[1; 8]).unwrap();
         ctx.close(fd).unwrap();
         // …and HDF5-issued POSIX.
@@ -354,20 +421,29 @@ fn semantics_choice_does_not_change_the_trace_shape() {
     // engines (timings differ through lock latency): compare record func
     // sequences per rank.
     let program = |ctx: &mut AppCtx| {
-        let fd = ctx.open(&format!("/f{}", ctx.rank()), OpenFlags::rdwr_create()).unwrap();
+        let fd = ctx
+            .open(&format!("/f{}", ctx.rank()), OpenFlags::rdwr_create())
+            .unwrap();
         ctx.write(fd, &[1; 256]).unwrap();
         ctx.fsync(fd).unwrap();
         ctx.close(fd).unwrap();
         ctx.barrier();
     };
     let strong = run_app(&cfg(4, 31), program);
-    let session =
-        run_app(&cfg(4, 31).with_semantics(SemanticsModel::Session), program);
+    let session = run_app(&cfg(4, 31).with_semantics(SemanticsModel::Session), program);
     for rank in 0..4 {
-        let f1: Vec<&'static str> =
-            strong.trace.rank_records(rank).iter().map(|r| r.func.name()).collect();
-        let f2: Vec<&'static str> =
-            session.trace.rank_records(rank).iter().map(|r| r.func.name()).collect();
+        let f1: Vec<&'static str> = strong
+            .trace
+            .rank_records(rank)
+            .iter()
+            .map(|r| r.func.name())
+            .collect();
+        let f2: Vec<&'static str> = session
+            .trace
+            .rank_records(rank)
+            .iter()
+            .map(|r| r.func.name())
+            .collect();
         assert_eq!(f1, f2, "rank {rank} op sequence must be engine-independent");
     }
 }

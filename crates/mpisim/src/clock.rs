@@ -65,19 +65,19 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            barrier_ns: 20_000,        // 20 µs
-            send_base_ns: 2_000,       // 2 µs
+            barrier_ns: 20_000,  // 20 µs
+            send_base_ns: 2_000, // 2 µs
             recv_base_ns: 2_000,
-            msg_per_kib_ns: 100,       // ~10 GiB/s fabric
-            fs_open_ns: 50_000,        // 50 µs metadata round trip
+            msg_per_kib_ns: 100, // ~10 GiB/s fabric
+            fs_open_ns: 50_000,  // 50 µs metadata round trip
             fs_close_ns: 30_000,
             fs_read_base_ns: 10_000,
             fs_write_base_ns: 10_000,
-            fs_io_per_kib_ns: 1_000,   // ~1 GiB/s
-            fs_seek_ns: 200,           // client-side only
-            fs_sync_ns: 200_000,       // 200 µs flush
-            fs_meta_ns: 40_000,        // 40 µs
-            fs_lock_ns: 60_000,        // 60 µs lock manager round trip
+            fs_io_per_kib_ns: 1_000, // ~1 GiB/s
+            fs_seek_ns: 200,         // client-side only
+            fs_sync_ns: 200_000,     // 200 µs flush
+            fs_meta_ns: 40_000,      // 40 µs
+            fs_lock_ns: 60_000,      // 60 µs lock manager round trip
         }
     }
 }

@@ -62,6 +62,7 @@ impl Rank {
                 if st.status[r] == crate::sched::RankStatus::Blocked(BlockReason::Barrier { epoch })
                 {
                     st.status[r] = crate::sched::RankStatus::Computing;
+                    st.pending_wakes.push(r as u32);
                 }
             }
             st.events[me].push(MpiEvent {
@@ -71,7 +72,11 @@ impl Rank {
                 kind: EventKind::Barrier { epoch },
             });
             self.turn_end(st);
-            BarrierInfo { epoch, t_enter, t_exit }
+            BarrierInfo {
+                epoch,
+                t_enter,
+                t_exit,
+            }
         } else {
             let mut st = self.park(st, BlockReason::Barrier { epoch });
             let t_exit = st.barrier_release[epoch as usize];
@@ -82,7 +87,11 @@ impl Rank {
                 kind: EventKind::Barrier { epoch },
             });
             drop(st);
-            BarrierInfo { epoch, t_enter, t_exit }
+            BarrierInfo {
+                epoch,
+                t_enter,
+                t_exit,
+            }
         }
     }
 
@@ -104,7 +113,11 @@ impl Rank {
             kind: EventKind::Send { dst, tag, seq },
         });
         self.turn_end(st);
-        SendInfo { seq, t_start, t_end }
+        SendInfo {
+            seq,
+            t_start,
+            t_end,
+        }
     }
 
     /// Block until a message from `src` with `tag` is available, then
@@ -124,12 +137,22 @@ impl Rank {
                     rank: self.rank,
                     t_start,
                     t_end,
-                    kind: EventKind::Recv { src, tag, seq: msg.seq },
+                    kind: EventKind::Recv {
+                        src,
+                        tag,
+                        seq: msg.seq,
+                    },
                 });
                 self.turn_end(st);
                 return (
                     msg.payload,
-                    RecvInfo { src, tag, seq: msg.seq, t_start, t_end },
+                    RecvInfo {
+                        src,
+                        tag,
+                        seq: msg.seq,
+                        t_start,
+                        t_end,
+                    },
                 );
             }
             let st = self.park(st, BlockReason::Recv);

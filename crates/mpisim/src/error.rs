@@ -22,7 +22,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { blocked } => {
-                write!(f, "simulated program deadlocked; blocked ranks: {blocked:?}")
+                write!(
+                    f,
+                    "simulated program deadlocked; blocked ranks: {blocked:?}"
+                )
             }
             SimError::InvalidRank { rank, nranks } => {
                 write!(f, "rank {rank} out of range (world size {nranks})")

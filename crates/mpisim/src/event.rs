@@ -58,7 +58,11 @@ mod tests {
             rank: 0,
             t_start: 0,
             t_end: 1,
-            kind: EventKind::Send { dst: 1, tag: 9, seq: 42 },
+            kind: EventKind::Send {
+                dst: 1,
+                tag: 9,
+                seq: 42,
+            },
         };
         assert_eq!(s.message_seq(), Some(42));
     }

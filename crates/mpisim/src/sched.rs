@@ -1,8 +1,9 @@
 //! The lockstep token scheduler and the shared simulator state.
 //!
 //! All mutable simulator state lives in one [`SimState`] behind a single
-//! mutex; a condvar coordinates rank threads. A rank performs a simulated
-//! operation by acquiring the *turn*:
+//! mutex; per-rank condvars coordinate rank threads (a mutation queues the
+//! affected ranks in [`SimState::pending_wakes`] and only those are
+//! signaled). A rank performs a simulated operation by acquiring the *turn*:
 //!
 //! * it marks itself `Requesting` and waits until dispatched;
 //! * dispatch (deterministic mode) waits until **every** live rank is either
@@ -84,6 +85,11 @@ pub(crate) struct SimState {
     pub barrier_release: Vec<u64>,
     /// Per-rank happens-before event log.
     pub events: Vec<Vec<MpiEvent>>,
+    /// Ranks whose status just changed in a way their thread must observe
+    /// (granted the turn, unparked, or deadlock declared). The mutating
+    /// thread drains this queue and signals exactly those ranks' condvars
+    /// before releasing the lock — see `Rank::drain_wakes`.
+    pub pending_wakes: Vec<u32>,
 }
 
 impl SimState {
@@ -100,6 +106,7 @@ impl SimState {
             barrier_epoch: 0,
             barrier_release: Vec::new(),
             events: (0..nranks).map(|_| Vec::new()).collect(),
+            pending_wakes: Vec::new(),
         }
     }
 
@@ -110,9 +117,7 @@ impl SimState {
         if self.deadlocked || self.status.contains(&RankStatus::Granted) {
             return;
         }
-        if self.mode == SchedMode::Deterministic
-            && self.status.contains(&RankStatus::Computing)
-        {
+        if self.mode == SchedMode::Deterministic && self.status.contains(&RankStatus::Computing) {
             // Lockstep: wait until every live rank has declared itself.
             return;
         }
@@ -134,6 +139,8 @@ impl SimState {
                 .any(|s| matches!(s, RankStatus::Blocked(_)));
             if all_parked && any_blocked {
                 self.deadlocked = true;
+                // Every parked rank must wake up to observe the deadlock.
+                self.pending_wakes.extend(0..self.status.len() as u32);
             }
             return;
         }
@@ -142,6 +149,7 @@ impl SimState {
             SchedMode::Free => requesting[0],
         };
         self.status[pick] = RankStatus::Granted;
+        self.pending_wakes.push(pick as u32);
     }
 
     /// Pop the oldest message on channel (src → dst, tag), if any.
@@ -165,6 +173,7 @@ impl SimState {
             .push_back(Msg { seq, payload });
         if self.status[dst as usize] == RankStatus::Blocked(BlockReason::Recv) {
             self.status[dst as usize] = RankStatus::Computing;
+            self.pending_wakes.push(dst);
         }
         seq
     }

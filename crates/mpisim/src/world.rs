@@ -61,7 +61,13 @@ impl WorldCfg {
 
 pub(crate) struct Shared {
     pub state: Mutex<SimState>,
-    pub cv: Condvar,
+    /// One condvar per rank. A rank only ever waits on its own entry; state
+    /// mutations record which ranks must wake in `SimState::pending_wakes`
+    /// and exactly those are signaled. With a single shared condvar every
+    /// status transition woke all parked ranks (at n ranks, ~n wakeups per
+    /// simulated op just to have n−1 go back to sleep), which dominated
+    /// simulation wall time.
+    pub cvs: Vec<Condvar>,
     pub nranks: u32,
     pub cost: CostModel,
     /// Immutable per-rank clock skew offsets (signed ns).
@@ -106,7 +112,7 @@ impl World {
         World {
             shared: Arc::new(Shared {
                 state: Mutex::new(SimState::new(cfg.nranks, cfg.seed, cfg.mode, cfg.start_ns)),
-                cv: Condvar::new(),
+                cvs: (0..cfg.nranks).map(|_| Condvar::new()).collect(),
                 nranks: cfg.nranks,
                 cost: cfg.cost.clone(),
                 skews,
@@ -119,9 +125,15 @@ impl World {
         assert!(
             rank < self.shared.nranks,
             "{}",
-            SimError::InvalidRank { rank, nranks: self.shared.nranks }
+            SimError::InvalidRank {
+                rank,
+                nranks: self.shared.nranks
+            }
         );
-        Rank { shared: Arc::clone(&self.shared), rank }
+        Rank {
+            shared: Arc::clone(&self.shared),
+            rank,
+        }
     }
 
     /// Spawn one thread per rank running `f`, wait for all of them, and
@@ -156,10 +168,10 @@ impl World {
                 })
                 .collect()
         });
-        let st = world.shared.state.lock().unwrap();
+        let mut st = world.shared.state.lock().unwrap();
         RunOutput {
             results,
-            events: st.events.clone(),
+            events: std::mem::take(&mut st.events),
             final_time_ns: st.clock_ns,
             skews_ns: world.shared.skews.clone(),
         }
@@ -207,7 +219,21 @@ impl Rank {
     }
 
     pub(crate) fn clone_handle(&self) -> Rank {
-        Rank { shared: Arc::clone(&self.shared), rank: self.rank }
+        Rank {
+            shared: Arc::clone(&self.shared),
+            rank: self.rank,
+        }
+    }
+
+    /// Signal every rank queued in `pending_wakes` (except ourselves: the
+    /// caller re-checks its own predicate before sleeping). Must run before
+    /// the mutating thread sleeps or releases the lock, so no wake is lost.
+    fn drain_wakes(&self, st: &mut SimState) {
+        while let Some(r) = st.pending_wakes.pop() {
+            if r != self.rank {
+                self.shared.cvs[r as usize].notify_one();
+            }
+        }
     }
 
     /// Acquire the scheduler turn. Returns with the world lock held and
@@ -217,7 +243,7 @@ impl Rank {
         let me = self.rank as usize;
         st.status[me] = RankStatus::Requesting;
         st.try_dispatch();
-        self.shared.cv.notify_all();
+        self.drain_wakes(&mut st);
         loop {
             if st.deadlocked {
                 let blocked = st.blocked_ranks();
@@ -227,7 +253,7 @@ impl Rank {
             if st.status[me] == RankStatus::Granted {
                 return st;
             }
-            st = self.shared.cv.wait(st).unwrap();
+            st = self.shared.cvs[me].wait(st).unwrap();
         }
     }
 
@@ -236,7 +262,7 @@ impl Rank {
         let me = self.rank as usize;
         st.status[me] = RankStatus::Computing;
         st.try_dispatch();
-        self.shared.cv.notify_all();
+        self.drain_wakes(&mut st);
     }
 
     /// Park this rank with `reason` (caller holds the turn), and return when
@@ -251,7 +277,7 @@ impl Rank {
         let me = self.rank as usize;
         st.status[me] = RankStatus::Blocked(reason);
         st.try_dispatch();
-        self.shared.cv.notify_all();
+        self.drain_wakes(&mut st);
         loop {
             if st.deadlocked {
                 let blocked = st.blocked_ranks();
@@ -261,7 +287,7 @@ impl Rank {
             if !matches!(st.status[me], RankStatus::Blocked(_)) {
                 return st;
             }
-            st = self.shared.cv.wait(st).unwrap();
+            st = self.shared.cvs[me].wait(st).unwrap();
         }
     }
 
@@ -295,6 +321,6 @@ impl Rank {
         let mut st = self.shared.state.lock().unwrap();
         st.status[self.rank as usize] = RankStatus::Finished;
         st.try_dispatch();
-        self.shared.cv.notify_all();
+        self.drain_wakes(&mut st);
     }
 }

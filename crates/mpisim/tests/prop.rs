@@ -30,7 +30,9 @@ fn random_step(rng: &mut SimRng) -> Step {
 }
 
 fn random_steps(rng: &mut SimRng, min: usize, max: usize) -> Vec<Step> {
-    (0..rng.range_usize(min, max)).map(|_| random_step(rng)).collect()
+    (0..rng.range_usize(min, max))
+        .map(|_| random_step(rng))
+        .collect()
 }
 
 fn execute(nranks: u32, seed: u64, steps: &[Step]) -> mpisim::RunOutput<u64> {
@@ -46,13 +48,7 @@ fn execute(nranks: u32, seed: u64, steps: &[Step]) -> mpisim::RunOutput<u64> {
                     let n = r.nranks();
                     let right = (r.rank() + 1) % n;
                     let left = (r.rank() + n - 1) % n;
-                    let got = r.sendrecv(
-                        right,
-                        tag as u32,
-                        vec![r.rank() as u8],
-                        left,
-                        tag as u32,
-                    );
+                    let got = r.sendrecv(right, tag as u32, vec![r.rank() as u8], left, tag as u32);
                     acc += got[0] as u64;
                 }
                 Step::Gather(root) => {

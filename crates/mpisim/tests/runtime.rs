@@ -122,7 +122,10 @@ fn send_happens_before_matching_recv() {
         .find(|e| matches!(e.kind, EventKind::Recv { .. }))
         .unwrap();
     assert_eq!(send.message_seq(), recv.message_seq());
-    assert!(send.t_start < recv.t_end, "send starts before recv completes");
+    assert!(
+        send.t_start < recv.t_end,
+        "send starts before recv completes"
+    );
 }
 
 #[test]
@@ -237,7 +240,10 @@ fn skew_bounded_and_deterministic() {
     let w1 = World::run(&cfg, |r| r.skew_ns());
     let w2 = World::run(&cfg, |r| r.skew_ns());
     assert_eq!(w1.results, w2.results);
-    assert!(w1.results.iter().any(|&s| s != 0), "some rank should be skewed");
+    assert!(
+        w1.results.iter().any(|&s| s != 0),
+        "some rank should be skewed"
+    );
     for &s in &w1.results {
         assert!(s.unsigned_abs() <= 20_000);
     }

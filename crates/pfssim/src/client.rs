@@ -185,7 +185,9 @@ impl PfsClient {
             }
         };
         if st.file(file).laminated && flags.write {
-            return Err(FsError::Denied { detail: format!("{path} is laminated (read-only)") });
+            return Err(FsError::Denied {
+                detail: format!("{path} is laminated (read-only)"),
+            });
         }
         if flags.truncate && flags.write {
             let node = st.file_mut(file);
@@ -206,7 +208,16 @@ impl PfsClient {
         drop(st);
         let fd = self.next_fd;
         self.next_fd += 1;
-        self.fds.insert(fd, FdEntry { file, path, flags, cursor: 0, snapshot });
+        self.fds.insert(
+            fd,
+            FdEntry {
+                file,
+                path,
+                flags,
+                cursor: 0,
+                snapshot,
+            },
+        );
         Ok(fd)
     }
 
@@ -238,11 +249,15 @@ impl PfsClient {
         let cfg = self.cfg.clone();
         let entry = self.fds.get_mut(&fd).ok_or(FsError::BadFd { fd })?;
         if !entry.flags.write {
-            return Err(FsError::Denied { detail: format!("fd {fd} not open for writing") });
+            return Err(FsError::Denied {
+                detail: format!("fd {fd} not open for writing"),
+            });
         }
         let mut st = self.state.lock().unwrap();
         if st.file(entry.file).laminated {
-            return Err(FsError::Denied { detail: format!("{} is laminated", entry.path) });
+            return Err(FsError::Denied {
+                detail: format!("{} is laminated", entry.path),
+            });
         }
         let model = if entry.flags.lazy && cfg.semantics == SemanticsModel::Strong {
             SemanticsModel::Commit
@@ -267,7 +282,12 @@ impl PfsClient {
         );
         drop(st);
         entry.cursor = offset + data.len() as u64;
-        Ok(WriteOut { offset, len: data.len() as u64, tag, locks })
+        Ok(WriteOut {
+            offset,
+            len: data.len() as u64,
+            tag,
+            locks,
+        })
     }
 
     /// POSIX `pwrite(2)`: writes at `offset` without moving the cursor
@@ -278,17 +298,35 @@ impl PfsClient {
         let cfg = self.cfg.clone();
         let entry = self.fds.get(&fd).ok_or(FsError::BadFd { fd })?;
         if !entry.flags.write {
-            return Err(FsError::Denied { detail: format!("fd {fd} not open for writing") });
+            return Err(FsError::Denied {
+                detail: format!("fd {fd} not open for writing"),
+            });
         }
         let model = self.effective(entry.flags);
         let file = entry.file;
         let mut st = self.state.lock().unwrap();
         if st.file(file).laminated {
-            return Err(FsError::Denied { detail: "laminated".into() });
+            return Err(FsError::Denied {
+                detail: "laminated".into(),
+            });
         }
-        let (tag, locks) =
-            engine::write(&mut st, &cfg, model, client_id, rank, file, offset, data.to_vec(), now);
-        Ok(WriteOut { offset, len: data.len() as u64, tag, locks })
+        let (tag, locks) = engine::write(
+            &mut st,
+            &cfg,
+            model,
+            client_id,
+            rank,
+            file,
+            offset,
+            data.to_vec(),
+            now,
+        );
+        Ok(WriteOut {
+            offset,
+            len: data.len() as u64,
+            tag,
+            locks,
+        })
     }
 
     /// POSIX `read(2)`: reads at the cursor, advances it by the bytes
@@ -310,7 +348,9 @@ impl PfsClient {
         let cfg = self.cfg.clone();
         let entry = self.fds.get(&fd).ok_or(FsError::BadFd { fd })?;
         if !entry.flags.read {
-            return Err(FsError::Denied { detail: format!("fd {fd} not open for reading") });
+            return Err(FsError::Denied {
+                detail: format!("fd {fd} not open for reading"),
+            });
         }
         let model = self.effective(entry.flags);
         let file = entry.file;
@@ -318,7 +358,11 @@ impl PfsClient {
         let mut st = self.state.lock().unwrap();
         st.stats.reads += 1;
         if model == SemanticsModel::Strong {
-            let locks = if len == 0 { 0 } else { len.div_ceil(cfg.lock_granularity) };
+            let locks = if len == 0 {
+                0
+            } else {
+                len.div_ceil(cfg.lock_granularity)
+            };
             st.stats.locks_acquired += locks;
             if len > 0 {
                 let rev = engine::lock_revocations(&st, file, self.rank, offset, offset + len);
@@ -338,7 +382,8 @@ impl PfsClient {
         );
         st.stats.bytes_read += data.len() as u64;
         let stripe = cfg.stripe_size;
-        st.stats.stripe_account(offset, data.len() as u64, stripe, false);
+        st.stats
+            .stripe_account(offset, data.len() as u64, stripe, false);
         drop(st);
         let digest = digest_runs(data.len() as u64, &tags);
         self.observations.push(Observation {
@@ -349,7 +394,12 @@ impl PfsClient {
             digest,
         });
         self.next_obs += 1;
-        Ok(ReadOut { offset, data, tags, digest })
+        Ok(ReadOut {
+            offset,
+            data,
+            tags,
+            digest,
+        })
     }
 
     /// POSIX `lseek(2)`.
@@ -368,7 +418,9 @@ impl PfsClient {
         };
         let pos = base + offset;
         if pos < 0 {
-            return Err(FsError::Invalid { detail: format!("seek to negative offset {pos}") });
+            return Err(FsError::Invalid {
+                detail: format!("seek to negative offset {pos}"),
+            });
         }
         let entry = self.fds.get_mut(&fd).expect("checked above");
         entry.cursor = pos as u64;
@@ -425,10 +477,16 @@ impl PfsClient {
         let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Stat);
         match st.ns.lookup(&path) {
-            Some(crate::namespace::Node::Dir) => Ok(StatInfo { is_dir: true, size: 0 }),
+            Some(crate::namespace::Node::Dir) => Ok(StatInfo {
+                is_dir: true,
+                size: 0,
+            }),
             Some(crate::namespace::Node::File(id)) => {
                 let size = engine::visible_size(&st, cfg.semantics, id, client_id, None);
-                Ok(StatInfo { is_dir: false, size })
+                Ok(StatInfo {
+                    is_dir: false,
+                    size,
+                })
             }
             None => Err(FsError::NotFound { path }),
         }
@@ -460,7 +518,10 @@ impl PfsClient {
         let mut st = self.state.lock().unwrap();
         st.stats.count_meta(MetaOp::Fstat);
         let size = engine::visible_size(&st, model, file, client_id, snapshot.as_ref());
-        Ok(StatInfo { is_dir: false, size })
+        Ok(StatInfo {
+            is_dir: false,
+            size,
+        })
     }
 
     /// POSIX `access(2)` — existence check.

@@ -36,13 +36,18 @@ pub(crate) fn write(
             // Extent locks on the lock manager, then apply globally. Any
             // overlap with an extent whose write lock a *different* rank
             // holds costs a revocation callback first.
-            let locks = if len == 0 { 0 } else { len.div_ceil(cfg.lock_granularity) };
+            let locks = if len == 0 {
+                0
+            } else {
+                len.div_ceil(cfg.lock_granularity)
+            };
             st.stats.locks_acquired += locks;
             if len > 0 {
                 let revocations = lock_revocations(st, file, rank, off, off + len);
                 st.stats.lock_revocations += revocations;
                 let node = st.file_mut(file);
-                node.write_locks.insert(off, off + len, WriteTag { rank, seq: 0 });
+                node.write_locks
+                    .insert(off, off + len, WriteTag { rank, seq: 0 });
             }
             st.stats.stripe_account(off, len, cfg.stripe_size, true);
             let node = st.file_mut(file);
@@ -52,7 +57,10 @@ pub(crate) fn write(
         }
         SemanticsModel::Commit | SemanticsModel::Session => {
             let node = st.file_mut(file);
-            node.pending.entry(client).or_default().push(PendingExtent { off, data, tag });
+            node.pending
+                .entry(client)
+                .or_default()
+                .push(PendingExtent { off, data, tag });
             st.stats.pending_extents += 1;
             (tag, 0)
         }

@@ -9,22 +9,38 @@ pub type FsResult<T> = Result<T, FsError>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FsError {
     /// ENOENT — path or parent directory does not exist.
-    NotFound { path: String },
+    NotFound {
+        path: String,
+    },
     /// EEXIST — `O_CREAT | O_EXCL` on an existing file, or mkdir on an
     /// existing path.
-    AlreadyExists { path: String },
+    AlreadyExists {
+        path: String,
+    },
     /// EBADF — file descriptor not open (or opened without the needed mode).
-    BadFd { fd: u32 },
+    BadFd {
+        fd: u32,
+    },
     /// EISDIR / ENOTDIR — wrong node kind for the operation.
-    NotAFile { path: String },
-    NotADirectory { path: String },
+    NotAFile {
+        path: String,
+    },
+    NotADirectory {
+        path: String,
+    },
     /// ENOTEMPTY — rmdir on a non-empty directory.
-    NotEmpty { path: String },
+    NotEmpty {
+        path: String,
+    },
     /// EACCES — operation not permitted by the open mode (e.g. write on a
     /// read-only fd) or on a laminated (read-only) file.
-    Denied { detail: String },
+    Denied {
+        detail: String,
+    },
     /// EINVAL — malformed argument (negative seek, bad path, …).
-    Invalid { detail: String },
+    Invalid {
+        detail: String,
+    },
 }
 
 impl fmt::Display for FsError {

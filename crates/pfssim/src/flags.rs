@@ -30,27 +30,67 @@ pub struct OpenFlags {
 impl OpenFlags {
     /// `O_RDONLY`.
     pub const fn rdonly() -> Self {
-        OpenFlags { read: true, write: false, create: false, truncate: false, append: false, excl: false, lazy: false }
+        OpenFlags {
+            read: true,
+            write: false,
+            create: false,
+            truncate: false,
+            append: false,
+            excl: false,
+            lazy: false,
+        }
     }
 
     /// `O_WRONLY | O_CREAT | O_TRUNC` — the common "write a fresh file".
     pub const fn wronly_create_trunc() -> Self {
-        OpenFlags { read: false, write: true, create: true, truncate: true, append: false, excl: false, lazy: false }
+        OpenFlags {
+            read: false,
+            write: true,
+            create: true,
+            truncate: true,
+            append: false,
+            excl: false,
+            lazy: false,
+        }
     }
 
     /// `O_RDWR | O_CREAT`.
     pub const fn rdwr_create() -> Self {
-        OpenFlags { read: true, write: true, create: true, truncate: false, append: false, excl: false, lazy: false }
+        OpenFlags {
+            read: true,
+            write: true,
+            create: true,
+            truncate: false,
+            append: false,
+            excl: false,
+            lazy: false,
+        }
     }
 
     /// `O_RDWR`.
     pub const fn rdwr() -> Self {
-        OpenFlags { read: true, write: true, create: false, truncate: false, append: false, excl: false, lazy: false }
+        OpenFlags {
+            read: true,
+            write: true,
+            create: false,
+            truncate: false,
+            append: false,
+            excl: false,
+            lazy: false,
+        }
     }
 
     /// `O_WRONLY | O_CREAT | O_APPEND` — log-style appends.
     pub const fn append_create() -> Self {
-        OpenFlags { read: false, write: true, create: true, truncate: false, append: true, excl: false, lazy: false }
+        OpenFlags {
+            read: false,
+            write: true,
+            create: true,
+            truncate: false,
+            append: true,
+            excl: false,
+            lazy: false,
+        }
     }
 
     pub const fn with_excl(mut self) -> Self {

@@ -131,8 +131,20 @@ mod tests {
         f.apply(5, &[2; 10], tag(2, 2));
         let runs = f.provenance(0, 15);
         assert_eq!(runs.len(), 2);
-        assert_eq!(runs[0], TagRun { len: 5, tag: Some(tag(1, 1)) });
-        assert_eq!(runs[1], TagRun { len: 10, tag: Some(tag(2, 2)) });
+        assert_eq!(
+            runs[0],
+            TagRun {
+                len: 5,
+                tag: Some(tag(1, 1))
+            }
+        );
+        assert_eq!(
+            runs[1],
+            TagRun {
+                len: 10,
+                tag: Some(tag(2, 2))
+            }
+        );
     }
 
     #[test]

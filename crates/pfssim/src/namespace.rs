@@ -31,7 +31,9 @@ pub(crate) struct Namespace {
 /// against `cwd`.
 pub(crate) fn normalize(cwd: &str, path: &str) -> FsResult<String> {
     if path.is_empty() {
-        return Err(FsError::Invalid { detail: "empty path".into() });
+        return Err(FsError::Invalid {
+            detail: "empty path".into(),
+        });
     }
     let joined = if path.starts_with('/') {
         path.to_string()
@@ -109,7 +111,11 @@ impl Namespace {
     }
 
     fn children<'a>(&'a self, dir: &'a str) -> impl Iterator<Item = (&'a String, &'a Node)> + 'a {
-        let prefix = if dir == "/" { "/".to_string() } else { format!("{dir}/") };
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{dir}/")
+        };
         let plen = prefix.len();
         self.nodes
             .range(prefix.clone()..)
@@ -120,7 +126,9 @@ impl Namespace {
     pub fn rmdir(&mut self, path: &str) -> FsResult<()> {
         self.expect_dir(path)?;
         if path == "/" {
-            return Err(FsError::Denied { detail: "cannot remove /".into() });
+            return Err(FsError::Denied {
+                detail: "cannot remove /".into(),
+            });
         }
         if self.children(path).next().is_some() {
             return Err(FsError::NotEmpty { path: path.into() });

@@ -120,7 +120,10 @@ pub struct Pfs {
 
 impl Clone for Pfs {
     fn clone(&self) -> Self {
-        Pfs { state: Arc::clone(&self.state), cfg: self.cfg.clone() }
+        Pfs {
+            state: Arc::clone(&self.state),
+            cfg: self.cfg.clone(),
+        }
     }
 }
 

@@ -142,17 +142,26 @@ impl SegMap {
         }
         for (s, e, t) in iter {
             if s > pos {
-                runs.push(TagRun { len: s - pos, tag: None });
+                runs.push(TagRun {
+                    len: s - pos,
+                    tag: None,
+                });
             }
             let run_end = e.min(end);
-            runs.push(TagRun { len: run_end - pos.max(s), tag: Some(t) });
+            runs.push(TagRun {
+                len: run_end - pos.max(s),
+                tag: Some(t),
+            });
             pos = run_end;
             if pos >= end {
                 break;
             }
         }
         if pos < end {
-            runs.push(TagRun { len: end - pos, tag: None });
+            runs.push(TagRun {
+                len: end - pos,
+                tag: None,
+            });
         }
         runs
     }

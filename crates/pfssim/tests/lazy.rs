@@ -15,11 +15,17 @@ fn lazy_writes_invisible_until_flush() {
     let fs = strong();
     let mut a = fs.client(0);
     let mut b = fs.client(1);
-    let fda = a.open("/f", OpenFlags::wronly_create_trunc().with_lazy(), 0).unwrap();
+    let fda = a
+        .open("/f", OpenFlags::wronly_create_trunc().with_lazy(), 0)
+        .unwrap();
     a.write(fda, b"hello", 1).unwrap();
 
     let fdb = b.open("/f", OpenFlags::rdonly(), 2).unwrap();
-    assert_eq!(b.read(fdb, 5, 3).unwrap().data, b"", "lazy write is buffered");
+    assert_eq!(
+        b.read(fdb, 5, 3).unwrap().data,
+        b"",
+        "lazy write is buffered"
+    );
 
     a.fsync(fda, 4).unwrap(); // the O_LAZY flush call
     b.lseek(fdb, 0, Whence::Set, 5).unwrap();
@@ -30,7 +36,9 @@ fn lazy_writes_invisible_until_flush() {
 fn lazy_close_publishes() {
     let fs = strong();
     let mut a = fs.client(0);
-    let fda = a.open("/f", OpenFlags::wronly_create_trunc().with_lazy(), 0).unwrap();
+    let fda = a
+        .open("/f", OpenFlags::wronly_create_trunc().with_lazy(), 0)
+        .unwrap();
     a.write(fda, b"zz", 1).unwrap();
     a.close(fda, 2).unwrap();
     assert_eq!(fs.published_image("/f").unwrap().read(0, 2), b"zz");
@@ -40,11 +48,17 @@ fn lazy_close_publishes() {
 fn lazy_descriptor_keeps_read_your_writes() {
     let fs = strong();
     let mut a = fs.client(0);
-    let fd = a.open("/f", OpenFlags::rdwr_create().with_lazy(), 0).unwrap();
+    let fd = a
+        .open("/f", OpenFlags::rdwr_create().with_lazy(), 0)
+        .unwrap();
     a.write(fd, b"abc", 1).unwrap();
     a.lseek(fd, 0, Whence::Set, 2).unwrap();
     assert_eq!(a.read(fd, 3, 3).unwrap().data, b"abc");
-    assert_eq!(a.fstat(fd, 4).unwrap().size, 3, "own view includes buffered bytes");
+    assert_eq!(
+        a.fstat(fd, 4).unwrap().size,
+        3,
+        "own view includes buffered bytes"
+    );
 }
 
 #[test]
@@ -52,12 +66,16 @@ fn lazy_skips_the_lock_manager() {
     let fs = strong();
     let mut strict = fs.client(0);
     let mut lazy = fs.client(1);
-    let fd1 = strict.open("/strict", OpenFlags::wronly_create_trunc(), 0).unwrap();
+    let fd1 = strict
+        .open("/strict", OpenFlags::wronly_create_trunc(), 0)
+        .unwrap();
     strict.write(fd1, &[1u8; 4096], 1).unwrap();
     let before = fs.stats().locks_acquired;
     assert!(before > 0);
 
-    let fd2 = lazy.open("/lazy", OpenFlags::wronly_create_trunc().with_lazy(), 2).unwrap();
+    let fd2 = lazy
+        .open("/lazy", OpenFlags::wronly_create_trunc().with_lazy(), 2)
+        .unwrap();
     lazy.write(fd2, &[1u8; 4096], 3).unwrap();
     assert_eq!(
         fs.stats().locks_acquired,
@@ -80,20 +98,32 @@ fn mixed_descriptors_on_one_file() {
     l.pwrite(fdl, 1, b"L", 3).unwrap();
 
     let fdr = r.open("/mix", OpenFlags::rdonly(), 4).unwrap();
-    assert_eq!(r.pread(fdr, 0, 2, 5).unwrap().data, b"S", "only the strict byte is visible");
+    assert_eq!(
+        r.pread(fdr, 0, 2, 5).unwrap().data,
+        b"S",
+        "only the strict byte is visible"
+    );
     l.fsync(fdl, 6).unwrap();
     assert_eq!(r.pread(fdr, 0, 2, 7).unwrap().data, b"SL");
 }
 
 #[test]
 fn lazy_is_a_noop_on_relaxed_engines() {
-    for model in [SemanticsModel::Commit, SemanticsModel::Session, SemanticsModel::Eventual] {
+    for model in [
+        SemanticsModel::Commit,
+        SemanticsModel::Session,
+        SemanticsModel::Eventual,
+    ] {
         let fs = Pfs::new(
-            PfsConfig::default().with_semantics(model).with_eventual_delay_ns(1_000_000),
+            PfsConfig::default()
+                .with_semantics(model)
+                .with_eventual_delay_ns(1_000_000),
         );
         let mut a = fs.client(0);
         let mut b = fs.client(1);
-        let fda = a.open("/f", OpenFlags::wronly_create_trunc().with_lazy(), 0).unwrap();
+        let fda = a
+            .open("/f", OpenFlags::wronly_create_trunc().with_lazy(), 0)
+            .unwrap();
         a.write(fda, b"x", 1).unwrap();
         // Same visibility as without the flag: not visible before any
         // commit/close under every relaxed engine.

@@ -18,14 +18,22 @@ fn disjoint_writers_never_revoke() {
     let fs = strong();
     for rank in 0..8u32 {
         let mut c = fs.client(rank);
-        let flags = if rank == 0 { OpenFlags::rdwr_create() } else { OpenFlags::rdwr() };
+        let flags = if rank == 0 {
+            OpenFlags::rdwr_create()
+        } else {
+            OpenFlags::rdwr()
+        };
         let fd = c.open("/shared", flags, rank as u64).unwrap();
-        c.pwrite(fd, rank as u64 * 4096, &[1u8; 4096], 10 + rank as u64).unwrap();
+        c.pwrite(fd, rank as u64 * 4096, &[1u8; 4096], 10 + rank as u64)
+            .unwrap();
         c.close(fd, 20 + rank as u64).unwrap();
     }
     let s = fs.stats();
     assert_eq!(s.locks_acquired, 8);
-    assert_eq!(s.lock_revocations, 0, "N-1 strided writers own disjoint extents");
+    assert_eq!(
+        s.lock_revocations, 0,
+        "N-1 strided writers own disjoint extents"
+    );
 }
 
 #[test]
@@ -42,7 +50,10 @@ fn shared_extent_ping_pong_revokes() {
         b.pwrite(fdb, 0, &[2u8; 96], 11 + i * 2).unwrap();
     }
     let s = fs.stats();
-    assert_eq!(s.lock_revocations, 9, "every handoff after the first write revokes");
+    assert_eq!(
+        s.lock_revocations, 9,
+        "every handoff after the first write revokes"
+    );
 }
 
 #[test]
@@ -66,12 +77,19 @@ fn foreign_read_after_write_counts_as_revocation() {
     let fdb = b.open("/f", OpenFlags::rdonly(), 2).unwrap();
     b.pread(fdb, 0, 256, 3).unwrap();
     let s = fs.stats();
-    assert_eq!(s.lock_revocations, 1, "the reader must downgrade the writer's lock");
+    assert_eq!(
+        s.lock_revocations, 1,
+        "the reader must downgrade the writer's lock"
+    );
 }
 
 #[test]
 fn relaxed_engines_never_lock_or_revoke() {
-    for model in [SemanticsModel::Commit, SemanticsModel::Session, SemanticsModel::Eventual] {
+    for model in [
+        SemanticsModel::Commit,
+        SemanticsModel::Session,
+        SemanticsModel::Eventual,
+    ] {
         let fs = Pfs::new(PfsConfig::default().with_semantics(model));
         let mut a = fs.client(0);
         let mut b = fs.client(1);

@@ -86,7 +86,9 @@ fn o_trunc_resets_existing_file() {
 fn o_excl_fails_on_existing() {
     let fs = strong();
     let mut c = fs.client(0);
-    let fd = c.open("/f", OpenFlags::rdwr_create().with_excl(), 0).unwrap();
+    let fd = c
+        .open("/f", OpenFlags::rdwr_create().with_excl(), 0)
+        .unwrap();
     c.close(fd, 1).unwrap();
     assert!(matches!(
         c.open("/f", OpenFlags::rdwr_create().with_excl(), 2),
@@ -149,7 +151,11 @@ fn stat_sees_own_buffered_size_under_commit() {
     let mut b = fs.client(1);
     let fd = a.open("/f", OpenFlags::wronly_create_trunc(), 0).unwrap();
     a.write(fd, &[1u8; 10], 1).unwrap();
-    assert_eq!(a.stat("/f", 2).unwrap().size, 10, "own view includes pending");
+    assert_eq!(
+        a.stat("/f", 2).unwrap().size,
+        10,
+        "own view includes pending"
+    );
     assert_eq!(b.stat("/f", 3).unwrap().size, 0, "other view does not");
 }
 
@@ -187,7 +193,9 @@ fn readdir_lists_and_counts() {
     let mut c = fs.client(0);
     c.mkdir("/d", 0).unwrap();
     for name in ["x", "y", "z"] {
-        let fd = c.open(&format!("/d/{name}"), OpenFlags::rdwr_create(), 1).unwrap();
+        let fd = c
+            .open(&format!("/d/{name}"), OpenFlags::rdwr_create(), 1)
+            .unwrap();
         c.close(fd, 2).unwrap();
     }
     let entries = c.readdir("/d", 3).unwrap();
@@ -219,7 +227,11 @@ fn truncate_trims_pending_writes() {
     c.ftruncate(fd, 10, 2).unwrap();
     c.fsync(fd, 3).unwrap();
     let img = fs.published_image("/f").unwrap();
-    assert_eq!(img.size(), 10, "pending beyond the truncation point is dropped");
+    assert_eq!(
+        img.size(),
+        10,
+        "pending beyond the truncation point is dropped"
+    );
     assert_eq!(img.read(0, 100), vec![1u8; 10]);
 }
 
@@ -250,7 +262,11 @@ fn mmap_reads_and_msync_commits() {
     assert_eq!(out.data, b"mapped");
     a.msync(fd, 3).unwrap();
     let img = fs.published_image("/f").unwrap();
-    assert_eq!(img.read(0, 6), b"mapped", "msync publishes under commit semantics");
+    assert_eq!(
+        img.read(0, 6),
+        b"mapped",
+        "msync publishes under commit semantics"
+    );
     let stats = fs.stats();
     assert_eq!(stats.meta_ops[&MetaOp::Mmap], 1);
     assert_eq!(stats.meta_ops[&MetaOp::Msync], 1);

@@ -22,7 +22,9 @@ enum Op {
 }
 
 fn random_bytes(rng: &mut SimRng, min: usize, max: usize) -> Vec<u8> {
-    (0..rng.range_usize(min, max)).map(|_| rng.next_u32() as u8).collect()
+    (0..rng.range_usize(min, max))
+        .map(|_| rng.next_u32() as u8)
+        .collect()
 }
 
 fn random_op(rng: &mut SimRng) -> Op {
@@ -40,7 +42,9 @@ fn random_op(rng: &mut SimRng) -> Op {
 }
 
 fn random_ops(rng: &mut SimRng) -> Vec<Op> {
-    (0..rng.range_usize(1, 40)).map(|_| random_op(rng)).collect()
+    (0..rng.range_usize(1, 40))
+        .map(|_| random_op(rng))
+        .collect()
 }
 
 /// Reference: flat in-memory file with a cursor.
@@ -178,8 +182,7 @@ fn strong_engine_matches_reference() {
     for _ in 0..64 {
         let ops = random_ops(&mut rng);
         let mut reference = RefFile::default();
-        let ref_reads: Vec<Option<Vec<u8>>> =
-            ops.iter().map(|op| reference.apply(op)).collect();
+        let ref_reads: Vec<Option<Vec<u8>>> = ops.iter().map(|op| reference.apply(op)).collect();
         let (reads, final_img) = run_engine(SemanticsModel::Strong, &ops);
         assert_eq!(reads, ref_reads);
         assert_eq!(final_img, reference.data);
@@ -195,7 +198,11 @@ fn single_writer_engine_invariance() {
     for _ in 0..64 {
         let ops = random_ops(&mut rng);
         let (strong_reads, strong_img) = run_engine(SemanticsModel::Strong, &ops);
-        for model in [SemanticsModel::Commit, SemanticsModel::Session, SemanticsModel::Eventual] {
+        for model in [
+            SemanticsModel::Commit,
+            SemanticsModel::Session,
+            SemanticsModel::Eventual,
+        ] {
             let (reads, img) = run_engine(model, &ops);
             assert_eq!(&reads, &strong_reads, "reads differ under {model:?}");
             assert_eq!(&img, &strong_img, "final image differs under {model:?}");

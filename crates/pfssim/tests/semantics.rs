@@ -5,7 +5,11 @@
 use pfssim::{OpenFlags, Pfs, PfsConfig, SemanticsModel};
 
 fn pfs(model: SemanticsModel) -> Pfs {
-    Pfs::new(PfsConfig::default().with_semantics(model).with_eventual_delay_ns(1_000_000))
+    Pfs::new(
+        PfsConfig::default()
+            .with_semantics(model)
+            .with_eventual_delay_ns(1_000_000),
+    )
 }
 
 const W: OpenFlags = OpenFlags::wronly_create_trunc();
@@ -35,11 +39,19 @@ fn commit_write_invisible_until_fsync() {
     a.write(fda, b"hello", 10).unwrap();
 
     let fdb = b.open("/f", R, 20).unwrap();
-    assert_eq!(b.read(fdb, 5, 30).unwrap().data, b"", "uncommitted write hidden");
+    assert_eq!(
+        b.read(fdb, 5, 30).unwrap().data,
+        b"",
+        "uncommitted write hidden"
+    );
 
     a.fsync(fda, 40).unwrap();
     b.lseek(fdb, 0, pfssim::Whence::Set, 45).unwrap();
-    assert_eq!(b.read(fdb, 5, 50).unwrap().data, b"hello", "fsync publishes");
+    assert_eq!(
+        b.read(fdb, 5, 50).unwrap().data,
+        b"hello",
+        "fsync publishes"
+    );
 }
 
 #[test]
@@ -125,7 +137,10 @@ fn read_your_writes_under_every_engine() {
         a.write(fd, b"abc", 10).unwrap();
         a.lseek(fd, 0, pfssim::Whence::Set, 11).unwrap();
         let out = a.read(fd, 3, 20).unwrap();
-        assert_eq!(out.data, b"abc", "read-your-writes violated under {model:?}");
+        assert_eq!(
+            out.data, b"abc",
+            "read-your-writes violated under {model:?}"
+        );
     }
 }
 
@@ -184,7 +199,10 @@ fn observation_logs_identical_when_no_sharing() {
     let session = run(SemanticsModel::Session);
     assert_eq!(strong.len(), session.len());
     for (s, w) in strong.iter().zip(&session) {
-        assert_eq!(s.digest, w.digest, "no-sharing program must be engine-invariant");
+        assert_eq!(
+            s.digest, w.digest,
+            "no-sharing program must be engine-invariant"
+        );
     }
 }
 
@@ -263,7 +281,11 @@ fn pending_and_publish_stats() {
 
 #[test]
 fn quiesce_flushes_all_engines() {
-    for model in [SemanticsModel::Commit, SemanticsModel::Session, SemanticsModel::Eventual] {
+    for model in [
+        SemanticsModel::Commit,
+        SemanticsModel::Session,
+        SemanticsModel::Eventual,
+    ] {
         let fs = pfs(model);
         let mut a = fs.client(0);
         let fd = a.open("/f", W, 0).unwrap();
@@ -283,7 +305,10 @@ fn append_positions_at_visible_eof() {
         let fd = a.open("/log", OpenFlags::append_create(), 0).unwrap();
         a.write(fd, b"aaa", 1).unwrap();
         let out = a.write(fd, b"bbb", 2).unwrap();
-        assert_eq!(out.offset, 3, "append must see own buffered EOF under {model:?}");
+        assert_eq!(
+            out.offset, 3,
+            "append must see own buffered EOF under {model:?}"
+        );
         a.close(fd, 3).unwrap();
         fs.quiesce();
         assert_eq!(fs.published_image("/log").unwrap().read(0, 6), b"aaabbb");
@@ -329,5 +354,9 @@ fn stripe_accounting_spreads_over_servers() {
     let fd = a.open("/big", W, 0).unwrap();
     a.write(fd, &vec![1u8; 8192], 1).unwrap();
     let stats = fs.stats();
-    assert_eq!(stats.server_bytes_written, vec![2048; 4], "round-robin striping");
+    assert_eq!(
+        stats.server_bytes_written,
+        vec![2048; 4],
+        "round-robin striping"
+    );
 }

@@ -37,7 +37,10 @@ pub fn compute(trace: &TraceSet) -> Adjustment {
             }
         }
     }
-    Adjustment { zero_ns, missing_barrier: missing }
+    Adjustment {
+        zero_ns,
+        missing_barrier: missing,
+    }
 }
 
 /// Apply the barrier adjustment, returning a re-based copy of the trace.
@@ -71,7 +74,14 @@ mod tests {
     use crate::record::{Layer, Record};
 
     fn rec(rank: u32, t: u64, func: Func) -> Record {
-        Record { t_start: t, t_end: t + 5, rank, layer: Layer::Mpi, origin: Layer::Mpi, func }
+        Record {
+            t_start: t,
+            t_end: t + 5,
+            rank,
+            layer: Layer::Mpi,
+            origin: Layer::Mpi,
+            func,
+        }
     }
 
     #[test]
@@ -116,7 +126,11 @@ mod tests {
 
     #[test]
     fn skew_spread() {
-        let trace = TraceSet { paths: vec![], ranks: vec![], skews_ns: vec![-10, 5, 20] };
+        let trace = TraceSet {
+            paths: vec![],
+            ranks: vec![],
+            skews_ns: vec![-10, 5, 20],
+        };
         assert_eq!(raw_skew_spread_ns(&trace), 30);
     }
 }

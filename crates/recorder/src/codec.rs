@@ -135,7 +135,12 @@ fn put_func(buf: &mut Vec<u8>, func: &Func) {
             put_varint(buf, fd as u64);
             put_varint(buf, count);
         }
-        Func::Pread { fd, offset, count, ret } => {
+        Func::Pread {
+            fd,
+            offset,
+            count,
+            ret,
+        } => {
             buf.push(4);
             put_varint(buf, fd as u64);
             put_varint(buf, offset);
@@ -148,7 +153,12 @@ fn put_func(buf: &mut Vec<u8>, func: &Func) {
             put_varint(buf, offset);
             put_varint(buf, count);
         }
-        Func::Lseek { fd, offset, whence, ret } => {
+        Func::Lseek {
+            fd,
+            offset,
+            whence,
+            ret,
+        } => {
             buf.push(6);
             put_varint(buf, fd as u64);
             put_varint(buf, zigzag(offset));
@@ -313,10 +323,26 @@ fn get_func(buf: &mut Reader<'_>) -> Result<Func, CodecError> {
             fd: v(buf)? as u32,
         },
         1 => Func::Close { fd: v(buf)? as u32 },
-        2 => Func::Read { fd: v(buf)? as u32, count: v(buf)?, ret: v(buf)? },
-        3 => Func::Write { fd: v(buf)? as u32, count: v(buf)? },
-        4 => Func::Pread { fd: v(buf)? as u32, offset: v(buf)?, count: v(buf)?, ret: v(buf)? },
-        5 => Func::Pwrite { fd: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        2 => Func::Read {
+            fd: v(buf)? as u32,
+            count: v(buf)?,
+            ret: v(buf)?,
+        },
+        3 => Func::Write {
+            fd: v(buf)? as u32,
+            count: v(buf)?,
+        },
+        4 => Func::Pread {
+            fd: v(buf)? as u32,
+            offset: v(buf)?,
+            count: v(buf)?,
+            ret: v(buf)?,
+        },
+        5 => Func::Pwrite {
+            fd: v(buf)? as u32,
+            offset: v(buf)?,
+            count: v(buf)?,
+        },
         6 => {
             let fd = v(buf)? as u32;
             let offset = unzigzag(v(buf)?);
@@ -325,15 +351,30 @@ fn get_func(buf: &mut Reader<'_>) -> Result<Func, CodecError> {
             }
             let whence = SeekWhence::from_u8(buf.get_u8());
             let ret = v(buf)?;
-            Func::Lseek { fd, offset, whence, ret }
+            Func::Lseek {
+                fd,
+                offset,
+                whence,
+                ret,
+            }
         }
         7 => Func::Fsync { fd: v(buf)? as u32 },
         8 => Func::Fdatasync { fd: v(buf)? as u32 },
-        9 => Func::Ftruncate { fd: v(buf)? as u32, len: v(buf)? },
-        10 => Func::Mmap { fd: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        9 => Func::Ftruncate {
+            fd: v(buf)? as u32,
+            len: v(buf)?,
+        },
+        10 => Func::Mmap {
+            fd: v(buf)? as u32,
+            offset: v(buf)?,
+            count: v(buf)?,
+        },
         11 => {
             let op = meta_from(buf)?;
-            Func::MetaPath { op, path: PathId(v(buf)? as u32) }
+            Func::MetaPath {
+                op,
+                path: PathId(v(buf)? as u32),
+            }
         }
         12 => {
             let op = meta_from(buf)?;
@@ -345,21 +386,59 @@ fn get_func(buf: &mut Reader<'_>) -> Result<Func, CodecError> {
         }
         13 => {
             let op = meta_from(buf)?;
-            Func::MetaFd { op, fd: v(buf)? as u32 }
+            Func::MetaFd {
+                op,
+                fd: v(buf)? as u32,
+            }
         }
-        14 => Func::MetaPlain { op: meta_from(buf)? },
+        14 => Func::MetaPlain {
+            op: meta_from(buf)?,
+        },
         15 => Func::MpiBarrier { epoch: v(buf)? },
-        16 => Func::MpiSend { dst: v(buf)? as u32, tag: v(buf)? as u32, seq: v(buf)? },
-        17 => Func::MpiRecv { src: v(buf)? as u32, tag: v(buf)? as u32, seq: v(buf)? },
-        18 => Func::MpiFileOpen { path: PathId(v(buf)? as u32), fh: v(buf)? as u32 },
+        16 => Func::MpiSend {
+            dst: v(buf)? as u32,
+            tag: v(buf)? as u32,
+            seq: v(buf)?,
+        },
+        17 => Func::MpiRecv {
+            src: v(buf)? as u32,
+            tag: v(buf)? as u32,
+            seq: v(buf)?,
+        },
+        18 => Func::MpiFileOpen {
+            path: PathId(v(buf)? as u32),
+            fh: v(buf)? as u32,
+        },
         19 => Func::MpiFileClose { fh: v(buf)? as u32 },
-        20 => Func::MpiFileWriteAt { fh: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
-        21 => Func::MpiFileWriteAtAll { fh: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
-        22 => Func::MpiFileReadAt { fh: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
-        23 => Func::MpiFileReadAtAll { fh: v(buf)? as u32, offset: v(buf)?, count: v(buf)? },
+        20 => Func::MpiFileWriteAt {
+            fh: v(buf)? as u32,
+            offset: v(buf)?,
+            count: v(buf)?,
+        },
+        21 => Func::MpiFileWriteAtAll {
+            fh: v(buf)? as u32,
+            offset: v(buf)?,
+            count: v(buf)?,
+        },
+        22 => Func::MpiFileReadAt {
+            fh: v(buf)? as u32,
+            offset: v(buf)?,
+            count: v(buf)?,
+        },
+        23 => Func::MpiFileReadAtAll {
+            fh: v(buf)? as u32,
+            offset: v(buf)?,
+            count: v(buf)?,
+        },
         24 => Func::MpiFileSync { fh: v(buf)? as u32 },
-        25 => Func::H5Fcreate { path: PathId(v(buf)? as u32), id: v(buf)? as u32 },
-        26 => Func::H5Fopen { path: PathId(v(buf)? as u32), id: v(buf)? as u32 },
+        25 => Func::H5Fcreate {
+            path: PathId(v(buf)? as u32),
+            id: v(buf)? as u32,
+        },
+        26 => Func::H5Fopen {
+            path: PathId(v(buf)? as u32),
+            id: v(buf)? as u32,
+        },
         27 => Func::H5Fclose { id: v(buf)? as u32 },
         28 => Func::H5Fflush { id: v(buf)? as u32 },
         29 => Func::H5Dcreate {
@@ -372,10 +451,20 @@ fn get_func(buf: &mut Reader<'_>) -> Result<Func, CodecError> {
             name: PathId(v(buf)? as u32),
             id: v(buf)? as u32,
         },
-        31 => Func::H5Dwrite { dset: v(buf)? as u32, count: v(buf)? },
-        32 => Func::H5Dread { dset: v(buf)? as u32, count: v(buf)? },
+        31 => Func::H5Dwrite {
+            dset: v(buf)? as u32,
+            count: v(buf)?,
+        },
+        32 => Func::H5Dread {
+            dset: v(buf)? as u32,
+            count: v(buf)?,
+        },
         33 => Func::H5Dclose { id: v(buf)? as u32 },
-        34 => Func::LibCall { name: PathId(v(buf)? as u32), a: v(buf)?, b: v(buf)? },
+        34 => Func::LibCall {
+            name: PathId(v(buf)? as u32),
+            a: v(buf)?,
+            b: v(buf)?,
+        },
         other => return Err(CodecError::BadTag(other)),
     };
     Ok(func)
@@ -477,7 +566,11 @@ impl TraceSet {
             }
             ranks.push(records);
         }
-        Ok(TraceSet { paths, ranks, skews_ns })
+        Ok(TraceSet {
+            paths,
+            ranks,
+            skews_ns,
+        })
     }
 }
 
@@ -509,7 +602,10 @@ mod tests {
     fn decode_rejects_garbage() {
         assert_eq!(TraceSet::decode(b"xxxx\x01"), Err(CodecError::BadMagic));
         assert_eq!(TraceSet::decode(b"RT"), Err(CodecError::Truncated));
-        assert_eq!(TraceSet::decode(b"RTRC\x07"), Err(CodecError::BadVersion(7)));
+        assert_eq!(
+            TraceSet::decode(b"RTRC\x07"),
+            Err(CodecError::BadVersion(7))
+        );
     }
 
     #[test]

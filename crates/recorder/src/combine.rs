@@ -37,7 +37,11 @@ pub fn merge_jobs(jobs: &[TraceSet]) -> TraceSet {
         }
         skews.extend_from_slice(&job.skews_ns);
     }
-    TraceSet { paths: interner.into_names(), ranks, skews_ns: skews }
+    TraceSet {
+        paths: interner.into_names(),
+        ranks,
+        skews_ns: skews,
+    }
 }
 
 /// Combine job traces into a single trace. `gap_ns` is the simulated
@@ -70,7 +74,11 @@ pub fn combine_jobs(jobs: &[TraceSet], gap_ns: u64) -> TraceSet {
         time_offset = job_end + gap_ns;
     }
 
-    TraceSet { paths: interner.into_names(), ranks, skews_ns: skews }
+    TraceSet {
+        paths: interner.into_names(),
+        ranks,
+        skews_ns: skews,
+    }
 }
 
 fn remap_ids(func: &mut Func, paths: &[PathId], rank_offset: u32, job: u64) {
@@ -120,7 +128,14 @@ mod tests {
     }
 
     fn rec(rank: u32, t: u64, func: Func) -> Record {
-        Record { t_start: t, t_end: t + 10, rank, layer: Layer::Posix, origin: Layer::App, func }
+        Record {
+            t_start: t,
+            t_end: t + 10,
+            rank,
+            layer: Layer::Posix,
+            origin: Layer::App,
+            func,
+        }
     }
 
     #[test]
@@ -128,13 +143,37 @@ mod tests {
         let a = job(
             vec!["/shared", "/a_only"],
             vec![
-                rec(0, 100, Func::Open { path: PathId(0), flags: 7, fd: 3 }),
-                rec(1, 200, Func::Open { path: PathId(1), flags: 1, fd: 3 }),
+                rec(
+                    0,
+                    100,
+                    Func::Open {
+                        path: PathId(0),
+                        flags: 7,
+                        fd: 3,
+                    },
+                ),
+                rec(
+                    1,
+                    200,
+                    Func::Open {
+                        path: PathId(1),
+                        flags: 1,
+                        fd: 3,
+                    },
+                ),
             ],
         );
         let b = job(
             vec!["/b_only", "/shared"],
-            vec![rec(0, 50, Func::Open { path: PathId(1), flags: 1, fd: 4 })],
+            vec![rec(
+                0,
+                50,
+                Func::Open {
+                    path: PathId(1),
+                    flags: 1,
+                    fd: 4,
+                },
+            )],
         );
         let c = combine_jobs(&[a, b], 1000);
         assert_eq!(c.nranks(), 3);
@@ -145,8 +184,12 @@ mod tests {
         assert_eq!(rec_b.t_start, 210 + 1000 + 50);
         // "/shared" resolves to the same id in both jobs.
         let shared = c.path_id("/shared").unwrap();
-        let Func::Open { path: pa, .. } = c.ranks[0][0].func else { panic!() };
-        let Func::Open { path: pb, .. } = rec_b.func else { panic!() };
+        let Func::Open { path: pa, .. } = c.ranks[0][0].func else {
+            panic!()
+        };
+        let Func::Open { path: pb, .. } = rec_b.func else {
+            panic!()
+        };
         assert_eq!(pa, shared);
         assert_eq!(pb, shared);
         assert!(c.path_id("/a_only").is_some());
@@ -159,8 +202,24 @@ mod tests {
             job(
                 vec![],
                 vec![
-                    rec(0, 1, Func::MpiSend { dst: 1, tag: 0, seq }),
-                    rec(1, 2, Func::MpiRecv { src: 0, tag: 0, seq }),
+                    rec(
+                        0,
+                        1,
+                        Func::MpiSend {
+                            dst: 1,
+                            tag: 0,
+                            seq,
+                        },
+                    ),
+                    rec(
+                        1,
+                        2,
+                        Func::MpiRecv {
+                            src: 0,
+                            tag: 0,
+                            seq,
+                        },
+                    ),
                     rec(0, 3, Func::MpiBarrier { epoch: 0 }),
                     rec(1, 3, Func::MpiBarrier { epoch: 0 }),
                 ],

@@ -135,13 +135,25 @@ fn resolve_record(
     let rank = rec.rank;
     match rec.func {
         Func::Open { path, flags, fd } => {
-            fds.insert((rank, fd), FdState { file: path, cursor: 0, flags });
+            fds.insert(
+                (rank, fd),
+                FdState {
+                    file: path,
+                    cursor: 0,
+                    flags,
+                },
+            );
             if flags & flag_bits::TRUNC != 0 && flags & flag_bits::WRITE != 0 {
                 sizes.insert(path, 0);
             } else {
                 sizes.entry(path).or_insert(0);
             }
-            out.syncs.push(SyncEvent { rank, t: rec.t_start, file: path, kind: SyncKind::Open });
+            out.syncs.push(SyncEvent {
+                rank,
+                t: rec.t_start,
+                file: path,
+                kind: SyncKind::Open,
+            });
         }
         Func::Close { fd } => {
             if let Some(st) = fds.remove(&(rank, fd)) {
@@ -166,7 +178,11 @@ fn resolve_record(
         Func::Write { fd, count } => {
             if let Some(st) = fds.get_mut(&(rank, fd)) {
                 let size = sizes.entry(st.file).or_insert(0);
-                let offset = if st.flags & flag_bits::APPEND != 0 { *size } else { st.cursor };
+                let offset = if st.flags & flag_bits::APPEND != 0 {
+                    *size
+                } else {
+                    st.cursor
+                };
                 if count > 0 {
                     out.accesses.push(DataAccess {
                         rank,
@@ -224,7 +240,14 @@ fn resolve_record(
                 st.cursor += ret;
             }
         }
-        Func::Pread { fd, offset, ret, .. } | Func::Mmap { fd, offset, count: ret } => {
+        Func::Pread {
+            fd, offset, ret, ..
+        }
+        | Func::Mmap {
+            fd,
+            offset,
+            count: ret,
+        } => {
             // (Mmap is modelled as a positional read of `count` bytes.)
             if let Some(st) = fds.get(&(rank, fd)) {
                 if ret > 0 {
@@ -242,7 +265,12 @@ fn resolve_record(
                 }
             }
         }
-        Func::Lseek { fd, offset, whence, ret } => {
+        Func::Lseek {
+            fd,
+            offset,
+            whence,
+            ret,
+        } => {
             if let Some(st) = fds.get_mut(&(rank, fd)) {
                 let size = *sizes.entry(st.file).or_insert(0);
                 let base = match whence {
@@ -274,11 +302,22 @@ mod tests {
     use crate::record::Record;
 
     fn posix(rank: u32, t: u64, func: Func) -> Record {
-        Record { t_start: t, t_end: t + 1, rank, layer: Layer::Posix, origin: Layer::App, func }
+        Record {
+            t_start: t,
+            t_end: t + 1,
+            rank,
+            layer: Layer::Posix,
+            origin: Layer::App,
+            func,
+        }
     }
 
     fn single_rank(records: Vec<Record>) -> TraceSet {
-        TraceSet { paths: vec!["/f".into()], ranks: vec![records], skews_ns: vec![0] }
+        TraceSet {
+            paths: vec!["/f".into()],
+            ranks: vec![records],
+            skews_ns: vec![0],
+        }
     }
 
     const P: PathId = PathId(0);
@@ -286,7 +325,15 @@ mod tests {
     #[test]
     fn cursor_writes_are_consecutive() {
         let trace = single_rank(vec![
-            posix(0, 0, Func::Open { path: P, flags: flag_bits::WRITE | flag_bits::CREATE, fd: 3 }),
+            posix(
+                0,
+                0,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::WRITE | flag_bits::CREATE,
+                    fd: 3,
+                },
+            ),
             posix(0, 10, Func::Write { fd: 3, count: 100 }),
             posix(0, 20, Func::Write { fd: 3, count: 50 }),
             posix(0, 30, Func::Close { fd: 3 }),
@@ -301,13 +348,48 @@ mod tests {
     #[test]
     fn seek_set_cur_end_resolution() {
         let trace = single_rank(vec![
-            posix(0, 0, Func::Open { path: P, flags: flag_bits::WRITE | flag_bits::READ | flag_bits::CREATE, fd: 3 }),
+            posix(
+                0,
+                0,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::WRITE | flag_bits::READ | flag_bits::CREATE,
+                    fd: 3,
+                },
+            ),
             posix(0, 1, Func::Write { fd: 3, count: 100 }),
-            posix(0, 2, Func::Lseek { fd: 3, offset: 10, whence: SeekWhence::Set, ret: 10 }),
+            posix(
+                0,
+                2,
+                Func::Lseek {
+                    fd: 3,
+                    offset: 10,
+                    whence: SeekWhence::Set,
+                    ret: 10,
+                },
+            ),
             posix(0, 3, Func::Write { fd: 3, count: 5 }),
-            posix(0, 4, Func::Lseek { fd: 3, offset: 5, whence: SeekWhence::Cur, ret: 20 }),
+            posix(
+                0,
+                4,
+                Func::Lseek {
+                    fd: 3,
+                    offset: 5,
+                    whence: SeekWhence::Cur,
+                    ret: 20,
+                },
+            ),
             posix(0, 5, Func::Write { fd: 3, count: 5 }),
-            posix(0, 6, Func::Lseek { fd: 3, offset: -10, whence: SeekWhence::End, ret: 90 }),
+            posix(
+                0,
+                6,
+                Func::Lseek {
+                    fd: 3,
+                    offset: -10,
+                    whence: SeekWhence::End,
+                    ret: 90,
+                },
+            ),
             posix(0, 7, Func::Write { fd: 3, count: 5 }),
         ]);
         let r = resolve(&trace);
@@ -319,18 +401,34 @@ mod tests {
     #[test]
     fn append_flag_positions_at_eof() {
         let trace = single_rank(vec![
-            posix(0, 0, Func::Open {
-                path: P,
-                flags: flag_bits::WRITE | flag_bits::CREATE | flag_bits::APPEND,
-                fd: 3,
-            }),
+            posix(
+                0,
+                0,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::WRITE | flag_bits::CREATE | flag_bits::APPEND,
+                    fd: 3,
+                },
+            ),
             posix(0, 1, Func::Write { fd: 3, count: 10 }),
-            posix(0, 2, Func::Lseek { fd: 3, offset: 0, whence: SeekWhence::Set, ret: 0 }),
+            posix(
+                0,
+                2,
+                Func::Lseek {
+                    fd: 3,
+                    offset: 0,
+                    whence: SeekWhence::Set,
+                    ret: 0,
+                },
+            ),
             posix(0, 3, Func::Write { fd: 3, count: 10 }), // append ignores the seek
         ]);
         let r = resolve(&trace);
         assert_eq!(r.accesses[0].offset, 0);
-        assert_eq!(r.accesses[1].offset, 10, "O_APPEND writes at EOF regardless of cursor");
+        assert_eq!(
+            r.accesses[1].offset, 10,
+            "O_APPEND writes at EOF regardless of cursor"
+        );
     }
 
     #[test]
@@ -341,12 +439,28 @@ mod tests {
             paths: vec!["/shared".into()],
             ranks: vec![
                 vec![
-                    posix(0, 0, Func::Open { path: P, flags, fd: 3 }),
+                    posix(
+                        0,
+                        0,
+                        Func::Open {
+                            path: P,
+                            flags,
+                            fd: 3,
+                        },
+                    ),
                     posix(0, 10, Func::Write { fd: 3, count: 5 }),
                     posix(0, 30, Func::Write { fd: 3, count: 5 }),
                 ],
                 vec![
-                    posix(1, 1, Func::Open { path: P, flags, fd: 3 }),
+                    posix(
+                        1,
+                        1,
+                        Func::Open {
+                            path: P,
+                            flags,
+                            fd: 3,
+                        },
+                    ),
                     posix(1, 20, Func::Write { fd: 3, count: 7 }),
                 ],
             ],
@@ -361,30 +475,94 @@ mod tests {
     fn o_trunc_resets_size() {
         let flags = flag_bits::WRITE | flag_bits::CREATE | flag_bits::TRUNC;
         let trace = single_rank(vec![
-            posix(0, 0, Func::Open { path: P, flags, fd: 3 }),
+            posix(
+                0,
+                0,
+                Func::Open {
+                    path: P,
+                    flags,
+                    fd: 3,
+                },
+            ),
             posix(0, 1, Func::Write { fd: 3, count: 100 }),
             posix(0, 2, Func::Close { fd: 3 }),
-            posix(0, 3, Func::Open { path: P, flags, fd: 4 }),
-            posix(0, 4, Func::Lseek { fd: 4, offset: 0, whence: SeekWhence::End, ret: 0 }),
+            posix(
+                0,
+                3,
+                Func::Open {
+                    path: P,
+                    flags,
+                    fd: 4,
+                },
+            ),
+            posix(
+                0,
+                4,
+                Func::Lseek {
+                    fd: 4,
+                    offset: 0,
+                    whence: SeekWhence::End,
+                    ret: 0,
+                },
+            ),
             posix(0, 5, Func::Write { fd: 4, count: 5 }),
         ]);
         let r = resolve(&trace);
-        assert_eq!(r.accesses[1].offset, 0, "O_TRUNC reset the size so SEEK_END is 0");
+        assert_eq!(
+            r.accesses[1].offset, 0,
+            "O_TRUNC reset the size so SEEK_END is 0"
+        );
         assert_eq!(r.seek_mismatches, 0);
     }
 
     #[test]
     fn reads_use_return_value() {
         let trace = single_rank(vec![
-            posix(0, 0, Func::Open { path: P, flags: flag_bits::READ | flag_bits::WRITE | flag_bits::CREATE, fd: 3 }),
+            posix(
+                0,
+                0,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::READ | flag_bits::WRITE | flag_bits::CREATE,
+                    fd: 3,
+                },
+            ),
             posix(0, 1, Func::Write { fd: 3, count: 10 }),
-            posix(0, 2, Func::Lseek { fd: 3, offset: 5, whence: SeekWhence::Set, ret: 5 }),
-            posix(0, 3, Func::Read { fd: 3, count: 100, ret: 5 }), // short read at EOF
-            posix(0, 4, Func::Read { fd: 3, count: 100, ret: 0 }), // EOF: no access emitted
+            posix(
+                0,
+                2,
+                Func::Lseek {
+                    fd: 3,
+                    offset: 5,
+                    whence: SeekWhence::Set,
+                    ret: 5,
+                },
+            ),
+            posix(
+                0,
+                3,
+                Func::Read {
+                    fd: 3,
+                    count: 100,
+                    ret: 5,
+                },
+            ), // short read at EOF
+            posix(
+                0,
+                4,
+                Func::Read {
+                    fd: 3,
+                    count: 100,
+                    ret: 0,
+                },
+            ), // EOF: no access emitted
         ]);
         let r = resolve(&trace);
-        let reads: Vec<&DataAccess> =
-            r.accesses.iter().filter(|a| a.kind == AccessKind::Read).collect();
+        let reads: Vec<&DataAccess> = r
+            .accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Read)
+            .collect();
         assert_eq!(reads.len(), 1);
         assert_eq!((reads[0].offset, reads[0].len), (5, 5));
         assert_eq!(r.short_reads, 2);
@@ -393,23 +571,51 @@ mod tests {
     #[test]
     fn sync_events_capture_open_close_commit() {
         let trace = single_rank(vec![
-            posix(0, 0, Func::Open { path: P, flags: flag_bits::WRITE | flag_bits::CREATE, fd: 3 }),
+            posix(
+                0,
+                0,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::WRITE | flag_bits::CREATE,
+                    fd: 3,
+                },
+            ),
             posix(0, 1, Func::Write { fd: 3, count: 1 }),
             posix(0, 2, Func::Fsync { fd: 3 }),
             posix(0, 3, Func::Close { fd: 3 }),
         ]);
         let r = resolve(&trace);
         let kinds: Vec<SyncKind> = r.syncs.iter().map(|s| s.kind).collect();
-        assert_eq!(kinds, vec![SyncKind::Open, SyncKind::Commit, SyncKind::Close]);
+        assert_eq!(
+            kinds,
+            vec![SyncKind::Open, SyncKind::Commit, SyncKind::Close]
+        );
         assert_eq!(r.syncs[1].t, 2);
     }
 
     #[test]
     fn seek_mismatch_detected_and_ret_wins() {
         let trace = single_rank(vec![
-            posix(0, 0, Func::Open { path: P, flags: flag_bits::WRITE | flag_bits::CREATE, fd: 3 }),
+            posix(
+                0,
+                0,
+                Func::Open {
+                    path: P,
+                    flags: flag_bits::WRITE | flag_bits::CREATE,
+                    fd: 3,
+                },
+            ),
             // Recorded ret says 42 but derivation says 10.
-            posix(0, 1, Func::Lseek { fd: 3, offset: 10, whence: SeekWhence::Set, ret: 42 }),
+            posix(
+                0,
+                1,
+                Func::Lseek {
+                    fd: 3,
+                    offset: 10,
+                    whence: SeekWhence::Set,
+                    ret: 42,
+                },
+            ),
             posix(0, 2, Func::Write { fd: 3, count: 1 }),
         ]);
         let r = resolve(&trace);
@@ -421,7 +627,15 @@ mod tests {
     fn operations_on_unknown_fd_are_ignored() {
         let trace = single_rank(vec![
             posix(0, 0, Func::Write { fd: 9, count: 10 }),
-            posix(0, 1, Func::Read { fd: 9, count: 10, ret: 10 }),
+            posix(
+                0,
+                1,
+                Func::Read {
+                    fd: 9,
+                    count: 10,
+                    ret: 10,
+                },
+            ),
             posix(0, 2, Func::Close { fd: 9 }),
         ]);
         let r = resolve(&trace);

@@ -181,51 +181,164 @@ meta_kinds! {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Func {
     // --- POSIX data path ---
-    Open { path: PathId, flags: u32, fd: u32 },
-    Close { fd: u32 },
-    Read { fd: u32, count: u64, ret: u64 },
-    Write { fd: u32, count: u64 },
-    Pread { fd: u32, offset: u64, count: u64, ret: u64 },
-    Pwrite { fd: u32, offset: u64, count: u64 },
-    Lseek { fd: u32, offset: i64, whence: SeekWhence, ret: u64 },
-    Fsync { fd: u32 },
-    Fdatasync { fd: u32 },
-    Ftruncate { fd: u32, len: u64 },
-    Mmap { fd: u32, offset: u64, count: u64 },
+    Open {
+        path: PathId,
+        flags: u32,
+        fd: u32,
+    },
+    Close {
+        fd: u32,
+    },
+    Read {
+        fd: u32,
+        count: u64,
+        ret: u64,
+    },
+    Write {
+        fd: u32,
+        count: u64,
+    },
+    Pread {
+        fd: u32,
+        offset: u64,
+        count: u64,
+        ret: u64,
+    },
+    Pwrite {
+        fd: u32,
+        offset: u64,
+        count: u64,
+    },
+    Lseek {
+        fd: u32,
+        offset: i64,
+        whence: SeekWhence,
+        ret: u64,
+    },
+    Fsync {
+        fd: u32,
+    },
+    Fdatasync {
+        fd: u32,
+    },
+    Ftruncate {
+        fd: u32,
+        len: u64,
+    },
+    Mmap {
+        fd: u32,
+        offset: u64,
+        count: u64,
+    },
 
     // --- POSIX metadata ---
-    MetaPath { op: MetaKind, path: PathId },
-    MetaPath2 { op: MetaKind, path: PathId, path2: PathId },
-    MetaFd { op: MetaKind, fd: u32 },
-    MetaPlain { op: MetaKind },
+    MetaPath {
+        op: MetaKind,
+        path: PathId,
+    },
+    MetaPath2 {
+        op: MetaKind,
+        path: PathId,
+        path2: PathId,
+    },
+    MetaFd {
+        op: MetaKind,
+        fd: u32,
+    },
+    MetaPlain {
+        op: MetaKind,
+    },
 
     // --- MPI runtime events (happens-before edges) ---
-    MpiBarrier { epoch: u64 },
-    MpiSend { dst: u32, tag: u32, seq: u64 },
-    MpiRecv { src: u32, tag: u32, seq: u64 },
+    MpiBarrier {
+        epoch: u64,
+    },
+    MpiSend {
+        dst: u32,
+        tag: u32,
+        seq: u64,
+    },
+    MpiRecv {
+        src: u32,
+        tag: u32,
+        seq: u64,
+    },
 
     // --- MPI-IO ---
-    MpiFileOpen { path: PathId, fh: u32 },
-    MpiFileClose { fh: u32 },
-    MpiFileWriteAt { fh: u32, offset: u64, count: u64 },
-    MpiFileWriteAtAll { fh: u32, offset: u64, count: u64 },
-    MpiFileReadAt { fh: u32, offset: u64, count: u64 },
-    MpiFileReadAtAll { fh: u32, offset: u64, count: u64 },
-    MpiFileSync { fh: u32 },
+    MpiFileOpen {
+        path: PathId,
+        fh: u32,
+    },
+    MpiFileClose {
+        fh: u32,
+    },
+    MpiFileWriteAt {
+        fh: u32,
+        offset: u64,
+        count: u64,
+    },
+    MpiFileWriteAtAll {
+        fh: u32,
+        offset: u64,
+        count: u64,
+    },
+    MpiFileReadAt {
+        fh: u32,
+        offset: u64,
+        count: u64,
+    },
+    MpiFileReadAtAll {
+        fh: u32,
+        offset: u64,
+        count: u64,
+    },
+    MpiFileSync {
+        fh: u32,
+    },
 
     // --- HDF5 ---
-    H5Fcreate { path: PathId, id: u32 },
-    H5Fopen { path: PathId, id: u32 },
-    H5Fclose { id: u32 },
-    H5Fflush { id: u32 },
-    H5Dcreate { file: u32, name: PathId, id: u32 },
-    H5Dopen { file: u32, name: PathId, id: u32 },
-    H5Dwrite { dset: u32, count: u64 },
-    H5Dread { dset: u32, count: u64 },
-    H5Dclose { id: u32 },
+    H5Fcreate {
+        path: PathId,
+        id: u32,
+    },
+    H5Fopen {
+        path: PathId,
+        id: u32,
+    },
+    H5Fclose {
+        id: u32,
+    },
+    H5Fflush {
+        id: u32,
+    },
+    H5Dcreate {
+        file: u32,
+        name: PathId,
+        id: u32,
+    },
+    H5Dopen {
+        file: u32,
+        name: PathId,
+        id: u32,
+    },
+    H5Dwrite {
+        dset: u32,
+        count: u64,
+    },
+    H5Dread {
+        dset: u32,
+        count: u64,
+    },
+    H5Dclose {
+        id: u32,
+    },
 
     // --- Generic higher-level library call (NetCDF / ADIOS / Silo) ---
-    LibCall { name: PathId, a: u64, b: u64 },
+    LibCall {
+        name: PathId,
+        a: u64,
+        b: u64,
+    },
 }
 
 impl Func {
@@ -324,13 +437,20 @@ mod tests {
 
     #[test]
     fn func_names_sane() {
-        let f = Func::MetaPath { op: MetaKind::Stat, path: PathId(0) };
+        let f = Func::MetaPath {
+            op: MetaKind::Stat,
+            path: PathId(0),
+        };
         assert_eq!(f.name(), "stat");
         assert_eq!(f.meta_kind(), Some(MetaKind::Stat));
         let w = Func::Write { fd: 3, count: 10 };
         assert_eq!(w.name(), "write");
         assert_eq!(w.meta_kind(), None);
-        let m = Func::Mmap { fd: 3, offset: 0, count: 10 };
+        let m = Func::Mmap {
+            fd: 3,
+            offset: 0,
+            count: 10,
+        };
         assert_eq!(m.meta_kind(), Some(MetaKind::Mmap));
     }
 }

@@ -18,7 +18,11 @@ pub struct SizeHistogram {
 
 impl SizeHistogram {
     pub fn add(&mut self, size: u64) {
-        let bucket = if size <= 1 { 0 } else { 63 - size.leading_zeros() };
+        let bucket = if size <= 1 {
+            0
+        } else {
+            63 - size.leading_zeros()
+        };
         *self.buckets.entry(bucket).or_insert(0) += 1;
     }
 
@@ -137,7 +141,14 @@ mod tests {
     use crate::record::{PathId, Record};
 
     fn rec(rank: u32, func: Func) -> Record {
-        Record { t_start: 0, t_end: 1, rank, layer: Layer::Posix, origin: Layer::App, func }
+        Record {
+            t_start: 0,
+            t_end: 1,
+            rank,
+            layer: Layer::Posix,
+            origin: Layer::App,
+            func,
+        }
     }
 
     #[test]
@@ -164,13 +175,34 @@ mod tests {
             paths: vec!["/a".into(), "/b".into()],
             ranks: vec![
                 vec![
-                    rec(0, Func::Open { path: PathId(0), flags: 3, fd: 3 }),
+                    rec(
+                        0,
+                        Func::Open {
+                            path: PathId(0),
+                            flags: 3,
+                            fd: 3,
+                        },
+                    ),
                     rec(0, Func::Write { fd: 3, count: 4096 }),
                     rec(0, Func::Write { fd: 3, count: 100 }),
-                    rec(0, Func::Read { fd: 3, count: 1000, ret: 500 }),
+                    rec(
+                        0,
+                        Func::Read {
+                            fd: 3,
+                            count: 1000,
+                            ret: 500,
+                        },
+                    ),
                     rec(0, Func::Close { fd: 3 }),
                 ],
-                vec![rec(1, Func::Pwrite { fd: 4, offset: 0, count: 64 })],
+                vec![rec(
+                    1,
+                    Func::Pwrite {
+                        fd: 4,
+                        offset: 0,
+                        count: 64,
+                    },
+                )],
             ],
             skews_ns: vec![0, 0],
         };

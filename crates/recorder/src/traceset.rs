@@ -99,7 +99,11 @@ pub struct RankTracer {
 
 impl RankTracer {
     pub fn new(rank: u32, interner: SharedInterner) -> Self {
-        RankTracer { rank, interner, records: Vec::new() }
+        RankTracer {
+            rank,
+            interner,
+            records: Vec::new(),
+        }
     }
 
     pub fn rank(&self) -> u32 {
@@ -113,7 +117,14 @@ impl RankTracer {
     /// Append one record. `t_start`/`t_end` must already be this rank's
     /// local-clock (skewed) timestamps.
     pub fn record(&mut self, t_start: u64, t_end: u64, layer: Layer, origin: Layer, func: Func) {
-        self.records.push(Record { t_start, t_end, rank: self.rank, layer, origin, func });
+        self.records.push(Record {
+            t_start,
+            t_end,
+            rank: self.rank,
+            layer,
+            origin,
+            func,
+        });
     }
 
     pub fn records(&self) -> &[Record] {
@@ -146,7 +157,11 @@ impl TraceSet {
     /// interning races between rank threads would otherwise make the id
     /// assignment — and therefore the encoded trace — nondeterministic
     /// even under the deterministic scheduler.
-    pub fn assemble(interner: SharedInterner, tracers: Vec<RankTracer>, skews_ns: Vec<i64>) -> Self {
+    pub fn assemble(
+        interner: SharedInterner,
+        tracers: Vec<RankTracer>,
+        skews_ns: Vec<i64>,
+    ) -> Self {
         for (i, t) in tracers.iter().enumerate() {
             assert_eq!(t.rank as usize, i, "tracers must be rank-ordered");
         }
@@ -170,7 +185,11 @@ impl TraceSet {
                 remap_func_paths(&mut rec.func, &remap);
             }
         }
-        TraceSet { paths, ranks, skews_ns }
+        TraceSet {
+            paths,
+            ranks,
+            skews_ns,
+        }
     }
 
     pub fn nranks(&self) -> u32 {
@@ -182,7 +201,10 @@ impl TraceSet {
     }
 
     pub fn path_id(&self, path: &str) -> Option<PathId> {
-        self.paths.iter().position(|p| p == path).map(|i| PathId(i as u32))
+        self.paths
+            .iter()
+            .position(|p| p == path)
+            .map(|i| PathId(i as u32))
     }
 
     pub fn total_records(&self) -> usize {
@@ -230,7 +252,17 @@ mod tests {
         let mut t0 = RankTracer::new(0, Arc::clone(&shared));
         let mut t1 = RankTracer::new(1, Arc::clone(&shared));
         let p = t0.intern("/f");
-        t0.record(0, 1, Layer::Posix, Layer::App, Func::Open { path: p, flags: 0, fd: 3 });
+        t0.record(
+            0,
+            1,
+            Layer::Posix,
+            Layer::App,
+            Func::Open {
+                path: p,
+                flags: 0,
+                fd: 3,
+            },
+        );
         t1.record(2, 3, Layer::Posix, Layer::App, Func::Close { fd: 3 });
         let ts = TraceSet::assemble(shared, vec![t0, t1], vec![5, -5]);
         assert_eq!(ts.nranks(), 2);

@@ -15,11 +15,21 @@ fn args(trace: &TraceSet, func: &Func) -> String {
         Func::Close { fd } => format!("fd={fd}"),
         Func::Read { fd, count, ret } => format!("fd={fd} count={count} ret={ret}"),
         Func::Write { fd, count } => format!("fd={fd} count={count}"),
-        Func::Pread { fd, offset, count, ret } => {
+        Func::Pread {
+            fd,
+            offset,
+            count,
+            ret,
+        } => {
             format!("fd={fd} offset={offset} count={count} ret={ret}")
         }
         Func::Pwrite { fd, offset, count } => format!("fd={fd} offset={offset} count={count}"),
-        Func::Lseek { fd, offset, whence, ret } => {
+        Func::Lseek {
+            fd,
+            offset,
+            whence,
+            ret,
+        } => {
             format!("fd={fd} offset={offset} whence={} ret={ret}", whence.name())
         }
         Func::Fsync { fd } | Func::Fdatasync { fd } => format!("fd={fd}"),
@@ -105,7 +115,11 @@ mod tests {
                 rank: 0,
                 layer: Layer::Posix,
                 origin: Layer::Hdf5,
-                func: Func::Open { path: PathId(0), flags: 0x6, fd: 3 },
+                func: Func::Open {
+                    path: PathId(0),
+                    flags: 0x6,
+                    fd: 3,
+                },
             }]],
             skews_ns: vec![0],
         };

@@ -27,12 +27,32 @@ fn func(rng: &mut SimRng) -> Func {
     let small = |rng: &mut SimRng| rng.next_u32();
     let big = |rng: &mut SimRng| rng.next_u64();
     match rng.range_u32(0, 35) {
-        0 => Func::Open { path: path_id(rng), flags: small(rng), fd: small(rng) },
+        0 => Func::Open {
+            path: path_id(rng),
+            flags: small(rng),
+            fd: small(rng),
+        },
         1 => Func::Close { fd: small(rng) },
-        2 => Func::Read { fd: small(rng), count: big(rng), ret: big(rng) },
-        3 => Func::Write { fd: small(rng), count: big(rng) },
-        4 => Func::Pread { fd: small(rng), offset: big(rng), count: big(rng), ret: big(rng) },
-        5 => Func::Pwrite { fd: small(rng), offset: big(rng), count: big(rng) },
+        2 => Func::Read {
+            fd: small(rng),
+            count: big(rng),
+            ret: big(rng),
+        },
+        3 => Func::Write {
+            fd: small(rng),
+            count: big(rng),
+        },
+        4 => Func::Pread {
+            fd: small(rng),
+            offset: big(rng),
+            count: big(rng),
+            ret: big(rng),
+        },
+        5 => Func::Pwrite {
+            fd: small(rng),
+            offset: big(rng),
+            count: big(rng),
+        },
         6 => Func::Lseek {
             fd: small(rng),
             offset: rng.next_u64() as i64,
@@ -41,32 +61,100 @@ fn func(rng: &mut SimRng) -> Func {
         },
         7 => Func::Fsync { fd: small(rng) },
         8 => Func::Fdatasync { fd: small(rng) },
-        9 => Func::Ftruncate { fd: small(rng), len: big(rng) },
-        10 => Func::Mmap { fd: small(rng), offset: big(rng), count: big(rng) },
-        11 => Func::MetaPath { op: meta_kind(rng), path: path_id(rng) },
-        12 => Func::MetaPath2 { op: meta_kind(rng), path: path_id(rng), path2: path_id(rng) },
-        13 => Func::MetaFd { op: meta_kind(rng), fd: small(rng) },
+        9 => Func::Ftruncate {
+            fd: small(rng),
+            len: big(rng),
+        },
+        10 => Func::Mmap {
+            fd: small(rng),
+            offset: big(rng),
+            count: big(rng),
+        },
+        11 => Func::MetaPath {
+            op: meta_kind(rng),
+            path: path_id(rng),
+        },
+        12 => Func::MetaPath2 {
+            op: meta_kind(rng),
+            path: path_id(rng),
+            path2: path_id(rng),
+        },
+        13 => Func::MetaFd {
+            op: meta_kind(rng),
+            fd: small(rng),
+        },
         14 => Func::MetaPlain { op: meta_kind(rng) },
         15 => Func::MpiBarrier { epoch: big(rng) },
-        16 => Func::MpiSend { dst: small(rng), tag: small(rng), seq: big(rng) },
-        17 => Func::MpiRecv { src: small(rng), tag: small(rng), seq: big(rng) },
-        18 => Func::MpiFileOpen { path: path_id(rng), fh: small(rng) },
+        16 => Func::MpiSend {
+            dst: small(rng),
+            tag: small(rng),
+            seq: big(rng),
+        },
+        17 => Func::MpiRecv {
+            src: small(rng),
+            tag: small(rng),
+            seq: big(rng),
+        },
+        18 => Func::MpiFileOpen {
+            path: path_id(rng),
+            fh: small(rng),
+        },
         19 => Func::MpiFileClose { fh: small(rng) },
-        20 => Func::MpiFileWriteAt { fh: small(rng), offset: big(rng), count: big(rng) },
-        21 => Func::MpiFileWriteAtAll { fh: small(rng), offset: big(rng), count: big(rng) },
-        22 => Func::MpiFileReadAt { fh: small(rng), offset: big(rng), count: big(rng) },
-        23 => Func::MpiFileReadAtAll { fh: small(rng), offset: big(rng), count: big(rng) },
+        20 => Func::MpiFileWriteAt {
+            fh: small(rng),
+            offset: big(rng),
+            count: big(rng),
+        },
+        21 => Func::MpiFileWriteAtAll {
+            fh: small(rng),
+            offset: big(rng),
+            count: big(rng),
+        },
+        22 => Func::MpiFileReadAt {
+            fh: small(rng),
+            offset: big(rng),
+            count: big(rng),
+        },
+        23 => Func::MpiFileReadAtAll {
+            fh: small(rng),
+            offset: big(rng),
+            count: big(rng),
+        },
         24 => Func::MpiFileSync { fh: small(rng) },
-        25 => Func::H5Fcreate { path: path_id(rng), id: small(rng) },
-        26 => Func::H5Fopen { path: path_id(rng), id: small(rng) },
+        25 => Func::H5Fcreate {
+            path: path_id(rng),
+            id: small(rng),
+        },
+        26 => Func::H5Fopen {
+            path: path_id(rng),
+            id: small(rng),
+        },
         27 => Func::H5Fclose { id: small(rng) },
         28 => Func::H5Fflush { id: small(rng) },
-        29 => Func::H5Dcreate { file: small(rng), name: path_id(rng), id: small(rng) },
-        30 => Func::H5Dopen { file: small(rng), name: path_id(rng), id: small(rng) },
-        31 => Func::H5Dwrite { dset: small(rng), count: big(rng) },
-        32 => Func::H5Dread { dset: small(rng), count: big(rng) },
+        29 => Func::H5Dcreate {
+            file: small(rng),
+            name: path_id(rng),
+            id: small(rng),
+        },
+        30 => Func::H5Dopen {
+            file: small(rng),
+            name: path_id(rng),
+            id: small(rng),
+        },
+        31 => Func::H5Dwrite {
+            dset: small(rng),
+            count: big(rng),
+        },
+        32 => Func::H5Dread {
+            dset: small(rng),
+            count: big(rng),
+        },
         33 => Func::H5Dclose { id: small(rng) },
-        _ => Func::LibCall { name: path_id(rng), a: big(rng), b: big(rng) },
+        _ => Func::LibCall {
+            name: path_id(rng),
+            a: big(rng),
+            b: big(rng),
+        },
     }
 }
 
@@ -97,7 +185,9 @@ fn encode_decode_roundtrip() {
         let trace = TraceSet {
             paths: (0..N_PATHS).map(|i| format!("/p{i}")).collect(),
             ranks: (0..3).map(|r| rank_records(&mut rng, r)).collect(),
-            skews_ns: (0..3).map(|_| rng.range_i64_inclusive(-20_000, 19_999)).collect(),
+            skews_ns: (0..3)
+                .map(|_| rng.range_i64_inclusive(-20_000, 19_999))
+                .collect(),
         };
         let encoded = trace.encode();
         let decoded = TraceSet::decode(&encoded).expect("decode");

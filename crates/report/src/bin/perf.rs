@@ -1,23 +1,33 @@
-//! The PR-1 perf harness: serial vs. parallel analysis timings.
+//! The PR-2 perf harness: the fused single-pass analysis pipeline against
+//! the separate-pass baseline.
 //!
 //! ```text
-//! perf [--out BENCH_PR1.json] [--ranks N] [--reps R] [--no-e2e]
+//! perf [--out BENCH_PR2.json] [--ranks N] [--reps R] [--no-e2e] [--smoke]
 //! ```
 //!
-//! Three workloads, all from pinned seeds so runs are comparable:
+//! Five workloads, all from pinned seeds so runs are comparable:
 //!
 //! * **overlap** — per-file overlap detection on a synthetic multi-file
-//!   trace: the seed's clone-based grouping (one `Vec<DataAccess>` per
-//!   file) against the zero-copy [`FileGroups`] sweep, the counting-only
-//!   mode, and the threaded file fan-out.
-//! * **conflict** — §5.2 conflict detection, serial vs.
-//!   [`detect_conflicts_threaded`] across thread counts.
-//! * **e2e** — the full `report all` analysis
-//!   ([`analyze_all_threaded`]), the app-level fan-out.
+//!   trace: the seed's clone-based grouping against the zero-copy
+//!   [`FileGroups`] sweep, counting mode, and the threaded file fan-out
+//!   (the PR-1 section, kept so the series stays comparable).
+//! * **conflict** — §5.2 conflict detection: two separate
+//!   [`detect_conflicts`] runs (session + commit) vs. one
+//!   [`detect_conflicts_fused_threaded`] sweep classifying each candidate
+//!   pair against both models, across thread counts.
+//! * **context** — rebuilding an [`AnalysisContext`] per analysis vs.
+//!   building it once and reusing it for the fused conflicts, both
+//!   low-level patterns, and the Table 3 classification.
+//! * **hb** — the happens-before validation of a real FLASH run:
+//!   per-query `reach` allocation vs. one scratch buffer reused across
+//!   all conflict-pair queries.
+//! * **e2e** — the full `report all` analysis, fused
+//!   ([`analyze_all_threaded`]) vs. the unfused reference pipeline, with
+//!   the PR-1 baseline read back from `BENCH_PR1.json` when present.
 //!
-//! Results land in a JSON artifact (default `BENCH_PR1.json`) recording
-//! the machine's available parallelism, so numbers from a single-core CI
-//! box are honestly labeled as such.
+//! Results land in a JSON artifact (default `BENCH_PR2.json`) recording
+//! the machine's available parallelism; a single-core box is loudly
+//! flagged as `degraded_parallelism` so its numbers are honestly labeled.
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -25,10 +35,12 @@ use std::time::Instant;
 
 use recorder::{AccessKind, DataAccess, Layer, PathId, ResolvedTrace, SyncEvent, SyncKind};
 use report_gen::json::Json;
-use report_gen::{analyze_all_threaded, ReportCfg};
-use semantics_core::conflict::{detect_conflicts, detect_conflicts_threaded, AnalysisModel};
+use report_gen::{analyze, analyze_all_threaded, analyze_all_threaded_unfused, ReportCfg};
+use semantics_core::conflict::{detect_conflicts, AnalysisModel};
+use semantics_core::hb::HbIndex;
 use semantics_core::overlap::{count_overlaps_in, detect_overlaps, detect_overlaps_in, FileGroups};
 use semantics_core::parallel::analyze_files_parallel;
+use semantics_core::{detect_conflicts_fused_threaded, AnalysisContext};
 use simrng::SimRng;
 
 const SEED: u64 = 0xBE7C_4242;
@@ -38,10 +50,17 @@ struct Args {
     ranks: u32,
     reps: usize,
     e2e: bool,
+    smoke: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { out: "BENCH_PR1.json".to_string(), ranks: 16, reps: 3, e2e: true };
+    let mut args = Args {
+        out: "BENCH_PR2.json".to_string(),
+        ranks: 16,
+        reps: 3,
+        e2e: true,
+        smoke: false,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -59,9 +78,14 @@ fn parse_args() -> Args {
                 args.reps = argv[i].parse().expect("--reps R");
             }
             "--no-e2e" => args.e2e = false,
+            "--smoke" => args.smoke = true,
             other => panic!("unknown argument {other}"),
         }
         i += 1;
+    }
+    if args.smoke {
+        args.reps = 1;
+        args.ranks = args.ranks.min(4);
     }
     args
 }
@@ -78,7 +102,13 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     best * 1e3
 }
 
-fn synth_accesses(rng: &mut SimRng, n: usize, ranks: u32, files: u32, span: u64) -> Vec<DataAccess> {
+fn synth_accesses(
+    rng: &mut SimRng,
+    n: usize,
+    ranks: u32,
+    files: u32,
+    span: u64,
+) -> Vec<DataAccess> {
     (0..n)
         .map(|i| {
             let len = rng.range_u64(64, 4096);
@@ -89,7 +119,11 @@ fn synth_accesses(rng: &mut SimRng, n: usize, ranks: u32, files: u32, span: u64)
                 file: PathId(rng.range_u32(0, files)),
                 offset: rng.range_u64(0, span),
                 len,
-                kind: if rng.gen_bool(0.7) { AccessKind::Write } else { AccessKind::Read },
+                kind: if rng.gen_bool(0.7) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 origin: Layer::App,
                 fd: 3,
             }
@@ -114,7 +148,12 @@ fn synth_trace(rng: &mut SimRng, n: usize, ranks: u32, files: u32) -> ResolvedTr
         })
         .collect();
     syncs.sort_by_key(|s| (s.t, s.rank));
-    ResolvedTrace { accesses, syncs, seek_mismatches: 0, short_reads: 0 }
+    ResolvedTrace {
+        accesses,
+        syncs,
+        seek_mismatches: 0,
+        short_reads: 0,
+    }
 }
 
 /// The seed's grouping strategy, kept here as the baseline: clone every
@@ -124,11 +163,16 @@ fn baseline_clone_overlaps(accesses: &[DataAccess]) -> u64 {
     for a in accesses {
         by_file.entry(a.file).or_default().push(*a);
     }
-    by_file.values().map(|g| detect_overlaps(g).pairs.len() as u64).sum()
+    by_file
+        .values()
+        .map(|g| detect_overlaps(g).pairs.len() as u64)
+        .sum()
 }
 
 fn thread_counts() -> Vec<usize> {
-    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut counts = vec![1, 2, 4, 8];
     if !counts.contains(&avail) {
         counts.push(avail);
@@ -145,14 +189,42 @@ fn threaded_obj(entries: &[(usize, f64)]) -> Json {
     obj
 }
 
+/// Pull the PR-1 end-to-end serial (`"1"`) timing out of `BENCH_PR1.json`
+/// with a dumb string scan — no JSON parser dependency, and a missing or
+/// malformed file just means "no baseline to compare against".
+fn pr1_e2e_baseline_ms(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let e2e = &text[text.find("\"e2e\"")?..];
+    let tm = &e2e[e2e.find("\"threaded_ms\"")?..];
+    let one = &tm[tm.find("\"1\":")? + 4..];
+    let end = one.find([',', '}', '\n'])?;
+    one[..end].trim().parse().ok()
+}
+
 fn main() {
     let args = parse_args();
     let counts = thread_counts();
-    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let degraded = avail == 1;
     eprintln!("perf: {avail} hardware threads available; timing at {counts:?}");
+    if degraded {
+        eprintln!("perf: WARNING ======================================================");
+        eprintln!("perf: WARNING  only ONE hardware thread is available on this box.");
+        eprintln!("perf: WARNING  Every threaded timing below degenerates to serial;");
+        eprintln!("perf: WARNING  speedups are meaningless. The artifact carries");
+        eprintln!("perf: WARNING  \"degraded_parallelism\": true so downstream readers");
+        eprintln!("perf: WARNING  do not mistake these numbers for a parallel run.");
+        eprintln!("perf: WARNING ======================================================");
+    }
 
     // --- overlap -----------------------------------------------------
-    let (n_acc, n_files) = (120_000usize, 16u32);
+    let (n_acc, n_files) = if args.smoke {
+        (4_000usize, 8u32)
+    } else {
+        (120_000usize, 16u32)
+    };
     let mut rng = SimRng::seed_from_u64(SEED);
     let accesses = synth_accesses(&mut rng, n_acc, 64, n_files, 1 << 22);
     let groups = FileGroups::new(&accesses);
@@ -165,7 +237,10 @@ fn main() {
             .sum::<u64>()
     });
     let count_ms = time_ms(args.reps, || {
-        groups.iter().map(|(_, idxs)| count_overlaps_in(&accesses, idxs).pairs).sum::<u64>()
+        groups
+            .iter()
+            .map(|(_, idxs)| count_overlaps_in(&accesses, idxs).pairs)
+            .sum::<u64>()
     });
     eprintln!(
         "overlap   n={n_acc} files={n_files}: clone-baseline {base_ms:.1} ms, \
@@ -174,51 +249,150 @@ fn main() {
     let mut overlap_threaded = Vec::new();
     for &t in &counts {
         let ms = time_ms(args.reps, || {
-            analyze_files_parallel(&groups, t, |_, idxs| count_overlaps_in(&accesses, idxs).pairs)
-                .iter()
-                .map(|(_, n)| n)
-                .sum::<u64>()
+            analyze_files_parallel(&groups, t, |_, idxs| {
+                count_overlaps_in(&accesses, idxs).pairs
+            })
+            .iter()
+            .map(|(_, n)| n)
+            .sum::<u64>()
         });
         eprintln!("overlap   counting, {t} thread(s): {ms:.1} ms");
         overlap_threaded.push((t, ms));
     }
 
-    // --- conflict ----------------------------------------------------
-    let n_conf = 60_000usize;
+    // --- conflict: fused vs. separate --------------------------------
+    let n_conf = if args.smoke { 3_000usize } else { 60_000usize };
     let mut rng = SimRng::seed_from_u64(SEED ^ 0xC0F);
     let trace = synth_trace(&mut rng, n_conf, 64, n_files);
-    let serial_ms =
-        time_ms(args.reps, || detect_conflicts(&trace, AnalysisModel::Session).total());
-    eprintln!("conflict  n={n_conf}: serial {serial_ms:.1} ms");
-    let mut conflict_threaded = Vec::new();
+    let separate_ms = time_ms(args.reps, || {
+        detect_conflicts(&trace, AnalysisModel::Session).total()
+            + detect_conflicts(&trace, AnalysisModel::Commit).total()
+    });
+    let fused_ms = time_ms(args.reps, || {
+        let ctx = AnalysisContext::new(&trace);
+        let r = detect_conflicts_fused_threaded(&ctx, 1);
+        r.session.total() + r.commit.total()
+    });
+    eprintln!(
+        "conflict  n={n_conf}: separate session+commit {separate_ms:.1} ms, \
+         fused {fused_ms:.1} ms ({:.2}x)",
+        separate_ms / fused_ms
+    );
+    let mut conflict_fused_threaded = Vec::new();
     for &t in &counts {
         let ms = time_ms(args.reps, || {
-            detect_conflicts_threaded(&trace, AnalysisModel::Session, t).total()
+            let ctx = AnalysisContext::new(&trace);
+            let r = detect_conflicts_fused_threaded(&ctx, t);
+            r.session.total() + r.commit.total()
         });
-        eprintln!("conflict  {t} thread(s): {ms:.1} ms");
-        conflict_threaded.push((t, ms));
+        eprintln!("conflict  fused, {t} thread(s): {ms:.1} ms");
+        conflict_fused_threaded.push((t, ms));
     }
 
-    // --- end-to-end --------------------------------------------------
-    let mut e2e_threaded = Vec::new();
+    // --- context: reuse vs. rebuild ----------------------------------
+    // The consumer set one `report` run needs: fused conflicts, both
+    // low-level pattern views, and the Table 3 classification.
+    let consume = |ctx: &AnalysisContext| {
+        let r = ctx.fused_conflicts();
+        let hl = ctx.highlevel(64);
+        r.session.total()
+            + r.commit.total()
+            + ctx.local_pattern().total()
+            + ctx.global_pattern().total()
+            + hl.per_file.len() as u64
+    };
+    let rebuild_ms = time_ms(args.reps, || consume(&AnalysisContext::new(&trace)));
+    let reused = AnalysisContext::new(&trace);
+    let reuse_ms = time_ms(args.reps, || consume(&reused));
+    eprintln!(
+        "context   rebuild-per-analysis {rebuild_ms:.1} ms, reuse {reuse_ms:.1} ms \
+         ({:.2}x)",
+        rebuild_ms / reuse_ms
+    );
+
+    // --- hb: scratch-buffer reuse ------------------------------------
+    // A real FLASH run: one happens-before query per session conflict
+    // pair, with and without the shared scratch reach buffer.
+    let cfg = ReportCfg {
+        nranks: args.ranks,
+        seed: 2021,
+        max_skew_ns: 20_000,
+    };
+    let flash = analyze(&cfg, hpcapps::spec_ref(hpcapps::AppId::FlashFbs));
+    let adjusted = recorder::adjust::apply(&flash.outcome.trace);
+    let hb_index = HbIndex::build(&adjusted);
+    let pairs = &flash.session.pairs;
+    let hb_alloc_ms = time_ms(args.reps, || {
+        pairs
+            .iter()
+            .filter(|p| {
+                hb_index.happens_before(
+                    p.first.rank,
+                    p.first.t_end,
+                    p.second.rank,
+                    p.second.t_start,
+                )
+            })
+            .count()
+    });
+    let hb_scratch_ms = time_ms(args.reps, || {
+        let mut reach = Vec::new();
+        pairs
+            .iter()
+            .filter(|p| {
+                hb_index.happens_before_scratch(
+                    &mut reach,
+                    p.first.rank,
+                    p.first.t_end,
+                    p.second.rank,
+                    p.second.t_start,
+                )
+            })
+            .count()
+    });
+    eprintln!(
+        "hb        {} pairs: alloc-per-query {hb_alloc_ms:.2} ms, shared scratch \
+         {hb_scratch_ms:.2} ms ({:.2}x)",
+        pairs.len(),
+        hb_alloc_ms / hb_scratch_ms
+    );
+
+    // --- end-to-end: fused vs. unfused pipeline ----------------------
+    let mut e2e_fused = Vec::new();
+    let mut e2e_unfused = Vec::new();
     if args.e2e {
-        let cfg = ReportCfg { nranks: args.ranks, seed: 2021, max_skew_ns: 20_000 };
         for &t in &counts {
             let ms = time_ms(1, || analyze_all_threaded(&cfg, false, t).len());
-            eprintln!("e2e       all configs @ {} ranks, {t} thread(s): {ms:.0} ms", args.ranks);
-            e2e_threaded.push((t, ms));
+            eprintln!(
+                "e2e       fused @ {} ranks, {t} thread(s): {ms:.0} ms",
+                args.ranks
+            );
+            e2e_fused.push((t, ms));
+        }
+        for &t in &counts {
+            let ms = time_ms(1, || analyze_all_threaded_unfused(&cfg, false, t).len());
+            eprintln!(
+                "e2e       unfused @ {} ranks, {t} thread(s): {ms:.0} ms",
+                args.ranks
+            );
+            e2e_unfused.push((t, ms));
         }
     }
 
     // --- artifact ----------------------------------------------------
     let mut doc = Json::obj()
-        .field("bench", "PR1 parallel analysis engine")
+        .field("bench", "PR2 fused analysis pipeline (AnalysisContext)")
         .field("seed", SEED)
         .field("reps_best_of", args.reps)
+        .field("smoke", args.smoke)
         .field("available_parallelism", avail)
+        .field("degraded_parallelism", degraded)
         .field(
             "thread_counts",
-            counts.iter().map(|&t| Json::U64(t as u64)).collect::<Vec<_>>(),
+            counts
+                .iter()
+                .map(|&t| Json::U64(t as u64))
+                .collect::<Vec<_>>(),
         )
         .field(
             "overlap",
@@ -236,18 +410,50 @@ fn main() {
             Json::obj()
                 .field("n_accesses", n_conf)
                 .field("n_files", n_files)
-                .field("model", "session")
-                .field("serial_ms", serial_ms)
-                .field("threaded_ms", threaded_obj(&conflict_threaded)),
+                .field("separate_session_plus_commit_ms", separate_ms)
+                .field("fused_ms", fused_ms)
+                .field("speedup_fused_vs_separate", separate_ms / fused_ms)
+                .field("fused_threaded_ms", threaded_obj(&conflict_fused_threaded)),
+        )
+        .field(
+            "context",
+            Json::obj()
+                .field(
+                    "what",
+                    "fused conflicts + patterns + table3 per analysis round",
+                )
+                .field("rebuild_per_analysis_ms", rebuild_ms)
+                .field("reuse_ms", reuse_ms)
+                .field("speedup_reuse_vs_rebuild", rebuild_ms / reuse_ms),
+        )
+        .field(
+            "hb",
+            Json::obj()
+                .field("what", "happens-before queries over FLASH session pairs")
+                .field("n_pairs", pairs.len())
+                .field("alloc_per_query_ms", hb_alloc_ms)
+                .field("shared_scratch_ms", hb_scratch_ms)
+                .field("speedup_scratch", hb_alloc_ms / hb_scratch_ms),
         );
     if args.e2e {
-        doc = doc.field(
-            "e2e",
-            Json::obj()
-                .field("what", "analyze_all (report all analysis phase)")
-                .field("nranks", args.ranks)
-                .field("threaded_ms", threaded_obj(&e2e_threaded)),
-        );
+        let mut e2e = Json::obj()
+            .field("what", "analyze_all (report all analysis phase)")
+            .field("nranks", args.ranks)
+            .field("fused_threaded_ms", threaded_obj(&e2e_fused))
+            .field("unfused_threaded_ms", threaded_obj(&e2e_unfused));
+        if let Some(serial) = e2e_fused.iter().find(|(t, _)| *t == 1).map(|(_, ms)| *ms) {
+            if let Some(base) = pr1_e2e_baseline_ms("BENCH_PR1.json") {
+                eprintln!(
+                    "e2e       serial fused {serial:.0} ms vs PR1 baseline {base:.0} ms \
+                     ({:.2}x)",
+                    base / serial
+                );
+                e2e = e2e
+                    .field("pr1_baseline_serial_ms", base)
+                    .field("speedup_vs_pr1_baseline", base / serial);
+            }
+        }
+        doc = doc.field("e2e", e2e);
     }
     std::fs::write(&args.out, doc.pretty() + "\n").expect("write bench artifact");
     eprintln!("wrote {}", args.out);

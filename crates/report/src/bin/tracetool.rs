@@ -21,14 +21,14 @@ use semantics_core::metadata::MetadataCensus;
 use semantics_core::patterns::{global_pattern, highlevel, local_pattern, AccessClass};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: tracetool <capture|info|dump|conflicts|patterns|census|report|list> [args]"
-    );
+    eprintln!("usage: tracetool <capture|info|dump|conflicts|patterns|census|report|list> [args]");
     std::process::exit(2);
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn load(path: &str) -> TraceSet {
@@ -83,7 +83,10 @@ fn main() {
             println!("files          : {}", s.files);
             println!("bytes written  : {}", s.bytes_written);
             println!("bytes read     : {}", s.bytes_read);
-            println!("small writes   : {:.1}% under 4KiB", 100.0 * s.small_write_fraction(4096));
+            println!(
+                "small writes   : {:.1}% under 4KiB",
+                100.0 * s.small_write_fraction(4096)
+            );
             println!("per layer      :");
             for (layer, n) in &s.per_layer {
                 println!("  {:<8} {}", layer.name(), n);
@@ -106,7 +109,10 @@ fn main() {
             match flag(rest, "--rank") {
                 Some(r) => {
                     let rank: u32 = r.parse().expect("--rank R");
-                    for line in recorder::tsv::rank_to_tsv(&trace, rank).lines().take(limit + 1) {
+                    for line in recorder::tsv::rank_to_tsv(&trace, rank)
+                        .lines()
+                        .take(limit + 1)
+                    {
                         println!("{line}");
                     }
                 }
@@ -197,13 +203,20 @@ fn main() {
             let trace = load(path);
             let census = MetadataCensus::from_trace(&trace);
             for (op, by_layer) in &census.counts {
-                let layers: Vec<String> =
-                    by_layer.iter().map(|(l, n)| format!("{}:{n}", l.name())).collect();
+                let layers: Vec<String> = by_layer
+                    .iter()
+                    .map(|(l, n)| format!("{}:{n}", l.name()))
+                    .collect();
                 println!("{:<12} {}", op.name(), layers.join(" "));
             }
             println!(
                 "unused: {}",
-                census.unused_ops().iter().map(|o| o.name()).collect::<Vec<_>>().join(", ")
+                census
+                    .unused_ops()
+                    .iter()
+                    .map(|o| o.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
         }
         "report" => {

@@ -137,7 +137,10 @@ pub fn fig2_summary(run: &AnalyzedRun, label: &str) -> String {
 /// layers.
 pub fn fig3(runs: &[AnalyzedRun]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 3: metadata operations used (op → per-config layers)");
+    let _ = writeln!(
+        out,
+        "Figure 3: metadata operations used (op → per-config layers)"
+    );
     for &op in MetaKind::ALL {
         let mut cells: Vec<String> = Vec::new();
         for r in runs {
@@ -167,7 +170,11 @@ pub fn fig3(runs: &[AnalyzedRun]) -> String {
         .filter(|&&op| runs.iter().all(|r| r.census.layers_for(op).is_empty()))
         .map(|op| op.name())
         .collect();
-    let _ = writeln!(out, "  unused by every configuration: {}", unused.join(", "));
+    let _ = writeln!(
+        out,
+        "  unused by every configuration: {}",
+        unused.join(", ")
+    );
     out
 }
 

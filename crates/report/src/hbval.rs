@@ -28,7 +28,11 @@ pub fn validate(run: &AnalyzedRun) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "§5.2 validation for {}", run.name());
     let spread = adjust::raw_skew_spread_ns(&run.outcome.trace);
-    let _ = writeln!(out, "  injected clock-skew spread: {:.1} µs", spread as f64 / 1000.0);
+    let _ = writeln!(
+        out,
+        "  injected clock-skew spread: {:.1} µs",
+        spread as f64 / 1000.0
+    );
     match min_conflict_gap_ns(run) {
         Some(gap) => {
             let _ = writeln!(
@@ -43,7 +47,10 @@ pub fn validate(run: &AnalyzedRun) -> String {
             );
         }
         None => {
-            let _ = writeln!(out, "  no cross-process conflicting operations in this trace");
+            let _ = writeln!(
+                out,
+                "  no cross-process conflicting operations in this trace"
+            );
         }
     }
     let _ = writeln!(

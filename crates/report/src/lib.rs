@@ -28,4 +28,7 @@ pub mod runner;
 pub mod scale;
 pub mod tables;
 
-pub use runner::{analyze, analyze_all, analyze_all_threaded, AnalyzedRun, ReportCfg};
+pub use runner::{
+    analyze, analyze_all, analyze_all_threaded, analyze_all_threaded_unfused, analyze_with_params,
+    analyze_with_params_unfused, AnalyzedRun, ReportCfg,
+};

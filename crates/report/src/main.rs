@@ -88,8 +88,12 @@ fn write_artifact(dir: &str, name: &str, content: &str) {
 
 fn main() {
     let args = parse_args();
-    let cfg = ReportCfg { nranks: args.ranks, seed: args.seed, max_skew_ns: 20_000 };
-    let specs = hpcapps::all_specs();
+    let cfg = ReportCfg {
+        nranks: args.ranks,
+        seed: args.seed,
+        max_skew_ns: 20_000,
+    };
+    let specs = hpcapps::specs();
 
     match args.command.as_str() {
         "table1" => print!("{}", tables::table1()),
@@ -108,12 +112,16 @@ fn main() {
             print!("{}", figures::fig1(&runs));
         }
         "fig2" => {
-            let fbs = analyze(&cfg, &hpcapps::spec(AppId::FlashFbs));
-            let nofbs = analyze(&cfg, &hpcapps::spec(AppId::FlashNofbs));
+            let fbs = analyze(&cfg, hpcapps::spec_ref(AppId::FlashFbs));
+            let nofbs = analyze(&cfg, hpcapps::spec_ref(AppId::FlashNofbs));
             print!("{}", figures::fig2_summary(&fbs, "fbs / collective"));
             print!("{}", figures::fig2_summary(&nofbs, "nofbs / independent"));
             write_artifact(&args.out, "fig2_fbs.csv", &figures::fig2_csv(&fbs, true));
-            write_artifact(&args.out, "fig2_nofbs.csv", &figures::fig2_csv(&nofbs, false));
+            write_artifact(
+                &args.out,
+                "fig2_nofbs.csv",
+                &figures::fig2_csv(&nofbs, false),
+            );
         }
         "fig3" => {
             let runs = analyze_all_threaded(&cfg, false, args.threads);
@@ -125,12 +133,14 @@ fn main() {
                 AppId::FlashFbsCollectiveMeta,
                 AppId::FlashFbsNoFlush,
             ];
-            let runs: Vec<_> =
-                variants.iter().map(|&id| analyze(&cfg, &hpcapps::spec(id))).collect();
+            let runs: Vec<_> = variants
+                .iter()
+                .map(|&id| analyze(&cfg, hpcapps::spec_ref(id)))
+                .collect();
             print!("{}", tables::flash_fix(&runs));
         }
         "validate-hb" => {
-            let run = analyze(&cfg, &hpcapps::spec(AppId::FlashFbs));
+            let run = analyze(&cfg, hpcapps::spec_ref(AppId::FlashFbs));
             print!("{}", hbval::validate(&run));
         }
         "scale-study" => {
@@ -149,12 +159,14 @@ fn main() {
                             | AppId::VpicIo
                     )
                 })
-                .cloned()
                 .collect();
-            print!("{}", scale::scale_study(&cfg, &subset, args.small, args.large));
+            print!(
+                "{}",
+                scale::scale_study(&cfg, &subset, args.small, args.large)
+            );
         }
         "semantics-matrix" => {
-            let t4: Vec<_> = specs.iter().filter(|s| s.in_table4).cloned().collect();
+            let t4: Vec<_> = specs.iter().filter(|s| s.in_table4).collect();
             print!("{}", matrix::semantics_matrix(&cfg, &t4));
         }
         "app-report" => {
@@ -162,12 +174,13 @@ fn main() {
             // every configuration — or one named via `--config`.
             let filter = std::env::args().skip_while(|a| a != "--config").nth(1);
             for spec in specs.iter().filter(|s| {
-                filter.as_ref().map_or(s.in_table4, |f| s.config_name().eq_ignore_ascii_case(f))
+                filter
+                    .as_ref()
+                    .map_or(s.in_table4, |f| s.config_name().eq_ignore_ascii_case(f))
             }) {
                 let run = analyze(&cfg, spec);
                 let adjusted = recorder::adjust::apply(&run.outcome.trace);
-                let rep =
-                    semantics_core::apprun::build_from_resolved(&adjusted, &run.resolved);
+                let rep = semantics_core::apprun::build_from_resolved(&adjusted, &run.resolved);
                 print!("{}", rep.render(&spec.config_name()));
             }
         }
@@ -316,10 +329,12 @@ fn main() {
             // FLASH fixes.
             let fixes: Vec<_> = [AppId::FlashFbsCollectiveMeta, AppId::FlashFbsNoFlush]
                 .iter()
-                .map(|&id| analyze(&cfg, &hpcapps::spec(id)))
+                .map(|&id| analyze(&cfg, hpcapps::spec_ref(id)))
                 .collect();
-            let mut fix_runs: Vec<_> =
-                runs.into_iter().filter(|r| r.spec.id == AppId::FlashFbs).collect();
+            let mut fix_runs: Vec<_> = runs
+                .into_iter()
+                .filter(|r| r.spec.id == AppId::FlashFbs)
+                .collect();
             fix_runs.extend(fixes);
             let fx = tables::flash_fix(&fix_runs);
             print!("{fx}");
@@ -335,7 +350,12 @@ fn main() {
 fn summary_json(runs: &[report_gen::AnalyzedRun]) -> String {
     use report_gen::json::Json;
     let marks = |(a, b, c, d): (bool, bool, bool, bool)| {
-        Json::Arr(vec![Json::Bool(a), Json::Bool(b), Json::Bool(c), Json::Bool(d)])
+        Json::Arr(vec![
+            Json::Bool(a),
+            Json::Bool(b),
+            Json::Bool(c),
+            Json::Bool(d),
+        ])
     };
     let configs: Vec<Json> = runs
         .iter()
@@ -346,7 +366,10 @@ fn summary_json(runs: &[report_gen::AnalyzedRun]) -> String {
                 .field("iolib", r.spec.iolib)
                 .field("expected_table3", r.spec.expected_table3)
                 .field("measured_table3", r.highlevel.label())
-                .field("expected_session", marks(r.spec.expected_session.as_tuple()))
+                .field(
+                    "expected_session",
+                    marks(r.spec.expected_session.as_tuple()),
+                )
                 .field("measured_session", marks(r.session.table4_marks()))
                 .field("commit_conflicts", r.commit.total())
                 .field("session_conflicts", r.session.total())

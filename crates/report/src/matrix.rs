@@ -85,13 +85,21 @@ fn diff(strong: &[Vec<Observation>], other: &[Vec<Observation>]) -> (u64, u64) {
 }
 
 /// Run one configuration under every engine and diff against strong.
-pub fn semantics_matrix_row(cfg: &ReportCfg, spec: &AppSpec) -> MatrixRow {
+pub fn semantics_matrix_row(cfg: &ReportCfg, spec: &'static AppSpec) -> MatrixRow {
     let (strong_obs, strong_imgs) = execute(cfg, spec, SemanticsModel::Strong);
     let mut cells = Vec::new();
-    for model in [SemanticsModel::Commit, SemanticsModel::Session, SemanticsModel::Eventual] {
+    for model in [
+        SemanticsModel::Commit,
+        SemanticsModel::Session,
+        SemanticsModel::Eventual,
+    ] {
         let (obs, imgs) = execute(cfg, spec, model);
         let (stale_reads, total_reads) = diff(&strong_obs, &obs);
-        assert_eq!(strong_imgs.len(), imgs.len(), "same file set under every engine");
+        assert_eq!(
+            strong_imgs.len(),
+            imgs.len(),
+            "same file set under every engine"
+        );
         let diverged_files = strong_imgs
             .iter()
             .zip(&imgs)
@@ -100,15 +108,24 @@ pub fn semantics_matrix_row(cfg: &ReportCfg, spec: &AppSpec) -> MatrixRow {
                 d1 != d2
             })
             .count() as u64;
-        cells.push(MatrixCell { engine: model, stale_reads, total_reads, diverged_files });
+        cells.push(MatrixCell {
+            engine: model,
+            stale_reads,
+            total_reads,
+            diverged_files,
+        });
     }
     // Static prediction from the trace analysis.
     let analyzed = crate::runner::analyze(cfg, spec);
-    MatrixRow { config: spec.config_name(), cells, predicted: analyzed.verdict.required }
+    MatrixRow {
+        config: spec.config_name(),
+        cells,
+        predicted: analyzed.verdict.required,
+    }
 }
 
 /// The whole matrix, rendered.
-pub fn semantics_matrix(cfg: &ReportCfg, specs: &[AppSpec]) -> String {
+pub fn semantics_matrix(cfg: &ReportCfg, specs: &[&'static AppSpec]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -120,11 +137,10 @@ pub fn semantics_matrix(cfg: &ReportCfg, specs: &[AppSpec]) -> String {
         "  {:<22} | {:>14} | {:>14} | {:>14} | predicted weakest safe",
         "configuration", "commit", "session", "eventual"
     );
-    for spec in specs {
+    for &spec in specs {
         let row = semantics_matrix_row(cfg, spec);
-        let cell = |c: &MatrixCell| {
-            format!("{}/{} f:{}", c.stale_reads, c.total_reads, c.diverged_files)
-        };
+        let cell =
+            |c: &MatrixCell| format!("{}/{} f:{}", c.stale_reads, c.total_reads, c.diverged_files);
         let _ = writeln!(
             out,
             "  {:<22} | {:>14} | {:>14} | {:>14} | {}",

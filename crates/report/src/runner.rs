@@ -1,10 +1,20 @@
 //! Run one application configuration through the stack and the full
 //! analysis pipeline.
+//!
+//! The pipeline builds one [`AnalysisContext`] per resolved trace and
+//! runs every analysis against it — fused session+commit conflict
+//! detection, both Figure 1 pattern views, the Table 3 classification,
+//! the metadata census, and the §5.2 happens-before validation all share
+//! the context's grouping, sync tables, and sort orders. The pre-context
+//! pipeline ([`analyze_with_params_unfused`]) is kept as the reference
+//! implementation: the byte-identity test and the perf harness compare
+//! the two.
 
 use hpcapps::{AppSpec, ScaleParams};
 use iolibs::{run_app, RunConfig, RunOutcome};
 use recorder::{adjust, offset, ResolvedTrace};
 use semantics_core::conflict::{detect_conflicts, AnalysisModel, ConflictReport};
+use semantics_core::context::AnalysisContext;
 use semantics_core::hb::{validate_conflicts, HbValidation};
 use semantics_core::metadata::MetadataCensus;
 use semantics_core::patterns::{global_pattern, highlevel, local_pattern, PatternStats};
@@ -22,13 +32,19 @@ pub struct ReportCfg {
 
 impl Default for ReportCfg {
     fn default() -> Self {
-        ReportCfg { nranks: 64, seed: 2021, max_skew_ns: 20_000 }
+        ReportCfg {
+            nranks: 64,
+            seed: 2021,
+            max_skew_ns: 20_000,
+        }
     }
 }
 
 /// Everything the analysis produces for one configuration.
 pub struct AnalyzedRun {
-    pub spec: AppSpec,
+    pub spec: &'static AppSpec,
+    /// Cached `spec.config_name()`; rendering uses it repeatedly.
+    name: String,
     pub outcome: RunOutcome,
     pub resolved: ResolvedTrace,
     pub session: ConflictReport,
@@ -43,8 +59,8 @@ pub struct AnalyzedRun {
 }
 
 impl AnalyzedRun {
-    pub fn name(&self) -> String {
-        self.spec.config_name()
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Measured Table 4 marks under session semantics.
@@ -54,14 +70,58 @@ impl AnalyzedRun {
 }
 
 /// Run and analyze one configuration.
-pub fn analyze(cfg: &ReportCfg, spec: &AppSpec) -> AnalyzedRun {
+pub fn analyze(cfg: &ReportCfg, spec: &'static AppSpec) -> AnalyzedRun {
     analyze_with_params(cfg, spec, &spec.params)
 }
 
 /// Run and analyze one configuration with overridden scale parameters.
-pub fn analyze_with_params(cfg: &ReportCfg, spec: &AppSpec, params: &ScaleParams) -> AnalyzedRun {
-    let run_cfg =
-        RunConfig::new(cfg.nranks, cfg.seed).with_max_skew_ns(cfg.max_skew_ns);
+pub fn analyze_with_params(
+    cfg: &ReportCfg,
+    spec: &'static AppSpec,
+    params: &ScaleParams,
+) -> AnalyzedRun {
+    let run_cfg = RunConfig::new(cfg.nranks, cfg.seed).with_max_skew_ns(cfg.max_skew_ns);
+    let outcome = run_app(&run_cfg, |ctx| spec.run_with(ctx, params));
+    let adjusted = adjust::apply(&outcome.trace);
+    let resolved = offset::resolve(&adjusted);
+    let ctx = AnalysisContext::with_adjusted(&resolved, &adjusted);
+    let fused = ctx.fused_conflicts();
+    let highlevel = ctx.highlevel(cfg.nranks);
+    let local = ctx.local_pattern();
+    let global = ctx.global_pattern();
+    let census = ctx.census();
+    let verdict = required_model(&fused.session, &fused.commit);
+    let hb = ctx.validate(&fused.session);
+    drop(ctx);
+    AnalyzedRun {
+        spec,
+        name: spec.config_name(),
+        outcome,
+        resolved,
+        session: fused.session,
+        commit: fused.commit,
+        highlevel,
+        local,
+        global,
+        census,
+        verdict,
+        hb,
+        nranks: cfg.nranks,
+    }
+}
+
+/// The pre-context pipeline, kept as the reference: six independent full
+/// passes over the same resolved trace (two conflict detections, three
+/// pattern passes, the census), each re-deriving its own grouping and
+/// sort order. Must produce a run identical to [`analyze_with_params`];
+/// `tests/byte_identity.rs` asserts it and the perf harness measures the
+/// difference.
+pub fn analyze_with_params_unfused(
+    cfg: &ReportCfg,
+    spec: &'static AppSpec,
+    params: &ScaleParams,
+) -> AnalyzedRun {
+    let run_cfg = RunConfig::new(cfg.nranks, cfg.seed).with_max_skew_ns(cfg.max_skew_ns);
     let outcome = run_app(&run_cfg, |ctx| spec.run_with(ctx, params));
     let adjusted = adjust::apply(&outcome.trace);
     let resolved = offset::resolve(&adjusted);
@@ -74,7 +134,8 @@ pub fn analyze_with_params(cfg: &ReportCfg, spec: &AppSpec, params: &ScaleParams
     let verdict = required_model(&session, &commit);
     let hb = validate_conflicts(&adjusted, &session);
     AnalyzedRun {
-        spec: spec.clone(),
+        spec,
+        name: spec.config_name(),
         outcome,
         resolved,
         session,
@@ -89,18 +150,22 @@ pub fn analyze_with_params(cfg: &ReportCfg, spec: &AppSpec, params: &ScaleParams
     }
 }
 
-fn selected_specs(include_variants: bool) -> Vec<AppSpec> {
-    hpcapps::all_specs()
+/// The analyzed configurations, borrowed from the `'static` registry (no
+/// per-call `AppSpec` clones).
+fn selected_specs(include_variants: bool) -> Vec<&'static AppSpec> {
+    hpcapps::specs()
         .iter()
         .filter(|s| include_variants || s.in_table4 || matches!(s.id, hpcapps::AppId::FlashNofbs))
-        .cloned()
         .collect()
 }
 
 /// Analyze every Table 4 configuration (plus, optionally, the extra
 /// variants).
 pub fn analyze_all(cfg: &ReportCfg, include_variants: bool) -> Vec<AnalyzedRun> {
-    selected_specs(include_variants).iter().map(|s| analyze(cfg, s)).collect()
+    selected_specs(include_variants)
+        .into_iter()
+        .map(|s| analyze(cfg, s))
+        .collect()
 }
 
 /// [`analyze_all`] with the configurations fanned across `threads` worker
@@ -114,5 +179,18 @@ pub fn analyze_all_threaded(
     threads: usize,
 ) -> Vec<AnalyzedRun> {
     let specs = selected_specs(include_variants);
-    semantics_core::parallel_map_indexed(specs.len(), threads, |k| analyze(cfg, &specs[k]))
+    semantics_core::parallel_map_indexed(specs.len(), threads, |k| analyze(cfg, specs[k]))
+}
+
+/// [`analyze_all_threaded`] through the unfused reference pipeline — the
+/// perf harness's baseline.
+pub fn analyze_all_threaded_unfused(
+    cfg: &ReportCfg,
+    include_variants: bool,
+    threads: usize,
+) -> Vec<AnalyzedRun> {
+    let specs = selected_specs(include_variants);
+    semantics_core::parallel_map_indexed(specs.len(), threads, |k| {
+        analyze_with_params_unfused(cfg, specs[k], &specs[k].params)
+    })
 }

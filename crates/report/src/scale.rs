@@ -26,12 +26,29 @@ impl ScaleComparison {
 }
 
 /// Compare `specs` at `small` and `large` ranks.
-pub fn compare(base: &ReportCfg, specs: &[AppSpec], small: u32, large: u32) -> Vec<ScaleComparison> {
+pub fn compare(
+    base: &ReportCfg,
+    specs: &[&'static AppSpec],
+    small: u32,
+    large: u32,
+) -> Vec<ScaleComparison> {
     specs
         .iter()
-        .map(|spec| {
-            let s = analyze(&ReportCfg { nranks: small, ..*base }, spec);
-            let l = analyze(&ReportCfg { nranks: large, ..*base }, spec);
+        .map(|&spec| {
+            let s = analyze(
+                &ReportCfg {
+                    nranks: small,
+                    ..*base
+                },
+                spec,
+            );
+            let l = analyze(
+                &ReportCfg {
+                    nranks: large,
+                    ..*base
+                },
+                spec,
+            );
             ScaleComparison {
                 config: spec.config_name(),
                 small_label: s.highlevel.label(),
@@ -44,7 +61,7 @@ pub fn compare(base: &ReportCfg, specs: &[AppSpec], small: u32, large: u32) -> V
 }
 
 /// Rendered scale study.
-pub fn scale_study(base: &ReportCfg, specs: &[AppSpec], small: u32, large: u32) -> String {
+pub fn scale_study(base: &ReportCfg, specs: &[&'static AppSpec], small: u32, large: u32) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Scale study (§6.1): {small} vs {large} ranks");
     let comparisons = compare(base, specs, small, large);
@@ -53,7 +70,11 @@ pub fn scale_study(base: &ReportCfg, specs: &[AppSpec], small: u32, large: u32) 
             out,
             "  {:<22} {}: {} / {} ranks → {} | marks {:?} vs {:?}",
             c.config,
-            if c.invariant() { "invariant" } else { "DIFFERS" },
+            if c.invariant() {
+                "invariant"
+            } else {
+                "DIFFERS"
+            },
             c.small_label,
             large,
             c.large_label,

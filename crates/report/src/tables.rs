@@ -19,10 +19,18 @@ fn mark(b: bool) -> &'static str {
 pub fn table1() -> String {
     let reg = PfsRegistry::default();
     let mut out = String::new();
-    let _ = writeln!(out, "Table 1: HPC file systems and their consistency semantics");
+    let _ = writeln!(
+        out,
+        "Table 1: HPC file systems and their consistency semantics"
+    );
     for model in ConsistencyModel::ALL {
         let names: Vec<&str> = reg.by_model(model).iter().map(|e| e.name).collect();
-        let _ = writeln!(out, "  {:>8} consistency | {}", model.name(), names.join(", "));
+        let _ = writeln!(
+            out,
+            "  {:>8} consistency | {}",
+            model.name(),
+            names.join(", ")
+        );
     }
     out
 }
@@ -31,7 +39,10 @@ pub fn table1() -> String {
 /// study; reproduced verbatim as metadata).
 pub fn table2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2: build and link configurations of the original study");
+    let _ = writeln!(
+        out,
+        "Table 2: build and link configurations of the original study"
+    );
     let rows = [
         (
             "ENZO, NWChem, GAMESS, LAMMPS, QMCPACK, Nek5000, GTC, MILC-QCD, HACC-IO, VPIC-IO",
@@ -41,7 +52,12 @@ pub fn table2() -> String {
         ),
         ("pF3D-IO, VASP", "Intel 18.0.1", "MVAPICH 2.2", "-"),
         ("LBANN", "GCC 7.3.0", "MVAPICH 2.3", "HDF5 1.10.5"),
-        ("ParaDiS, Chombo, FLASH, MACSio", "Intel 19.1.0", "Intel MPI 2018", "HDF5 1.8.20"),
+        (
+            "ParaDiS, Chombo, FLASH, MACSio",
+            "Intel 19.1.0",
+            "Intel MPI 2018",
+            "HDF5 1.8.20",
+        ),
     ];
     for (apps, cc, mpi, hdf5) in rows {
         let _ = writeln!(out, "  {cc:<13} {mpi:<15} {hdf5:<12} | {apps}");
@@ -66,7 +82,11 @@ pub fn table3(runs: &[AnalyzedRun]) -> String {
     );
     for r in runs {
         let measured = r.highlevel.label();
-        let ok = if measured == r.spec.expected_table3 { "=" } else { "!" };
+        let ok = if measured == r.spec.expected_table3 {
+            "="
+        } else {
+            "!"
+        };
         let _ = writeln!(
             out,
             "  {:<22} {:<22} {:<22} {}",
@@ -120,7 +140,11 @@ pub fn table4(runs: &[AnalyzedRun]) -> String {
     let _ = writeln!(
         out,
         "  → configurations with distinct-process conflicts under session semantics: {}",
-        weaker_ok.iter().map(|r| r.name()).collect::<Vec<_>>().join(", ")
+        weaker_ok
+            .iter()
+            .map(|r| r.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     out
 }
@@ -130,7 +154,13 @@ pub fn table5() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 5: applications and configurations");
     for s in hpcapps::all_specs() {
-        let _ = writeln!(out, "  {:<22} [{:<6}] {}", s.config_name(), s.iolib, s.table5);
+        let _ = writeln!(
+            out,
+            "  {:<22} [{:<6}] {}",
+            s.config_name(),
+            s.iolib,
+            s.table5
+        );
     }
     out
 }

@@ -1,0 +1,50 @@
+//! The fused pipeline changes nothing observable: every `report` artifact
+//! rendered from [`analyze_all_threaded`] (fused, one `AnalysisContext`
+//! per run) is byte-identical to the same artifact rendered from the
+//! unfused reference pipeline (six independent passes), and the analysis
+//! results themselves are equal field by field.
+
+use report_gen::{analyze_all_threaded, analyze_all_threaded_unfused, figures, tables, ReportCfg};
+
+#[test]
+fn fused_artifacts_byte_identical_to_unfused() {
+    let cfg = ReportCfg {
+        nranks: 8,
+        seed: 5,
+        max_skew_ns: 20_000,
+    };
+    let fused = analyze_all_threaded(&cfg, false, 0);
+    let unfused = analyze_all_threaded_unfused(&cfg, false, 0);
+    assert_eq!(fused.len(), unfused.len());
+
+    for (f, u) in fused.iter().zip(&unfused) {
+        assert_eq!(f.name(), u.name());
+        assert_eq!(f.session, u.session, "{}: session report differs", f.name());
+        assert_eq!(f.commit, u.commit, "{}: commit report differs", f.name());
+        assert_eq!(f.census, u.census, "{}: metadata census differs", f.name());
+        assert_eq!(f.local, u.local, "{}: local pattern differs", f.name());
+        assert_eq!(f.global, u.global, "{}: global pattern differs", f.name());
+        assert_eq!(f.hb, u.hb, "{}: hb validation differs", f.name());
+        assert_eq!(
+            f.highlevel.label(),
+            u.highlevel.label(),
+            "{}: Table 3 label differs",
+            f.name()
+        );
+        assert_eq!(
+            f.verdict.required,
+            u.verdict.required,
+            "{}: required model differs",
+            f.name()
+        );
+    }
+
+    // The rendered artifacts — what `report all` writes to disk — must be
+    // byte-identical.
+    assert_eq!(tables::table3(&fused), tables::table3(&unfused));
+    assert_eq!(tables::table4(&fused), tables::table4(&unfused));
+    assert_eq!(figures::fig1(&fused), figures::fig1(&unfused));
+    assert_eq!(figures::fig1_csv(&fused), figures::fig1_csv(&unfused));
+    assert_eq!(figures::fig3(&fused), figures::fig3(&unfused));
+    assert_eq!(figures::fig3_csv(&fused), figures::fig3_csv(&unfused));
+}

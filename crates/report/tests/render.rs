@@ -4,7 +4,11 @@
 use report_gen::{analyze, figures, hbval, matrix, tables, ReportCfg};
 
 fn cfg() -> ReportCfg {
-    ReportCfg { nranks: 8, seed: 5, max_skew_ns: 20_000 }
+    ReportCfg {
+        nranks: 8,
+        seed: 5,
+        max_skew_ns: 20_000,
+    }
 }
 
 #[test]
@@ -24,7 +28,7 @@ fn static_tables_render() {
 fn measured_tables_and_figures_render() {
     let runs: Vec<_> = [hpcapps::AppId::FlashFbs, hpcapps::AppId::LammpsPosix]
         .iter()
-        .map(|&id| analyze(&cfg(), &hpcapps::spec(id)))
+        .map(|&id| analyze(&cfg(), hpcapps::spec_ref(id)))
         .collect();
 
     let t3 = tables::table3(&runs);
@@ -49,9 +53,12 @@ fn measured_tables_and_figures_render() {
 
 #[test]
 fn fig2_series_and_summary() {
-    let run = analyze(&cfg(), &hpcapps::spec(hpcapps::AppId::FlashFbs));
+    let run = analyze(&cfg(), hpcapps::spec_ref(hpcapps::AppId::FlashFbs));
     let csv = figures::fig2_csv(&run, true);
-    assert!(csv.lines().count() > 100, "one row per checkpoint/plot write");
+    assert!(
+        csv.lines().count() > 100,
+        "one row per checkpoint/plot write"
+    );
     assert!(csv.contains("ab_fbs"));
     assert!(csv.contains("c_fbs"), "plot-file panel present");
     let summary = figures::fig2_summary(&run, "fbs");
@@ -60,7 +67,7 @@ fn fig2_series_and_summary() {
 
 #[test]
 fn hb_validation_renders_race_free() {
-    let run = analyze(&cfg(), &hpcapps::spec(hpcapps::AppId::FlashFbs));
+    let run = analyze(&cfg(), hpcapps::spec_ref(hpcapps::AppId::FlashFbs));
     let text = hbval::validate(&run);
     assert!(text.contains("0 racy"));
     assert!(text.contains("skew"));
@@ -68,7 +75,7 @@ fn hb_validation_renders_race_free() {
 
 #[test]
 fn matrix_row_for_a_clean_app_is_all_zeros() {
-    let row = matrix::semantics_matrix_row(&cfg(), &hpcapps::spec(hpcapps::AppId::LammpsPosix));
+    let row = matrix::semantics_matrix_row(&cfg(), hpcapps::spec_ref(hpcapps::AppId::LammpsPosix));
     for cell in &row.cells {
         assert_eq!(cell.stale_reads, 0);
         assert_eq!(cell.diverged_files, 0);
@@ -84,11 +91,17 @@ fn flash_fix_table_tells_the_story() {
         hpcapps::AppId::FlashFbsNoFlush,
     ]
     .iter()
-    .map(|&id| analyze(&cfg(), &hpcapps::spec(id)))
+    .map(|&id| analyze(&cfg(), hpcapps::spec_ref(id)))
     .collect();
     let text = tables::flash_fix(&runs);
     assert!(text.contains("FLASH-fbs+collmeta"));
     assert!(text.contains("FLASH-fbs+noflush"));
-    assert!(text.contains("required: commit"), "shipped FLASH needs commit");
-    assert!(text.contains("required: session"), "fixed variants drop to session");
+    assert!(
+        text.contains("required: commit"),
+        "shipped FLASH needs commit"
+    );
+    assert!(
+        text.contains("required: session"),
+        "fixed variants drop to session"
+    );
 }

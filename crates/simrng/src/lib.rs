@@ -27,7 +27,9 @@ impl SimRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         };
-        SimRng { s: [next(), next(), next(), next()] }
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {

@@ -28,7 +28,10 @@ fn main() {
     let (session, commit, adjusted) = analyze(&spec, nranks);
     let (ws, wd, rs, rd) = session.table4_marks();
     println!("session semantics : WAW-S:{ws} WAW-D:{wd} RAW-S:{rs} RAW-D:{rd}");
-    println!("commit semantics  : {} conflicts (the flush's fsync is a commit)", commit.total());
+    println!(
+        "commit semantics  : {} conflicts (the flush's fsync is a commit)",
+        commit.total()
+    );
 
     // Show one cross-process pair: the rotating HDF5 superblock writer.
     if let Some(p) = session.pairs.iter().find(|p| p.first.rank != p.second.rank) {

@@ -28,13 +28,19 @@ fn main() {
     //    access (§5.1).
     let adjusted = recorder::adjust::apply(&out.trace);
     let resolved = recorder::offset::resolve(&adjusted);
-    println!("accesses    : {} resolved data accesses", resolved.accesses.len());
+    println!(
+        "accesses    : {} resolved data accesses",
+        resolved.accesses.len()
+    );
 
     // 3. Detect conflicts under the two relaxed models.
     let session = detect_conflicts(&resolved, AnalysisModel::Session);
     let commit = detect_conflicts(&resolved, AnalysisModel::Commit);
     let (ws, wd, rs, rd) = session.table4_marks();
-    println!("session     : WAW-S:{ws} WAW-D:{wd} RAW-S:{rs} RAW-D:{rd} ({} pairs)", session.total());
+    println!(
+        "session     : WAW-S:{ws} WAW-D:{wd} RAW-S:{rs} RAW-D:{rd} ({} pairs)",
+        session.total()
+    );
     println!("commit      : {} pairs", commit.total());
 
     // 4. The verdict, and the PFSs it admits (Table 1).
@@ -44,7 +50,10 @@ fn main() {
     let compatible = registry.compatible(verdict.required, verdict.same_process_conflicts);
     println!("compatible file systems :");
     for pfs in compatible {
-        println!("  - {:<12} ({} consistency; {})", pfs.name, pfs.model, pfs.note);
+        println!(
+            "  - {:<12} ({} consistency; {})",
+            pfs.name, pfs.model, pfs.note
+        );
     }
 
     // 5. Access patterns (Table 3 / Figure 1).

@@ -20,18 +20,26 @@ fn scenario(model: SemanticsModel) {
     let mut writer = fs.client(0);
     let mut reader = fs.client(1);
 
-    let wfd = writer.open("/shared.dat", OpenFlags::wronly_create_trunc(), 0).unwrap();
+    let wfd = writer
+        .open("/shared.dat", OpenFlags::wronly_create_trunc(), 0)
+        .unwrap();
     writer.write(wfd, b"checkpoint-block-A", 1_000).unwrap();
 
     let peek = |reader: &mut pfssim::PfsClient, when: u64, label: &str| {
-        let rfd = reader.open("/shared.dat", OpenFlags::rdonly(), when).unwrap();
+        let rfd = reader
+            .open("/shared.dat", OpenFlags::rdonly(), when)
+            .unwrap();
         let out = reader.pread(rfd, 0, 18, when + 1).unwrap();
         println!(
             "  t={:>9} ns, {:<28} reader sees {:2} bytes {}",
             when,
             label,
             out.data.len(),
-            if out.data.is_empty() { "(stale/empty)" } else { "(fresh)" },
+            if out.data.is_empty() {
+                "(stale/empty)"
+            } else {
+                "(fresh)"
+            },
         );
         reader.close(rfd, when + 2).unwrap();
     };

@@ -20,7 +20,8 @@ fn main() {
         ctx.barrier();
         let fd = ctx.open(path, OpenFlags::append_create()).unwrap();
         for round in 0..2 {
-            ctx.write(fd, format!("r{}-{round} ", ctx.rank()).as_bytes()).unwrap();
+            ctx.write(fd, format!("r{}-{round} ", ctx.rank()).as_bytes())
+                .unwrap();
             ctx.barrier();
         }
         ctx.close(fd).unwrap();

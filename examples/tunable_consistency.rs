@@ -21,7 +21,11 @@ fn checkpoint(lazy: bool) -> (pfssim::PfsStats, bool) {
     let mut clients: Vec<_> = (0..RANKS).map(|r| fs.client(r)).collect();
     let mut fds = Vec::new();
     for (r, c) in clients.iter_mut().enumerate() {
-        let mut flags = if r == 0 { OpenFlags::rdwr_create() } else { OpenFlags::rdwr() };
+        let mut flags = if r == 0 {
+            OpenFlags::rdwr_create()
+        } else {
+            OpenFlags::rdwr()
+        };
         if lazy {
             flags = flags.with_lazy();
         }
@@ -29,7 +33,8 @@ fn checkpoint(lazy: bool) -> (pfssim::PfsStats, bool) {
     }
     for (r, c) in clients.iter_mut().enumerate() {
         let off = r as u64 * CHUNK as u64;
-        c.pwrite(fds[r], off, &vec![r as u8; CHUNK], 100 + r as u64).unwrap();
+        c.pwrite(fds[r], off, &vec![r as u8; CHUNK], 100 + r as u64)
+            .unwrap();
     }
 
     // Mid-checkpoint, a reader probes the file.

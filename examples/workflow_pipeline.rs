@@ -35,7 +35,10 @@ fn main() {
     println!("simulation job (8 ranks) writes 3 snapshots; analysis job (8 ranks) reduces them.\n");
 
     let strong = run(SemanticsModel::Strong, 1_000_000, 0);
-    println!("strong consistency — analysis output:\n{}", analysis_output(&strong));
+    println!(
+        "strong consistency — analysis output:\n{}",
+        analysis_output(&strong)
+    );
 
     // Static analysis of the combined two-job trace.
     let resolved = recorder::offset::resolve(&strong.combined);

@@ -1,10 +1,16 @@
 #!/usr/bin/env sh
-# Rebuild and run the PR-1 perf harness, refreshing BENCH_PR1.json at the
+# Rebuild and run the perf harness, refreshing BENCH_PR2.json at the
 # repo root. Extra arguments are passed through to `perf`, e.g.:
 #
 #   scripts/bench.sh                 # full run, best-of-3
 #   scripts/bench.sh --no-e2e        # skip the end-to-end fan-out
 #   scripts/bench.sh --ranks 64      # paper-scale end-to-end
+#   scripts/bench.sh --smoke         # tiny sizes, CI sanity check
+#
+# The harness compares the fused AnalysisContext pipeline against the
+# separate-pass baseline and, when BENCH_PR1.json is present, against the
+# PR-1 end-to-end numbers. A box with one hardware thread is flagged in
+# the artifact as "degraded_parallelism": true.
 #
 # The mini micro-benchmarks (crates/bench) are separate:
 #   cargo bench -p bench

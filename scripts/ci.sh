@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# The CI gate, in dependency order: formatting, a clean release build,
+# the full test suite, and a perf-harness smoke run (tiny sizes — checks
+# the harness itself, not the numbers).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "ci: cargo fmt --check"
+cargo fmt --check
+
+echo "ci: cargo build --release"
+cargo build --release
+
+echo "ci: cargo test -q"
+cargo test -q
+
+echo "ci: perf smoke"
+./target/release/perf --smoke --out target/BENCH_SMOKE.json
+
+echo "ci: OK"

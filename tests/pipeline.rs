@@ -67,7 +67,11 @@ fn adjustment_is_what_makes_skew_harmless() {
         AnalysisModel::Session,
     );
     let expected = hpcapps::spec(AppId::FlashFbs).expected_session.as_tuple();
-    assert_eq!(resolved.table4_marks(), expected, "adjusted analysis is correct");
+    assert_eq!(
+        resolved.table4_marks(),
+        expected,
+        "adjusted analysis is correct"
+    );
 
     // Quantify the raw misordering the adjustment repaired: the global
     // merge order of the raw and adjusted traces differ.
@@ -77,9 +81,15 @@ fn adjustment_is_what_makes_skew_harmless() {
         .iter()
         .map(|r| (r.rank, r.func.name()))
         .collect();
-    let adj_order: Vec<(u32, &'static str)> =
-        adjusted.merged_by_time().iter().map(|r| (r.rank, r.func.name())).collect();
-    assert_ne!(raw_order, adj_order, "5 ms of skew must visibly scramble the raw order");
+    let adj_order: Vec<(u32, &'static str)> = adjusted
+        .merged_by_time()
+        .iter()
+        .map(|r| (r.rank, r.func.name()))
+        .collect();
+    assert_ne!(
+        raw_order, adj_order,
+        "5 ms of skew must visibly scramble the raw order"
+    );
 }
 
 #[test]
@@ -116,7 +126,10 @@ fn verdicts_join_with_the_pfs_registry() {
         .map(|e| e.name)
         .collect();
     assert!(ok.contains(&"NFS"));
-    assert!(ok.contains(&"BurstFS"), "no same-process conflicts ⇒ even BurstFS works");
+    assert!(
+        ok.contains(&"BurstFS"),
+        "no same-process conflicts ⇒ even BurstFS works"
+    );
 
     // NWChem has same-process conflicts: BurstFS is excluded, NFS is fine.
     let (_, resolved) = run_and_resolve(AppId::Nwchem, 8, 2, 20_000);
@@ -142,11 +155,20 @@ fn scale_invariance_of_patterns_and_conflicts() {
     // bound matters: below ~2 ranks per Silo file group the N-M pattern
     // degenerates to N-N, just as it would in a real MACSio run.)
     use report_gen::{scale, ReportCfg};
-    let base = ReportCfg { nranks: 0, seed: 9, max_skew_ns: 20_000 };
-    let specs: Vec<_> = [AppId::FlashFbs, AppId::Enzo, AppId::Macsio, AppId::HaccIoPosix]
-        .iter()
-        .map(|&id| hpcapps::spec(id))
-        .collect();
+    let base = ReportCfg {
+        nranks: 0,
+        seed: 9,
+        max_skew_ns: 20_000,
+    };
+    let specs: Vec<_> = [
+        AppId::FlashFbs,
+        AppId::Enzo,
+        AppId::Macsio,
+        AppId::HaccIoPosix,
+    ]
+    .iter()
+    .map(|&id| hpcapps::spec_ref(id))
+    .collect();
     for c in scale::compare(&base, &specs, 16, 32) {
         assert!(
             c.invariant(),
@@ -197,7 +219,12 @@ fn app_traces_survive_codec_roundtrip_with_identical_analysis() {
     // Save/reload each representative app trace through the binary codec
     // and verify the reloaded trace yields byte-identical analysis — what
     // the tracetool capture → analyze workflow depends on.
-    for id in [AppId::FlashFbs, AppId::LammpsNetcdf, AppId::Macsio, AppId::Lbann] {
+    for id in [
+        AppId::FlashFbs,
+        AppId::LammpsNetcdf,
+        AppId::Macsio,
+        AppId::Lbann,
+    ] {
         let spec = hpcapps::spec(id);
         let out = run_app(&RunConfig::new(8, 19), |ctx| spec.run(ctx));
         let decoded = TraceSet::decode(&out.trace.encode()).expect("roundtrip");
@@ -234,6 +261,9 @@ fn free_mode_interleaving_reproduces_the_same_marks() {
             expected,
             "attempt {attempt}: free-running interleaving changed the conflict marks"
         );
-        assert_eq!(detect_conflicts(&resolved, AnalysisModel::Commit).total(), 0);
+        assert_eq!(
+            detect_conflicts(&resolved, AnalysisModel::Commit).total(),
+            0
+        );
     }
 }

@@ -7,12 +7,21 @@ use pfs_semantics::prelude::*;
 use report_gen::matrix::semantics_matrix_row;
 use report_gen::ReportCfg;
 
-const CFG: ReportCfg = ReportCfg { nranks: 8, seed: 77, max_skew_ns: 20_000 };
+const CFG: ReportCfg = ReportCfg {
+    nranks: 8,
+    seed: 77,
+    max_skew_ns: 20_000,
+};
 
 #[test]
 fn clean_apps_are_bitwise_identical_under_commit_and_session() {
-    for id in [AppId::LammpsPosix, AppId::HaccIoPosix, AppId::Qmcpack, AppId::Chombo] {
-        let row = semantics_matrix_row(&CFG, &hpcapps::spec(id));
+    for id in [
+        AppId::LammpsPosix,
+        AppId::HaccIoPosix,
+        AppId::Qmcpack,
+        AppId::Chombo,
+    ] {
+        let row = semantics_matrix_row(&CFG, hpcapps::spec_ref(id));
         for cell in &row.cells[..2] {
             // commit, session
             assert_eq!(cell.stale_reads, 0, "{id:?}/{:?}: stale reads", cell.engine);
@@ -27,7 +36,7 @@ fn clean_apps_are_bitwise_identical_under_commit_and_session() {
 
 #[test]
 fn flash_corrupts_under_session_but_not_commit() {
-    let row = semantics_matrix_row(&CFG, &hpcapps::spec(AppId::FlashFbs));
+    let row = semantics_matrix_row(&CFG, hpcapps::spec_ref(AppId::FlashFbs));
     let commit = &row.cells[0];
     let session = &row.cells[1];
     assert_eq!(commit.engine, SemanticsModel::Commit);
@@ -40,13 +49,17 @@ fn flash_corrupts_under_session_but_not_commit() {
         session.diverged_files > 0,
         "session semantics must corrupt the checkpoint metadata (the WAW-D)"
     );
-    assert_eq!(row.predicted, ConsistencyModel::Commit, "dynamic result matches prediction");
+    assert_eq!(
+        row.predicted,
+        ConsistencyModel::Commit,
+        "dynamic result matches prediction"
+    );
 }
 
 #[test]
 fn flash_fixes_also_fix_the_dynamic_corruption() {
     for id in [AppId::FlashFbsCollectiveMeta, AppId::FlashFbsNoFlush] {
-        let row = semantics_matrix_row(&CFG, &hpcapps::spec(id));
+        let row = semantics_matrix_row(&CFG, hpcapps::spec_ref(id));
         let session = &row.cells[1];
         assert_eq!(
             session.diverged_files, 0,
@@ -61,7 +74,7 @@ fn same_process_raw_is_served_by_read_your_writes() {
     // PFS that preserves same-process ordering, those reads still return
     // fresh data. The observation logs prove it.
     for id in [AppId::Enzo, AppId::Nwchem, AppId::Pf3dIo] {
-        let row = semantics_matrix_row(&CFG, &hpcapps::spec(id));
+        let row = semantics_matrix_row(&CFG, hpcapps::spec_ref(id));
         for cell in &row.cells[..2] {
             assert!(cell.total_reads > 0, "{id:?} must actually read");
             assert_eq!(
@@ -78,7 +91,7 @@ fn eventual_consistency_starves_cross_process_readers() {
     // LBANN's readers consume data staged by rank 0; under eventual
     // semantics the propagation delay makes them read stale/empty data —
     // why the paper rules out eventual consistency for traditional apps.
-    let row = semantics_matrix_row(&CFG, &hpcapps::spec(AppId::Lbann));
+    let row = semantics_matrix_row(&CFG, hpcapps::spec_ref(AppId::Lbann));
     let eventual = &row.cells[2];
     assert_eq!(eventual.engine, SemanticsModel::Eventual);
     assert!(
@@ -126,13 +139,21 @@ fn directed_waw_d_demo_session_publishes_in_close_order() {
         img.read(0, 2)
     };
 
-    assert_eq!(run(SemanticsModel::Strong), b"v2", "strong: last write wins");
+    assert_eq!(
+        run(SemanticsModel::Strong),
+        b"v2",
+        "strong: last write wins"
+    );
     // Rank 0 committed *after* rank 1's overwrite, so this pair conflicts
     // under commit semantics too (condition 3: no commit by r0 between t1
     // and t2) — and indeed the stale v1 wins there as well. FLASH escapes
     // this under commit semantics only because H5Fflush commits right
     // after each write.
-    assert_eq!(run(SemanticsModel::Commit), b"v1", "late commit republishes the older write");
+    assert_eq!(
+        run(SemanticsModel::Commit),
+        b"v1",
+        "late commit republishes the older write"
+    );
     assert_eq!(
         run(SemanticsModel::Session),
         b"v1",

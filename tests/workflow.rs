@@ -35,9 +35,7 @@ fn combined_trace_has_both_jobs() {
         .map(|r| r.t_end)
         .max()
         .unwrap();
-    let consumer_first = out
-        .combined
-        .ranks[8..]
+    let consumer_first = out.combined.ranks[8..]
         .iter()
         .flatten()
         .map(|r| r.t_start)
@@ -54,11 +52,20 @@ fn cross_job_data_flow_is_session_safe() {
     let out = pipeline(SemanticsModel::Strong, 1_000_000, 0);
     let adjusted = recorder::adjust::apply(&out.combined);
     let resolved = recorder::offset::resolve(&adjusted);
-    assert!(resolved.accesses.iter().any(|a| a.rank >= 8 && a.kind == AccessKind::Read),
-        "the consumer must actually read producer data");
+    assert!(
+        resolved
+            .accesses
+            .iter()
+            .any(|a| a.rank >= 8 && a.kind == AccessKind::Read),
+        "the consumer must actually read producer data"
+    );
     for model in [AnalysisModel::Session, AnalysisModel::Commit] {
         let report = detect_conflicts(&resolved, model);
-        assert_eq!(report.total(), 0, "{model:?}: cross-job RAW must be close-to-open clean");
+        assert_eq!(
+            report.total(),
+            0,
+            "{model:?}: cross-job RAW must be close-to-open clean"
+        );
     }
 }
 
@@ -105,7 +112,10 @@ fn eventual_consistency_breaks_the_pipeline_when_the_gap_is_short() {
         .published_image("/pipeline/analysis.out")
         .unwrap();
     let eventual_out = pipeline(SemanticsModel::Eventual, 1_000, 60_000_000_000);
-    let eventual = eventual_out.pfs.published_image("/pipeline/analysis.out").unwrap();
+    let eventual = eventual_out
+        .pfs
+        .published_image("/pipeline/analysis.out")
+        .unwrap();
     let size = strong.size();
     assert_ne!(
         eventual.read(0, size),
@@ -133,8 +143,14 @@ fn insitu_monitoring_needs_more_than_session() {
     let resolved = recorder::offset::resolve(&recorder::adjust::apply(&out.trace));
     let session = detect_conflicts(&resolved, AnalysisModel::Session);
     let commit = detect_conflicts(&resolved, AnalysisModel::Commit);
-    assert!(session.raw_distinct > 0, "long-lived reader sessions are RAW-D");
-    assert!(commit.raw_distinct > 0, "the producer never commits mid-stream");
+    assert!(
+        session.raw_distinct > 0,
+        "long-lived reader sessions are RAW-D"
+    );
+    assert!(
+        commit.raw_distinct > 0,
+        "the producer never commits mid-stream"
+    );
     assert_eq!(
         required_model(&session, &commit).required,
         ConsistencyModel::Strong,
@@ -145,18 +161,29 @@ fn insitu_monitoring_needs_more_than_session() {
     // (empty) snapshot — stale reads — while strong serves fresh data.
     // Compare observation digests between strong and session runs.
     let strong_cfg = RunConfig::new(4, 41);
-    let strong_out = run_app(&strong_cfg, |ctx: &mut AppCtx| workflow::insitu_monitor(ctx, &p));
+    let strong_out = run_app(&strong_cfg, |ctx: &mut AppCtx| {
+        workflow::insitu_monitor(ctx, &p)
+    });
     let session_cfg = RunConfig::new(4, 41).with_semantics(SemanticsModel::Session);
-    let session_out = run_app(&session_cfg, |ctx: &mut AppCtx| workflow::insitu_monitor(ctx, &p));
+    let session_out = run_app(&session_cfg, |ctx: &mut AppCtx| {
+        workflow::insitu_monitor(ctx, &p)
+    });
     let mut stale = 0;
-    for (s_rank, w_rank) in strong_out.observations.iter().zip(&session_out.observations) {
+    for (s_rank, w_rank) in strong_out
+        .observations
+        .iter()
+        .zip(&session_out.observations)
+    {
         for (s, w) in s_rank.iter().zip(w_rank) {
             if s.digest != w.digest {
                 stale += 1;
             }
         }
     }
-    assert!(stale > 0, "session readers must actually observe stale data");
+    assert!(
+        stale > 0,
+        "session readers must actually observe stale data"
+    );
 }
 
 #[test]
@@ -173,12 +200,18 @@ fn advisor_downgrades_insitu_monitoring_to_commit() {
 
     let advice = semantics_core::advisor::advise_commits(&resolved);
     assert!(!advice.insertions.is_empty());
-    assert!(advice.insertions.iter().all(|i| i.rank == 0), "only the producer must commit");
+    assert!(
+        advice.insertions.iter().all(|i| i.rank == 0),
+        "only the producer must commit"
+    );
     assert!(advice.is_sufficient());
 
     // The verdict improves from strong to commit.
     let patched = semantics_core::advisor::apply_insertions(&resolved, &advice.insertions);
     let session = detect_conflicts(&patched, AnalysisModel::Session);
     let commit = detect_conflicts(&patched, AnalysisModel::Commit);
-    assert_eq!(required_model(&session, &commit).required, ConsistencyModel::Commit);
+    assert_eq!(
+        required_model(&session, &commit).required,
+        ConsistencyModel::Commit
+    );
 }
