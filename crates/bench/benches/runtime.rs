@@ -22,6 +22,7 @@ fn bench_barrier() {
                         r.barrier();
                     }
                 })
+                .expect("barrier bench never deadlocks")
             });
         }
     }
@@ -43,6 +44,7 @@ fn bench_p2p() {
                     }
                 }
             })
+            .expect("ping-pong bench never deadlocks")
         });
     }
 }
@@ -56,6 +58,7 @@ fn bench_allgather() {
                     r.allgather(&vec![r.rank() as u8; 1024]);
                 }
             })
+            .expect("allgather bench never deadlocks")
         });
     }
 }

@@ -62,4 +62,4 @@ pub use overlap::{
     OverlapCount, OverlapResult,
 };
 pub use parallel::{analyze_files_parallel, parallel_map_indexed};
-pub use verdict::{required_model, Verdict};
+pub use verdict::{required_model, Completeness, Verdict};

@@ -24,6 +24,50 @@ pub struct Verdict {
     pub same_process_conflicts: bool,
 }
 
+/// How complete the trace behind a verdict is. A rank that fail-stopped
+/// mid-run leaves a trace *prefix* — typically missing its closing
+/// commit operations (fsync/close) — so conflict counts computed from it
+/// are a lower bound on the happy-path run and commit-model verdicts can
+/// legitimately differ (a crash before the commit point is exactly the
+/// scenario commit semantics does not protect). Verdicts on partial
+/// traces are computed and labeled, never rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every rank ran to completion.
+    Complete,
+    /// These ranks fail-stopped; their traces are prefixes.
+    Partial { crashed_ranks: Vec<u32> },
+}
+
+impl Completeness {
+    /// Build from the list of crashed ranks (empty ⇒ complete).
+    pub fn from_crashed(mut crashed_ranks: Vec<u32>) -> Self {
+        if crashed_ranks.is_empty() {
+            Completeness::Complete
+        } else {
+            crashed_ranks.sort_unstable();
+            crashed_ranks.dedup();
+            Completeness::Partial { crashed_ranks }
+        }
+    }
+
+    pub fn is_partial(&self) -> bool {
+        matches!(self, Completeness::Partial { .. })
+    }
+
+    /// Short render suffix: empty for complete traces, a crashed-ranks
+    /// annotation for partial ones.
+    pub fn label(&self) -> String {
+        match self {
+            Completeness::Complete => String::new(),
+            Completeness::Partial { crashed_ranks } => {
+                let ranks: Vec<String> = crashed_ranks.iter().map(|r| format!("r{r}")).collect();
+                format!(" [partial: crashed {}]", ranks.join(","))
+            }
+        }
+    }
+}
+
 /// Derive the verdict from the session- and commit-semantics conflict
 /// reports. (Eventual consistency is out of scope, as in the paper:
 /// traditional applications rely on a deterministic write→read
@@ -106,6 +150,16 @@ mod tests {
         );
         assert_eq!(v.required, ConsistencyModel::Commit);
         assert_eq!(v.required_strict, ConsistencyModel::Commit);
+    }
+
+    #[test]
+    fn completeness_labels() {
+        assert_eq!(Completeness::from_crashed(vec![]), Completeness::Complete);
+        assert!(!Completeness::Complete.is_partial());
+        assert_eq!(Completeness::Complete.label(), "");
+        let p = Completeness::from_crashed(vec![3, 1, 3]);
+        assert!(p.is_partial());
+        assert_eq!(p.label(), " [partial: crashed r1,r3]");
     }
 
     #[test]

@@ -3,13 +3,14 @@
 //! writing its box at a rank-strided offset (N-1 strided); no explicit
 //! flush, so metadata is written once at close and no conflicts arise.
 
+use iolibs::OrFailStop;
 use iolibs::{AppCtx, H5File, H5Opts};
 
 use crate::registry::ScaleParams;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/chombo").unwrap();
+        ctx.mkdir_p("/chombo").or_fail_stop(ctx);
     }
     ctx.barrier();
     let outputs = (p.steps / p.ckpt_interval.max(1)).clamp(1, 4);
@@ -17,11 +18,11 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     for o in 0..outputs {
         ctx.compute(p.compute_ns);
         let path = format!("/chombo/poisson.{o}.3d.hdf5");
-        let mut f = H5File::create(ctx, &path, H5Opts::default()).unwrap();
+        let mut f = H5File::create(ctx, &path, H5Opts::default()).or_fail_stop(ctx);
         let total = per_rank * ctx.nranks() as u64;
         let dset = f
             .create_dataset(ctx, "level_0/data:datatype=0", total)
-            .unwrap();
+            .or_fail_stop(ctx);
         crate::util::h5_write_chunks(
             ctx,
             &mut f,
@@ -30,8 +31,8 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
             &vec![o as u8; per_rank as usize],
             4,
         )
-        .unwrap();
-        f.close(ctx).unwrap();
+        .or_fail_stop(ctx);
+        f.close(ctx).or_fail_stop(ctx);
         ctx.barrier();
     }
 }

@@ -5,6 +5,7 @@
 //! symbol-table blocks it wrote earlier in the same session — the
 //! same-process read-after-write Table 4 reports.
 
+use iolibs::OrFailStop;
 use iolibs::{AppCtx, H5File, H5Opts};
 
 use crate::registry::ScaleParams;
@@ -17,7 +18,7 @@ pub const CACHE_SLOTS: u32 = 8;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/enzo").unwrap();
+        ctx.mkdir_p("/enzo").or_fail_stop(ctx);
     }
     ctx.barrier();
     let outputs = (p.steps / p.ckpt_interval.max(1)).max(1);
@@ -25,16 +26,16 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
         ctx.compute(p.compute_ns);
         let path = format!("/enzo/DD{out:04}_{:04}.cpu", ctx.rank());
         let opts = H5Opts::serial().with_cache_slots(CACHE_SLOTS);
-        let mut f = H5File::create(ctx, &path, opts).unwrap();
+        let mut f = H5File::create(ctx, &path, opts).or_fail_stop(ctx);
         for g in 0..GRIDS {
             let bytes = p.bytes_per_rank / GRIDS as u64 + 512;
             let dset = f
                 .create_dataset(ctx, &format!("Grid{g:08}"), bytes)
-                .unwrap();
+                .or_fail_stop(ctx);
             crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &vec![g as u8; bytes as usize], 2)
-                .unwrap();
+                .or_fail_stop(ctx);
         }
-        f.close(ctx).unwrap();
+        f.close(ctx).or_fail_stop(ctx);
         ctx.barrier();
     }
 }

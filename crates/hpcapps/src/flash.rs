@@ -15,6 +15,7 @@
 //! one-line fixes are modelled as variants: enabling HDF5 collective
 //! metadata, or dropping the explicit flush (§6.3).
 
+use iolibs::OrFailStop;
 use iolibs::{AppCtx, H5File, H5Opts};
 
 use crate::registry::ScaleParams;
@@ -45,7 +46,7 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: FlashMode) {
     };
     let flush_each_dataset = !matches!(mode, FlashMode::FbsNoFlush);
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/flash").unwrap();
+        ctx.mkdir_p("/flash").or_fail_stop(ctx);
     }
     ctx.barrier();
 
@@ -59,7 +60,7 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: FlashMode) {
         }
         // ---- checkpoint file ----
         let path = format!("/flash/sedov_hdf5_chk_{ckpt_id:04}");
-        let mut f = H5File::create(ctx, &path, opts).unwrap();
+        let mut f = H5File::create(ctx, &path, opts).or_fail_stop(ctx);
         for d in 0..CKPT_DATASETS {
             // nofbs: per-dataset sizes vary (dynamic block size); fbs:
             // uniform (fixed block size).
@@ -68,25 +69,27 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: FlashMode) {
                 _ => p.bytes_per_rank,
             };
             let total = per_rank * ctx.nranks() as u64;
-            let dset = f.create_dataset(ctx, &format!("unk{d:02}"), total).unwrap();
+            let dset = f
+                .create_dataset(ctx, &format!("unk{d:02}"), total)
+                .or_fail_stop(ctx);
             let my_off = ctx.rank() as u64 * per_rank;
             let payload = vec![(d as u8).wrapping_add(ctx.rank() as u8); per_rank as usize];
-            f.write(ctx, &dset, my_off, &payload).unwrap();
+            f.write(ctx, &dset, my_off, &payload).or_fail_stop(ctx);
             if flush_each_dataset {
-                f.flush(ctx).unwrap();
+                f.flush(ctx).or_fail_stop(ctx);
             }
         }
-        f.close(ctx).unwrap();
+        f.close(ctx).or_fail_stop(ctx);
 
         // ---- plot file: rank 0 writes the (reduced) data, the usual
         // subset of ranks performs metadata writes ----
         let path = format!("/flash/sedov_hdf5_plt_cnt_{ckpt_id:04}");
-        let mut f = H5File::create(ctx, &path, opts).unwrap();
+        let mut f = H5File::create(ctx, &path, opts).or_fail_stop(ctx);
         for d in 0..PLOT_DATASETS {
             let total = p.bytes_per_rank * 4;
             let dset = f
                 .create_dataset(ctx, &format!("plot{d:02}"), total)
-                .unwrap();
+                .or_fail_stop(ctx);
             if opts.collective_data {
                 // Collective call: rank 0 contributes everything, the rest
                 // contribute empty hyperslabs.
@@ -95,16 +98,16 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: FlashMode) {
                 } else {
                     Vec::new()
                 };
-                f.write(ctx, &dset, 0, &data).unwrap();
+                f.write(ctx, &dset, 0, &data).or_fail_stop(ctx);
             } else if ctx.rank() == 0 {
                 f.write(ctx, &dset, 0, &vec![d as u8; total as usize])
-                    .unwrap();
+                    .or_fail_stop(ctx);
             }
             if flush_each_dataset {
-                f.flush(ctx).unwrap();
+                f.flush(ctx).or_fail_stop(ctx);
             }
         }
-        f.close(ctx).unwrap();
+        f.close(ctx).or_fail_stop(ctx);
         ckpt_id += 1;
     }
     ctx.barrier();

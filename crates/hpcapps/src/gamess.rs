@@ -5,6 +5,7 @@
 //! WAW-S).
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::OpenFlags;
 
 use crate::registry::ScaleParams;
@@ -16,7 +17,7 @@ pub const ITERS: u32 = 4;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/gamess").unwrap();
+        ctx.mkdir_p("/gamess").or_fail_stop(ctx);
     }
     ctx.barrier();
 
@@ -25,18 +26,20 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     let is_writer = ctx.rank().is_multiple_of(2);
     if is_writer {
         let path = format!("/gamess/f10_{:03}.dat", ctx.rank());
-        let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
+        let fd = ctx.open(&path, OpenFlags::rdwr_create()).or_fail_stop(ctx);
         let mut tail = BOOK;
-        ctx.pwrite(fd, 0, &vec![1u8; BOOK as usize]).unwrap();
+        ctx.pwrite(fd, 0, &vec![1u8; BOOK as usize])
+            .or_fail_stop(ctx);
         for it in 0..ITERS {
             ctx.compute(p.compute_ns);
             let data = vec![it as u8; p.bytes_per_rank as usize];
-            ctx.pwrite(fd, tail, &data).unwrap();
+            ctx.pwrite(fd, tail, &data).or_fail_stop(ctx);
             tail += data.len() as u64;
         }
         // Final bookkeeping rewrite: the WAW-S.
-        ctx.pwrite(fd, 0, &vec![2u8; BOOK as usize]).unwrap();
-        ctx.close(fd).unwrap();
+        ctx.pwrite(fd, 0, &vec![2u8; BOOK as usize])
+            .or_fail_stop(ctx);
+        ctx.close(fd).or_fail_stop(ctx);
     } else {
         for _ in 0..ITERS {
             ctx.compute(p.compute_ns);

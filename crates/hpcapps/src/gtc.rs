@@ -3,13 +3,14 @@
 //! 1-1 consecutive log-style output.
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::OpenFlags;
 
 use crate::registry::ScaleParams;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/gtc").unwrap();
+        ctx.mkdir_p("/gtc").or_fail_stop(ctx);
     }
     ctx.barrier();
 
@@ -17,11 +18,11 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
         (
             Some(
                 ctx.open("/gtc/history.out", OpenFlags::append_create())
-                    .unwrap(),
+                    .or_fail_stop(ctx),
             ),
             Some(
                 ctx.open("/gtc/sheareb.out", OpenFlags::append_create())
-                    .unwrap(),
+                    .or_fail_stop(ctx),
             ),
         )
     } else {
@@ -33,14 +34,14 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
         let diag = ctx.gather(0, &(ctx.rank() as u64).to_le_bytes());
         if let (Some(h), Some(s)) = (hist, sheareb) {
             let blob: Vec<u8> = diag.expect("root gather").concat();
-            ctx.write(h, &blob).unwrap();
-            ctx.write(s, &vec![0u8; 1024]).unwrap();
+            ctx.write(h, &blob).or_fail_stop(ctx);
+            ctx.write(s, &vec![0u8; 1024]).or_fail_stop(ctx);
         }
         ctx.barrier();
     }
     if let (Some(h), Some(s)) = (hist, sheareb) {
-        ctx.close(h).unwrap();
-        ctx.close(s).unwrap();
+        ctx.close(h).or_fail_stop(ctx);
+        ctx.close(s).or_fail_stop(ctx);
     }
     ctx.barrier();
 }

@@ -3,6 +3,7 @@
 //! rank — through either raw POSIX or MPI-IO independent file-per-process
 //! (both N-N consecutive).
 
+use iolibs::OrFailStop;
 use iolibs::{AppCtx, MpiFile, MpiIoHints};
 use pfssim::OpenFlags;
 
@@ -20,7 +21,7 @@ pub enum HaccIo {
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: HaccIo) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/hacc").unwrap();
+        ctx.mkdir_p("/hacc").or_fail_stop(ctx);
     }
     ctx.barrier();
     ctx.compute(p.compute_ns);
@@ -29,20 +30,23 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: HaccIo) {
     match io {
         HaccIo::Posix => {
             let path = format!("/hacc/restart.{:05}.posix", ctx.rank());
-            let fd = ctx.open(&path, OpenFlags::wronly_create_trunc()).unwrap();
+            let fd = ctx
+                .open(&path, OpenFlags::wronly_create_trunc())
+                .or_fail_stop(ctx);
             for v in 0..VARIABLES {
-                ctx.write(fd, &vec![v as u8; var_bytes as usize]).unwrap();
+                ctx.write(fd, &vec![v as u8; var_bytes as usize])
+                    .or_fail_stop(ctx);
             }
-            ctx.close(fd).unwrap();
+            ctx.close(fd).or_fail_stop(ctx);
         }
         HaccIo::MpiIo => {
             let path = format!("/hacc/restart.{:05}.mpiio", ctx.rank());
-            let mf = MpiFile::open_independent(ctx, &path, MpiIoHints::default()).unwrap();
+            let mf = MpiFile::open_independent(ctx, &path, MpiIoHints::default()).or_fail_stop(ctx);
             for v in 0..VARIABLES {
                 mf.write_at(ctx, v * var_bytes, &vec![v as u8; var_bytes as usize])
-                    .unwrap();
+                    .or_fail_stop(ctx);
             }
-            mf.close_independent(ctx).unwrap();
+            mf.close_independent(ctx).or_fail_stop(ctx);
         }
     }
     ctx.barrier();

@@ -13,6 +13,7 @@
 //! * ADIOS — aggregators append subfiles; rank 0 overwrites the `md.idx`
 //!   status byte every step (WAW-S).
 
+use iolibs::OrFailStop;
 use iolibs::{AdiosWriter, AppCtx, H5File, H5Opts, MpiFile, MpiIoHints, NcFile};
 use pfssim::OpenFlags;
 
@@ -30,7 +31,7 @@ pub enum LammpsIo {
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/lammps").unwrap();
+        ctx.mkdir_p("/lammps").or_fail_stop(ctx);
     }
     ctx.barrier();
     let per_rank = p.bytes_per_rank;
@@ -39,7 +40,7 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
     // Library-lifetime handles.
     let mut nc = match io {
         LammpsIo::NetCdf if ctx.rank() == 0 => {
-            Some(NcFile::create(ctx, "/lammps/dump.nc").unwrap())
+            Some(NcFile::create(ctx, "/lammps/dump.nc").or_fail_stop(ctx))
         }
         _ => None,
     };
@@ -47,13 +48,13 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
         ctx.barrier(); // others wait for the creator
     }
     let mut adios = match io {
-        LammpsIo::Adios => Some(AdiosWriter::open(ctx, "/lammps/dump.bp", 8).unwrap()),
+        LammpsIo::Adios => Some(AdiosWriter::open(ctx, "/lammps/dump.bp", 8).or_fail_stop(ctx)),
         _ => None,
     };
     let posix_fd = match io {
         LammpsIo::Posix if ctx.rank() == 0 => Some(
             ctx.open("/lammps/dump.lammpstrj", OpenFlags::append_create())
-                .unwrap(),
+                .or_fail_stop(ctx),
         ),
         _ => None,
     };
@@ -72,29 +73,32 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
                 if let Some(fd) = posix_fd {
                     let frame = frame.expect("root gather");
                     for chunk in frame {
-                        ctx.write(fd, &chunk).unwrap();
+                        ctx.write(fd, &chunk).or_fail_stop(ctx);
                     }
                 }
             }
             LammpsIo::MpiIo => {
                 let path = format!("/lammps/dump_{dump_id}.mpiio");
-                let mf = MpiFile::open(ctx, &path, true, MpiIoHints { cb_nodes: 6 }).unwrap();
+                let mf =
+                    MpiFile::open(ctx, &path, true, MpiIoHints { cb_nodes: 6 }).or_fail_stop(ctx);
                 let off = ctx.rank() as u64 * per_rank;
                 mf.write_at_all(ctx, off, &vec![ctx.rank() as u8; per_rank as usize])
-                    .unwrap();
-                mf.close(ctx).unwrap();
+                    .or_fail_stop(ctx);
+                mf.close(ctx).or_fail_stop(ctx);
             }
             LammpsIo::Hdf5 => {
                 let frame = ctx.gather(0, &vec![ctx.rank() as u8; per_rank as usize]);
                 if ctx.rank() == 0 {
                     let frame = frame.expect("root gather");
                     let path = format!("/lammps/dump_{dump_id}.h5");
-                    let mut f = H5File::create(ctx, &path, H5Opts::serial()).unwrap();
+                    let mut f = H5File::create(ctx, &path, H5Opts::serial()).or_fail_stop(ctx);
                     let total = per_rank * ctx.nranks() as u64;
-                    let dset = f.create_dataset(ctx, "coordinates", total).unwrap();
+                    let dset = f
+                        .create_dataset(ctx, "coordinates", total)
+                        .or_fail_stop(ctx);
                     let blob: Vec<u8> = frame.concat();
-                    crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &blob, 8).unwrap();
-                    f.close(ctx).unwrap();
+                    crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &blob, 8).or_fail_stop(ctx);
+                    f.close(ctx).or_fail_stop(ctx);
                 }
                 ctx.barrier();
             }
@@ -102,27 +106,27 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: LammpsIo) {
                 let frame = ctx.gather(0, &vec![ctx.rank() as u8; per_rank as usize]);
                 if let Some(nc) = nc.as_mut() {
                     let blob: Vec<u8> = frame.expect("root gather").concat();
-                    nc.put_record(ctx, &blob).unwrap();
+                    nc.put_record(ctx, &blob).or_fail_stop(ctx);
                 }
                 ctx.barrier();
             }
             LammpsIo::Adios => {
                 let w = adios.as_mut().expect("adios engine");
                 w.write_step(ctx, &vec![ctx.rank() as u8; per_rank as usize])
-                    .unwrap();
+                    .or_fail_stop(ctx);
             }
         }
         dump_id += 1;
     }
 
     if let Some(fd) = posix_fd {
-        ctx.close(fd).unwrap();
+        ctx.close(fd).or_fail_stop(ctx);
     }
     if let Some(nc) = nc {
-        nc.close(ctx).unwrap();
+        nc.close(ctx).or_fail_stop(ctx);
     }
     if let Some(a) = adios {
-        a.close(ctx).unwrap();
+        a.close(ctx).or_fail_stop(ctx);
     }
     ctx.barrier();
 }

@@ -7,6 +7,7 @@
 //! so the shared reads are close-to-open clean.
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::OpenFlags;
 
 use crate::registry::ScaleParams;
@@ -16,7 +17,7 @@ pub const CHUNK: u64 = 16 * 1024;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/datasets").unwrap();
+        ctx.mkdir_p("/datasets").or_fail_stop(ctx);
     }
     ctx.barrier();
 
@@ -25,31 +26,31 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
         let fd = ctx
             .open("/datasets/cifar10.bin", OpenFlags::wronly_create_trunc())
-            .unwrap();
+            .or_fail_stop(ctx);
         let mut written = 0u64;
         while written < total {
             let n = CHUNK.min(total - written);
-            ctx.write(fd, &vec![0xd5u8; n as usize]).unwrap();
+            ctx.write(fd, &vec![0xd5u8; n as usize]).or_fail_stop(ctx);
             written += n;
         }
-        ctx.close(fd).unwrap();
+        ctx.close(fd).or_fail_stop(ctx);
     }
     ctx.barrier();
 
     // Training: every rank sizes and loads the whole dataset, then
     // computes epochs.
-    ctx.stat("/datasets/cifar10.bin").unwrap();
+    ctx.stat("/datasets/cifar10.bin").or_fail_stop(ctx);
     let fd = ctx
         .open("/datasets/cifar10.bin", OpenFlags::rdonly())
-        .unwrap();
-    ctx.fstat(fd).unwrap();
+        .or_fail_stop(ctx);
+    ctx.fstat(fd).or_fail_stop(ctx);
     loop {
-        let out = ctx.read(fd, CHUNK).unwrap();
+        let out = ctx.read(fd, CHUNK).or_fail_stop(ctx);
         if out.data.is_empty() {
             break;
         }
     }
-    ctx.close(fd).unwrap();
+    ctx.close(fd).or_fail_stop(ctx);
     for _ in 0..p.steps.min(5) {
         ctx.compute(p.compute_ns);
         ctx.barrier();

@@ -3,6 +3,7 @@
 //! (N-M strided). The same-process WAW comes from Silo's two-stage
 //! directory-table update inside each writer's baton turn.
 
+use iolibs::OrFailStop;
 use iolibs::{AppCtx, SiloFile, SiloOpts};
 
 use crate::registry::ScaleParams;
@@ -18,7 +19,7 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     };
     for d in 0..dumps {
         ctx.compute(p.compute_ns);
-        SiloFile::dump(ctx, "/macsio", d, opts).unwrap();
+        SiloFile::dump(ctx, "/macsio", d, opts).or_fail_stop(ctx);
     }
     ctx.barrier();
 }

@@ -4,6 +4,7 @@
 //! sub-lattice into the shared file at its rank offset (N-1 strided).
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::OpenFlags;
 
 use crate::registry::ScaleParams;
@@ -21,7 +22,7 @@ pub const HEADER: u64 = 256;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: MilcMode) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/milc").unwrap();
+        ctx.mkdir_p("/milc").or_fail_stop(ctx);
     }
     ctx.barrier();
     let saves = (p.steps / p.ckpt_interval.max(1)).max(1);
@@ -34,12 +35,15 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: MilcMode) {
             MilcMode::Serial => {
                 let lattice = ctx.gather(0, &vec![ctx.rank() as u8; per_rank as usize]);
                 if ctx.rank() == 0 {
-                    let fd = ctx.open(&path, OpenFlags::wronly_create_trunc()).unwrap();
-                    ctx.write(fd, &vec![b'M'; HEADER as usize]).unwrap();
+                    let fd = ctx
+                        .open(&path, OpenFlags::wronly_create_trunc())
+                        .or_fail_stop(ctx);
+                    ctx.write(fd, &vec![b'M'; HEADER as usize])
+                        .or_fail_stop(ctx);
                     for chunk in lattice.expect("root gather") {
-                        ctx.write(fd, &chunk).unwrap();
+                        ctx.write(fd, &chunk).or_fail_stop(ctx);
                     }
-                    ctx.close(fd).unwrap();
+                    ctx.close(fd).or_fail_stop(ctx);
                 }
                 ctx.barrier();
             }
@@ -47,16 +51,17 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, mode: MilcMode) {
                 // Rank 0 creates the file and writes the header; everyone
                 // then writes its sub-lattice at a rank-strided offset.
                 if ctx.rank() == 0 {
-                    let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
-                    ctx.write(fd, &vec![b'M'; HEADER as usize]).unwrap();
-                    ctx.close(fd).unwrap();
+                    let fd = ctx.open(&path, OpenFlags::rdwr_create()).or_fail_stop(ctx);
+                    ctx.write(fd, &vec![b'M'; HEADER as usize])
+                        .or_fail_stop(ctx);
+                    ctx.close(fd).or_fail_stop(ctx);
                 }
                 ctx.barrier();
-                let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
+                let fd = ctx.open(&path, OpenFlags::rdwr()).or_fail_stop(ctx);
                 let off = HEADER + ctx.rank() as u64 * per_rank;
                 ctx.pwrite(fd, off, &vec![ctx.rank() as u8; per_rank as usize])
-                    .unwrap();
-                ctx.close(fd).unwrap();
+                    .or_fail_stop(ctx);
+                ctx.close(fd).or_fail_stop(ctx);
                 ctx.barrier();
             }
         }

@@ -4,13 +4,14 @@
 //! consecutive.
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::OpenFlags;
 
 use crate::registry::ScaleParams;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/nek5000").unwrap();
+        ctx.mkdir_p("/nek5000").or_fail_stop(ctx);
     }
     ctx.barrier();
     let ckpts = (p.steps / p.ckpt_interval.max(1)).max(1);
@@ -19,11 +20,13 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
         let fields = ctx.gather(0, &vec![ctx.rank() as u8; p.bytes_per_rank as usize]);
         if ctx.rank() == 0 {
             let path = format!("/nek5000/eddy_uv0.f{:05}", c + 1);
-            let fd = ctx.open(&path, OpenFlags::wronly_create_trunc()).unwrap();
+            let fd = ctx
+                .open(&path, OpenFlags::wronly_create_trunc())
+                .or_fail_stop(ctx);
             for chunk in fields.expect("root gather") {
-                ctx.write(fd, &chunk).unwrap();
+                ctx.write(fd, &chunk).or_fail_stop(ctx);
             }
-            ctx.close(fd).unwrap();
+            ctx.close(fd).or_fail_stop(ctx);
         }
         ctx.barrier();
     }

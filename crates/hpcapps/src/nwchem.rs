@@ -7,6 +7,7 @@
 //! additionally appends the shared trajectory file (1-1).
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::OpenFlags;
 
 use crate::registry::ScaleParams;
@@ -16,19 +17,22 @@ pub const HEADER: u64 = 2048;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/nwchem").unwrap();
+        ctx.mkdir_p("/nwchem").or_fail_stop(ctx);
     }
     ctx.barrier();
 
     // Per-rank scratch/restart file, open for the whole run.
     let scratch = format!("/nwchem/scratch_{:03}.db", ctx.rank());
-    let sfd = ctx.open(&scratch, OpenFlags::rdwr_create()).unwrap();
-    ctx.pwrite(sfd, 0, &vec![0x11u8; HEADER as usize]).unwrap();
+    let sfd = ctx
+        .open(&scratch, OpenFlags::rdwr_create())
+        .or_fail_stop(ctx);
+    ctx.pwrite(sfd, 0, &vec![0x11u8; HEADER as usize])
+        .or_fail_stop(ctx);
     // Rank 0 also owns the trajectory file.
     let traj = if ctx.rank() == 0 {
         Some(
             ctx.open("/nwchem/md.trj", OpenFlags::append_create())
-                .unwrap(),
+                .or_fail_stop(ctx),
         )
     } else {
         None
@@ -39,25 +43,26 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
         ctx.compute(p.compute_ns);
         // Append this step's data to the scratch file.
         let data = vec![ctx.rank() as u8; p.bytes_per_rank as usize];
-        ctx.pwrite(sfd, tail, &data).unwrap();
+        ctx.pwrite(sfd, tail, &data).or_fail_stop(ctx);
         tail += data.len() as u64;
 
         // Rank 0 appends solute coordinates to the trajectory every step.
         let coords = ctx.gather(0, &[ctx.rank() as u8; 64]);
         if let Some(tfd) = traj {
             let blob: Vec<u8> = coords.expect("root gather").concat();
-            ctx.write(tfd, &blob).unwrap();
+            ctx.write(tfd, &blob).or_fail_stop(ctx);
         }
         ctx.barrier();
     }
 
     // Finalize the restart: rewrite the header (WAW-S: same bytes, same
     // process, same session) and verify it (RAW-S).
-    ctx.pwrite(sfd, 0, &vec![0x22u8; HEADER as usize]).unwrap();
-    ctx.pread(sfd, 0, HEADER).unwrap();
-    ctx.close(sfd).unwrap();
+    ctx.pwrite(sfd, 0, &vec![0x22u8; HEADER as usize])
+        .or_fail_stop(ctx);
+    ctx.pread(sfd, 0, HEADER).or_fail_stop(ctx);
+    ctx.close(sfd).or_fail_stop(ctx);
     if let Some(tfd) = traj {
-        ctx.close(tfd).unwrap();
+        ctx.close(tfd).or_fail_stop(ctx);
     }
     ctx.barrier();
 }

@@ -4,6 +4,7 @@
 //! only in the HDF5 configuration). Both variants write one shared restart
 //! file per dump with every rank at its own strided offset (N-1 strided).
 
+use iolibs::OrFailStop;
 use iolibs::{AppCtx, H5File, H5Opts};
 use pfssim::OpenFlags;
 
@@ -18,7 +19,7 @@ pub enum ParadisIo {
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: ParadisIo) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/paradis").unwrap();
+        ctx.mkdir_p("/paradis").or_fail_stop(ctx);
     }
     ctx.barrier();
     let dumps = (p.steps / p.ckpt_interval.max(1)).max(1);
@@ -30,11 +31,11 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: ParadisIo) {
             ParadisIo::Posix => {
                 let path = format!("/paradis/rs{d:04}.data");
                 if ctx.rank() == 0 {
-                    let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
-                    ctx.close(fd).unwrap();
+                    let fd = ctx.open(&path, OpenFlags::rdwr_create()).or_fail_stop(ctx);
+                    ctx.close(fd).or_fail_stop(ctx);
                 }
                 ctx.barrier();
-                let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
+                let fd = ctx.open(&path, OpenFlags::rdwr()).or_fail_stop(ctx);
                 let off = ctx.rank() as u64 * per_rank;
                 crate::util::pwrite_chunks(
                     ctx,
@@ -43,16 +44,16 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: ParadisIo) {
                     &vec![ctx.rank() as u8; per_rank as usize],
                     4,
                 )
-                .unwrap();
-                ctx.close(fd).unwrap();
+                .or_fail_stop(ctx);
+                ctx.close(fd).or_fail_stop(ctx);
             }
             ParadisIo::Hdf5 => {
                 let path = format!("/paradis/rs{d:04}.h5");
                 // Independent data, one dataset per dump: each rank writes
                 // its hyperslab directly.
-                let mut f = H5File::create(ctx, &path, H5Opts::default()).unwrap();
+                let mut f = H5File::create(ctx, &path, H5Opts::default()).or_fail_stop(ctx);
                 let total = per_rank * ctx.nranks() as u64;
-                let dset = f.create_dataset(ctx, "nodes", total).unwrap();
+                let dset = f.create_dataset(ctx, "nodes", total).or_fail_stop(ctx);
                 crate::util::h5_write_chunks(
                     ctx,
                     &mut f,
@@ -61,8 +62,8 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams, io: ParadisIo) {
                     &vec![ctx.rank() as u8; per_rank as usize],
                     4,
                 )
-                .unwrap();
-                f.close(ctx).unwrap();
+                .or_fail_stop(ctx);
+                f.close(ctx).or_fail_stop(ctx);
             }
         }
         ctx.barrier();

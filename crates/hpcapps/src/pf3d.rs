@@ -5,6 +5,7 @@
 //! one open session.
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::{OpenFlags, Whence};
 
 use crate::registry::ScaleParams;
@@ -16,23 +17,25 @@ pub const CHUNKS: u64 = 16;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/pf3d").unwrap();
+        ctx.mkdir_p("/pf3d").or_fail_stop(ctx);
     }
     ctx.barrier();
     ctx.compute(p.compute_ns);
 
     let path = format!("/pf3d/ckpt_{:05}.dat", ctx.rank());
-    let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
+    let fd = ctx.open(&path, OpenFlags::rdwr_create()).or_fail_stop(ctx);
     // Header, then the state streamed in consecutive chunks via the fd
     // cursor.
-    ctx.write(fd, &vec![0xCAu8; HEADER as usize]).unwrap();
+    ctx.write(fd, &vec![0xCAu8; HEADER as usize])
+        .or_fail_stop(ctx);
     let chunk = (p.bytes_per_rank * 4 / CHUNKS).max(1);
     for c in 0..CHUNKS {
-        ctx.write(fd, &vec![c as u8; chunk as usize]).unwrap();
+        ctx.write(fd, &vec![c as u8; chunk as usize])
+            .or_fail_stop(ctx);
     }
     // Validate: rewind and read the header back (RAW-S).
-    ctx.lseek(fd, 0, Whence::Set).unwrap();
-    ctx.read(fd, HEADER).unwrap();
-    ctx.close(fd).unwrap();
+    ctx.lseek(fd, 0, Whence::Set).or_fail_stop(ctx);
+    ctx.read(fd, HEADER).or_fail_stop(ctx);
+    ctx.close(fd).or_fail_stop(ctx);
     ctx.barrier();
 }

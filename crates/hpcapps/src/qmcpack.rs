@@ -4,6 +4,7 @@
 //! per interval — 1-1 consecutive, few datasets, no flush: metadata is
 //! written exactly once at close, so no conflicts.
 
+use iolibs::OrFailStop;
 use iolibs::{AppCtx, H5File, H5Opts};
 
 use crate::registry::ScaleParams;
@@ -12,7 +13,7 @@ pub const DATASETS: u32 = 3;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/qmcpack").unwrap();
+        ctx.mkdir_p("/qmcpack").or_fail_stop(ctx);
     }
     ctx.barrier();
     let ckpts = (p.steps / p.ckpt_interval.max(1)).max(1);
@@ -22,17 +23,18 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
         if ctx.rank() == 0 {
             let blob: Vec<u8> = walkers.expect("root gather").concat();
             let path = format!("/qmcpack/qmc.s{c:03}.config.h5");
-            let mut f = H5File::create(ctx, &path, H5Opts::serial()).unwrap();
+            let mut f = H5File::create(ctx, &path, H5Opts::serial()).or_fail_stop(ctx);
             let per = (blob.len() as u64 / DATASETS as u64).max(1);
             for d in 0..DATASETS {
                 let lo = (d as u64 * per) as usize;
                 let hi = ((d as u64 + 1) * per).min(blob.len() as u64) as usize;
                 let dset = f
                     .create_dataset(ctx, &format!("state_{d}"), (hi - lo) as u64)
-                    .unwrap();
-                crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &blob[lo..hi], 4).unwrap();
+                    .or_fail_stop(ctx);
+                crate::util::h5_write_chunks(ctx, &mut f, &dset, 0, &blob[lo..hi], 4)
+                    .or_fail_stop(ctx);
             }
-            f.close(ctx).unwrap();
+            f.close(ctx).or_fail_stop(ctx);
         }
         ctx.barrier();
     }

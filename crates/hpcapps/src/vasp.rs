@@ -6,6 +6,7 @@
 //! session semantics.
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::OpenFlags;
 
 use crate::registry::ScaleParams;
@@ -15,7 +16,7 @@ pub const READ_CHUNKS: u64 = 8;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/vasp").unwrap();
+        ctx.mkdir_p("/vasp").or_fail_stop(ctx);
     }
     ctx.barrier();
 
@@ -24,33 +25,36 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
         let fd = ctx
             .open("/vasp/WAVECAR", OpenFlags::wronly_create_trunc())
-            .unwrap();
+            .or_fail_stop(ctx);
         let chunk = (wavecar_bytes / READ_CHUNKS).max(1);
         for c in 0..READ_CHUNKS {
-            ctx.write(fd, &vec![c as u8; chunk as usize]).unwrap();
+            ctx.write(fd, &vec![c as u8; chunk as usize])
+                .or_fail_stop(ctx);
         }
-        ctx.close(fd).unwrap();
+        ctx.close(fd).or_fail_stop(ctx);
     }
     ctx.barrier();
 
     // Every rank probes, then loads the full wavefunction (N-1
     // consecutive reads).
-    ctx.stat("/vasp/WAVECAR").unwrap();
-    let fd = ctx.open("/vasp/WAVECAR", OpenFlags::rdonly()).unwrap();
+    ctx.stat("/vasp/WAVECAR").or_fail_stop(ctx);
+    let fd = ctx
+        .open("/vasp/WAVECAR", OpenFlags::rdonly())
+        .or_fail_stop(ctx);
     let chunk = (wavecar_bytes / READ_CHUNKS).max(1);
     loop {
-        let out = ctx.read(fd, chunk).unwrap();
+        let out = ctx.read(fd, chunk).or_fail_stop(ctx);
         if out.data.is_empty() {
             break;
         }
     }
-    ctx.close(fd).unwrap();
+    ctx.close(fd).or_fail_stop(ctx);
 
     // Electronic steps; rank 0 appends OUTCAR text.
     let outcar = if ctx.rank() == 0 {
         Some(
             ctx.open("/vasp/OUTCAR", OpenFlags::append_create())
-                .unwrap(),
+                .or_fail_stop(ctx),
         )
     } else {
         None
@@ -58,12 +62,12 @@ pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     for _ in 0..p.steps.min(10) {
         ctx.compute(p.compute_ns);
         if let Some(fd) = outcar {
-            ctx.write(fd, &vec![b'V'; 600]).unwrap();
+            ctx.write(fd, &vec![b'V'; 600]).or_fail_stop(ctx);
         }
         ctx.barrier();
     }
     if let Some(fd) = outcar {
-        ctx.close(fd).unwrap();
+        ctx.close(fd).or_fail_stop(ctx);
     }
     ctx.barrier();
 }

@@ -3,6 +3,7 @@
 //! HDF5 into one shared file. The MPI-IO aggregators turn this into the
 //! M-1 strided-cyclic pattern of Table 3 (one cycle per variable).
 
+use iolibs::OrFailStop;
 use iolibs::{AppCtx, H5File, H5Opts};
 
 use crate::registry::ScaleParams;
@@ -12,24 +13,26 @@ pub const VARIABLES: u32 = 8;
 
 pub fn run(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/vpic").unwrap();
+        ctx.mkdir_p("/vpic").or_fail_stop(ctx);
     }
     ctx.barrier();
     ctx.compute(p.compute_ns);
 
     let per_rank = p.bytes_per_rank;
     let total = per_rank * ctx.nranks() as u64;
-    let mut f = H5File::create(ctx, "/vpic/particle.h5", H5Opts::collective()).unwrap();
+    let mut f = H5File::create(ctx, "/vpic/particle.h5", H5Opts::collective()).or_fail_stop(ctx);
     for v in 0..VARIABLES {
-        let dset = f.create_dataset(ctx, &format!("var{v}"), total).unwrap();
+        let dset = f
+            .create_dataset(ctx, &format!("var{v}"), total)
+            .or_fail_stop(ctx);
         f.write(
             ctx,
             &dset,
             ctx.rank() as u64 * per_rank,
             &vec![v as u8; per_rank as usize],
         )
-        .unwrap();
+        .or_fail_stop(ctx);
     }
-    f.close(ctx).unwrap();
+    f.close(ctx).or_fail_stop(ctx);
     ctx.barrier();
 }

@@ -12,6 +12,7 @@
 //! correctness.
 
 use iolibs::AppCtx;
+use iolibs::OrFailStop;
 use pfssim::OpenFlags;
 
 use crate::registry::ScaleParams;
@@ -23,7 +24,7 @@ pub const SNAPSHOTS: u32 = 3;
 /// snapshot file and closes it — a well-behaved producer.
 pub fn producer(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/pipeline").unwrap();
+        ctx.mkdir_p("/pipeline").or_fail_stop(ctx);
     }
     ctx.barrier();
     let per_rank = p.bytes_per_rank;
@@ -31,14 +32,15 @@ pub fn producer(ctx: &mut AppCtx, p: &ScaleParams) {
         ctx.compute(p.compute_ns);
         let path = format!("/pipeline/snap_{s:04}.dat");
         if ctx.rank() == 0 {
-            let fd = ctx.open(&path, OpenFlags::rdwr_create()).unwrap();
-            ctx.close(fd).unwrap();
+            let fd = ctx.open(&path, OpenFlags::rdwr_create()).or_fail_stop(ctx);
+            ctx.close(fd).or_fail_stop(ctx);
         }
         ctx.barrier();
-        let fd = ctx.open(&path, OpenFlags::rdwr()).unwrap();
+        let fd = ctx.open(&path, OpenFlags::rdwr()).or_fail_stop(ctx);
         let off = ctx.rank() as u64 * per_rank;
-        crate::util::pwrite_chunks(ctx, fd, off, &vec![s as u8 + 1; per_rank as usize], 4).unwrap();
-        ctx.close(fd).unwrap();
+        crate::util::pwrite_chunks(ctx, fd, off, &vec![s as u8 + 1; per_rank as usize], 4)
+            .or_fail_stop(ctx);
+        ctx.close(fd).or_fail_stop(ctx);
         ctx.barrier();
     }
 }
@@ -52,33 +54,35 @@ pub fn producer(ctx: &mut AppCtx, p: &ScaleParams) {
 /// readers actually see a frozen snapshot.
 pub fn insitu_monitor(ctx: &mut AppCtx, p: &ScaleParams) {
     if ctx.rank() == 0 {
-        ctx.mkdir_p("/insitu").unwrap();
+        ctx.mkdir_p("/insitu").or_fail_stop(ctx);
         let fd = ctx
             .open("/insitu/stream.log", OpenFlags::rdwr_create())
-            .unwrap();
-        ctx.close(fd).unwrap();
+            .or_fail_stop(ctx);
+        ctx.close(fd).or_fail_stop(ctx);
     }
     ctx.barrier();
     let fd = if ctx.rank() == 0 {
-        ctx.open("/insitu/stream.log", OpenFlags::rdwr()).unwrap()
+        ctx.open("/insitu/stream.log", OpenFlags::rdwr())
+            .or_fail_stop(ctx)
     } else {
         // Readers open once, before any data exists, and hold the session.
-        ctx.open("/insitu/stream.log", OpenFlags::rdonly()).unwrap()
+        ctx.open("/insitu/stream.log", OpenFlags::rdonly())
+            .or_fail_stop(ctx)
     };
     for step in 0..p.steps.min(6) {
         ctx.compute(p.compute_ns);
         if ctx.rank() == 0 {
             ctx.pwrite(fd, step as u64 * 512, &vec![step as u8 + 1; 512])
-                .unwrap();
+                .or_fail_stop(ctx);
         }
         ctx.barrier(); // the monitor is told new data exists…
         if ctx.rank() != 0 {
             // …and reads the newest block through its long-lived session.
-            ctx.pread(fd, step as u64 * 512, 512).unwrap();
+            ctx.pread(fd, step as u64 * 512, 512).or_fail_stop(ctx);
         }
         ctx.barrier();
     }
-    ctx.close(fd).unwrap();
+    ctx.close(fd).or_fail_stop(ctx);
     ctx.barrier();
 }
 
@@ -90,7 +94,7 @@ pub fn consumer(ctx: &mut AppCtx, p: &ScaleParams) {
     let out = if ctx.rank() == 0 {
         Some(
             ctx.open("/pipeline/analysis.out", OpenFlags::append_create())
-                .unwrap(),
+                .or_fail_stop(ctx),
         )
     } else {
         None
@@ -99,26 +103,26 @@ pub fn consumer(ctx: &mut AppCtx, p: &ScaleParams) {
         let path = format!("/pipeline/snap_{s:04}.dat");
         // The consumer job discovers the snapshot through the namespace —
         // the cross-job metadata dependency.
-        let exists = ctx.access(&path).unwrap();
+        let exists = ctx.access(&path).or_fail_stop(ctx);
         if !exists {
             continue; // relaxed metadata could legitimately get us here
         }
-        let fd = ctx.open(&path, OpenFlags::rdonly()).unwrap();
+        let fd = ctx.open(&path, OpenFlags::rdonly()).or_fail_stop(ctx);
         let off = ctx.rank() as u64 * per_rank;
-        let data = ctx.pread(fd, off, per_rank).unwrap().data;
-        ctx.close(fd).unwrap();
+        let data = ctx.pread(fd, off, per_rank).or_fail_stop(ctx).data;
+        ctx.close(fd).or_fail_stop(ctx);
         // Reduce: sum of this rank's bytes, combined across ranks.
         let local_sum: u64 = data.iter().map(|&b| b as u64).sum();
         let total = ctx.allreduce_sum_u64(local_sum);
         if let Some(ofd) = out {
             ctx.write(ofd, format!("snap {s}: {total}\n").as_bytes())
-                .unwrap();
+                .or_fail_stop(ctx);
         }
         ctx.compute(p.compute_ns);
         ctx.barrier();
     }
     if let Some(ofd) = out {
-        ctx.close(ofd).unwrap();
+        ctx.close(ofd).or_fail_stop(ctx);
     }
     ctx.barrier();
 }

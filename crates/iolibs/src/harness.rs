@@ -11,10 +11,12 @@
 //! MPI runtime's happens-before events into each rank's trace, and returns
 //! the assembled [`TraceSet`] together with the quiesced file system.
 
-use mpisim::{CostModel, OpClass, Rank, SchedMode, World, WorldCfg};
+use mpisim::{
+    CostModel, FaultPlan, IoFault, OpClass, Rank, SchedMode, SimAbort, SimError, World, WorldCfg,
+};
 use pfssim::{
-    FsResult, MetaOp, Observation, OpenFlags, Pfs, PfsConfig, ReadOut, SemanticsModel, StatInfo,
-    Whence, WriteOut,
+    FsError, FsResult, MetaOp, Observation, OpenFlags, Pfs, PfsConfig, ReadOut, SemanticsModel,
+    StatInfo, Whence, WriteOut,
 };
 use recorder::{Func, Layer, MetaKind, RankTracer, Record, SeekWhence, SharedInterner, TraceSet};
 
@@ -36,6 +38,9 @@ pub struct RunConfig {
     pub pfs: PfsConfig,
     /// Initial simulated time of this job (workflow stages chain clocks).
     pub start_time_ns: u64,
+    /// Pre-committed fault schedule ([`FaultPlan::none`] for clean runs).
+    /// `(seed, faults, program)` fully determines the trace.
+    pub faults: FaultPlan,
 }
 
 impl RunConfig {
@@ -49,6 +54,7 @@ impl RunConfig {
             cost: CostModel::default(),
             pfs: PfsConfig::default(),
             start_time_ns: 0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -66,6 +72,11 @@ impl RunConfig {
         self.max_skew_ns = ns;
         self
     }
+
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Everything one run produces.
@@ -79,18 +90,47 @@ pub struct RunOutcome {
     pub observations: Vec<Vec<Observation>>,
     /// Final simulated time.
     pub final_time_ns: u64,
+    /// Ranks that fail-stopped mid-run (injected crashes, cascaded peer
+    /// crashes, exhausted I/O retries), with their terminal fault. Empty on
+    /// a clean run. A faulted rank's trace is the salvaged prefix up to its
+    /// crash — analysis must treat it as *partial* (see
+    /// [`RunOutcome::is_degraded`]).
+    pub faults: Vec<(u32, SimError)>,
+}
+
+impl RunOutcome {
+    /// Whether any rank fail-stopped: the trace is a partial view of the
+    /// intended program and verdicts drawn from it must be labeled so.
+    pub fn is_degraded(&self) -> bool {
+        !self.faults.is_empty()
+    }
 }
 
 /// Run `f` as an SPMD program on `cfg.nranks` ranks against a fresh file
 /// system, quiescing it (propagating all buffered writes) at the end.
+///
+/// Infallible wrapper for clean configurations: panics if the whole run
+/// fails (deadlock — an application bug). Per-rank fail-stops do *not*
+/// fail the run; they are reported in [`RunOutcome::faults`]. Callers
+/// driving fault campaigns should prefer [`run_app_result`].
 pub fn run_app<F>(cfg: &RunConfig, f: F) -> RunOutcome
 where
     F: Fn(&mut AppCtx) + Sync,
 {
+    run_app_result(cfg, f).unwrap_or_else(|e| panic!("simulated run failed: {e}"))
+}
+
+/// Fallible variant of [`run_app`]: a deadlock (every live rank blocked)
+/// surfaces as `Err` instead of a panic, so batch drivers can isolate a
+/// failing configuration and keep going.
+pub fn run_app_result<F>(cfg: &RunConfig, f: F) -> Result<RunOutcome, SimError>
+where
+    F: Fn(&mut AppCtx) + Sync,
+{
     let pfs = Pfs::new(cfg.pfs.clone().with_semantics(cfg.semantics));
-    let out = run_app_on(cfg, &pfs, f);
+    let out = run_app_on_result(cfg, &pfs, f)?;
     pfs.quiesce();
-    out
+    Ok(out)
 }
 
 /// One stage of a multi-application workflow.
@@ -143,8 +183,21 @@ pub fn run_pipeline(
 }
 
 /// Run `f` against an existing file system (workflow stages share one).
-/// Does **not** quiesce.
+/// Does **not** quiesce. Panics on deadlock; see [`run_app_on_result`].
 pub fn run_app_on<F>(cfg: &RunConfig, pfs: &Pfs, f: F) -> RunOutcome
+where
+    F: Fn(&mut AppCtx) + Sync,
+{
+    run_app_on_result(cfg, pfs, f).unwrap_or_else(|e| panic!("simulated run failed: {e}"))
+}
+
+/// Run `f` against an existing file system, reporting whole-run failures
+/// as `Err`. A rank that fail-stops (injected crash, peer-crash cascade,
+/// exhausted I/O retries) unwinds with [`SimAbort`]; the harness catches
+/// it *inside* the rank closure, discards the dead process's un-published
+/// buffered writes, and salvages the trace prefix — so degraded runs still
+/// produce an analyzable [`RunOutcome`] with [`RunOutcome::faults`] set.
+pub fn run_app_on_result<F>(cfg: &RunConfig, pfs: &Pfs, f: F) -> Result<RunOutcome, SimError>
 where
     F: Fn(&mut AppCtx) + Sync,
 {
@@ -157,6 +210,7 @@ where
         max_skew_ns: cfg.max_skew_ns,
         cost: cfg.cost.clone(),
         start_ns: cfg.start_time_ns,
+        faults: cfg.faults.clone(),
     };
     let out = World::run(&world_cfg, |rank| {
         let r = rank.rank();
@@ -168,15 +222,36 @@ where
         );
         // The paper's runs start with a barrier whose exit is used as t=0
         // for clock adjustment; the harness issues it on behalf of the app.
-        ctx.barrier();
-        f(&mut ctx);
-        ctx.into_parts()
-    });
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.barrier();
+            f(&mut ctx);
+        }));
+        match body {
+            Ok(()) => ctx.into_parts(),
+            Err(payload) if payload.downcast_ref::<SimAbort>().is_some() => {
+                // Controlled fail-stop. The dead process can never publish
+                // its buffered writes — drop them — but the trace prefix up
+                // to the crash is exactly what a real post-mortem analysis
+                // would have, so keep it.
+                ctx.client.discard_pending();
+                ctx.into_parts()
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })?;
 
     // Merge the MPI runtime's event log into each rank's record stream.
     let mut tracers = Vec::with_capacity(cfg.nranks as usize);
     let mut observations = Vec::with_capacity(cfg.nranks as usize);
-    for (rank, ((tracer, obs), events)) in out.results.into_iter().zip(out.events).enumerate() {
+    for (rank, (result, events)) in out.results.into_iter().zip(out.events).enumerate() {
+        let (tracer, obs) = result.unwrap_or_else(|| {
+            // A rank whose closure vanished without salvage (cannot happen
+            // via this harness, which catches SimAbort above): empty trace.
+            (
+                RankTracer::new(rank as u32, SharedInterner::clone(&interner)),
+                Vec::new(),
+            )
+        });
         let skew = out.skews_ns[rank];
         let mut records = tracer.into_records();
         let mpi_records: Vec<Record> = events
@@ -206,12 +281,19 @@ where
         observations.push(obs);
     }
     let trace = TraceSet::assemble(interner, tracers, out.skews_ns);
-    RunOutcome {
+    let faults = out
+        .faults
+        .into_iter()
+        .enumerate()
+        .filter_map(|(r, f)| f.map(|e| (r as u32, e)))
+        .collect();
+    Ok(RunOutcome {
         trace,
         pfs,
         observations,
         final_time_ns: out.final_time_ns,
-    }
+        faults,
+    })
 }
 
 fn apply_skew(t: u64, skew: i64) -> u64 {
@@ -278,6 +360,15 @@ impl AppCtx {
 
     pub fn semantics(&self) -> SemanticsModel {
         self.pfs_cfg.semantics
+    }
+
+    /// Fail-stop this rank: record the cause as its fault, salvage its
+    /// partial trace, and unwind out of the rank closure. For app code
+    /// facing an unrecoverable I/O error — e.g. a checkpoint whose
+    /// creator rank crashed — where aborting the rank is the graceful
+    /// outcome and panicking the process is not.
+    pub fn fail_stop(&self, cause: String) -> ! {
+        self.rank.fail_stop(cause)
     }
 
     /// Allocate an id for a library-level handle (MPI-IO fh, HDF5 id, …).
@@ -366,11 +457,43 @@ impl AppCtx {
         &mut self,
         class: OpClass,
         bytes: u64,
-        f: impl FnOnce(&mut pfssim::PfsClient, u64) -> FsResult<R>,
+        mut f: impl FnMut(&mut pfssim::PfsClient, u64) -> FsResult<R>,
     ) -> FsResult<(u64, u64, R)> {
-        let client = &mut self.client;
-        let (t0, t1, res) = self.rank.timed_op(class, bytes, |now| f(client, now));
-        res.map(|r| (t0, t1, r))
+        let mut attempt = 0u32;
+        loop {
+            let injected = self.rank.take_io_fault();
+            let client = &mut self.client;
+            let (t0, t1, res) = match injected {
+                Some(IoFault::LostFlush) => {
+                    // The op itself succeeds, but the process's next flush
+                    // silently fails to publish: the write never reaches
+                    // commit visibility.
+                    client.arm_lost_flush();
+                    self.rank.timed_op(class, bytes, |now| f(client, now))
+                }
+                Some(fault) => {
+                    // The call pays its latency, then surfaces a transient
+                    // errno instead of reaching the server.
+                    let (t0, t1, ()) = self.rank.timed_op(class, bytes, |_| {});
+                    (t0, t1, Err(io_fault_error(fault)))
+                }
+                None => self.rank.timed_op(class, bytes, |now| f(client, now)),
+            };
+            match res {
+                Ok(r) => return Ok((t0, t1, r)),
+                Err(e) if e.is_transient() => {
+                    attempt += 1;
+                    if attempt >= MAX_IO_ATTEMPTS {
+                        // A process that cannot complete its I/O fail-stops;
+                        // the harness salvages its partial trace upstream.
+                        self.rank.fail_stop(format!("I/O retries exhausted: {e}"));
+                    }
+                    // Exponential backoff, in simulated time.
+                    self.rank.compute(IO_RETRY_BACKOFF_NS << attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn rec_posix(&mut self, t0: u64, t1: u64, func: Func) {
@@ -805,6 +928,42 @@ impl AppCtx {
 /// Map the trace-side metadata vocabulary onto the simulator's counters.
 fn meta_kind_to_pfs(op: MetaKind) -> Option<MetaOp> {
     MetaOp::ALL.iter().copied().find(|m| m.name() == op.name())
+}
+
+/// Max attempts for one POSIX call under transient injected faults: the
+/// first try plus up to three retries.
+const MAX_IO_ATTEMPTS: u32 = 4;
+/// Base backoff (simulated ns) before a retry; doubles per attempt.
+const IO_RETRY_BACKOFF_NS: u64 = 50_000;
+
+/// App-side unwrapping of I/O results with graceful degradation: a hard
+/// error fail-stops the rank (fault recorded, partial trace salvaged)
+/// instead of panicking the whole simulated job. The receiver is the
+/// completed `Result`, so `H5File::create(ctx, ..).or_fail_stop(ctx)`
+/// borrows cleanly — the mutable borrow inside the call ends before the
+/// extension method takes its shared one.
+pub trait OrFailStop<T> {
+    fn or_fail_stop(self, ctx: &AppCtx) -> T;
+}
+
+impl<T> OrFailStop<T> for Result<T, FsError> {
+    fn or_fail_stop(self, ctx: &AppCtx) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => ctx.fail_stop(format!("unrecoverable I/O error: {e}")),
+        }
+    }
+}
+
+/// The errno a transient injected fault surfaces as.
+fn io_fault_error(fault: IoFault) -> FsError {
+    let detail = "injected fault".to_string();
+    match fault {
+        IoFault::Eintr => FsError::Interrupted { detail },
+        IoFault::Eio => FsError::IoError { detail },
+        IoFault::Enospc => FsError::NoSpace { detail },
+        IoFault::LostFlush => unreachable!("lost flush is handled before dispatch"),
+    }
 }
 
 #[cfg(test)]

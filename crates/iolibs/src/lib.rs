@@ -29,9 +29,11 @@ pub mod silo;
 
 pub use adios::AdiosWriter;
 pub use harness::{
-    run_app, run_app_on, run_pipeline, AppCtx, Fd, PipelineOutcome, RunConfig, RunOutcome,
+    run_app, run_app_on, run_app_on_result, run_app_result, run_pipeline, AppCtx, Fd, OrFailStop,
+    PipelineOutcome, RunConfig, RunOutcome,
 };
 pub use hdf5::{H5File, H5Opts};
 pub use mpiio::{MpiFile, MpiIoHints};
+pub use mpisim::{FaultKind, FaultPlan, FaultSite, IoFault, SimError};
 pub use netcdf::NcFile;
 pub use silo::{SiloFile, SiloOpts};

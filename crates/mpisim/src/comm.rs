@@ -41,30 +41,24 @@ pub struct RecvInfo {
 }
 
 impl Rank {
-    /// Block until every rank has entered the barrier. All participants of
-    /// one epoch observe the same exit time: a barrier starts at every rank
-    /// before it completes at any rank.
+    /// Block until every *live* rank has entered the barrier. All
+    /// participants of one epoch observe the same exit time: a barrier
+    /// starts at every rank before it completes at any rank. A crashed
+    /// rank counts as departed (ULFM-style), so survivors still release;
+    /// a rank crashing while peers wait triggers the same release from
+    /// `SimState::crash_rank`.
     pub fn barrier(&self) -> BarrierInfo {
         let me = self.rank as usize;
         let mut st = self.turn_begin();
         let t_enter = st.clock_ns;
         let epoch = st.barrier_epoch;
-        st.clock_ns += self.shared().cost.barrier_ns;
+        let barrier_ns = self.shared().cost.barrier_ns;
+        st.advance_clock(barrier_ns);
         st.barrier_count += 1;
-        if st.barrier_count == self.nranks() {
-            // Last arrival: release everyone.
-            st.barrier_count = 0;
-            st.barrier_epoch += 1;
-            let t_exit = st.clock_ns;
-            debug_assert_eq!(st.barrier_release.len() as u64, epoch);
-            st.barrier_release.push(t_exit);
-            for r in 0..self.nranks() as usize {
-                if st.status[r] == crate::sched::RankStatus::Blocked(BlockReason::Barrier { epoch })
-                {
-                    st.status[r] = crate::sched::RankStatus::Computing;
-                    st.pending_wakes.push(r as u32);
-                }
-            }
+        st.release_barrier_if_complete();
+        if st.barrier_epoch > epoch {
+            // We were the last live arrival: the epoch released.
+            let t_exit = st.barrier_release[epoch as usize];
             st.events[me].push(MpiEvent {
                 rank: self.rank,
                 t_start: t_enter,
@@ -103,7 +97,8 @@ impl Rank {
         let len = payload.len() as u64;
         let mut st = self.turn_begin();
         let t_start = st.clock_ns;
-        st.clock_ns += self.shared().cost.cost(OpClass::Send, len);
+        let send_ns = self.shared().cost.cost(OpClass::Send, len);
+        st.advance_clock(send_ns);
         let t_end = st.clock_ns;
         let seq = st.put_msg(self.rank, dst, tag, payload);
         st.events[me].push(MpiEvent {
@@ -122,7 +117,10 @@ impl Rank {
 
     /// Block until a message from `src` with `tag` is available, then
     /// consume it. Matching is FIFO per `(src, dst, tag)` channel, like MPI's
-    /// non-overtaking rule.
+    /// non-overtaking rule. If `src` has crashed and the channel is drained,
+    /// no message can ever arrive: this rank fail-stops with
+    /// [`crate::SimError::PeerCrashed`] (cascading job death — survivors'
+    /// partial traces are salvaged by the layers above).
     pub fn recv(&self, src: u32, tag: u32) -> (Vec<u8>, RecvInfo) {
         assert!(src < self.nranks(), "recv from invalid rank {src}");
         let me = self.rank as usize;
@@ -131,7 +129,8 @@ impl Rank {
             let t_start = st.clock_ns;
             if let Some(msg) = st.take_msg(src, self.rank, tag) {
                 let len = msg.payload.len() as u64;
-                st.clock_ns += self.shared().cost.cost(OpClass::Recv, len);
+                let recv_ns = self.shared().cost.cost(OpClass::Recv, len);
+                st.advance_clock(recv_ns);
                 let t_end = st.clock_ns;
                 st.events[me].push(MpiEvent {
                     rank: self.rank,
@@ -155,8 +154,15 @@ impl Rank {
                     },
                 );
             }
+            if st.is_crashed(src) && !st.has_pending_msg(src, self.rank, tag) {
+                let err = crate::error::SimError::PeerCrashed {
+                    rank: self.rank,
+                    peer: src,
+                };
+                self.abort_with(st, err);
+            }
             let st = self.park(st, BlockReason::Recv);
-            drop(st); // woken by a send: loop and re-check the mailbox
+            drop(st); // woken by a send or a peer crash: loop and re-check
         }
     }
 

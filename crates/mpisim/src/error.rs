@@ -1,12 +1,18 @@
-//! Error type for simulated-runtime misuse.
+//! Error type for simulated-runtime failures.
 
 use std::fmt;
 
-/// Errors raised by the simulated runtime. Most runtime misuse (deadlock,
-/// rank exiting while peers wait in a barrier) aborts the simulation with a
-/// panic carrying one of these, because the simulated program itself is
-/// buggy; `SimError` is the payload used in those panics and in the few
-/// recoverable APIs.
+/// Errors raised by the simulated runtime. [`crate::World::run`] returns
+/// them at the world boundary: a deadlock or collective mismatch fails the
+/// whole run with `Err`, while injected rank crashes are *recoverable* —
+/// the run completes and reports them per rank in
+/// [`crate::RunOutput::faults`].
+///
+/// Internally a failing rank still unwinds its own thread (its stack holds
+/// application state that cannot be returned through), but the unwind
+/// payload is the crate-private `SimAbort` wrapper, caught at the thread
+/// boundary inside `World::run` — a `SimError` never escapes as a panic to
+/// caller frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Every live rank is blocked: the simulated program deadlocked.
@@ -16,6 +22,17 @@ pub enum SimError {
     /// A collective was invoked with inconsistent participation
     /// (e.g. a rank finished while others sat in a barrier).
     CollectiveMismatch { detail: String },
+    /// The rank fail-stopped at its `at_op`-th simulated operation —
+    /// either an injected crash or an unrecoverable I/O failure
+    /// (`cause` says which).
+    RankCrashed {
+        rank: u32,
+        at_op: u64,
+        cause: String,
+    },
+    /// The rank was blocked receiving from `peer`, which crashed with the
+    /// channel drained; the receiver fail-stops too (cascading job death).
+    PeerCrashed { rank: u32, peer: u32 },
 }
 
 impl fmt::Display for SimError {
@@ -33,8 +50,21 @@ impl fmt::Display for SimError {
             SimError::CollectiveMismatch { detail } => {
                 write!(f, "collective participation mismatch: {detail}")
             }
+            SimError::RankCrashed { rank, at_op, cause } => {
+                write!(f, "rank {rank} crashed at op {at_op}: {cause}")
+            }
+            SimError::PeerCrashed { rank, peer } => {
+                write!(f, "rank {rank} aborted: peer rank {peer} crashed")
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// The unwind payload a failing rank aborts its thread with. Public so
+/// harness layers above `mpisim` can catch the unwind *inside* the rank
+/// closure (salvaging partial per-rank state, e.g. a trace) before it
+/// reaches the thread boundary; `World::run` swallows whatever is left.
+#[derive(Debug, Clone)]
+pub struct SimAbort(pub SimError);

@@ -26,17 +26,27 @@
 //! identical interleaving and the identical trace. A **free mode** dispatches
 //! whichever rank asks first, which is faster and is used by throughput
 //! benchmarks.
+//!
+//! A third property was added for the robustness experiments: **seeded
+//! fault injection** ([`FaultPlan`]) with graceful degradation. Rank
+//! crashes, transient I/O errors, lost flushes and message delays are
+//! scheduled ahead of time by per-rank op index, so `(seed, plan, program)`
+//! still fully determines the trace; [`World::run`] reports failures as
+//! values ([`RunOutput::faults`], `Err(SimError)`) instead of unwinding
+//! panics into caller frames.
 
 mod clock;
 mod comm;
 mod error;
 mod event;
+mod fault;
 mod sched;
 mod world;
 
 pub use clock::{CostModel, OpClass};
 pub use comm::{BarrierInfo, RecvInfo, SendInfo};
-pub use error::SimError;
+pub use error::{SimAbort, SimError};
 pub use event::{EventKind, MpiEvent};
+pub use fault::{FaultKind, FaultPlan, FaultSite, IoFault};
 pub use sched::SchedMode;
 pub use world::{Rank, RunOutput, World, WorldCfg};

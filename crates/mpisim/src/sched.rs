@@ -18,13 +18,24 @@
 //! recorded trace — which is what makes the paper's experiments reproducible
 //! here. In [`SchedMode::Free`] dispatch grants the first requester without
 //! waiting for lockstep, trading determinism for speed.
+//!
+//! Fault handling extends the same state machine: a crashed rank enters the
+//! terminal [`RankStatus::Crashed`] and counts as departed — barriers
+//! release once every *live* rank has arrived, receivers blocked on a dead
+//! peer with a drained channel are woken to fail-stop themselves, and a
+//! delayed message ([`Msg::visible_at`]) makes the scheduler advance the
+//! clock to its delivery time instead of declaring a deadlock.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use simrng::SimRng;
 
+use crate::error::SimError;
 use crate::event::MpiEvent;
+use crate::fault::{FaultKind, FaultPlan, IoFault};
 
 /// Scheduling discipline for the simulated world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +68,9 @@ pub(crate) enum RankStatus {
     Blocked(BlockReason),
     /// Returned from its program.
     Finished,
+    /// Fail-stopped (injected crash, cascaded peer crash, or unrecoverable
+    /// I/O failure). Terminal; the rank never acts again.
+    Crashed,
 }
 
 /// A buffered point-to-point message.
@@ -64,15 +78,22 @@ pub(crate) enum RankStatus {
 pub(crate) struct Msg {
     pub seq: u64,
     pub payload: Vec<u8>,
+    /// Earliest simulated time the receiver may consume it. `0` for
+    /// undelayed traffic; a message-delay fault sets it into the future.
+    pub visible_at: u64,
 }
 
 /// The whole mutable world: scheduler bookkeeping, clock, mailboxes, barrier
-/// state, and the happens-before event log.
+/// state, fault schedule, and the happens-before event log.
 pub(crate) struct SimState {
     pub mode: SchedMode,
     pub rng: SimRng,
     pub status: Vec<RankStatus>,
     pub deadlocked: bool,
+    /// Blocked set captured at the moment deadlock was declared. The
+    /// parked ranks unwind (and leave `Blocked`) as they observe the
+    /// deadlock, so a later status scan would come up empty.
+    deadlock_blocked: Vec<u32>,
     /// Global simulated time, nanoseconds.
     pub clock_ns: u64,
     /// FIFO mailboxes keyed by (src, dst, tag).
@@ -90,23 +111,72 @@ pub(crate) struct SimState {
     /// thread drains this queue and signals exactly those ranks' condvars
     /// before releasing the lock — see `Rank::drain_wakes`.
     pub pending_wakes: Vec<u32>,
+    /// Per-rank count of simulated operations performed so far; the index
+    /// the fault plan is keyed by. Incremented on every turn acquisition.
+    pub op_index: Vec<u64>,
+    /// Exact-index crash sites from the fault plan, consumed when they fire.
+    crash_at: Vec<Vec<u64>>,
+    /// Per-rank pending I/O faults, sorted by op index; the harness consumes
+    /// the front entry at the first file-system call at or after its index.
+    io_faults: Vec<VecDeque<(u64, IoFault)>>,
+    /// Per-rank pending send delays `(at_op, delay_ns)`, sorted by op index;
+    /// consumed by the first send at or after the index.
+    msg_delays: Vec<VecDeque<(u64, u64)>>,
+    /// Count of delayed messages currently buffered and not yet visible —
+    /// guards the (rare) delivery-time scans so fault-free runs pay nothing.
+    delayed_in_flight: usize,
+    /// Pending delayed-delivery times `(visible_at, dst)`, min-first. Every
+    /// clock advance drains the due prefix and wakes receivers parked in a
+    /// recv — without this, a receiver that parked while its message was in
+    /// flight is never re-checked once the clock passes the delivery time
+    /// (the sender woke it at send time, it saw an invisible front and
+    /// re-parked; no later event touches it).
+    delivery_due: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Terminal fault of each rank, if any, for the run report.
+    pub faults: Vec<Option<SimError>>,
 }
 
 impl SimState {
-    pub fn new(nranks: u32, seed: u64, mode: SchedMode, start_ns: u64) -> Self {
+    pub fn new(nranks: u32, seed: u64, mode: SchedMode, start_ns: u64, plan: &FaultPlan) -> Self {
+        let n = nranks as usize;
+        let mut crash_at = vec![Vec::new(); n];
+        let mut io_faults = vec![VecDeque::new(); n];
+        let mut msg_delays = vec![VecDeque::new(); n];
+        for site in plan.sites() {
+            let r = (site.rank as usize).min(n.saturating_sub(1));
+            match site.kind {
+                FaultKind::Crash => crash_at[r].push(site.at_op),
+                FaultKind::Io(k) => io_faults[r].push_back((site.at_op, k)),
+                FaultKind::MsgDelay { delay_ns } => msg_delays[r].push_back((site.at_op, delay_ns)),
+            }
+        }
+        for q in io_faults.iter_mut() {
+            q.make_contiguous().sort_by_key(|&(op, _)| op);
+        }
+        for q in msg_delays.iter_mut() {
+            q.make_contiguous().sort_by_key(|&(op, _)| op);
+        }
         SimState {
             mode,
             rng: SimRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed),
-            status: vec![RankStatus::Computing; nranks as usize],
+            status: vec![RankStatus::Computing; n],
             deadlocked: false,
+            deadlock_blocked: Vec::new(),
             clock_ns: start_ns,
             mailboxes: HashMap::new(),
             next_msg_seq: 0,
             barrier_count: 0,
             barrier_epoch: 0,
             barrier_release: Vec::new(),
-            events: (0..nranks).map(|_| Vec::new()).collect(),
+            events: (0..n).map(|_| Vec::new()).collect(),
             pending_wakes: Vec::new(),
+            op_index: vec![0; n],
+            crash_at,
+            io_faults,
+            msg_delays,
+            delayed_in_flight: 0,
+            delivery_due: BinaryHeap::new(),
+            faults: vec![None; n],
         }
     }
 
@@ -129,16 +199,43 @@ impl SimState {
             .map(|(i, _)| i)
             .collect();
         if requesting.is_empty() {
-            let all_parked = self
-                .status
-                .iter()
-                .all(|s| matches!(s, RankStatus::Blocked(_) | RankStatus::Finished));
+            let all_parked = self.status.iter().all(|s| {
+                matches!(
+                    s,
+                    RankStatus::Blocked(_) | RankStatus::Finished | RankStatus::Crashed
+                )
+            });
             let any_blocked = self
                 .status
                 .iter()
                 .any(|s| matches!(s, RankStatus::Blocked(_)));
             if all_parked && any_blocked {
+                // Before declaring deadlock: a delayed message may still be
+                // on the wire. Advance the clock to its delivery time and
+                // wake the receivers — discrete-event time advance.
+                if self.advance_to_next_delivery() {
+                    return;
+                }
                 self.deadlocked = true;
+                self.deadlock_blocked = self.scan_blocked();
+                if std::env::var_os("MPISIM_DEADLOCK_DEBUG").is_some() {
+                    eprintln!(
+                        "deadlock: status={:?} delayed_in_flight={} clock={}",
+                        self.status, self.delayed_in_flight, self.clock_ns
+                    );
+                    for (&(src, dst, tag), q) in self.mailboxes.iter() {
+                        if let Some(m) = q.front() {
+                            eprintln!(
+                                "  mbox {}->{} tag {} front visible_at={} len={}",
+                                src,
+                                dst,
+                                tag,
+                                m.visible_at,
+                                q.len()
+                            );
+                        }
+                    }
+                }
                 // Every parked rank must wake up to observe the deadlock.
                 self.pending_wakes.extend(0..self.status.len() as u32);
             }
@@ -152,25 +249,104 @@ impl SimState {
         self.pending_wakes.push(pick as u32);
     }
 
-    /// Pop the oldest message on channel (src → dst, tag), if any.
+    /// Advance the simulated clock by `delta` and deliver any delayed
+    /// messages whose time has come. All clock movement funnels through
+    /// here so a receiver parked on an in-flight message is woken the
+    /// moment the clock passes its delivery time; fault-free runs pay one
+    /// emptiness check.
+    pub fn advance_clock(&mut self, delta: u64) {
+        self.clock_ns += delta;
+        self.wake_due_deliveries();
+    }
+
+    /// Pop every pending delivery with `visible_at <= clock` and wake its
+    /// receiver if it is parked in a receive. Each heap entry is consumed
+    /// exactly once, so spurious wakes (receiver waiting on a different
+    /// channel, or message already taken) are bounded — no livelock.
+    fn wake_due_deliveries(&mut self) {
+        while let Some(&Reverse((t, dst))) = self.delivery_due.peek() {
+            if t > self.clock_ns {
+                break;
+            }
+            self.delivery_due.pop();
+            if self.status[dst as usize] == RankStatus::Blocked(BlockReason::Recv) {
+                self.status[dst as usize] = RankStatus::Computing;
+                self.pending_wakes.push(dst);
+            }
+        }
+    }
+
+    /// Every live rank is parked but delayed messages are still on the
+    /// wire: advance the clock to successive delivery times until some
+    /// receiver wakes. Returns whether any rank was woken (if not, the
+    /// deadlock is real — no pending delivery can unblock anyone). Each
+    /// iteration consumes at least one heap entry, so the loop is bounded;
+    /// the clock target is a deterministic minimum.
+    fn advance_to_next_delivery(&mut self) -> bool {
+        loop {
+            let before = self.pending_wakes.len();
+            self.wake_due_deliveries();
+            if self.pending_wakes.len() > before {
+                return true;
+            }
+            match self.delivery_due.peek() {
+                Some(&Reverse((t, _))) => self.clock_ns = t,
+                None => return false,
+            }
+        }
+    }
+
+    /// Pop the oldest *visible* message on channel (src → dst, tag), if any.
+    /// A delayed front message blocks the channel (FIFO, non-overtaking).
     pub fn take_msg(&mut self, src: u32, dst: u32, tag: u32) -> Option<Msg> {
         let q = self.mailboxes.get_mut(&(src, dst, tag))?;
+        if q.front().is_some_and(|m| m.visible_at > self.clock_ns) {
+            return None;
+        }
         let m = q.pop_front();
         if q.is_empty() {
             self.mailboxes.remove(&(src, dst, tag));
         }
+        if let Some(msg) = &m {
+            if msg.visible_at > 0 {
+                self.delayed_in_flight = self.delayed_in_flight.saturating_sub(1);
+            }
+        }
         m
     }
 
+    /// Whether channel (src → dst, tag) holds any buffered message, visible
+    /// or not (an in-flight delayed message still counts as deliverable).
+    pub fn has_pending_msg(&self, src: u32, dst: u32, tag: u32) -> bool {
+        self.mailboxes
+            .get(&(src, dst, tag))
+            .is_some_and(|q| !q.is_empty())
+    }
+
     /// Buffer a message and wake the destination if it is parked in a
-    /// receive (it re-checks its mailbox when re-granted).
+    /// receive (it re-checks its mailbox when re-granted). Consumes a
+    /// pending message-delay fault of the sender, if one is due.
     pub fn put_msg(&mut self, src: u32, dst: u32, tag: u32, payload: Vec<u8>) -> u64 {
         let seq = self.next_msg_seq;
         self.next_msg_seq += 1;
+        let visible_at = match self.msg_delays[src as usize].front() {
+            Some(&(at_op, delay_ns)) if at_op <= self.op_index[src as usize] => {
+                self.msg_delays[src as usize].pop_front();
+                self.delayed_in_flight += 1;
+                let t = self.clock_ns + delay_ns;
+                self.delivery_due.push(Reverse((t, dst)));
+                t
+            }
+            _ => 0,
+        };
         self.mailboxes
             .entry((src, dst, tag))
             .or_default()
-            .push_back(Msg { seq, payload });
+            .push_back(Msg {
+                seq,
+                payload,
+                visible_at,
+            });
         if self.status[dst as usize] == RankStatus::Blocked(BlockReason::Recv) {
             self.status[dst as usize] = RankStatus::Computing;
             self.pending_wakes.push(dst);
@@ -178,8 +354,93 @@ impl SimState {
         seq
     }
 
-    /// Blocked ranks the deadlock error should name.
+    /// Consume a planned crash of `rank` at `at_op`, if one exists.
+    pub fn take_crash(&mut self, rank: u32, at_op: u64) -> bool {
+        let sites = &mut self.crash_at[rank as usize];
+        if let Some(i) = sites.iter().position(|&op| op == at_op) {
+            sites.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the front pending I/O fault of `rank` if its op index is due.
+    pub fn take_io_fault(&mut self, rank: u32) -> Option<IoFault> {
+        let q = &mut self.io_faults[rank as usize];
+        match q.front() {
+            Some(&(at_op, kind)) if at_op <= self.op_index[rank as usize] => {
+                q.pop_front();
+                Some(kind)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `rank` has fail-stopped.
+    pub fn is_crashed(&self, rank: u32) -> bool {
+        self.status[rank as usize] == RankStatus::Crashed
+    }
+
+    /// Ranks that can still arrive at a barrier (everything not crashed;
+    /// a *finished* rank still counts, so a program that exits mid-barrier
+    /// on some ranks deadlocks — an application bug, reported as one).
+    pub fn live_ranks(&self) -> u32 {
+        self.status
+            .iter()
+            .filter(|s| !matches!(s, RankStatus::Crashed))
+            .count() as u32
+    }
+
+    /// Release the current barrier epoch if every live rank has arrived.
+    /// Called on every arrival and on every crash (the crash may be the
+    /// departure the epoch was waiting for).
+    pub fn release_barrier_if_complete(&mut self) {
+        if self.barrier_count == 0 || self.barrier_count < self.live_ranks() {
+            return;
+        }
+        let epoch = self.barrier_epoch;
+        self.barrier_count = 0;
+        self.barrier_epoch += 1;
+        debug_assert_eq!(self.barrier_release.len() as u64, epoch);
+        self.barrier_release.push(self.clock_ns);
+        for r in 0..self.status.len() {
+            if self.status[r] == RankStatus::Blocked(BlockReason::Barrier { epoch }) {
+                self.status[r] = RankStatus::Computing;
+                self.pending_wakes.push(r as u32);
+            }
+        }
+    }
+
+    /// Transition `rank` into the terminal crashed state and let the rest
+    /// of the world adapt: the barrier epoch it will never join may now be
+    /// complete, and every receiver parked on a message must re-check its
+    /// channel (it fail-stops itself if the peer is this rank and the
+    /// channel is drained).
+    pub fn crash_rank(&mut self, rank: u32, err: SimError) {
+        self.status[rank as usize] = RankStatus::Crashed;
+        self.faults[rank as usize] = Some(err);
+        self.release_barrier_if_complete();
+        for r in 0..self.status.len() {
+            if self.status[r] == RankStatus::Blocked(BlockReason::Recv) {
+                self.status[r] = RankStatus::Computing;
+                self.pending_wakes.push(r as u32);
+            }
+        }
+        self.try_dispatch();
+    }
+
+    /// Blocked ranks the deadlock error should name: the set captured at
+    /// declaration time (the ranks have since unwound), falling back to a
+    /// live scan if deadlock has not been declared.
     pub fn blocked_ranks(&self) -> Vec<u32> {
+        if self.deadlocked {
+            return self.deadlock_blocked.clone();
+        }
+        self.scan_blocked()
+    }
+
+    fn scan_blocked(&self) -> Vec<u32> {
         self.status
             .iter()
             .enumerate()

@@ -1,12 +1,14 @@
 //! World construction, rank handles and the turn protocol.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use simrng::SimRng;
 
 use crate::clock::{apply_skew, CostModel, OpClass};
-use crate::error::SimError;
+use crate::error::{SimAbort, SimError};
 use crate::event::MpiEvent;
+use crate::fault::{FaultPlan, IoFault};
 use crate::sched::{RankStatus, SchedMode, SimState};
 
 /// Configuration for a simulated world.
@@ -27,6 +29,8 @@ pub struct WorldCfg {
     /// Initial simulated time. Jobs of a workflow chain their clocks by
     /// starting each world where the previous one ended.
     pub start_ns: u64,
+    /// Pre-committed fault schedule; [`FaultPlan::none`] for a clean run.
+    pub faults: FaultPlan,
 }
 
 impl WorldCfg {
@@ -40,6 +44,7 @@ impl WorldCfg {
             max_skew_ns: 20_000, // 20 µs, the bound observed in §5.2
             cost: CostModel::default(),
             start_ns: 0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -57,6 +62,11 @@ impl WorldCfg {
         self.cost = cost;
         self
     }
+
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 pub(crate) struct Shared {
@@ -72,6 +82,44 @@ pub(crate) struct Shared {
     pub cost: CostModel,
     /// Immutable per-rank clock skew offsets (signed ns).
     pub skews: Vec<i64>,
+    /// Whether the fault plan contains any I/O faults at all; lets the
+    /// harness skip the per-op fault probe (a lock acquisition) entirely
+    /// on clean runs.
+    pub has_io_faults: bool,
+}
+
+/// Lock a poisonable mutex, tolerating poison: a rank thread that panicked
+/// while holding the lock must not cascade panics into every other rank —
+/// graceful degradation means the survivors keep draining their state.
+pub(crate) fn lock_state(m: &Mutex<SimState>) -> MutexGuard<'_, SimState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Suppress the default "thread panicked" stderr noise for the controlled
+/// [`SimAbort`] unwinds; every other panic goes to the previous hook
+/// untouched. Installed once per process, delegating.
+fn install_quiet_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Best-effort human-readable message from a caught panic payload, for
+/// the fault record of a rank that died to a genuine bug.
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string payload".to_string()
+    }
 }
 
 /// A handle to one simulated world. Create with [`World::new`], obtain one
@@ -87,13 +135,33 @@ pub struct World {
 #[derive(Debug)]
 pub struct RunOutput<T> {
     /// Per-rank return values of the rank closure, indexed by rank.
-    pub results: Vec<T>,
+    /// `None` for a rank whose closure was cut short by a fail-stop abort
+    /// it did not catch (layers that salvage partial state catch the
+    /// [`SimAbort`] unwind inside the closure and still return a value).
+    pub results: Vec<Option<T>>,
+    /// Terminal fault of each rank, if any, indexed by rank. A run with
+    /// injected crashes completes `Ok` and reports them here.
+    pub faults: Vec<Option<SimError>>,
     /// Per-rank communication event logs (true, unskewed timestamps).
     pub events: Vec<Vec<MpiEvent>>,
     /// Simulated time at the end of the run.
     pub final_time_ns: u64,
     /// The per-rank skew that was applied to recorded timestamps.
     pub skews_ns: Vec<i64>,
+}
+
+impl<T> RunOutput<T> {
+    /// The per-rank results of a run expected to be fault-free.
+    ///
+    /// # Panics
+    /// Panics if any rank failed to produce a value.
+    pub fn expect_results(self) -> Vec<T> {
+        self.results
+            .into_iter()
+            .enumerate()
+            .map(|(r, v)| v.unwrap_or_else(|| panic!("rank {r} produced no result")))
+            .collect()
+    }
 }
 
 impl World {
@@ -109,13 +177,25 @@ impl World {
                 }
             })
             .collect();
+        let has_io_faults = cfg
+            .faults
+            .sites()
+            .iter()
+            .any(|s| matches!(s.kind, crate::fault::FaultKind::Io(_)));
         World {
             shared: Arc::new(Shared {
-                state: Mutex::new(SimState::new(cfg.nranks, cfg.seed, cfg.mode, cfg.start_ns)),
+                state: Mutex::new(SimState::new(
+                    cfg.nranks,
+                    cfg.seed,
+                    cfg.mode,
+                    cfg.start_ns,
+                    &cfg.faults,
+                )),
                 cvs: (0..cfg.nranks).map(|_| Condvar::new()).collect(),
                 nranks: cfg.nranks,
                 cost: cfg.cost.clone(),
                 skews,
+                has_io_faults,
             }),
         }
     }
@@ -139,42 +219,88 @@ impl World {
     /// Spawn one thread per rank running `f`, wait for all of them, and
     /// collect results plus the event log.
     ///
-    /// # Panics
-    /// Panics (propagating from rank threads) if the simulated program
-    /// deadlocks or a rank panics.
-    pub fn run<T, F>(cfg: &WorldCfg, f: F) -> RunOutput<T>
+    /// Runtime failures are reported, not panicked: a deadlock (every live
+    /// rank blocked — an application bug) fails the whole run with `Err`,
+    /// while per-rank fail-stops (injected crashes, cascaded peer crashes,
+    /// unrecoverable I/O) leave the run `Ok` with the affected ranks'
+    /// entries in [`RunOutput::faults`] set and their results possibly
+    /// `None`. A genuine panic in application code still propagates —
+    /// but only after the panicking rank is marked crashed in the
+    /// scheduler, so surviving ranks drain (finish or cascade-abort)
+    /// instead of waiting forever on a dead thread's token.
+    pub fn run<T, F>(cfg: &WorldCfg, f: F) -> Result<RunOutput<T>, SimError>
     where
         T: Send,
         F: Fn(Rank) -> T + Sync,
     {
+        install_quiet_abort_hook();
         let world = World::new(cfg);
-        let results: Vec<T> = std::thread::scope(|s| {
+        type Payload = Box<dyn std::any::Any + Send>;
+        let mut panicked: Option<Payload> = None;
+        let results: Vec<Option<T>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..cfg.nranks)
                 .map(|r| {
                     let rank = world.rank(r);
                     let f = &f;
-                    s.spawn(move || {
-                        let out = f(rank.clone_handle());
-                        rank.finish();
-                        out
+                    s.spawn(move || -> Result<Option<T>, Payload> {
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(rank.clone_handle())))
+                        {
+                            Ok(out) => {
+                                rank.finish();
+                                Ok(Some(out))
+                            }
+                            Err(payload) => {
+                                if payload.downcast_ref::<SimAbort>().is_some() {
+                                    // Controlled fail-stop; the aborting path
+                                    // already recorded the fault in SimState.
+                                    Ok(None)
+                                } else {
+                                    // A bug escaped the rank closure. Crash
+                                    // the rank in the scheduler first so the
+                                    // world can drain, then hand the payload
+                                    // to the caller's thread to re-panic.
+                                    rank.poison(format!(
+                                        "panic: {}",
+                                        panic_payload_message(&payload)
+                                    ));
+                                    Err(payload)
+                                }
+                            }
+                        }
                     })
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| match h.join() {
-                    Ok(v) => v,
-                    Err(e) => std::panic::resume_unwind(e),
+                    Ok(Ok(v)) => v,
+                    Ok(Err(payload)) => {
+                        panicked.get_or_insert(payload);
+                        None
+                    }
+                    Err(payload) => {
+                        panicked.get_or_insert(payload);
+                        None
+                    }
                 })
                 .collect()
         });
-        let mut st = world.shared.state.lock().unwrap();
-        RunOutput {
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+        let mut st = lock_state(&world.shared.state);
+        if st.deadlocked {
+            return Err(SimError::Deadlock {
+                blocked: st.blocked_ranks(),
+            });
+        }
+        Ok(RunOutput {
             results,
+            faults: std::mem::take(&mut st.faults),
             events: std::mem::take(&mut st.events),
             final_time_ns: st.clock_ns,
             skews_ns: world.shared.skews.clone(),
-        }
+        })
     }
 }
 
@@ -215,7 +341,7 @@ impl Rank {
     /// Current true simulated time. Takes the world lock; mainly for tests
     /// and reporting.
     pub fn now(&self) -> u64 {
-        self.shared.state.lock().unwrap().clock_ns
+        lock_state(&self.shared.state).clock_ns
     }
 
     pub(crate) fn clone_handle(&self) -> Rank {
@@ -223,6 +349,10 @@ impl Rank {
             shared: Arc::clone(&self.shared),
             rank: self.rank,
         }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, SimState> {
+        lock_state(&self.shared.state)
     }
 
     /// Signal every rank queued in `pending_wakes` (except ourselves: the
@@ -236,11 +366,80 @@ impl Rank {
         }
     }
 
+    /// Fail-stop this rank: record the fault, let the world adapt (barrier
+    /// departure, receiver wakeups), and unwind the rank thread with the
+    /// [`SimAbort`] payload. Never returns.
+    pub(crate) fn abort_with(&self, mut st: MutexGuard<'_, SimState>, err: SimError) -> ! {
+        st.crash_rank(self.rank, err.clone());
+        self.drain_wakes(&mut st);
+        drop(st);
+        std::panic::panic_any(SimAbort(err));
+    }
+
+    /// Fail-stop this rank from a layer above the runtime (e.g. the I/O
+    /// harness after exhausting retries). Unwinds with [`SimAbort`];
+    /// callers salvage partial state by catching it inside the rank
+    /// closure. Never returns.
+    pub fn fail_stop(&self, cause: String) -> ! {
+        let mut st = self.lock_state();
+        let at_op = st.op_index[self.rank as usize];
+        let err = SimError::RankCrashed {
+            rank: self.rank,
+            at_op,
+            cause,
+        };
+        st.crash_rank(self.rank, err.clone());
+        self.drain_wakes(&mut st);
+        drop(st);
+        std::panic::panic_any(SimAbort(err));
+    }
+
+    /// Crash this rank in the scheduler without unwinding — the cleanup
+    /// half of [`Rank::fail_stop`], for when the thread is *already*
+    /// unwinding with a genuine panic. Records the fault and wakes every
+    /// waiter so the world drains instead of hanging on a dead thread.
+    pub(crate) fn poison(&self, cause: String) {
+        let mut st = self.lock_state();
+        if st.is_crashed(self.rank) {
+            return;
+        }
+        let at_op = st.op_index[self.rank as usize];
+        let err = SimError::RankCrashed {
+            rank: self.rank,
+            at_op,
+            cause,
+        };
+        st.crash_rank(self.rank, err);
+        self.drain_wakes(&mut st);
+    }
+
+    /// Consume this rank's next due I/O fault, if the world's fault plan
+    /// scheduled one at or before the rank's current op index. The probe is
+    /// free when the plan holds no I/O faults.
+    pub fn take_io_fault(&self) -> Option<IoFault> {
+        if !self.shared.has_io_faults {
+            return None;
+        }
+        let mut st = self.lock_state();
+        st.take_io_fault(self.rank)
+    }
+
     /// Acquire the scheduler turn. Returns with the world lock held and
-    /// this rank's status set to `Granted`.
+    /// this rank's status set to `Granted`. Increments the rank's op index
+    /// and fires a planned crash scheduled for it.
     pub(crate) fn turn_begin(&self) -> MutexGuard<'_, SimState> {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.lock_state();
         let me = self.rank as usize;
+        let op = st.op_index[me];
+        st.op_index[me] = op + 1;
+        if st.take_crash(self.rank, op) {
+            let err = SimError::RankCrashed {
+                rank: self.rank,
+                at_op: op,
+                cause: "injected crash".to_string(),
+            };
+            self.abort_with(st, err);
+        }
         st.status[me] = RankStatus::Requesting;
         st.try_dispatch();
         self.drain_wakes(&mut st);
@@ -248,12 +447,14 @@ impl Rank {
             if st.deadlocked {
                 let blocked = st.blocked_ranks();
                 drop(st);
-                panic!("{}", SimError::Deadlock { blocked });
+                std::panic::panic_any(SimAbort(SimError::Deadlock { blocked }));
             }
             if st.status[me] == RankStatus::Granted {
                 return st;
             }
-            st = self.shared.cvs[me].wait(st).unwrap();
+            st = self.shared.cvs[me]
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -282,12 +483,14 @@ impl Rank {
             if st.deadlocked {
                 let blocked = st.blocked_ranks();
                 drop(st);
-                panic!("{}", SimError::Deadlock { blocked });
+                std::panic::panic_any(SimAbort(SimError::Deadlock { blocked }));
             }
             if !matches!(st.status[me], RankStatus::Blocked(_)) {
                 return st;
             }
-            st = self.shared.cvs[me].wait(st).unwrap();
+            st = self.shared.cvs[me]
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -304,7 +507,7 @@ impl Rank {
     ) -> (u64, u64, R) {
         let mut st = self.turn_begin();
         let t0 = st.clock_ns;
-        st.clock_ns += self.shared.cost.cost(class, bytes);
+        st.advance_clock(self.shared.cost.cost(class, bytes));
         let t1 = st.clock_ns;
         let r = f(t0);
         self.turn_end(st);
@@ -317,9 +520,12 @@ impl Rank {
     }
 
     /// Mark this rank finished. Called automatically by [`World::run`].
+    /// A no-op for a crashed rank (the crash is its terminal state).
     pub fn finish(&self) {
-        let mut st = self.shared.state.lock().unwrap();
-        st.status[self.rank as usize] = RankStatus::Finished;
+        let mut st = self.lock_state();
+        if st.status[self.rank as usize] != RankStatus::Crashed {
+            st.status[self.rank as usize] = RankStatus::Finished;
+        }
         st.try_dispatch();
         self.drain_wakes(&mut st);
     }

@@ -36,7 +36,7 @@ fn random_steps(rng: &mut SimRng, min: usize, max: usize) -> Vec<Step> {
 }
 
 fn execute(nranks: u32, seed: u64, steps: &[Step]) -> mpisim::RunOutput<u64> {
-    World::run(&WorldCfg::new(nranks, seed), |r| {
+    let out = World::run(&WorldCfg::new(nranks, seed), |r| {
         let mut acc = 0u64;
         for step in steps {
             match *step {
@@ -63,7 +63,8 @@ fn execute(nranks: u32, seed: u64, steps: &[Step]) -> mpisim::RunOutput<u64> {
             }
         }
         acc
-    })
+    });
+    out.expect("well-formed SPMD programs never deadlock")
 }
 
 /// Any well-formed SPMD program completes (no deadlock) and replays

@@ -1,10 +1,35 @@
 //! Integration tests for the simulated MPI runtime: determinism, barrier
-//! semantics, message matching, collectives, skew, and deadlock detection.
+//! semantics, message matching, collectives, skew, deadlock detection,
+//! and fault injection.
 
-use mpisim::{EventKind, Rank, RunOutput, SchedMode, World, WorldCfg};
+use mpisim::{
+    EventKind, FaultKind, FaultPlan, IoFault, MpiEvent, Rank, SchedMode, SimError, World, WorldCfg,
+};
 
-fn run<T: Send>(nranks: u32, seed: u64, f: impl Fn(Rank) -> T + Sync) -> RunOutput<T> {
-    World::run(&WorldCfg::new(nranks, seed), f)
+/// A fault-free run's output with the per-rank results unwrapped.
+struct Ran<T> {
+    results: Vec<T>,
+    events: Vec<Vec<MpiEvent>>,
+    final_time_ns: u64,
+    skews_ns: Vec<i64>,
+}
+
+fn run_cfg<T: Send>(cfg: &WorldCfg, f: impl Fn(Rank) -> T + Sync) -> Ran<T> {
+    let out = World::run(cfg, f).expect("well-formed program");
+    Ran {
+        results: out
+            .results
+            .into_iter()
+            .map(|v| v.expect("fault-free rank"))
+            .collect(),
+        events: out.events,
+        final_time_ns: out.final_time_ns,
+        skews_ns: out.skews_ns,
+    }
+}
+
+fn run<T: Send>(nranks: u32, seed: u64, f: impl Fn(Rank) -> T + Sync) -> Ran<T> {
+    run_cfg(&WorldCfg::new(nranks, seed), f)
 }
 
 #[test]
@@ -225,7 +250,7 @@ fn deterministic_mode_reproduces_event_log() {
 fn free_mode_completes() {
     let cfg = WorldCfg::new(8, 7).free_running();
     assert_eq!(cfg.mode, SchedMode::Free);
-    let out = World::run(&cfg, |r| {
+    let out = run_cfg(&cfg, |r| {
         r.barrier();
         r.allreduce_sum_u64(1)
     });
@@ -237,8 +262,8 @@ fn free_mode_completes() {
 #[test]
 fn skew_bounded_and_deterministic() {
     let cfg = WorldCfg::new(16, 99).with_max_skew_ns(20_000);
-    let w1 = World::run(&cfg, |r| r.skew_ns());
-    let w2 = World::run(&cfg, |r| r.skew_ns());
+    let w1 = run_cfg(&cfg, |r| r.skew_ns());
+    let w2 = run_cfg(&cfg, |r| r.skew_ns());
     assert_eq!(w1.results, w2.results);
     assert!(
         w1.results.iter().any(|&s| s != 0),
@@ -253,37 +278,46 @@ fn skew_bounded_and_deterministic() {
 #[test]
 fn zero_skew_option() {
     let cfg = WorldCfg::new(4, 1).with_max_skew_ns(0);
-    let out = World::run(&cfg, |r| r.skew_ns());
+    let out = run_cfg(&cfg, |r| r.skew_ns());
     assert!(out.results.iter().all(|&s| s == 0));
 }
 
 #[test]
 fn local_clock_applies_skew() {
     let cfg = WorldCfg::new(2, 5).with_max_skew_ns(1000);
-    let out = World::run(&cfg, |r| (r.skew_ns(), r.local_clock(1_000_000)));
+    let out = run_cfg(&cfg, |r| (r.skew_ns(), r.local_clock(1_000_000)));
     for &(skew, local) in &out.results {
         assert_eq!(local as i64, 1_000_000 + skew);
     }
 }
 
 #[test]
-#[should_panic(expected = "deadlock")]
-fn deadlock_detected_on_unmatched_recv() {
-    run(2, 3, |r| {
+fn deadlock_is_an_error_not_a_panic() {
+    // The classic abort case: rank 0 receives from a rank that never
+    // sends. `World::run` must return `Err(Deadlock)` without any panic
+    // unwinding through this caller frame — no catch_unwind here.
+    let res = World::run(&WorldCfg::new(2, 3), |r| {
         if r.rank() == 0 {
             r.recv(1, 0); // rank 1 never sends
         }
     });
+    match res {
+        Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec![0]),
+        other => panic!("expected deadlock error, got {other:?}"),
+    }
 }
 
 #[test]
-#[should_panic(expected = "deadlock")]
 fn deadlock_detected_when_rank_skips_barrier() {
-    run(3, 3, |r| {
+    let res = World::run(&WorldCfg::new(3, 3), |r| {
         if r.rank() != 2 {
             r.barrier(); // rank 2 exits without participating
         }
     });
+    match res {
+        Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec![0, 1]),
+        other => panic!("expected deadlock error, got {other:?}"),
+    }
 }
 
 #[test]
@@ -375,4 +409,287 @@ fn sendrecv_ring_exchange_does_not_deadlock() {
         let left = (rank + 8 - 1) % 8;
         assert_eq!(*got, vec![left as u8]);
     }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_crash_is_reported_and_survivors_finish() {
+    // Rank 1 crashes at its very first op; the others still complete
+    // their barriers because a crashed rank counts as departed.
+    let cfg = WorldCfg::new(4, 11).with_faults(FaultPlan::none().with_crash(1, 0));
+    let out = World::run(&cfg, |r| {
+        r.compute(50);
+        r.barrier();
+        r.compute(50);
+        r.barrier();
+        r.rank()
+    })
+    .expect("crashes are recoverable");
+    assert!(out.results[1].is_none(), "crashed rank returns no result");
+    assert!(matches!(
+        out.faults[1],
+        Some(SimError::RankCrashed { rank: 1, .. })
+    ));
+    for r in [0usize, 2, 3] {
+        assert_eq!(out.results[r], Some(r as u32));
+        assert!(out.faults[r].is_none());
+    }
+}
+
+#[test]
+fn recv_from_crashed_peer_cascades_not_deadlocks() {
+    // Rank 0 waits for a message rank 1 will never send (it crashes
+    // first). Without crash awareness this would be a deadlock; instead
+    // rank 0 fail-stops with PeerCrashed and the run completes.
+    let cfg = WorldCfg::new(2, 13).with_faults(FaultPlan::none().with_crash(1, 0));
+    let out = World::run(&cfg, |r| {
+        if r.rank() == 0 {
+            r.recv(1, 9);
+        } else {
+            r.compute(10);
+            r.send(0, 9, vec![1]);
+        }
+    })
+    .expect("peer crash cascades, not deadlocks");
+    assert!(matches!(
+        out.faults[1],
+        Some(SimError::RankCrashed { rank: 1, .. })
+    ));
+    assert!(matches!(
+        out.faults[0],
+        Some(SimError::PeerCrashed { rank: 0, peer: 1 })
+    ));
+}
+
+#[test]
+fn crash_while_peers_wait_in_barrier_releases_them() {
+    // Ranks 0..3 arrive at the barrier; rank 3 crashes on its way there.
+    // The three waiters must release rather than deadlock.
+    let cfg = WorldCfg::new(4, 17).with_faults(FaultPlan::none().with_crash(3, 1));
+    let out = World::run(&cfg, |r| {
+        r.compute(10 * (r.rank() as u64 + 1));
+        r.barrier();
+        r.rank()
+    })
+    .expect("barrier releases once the crash departs");
+    for r in 0..3usize {
+        assert_eq!(out.results[r], Some(r as u32));
+    }
+    assert!(out.results[3].is_none());
+}
+
+#[test]
+fn io_fault_is_consumed_by_probe() {
+    let cfg =
+        WorldCfg::new(2, 19).with_faults(FaultPlan::none().with(0, 0, FaultKind::Io(IoFault::Eio)));
+    let out = World::run(&cfg, |r| {
+        // The fault is armed for op index >= 0; the probe consumes it once.
+        let first = r.take_io_fault();
+        let second = r.take_io_fault();
+        r.compute(10);
+        (first, second)
+    })
+    .expect("io faults are surfaced, not fatal");
+    assert_eq!(
+        out.results[0],
+        Some((Some(IoFault::Eio), None)),
+        "rank 0 sees the fault exactly once"
+    );
+    assert_eq!(out.results[1], Some((None, None)));
+}
+
+#[test]
+fn delayed_message_advances_clock_instead_of_deadlocking() {
+    const DELAY: u64 = 5_000_000;
+    let cfg = WorldCfg::new(2, 23).with_faults(FaultPlan::none().with(
+        0,
+        0,
+        FaultKind::MsgDelay { delay_ns: DELAY },
+    ));
+    let out = World::run(&cfg, |r| {
+        if r.rank() == 0 {
+            r.send(1, 4, vec![7]);
+            0
+        } else {
+            let (payload, info) = r.recv(0, 4);
+            assert_eq!(payload, vec![7]);
+            info.t_end
+        }
+    })
+    .expect("delayed delivery completes");
+    let recv_end = out.results[1].expect("receiver result");
+    assert!(
+        recv_end >= DELAY,
+        "receive completed at {recv_end}, before the {DELAY}ns delivery delay"
+    );
+    assert!(out.final_time_ns >= DELAY);
+}
+
+#[test]
+fn identical_fault_plans_reproduce_identical_runs() {
+    let plan =
+        FaultPlan::none()
+            .with_crash(2, 7)
+            .with(1, 3, FaultKind::MsgDelay { delay_ns: 1000 });
+    let program = |r: Rank| {
+        for step in 0..4u32 {
+            r.compute(100);
+            let right = (r.rank() + 1) % r.nranks();
+            let left = (r.rank() + r.nranks() - 1) % r.nranks();
+            r.sendrecv(right, step, vec![r.rank() as u8], left, step);
+            r.barrier();
+        }
+        r.now()
+    };
+    let cfg = WorldCfg::new(4, 29).with_faults(plan);
+    let a = World::run(&cfg, program).expect("run a");
+    let b = World::run(&cfg, program).expect("run b");
+    assert_eq!(a.events, b.events, "same (seed, plan) ⇒ identical events");
+    assert_eq!(a.final_time_ns, b.final_time_ns);
+    assert_eq!(
+        a.faults.iter().flatten().count(),
+        b.faults.iter().flatten().count()
+    );
+}
+
+#[test]
+fn seeded_plan_campaign_smoke_never_panics() {
+    // A miniature fault campaign: every (seed, kind) cell must complete
+    // without a panic escaping World::run.
+    let kinds = [
+        FaultKind::Crash,
+        FaultKind::Io(IoFault::Eintr),
+        FaultKind::Io(IoFault::Enospc),
+        FaultKind::MsgDelay { delay_ns: 10_000 },
+    ];
+    for seed in 0..4u64 {
+        for kind in kinds {
+            let plan = FaultPlan::seeded(seed, 4, kind, 2, 16);
+            let cfg = WorldCfg::new(4, seed).with_faults(plan);
+            let res = World::run(&cfg, |r| {
+                for _ in 0..6 {
+                    r.compute(10);
+                    let _ = r.take_io_fault();
+                    r.barrier();
+                }
+            });
+            // A cascade may fail individual ranks but the run reports it.
+            let out = res.expect("fault campaign cell must not deadlock");
+            for (r, f) in out.faults.iter().enumerate() {
+                if let Some(e) = f {
+                    assert!(
+                        matches!(
+                            e,
+                            SimError::RankCrashed { .. } | SimError::PeerCrashed { .. }
+                        ),
+                        "rank {r}: unexpected fault {e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn genuine_panic_drains_world_then_propagates() {
+    // A bug (non-SimAbort panic) in one rank must not hang the other
+    // ranks on the scheduler token: the world drains, then the payload
+    // re-surfaces from World::run on the caller's thread.
+    let cfg = WorldCfg::new(4, 99);
+    let caught = std::panic::catch_unwind(|| {
+        let _ = World::run(&cfg, |r| {
+            r.compute(10);
+            if r.rank() == 2 {
+                panic!("application bug on rank 2");
+            }
+            for _ in 0..4 {
+                r.compute(10);
+                r.barrier();
+            }
+        });
+    });
+    let payload = caught.expect_err("the bug must propagate");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("<non-str>");
+    assert_eq!(msg, "application bug on rank 2");
+}
+
+#[test]
+fn delayed_sender_in_gather_order_does_not_livelock() {
+    // Regression: rank 0 gathers in rank order, rank 1's send is delayed.
+    // Rank 2's message is already visible in rank 0's mailbox while rank 0
+    // blocks on rank 1 — the scheduler must advance the clock to rank 1's
+    // delivery, not re-wake rank 0 for the visible-but-wrong channel.
+    let plan = FaultPlan::none().with(
+        1,
+        1,
+        FaultKind::MsgDelay {
+            delay_ns: 5_000_000,
+        },
+    );
+    let cfg = WorldCfg::new(4, 7).with_faults(plan);
+    let out = World::run(&cfg, |r| {
+        if r.rank() == 0 {
+            let mut total = 0usize;
+            for src in 1..4 {
+                let (payload, _) = r.recv(src, 9);
+                total += payload.len();
+            }
+            total
+        } else {
+            // Ranks 2 and 3 send before rank 1 gets scheduled far enough
+            // for its delayed send to matter; ordering is irrelevant —
+            // only rank 1's message is delayed.
+            r.compute(10 * r.rank() as u64);
+            r.send(0, 9, vec![r.rank() as u8; r.rank() as usize]);
+            0
+        }
+    })
+    .expect("no deadlock: the delayed message must eventually deliver");
+    assert_eq!(out.results[0], Some(1 + 2 + 3));
+    assert!(out.final_time_ns >= 5_000_000, "clock advanced to delivery");
+}
+
+#[test]
+fn receiver_wakes_when_clock_passes_delivery_time() {
+    // Regression: rank 0 parks on rank 1's delayed message; rank 1 then
+    // burns enough compute that the clock passes the delivery time through
+    // ordinary cost accounting, long before every rank is parked. The
+    // delivery must wake rank 0 then — the send-time wake already happened
+    // (and found an invisible front), and rank 1 reaching the barrier
+    // afterwards used to leave no future-dated front for the deadlock
+    // scan, deadlocking a perfectly deliverable program.
+    let plan = FaultPlan::none().with(
+        1,
+        1,
+        FaultKind::MsgDelay {
+            delay_ns: 1_000_000,
+        },
+    );
+    let cfg = WorldCfg::new(3, 11).with_faults(plan);
+    let out = World::run(&cfg, |r| {
+        let info = if r.rank() == 0 {
+            let (payload, _) = r.recv(1, 5);
+            payload.len()
+        } else {
+            if r.rank() == 1 {
+                r.send(0, 5, vec![0xAB; 4]);
+            }
+            // Both senders outlive the delay in simulated time.
+            for _ in 0..64 {
+                r.compute(100_000);
+            }
+            0
+        };
+        r.barrier();
+        info
+    })
+    .expect("no deadlock: delivery time passes while peers still run");
+    assert_eq!(out.results[0], Some(4));
+    assert!(out.final_time_ns >= 1_000_000);
 }

@@ -12,7 +12,7 @@ use crate::error::{FsError, FsResult};
 use crate::flags::{OpenFlags, Whence};
 use crate::image::FileImage;
 use crate::namespace::{normalize, DirEntry};
-use crate::state::{FileId, PfsState};
+use crate::state::{lock_state, FileId, PfsState};
 use crate::stats::MetaOp;
 use crate::tag::{TagRun, WriteTag};
 
@@ -89,12 +89,16 @@ pub struct PfsClient {
     cwd: String,
     observations: Vec<Observation>,
     next_obs: u64,
+    /// One-shot lost-flush fault: when armed, the next fsync/fdatasync is
+    /// recorded and counted as a commit but its publish is silently dropped
+    /// (the flush never reached commit visibility).
+    lost_flush_armed: bool,
 }
 
 impl PfsClient {
     pub(crate) fn new(state: Arc<Mutex<PfsState>>, cfg: PfsConfig, rank: u32) -> Self {
         let client_id = {
-            let mut st = state.lock().unwrap();
+            let mut st = lock_state(&state);
             let id = st.next_client_id;
             st.next_client_id += 1;
             id
@@ -109,6 +113,7 @@ impl PfsClient {
             cwd: "/".to_string(),
             observations: Vec::new(),
             next_obs: 0,
+            lost_flush_armed: false,
         }
     }
 
@@ -162,7 +167,7 @@ impl PfsClient {
     /// sees exactly the sessions closed before this open).
     pub fn open(&mut self, path: &str, flags: OpenFlags, now: u64) -> FsResult<u32> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.opens += 1;
         let existing = st.ns.lookup(&path);
         let file = match existing {
@@ -226,7 +231,7 @@ impl PfsClient {
     /// close is the end of a session).
     pub fn close(&mut self, fd: u32, _now: u64) -> FsResult<()> {
         let entry = self.fds.remove(&fd).ok_or(FsError::BadFd { fd })?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.closes += 1;
         match self.effective(entry.flags) {
             SemanticsModel::Commit | SemanticsModel::Session => {
@@ -253,7 +258,7 @@ impl PfsClient {
                 detail: format!("fd {fd} not open for writing"),
             });
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         if st.file(entry.file).laminated {
             return Err(FsError::Denied {
                 detail: format!("{} is laminated", entry.path),
@@ -304,7 +309,7 @@ impl PfsClient {
         }
         let model = self.effective(entry.flags);
         let file = entry.file;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         if st.file(file).laminated {
             return Err(FsError::Denied {
                 detail: "laminated".into(),
@@ -355,7 +360,7 @@ impl PfsClient {
         let model = self.effective(entry.flags);
         let file = entry.file;
         let snapshot = entry.snapshot.clone();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.reads += 1;
         if model == SemanticsModel::Strong {
             let locks = if len == 0 {
@@ -411,7 +416,7 @@ impl PfsClient {
             Whence::Cur => entry.cursor as i64,
             Whence::End => {
                 let model = self.effective(entry.flags);
-                let st = self.state.lock().unwrap();
+                let st = lock_state(&self.state);
                 engine::visible_size(&st, model, entry.file, client_id, entry.snapshot.as_ref())
                     as i64
             }
@@ -422,7 +427,7 @@ impl PfsClient {
                 detail: format!("seek to negative offset {pos}"),
             });
         }
-        let entry = self.fds.get_mut(&fd).expect("checked above");
+        let entry = self.fds.get_mut(&fd).ok_or(FsError::BadFd { fd })?;
         entry.cursor = pos as u64;
         Ok(entry.cursor)
     }
@@ -436,12 +441,34 @@ impl PfsClient {
         let entry = self.fd(fd)?;
         let model = self.effective(entry.flags);
         let file = entry.file;
-        let mut st = self.state.lock().unwrap();
+        let lost = std::mem::take(&mut self.lost_flush_armed);
+        let mut st = lock_state(&self.state);
         st.stats.commits += 1;
-        if model == SemanticsModel::Commit {
+        if model == SemanticsModel::Commit && !lost {
             engine::publish_client(&mut st, &self.cfg, file, self.client_id);
         }
         Ok(())
+    }
+
+    /// Arm a one-shot *lost flush* fault: the next fsync/fdatasync returns
+    /// success and counts as a commit, but the publish silently never
+    /// happens — the canonical "fsync lied" failure the commit-semantics
+    /// verdicts must survive. Injected by the fault harness.
+    pub fn arm_lost_flush(&mut self) {
+        self.lost_flush_armed = true;
+    }
+
+    /// Discard every buffered (pending) extent this client owns, across all
+    /// files. Called when the owning simulated process fail-stops: a crashed
+    /// process's un-published writes can never become visible, exactly as a
+    /// real commit/session PFS would lose a client's write-back cache. The
+    /// outcome is deterministic — pending data is invisible to other
+    /// processes until publish, and a dead owner can no longer publish.
+    pub fn discard_pending(&mut self) {
+        let mut st = lock_state(&self.state);
+        for node in st.files.iter_mut() {
+            node.pending.remove(&self.client_id);
+        }
     }
 
     /// POSIX `fdatasync(2)`: same visibility behaviour as [`Self::fsync`].
@@ -453,7 +480,7 @@ impl PfsClient {
     /// make the file permanently read-only.
     pub fn laminate(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         let file = st.ns.expect_file(&path)?;
         st.stats.commits += 1;
         engine::mature_delayed(&mut st, &self.cfg, file, u64::MAX);
@@ -474,7 +501,7 @@ impl PfsClient {
         let path = self.norm(path)?;
         let client_id = self.client_id;
         let cfg = self.cfg.clone();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Stat);
         match st.ns.lookup(&path) {
             Some(crate::namespace::Node::Dir) => Ok(StatInfo {
@@ -496,12 +523,12 @@ impl PfsClient {
     /// counted separately for the metadata census.
     pub fn lstat(&mut self, path: &str, now: u64) -> FsResult<StatInfo> {
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_state(&self.state);
             st.stats.count_meta(MetaOp::Lstat);
         }
         let out = self.stat(path, now);
         // stat() above also counted a Stat; undo to keep the census honest.
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         if let Some(c) = st.stats.meta_ops.get_mut(&MetaOp::Stat) {
             *c -= 1;
         }
@@ -515,7 +542,7 @@ impl PfsClient {
         let model = self.effective(entry.flags);
         let file = entry.file;
         let snapshot = entry.snapshot.clone();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Fstat);
         let size = engine::visible_size(&st, model, file, client_id, snapshot.as_ref());
         Ok(StatInfo {
@@ -527,28 +554,28 @@ impl PfsClient {
     /// POSIX `access(2)` — existence check.
     pub fn access(&mut self, path: &str, _now: u64) -> FsResult<bool> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Access);
         Ok(st.ns.exists(&path))
     }
 
     pub fn mkdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Mkdir);
         st.ns.mkdir(&path)
     }
 
     pub fn rmdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Rmdir);
         st.ns.rmdir(&path)
     }
 
     pub fn unlink(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Unlink);
         st.ns.unlink(&path).map(|_| ())
     }
@@ -556,20 +583,20 @@ impl PfsClient {
     pub fn rename(&mut self, from: &str, to: &str, _now: u64) -> FsResult<()> {
         let from = self.norm(from)?;
         let to = self.norm(to)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Rename);
         st.ns.rename(&from, &to)
     }
 
     pub fn getcwd(&mut self, _now: u64) -> String {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Getcwd);
         self.cwd.clone()
     }
 
     pub fn chdir(&mut self, path: &str, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Chdir);
         st.ns.expect_dir(&path)?;
         drop(st);
@@ -581,7 +608,7 @@ impl PfsClient {
     /// metadata census; returns the entries.
     pub fn readdir(&mut self, path: &str, _now: u64) -> FsResult<Vec<DirEntry>> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Opendir);
         let entries = st.ns.list(&path)?;
         for _ in &entries {
@@ -597,7 +624,7 @@ impl PfsClient {
     /// length.
     pub fn truncate(&mut self, path: &str, len: u64, _now: u64) -> FsResult<()> {
         let path = self.norm(path)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Truncate);
         let file = st.ns.expect_file(&path)?;
         truncate_node(&mut st, file, len);
@@ -611,7 +638,7 @@ impl PfsClient {
     pub fn ftruncate(&mut self, fd: u32, len: u64, _now: u64) -> FsResult<()> {
         let entry = self.fd(fd)?;
         let file = entry.file;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Ftruncate);
         truncate_node(&mut st, file, len);
         let published = Arc::clone(&st.file(file).published);
@@ -640,7 +667,7 @@ impl PfsClient {
     /// none of the studied applications relies on cursor sharing.
     pub fn dup(&mut self, fd: u32, _now: u64) -> FsResult<u32> {
         let entry = self.fd(fd)?.clone();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Dup);
         drop(st);
         let new_fd = self.next_fd;
@@ -653,21 +680,21 @@ impl PfsClient {
     /// only for flag queries).
     pub fn fcntl(&mut self, fd: u32, _now: u64) -> FsResult<()> {
         self.fd(fd)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Fcntl);
         Ok(())
     }
 
     /// `umask` — counted no-op.
     pub fn umask(&mut self, _mask: u32, _now: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Umask);
     }
 
     /// `fileno` — counted no-op (stdio fd query).
     pub fn fileno(&mut self, fd: u32, _now: u64) -> FsResult<u32> {
         self.fd(fd)?;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(MetaOp::Fileno);
         Ok(fd)
     }
@@ -676,7 +703,7 @@ impl PfsClient {
     /// movement (LBANN-style dataset mapping).
     pub fn mmap(&mut self, fd: u32, offset: u64, len: u64, now: u64) -> FsResult<ReadOut> {
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_state(&self.state);
             st.stats.count_meta(MetaOp::Mmap);
         }
         self.read_at(fd, offset, len, now)
@@ -685,7 +712,7 @@ impl PfsClient {
     /// `msync`: counted, with the visibility effect of `fsync`.
     pub fn msync(&mut self, fd: u32, now: u64) -> FsResult<()> {
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = lock_state(&self.state);
             st.stats.count_meta(MetaOp::Msync);
         }
         self.fsync(fd, now)
@@ -694,7 +721,7 @@ impl PfsClient {
     /// Count a metadata op that has no modelled behaviour (chmod, chown,
     /// utime, …) so library models can still emit it for the census.
     pub fn count_meta(&mut self, op: MetaOp) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         st.stats.count_meta(op);
     }
 

@@ -41,6 +41,33 @@ pub enum FsError {
     Invalid {
         detail: String,
     },
+    /// EINTR — the call was interrupted and can be retried (injected
+    /// transient fault; real clients see this on signal delivery).
+    Interrupted {
+        detail: String,
+    },
+    /// EIO — a low-level I/O error, possibly transient (injected fault;
+    /// stands in for a dropped RPC or a flaky OST).
+    IoError {
+        detail: String,
+    },
+    /// ENOSPC — no space left on device (injected fault; usually clears
+    /// when another job frees quota, so retries are plausible).
+    NoSpace {
+        detail: String,
+    },
+}
+
+impl FsError {
+    /// Whether a caller may reasonably retry the failed operation.
+    /// Injected transient faults are retryable; semantic errors (bad fd,
+    /// missing path, permission) are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FsError::Interrupted { .. } | FsError::IoError { .. } | FsError::NoSpace { .. }
+        )
+    }
 }
 
 impl fmt::Display for FsError {
@@ -54,6 +81,9 @@ impl fmt::Display for FsError {
             FsError::NotEmpty { path } => write!(f, "ENOTEMPTY: {path}"),
             FsError::Denied { detail } => write!(f, "EACCES: {detail}"),
             FsError::Invalid { detail } => write!(f, "EINVAL: {detail}"),
+            FsError::Interrupted { detail } => write!(f, "EINTR: {detail}"),
+            FsError::IoError { detail } => write!(f, "EIO: {detail}"),
+            FsError::NoSpace { detail } => write!(f, "ENOSPC: {detail}"),
         }
     }
 }

@@ -94,6 +94,14 @@ pub(crate) struct PfsState {
     pub next_client_id: u64,
 }
 
+/// Poison-tolerant lock acquisition. A simulated rank that fail-stops
+/// (controlled unwind) may hold this lock's poison flag; the shared state
+/// itself is still consistent — every mutation completes before the guard
+/// drops — so survivors keep going instead of cascading panics.
+pub(crate) fn lock_state(m: &Mutex<PfsState>) -> std::sync::MutexGuard<'_, PfsState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl PfsState {
     pub fn file(&self, id: FileId) -> &FileNode {
         &self.files[id.index()]
@@ -157,14 +165,14 @@ impl Pfs {
 
     /// Snapshot of the server statistics.
     pub fn stats(&self) -> PfsStats {
-        self.state.lock().unwrap().stats.clone()
+        lock_state(&self.state).stats.clone()
     }
 
     /// Force-propagate everything: mature all delayed writes and publish all
     /// pending buffers, in global write order. Used at end of run so the
     /// final on-disk state can be inspected regardless of engine.
     pub fn quiesce(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_state(&self.state);
         let cfg = self.cfg.clone();
         for idx in 0..st.files.len() {
             crate::engine::mature_delayed(&mut st, &cfg, FileId(idx as u32), u64::MAX);
@@ -178,7 +186,7 @@ impl Pfs {
     /// The published image of `path` (call [`Pfs::quiesce`] first if the
     /// run used a buffering engine and you want the final state).
     pub fn published_image(&self, path: &str) -> FsResult<FileImage> {
-        let st = self.state.lock().unwrap();
+        let st = lock_state(&self.state);
         let norm = crate::namespace::normalize("/", path)?;
         let id = st.ns.expect_file(&norm)?;
         Ok((*st.file(id).published).clone())
@@ -186,7 +194,7 @@ impl Pfs {
 
     /// All file paths currently bound in the namespace, sorted.
     pub fn list_files(&self) -> Vec<String> {
-        let st = self.state.lock().unwrap();
+        let st = lock_state(&self.state);
         let mut out = Vec::new();
         let mut stack = vec!["/".to_string()];
         while let Some(dir) = stack.pop() {

@@ -349,7 +349,8 @@ fn get_func(buf: &mut Reader<'_>) -> Result<Func, CodecError> {
             if !buf.has_remaining() {
                 return Err(CodecError::Truncated);
             }
-            let whence = SeekWhence::from_u8(buf.get_u8());
+            let w = buf.get_u8();
+            let whence = SeekWhence::try_from_u8(w).ok_or(CodecError::BadTag(w))?;
             let ret = v(buf)?;
             Func::Lseek {
                 fd,
@@ -526,7 +527,9 @@ impl TraceSet {
             return Err(CodecError::BadVersion(version));
         }
         let n_paths = get_varint(&mut buf)? as usize;
-        let mut paths = Vec::with_capacity(n_paths);
+        // Counts are untrusted: cap pre-allocations by the bytes actually
+        // present so a corrupt header cannot demand an absurd allocation.
+        let mut paths = Vec::with_capacity(n_paths.min(buf.remaining()));
         for _ in 0..n_paths {
             let len = get_varint(&mut buf)? as usize;
             if buf.remaining() < len {
@@ -536,28 +539,34 @@ impl TraceSet {
             paths.push(String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)?);
         }
         let n_ranks = get_varint(&mut buf)? as usize;
-        let mut skews_ns = Vec::with_capacity(n_ranks);
+        let mut skews_ns = Vec::with_capacity(n_ranks.min(buf.remaining()));
         for _ in 0..n_ranks {
             skews_ns.push(unzigzag(get_varint(&mut buf)?));
         }
-        let mut ranks = Vec::with_capacity(n_ranks);
+        let mut ranks = Vec::with_capacity(n_ranks.min(buf.remaining() + 1));
         for rank in 0..n_ranks {
             let n = get_varint(&mut buf)? as usize;
-            let mut records = Vec::with_capacity(n);
+            let mut records = Vec::with_capacity(n.min(buf.remaining()));
             let mut prev_start = 0u64;
             for _ in 0..n {
-                let t_start = (prev_start as i64 + unzigzag(get_varint(&mut buf)?)) as u64;
+                // Wrapping arithmetic: corrupt deltas must not trip the
+                // debug-mode overflow checks — they decode to garbage
+                // values that downstream validation rejects, not a panic.
+                let delta = unzigzag(get_varint(&mut buf)?);
+                let t_start = (prev_start as i64).wrapping_add(delta) as u64;
                 let dur = get_varint(&mut buf)?;
                 prev_start = t_start;
                 if buf.remaining() < 2 {
                     return Err(CodecError::Truncated);
                 }
-                let layer = Layer::from_u8(buf.get_u8());
-                let origin = Layer::from_u8(buf.get_u8());
+                let l = buf.get_u8();
+                let layer = Layer::try_from_u8(l).ok_or(CodecError::BadTag(l))?;
+                let o = buf.get_u8();
+                let origin = Layer::try_from_u8(o).ok_or(CodecError::BadTag(o))?;
                 let func = get_func(&mut buf)?;
                 records.push(Record {
                     t_start,
-                    t_end: t_start + dur,
+                    t_end: t_start.saturating_add(dur),
                     rank: rank as u32,
                     layer,
                     origin,

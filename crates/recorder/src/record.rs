@@ -60,8 +60,10 @@ impl Layer {
         }
     }
 
-    pub(crate) fn from_u8(v: u8) -> Self {
-        Layer::ALL[v as usize]
+    /// Fallible decoding for untrusted bytes: corrupt trace data must
+    /// surface as a codec error, never a panic.
+    pub(crate) fn try_from_u8(v: u8) -> Option<Self> {
+        Layer::ALL.get(v as usize).copied()
     }
 }
 
@@ -90,12 +92,12 @@ impl SeekWhence {
         }
     }
 
-    pub(crate) fn from_u8(v: u8) -> Self {
+    pub(crate) fn try_from_u8(v: u8) -> Option<Self> {
         match v {
-            0 => SeekWhence::Set,
-            1 => SeekWhence::Cur,
-            2 => SeekWhence::End,
-            _ => panic!("bad whence {v}"),
+            0 => Some(SeekWhence::Set),
+            1 => Some(SeekWhence::Cur),
+            2 => Some(SeekWhence::End),
+            _ => None,
         }
     }
 }
@@ -431,7 +433,7 @@ mod tests {
     #[test]
     fn layer_u8_roundtrip() {
         for l in Layer::ALL {
-            assert_eq!(Layer::from_u8(l.to_u8()), l);
+            assert_eq!(Layer::try_from_u8(l.to_u8()), Some(l));
         }
     }
 

@@ -204,3 +204,63 @@ fn decode_never_panics_on_garbage() {
         let _ = TraceSet::decode(&data);
     }
 }
+
+/// One realistic encoded trace to corrupt.
+fn sample_encoded(seed: u64) -> Vec<u8> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let trace = TraceSet {
+        paths: (0..N_PATHS).map(|i| format!("/p{i}")).collect(),
+        ranks: (0..3).map(|r| rank_records(&mut rng, r)).collect(),
+        skews_ns: (0..3)
+            .map(|_| rng.range_i64_inclusive(-20_000, 19_999))
+            .collect(),
+    };
+    trace.encode()
+}
+
+/// Truncating a valid trace at *every* byte boundary returns a
+/// [`recorder::CodecError`] (or, for a lucky prefix, a valid subset) —
+/// never a panic. This is the crash-salvage contract: a trace cut short
+/// by a dying writer must still be decodable or cleanly rejected.
+#[test]
+fn truncation_at_every_boundary_is_an_error_not_a_panic() {
+    let encoded = sample_encoded(0x7A11C0DE);
+    assert!(encoded.len() > 64, "sample trace too small to exercise");
+    for cut in 0..encoded.len() {
+        let _ = TraceSet::decode(&encoded[..cut]);
+    }
+    // The untruncated buffer still decodes.
+    TraceSet::decode(&encoded).expect("full buffer decodes");
+}
+
+/// Flipping any single bit of a valid trace never panics the decoder:
+/// it either fails with a [`recorder::CodecError`] or decodes to some
+/// (garbage but well-formed) trace.
+#[test]
+fn single_bit_flips_never_panic() {
+    let encoded = sample_encoded(0xB17F11B5);
+    for byte in 0..encoded.len() {
+        for bit in 0..8 {
+            let mut corrupt = encoded.clone();
+            corrupt[byte] ^= 1 << bit;
+            let _ = TraceSet::decode(&corrupt);
+        }
+    }
+}
+
+/// Seeded multi-byte corruption (several random bytes rewritten at once)
+/// never panics the decoder.
+#[test]
+fn random_byte_smashes_never_panic() {
+    let encoded = sample_encoded(0x5EEDBEEF);
+    let mut rng = SimRng::seed_from_u64(0x5EEDBEEF);
+    for _ in 0..256 {
+        let mut corrupt = encoded.clone();
+        let hits = rng.range_usize(1, 8);
+        for _ in 0..hits {
+            let at = rng.range_usize(0, corrupt.len());
+            corrupt[at] = rng.next_u32() as u8;
+        }
+        let _ = TraceSet::decode(&corrupt);
+    }
+}

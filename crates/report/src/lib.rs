@@ -19,7 +19,9 @@
 //! | §6.1 scale invariance | [`scale::scale_study`] |
 //! | §6.3 FLASH fixes | [`tables::flash_fix`] |
 //! | semantics-matrix (extension) | [`matrix::semantics_matrix`] |
+//! | fault campaign (extension) | [`faultcamp::campaign`] / [`faultcamp::flash_crash_sweep`] |
 
+pub mod faultcamp;
 pub mod figures;
 pub mod hbval;
 pub mod json;
@@ -29,6 +31,7 @@ pub mod scale;
 pub mod tables;
 
 pub use runner::{
-    analyze, analyze_all, analyze_all_threaded, analyze_all_threaded_unfused, analyze_with_params,
-    analyze_with_params_unfused, AnalyzedRun, ReportCfg,
+    analyze, analyze_all, analyze_all_threaded, analyze_all_threaded_unfused, analyze_isolated,
+    analyze_with_faults, analyze_with_params, analyze_with_params_unfused, AnalyzedRun,
+    ConfigOutcome, ReportCfg,
 };

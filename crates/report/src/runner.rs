@@ -11,14 +11,14 @@
 //! the two.
 
 use hpcapps::{AppSpec, ScaleParams};
-use iolibs::{run_app, RunConfig, RunOutcome};
+use iolibs::{run_app, run_app_result, FaultPlan, RunConfig, RunOutcome, SimError};
 use recorder::{adjust, offset, ResolvedTrace};
 use semantics_core::conflict::{detect_conflicts, AnalysisModel, ConflictReport};
 use semantics_core::context::AnalysisContext;
 use semantics_core::hb::{validate_conflicts, HbValidation};
 use semantics_core::metadata::MetadataCensus;
 use semantics_core::patterns::{global_pattern, highlevel, local_pattern, PatternStats};
-use semantics_core::verdict::{required_model, Verdict};
+use semantics_core::verdict::{required_model, Completeness, Verdict};
 
 /// Global knobs for a report run.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +56,9 @@ pub struct AnalyzedRun {
     pub verdict: Verdict,
     pub hb: HbValidation,
     pub nranks: u32,
+    /// Whether every rank ran to completion or some fail-stopped,
+    /// leaving trace prefixes behind.
+    pub completeness: Completeness,
 }
 
 impl AnalyzedRun {
@@ -82,6 +85,30 @@ pub fn analyze_with_params(
 ) -> AnalyzedRun {
     let run_cfg = RunConfig::new(cfg.nranks, cfg.seed).with_max_skew_ns(cfg.max_skew_ns);
     let outcome = run_app(&run_cfg, |ctx| spec.run_with(ctx, params));
+    finish_analysis(cfg, spec, outcome)
+}
+
+/// Run one configuration under an injected [`FaultPlan`] and analyze
+/// whatever trace survives. Rank crashes leave trace prefixes; the
+/// analysis runs on them unchanged and the result is labeled via
+/// [`AnalyzedRun::completeness`]. A deadlock (the one fault the world
+/// cannot degrade through) comes back as `Err` instead of a panic.
+pub fn analyze_with_faults(
+    cfg: &ReportCfg,
+    spec: &'static AppSpec,
+    params: &ScaleParams,
+    faults: &FaultPlan,
+) -> Result<AnalyzedRun, SimError> {
+    let run_cfg = RunConfig::new(cfg.nranks, cfg.seed)
+        .with_max_skew_ns(cfg.max_skew_ns)
+        .with_faults(faults.clone());
+    let outcome = run_app_result(&run_cfg, |ctx| spec.run_with(ctx, params))?;
+    Ok(finish_analysis(cfg, spec, outcome))
+}
+
+/// The fused analysis pipeline over an already-produced trace — shared by
+/// the happy-path and fault-injected entry points.
+fn finish_analysis(cfg: &ReportCfg, spec: &'static AppSpec, outcome: RunOutcome) -> AnalyzedRun {
     let adjusted = adjust::apply(&outcome.trace);
     let resolved = offset::resolve(&adjusted);
     let ctx = AnalysisContext::with_adjusted(&resolved, &adjusted);
@@ -93,6 +120,7 @@ pub fn analyze_with_params(
     let verdict = required_model(&fused.session, &fused.commit);
     let hb = ctx.validate(&fused.session);
     drop(ctx);
+    let completeness = Completeness::from_crashed(outcome.faults.iter().map(|(r, _)| *r).collect());
     AnalyzedRun {
         spec,
         name: spec.config_name(),
@@ -107,6 +135,7 @@ pub fn analyze_with_params(
         verdict,
         hb,
         nranks: cfg.nranks,
+        completeness,
     }
 }
 
@@ -133,6 +162,7 @@ pub fn analyze_with_params_unfused(
     let census = MetadataCensus::from_trace(&adjusted);
     let verdict = required_model(&session, &commit);
     let hb = validate_conflicts(&adjusted, &session);
+    let completeness = Completeness::from_crashed(outcome.faults.iter().map(|(r, _)| *r).collect());
     AnalyzedRun {
         spec,
         name: spec.config_name(),
@@ -147,6 +177,7 @@ pub fn analyze_with_params_unfused(
         verdict,
         hb,
         nranks: cfg.nranks,
+        completeness,
     }
 }
 
@@ -193,4 +224,77 @@ pub fn analyze_all_threaded_unfused(
     semantics_core::parallel_map_indexed(specs.len(), threads, |k| {
         analyze_with_params_unfused(cfg, specs[k], &specs[k].params)
     })
+}
+
+/// One configuration's result under per-config error isolation: either a
+/// full analysis (possibly of a partial trace) or a degraded marker
+/// carrying the failure, so one bad configuration cannot take down a
+/// whole report run (`--keep-going`).
+pub enum ConfigOutcome {
+    Ok(Box<AnalyzedRun>),
+    Degraded {
+        name: String,
+        error: String,
+        /// `true` when the failure was an unwinding panic rather than a
+        /// structured [`SimError`] — the fault campaign's red line.
+        panicked: bool,
+    },
+}
+
+impl ConfigOutcome {
+    pub fn name(&self) -> &str {
+        match self {
+            ConfigOutcome::Ok(run) => run.name(),
+            ConfigOutcome::Degraded { name, .. } => name,
+        }
+    }
+
+    pub fn as_ok(&self) -> Option<&AnalyzedRun> {
+        match self {
+            ConfigOutcome::Ok(run) => Some(run),
+            ConfigOutcome::Degraded { .. } => None,
+        }
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ConfigOutcome::Degraded { .. })
+    }
+}
+
+/// Render a caught panic payload for a DEGRADED row.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// [`analyze_with_faults`] with full per-config isolation: structured
+/// simulation errors *and* panics are both captured as
+/// [`ConfigOutcome::Degraded`] instead of propagating.
+pub fn analyze_isolated(
+    cfg: &ReportCfg,
+    spec: &'static AppSpec,
+    params: &ScaleParams,
+    faults: &FaultPlan,
+) -> ConfigOutcome {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        analyze_with_faults(cfg, spec, params, faults)
+    }));
+    match attempt {
+        Ok(Ok(run)) => ConfigOutcome::Ok(Box::new(run)),
+        Ok(Err(e)) => ConfigOutcome::Degraded {
+            name: spec.config_name(),
+            error: e.to_string(),
+            panicked: false,
+        },
+        Err(payload) => ConfigOutcome::Degraded {
+            name: spec.config_name(),
+            error: panic_message(payload),
+            panicked: true,
+        },
+    }
 }

@@ -17,4 +17,10 @@ cargo test -q
 echo "ci: perf smoke"
 ./target/release/perf --smoke --out target/BENCH_SMOKE.json
 
+echo "ci: fault smoke"
+# Reduced campaign: 2 seeds per (app, fault-kind) cell plus the FLASH
+# crash sweep. Exit 1 on any panic or if the commit-verdict flip fails
+# to reproduce; scripts/faultcamp.sh runs the full campaign.
+./target/release/report fault-campaign --camp-seeds 2 --out target/fault_smoke
+
 echo "ci: OK"

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Rebuild and run the full fault-injection campaign, refreshing
+# reports/fault_campaign.txt. Extra arguments are passed through to
+# `report`, e.g.:
+#
+#   scripts/faultcamp.sh                  # full campaign, 8 seeds/cell
+#   scripts/faultcamp.sh --camp-seeds 2   # the CI smoke slice
+#   scripts/faultcamp.sh --threads 1      # single-threaded (artifact is
+#                                         # byte-identical either way)
+#   scripts/faultcamp.sh --sweep-ops 400  # deeper FLASH crash sweep
+#
+# The campaign sweeps seeded fault plans (rank crashes, transient I/O
+# errors, lost flushes, message delays) across seeds x fault kinds x
+# applications and asserts zero panics, then sweeps a single-rank crash
+# across FLASH-fbs op indices to demonstrate the commit-semantics
+# verdict flipping when the superblock writer dies between its pwrite
+# and fsync. Exit 1 on any panic or if the flip fails to reproduce.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -p report-gen
+exec ./target/release/report fault-campaign --out reports "$@"
