@@ -112,6 +112,7 @@ impl<'a> AnalysisContext<'a> {
 
     fn build(resolved: &'a ResolvedTrace, adjusted: Option<&'a TraceSet>) -> Self {
         let accesses = &resolved.accesses;
+        let _span = obs::span("core", "ctx:build").with_arg("accesses", accesses.len());
         let groups = FileGroups::new(accesses);
         let cols = SweepColumns::new(accesses);
         let (sync, extended) = crate::conflict::extend_with_tables(resolved);
@@ -196,11 +197,13 @@ impl<'a> AnalysisContext<'a> {
 
     /// Fused session+commit conflict detection (serial).
     pub fn fused_conflicts(&self) -> FusedReports {
+        let _span = obs::span("core", "conflicts:fused");
         detect_conflicts_fused(self)
     }
 
     /// Fused session+commit conflict detection across `threads` workers.
     pub fn fused_conflicts_threaded(&self, threads: usize) -> FusedReports {
+        let _span = obs::span("core", "conflicts:fused").with_arg("threads", threads);
         detect_conflicts_fused_threaded(self, threads)
     }
 
@@ -211,6 +214,7 @@ impl<'a> AnalysisContext<'a> {
 
     /// Figure 1(b): the local pattern, streaming per `(rank, file)`.
     pub fn local_pattern(&self) -> PatternStats {
+        let _span = obs::span("core", "pattern:local");
         let accs = self.accesses();
         let order = self.local_order.get_or_init(|| {
             let mut order: Vec<u32> = (0..accs.len() as u32).collect();
@@ -225,6 +229,7 @@ impl<'a> AnalysisContext<'a> {
     /// Figure 1(a): the global pattern, streaming per file in global
     /// (adjusted) time order.
     pub fn global_pattern(&self) -> PatternStats {
+        let _span = obs::span("core", "pattern:global");
         let accs = self.accesses();
         let order = self.global_order.get_or_init(|| {
             let mut order: Vec<u32> = (0..accs.len() as u32).collect();
@@ -243,6 +248,7 @@ impl<'a> AnalysisContext<'a> {
     }
 
     pub fn highlevel_opt(&self, nranks: u32, opts: ClassifyOptions) -> HighLevelReport {
+        let _span = obs::span("core", "highlevel");
         highlevel::classify_grouped(self.accesses(), &self.groups, nranks, opts)
     }
 
@@ -251,6 +257,7 @@ impl<'a> AnalysisContext<'a> {
     /// # Panics
     /// Panics if the context was built without an adjusted trace.
     pub fn census(&self) -> MetadataCensus {
+        let _span = obs::span("core", "census");
         MetadataCensus::from_trace(self.require_adjusted())
     }
 
@@ -261,13 +268,17 @@ impl<'a> AnalysisContext<'a> {
     /// Panics if the context was built without an adjusted trace.
     pub fn hb_index(&self) -> &HbIndex {
         let adjusted = self.require_adjusted();
-        self.hb.get_or_init(|| HbIndex::build(adjusted))
+        self.hb.get_or_init(|| {
+            let _span = obs::span("core", "hb:build");
+            HbIndex::build(adjusted)
+        })
     }
 
     /// §5.2 validation of a conflict report against the happens-before
     /// order, reusing the context's index (and one scratch buffer across
     /// all queried pairs).
     pub fn validate(&self, report: &ConflictReport) -> HbValidation {
+        let _span = obs::span("core", "hb:validate").with_arg("pairs", report.pairs.len());
         validate_conflicts_with(self.hb_index(), report)
     }
 

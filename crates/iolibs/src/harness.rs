@@ -41,6 +41,9 @@ pub struct RunConfig {
     /// Pre-committed fault schedule ([`FaultPlan::none`] for clean runs).
     /// `(seed, faults, program)` fully determines the trace.
     pub faults: FaultPlan,
+    /// Label naming this run in observability output (trace timelines,
+    /// run spans). Purely cosmetic; never affects the simulation.
+    pub label: String,
 }
 
 impl RunConfig {
@@ -55,7 +58,13 @@ impl RunConfig {
             pfs: PfsConfig::default(),
             start_time_ns: 0,
             faults: FaultPlan::none(),
+            label: String::new(),
         }
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 
     pub fn with_semantics(mut self, semantics: SemanticsModel) -> Self {
@@ -203,6 +212,10 @@ where
 {
     let pfs = pfs.clone();
     let interner = recorder::shared_interner();
+    let _run_span = obs::span("iolibs", "run_app")
+        .with_arg("label", cfg.label.as_str())
+        .with_arg("nranks", cfg.nranks as u64)
+        .with_arg("seed", cfg.seed);
     let world_cfg = WorldCfg {
         nranks: cfg.nranks,
         seed: cfg.seed,
@@ -211,6 +224,7 @@ where
         cost: cfg.cost.clone(),
         start_ns: cfg.start_time_ns,
         faults: cfg.faults.clone(),
+        label: cfg.label.clone(),
     };
     let out = World::run(&world_cfg, |rank| {
         let r = rank.rank();
@@ -484,10 +498,33 @@ impl AppCtx {
                 Err(e) if e.is_transient() => {
                     attempt += 1;
                     if attempt >= MAX_IO_ATTEMPTS {
+                        if obs::metrics_enabled() {
+                            obs::metrics().add("iolibs.io_failstops", 1);
+                        }
+                        obs::instant(
+                            "iolibs",
+                            "io-failstop",
+                            vec![
+                                ("rank", obs::Arg::U(self.rank.rank() as u64)),
+                                ("error", obs::Arg::S(e.to_string())),
+                            ],
+                        );
                         // A process that cannot complete its I/O fail-stops;
                         // the harness salvages its partial trace upstream.
                         self.rank.fail_stop(format!("I/O retries exhausted: {e}"));
                     }
+                    if obs::metrics_enabled() {
+                        obs::metrics().add("iolibs.io_retries", 1);
+                    }
+                    obs::instant(
+                        "iolibs",
+                        "io-retry",
+                        vec![
+                            ("rank", obs::Arg::U(self.rank.rank() as u64)),
+                            ("attempt", obs::Arg::U(attempt as u64)),
+                            ("error", obs::Arg::S(e.to_string())),
+                        ],
+                    );
                     // Exponential backoff, in simulated time.
                     self.rank.compute(IO_RETRY_BACKOFF_NS << attempt);
                 }

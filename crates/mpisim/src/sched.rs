@@ -134,6 +134,16 @@ pub(crate) struct SimState {
     delivery_due: BinaryHeap<Reverse<(u64, u32)>>,
     /// Terminal fault of each rank, if any, for the run report.
     pub faults: Vec<Option<SimError>>,
+    /// Trace pseudo-pid of rank 0 (rank r draws under `base + r`), or
+    /// `None` when tracing was off at world creation. Checking an
+    /// already-loaded `Option` under the already-held world lock makes
+    /// every instrumentation site in the scheduler free when disabled.
+    pub trace_pid_base: Option<u64>,
+    /// World-local trace event buffer. Scheduler sites run under the world
+    /// lock, so they push here (a plain `Vec` push) instead of taking the
+    /// global collector's shard lock per event; `World::run` bulk-flushes
+    /// the whole buffer once at the end of the run.
+    pub trace_buf: Vec<obs::TraceEvent>,
 }
 
 impl SimState {
@@ -177,7 +187,51 @@ impl SimState {
             delayed_in_flight: 0,
             delivery_due: BinaryHeap::new(),
             faults: vec![None; n],
+            trace_pid_base: obs::tracing_enabled().then(|| obs::alloc_sim_pids(nranks)),
+            trace_buf: Vec::new(),
         }
+    }
+
+    /// Buffer an instant event on a simulated rank's timeline (only called
+    /// when `trace_pid_base` is `Some`; see [`SimState::trace_buf`]).
+    pub(crate) fn buf_instant(
+        &mut self,
+        pid: u64,
+        name: &'static str,
+        ts_ns: u64,
+        args: Vec<(&'static str, obs::Arg)>,
+    ) {
+        self.trace_buf.push(obs::TraceEvent {
+            name: std::borrow::Cow::Borrowed(name),
+            cat: "mpisim",
+            ph: obs::Phase::Instant,
+            ts_ns,
+            dur_ns: 0,
+            pid,
+            tid: 0,
+            args,
+        });
+    }
+
+    /// Buffer a complete span on a simulated rank's timeline.
+    pub(crate) fn buf_span(
+        &mut self,
+        pid: u64,
+        name: &'static str,
+        ts_ns: u64,
+        dur_ns: u64,
+        args: Vec<(&'static str, obs::Arg)>,
+    ) {
+        self.trace_buf.push(obs::TraceEvent {
+            name: std::borrow::Cow::Borrowed(name),
+            cat: "mpisim",
+            ph: obs::Phase::Complete,
+            ts_ns,
+            dur_ns,
+            pid,
+            tid: 0,
+            args,
+        });
     }
 
     /// Grant the turn to some requesting rank if the dispatch rule allows it.
@@ -218,14 +272,16 @@ impl SimState {
                 }
                 self.deadlocked = true;
                 self.deadlock_blocked = self.scan_blocked();
-                if std::env::var_os("MPISIM_DEADLOCK_DEBUG").is_some() {
-                    eprintln!(
-                        "deadlock: status={:?} delayed_in_flight={} clock={}",
-                        self.status, self.delayed_in_flight, self.clock_ns
-                    );
+                obs::debug!(
+                    "deadlock: status={:?} delayed_in_flight={} clock={}",
+                    self.status,
+                    self.delayed_in_flight,
+                    self.clock_ns
+                );
+                if obs::log::enabled(obs::Level::Debug) {
                     for (&(src, dst, tag), q) in self.mailboxes.iter() {
                         if let Some(m) = q.front() {
-                            eprintln!(
+                            obs::debug!(
                                 "  mbox {}->{} tag {} front visible_at={} len={}",
                                 src,
                                 dst,
@@ -269,6 +325,14 @@ impl SimState {
                 break;
             }
             self.delivery_due.pop();
+            if let Some(base) = self.trace_pid_base {
+                self.buf_instant(
+                    base + dst as u64,
+                    "delayed-delivery",
+                    t,
+                    vec![("dst", obs::Arg::U(dst as u64))],
+                );
+            }
             if self.status[dst as usize] == RankStatus::Blocked(BlockReason::Recv) {
                 self.status[dst as usize] = RankStatus::Computing;
                 self.pending_wakes.push(dst);
@@ -335,6 +399,18 @@ impl SimState {
                 self.delayed_in_flight += 1;
                 let t = self.clock_ns + delay_ns;
                 self.delivery_due.push(Reverse((t, dst)));
+                if let Some(base) = self.trace_pid_base {
+                    let now = self.clock_ns;
+                    self.buf_instant(
+                        base + src as u64,
+                        "msg-delayed",
+                        now,
+                        vec![
+                            ("dst", obs::Arg::U(dst as u64)),
+                            ("visible_at", obs::Arg::U(t)),
+                        ],
+                    );
+                }
                 t
             }
             _ => 0,
@@ -419,6 +495,18 @@ impl SimState {
     /// channel is drained).
     pub fn crash_rank(&mut self, rank: u32, err: SimError) {
         self.status[rank as usize] = RankStatus::Crashed;
+        if let Some(base) = self.trace_pid_base {
+            let now = self.clock_ns;
+            self.buf_instant(
+                base + rank as u64,
+                "crash",
+                now,
+                vec![
+                    ("rank", obs::Arg::U(rank as u64)),
+                    ("error", obs::Arg::S(err.to_string())),
+                ],
+            );
+        }
         self.faults[rank as usize] = Some(err);
         self.release_barrier_if_complete();
         for r in 0..self.status.len() {

@@ -31,6 +31,10 @@ pub struct WorldCfg {
     pub start_ns: u64,
     /// Pre-committed fault schedule; [`FaultPlan::none`] for a clean run.
     pub faults: FaultPlan,
+    /// Human-readable label naming this world's rank timelines in exported
+    /// traces (e.g. the report config name). Empty is fine; it only
+    /// affects observability output, never simulation behaviour.
+    pub label: String,
 }
 
 impl WorldCfg {
@@ -45,7 +49,13 @@ impl WorldCfg {
             cost: CostModel::default(),
             start_ns: 0,
             faults: FaultPlan::none(),
+            label: String::new(),
         }
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 
     pub fn free_running(mut self) -> Self {
@@ -182,15 +192,20 @@ impl World {
             .sites()
             .iter()
             .any(|s| matches!(s.kind, crate::fault::FaultKind::Io(_)));
+        let state = SimState::new(cfg.nranks, cfg.seed, cfg.mode, cfg.start_ns, &cfg.faults);
+        if let Some(base) = state.trace_pid_base {
+            let label = if cfg.label.is_empty() {
+                "world"
+            } else {
+                &cfg.label
+            };
+            for r in 0..cfg.nranks {
+                obs::process_name(base + r as u64, format!("{label} rank {r} (sim)"));
+            }
+        }
         World {
             shared: Arc::new(Shared {
-                state: Mutex::new(SimState::new(
-                    cfg.nranks,
-                    cfg.seed,
-                    cfg.mode,
-                    cfg.start_ns,
-                    &cfg.faults,
-                )),
+                state: Mutex::new(state),
                 cvs: (0..cfg.nranks).map(|_| Condvar::new()).collect(),
                 nranks: cfg.nranks,
                 cost: cfg.cost.clone(),
@@ -289,6 +304,32 @@ impl World {
             std::panic::resume_unwind(payload);
         }
         let mut st = lock_state(&world.shared.state);
+        // Observability flush: one aggregate pass per world, never per op —
+        // the per-op fast path stays untouched so instrumented runs hold
+        // the <2% overhead budget.
+        if let Some(base) = st.trace_pid_base {
+            for r in 0..cfg.nranks as usize {
+                let dur = st.clock_ns.saturating_sub(cfg.start_ns);
+                let args = vec![
+                    ("rank", obs::Arg::U(r as u64)),
+                    ("ops", obs::Arg::U(st.op_index[r])),
+                    ("crashed", obs::Arg::U(st.faults[r].is_some() as u64)),
+                ];
+                st.buf_span(base + r as u64, "run", cfg.start_ns, dur, args);
+            }
+            obs::span::push_bulk(&mut st.trace_buf);
+        }
+        if obs::metrics_enabled() {
+            let m = obs::metrics();
+            m.add("mpisim.worlds", 1);
+            m.add("mpisim.ops", st.op_index.iter().sum());
+            m.add("mpisim.messages", st.next_msg_seq);
+            m.add("mpisim.barrier_epochs", st.barrier_epoch);
+            m.add("mpisim.crashes", st.faults.iter().flatten().count() as u64);
+            if st.deadlocked {
+                m.add("mpisim.deadlocks", 1);
+            }
+        }
         if st.deadlocked {
             return Err(SimError::Deadlock {
                 blocked: st.blocked_ranks(),
@@ -476,6 +517,7 @@ impl Rank {
         reason: crate::sched::BlockReason,
     ) -> MutexGuard<'a, SimState> {
         let me = self.rank as usize;
+        let blocked_from_ns = st.clock_ns;
         st.status[me] = RankStatus::Blocked(reason);
         st.try_dispatch();
         self.drain_wakes(&mut st);
@@ -486,6 +528,23 @@ impl Rank {
                 std::panic::panic_any(SimAbort(SimError::Deadlock { blocked }));
             }
             if !matches!(st.status[me], RankStatus::Blocked(_)) {
+                if let Some(base) = st.trace_pid_base {
+                    let name = match reason {
+                        crate::sched::BlockReason::Recv => "blocked:recv",
+                        crate::sched::BlockReason::Barrier { .. } => "blocked:barrier",
+                    };
+                    // No args: the pid names the rank, and an empty Vec
+                    // does not allocate — this is the scheduler's hottest
+                    // instrumentation site.
+                    let dur = st.clock_ns.saturating_sub(blocked_from_ns);
+                    st.buf_span(
+                        base + self.rank as u64,
+                        name,
+                        blocked_from_ns,
+                        dur,
+                        Vec::new(),
+                    );
+                }
                 return st;
             }
             st = self.shared.cvs[me]

@@ -1,0 +1,123 @@
+//! # obs — the stack's observability substrate
+//!
+//! The paper's whole method rests on multi-level tracing of *applications*
+//! (Recorder capturing POSIX/MPI-IO/HDF5 records); this crate turns the
+//! same lens on the reproduction itself. Every layer — the mpisim
+//! scheduler, the pfssim servers, the iolibs harness, the core analysis
+//! pipeline, and the report runner — emits into one shared substrate:
+//!
+//! * **Spans** ([`span`], [`sim_span`]) — hierarchical timed regions with
+//!   deterministic per-thread ids, collected into a lock-sharded buffer
+//!   and exported as Chrome trace-event JSON ([`trace`]) loadable in
+//!   Perfetto. Analysis-side spans run on the wall clock; simulator-side
+//!   spans carry *simulated* timestamps under one pseudo-pid per rank.
+//! * **Metrics** ([`metrics`]) — a lock-sharded registry of named
+//!   counters and fixed-bucket (log2) histograms. Counters record
+//!   deterministic event counts (ops, messages, retries, faults), so
+//!   totals are identical across thread counts and across runs.
+//! * **Logging** ([`mod@log`]) — a leveled stderr logger behind one atomic,
+//!   replacing scattered `eprintln!` progress lines.
+//!
+//! Everything is disabled by default. The hot-path check is a single
+//! relaxed atomic load ([`tracing_enabled`] / [`metrics_enabled`]), and
+//! instrumented layers keep their emission off the per-op fast path
+//! (simulators flush aggregate counters once per run), so the measured
+//! end-to-end overhead stays under the 2% budget `BENCH_PR4.json`
+//! records. Enabling observability never changes a single artifact byte:
+//! spans and counters are write-only side channels, enforced by
+//! `crates/report/tests/obs.rs`.
+
+pub mod log;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use log::Level;
+pub use metrics::{metrics, Counter, Histogram, Registry};
+pub use span::{
+    alloc_sim_pids, instant, process_name, sim_instant, sim_span, span, wall_ns, Arg, Phase,
+    SpanGuard, TraceEvent, ANALYSIS_PID,
+};
+pub use trace::{validate_chrome_trace, write_chrome_trace, TraceSummary};
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static METRICS: AtomicBool = AtomicBool::new(false);
+
+/// Whether span/event collection is on. One relaxed load — this is the
+/// check every instrumentation site performs before doing any work.
+#[inline(always)]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Whether metric recording is on. One relaxed load.
+#[inline(always)]
+pub fn metrics_enabled() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// Turn span/event collection on or off process-wide.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Turn metric recording on or off process-wide.
+pub fn set_metrics(on: bool) {
+    METRICS.store(on, Ordering::Relaxed);
+}
+
+/// Process-global observability configuration, applied with [`init`].
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Collect spans/events for Chrome-trace export.
+    pub tracing: bool,
+    /// Record counters/histograms in the global registry.
+    pub metrics: bool,
+    /// Stderr log level.
+    pub level: Level,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            tracing: false,
+            metrics: false,
+            level: Level::Info,
+        }
+    }
+}
+
+/// Apply an [`ObsConfig`] to the process-global switches.
+pub fn init(cfg: &ObsConfig) {
+    set_tracing(cfg.tracing);
+    set_metrics(cfg.metrics);
+    log::set_level(cfg.level);
+}
+
+/// Serializes unit tests that touch the process-global switches or the
+/// shared span collector — `#[test]` fns in one binary run concurrently.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_default_off_and_toggle() {
+        let _guard = test_lock();
+        set_tracing(true);
+        assert!(tracing_enabled());
+        set_tracing(false);
+        assert!(!tracing_enabled());
+        set_metrics(true);
+        assert!(metrics_enabled());
+        set_metrics(false);
+        assert!(!metrics_enabled());
+    }
+}

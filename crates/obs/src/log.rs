@@ -1,0 +1,127 @@
+//! The leveled stderr logger.
+//!
+//! One atomic holds the process-wide level; the macros check it before
+//! formatting, so a suppressed message costs one relaxed load. `Info`
+//! messages print bare (they replace progress lines like `wrote
+//! reports/table4.txt` whose format tools may scrape); other levels are
+//! prefixed with their name.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity. Ordered: a configured level admits itself and everything
+/// more severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the process-wide log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a message at `l` would print. One relaxed load.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    (l as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Print a message at `l` (already checked by the macros; checked again
+/// here so direct calls behave).
+pub fn log(l: Level, args: std::fmt::Arguments<'_>) {
+    if !enabled(l) {
+        return;
+    }
+    match l {
+        Level::Info => eprintln!("{args}"),
+        other => eprintln!("{}: {args}", other.name()),
+    }
+}
+
+/// Log at [`Level::Error`]. Errors print unless something below `Error`
+/// is ever added; `--quiet` maps to this level.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Error) {
+            $crate::log::log($crate::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Warn) {
+            $crate::log::log($crate::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Info`] — bare progress lines, the default level.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Info) {
+            $crate::log::log($crate::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`] — suppressed unless `-v`.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Debug) {
+            $crate::log::log($crate::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_gates_messages() {
+        let prev = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(prev);
+    }
+}

@@ -172,6 +172,7 @@ impl Pfs {
     /// pending buffers, in global write order. Used at end of run so the
     /// final on-disk state can be inspected regardless of engine.
     pub fn quiesce(&self) {
+        let _span = obs::span("pfssim", "quiesce");
         let mut st = lock_state(&self.state);
         let cfg = self.cfg.clone();
         for idx in 0..st.files.len() {
@@ -180,6 +181,12 @@ impl Pfs {
             for o in owners {
                 crate::engine::publish_client(&mut st, &cfg, FileId(idx as u32), o);
             }
+        }
+        // Mirror this instance's counters into the shared registry: once
+        // per run, after the final propagation, so the global totals are
+        // deterministic. Reports keep reading the per-instance stats.
+        if obs::metrics_enabled() {
+            st.stats.publish_to(obs::metrics());
         }
     }
 

@@ -204,6 +204,36 @@ impl PfsStats {
         *self.meta_ops.entry(op).or_insert(0) += 1;
     }
 
+    /// Mirror this instance's counters into a shared [`obs::Registry`]
+    /// under `pfssim.*` names. Called once per run at quiesce time, so
+    /// the global totals accumulate deterministically across configs and
+    /// thread counts while reports keep reading per-instance stats.
+    pub fn publish_to(&self, reg: &obs::Registry) {
+        reg.add("pfssim.writes", self.writes);
+        reg.add("pfssim.reads", self.reads);
+        reg.add("pfssim.bytes_written", self.bytes_written);
+        reg.add("pfssim.bytes_read", self.bytes_read);
+        reg.add("pfssim.locks_acquired", self.locks_acquired);
+        reg.add("pfssim.lock_revocations", self.lock_revocations);
+        reg.add("pfssim.opens", self.opens);
+        reg.add("pfssim.closes", self.closes);
+        reg.add("pfssim.commits", self.commits);
+        reg.add("pfssim.publishes", self.publishes);
+        for (op, n) in &self.meta_ops {
+            reg.add(&format!("pfssim.meta.{}", op.name()), *n);
+        }
+        for (s, b) in self.server_bytes_written.iter().enumerate() {
+            if *b > 0 {
+                reg.add(&format!("pfssim.server{s}.bytes_written"), *b);
+            }
+        }
+        for (s, b) in self.server_bytes_read.iter().enumerate() {
+            if *b > 0 {
+                reg.add(&format!("pfssim.server{s}.bytes_read"), *b);
+            }
+        }
+    }
+
     pub fn meta_total(&self) -> u64 {
         self.meta_ops.values().sum()
     }

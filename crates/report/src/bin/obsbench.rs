@@ -1,0 +1,208 @@
+//! `obsbench` — the PR-4 observability overhead harness.
+//!
+//! ```text
+//! obsbench [--out BENCH_PR4.json] [--ranks N] [--reps R] [--threads T]
+//!          [--budget-pct P] [--smoke]
+//! ```
+//!
+//! Measures what turning the `obs` substrate on costs, at two scales:
+//!
+//! * **micro** — the per-site disabled check: a tight loop creating inert
+//!   [`obs::span`] guards with tracing off, reported in ns/site. This is
+//!   the price every instrumentation point pays in a normal run.
+//! * **e2e** — the full `report all` analysis phase
+//!   ([`analyze_all_threaded`]), observability fully off vs. fully on
+//!   (tracing + metrics). Reps are interleaved off/on/off/on so clock
+//!   drift and cache warming hit both sides equally; each side keeps its
+//!   best-of-`reps` time, and the overhead is their relative difference.
+//!
+//! The instrumented side drains the span collector and resets the metrics
+//! registry after every rep, so the measurement includes the full
+//! collection cost without accumulating unbounded buffers across reps.
+//!
+//! With `--budget-pct P` the process exits 1 when the measured e2e
+//! overhead exceeds `P` percent — CI gates on this. The artifact
+//! (default `BENCH_PR4.json`) records both sides, the overhead, and the
+//! volume of telemetry the instrumented run produced.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use report_gen::json::Json;
+use report_gen::{analyze_all_threaded, ReportCfg};
+
+struct Args {
+    out: String,
+    ranks: u32,
+    reps: usize,
+    threads: usize,
+    budget_pct: Option<f64>,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_PR4.json".to_string(),
+        ranks: 16,
+        reps: 3,
+        threads: 1,
+        budget_pct: None,
+        smoke: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                args.out = argv[i].clone();
+            }
+            "--ranks" => {
+                i += 1;
+                args.ranks = argv[i].parse().expect("--ranks N");
+            }
+            "--reps" => {
+                i += 1;
+                args.reps = argv[i].parse().expect("--reps R");
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = argv[i].parse().expect("--threads T");
+            }
+            "--budget-pct" => {
+                i += 1;
+                args.budget_pct = Some(argv[i].parse().expect("--budget-pct P"));
+            }
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        args.reps = 1;
+        args.ranks = args.ranks.min(4);
+    }
+    args
+}
+
+/// One timed call, in milliseconds.
+fn once_ms<T>(f: impl FnOnce() -> T) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// The per-site cost of instrumentation when observability is off: one
+/// relaxed atomic load and an inert guard. Returns ns per site.
+fn micro_disabled_ns(iters: u64) -> f64 {
+    obs::set_tracing(false);
+    obs::set_metrics(false);
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let g = obs::span("bench", "inert").with_arg("i", i);
+        black_box(&g);
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    let args = parse_args();
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cfg = ReportCfg {
+        nranks: args.ranks,
+        seed: 2021,
+        max_skew_ns: 20_000,
+    };
+    eprintln!(
+        "obsbench: e2e analyze_all @ {} ranks, {} thread(s), best of {} \
+         interleaved reps ({avail} hardware threads available)",
+        args.ranks, args.threads, args.reps
+    );
+
+    // --- micro: the disabled fast path --------------------------------
+    let iters = if args.smoke { 1_000_000 } else { 20_000_000 };
+    let ns_per_site = micro_disabled_ns(iters);
+    eprintln!("micro     disabled span site: {ns_per_site:.2} ns over {iters} iterations");
+
+    // --- e2e: observability off vs. on, interleaved -------------------
+    let run = || analyze_all_threaded(&cfg, false, args.threads).len();
+
+    // Warm both sides once (first touch pays for code + page faults).
+    obs::set_tracing(false);
+    obs::set_metrics(false);
+    black_box(run());
+    obs::set_tracing(true);
+    obs::set_metrics(true);
+    black_box(run());
+    let events_per_run = obs::span::drain().len();
+    let counters_per_run = obs::metrics().snapshot_counters().len();
+    obs::metrics().reset();
+
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for rep in 0..args.reps.max(1) {
+        obs::set_tracing(false);
+        obs::set_metrics(false);
+        let off_ms = once_ms(run);
+        best_off = best_off.min(off_ms);
+
+        obs::set_tracing(true);
+        obs::set_metrics(true);
+        let on_ms = once_ms(run);
+        best_on = best_on.min(on_ms);
+        obs::span::clear();
+        obs::metrics().reset();
+
+        eprintln!("e2e       rep {rep}: off {off_ms:.1} ms, on {on_ms:.1} ms");
+    }
+    obs::set_tracing(false);
+    obs::set_metrics(false);
+
+    let overhead_pct = (best_on - best_off) / best_off * 100.0;
+    eprintln!(
+        "e2e       best: off {best_off:.1} ms, on {best_on:.1} ms → overhead \
+         {overhead_pct:+.2}% ({events_per_run} trace events, {counters_per_run} \
+         counters per instrumented run)"
+    );
+
+    let doc = Json::obj()
+        .field("bench", "PR4 observability overhead (obs spans + metrics)")
+        .field("reps_best_of", args.reps)
+        .field("smoke", args.smoke)
+        .field("available_parallelism", avail)
+        .field(
+            "micro",
+            Json::obj()
+                .field("what", "inert obs::span guard with tracing disabled")
+                .field("iterations", iters)
+                .field("ns_per_site", ns_per_site),
+        )
+        .field(
+            "e2e",
+            Json::obj()
+                .field("what", "analyze_all (report all analysis phase)")
+                .field("nranks", args.ranks)
+                .field("threads", args.threads)
+                .field("disabled_ms", best_off)
+                .field("enabled_ms", best_on)
+                .field("overhead_pct", overhead_pct)
+                .field("trace_events_per_run", events_per_run)
+                .field("counters_per_run", counters_per_run)
+                .field("budget_pct", args.budget_pct.unwrap_or(2.0)),
+        );
+    std::fs::write(&args.out, doc.pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {}", args.out);
+
+    if let Some(budget) = args.budget_pct {
+        if overhead_pct > budget {
+            eprintln!(
+                "obsbench: FAIL — overhead {overhead_pct:.2}% exceeds the \
+                 {budget:.1}% budget"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("obsbench: overhead within the {budget:.1}% budget");
+    }
+}

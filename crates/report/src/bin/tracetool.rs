@@ -9,6 +9,7 @@
 //! tracetool census FILE               metadata-operation census
 //! tracetool report FILE               full per-run report (paper §7 artifact style)
 //! tracetool list                      available configurations for capture
+//! tracetool validate-trace FILE       check a `report --profile` Chrome trace
 //! ```
 //!
 //! Traces are adjusted (barrier-rebased) before analysis, exactly as the
@@ -21,7 +22,9 @@ use semantics_core::metadata::MetadataCensus;
 use semantics_core::patterns::{global_pattern, highlevel, local_pattern, AccessClass};
 
 fn usage() -> ! {
-    eprintln!("usage: tracetool <capture|info|dump|conflicts|patterns|census|report|list> [args]");
+    eprintln!(
+        "usage: tracetool <capture|info|dump|conflicts|patterns|census|report|list|validate-trace> [args]"
+    );
     std::process::exit(2);
 }
 
@@ -224,6 +227,36 @@ fn main() {
             let trace = adjust::apply(&load(path));
             let report = semantics_core::apprun::build(&trace);
             print!("{}", report.render(path));
+        }
+        "validate-trace" => {
+            // Consumer-side check of a `report --profile` artifact: parse
+            // the Chrome trace-event JSON and summarize its coverage.
+            // Exit 1 on malformed traces, so CI can gate on it.
+            let Some(path) = rest.first() else { usage() };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            match obs::validate_chrome_trace(&text) {
+                Ok(summary) => {
+                    println!("events     : {}", summary.events);
+                    println!("timelines  : {} pids", summary.pids.len());
+                    println!(
+                        "categories : {}",
+                        summary
+                            .cats
+                            .iter()
+                            .filter(|c| !c.starts_with("__"))
+                            .cloned()
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                }
+                Err(e) => {
+                    eprintln!("invalid Chrome trace {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         _ => usage(),
     }

@@ -129,6 +129,13 @@ pub fn campaign(camp: &CampaignCfg) -> (String, CampaignStats) {
         }
     }
 
+    obs::info!(
+        "fault campaign: {} combinations ({} apps x {} kinds x {} seeds)",
+        combos.len(),
+        specs.len(),
+        kinds.len(),
+        camp.n_seeds
+    );
     let results = semantics_core::parallel_map_indexed(combos.len(), camp.threads, |k| {
         let (spec, kind, count, seed) = combos[k];
         let cfg = ReportCfg {
@@ -251,6 +258,12 @@ pub fn flash_crash_sweep(camp: &CampaignCfg) -> (String, bool) {
             points.push((rank, at_op));
         }
     }
+    obs::info!(
+        "FLASH crash sweep: {} crash points ({} ranks x {} ops)",
+        points.len(),
+        camp.nranks,
+        camp.sweep_max_op
+    );
     let results = semantics_core::parallel_map_indexed(points.len(), camp.threads, |k| {
         let (rank, at_op) = points[k];
         let plan = FaultPlan::none().with_crash(rank, at_op);

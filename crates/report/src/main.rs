@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! report <command> [--ranks N] [--seed S] [--out DIR] [--threads N]
+//!                  [--profile FILE] [--metrics FILE] [--quiet|-v]
 //!
 //! commands:
 //!   table1 table2 table3 table4 table5   one table
@@ -14,8 +15,12 @@
 //!                                        seeded fault injection sweep
 //!   all                                  everything, artifacts to --out
 //!
-//! `check --keep-going` isolates per-configuration failures as DEGRADED
-//! rows; exit codes: 0 ok, 1 paper mismatch / campaign failure,
+//! `--profile FILE` writes a Chrome trace-event JSON timeline (open in
+//! Perfetto) covering the simulator, analysis, and report layers;
+//! `--metrics FILE` dumps the metrics registry. Both are write-only side
+//! channels: every table/figure artifact is byte-identical with them on
+//! or off. `check --keep-going` isolates per-configuration failures as
+//! DEGRADED rows; exit codes: 0 ok, 1 paper mismatch / campaign failure,
 //! 2 degraded run(s), 64 usage error.
 //! ```
 
@@ -50,9 +55,54 @@ struct Args {
     /// Op-index ceiling for the FLASH crash sweep (deeper than the
     /// campaign ceiling: the flip window sits late in the program).
     sweep_ops: u64,
+    /// Write a Chrome trace-event JSON profile here.
+    profile: Option<String>,
+    /// Write a metrics-registry dump here.
+    metrics: Option<String>,
+    /// Suppress progress output (errors only).
+    quiet: bool,
+    /// Verbose (debug-level) logging.
+    verbose: bool,
 }
 
-fn parse_args() -> Args {
+fn usage() -> &'static str {
+    "usage: report <command> [options]\n\
+     commands: table1..table5, fig1..fig3, all, check, flash-fix,\n\
+     \x20        validate-hb, scale-study, semantics-matrix, app-report,\n\
+     \x20        fault-campaign, advise, locks, meta-conflicts\n\
+     options:\n\
+     \x20 --ranks N        world size (default 64)\n\
+     \x20 --seed S         base seed (default 2021)\n\
+     \x20 --out DIR        artifact directory (default reports)\n\
+     \x20 --threads N      worker threads, 0 = one per core (default 0)\n\
+     \x20 --small A        scale-study small world (default 16)\n\
+     \x20 --large B        scale-study large world (default 64)\n\
+     \x20 --keep-going     isolate per-config failures as DEGRADED rows\n\
+     \x20 --camp-seeds N   seeds per fault-campaign cell (default 8)\n\
+     \x20 --camp-ops M     campaign fault-site op ceiling (default 64)\n\
+     \x20 --sweep-ops M    FLASH crash-sweep op ceiling (default 300)\n\
+     \x20 --profile FILE   write a Chrome trace-event JSON timeline\n\
+     \x20 --metrics FILE   write a metrics-registry JSON dump\n\
+     \x20 --quiet, -q      errors only\n\
+     \x20 --verbose, -v    debug-level logging\n"
+}
+
+/// Parse the value following `flag`, reporting — not panicking on — a
+/// missing or malformed operand.
+fn flag_value<T: std::str::FromStr>(
+    argv: &[String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<T, String> {
+    *i += 1;
+    let val = argv
+        .get(*i)
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    val.parse()
+        .map_err(|_| format!("invalid value for {flag}: {val:?}"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         command: "all".to_string(),
         ranks: 64,
@@ -65,62 +115,40 @@ fn parse_args() -> Args {
         camp_seeds: 8,
         camp_ops: 64,
         sweep_ops: 300,
+        profile: None,
+        metrics: None,
+        quiet: false,
+        verbose: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "--ranks" => {
-                i += 1;
-                args.ranks = argv[i].parse().expect("--ranks N");
-            }
-            "--seed" => {
-                i += 1;
-                args.seed = argv[i].parse().expect("--seed S");
-            }
-            "--out" => {
-                i += 1;
-                args.out = argv[i].clone();
-            }
-            "--small" => {
-                i += 1;
-                args.small = argv[i].parse().expect("--small N");
-            }
-            "--large" => {
-                i += 1;
-                args.large = argv[i].parse().expect("--large N");
-            }
-            "--threads" => {
-                i += 1;
-                args.threads = argv[i].parse().expect("--threads N");
-            }
+            "--ranks" => args.ranks = flag_value(argv, &mut i, "--ranks")?,
+            "--seed" => args.seed = flag_value(argv, &mut i, "--seed")?,
+            "--out" => args.out = flag_value(argv, &mut i, "--out")?,
+            "--small" => args.small = flag_value(argv, &mut i, "--small")?,
+            "--large" => args.large = flag_value(argv, &mut i, "--large")?,
+            "--threads" => args.threads = flag_value(argv, &mut i, "--threads")?,
+            "--camp-seeds" => args.camp_seeds = flag_value(argv, &mut i, "--camp-seeds")?,
+            "--camp-ops" => args.camp_ops = flag_value(argv, &mut i, "--camp-ops")?,
+            "--sweep-ops" => args.sweep_ops = flag_value(argv, &mut i, "--sweep-ops")?,
+            "--profile" => args.profile = Some(flag_value(argv, &mut i, "--profile")?),
+            "--metrics" => args.metrics = Some(flag_value(argv, &mut i, "--metrics")?),
             "--config" => {
                 i += 1; // consumed by the subcommand itself
             }
-            "--keep-going" => {
-                args.keep_going = true;
-            }
-            "--camp-seeds" => {
-                i += 1;
-                args.camp_seeds = argv[i].parse().expect("--camp-seeds N");
-            }
-            "--camp-ops" => {
-                i += 1;
-                args.camp_ops = argv[i].parse().expect("--camp-ops M");
-            }
-            "--sweep-ops" => {
-                i += 1;
-                args.sweep_ops = argv[i].parse().expect("--sweep-ops M");
-            }
-            cmd if !cmd.starts_with("--") => args.command = cmd.to_string(),
-            other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(EXIT_USAGE);
-            }
+            "--keep-going" => args.keep_going = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--verbose" | "-v" => args.verbose = true,
+            cmd if !cmd.starts_with('-') => args.command = cmd.to_string(),
+            other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
     }
-    args
+    if args.ranks == 0 {
+        return Err("--ranks must be at least 1".to_string());
+    }
+    Ok(args)
 }
 
 fn write_artifact(dir: &str, name: &str, content: &str) {
@@ -128,11 +156,63 @@ fn write_artifact(dir: &str, name: &str, content: &str) {
     let path = format!("{dir}/{name}");
     let mut f = std::fs::File::create(&path).expect("create artifact");
     f.write_all(content.as_bytes()).expect("write artifact");
-    eprintln!("wrote {path}");
+    obs::info!("wrote {path}");
 }
 
 fn main() {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{}", usage());
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    let level = if args.quiet {
+        obs::Level::Error
+    } else if args.verbose {
+        obs::Level::Debug
+    } else {
+        obs::Level::Info
+    };
+    obs::init(&obs::ObsConfig {
+        tracing: args.profile.is_some(),
+        metrics: args.metrics.is_some(),
+        level,
+    });
+    if args.profile.is_some() {
+        obs::process_name(
+            obs::ANALYSIS_PID,
+            "report (analysis, wall clock)".to_string(),
+        );
+    }
+
+    let code = run(&args);
+
+    // Dump observability artifacts after the command, before exiting —
+    // run() returns instead of exiting so these always happen.
+    if let Some(path) = &args.profile {
+        let trace = obs::write_chrome_trace(&obs::span::drain());
+        match std::fs::write(path, &trace) {
+            Ok(()) => obs::info!("wrote {path}"),
+            Err(e) => obs::error!("cannot write profile {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics {
+        match std::fs::write(path, obs::metrics().dump_json()) {
+            Ok(()) => obs::info!("wrote {path}"),
+            Err(e) => obs::error!("cannot write metrics {path}: {e}"),
+        }
+    }
+    std::process::exit(code);
+}
+
+/// Dispatch the command; returns the process exit code. Must `return`
+/// rather than `std::process::exit` so `main` can flush the profile and
+/// metrics dumps afterwards.
+fn run(args: &Args) -> i32 {
+    let _cmd_span = obs::span("report", format!("cmd:{}", args.command));
     let cfg = ReportCfg {
         nranks: args.ranks,
         seed: args.seed,
@@ -291,10 +371,10 @@ fn main() {
                 degraded
             );
             if failures > 0 {
-                std::process::exit(1);
+                return 1;
             }
             if degraded > 0 {
-                std::process::exit(EXIT_DEGRADED);
+                return EXIT_DEGRADED;
             }
         }
         "fault-campaign" => {
@@ -317,12 +397,12 @@ fn main() {
             let artifact = format!("{happy}{table}{sweep}");
             write_artifact(&args.out, "fault_campaign.txt", &artifact);
             if stats.panics > 0 {
-                eprintln!("FAIL: {} combinations panicked", stats.panics);
-                std::process::exit(1);
+                obs::error!("FAIL: {} combinations panicked", stats.panics);
+                return 1;
             }
             if !flipped {
-                eprintln!("FAIL: no crash point flipped FLASH's commit verdict");
-                std::process::exit(1);
+                obs::error!("FAIL: no crash point flipped FLASH's commit verdict");
+                return 1;
             }
         }
         "advise" => {
@@ -448,10 +528,12 @@ fn main() {
             write_artifact(&args.out, "flash_fix.txt", &fx);
         }
         other => {
-            eprintln!("unknown command: {other}");
-            std::process::exit(EXIT_USAGE);
+            eprintln!("error: unknown command: {other}");
+            eprint!("{}", usage());
+            return EXIT_USAGE;
         }
     }
+    0
 }
 
 fn summary_json(runs: &[report_gen::AnalyzedRun]) -> String {

@@ -83,9 +83,37 @@ pub fn analyze_with_params(
     spec: &'static AppSpec,
     params: &ScaleParams,
 ) -> AnalyzedRun {
-    let run_cfg = RunConfig::new(cfg.nranks, cfg.seed).with_max_skew_ns(cfg.max_skew_ns);
+    let mut span = obs::span("report", "config").with_arg("config", spec.config_name());
+    let t0 = std::time::Instant::now();
+    let run_cfg = RunConfig::new(cfg.nranks, cfg.seed)
+        .with_max_skew_ns(cfg.max_skew_ns)
+        .with_label(spec.config_name());
     let outcome = run_app(&run_cfg, |ctx| spec.run_with(ctx, params));
+    span.set_arg(
+        "outcome",
+        if outcome.is_degraded() {
+            "partial"
+        } else {
+            "ok"
+        },
+    );
+    record_config_metrics(&outcome, t0);
     finish_analysis(cfg, spec, outcome)
+}
+
+/// Flush the per-config aggregate metrics: one counter bump per config
+/// (deterministic) and one wall-time histogram sample (timing-only, never
+/// compared across runs).
+fn record_config_metrics(outcome: &RunOutcome, t0: std::time::Instant) {
+    if !obs::metrics_enabled() {
+        return;
+    }
+    let m = obs::metrics();
+    m.add("report.configs", 1);
+    if outcome.is_degraded() {
+        m.add("report.configs_partial", 1);
+    }
+    m.observe("report.config_wall_ns", t0.elapsed().as_nanos() as u64);
 }
 
 /// Run one configuration under an injected [`FaultPlan`] and analyze
@@ -99,10 +127,32 @@ pub fn analyze_with_faults(
     params: &ScaleParams,
     faults: &FaultPlan,
 ) -> Result<AnalyzedRun, SimError> {
+    let mut span = obs::span("report", "config").with_arg("config", spec.config_name());
+    let t0 = std::time::Instant::now();
     let run_cfg = RunConfig::new(cfg.nranks, cfg.seed)
         .with_max_skew_ns(cfg.max_skew_ns)
-        .with_faults(faults.clone());
-    let outcome = run_app_result(&run_cfg, |ctx| spec.run_with(ctx, params))?;
+        .with_faults(faults.clone())
+        .with_label(spec.config_name());
+    let outcome = match run_app_result(&run_cfg, |ctx| spec.run_with(ctx, params)) {
+        Ok(o) => o,
+        Err(e) => {
+            span.set_arg("outcome", "error");
+            if obs::metrics_enabled() {
+                obs::metrics().add("report.configs", 1);
+                obs::metrics().add("report.configs_failed", 1);
+            }
+            return Err(e);
+        }
+    };
+    span.set_arg(
+        "outcome",
+        if outcome.is_degraded() {
+            "partial"
+        } else {
+            "ok"
+        },
+    );
+    record_config_metrics(&outcome, t0);
     Ok(finish_analysis(cfg, spec, outcome))
 }
 
@@ -150,7 +200,9 @@ pub fn analyze_with_params_unfused(
     spec: &'static AppSpec,
     params: &ScaleParams,
 ) -> AnalyzedRun {
-    let run_cfg = RunConfig::new(cfg.nranks, cfg.seed).with_max_skew_ns(cfg.max_skew_ns);
+    let run_cfg = RunConfig::new(cfg.nranks, cfg.seed)
+        .with_max_skew_ns(cfg.max_skew_ns)
+        .with_label(spec.config_name());
     let outcome = run_app(&run_cfg, |ctx| spec.run_with(ctx, params));
     let adjusted = adjust::apply(&outcome.trace);
     let resolved = offset::resolve(&adjusted);
@@ -281,20 +333,35 @@ pub fn analyze_isolated(
     params: &ScaleParams,
     faults: &FaultPlan,
 ) -> ConfigOutcome {
+    let mut span = obs::span("report", "config:isolated").with_arg("config", spec.config_name());
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         analyze_with_faults(cfg, spec, params, faults)
     }));
-    match attempt {
-        Ok(Ok(run)) => ConfigOutcome::Ok(Box::new(run)),
-        Ok(Err(e)) => ConfigOutcome::Degraded {
-            name: spec.config_name(),
-            error: e.to_string(),
-            panicked: false,
-        },
-        Err(payload) => ConfigOutcome::Degraded {
-            name: spec.config_name(),
-            error: panic_message(payload),
-            panicked: true,
-        },
+    let outcome = match attempt {
+        Ok(Ok(run)) => {
+            span.set_arg("outcome", "ok");
+            ConfigOutcome::Ok(Box::new(run))
+        }
+        Ok(Err(e)) => {
+            span.set_arg("outcome", "DEGRADED");
+            ConfigOutcome::Degraded {
+                name: spec.config_name(),
+                error: e.to_string(),
+                panicked: false,
+            }
+        }
+        Err(payload) => {
+            span.set_arg("outcome", "DEGRADED");
+            span.set_arg("panicked", 1u64);
+            ConfigOutcome::Degraded {
+                name: spec.config_name(),
+                error: panic_message(payload),
+                panicked: true,
+            }
+        }
+    };
+    if outcome.is_degraded() && obs::metrics_enabled() {
+        obs::metrics().add("report.configs_degraded", 1);
     }
+    outcome
 }

@@ -1,0 +1,80 @@
+//! The `report` CLI rejects malformed invocations with a usage message
+//! and exit code 64 (EX_USAGE) instead of panicking. Each case spawns the
+//! real binary — these are the code paths a user's shell actually hits.
+
+use std::process::{Command, Output};
+
+fn report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_report"))
+        .args(args)
+        .output()
+        .expect("spawn report binary")
+}
+
+fn assert_usage_error(args: &[&str], expect_in_stderr: &str) {
+    let out = report(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(64),
+        "{args:?}: expected exit 64, got {:?}; stderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "{args:?}: stderr missing {expect_in_stderr:?}: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage: report"),
+        "{args:?}: stderr missing usage text: {stderr}"
+    );
+}
+
+#[test]
+fn malformed_ranks_is_usage_error() {
+    assert_usage_error(&["table4", "--ranks", "abc"], "--ranks");
+}
+
+#[test]
+fn zero_ranks_is_usage_error() {
+    assert_usage_error(&["table4", "--ranks", "0"], "--ranks");
+}
+
+#[test]
+fn malformed_seed_is_usage_error() {
+    assert_usage_error(&["table4", "--seed", "1.5"], "--seed");
+}
+
+#[test]
+fn negative_threads_is_usage_error() {
+    assert_usage_error(&["all", "--threads", "-1"], "--threads");
+}
+
+#[test]
+fn missing_flag_value_is_usage_error() {
+    assert_usage_error(&["table4", "--ranks"], "--ranks requires a value");
+}
+
+#[test]
+fn unknown_flag_is_usage_error() {
+    assert_usage_error(&["table4", "--bogus"], "--bogus");
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    let out = report(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(64));
+}
+
+#[test]
+fn valid_static_command_succeeds() {
+    let dir = std::env::temp_dir().join("report_cli_usage_ok");
+    let out = report(&["table5", "--out", dir.to_str().unwrap(), "--quiet"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

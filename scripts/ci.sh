@@ -23,4 +23,21 @@ echo "ci: fault smoke"
 # to reproduce; scripts/faultcamp.sh runs the full campaign.
 ./target/release/report fault-campaign --camp-seeds 2 --out target/fault_smoke
 
+echo "ci: profiled smoke"
+# A profiled run must produce a valid Chrome trace covering every
+# instrumented layer; tracetool validate-trace exits 1 on a malformed
+# artifact. The run itself doubles as a check that --profile/--metrics
+# do not change the exit status.
+./target/release/report table4 --ranks 8 --profile target/ci_trace.json \
+    --metrics target/ci_metrics.json > /dev/null
+./target/release/tracetool validate-trace target/ci_trace.json
+
+echo "ci: observability overhead smoke"
+# One interleaved off/on rep at small size — checks the harness and a
+# loose budget, not the headline number (CI boxes are noisy and often
+# single-core; BENCH_PR4.json records the real measurement: 10 ns per
+# disabled site, +0.15% end-to-end).
+./target/release/obsbench --smoke --budget-pct 10 \
+    --out target/BENCH_OBS_SMOKE.json
+
 echo "ci: OK"
