@@ -1,0 +1,179 @@
+//! Stable cache-key derivation for derived-analysis results.
+//!
+//! A consistency verdict (and everything else the analysis produces) is a
+//! pure function of the simulated run's inputs: the application
+//! configuration, the world size, the seed, the semantics model under
+//! inspection, and the fault plan. The serving layer caches analysis
+//! results under a key derived from exactly those components, so the key
+//! must be *stable* — identical across processes, platforms, and thread
+//! counts — which rules out `std`'s `RandomState` hashing.
+//!
+//! A [`CacheKey`] carries two things:
+//!
+//! * the **canonical string** — `app=FLASH\0cfg=fbs\0…` — compared on
+//!   lookup, so hash collisions can never alias two distinct queries;
+//! * a **128-bit FNV-1a fingerprint** of that string, used for shard
+//!   selection and cheap inequality tests.
+//!
+//! Component order is significant (the builder renders them in insertion
+//! order), and each component is a tagged `name=value` pair separated by
+//! NUL — a byte that cannot appear in any component value — so
+//! `("ab", "c")` and `("a", "bc")` can never produce the same canonical
+//! form.
+
+/// Incrementally builds a [`CacheKey`] from tagged components.
+#[derive(Debug, Default, Clone)]
+pub struct CacheKeyBuilder {
+    canonical: String,
+}
+
+impl CacheKeyBuilder {
+    pub fn new() -> Self {
+        CacheKeyBuilder::default()
+    }
+
+    /// Append one tagged string component. NUL bytes in `value` are
+    /// rejected by replacement (they cannot occur in config names, model
+    /// names, or fault-plan descriptions; replacing keeps the canonical
+    /// form unambiguous even for hostile input).
+    pub fn push(mut self, name: &str, value: &str) -> Self {
+        if !self.canonical.is_empty() {
+            self.canonical.push('\0');
+        }
+        self.canonical.push_str(name);
+        self.canonical.push('=');
+        for c in value.chars() {
+            self.canonical.push(if c == '\0' { '\u{fffd}' } else { c });
+        }
+        self
+    }
+
+    /// Append one tagged integer component.
+    pub fn push_u64(self, name: &str, value: u64) -> Self {
+        let rendered = value.to_string();
+        self.push(name, &rendered)
+    }
+
+    pub fn finish(self) -> CacheKey {
+        let fp = fnv1a_128(self.canonical.as_bytes());
+        CacheKey {
+            canonical: self.canonical,
+            fp,
+        }
+    }
+}
+
+/// A finished key: canonical string plus 128-bit fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    canonical: String,
+    fp: (u64, u64),
+}
+
+impl CacheKey {
+    /// The canonical `name=value\0…` rendering — the equality witness.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The stable 128-bit fingerprint as two words.
+    pub fn fingerprint(&self) -> (u64, u64) {
+        self.fp
+    }
+
+    /// A stable shard index in `[0, shards)` derived from the
+    /// fingerprint's high word (the low word picks hash-map buckets, so
+    /// using distinct words keeps the two decorrelated).
+    pub fn shard(&self, shards: usize) -> usize {
+        debug_assert!(shards > 0);
+        (self.fp.0 as usize) % shards.max(1)
+    }
+}
+
+/// 128-bit FNV-1a over `bytes`, returned as `(high, low)`. Two
+/// independent 64-bit FNV streams with distinct offset bases — not the
+/// official 128-bit variant (which needs 128-bit multiplies), but stable,
+/// dependency-free, and with the same dispersion properties at this
+/// scale.
+fn fnv1a_128(bytes: &[u8]) -> (u64, u64) {
+    let mut hi: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut lo: u64 = 0x6c62_272e_07bb_0142;
+    for &b in bytes {
+        hi ^= b as u64;
+        hi = hi.wrapping_mul(0x1000_0000_01b3);
+        lo ^= (b as u64).rotate_left(17) ^ 0xa5;
+        lo = lo.wrapping_mul(0x1000_0000_01b3);
+    }
+    (hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict_key(app: &str, cfg: &str, ranks: u64, seed: u64, model: &str) -> CacheKey {
+        CacheKeyBuilder::new()
+            .push("app", app)
+            .push("cfg", cfg)
+            .push_u64("ranks", ranks)
+            .push_u64("seed", seed)
+            .push("model", model)
+            .push("faults", "none")
+            .finish()
+    }
+
+    #[test]
+    fn identical_inputs_identical_keys() {
+        let a = verdict_key("FLASH", "fbs", 64, 2021, "session");
+        let b = verdict_key("FLASH", "fbs", 64, 2021, "session");
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn any_component_change_changes_the_key() {
+        let base = verdict_key("FLASH", "fbs", 64, 2021, "session");
+        for other in [
+            verdict_key("FLASH", "nofbs", 64, 2021, "session"),
+            verdict_key("Enzo", "fbs", 64, 2021, "session"),
+            verdict_key("FLASH", "fbs", 8, 2021, "session"),
+            verdict_key("FLASH", "fbs", 64, 2022, "session"),
+            verdict_key("FLASH", "fbs", 64, 2021, "commit"),
+        ] {
+            assert_ne!(base.canonical(), other.canonical());
+            assert_ne!(base.fingerprint(), other.fingerprint());
+        }
+    }
+
+    #[test]
+    fn component_boundaries_cannot_alias() {
+        let a = CacheKeyBuilder::new()
+            .push("x", "ab")
+            .push("y", "c")
+            .finish();
+        let b = CacheKeyBuilder::new()
+            .push("x", "a")
+            .push("y", "bc")
+            .finish();
+        assert_ne!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn shard_is_stable_and_in_range() {
+        let k = verdict_key("FLASH", "fbs", 64, 2021, "both");
+        let s = k.shard(16);
+        assert!(s < 16);
+        assert_eq!(s, verdict_key("FLASH", "fbs", 64, 2021, "both").shard(16));
+    }
+
+    #[test]
+    fn nul_in_value_is_sanitized_not_ambiguous() {
+        let tricky = CacheKeyBuilder::new().push("a", "x\0b=y").finish();
+        let plain = CacheKeyBuilder::new()
+            .push("a", "x")
+            .push("b", "y")
+            .finish();
+        assert_ne!(tricky.canonical(), plain.canonical());
+    }
+}

@@ -40,9 +40,11 @@
 
 pub mod advisor;
 pub mod apprun;
+pub mod cachekey;
 pub mod conflict;
 pub mod context;
 pub mod hb;
+pub mod json;
 pub mod meta_conflict;
 pub mod metadata;
 pub mod model;
@@ -51,6 +53,7 @@ pub mod parallel;
 pub mod patterns;
 pub mod verdict;
 
+pub use cachekey::{CacheKey, CacheKeyBuilder};
 pub use conflict::{
     detect_conflicts_fused, detect_conflicts_fused_threaded, detect_conflicts_threaded,
     AnalysisModel, ConflictKind, ConflictPair, ConflictReport, ConflictScope, FusedReports,

@@ -36,4 +36,6 @@ pub mod vasp;
 pub mod vpicio;
 pub mod workflow;
 
-pub use registry::{all_specs, spec, spec_ref, specs, AppId, AppSpec, Marks, ScaleParams};
+pub use registry::{
+    all_specs, find_config, spec, spec_ref, specs, AppId, AppSpec, Marks, ScaleParams,
+};

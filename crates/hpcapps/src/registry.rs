@@ -563,6 +563,26 @@ pub fn spec_ref(id: AppId) -> &'static AppSpec {
     specs().iter().find(|s| s.id == id).expect("registered app")
 }
 
+/// Resolve a configuration from the two path segments a service URL
+/// carries (`/v1/verdict/{app}/{config}`). Matching is case-insensitive
+/// and tries, in order:
+///
+/// 1. `config_name() == "{app}-{config}"` — the common form
+///    (`FLASH/fbs`, `LAMMPS/ADIOS`);
+/// 2. `config_name() == "{app} {config}"` — the MILC spelling
+///    (`MILC-QCD/Serial`);
+/// 3. `(spec.app, spec.iolib) == (app, config)` — the Table 4 columns.
+pub fn find_config(app: &str, config: &str) -> Option<&'static AppSpec> {
+    let dashed = format!("{app}-{config}");
+    let spaced = format!("{app} {config}");
+    specs().iter().find(|s| {
+        let name = s.config_name();
+        name.eq_ignore_ascii_case(&dashed)
+            || name.eq_ignore_ascii_case(&spaced)
+            || (s.app.eq_ignore_ascii_case(app) && s.iolib.eq_ignore_ascii_case(config))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,6 +597,26 @@ mod tests {
         apps.sort_unstable();
         apps.dedup();
         assert_eq!(apps.len(), 17);
+    }
+
+    #[test]
+    fn find_config_resolves_url_segment_spellings() {
+        assert_eq!(find_config("FLASH", "fbs").unwrap().id, AppId::FlashFbs);
+        assert_eq!(find_config("flash", "FBS").unwrap().id, AppId::FlashFbs);
+        assert_eq!(
+            find_config("MILC-QCD", "Serial").unwrap().id,
+            AppId::MilcSerial
+        );
+        assert_eq!(
+            find_config("LAMMPS", "ADIOS").unwrap().id,
+            AppId::LammpsAdios
+        );
+        assert_eq!(
+            find_config("FLASH", "fbs+collmeta").unwrap().id,
+            AppId::FlashFbsCollectiveMeta
+        );
+        assert!(find_config("FLASH", "bogus").is_none());
+        assert!(find_config("", "").is_none());
     }
 
     #[test]

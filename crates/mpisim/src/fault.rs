@@ -137,6 +137,7 @@ impl FaultPlan {
     }
 
     /// A short deterministic description, for table rows and logs.
+    /// [`FaultPlan::parse`] accepts exactly this format back.
     pub fn describe(&self) -> String {
         if self.sites.is_empty() {
             return "none".to_string();
@@ -146,6 +147,63 @@ impl FaultPlan {
             .map(|s| format!("{}@r{}:op{}", s.kind.name(), s.rank, s.at_op))
             .collect::<Vec<_>>()
             .join(",")
+    }
+
+    /// Parse a plan back from its [`describe`](FaultPlan::describe)
+    /// rendering — `"none"`, `""`, or a comma-separated list of
+    /// `kind@rN:opM` sites (`msg-delay` takes an optional `:NNns` delay
+    /// suffix, default 5 ms). This is what lets a serving layer accept
+    /// what-if fault plans as query parameters: the description *is* the
+    /// wire format, and `(seed, parsed plan, program)` determines the
+    /// trace exactly as if the plan had been built in-process.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if text.is_empty() || text == "none" {
+            return Ok(FaultPlan::none());
+        }
+        let mut plan = FaultPlan::none();
+        for part in text.split(',') {
+            let part = part.trim();
+            let (kind_name, site) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault site {part:?}: expected kind@rN:opM"))?;
+            let mut fields = site.split(':');
+            let rank_field = fields.next().unwrap_or("");
+            let op_field = fields
+                .next()
+                .ok_or_else(|| format!("fault site {part:?}: missing :opM"))?;
+            let rank: u32 = rank_field
+                .strip_prefix('r')
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("fault site {part:?}: bad rank {rank_field:?}"))?;
+            let at_op: u64 = op_field
+                .strip_prefix("op")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("fault site {part:?}: bad op index {op_field:?}"))?;
+            let kind = match kind_name {
+                "crash" => FaultKind::Crash,
+                "io-eintr" => FaultKind::Io(IoFault::Eintr),
+                "io-eio" => FaultKind::Io(IoFault::Eio),
+                "io-enospc" => FaultKind::Io(IoFault::Enospc),
+                "lost-flush" => FaultKind::Io(IoFault::LostFlush),
+                "msg-delay" => {
+                    let delay_ns = match fields.next() {
+                        None => 5_000_000,
+                        Some(d) => d
+                            .strip_suffix("ns")
+                            .and_then(|n| n.parse().ok())
+                            .ok_or_else(|| format!("fault site {part:?}: bad delay {d:?}"))?,
+                    };
+                    FaultKind::MsgDelay { delay_ns }
+                }
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            if let Some(extra) = fields.next() {
+                return Err(format!("fault site {part:?}: trailing field {extra:?}"));
+            }
+            plan.sites.push(FaultSite { rank, at_op, kind });
+        }
+        Ok(plan)
     }
 }
 
@@ -164,6 +222,62 @@ mod tests {
         assert_eq!(a, b);
         let c = FaultPlan::seeded(8, 8, FaultKind::Crash, 3, 100);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parse_roundtrips_describe() {
+        let plans = [
+            FaultPlan::none(),
+            FaultPlan::none().with_crash(1, 10),
+            FaultPlan::none()
+                .with_crash(3, 7)
+                .with(2, 5, FaultKind::Io(IoFault::Eio))
+                .with(0, 9, FaultKind::Io(IoFault::LostFlush)),
+            FaultPlan::seeded(11, 8, FaultKind::Io(IoFault::Enospc), 4, 64),
+            FaultPlan::none().with(
+                1,
+                4,
+                FaultKind::MsgDelay {
+                    delay_ns: 5_000_000,
+                },
+            ),
+        ];
+        for plan in plans {
+            let parsed = FaultPlan::parse(&plan.describe()).expect("parse own description");
+            assert_eq!(parsed, plan, "roundtrip of {:?}", plan.describe());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_explicit_delay_and_none_spellings() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse(" none ").unwrap(), FaultPlan::none());
+        let p = FaultPlan::parse("msg-delay@r2:op8:250000ns").unwrap();
+        assert_eq!(
+            p.sites(),
+            &[FaultSite {
+                rank: 2,
+                at_op: 8,
+                kind: FaultKind::MsgDelay { delay_ns: 250_000 },
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_sites() {
+        for bad in [
+            "crash",
+            "crash@x1:op2",
+            "crash@r1",
+            "crash@r1:2",
+            "crash@r1:op2:junk",
+            "explode@r1:op2",
+            "msg-delay@r1:op2:fast",
+            "crash@r-1:op2",
+            "crash@r1:op2,,",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! `loadgen` — closed-loop load generator for the analysis service.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--clients N] [--warm-requests N]
+//!         [--configs N] [--ranks R] [--out FILE] [--smoke]
+//! ```
+//!
+//! Without `--addr` it self-hosts an in-process server (the same
+//! `ReportBackend` that `report serve` runs) on an OS-assigned port, so
+//! the benchmark is one command. Two phases:
+//!
+//! * **cold** — one serial `GET /v1/verdict/{app}/{config}` per distinct
+//!   configuration; every request misses the cache and runs the full
+//!   simulation + fused analysis.
+//! * **warm** — `--warm-requests` keep-alive requests from `--clients`
+//!   closed-loop client threads cycling over the same query set; every
+//!   request is a cache hit.
+//!
+//! Between the phases each cold body is re-fetched once and compared
+//! byte-for-byte — the warm-equals-cold guarantee is asserted on every
+//! run, not just in the test suite. The summary (and `--out` JSON, the
+//! `BENCH_PR5.json` artifact) reports both throughputs and the warm/cold
+//! ratio. `--smoke` shrinks everything for the CI gate and is quiet on
+//! success. Exit codes: 0 ok, 1 failure (bad status, byte mismatch, or
+//! unreachable server), 64 usage error.
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use report_gen::ReportBackend;
+use semantics_core::json::Json;
+use serve::{get_once, HttpClient, ServeConfig};
+
+const EXIT_USAGE: i32 = 64;
+
+struct Args {
+    /// Target server; `None` ⇒ self-host in-process.
+    addr: Option<SocketAddr>,
+    clients: usize,
+    warm_requests: usize,
+    /// Distinct configurations in the query set (cold-phase size).
+    configs: usize,
+    ranks: u32,
+    out: Option<String>,
+    smoke: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: loadgen [options]\n\
+     \x20 --addr HOST:PORT  target server (default: self-host in-process)\n\
+     \x20 --clients N       warm-phase client threads (default 4)\n\
+     \x20 --warm-requests N warm-phase request count (default 400)\n\
+     \x20 --configs N       distinct configurations to query (default 6)\n\
+     \x20 --ranks R         world size per query (default 8)\n\
+     \x20 --out FILE        write the JSON summary here\n\
+     \x20 --smoke           tiny quick-check shape (CI smoke)\n"
+}
+
+fn flag_value<T: std::str::FromStr>(
+    argv: &[String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<T, String> {
+    *i += 1;
+    let val = argv
+        .get(*i)
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    val.parse()
+        .map_err(|_| format!("invalid value for {flag}: {val:?}"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        clients: 4,
+        warm_requests: 400,
+        configs: 6,
+        ranks: 8,
+        out: None,
+        smoke: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = Some(flag_value(argv, &mut i, "--addr")?),
+            "--clients" => args.clients = flag_value(argv, &mut i, "--clients")?,
+            "--warm-requests" => args.warm_requests = flag_value(argv, &mut i, "--warm-requests")?,
+            "--configs" => args.configs = flag_value(argv, &mut i, "--configs")?,
+            "--ranks" => args.ranks = flag_value(argv, &mut i, "--ranks")?,
+            "--out" => args.out = Some(flag_value(argv, &mut i, "--out")?),
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        // The CI shape: small enough to finish in seconds anywhere.
+        args.clients = args.clients.min(2);
+        args.warm_requests = args.warm_requests.min(20);
+        args.configs = args.configs.min(2);
+        args.ranks = args.ranks.min(2);
+    }
+    if args.clients == 0 || args.warm_requests == 0 || args.configs == 0 || args.ranks == 0 {
+        return Err("counts must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// The query set: one verdict URL per distinct Table 4 configuration.
+fn query_paths(configs: usize, ranks: u32) -> Vec<String> {
+    let mut seen = std::collections::BTreeSet::new();
+    hpcapps::specs()
+        .iter()
+        .filter(|s| s.in_table4 && seen.insert((s.app, s.iolib)))
+        .take(configs)
+        .map(|s| format!("/v1/verdict/{}/{}?ranks={ranks}", s.app, s.iolib))
+        .collect()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("loadgen: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{}", usage());
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+
+    // Self-host unless pointed at an external server.
+    let mut server = None;
+    let addr = match args.addr {
+        Some(a) => a,
+        None => {
+            obs::set_metrics(true);
+            let handle = serve::serve(ServeConfig::default(), Arc::new(ReportBackend::new()))
+                .unwrap_or_else(|e| fail(&format!("cannot self-host: {e}")));
+            let a = handle.addr();
+            server = Some(handle);
+            a
+        }
+    };
+
+    // Liveness + API sanity before measuring anything.
+    match get_once(addr, "/healthz") {
+        Ok(r) if r.status == 200 => {}
+        Ok(r) => fail(&format!("/healthz returned {}", r.status)),
+        Err(e) => fail(&format!("cannot reach {addr}: {e}")),
+    }
+    match get_once(addr, "/v1/apps") {
+        Ok(r) if r.status == 200 => {}
+        Ok(r) => fail(&format!("/v1/apps returned {}", r.status)),
+        Err(e) => fail(&format!("/v1/apps: {e}")),
+    }
+
+    let paths = query_paths(args.configs, args.ranks);
+
+    // Cold phase: serial, every request a miss.
+    let t_cold = Instant::now();
+    let mut cold_bodies = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match get_once(addr, path) {
+            Ok(r) if r.status == 200 => cold_bodies.push(r.body),
+            Ok(r) => fail(&format!(
+                "{path}: cold status {} ({})",
+                r.status,
+                r.body_text()
+            )),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+    let cold_ns = t_cold.elapsed().as_nanos() as u64;
+
+    // Warm-equals-cold byte identity, asserted on every run.
+    for (path, cold) in paths.iter().zip(&cold_bodies) {
+        match get_once(addr, path) {
+            Ok(r) if r.status == 200 && &r.body == cold => {}
+            Ok(r) if r.status != 200 => fail(&format!("{path}: warm status {}", r.status)),
+            Ok(_) => fail(&format!("{path}: warm body differs from cold")),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+
+    // Warm phase: closed-loop keep-alive clients over a shared counter.
+    let counter = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let paths = Arc::new(paths);
+    let t_warm = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..args.clients {
+            let counter = Arc::clone(&counter);
+            let errors = Arc::clone(&errors);
+            let paths = Arc::clone(&paths);
+            s.spawn(move || {
+                let mut client = match HttpClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                        return;
+                    }
+                };
+                loop {
+                    let k = counter.fetch_add(1, Ordering::SeqCst);
+                    if k >= args.warm_requests {
+                        return;
+                    }
+                    match client.get(&paths[k % paths.len()]) {
+                        Ok(r) if r.status == 200 => {}
+                        _ => {
+                            errors.fetch_add(1, Ordering::SeqCst);
+                            // Reconnect once; persistent failure drains the
+                            // counter and ends the phase.
+                            match HttpClient::connect(addr) {
+                                Ok(c) => client = c,
+                                Err(_) => return,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let warm_ns = t_warm.elapsed().as_nanos() as u64;
+    if errors.load(Ordering::SeqCst) > 0 {
+        fail(&format!(
+            "{} warm requests failed",
+            errors.load(Ordering::SeqCst)
+        ));
+    }
+
+    let rps = |n: usize, ns: u64| n as f64 / (ns.max(1) as f64 / 1e9);
+    let cold_rps = rps(cold_bodies.len(), cold_ns);
+    let warm_rps = rps(args.warm_requests, warm_ns);
+    let ratio = warm_rps / cold_rps.max(f64::MIN_POSITIVE);
+
+    println!(
+        "loadgen: cold {} reqs in {:.1} ms ({:.1} req/s); warm {} reqs x {} clients in {:.1} ms ({:.0} req/s); warm/cold {:.0}x",
+        cold_bodies.len(),
+        cold_ns as f64 / 1e6,
+        cold_rps,
+        args.warm_requests,
+        args.clients,
+        warm_ns as f64 / 1e6,
+        warm_rps,
+        ratio,
+    );
+
+    if let Some(out) = &args.out {
+        let doc = Json::obj()
+            .field("bench", "serve-loadgen")
+            .field("configs", cold_bodies.len())
+            .field("ranks", u64::from(args.ranks))
+            .field("cold_requests", cold_bodies.len())
+            .field("cold_wall_ns", cold_ns)
+            .field("cold_rps", cold_rps)
+            .field("warm_requests", args.warm_requests)
+            .field("warm_clients", args.clients)
+            .field("warm_wall_ns", warm_ns)
+            .field("warm_rps", warm_rps)
+            .field("warm_over_cold", ratio)
+            .field("warm_bytes_identical", true)
+            .pretty();
+        let mut f = std::fs::File::create(out)
+            .unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
+        f.write_all(doc.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("loadgen: wrote {out}");
+    }
+
+    if let Some(handle) = server {
+        handle.shutdown();
+    }
+}

@@ -1,203 +1,7 @@
-//! Minimal JSON document builder.
-//!
-//! The offline build has no registry access, so instead of `serde_json`
-//! the machine-readable artifacts (`summary.json`, `BENCH_*.json`) are
-//! emitted through this value tree. Output is deterministic: fields render
-//! in insertion order, floats through `format!("{}")` (shortest roundtrip
-//! representation), making artifacts byte-comparable across runs.
+//! Re-export of the JSON document builder, which moved to
+//! [`semantics_core::json`] so layers below the report harness (the serve
+//! crate in particular) can emit machine-readable artifacts without
+//! depending on report-gen. Existing `report_gen::json::Json` users keep
+//! working unchanged.
 
-/// One JSON value.
-#[derive(Debug, Clone)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    U64(u64),
-    I64(i64),
-    F64(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Append a field (object values only; panics otherwise).
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
-            _ => panic!("field() on non-object"),
-        }
-        self
-    }
-
-    /// Render with 2-space indentation, the layout `serde_json::to_string_pretty`
-    /// used for the seed's artifacts.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::U64(v) => out.push_str(&v.to_string()),
-            Json::I64(v) => out.push_str(&v.to_string()),
-            Json::F64(v) => {
-                if v.is_finite() {
-                    out.push_str(&v.to_string());
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    item.write(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, depth + 1);
-                    Json::Str(k.clone()).write(out, depth + 1);
-                    out.push_str(": ");
-                    v.write(out, depth + 1);
-                }
-                out.push('\n');
-                indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-impl From<u32> for Json {
-    fn from(v: u32) -> Json {
-        Json::U64(v as u64)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        Json::U64(v)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::U64(v as u64)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(v: i64) -> Json {
-        Json::I64(v)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::F64(v)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-impl From<Vec<Json>> for Json {
-    fn from(v: Vec<Json>) -> Json {
-        Json::Arr(v)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_nested_pretty() {
-        let doc = Json::obj()
-            .field("name", "x\"y")
-            .field("n", 3u64)
-            .field("ok", true)
-            .field("items", vec![Json::U64(1), Json::U64(2)]);
-        let s = doc.pretty();
-        assert!(s.contains("\"name\": \"x\\\"y\""));
-        assert!(s.contains("\"items\": [\n    1,\n    2\n  ]"));
-        assert!(s.starts_with("{\n") && s.ends_with("}"));
-    }
-
-    #[test]
-    fn empty_containers_inline() {
-        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
-        assert_eq!(Json::obj().pretty(), "{}");
-    }
-
-    #[test]
-    fn float_rendering_is_deterministic() {
-        assert_eq!(Json::F64(0.5).pretty(), "0.5");
-        assert_eq!(Json::F64(f64::NAN).pretty(), "null");
-        assert_eq!(Json::F64(12.0).pretty(), "12");
-    }
-}
+pub use semantics_core::json::*;

@@ -28,7 +28,10 @@ pub mod json;
 pub mod matrix;
 pub mod runner;
 pub mod scale;
+pub mod serve_backend;
 pub mod tables;
+
+pub use serve_backend::ReportBackend;
 
 pub use runner::{
     analyze, analyze_all, analyze_all_threaded, analyze_all_threaded_unfused, analyze_isolated,

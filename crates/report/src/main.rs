@@ -63,13 +63,21 @@ struct Args {
     quiet: bool,
     /// Verbose (debug-level) logging.
     verbose: bool,
+    /// `serve`: TCP port on 127.0.0.1 (0 = OS-assigned, printed at start).
+    port: u16,
+    /// `serve`: worker threads handling connections.
+    workers: usize,
+    /// `serve`: verdict-cache capacity in entries.
+    cache_entries: usize,
+    /// `serve`: pending-connection queue bound (beyond it: 503).
+    queue_cap: usize,
 }
 
 fn usage() -> &'static str {
     "usage: report <command> [options]\n\
      commands: table1..table5, fig1..fig3, all, check, flash-fix,\n\
      \x20        validate-hb, scale-study, semantics-matrix, app-report,\n\
-     \x20        fault-campaign, advise, locks, meta-conflicts\n\
+     \x20        fault-campaign, advise, locks, meta-conflicts, serve\n\
      options:\n\
      \x20 --ranks N        world size (default 64)\n\
      \x20 --seed S         base seed (default 2021)\n\
@@ -83,6 +91,10 @@ fn usage() -> &'static str {
      \x20 --sweep-ops M    FLASH crash-sweep op ceiling (default 300)\n\
      \x20 --profile FILE   write a Chrome trace-event JSON timeline\n\
      \x20 --metrics FILE   write a metrics-registry JSON dump\n\
+     \x20 --port P         serve: port on 127.0.0.1, 0 = OS pick (default 0)\n\
+     \x20 --workers N      serve: connection worker threads (default 4)\n\
+     \x20 --cache-entries N  serve: verdict cache capacity (default 256)\n\
+     \x20 --queue-cap N    serve: connection queue bound (default 64)\n\
      \x20 --quiet, -q      errors only\n\
      \x20 --verbose, -v    debug-level logging\n"
 }
@@ -119,6 +131,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         metrics: None,
         quiet: false,
         verbose: false,
+        port: 0,
+        workers: 4,
+        cache_entries: 256,
+        queue_cap: 64,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -134,6 +150,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--sweep-ops" => args.sweep_ops = flag_value(argv, &mut i, "--sweep-ops")?,
             "--profile" => args.profile = Some(flag_value(argv, &mut i, "--profile")?),
             "--metrics" => args.metrics = Some(flag_value(argv, &mut i, "--metrics")?),
+            "--port" => args.port = flag_value(argv, &mut i, "--port")?,
+            "--workers" => args.workers = flag_value(argv, &mut i, "--workers")?,
+            "--cache-entries" => args.cache_entries = flag_value(argv, &mut i, "--cache-entries")?,
+            "--queue-cap" => args.queue_cap = flag_value(argv, &mut i, "--queue-cap")?,
             "--config" => {
                 i += 1; // consumed by the subcommand itself
             }
@@ -147,6 +167,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.ranks == 0 {
         return Err("--ranks must be at least 1".to_string());
+    }
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    if args.cache_entries == 0 {
+        return Err("--cache-entries must be at least 1".to_string());
+    }
+    if args.queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".to_string());
     }
     Ok(args)
 }
@@ -526,6 +555,45 @@ fn run(args: &Args) -> i32 {
             let fx = tables::flash_fix(&fix_runs);
             print!("{fx}");
             write_artifact(&args.out, "flash_fix.txt", &fx);
+        }
+        "serve" => {
+            // The long-lived analysis service: the fused pipeline behind a
+            // zero-dependency HTTP front-end with a sharded verdict cache.
+            // `--metrics` still works (the dump happens after shutdown);
+            // live counters are also queryable at /v1/metrics, so serving
+            // turns metrics on even without the flag.
+            obs::set_metrics(true);
+            let serve_cfg = serve::ServeConfig {
+                port: args.port,
+                workers: args.workers,
+                cache_entries: args.cache_entries,
+                queue_cap: args.queue_cap,
+                ..serve::ServeConfig::default()
+            };
+            serve::signal::install_handlers();
+            let backend = std::sync::Arc::new(report_gen::ReportBackend::new());
+            let handle = match serve::serve(serve_cfg, backend) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: cannot bind 127.0.0.1:{}: {e}", args.port);
+                    return 1;
+                }
+            };
+            // The CI smoke test and serve_bench.sh grep this exact line
+            // for the OS-assigned port.
+            println!("serve: listening on 127.0.0.1:{}", handle.port());
+            let _ = std::io::stdout().flush();
+            obs::info!(
+                "serve: {} workers, {}-entry cache, queue cap {} (SIGTERM/ctrl-c to drain)",
+                args.workers,
+                args.cache_entries,
+                args.queue_cap
+            );
+            while !serve::signal::shutdown_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            handle.shutdown();
+            println!("serve: shutdown complete");
         }
         other => {
             eprintln!("error: unknown command: {other}");

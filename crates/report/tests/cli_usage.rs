@@ -67,6 +67,31 @@ fn unknown_command_is_usage_error() {
 }
 
 #[test]
+fn malformed_serve_port_is_usage_error() {
+    assert_usage_error(&["serve", "--port", "notaport"], "--port");
+    assert_usage_error(&["serve", "--port", "99999"], "--port");
+}
+
+#[test]
+fn malformed_serve_workers_is_usage_error() {
+    assert_usage_error(&["serve", "--workers", "many"], "--workers");
+    assert_usage_error(&["serve", "--workers", "0"], "--workers");
+    assert_usage_error(&["serve", "--workers"], "--workers requires a value");
+}
+
+#[test]
+fn malformed_serve_cache_entries_is_usage_error() {
+    assert_usage_error(&["serve", "--cache-entries", "-5"], "--cache-entries");
+    assert_usage_error(&["serve", "--cache-entries", "0"], "--cache-entries");
+}
+
+#[test]
+fn malformed_serve_queue_cap_is_usage_error() {
+    assert_usage_error(&["serve", "--queue-cap", "1.5"], "--queue-cap");
+    assert_usage_error(&["serve", "--queue-cap", "0"], "--queue-cap");
+}
+
+#[test]
 fn valid_static_command_succeeds() {
     let dir = std::env::temp_dir().join("report_cli_usage_ok");
     let out = report(&["table5", "--out", dir.to_str().unwrap(), "--quiet"]);

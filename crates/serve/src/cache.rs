@@ -1,0 +1,171 @@
+//! Sharded LRU cache for derived-analysis results.
+//!
+//! Keys are [`semantics_core::CacheKey`]s — stable fingerprints over
+//! `(app, io-config, ranks, seed, semantics model, fault plan)` — and
+//! values are whatever the router wants to reuse (an `Arc` of the
+//! rendered response bodies). The map is sharded by the key fingerprint
+//! so concurrent workers rarely contend on one lock, mirroring the obs
+//! metrics registry's design; within a shard, entries carry a
+//! last-touched tick and eviction scans for the minimum. Shards are small
+//! (capacity / shard count), so the O(shard) eviction scan is cheaper
+//! than maintaining linked-list order under a lock.
+//!
+//! Lookups compare the full canonical key string, not just the
+//! fingerprint — a fingerprint collision can cost a false miss-and-evict,
+//! never a wrong answer.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use semantics_core::CacheKey;
+
+struct Entry<V> {
+    canonical: String,
+    value: V,
+    last_used: u64,
+}
+
+struct Shard<V> {
+    /// Keyed by fingerprint; canonical string verified on hit.
+    map: HashMap<(u64, u64), Entry<V>>,
+    tick: u64,
+}
+
+/// The cache. `V` is cloned out on hit — use an `Arc` for large values.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_cap: usize,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// A cache holding ~`capacity` entries across `shards` locks.
+    pub fn new(capacity: usize, shards: usize) -> ShardedLru<V> {
+        let shards = shards.clamp(1, capacity.max(1));
+        let per_shard_cap = capacity.max(1).div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_cap,
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard<V>> {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    /// Look `key` up, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        let mut shard = self.shard(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard.map.get_mut(&key.fingerprint())?;
+        if entry.canonical != key.canonical() {
+            // Fingerprint collision with a different key: treat as a miss.
+            return None;
+        }
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// of its shard when that shard is full.
+    pub fn insert(&self, key: &CacheKey, value: V) {
+        let mut shard = self.shard(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let fp = key.fingerprint();
+        if !shard.map.contains_key(&fp) && shard.map.len() >= self.per_shard_cap {
+            if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.last_used) {
+                shard.map.remove(&victim);
+            }
+        }
+        shard.map.insert(
+            fp,
+            Entry {
+                canonical: key.canonical().to_string(),
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Total entries across every shard.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semantics_core::CacheKeyBuilder;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKeyBuilder::new().push_u64("k", n).finish()
+    }
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let cache: ShardedLru<u64> = ShardedLru::new(8, 2);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(&key(1), 11);
+        assert_eq!(cache.get(&key(1)), Some(11));
+        cache.insert(&key(1), 12);
+        assert_eq!(cache.get(&key(1)), Some(12));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_shard() {
+        // One shard, capacity 2 ⇒ classic LRU behaviour.
+        let cache: ShardedLru<u64> = ShardedLru::new(2, 1);
+        cache.insert(&key(1), 1);
+        cache.insert(&key(2), 2);
+        assert_eq!(cache.get(&key(1)), Some(1)); // touch 1 ⇒ 2 becomes LRU
+        cache.insert(&key(3), 3);
+        assert_eq!(cache.get(&key(2)), None, "LRU entry evicted");
+        assert_eq!(cache.get(&key(1)), Some(1));
+        assert_eq!(cache.get(&key(3)), Some(3));
+    }
+
+    #[test]
+    fn capacity_is_bounded_under_churn() {
+        let cache: ShardedLru<u64> = ShardedLru::new(16, 4);
+        for n in 0..1000 {
+            cache.insert(&key(n), n);
+        }
+        assert!(cache.len() <= 16, "len {} exceeds capacity", cache.len());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache: std::sync::Arc<ShardedLru<u64>> = std::sync::Arc::new(ShardedLru::new(64, 8));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for n in 0..500u64 {
+                        let k = key(n % 97);
+                        cache.insert(&k, n + t);
+                        let _ = cache.get(&k);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64);
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal blocking HTTP/1.1 client — just enough for loadgen, the test
+//! suites, and the CI smoke check. Speaks keep-alive, reads
+//! `Content-Length`-framed bodies, and treats anything else as a close.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response as the client saw it.
+#[derive(Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Issue `GET path` and read the full response.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        let req = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+        self.stream.write_all(req.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Read bytes until the buffer holds at least `need`, or EOF.
+    fn fill_until(&mut self, need: usize) -> io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        while self.buf.len() < need {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        // Accumulate until the blank line ending the header block.
+        let head_end = loop {
+            if let Some(pos) = find_subslice(&self.buf, b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill_until(self.buf.len() + 1)?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+
+        let body_start = head_end + 4;
+        self.fill_until(body_start + content_length)?;
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        // Retain any pipelined surplus for the next response.
+        self.buf.drain(..body_start + content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot GET on a fresh connection.
+pub fn get_once(addr: SocketAddr, path: &str) -> io::Result<ClientResponse> {
+    HttpClient::connect(addr)?.get(path)
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_header_terminator() {
+        assert_eq!(find_subslice(b"ab\r\n\r\ncd", b"\r\n\r\n"), Some(2));
+        assert_eq!(find_subslice(b"abcd", b"\r\n\r\n"), None);
+    }
+}

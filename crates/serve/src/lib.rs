@@ -1,0 +1,47 @@
+//! # serve — the zero-dependency analysis service
+//!
+//! The paper's pipeline answers one question per invocation: *does this
+//! application, on this I/O configuration, need stronger-than-session
+//! file-system semantics?* The answer is a deterministic function of a
+//! small key — `(app, io-config, ranks, seed, semantics model, fault
+//! plan)` — which makes it cacheable, and cacheable makes it servable:
+//! this crate turns the fused `AnalysisContext` pipeline into a long-lived
+//! HTTP service so a verdict costs a simulation once and a memcpy
+//! thereafter.
+//!
+//! Like every other crate in the workspace, it is built from scratch on
+//! `std` alone (the build must succeed with no registry access):
+//!
+//! * [`http`] — hand-rolled, bounds-checked HTTP/1.1 parser and a
+//!   deterministic response writer (no `Date` header, no request ids —
+//!   the property behind the warm-equals-cold byte-identity guarantee).
+//! * [`pool`] — fixed worker pool over a bounded queue; a full queue is
+//!   answered 503 + `Retry-After` at the accept loop (explicit
+//!   backpressure), and shutdown drains in-flight work.
+//! * [`cache`] — sharded LRU keyed by [`semantics_core::CacheKey`]
+//!   fingerprints with full-key verification on hit.
+//! * [`router`] — URL space and error mapping over a pluggable
+//!   [`router::Backend`]; `report-gen` supplies the real backend so the
+//!   dependency arrow stays serve ← report, never circular.
+//! * [`server`] — accept loop, connection lifecycle, SIGTERM/ctrl-c
+//!   graceful drain (via [`signal`]).
+//! * [`client`] — the minimal blocking client loadgen and the tests use.
+//!
+//! Endpoints: `GET /healthz`, `/v1/apps`, `/v1/metrics`, and
+//! `/v1/{verdict|conflicts|patterns}/{app}/{config}` with `ranks`,
+//! `seed`, `model`, `faults` query parameters.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod pool;
+pub mod router;
+pub mod server;
+pub mod signal;
+
+pub use cache::ShardedLru;
+pub use client::{get_once, ClientResponse, HttpClient};
+pub use http::{parse_request, ConnReader, HttpLimits, ParseError, Request, Response};
+pub use pool::{QueueFull, WorkerPool};
+pub use router::{AnalysisQuery, AnalysisViews, ApiError, Backend, Router};
+pub use server::{serve, ServeConfig, ServerHandle};

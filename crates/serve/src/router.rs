@@ -1,0 +1,407 @@
+//! Endpoint routing over a pluggable analysis [`Backend`].
+//!
+//! The serve crate owns the protocol — URL shape, query defaults, cache
+//! policy, error mapping, metrics — while the backend owns the analysis:
+//! `report-gen` plugs its fused-pipeline runner in, and the adversarial
+//! tests plug in a stub so the HTTP surface can be hammered without
+//! simulating anything.
+//!
+//! ```text
+//! GET /healthz
+//! GET /v1/apps
+//! GET /v1/verdict/{app}/{config}?ranks=&seed=&model=&faults=
+//! GET /v1/conflicts/{app}/{config}?...
+//! GET /v1/patterns/{app}/{config}?...
+//! GET /v1/metrics
+//! ```
+//!
+//! The three analysis endpoints share one cache entry per canonical query
+//! — the backend computes all three views in a single cold run (they are
+//! one fused pipeline pass), so a verdict request warms the conflicts and
+//! patterns responses for free.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use semantics_core::json::Json;
+use semantics_core::{CacheKey, CacheKeyBuilder};
+
+use crate::cache::ShardedLru;
+use crate::http::{Request, Response};
+
+/// Defaults for the analysis query parameters. The service default world
+/// is deliberately smaller than the paper's 64 ranks: a verdict is
+/// scale-invariant (§6.1), and an interactive service should answer cold
+/// queries in hundreds of milliseconds, not tens of seconds.
+pub const DEFAULT_RANKS: u32 = 8;
+pub const DEFAULT_SEED: u64 = 2021;
+
+/// One canonicalized analysis query — the cache-key domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisQuery {
+    /// Application path segment, as matched by the backend registry.
+    pub app: String,
+    /// Configuration path segment.
+    pub config: String,
+    pub ranks: u32,
+    pub seed: u64,
+    /// Semantics model under inspection: `session`, `commit`, or `both`.
+    pub model: String,
+    /// Canonical fault-plan description (`"none"` for the happy path).
+    pub faults: String,
+}
+
+impl AnalysisQuery {
+    /// Derive the stable cache key for this query.
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKeyBuilder::new()
+            .push("app", &self.app)
+            .push("cfg", &self.config)
+            .push_u64("ranks", u64::from(self.ranks))
+            .push_u64("seed", self.seed)
+            .push("model", &self.model)
+            .push("faults", &self.faults)
+            .finish()
+    }
+}
+
+/// The response bodies one analysis run yields, all rendered eagerly so a
+/// cache hit is a pure byte copy.
+#[derive(Debug)]
+pub struct AnalysisViews {
+    pub verdict: String,
+    pub conflicts: String,
+    pub patterns: String,
+}
+
+/// Backend failure modes, mapped to HTTP statuses by the router.
+#[derive(Debug)]
+pub enum ApiError {
+    /// Unknown app/config pair → 404.
+    NotFound(String),
+    /// Invalid query parameter (bad model name, unparseable fault plan) →
+    /// 400.
+    BadRequest(String),
+    /// The isolated analysis degraded (simulation error or caught panic)
+    /// → 422: the request was well-formed, the run itself failed. The
+    /// outcome is deterministic, so it is cached like any other result.
+    Degraded { config: String, error: String },
+}
+
+/// What the router needs from an analysis provider.
+pub trait Backend: Send + Sync + 'static {
+    /// The `/v1/apps` body (rendered once; must be deterministic).
+    fn apps_json(&self) -> String;
+
+    /// Validate and canonicalize a raw query (resolve the config, parse
+    /// and re-render the fault plan, check the model name).
+    fn canonicalize(&self, query: AnalysisQuery) -> Result<AnalysisQuery, ApiError>;
+
+    /// Run the analysis for a canonical query — the cold path.
+    fn analyze(&self, query: &AnalysisQuery) -> Result<AnalysisViews, ApiError>;
+}
+
+/// Cached outcome: success and degraded runs are both deterministic
+/// functions of the query, so both are cacheable.
+type CachedResult = Arc<Result<AnalysisViews, ApiError>>;
+
+/// Routes requests, consulting the verdict cache before the backend.
+pub struct Router {
+    backend: Arc<dyn Backend>,
+    cache: ShardedLru<CachedResult>,
+    apps_body: String,
+}
+
+impl Router {
+    pub fn new(backend: Arc<dyn Backend>, cache_entries: usize) -> Router {
+        let apps_body = backend.apps_json();
+        Router {
+            backend,
+            cache: ShardedLru::new(cache_entries, 8),
+            apps_body,
+        }
+    }
+
+    /// Entries currently cached (for /healthz and tests).
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Handle one parsed request, recording latency and outcome metrics.
+    pub fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let mut span = obs::span("serve", "request").with_arg("path", req.path.clone());
+        let resp = self.dispatch(req);
+        span.set_arg("status", u64::from(resp.status));
+        if obs::metrics_enabled() {
+            let m = obs::metrics();
+            m.add("serve.requests", 1);
+            m.add(
+                match resp.class() {
+                    2 => "serve.responses_2xx",
+                    4 => "serve.responses_4xx",
+                    _ => "serve.responses_5xx",
+                },
+                1,
+            );
+            m.observe("serve.request_ns", t0.elapsed().as_nanos() as u64);
+        }
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return Response::error(405, "only GET is supported");
+        }
+        let segments = req.segments();
+        match segments.as_slice() {
+            ["healthz"] => self.healthz(),
+            ["v1", "apps"] => Response::json(200, self.apps_body.clone()),
+            ["v1", "metrics"] => self.metrics(),
+            ["v1", endpoint @ ("verdict" | "conflicts" | "patterns"), app, config] => {
+                self.analysis(endpoint, app, config, req)
+            }
+            ["v1", "verdict" | "conflicts" | "patterns"]
+            | ["v1", "verdict" | "conflicts" | "patterns", _] => {
+                Response::error(404, "expected /v1/{endpoint}/{app}/{config}")
+            }
+            _ => Response::error(404, "no such endpoint"),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let doc = Json::obj()
+            .field("status", "ok")
+            .field("cache_entries", self.cache.len());
+        Response::json(200, doc.pretty() + "\n")
+    }
+
+    /// The obs registry dump plus service-level latency quantiles derived
+    /// from the request histogram. Wall-clock data — explicitly outside
+    /// the byte-identity contract of the analysis endpoints.
+    fn metrics(&self) -> Response {
+        let registry = obs::metrics();
+        let lat = registry.histogram("serve.request_ns");
+        let latency = Json::obj()
+            .field("count", lat.count())
+            .field("p50_ns_le", lat.quantile(0.50))
+            .field("p99_ns_le", lat.quantile(0.99));
+        let queue = registry.histogram("serve.queue_depth");
+        let queue_doc = Json::obj()
+            .field("samples", queue.count())
+            .field("p50_depth_le", queue.quantile(0.50))
+            .field("p99_depth_le", queue.quantile(0.99));
+        let summary = Json::obj()
+            .field("cache_hits", registry.counter("serve.cache_hits").get())
+            .field("cache_misses", registry.counter("serve.cache_misses").get())
+            .field("latency", latency)
+            .field("queue", queue_doc)
+            .pretty();
+        // Splice the already-rendered registry dump in as the final field;
+        // both fragments are complete JSON objects.
+        let registry_dump = registry.dump_json();
+        let body = format!(
+            "{{\n\"serve\": {summary},\n\"registry\": {}}}\n",
+            registry_dump.trim_end()
+        );
+        Response::json(200, body)
+    }
+
+    fn analysis(&self, endpoint: &str, app: &str, config: &str, req: &Request) -> Response {
+        // Parse query parameters; malformed values are client errors.
+        let ranks = match parse_param(req, "ranks", DEFAULT_RANKS) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let seed = match parse_param(req, "seed", DEFAULT_SEED) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        if ranks == 0 || ranks > 1024 {
+            return Response::error(400, "ranks must be in [1, 1024]");
+        }
+        let raw = AnalysisQuery {
+            app: app.to_string(),
+            config: config.to_string(),
+            ranks,
+            seed,
+            model: req.query_param("model").unwrap_or("both").to_string(),
+            faults: req.query_param("faults").unwrap_or("none").to_string(),
+        };
+        let query = match self.backend.canonicalize(raw) {
+            Ok(q) => q,
+            Err(e) => return error_response(&e),
+        };
+        let key = query.cache_key();
+        let cached = self.cache.get(&key);
+        let hit = cached.is_some();
+        if obs::metrics_enabled() {
+            obs::metrics().add(
+                if hit {
+                    "serve.cache_hits"
+                } else {
+                    "serve.cache_misses"
+                },
+                1,
+            );
+        }
+        let result = match cached {
+            Some(r) => r,
+            None => {
+                let mut span = obs::span("serve", "analyze-cold")
+                    .with_arg("app", query.app.clone())
+                    .with_arg("cfg", query.config.clone());
+                let computed: CachedResult = Arc::new(self.backend.analyze(&query));
+                span.set_arg("ok", u64::from(computed.is_ok()));
+                self.cache.insert(&key, Arc::clone(&computed));
+                computed
+            }
+        };
+        match result.as_ref() {
+            Ok(views) => {
+                let body = match endpoint {
+                    "verdict" => &views.verdict,
+                    "conflicts" => &views.conflicts,
+                    _ => &views.patterns,
+                };
+                Response::json(200, body.clone())
+            }
+            Err(e) => error_response(e),
+        }
+    }
+}
+
+fn error_response(e: &ApiError) -> Response {
+    match e {
+        ApiError::NotFound(msg) => Response::error(404, msg),
+        ApiError::BadRequest(msg) => Response::error(400, msg),
+        ApiError::Degraded { config, error } => {
+            let doc = Json::obj()
+                .field("error", "analysis degraded")
+                .field("config", config.as_str())
+                .field("detail", error.as_str())
+                .field("status", 422u64);
+            let mut r = Response::json(422, doc.pretty() + "\n");
+            r.close = true;
+            r
+        }
+    }
+}
+
+fn parse_param<T: std::str::FromStr>(req: &Request, name: &str, default: T) -> Result<T, Response> {
+    match req.query_param(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| Response::error(400, &format!("invalid value for {name}: {raw:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{parse_request, ConnReader, HttpLimits};
+
+    /// A backend that echoes its query — no simulation, used to test
+    /// routing, caching, and error mapping in isolation.
+    struct EchoBackend;
+
+    impl Backend for EchoBackend {
+        fn apps_json(&self) -> String {
+            "{\"apps\": []}\n".to_string()
+        }
+
+        fn canonicalize(&self, q: AnalysisQuery) -> Result<AnalysisQuery, ApiError> {
+            if q.app == "nope" {
+                return Err(ApiError::NotFound("no such app".into()));
+            }
+            if q.model != "both" && q.model != "session" && q.model != "commit" {
+                return Err(ApiError::BadRequest("bad model".into()));
+            }
+            Ok(q)
+        }
+
+        fn analyze(&self, q: &AnalysisQuery) -> Result<AnalysisViews, ApiError> {
+            if q.app == "sick" {
+                return Err(ApiError::Degraded {
+                    config: q.config.clone(),
+                    error: "simulated deadlock".into(),
+                });
+            }
+            Ok(AnalysisViews {
+                verdict: format!("verdict:{}:{}:{}\n", q.app, q.config, q.ranks),
+                conflicts: format!("conflicts:{}\n", q.app),
+                patterns: format!("patterns:{}\n", q.app),
+            })
+        }
+    }
+
+    fn request(line: &str) -> Request {
+        let raw = format!("GET {line} HTTP/1.1\r\n\r\n");
+        let mut reader = ConnReader::new(raw.as_bytes());
+        parse_request(&mut reader, &HttpLimits::default()).unwrap()
+    }
+
+    fn router() -> Router {
+        Router::new(Arc::new(EchoBackend), 16)
+    }
+
+    #[test]
+    fn routes_core_endpoints() {
+        let r = router();
+        assert_eq!(r.handle(&request("/healthz")).status, 200);
+        assert_eq!(r.handle(&request("/v1/apps")).status, 200);
+        assert_eq!(r.handle(&request("/v1/metrics")).status, 200);
+        assert_eq!(r.handle(&request("/v1/verdict/a/b")).status, 200);
+        assert_eq!(r.handle(&request("/v1/conflicts/a/b")).status, 200);
+        assert_eq!(r.handle(&request("/v1/patterns/a/b")).status, 200);
+        assert_eq!(r.handle(&request("/nope")).status, 404);
+        assert_eq!(r.handle(&request("/v1/verdict/only-app")).status, 404);
+    }
+
+    #[test]
+    fn warm_bytes_equal_cold_bytes() {
+        let r = router();
+        let cold = r.handle(&request("/v1/verdict/a/b?ranks=4"));
+        let warm = r.handle(&request("/v1/verdict/a/b?ranks=4"));
+        assert_eq!(cold.body, warm.body);
+        assert_eq!(r.cached_entries(), 1);
+        // A different parameter is a different cache entry.
+        r.handle(&request("/v1/verdict/a/b?ranks=2"));
+        assert_eq!(r.cached_entries(), 2);
+    }
+
+    #[test]
+    fn one_cold_run_warms_all_three_views() {
+        let r = router();
+        r.handle(&request("/v1/verdict/a/b"));
+        assert_eq!(r.cached_entries(), 1);
+        assert_eq!(r.handle(&request("/v1/conflicts/a/b")).status, 200);
+        assert_eq!(r.handle(&request("/v1/patterns/a/b")).status, 200);
+        assert_eq!(r.cached_entries(), 1, "same entry served all views");
+    }
+
+    #[test]
+    fn error_mapping() {
+        let r = router();
+        assert_eq!(r.handle(&request("/v1/verdict/nope/x")).status, 404);
+        assert_eq!(
+            r.handle(&request("/v1/verdict/a/b?model=weird")).status,
+            400
+        );
+        assert_eq!(r.handle(&request("/v1/verdict/a/b?ranks=zero")).status, 400);
+        assert_eq!(r.handle(&request("/v1/verdict/a/b?ranks=0")).status, 400);
+        assert_eq!(r.handle(&request("/v1/verdict/sick/x")).status, 422);
+        // Degraded results are cached too.
+        assert_eq!(r.cached_entries(), 1);
+        assert_eq!(r.handle(&request("/v1/verdict/sick/x")).status, 422);
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let raw = "POST /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = ConnReader::new(raw.as_bytes());
+        let req = parse_request(&mut reader, &HttpLimits::default()).unwrap();
+        assert_eq!(router().handle(&req).status, 405);
+    }
+}

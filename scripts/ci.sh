@@ -32,6 +32,27 @@ echo "ci: profiled smoke"
     --metrics target/ci_metrics.json > /dev/null
 ./target/release/tracetool validate-trace target/ci_trace.json
 
+echo "ci: serve smoke"
+# Start the analysis service on an OS-assigned port, drive it with the
+# load generator (cold + warm phases, byte-identity asserted inside
+# loadgen), then check SIGTERM drains to a clean exit 0.
+./target/release/report serve --port 0 --workers 2 --cache-entries 32 \
+    > target/serve_smoke.log 2>&1 &
+SERVE_PID=$!
+i=0
+until grep -q "listening on" target/serve_smoke.log 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "serve never came up"; cat target/serve_smoke.log; exit 1; }
+    sleep 0.1
+done
+SERVE_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' target/serve_smoke.log)
+./target/release/loadgen --smoke --addr "127.0.0.1:${SERVE_PORT}"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "shutdown complete" target/serve_smoke.log || {
+    echo "serve did not drain cleanly"; cat target/serve_smoke.log; exit 1;
+}
+
 echo "ci: observability overhead smoke"
 # One interleaved off/on rep at small size — checks the harness and a
 # loose budget, not the headline number (CI boxes are noisy and often

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Rebuild and run the serving benchmark, refreshing BENCH_PR5.json at the
+# repo root. Extra arguments are passed through to `loadgen`, e.g.:
+#
+#   scripts/serve_bench.sh                    # default shape
+#   scripts/serve_bench.sh --clients 8        # more closed-loop clients
+#   scripts/serve_bench.sh --configs 12       # wider cold phase
+#   scripts/serve_bench.sh --smoke            # tiny sizes, CI sanity check
+#
+# loadgen self-hosts an in-process server (the same ReportBackend that
+# `report serve` runs), measures a serial cold phase (every request a
+# cache miss running the fused analysis) and a concurrent warm phase
+# (every request a cache hit), asserts warm responses are byte-identical
+# to cold, and records both throughputs plus the warm/cold ratio. The
+# acceptance floor for the artifact is a >= 10x warm speedup.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -p report-gen
+exec ./target/release/loadgen --out BENCH_PR5.json "$@"
