@@ -95,7 +95,7 @@ impl ConflictReport {
         )
     }
 
-    fn add(&mut self, pair: ConflictPair) {
+    pub(crate) fn add(&mut self, pair: ConflictPair) {
         match (pair.kind, pair.scope) {
             (ConflictKind::Waw, ConflictScope::Same) => self.waw_same += 1,
             (ConflictKind::Waw, ConflictScope::Distinct) => self.waw_distinct += 1,
@@ -107,7 +107,7 @@ impl ConflictReport {
 
     /// Append another (per-file partial) report; partials arrive sorted by
     /// file, so appending keeps the pair order of the serial detector.
-    fn merge(&mut self, other: ConflictReport) {
+    pub(crate) fn merge(&mut self, other: ConflictReport) {
         self.pairs.extend(other.pairs);
         self.waw_same += other.waw_same;
         self.waw_distinct += other.waw_distinct;
@@ -561,7 +561,7 @@ fn sweep_pairs(
 
 /// Conditions 3/4 of §5.2 for an ordered candidate pair.
 #[inline]
-fn conflicting(
+pub(crate) fn conflicting(
     first: &ExtendedAccess,
     second: &ExtendedAccess,
     model: AnalysisModel,
@@ -594,7 +594,11 @@ fn conflicting(
 }
 
 #[inline]
-fn classify_pair(file: PathId, first: &ExtendedAccess, second: &ExtendedAccess) -> ConflictPair {
+pub(crate) fn classify_pair(
+    file: PathId,
+    first: &ExtendedAccess,
+    second: &ExtendedAccess,
+) -> ConflictPair {
     let kind = match second.access.kind {
         AccessKind::Read => ConflictKind::Raw,
         AccessKind::Write => ConflictKind::Waw,

@@ -29,6 +29,13 @@ pub struct HbIndex {
     /// Barrier participations: per epoch, per-rank enter times and the
     /// common exit time.
     barriers: Vec<BarrierEpoch>,
+    /// Barrier fast path: per rank, `(enter, exit)` of every epoch the
+    /// rank participated in, ascending in both components (a rank enters
+    /// epochs in program order and epochs retire in order). If some epoch
+    /// has `enter[r1] >= t1` and `exit <= t2` then a full barrier
+    /// separates the two events and `(r1,t1)` happens-before `(r2,t2)`
+    /// for *any* `r2` — no fixpoint needed.
+    rank_epochs: Vec<Vec<(u64, u64)>>,
 }
 
 #[derive(Debug, Clone)]
@@ -79,15 +86,39 @@ impl HbIndex {
         messages.sort_unstable();
         let mut epochs: Vec<u64> = barrier_events.keys().copied().collect();
         epochs.sort_unstable();
-        let barriers = epochs
+        let barriers: Vec<BarrierEpoch> = epochs
             .into_iter()
             .map(|e| barrier_events.remove(&e).expect("epoch"))
             .collect();
+        let mut rank_epochs = vec![Vec::new(); nranks];
+        for b in &barriers {
+            for (r, &e) in b.enter.iter().enumerate() {
+                if let Some(enter) = e {
+                    rank_epochs[r].push((enter, b.exit));
+                }
+            }
+        }
+        // Epoch numbering follows program order, but sort defensively so
+        // the binary search below never relies on an unproven invariant.
+        for v in &mut rank_epochs {
+            v.sort_unstable();
+        }
         HbIndex {
             nranks,
             messages,
             barriers,
+            rank_epochs,
         }
+    }
+
+    /// Does a full barrier separate `(r1, t1)` from every event at or
+    /// after `t2`? Sound shortcut for [`HbIndex::happens_before`]: the
+    /// smallest-exit epoch entered by `r1` at or after `t1` is the first
+    /// one with `enter >= t1` (exits are nondecreasing across epochs).
+    fn barrier_separates(&self, r1: u32, t1: u64, t2: u64) -> bool {
+        let v = &self.rank_epochs[r1 as usize];
+        let i = v.partition_point(|&(enter, _)| enter < t1);
+        i < v.len() && v[i].1 <= t2
     }
 
     /// Number of matched message edges (diagnostics).
@@ -124,6 +155,35 @@ impl HbIndex {
         if r1 == r2 {
             return t1 <= t2;
         }
+        if self.barrier_separates(r1, t1, t2) {
+            return true;
+        }
+        self.fixpoint_reach(reach, r1, t1);
+        matches!(reach[r2 as usize], Some(rt) if rt <= t2)
+    }
+
+    /// [`HbIndex::happens_before`] by the exact fixpoint alone — no barrier
+    /// shortcut, no memoization. This is the pre-optimization query path,
+    /// kept so benchmarks can reconstruct the unoptimized cost honestly.
+    pub fn happens_before_exact(
+        &self,
+        reach: &mut Vec<Option<u64>>,
+        r1: u32,
+        t1: u64,
+        r2: u32,
+        t2: u64,
+    ) -> bool {
+        if r1 == r2 {
+            return t1 <= t2;
+        }
+        self.fixpoint_reach(reach, r1, t1);
+        matches!(reach[r2 as usize], Some(rt) if rt <= t2)
+    }
+
+    /// Compute, per rank, the earliest local time reachable from
+    /// `(r1, t1)`. The result depends only on `(r1, t1)` — callers that
+    /// query many targets from one source can reuse it.
+    fn fixpoint_reach(&self, reach: &mut Vec<Option<u64>>, r1: u32, t1: u64) {
         reach.clear();
         reach.resize(self.nranks, None);
         reach[r1 as usize] = Some(t1);
@@ -161,7 +221,6 @@ impl HbIndex {
                 break;
             }
         }
-        matches!(reach[r2 as usize], Some(rt) if rt <= t2)
     }
 }
 
@@ -189,9 +248,48 @@ pub fn validate_conflicts(
 }
 
 /// [`validate_conflicts`] against an already-built index (e.g. the one a
-/// [`crate::context::AnalysisContext`] holds). One scratch reach buffer
-/// is reused across all queried pairs.
+/// [`crate::context::AnalysisContext`] holds).
+///
+/// The fixpoint reach vector depends only on the *source* event
+/// `(rank, t_end)`, and conflict pairs share sources heavily (one write is
+/// `first` of many pairs), so reach vectors are memoized per source: each
+/// distinct source pays for one fixpoint, every further pair against it is
+/// a lookup.
 pub fn validate_conflicts_with(
+    index: &HbIndex,
+    report: &crate::conflict::ConflictReport,
+) -> HbValidation {
+    let mut v = HbValidation::default();
+    let mut memo: HashMap<(u32, u64), Vec<Option<u64>>> = HashMap::new();
+    for p in &report.pairs {
+        if p.first.rank == p.second.rank {
+            v.same_process += 1;
+        } else {
+            let hb = index.barrier_separates(p.first.rank, p.first.t_end, p.second.t_start) || {
+                let reach = memo
+                    .entry((p.first.rank, p.first.t_end))
+                    .or_insert_with(|| {
+                        let mut r = Vec::new();
+                        index.fixpoint_reach(&mut r, p.first.rank, p.first.t_end);
+                        r
+                    });
+                matches!(reach[p.second.rank as usize], Some(rt) if rt <= p.second.t_start)
+            };
+            if hb {
+                v.synchronized += 1;
+            } else {
+                v.racy += 1;
+            }
+        }
+    }
+    v
+}
+
+/// [`validate_conflicts_with`] with every optimization disabled: exact
+/// fixpoint per pair, no barrier shortcut, no memo. Semantically identical
+/// to [`validate_conflicts_with`]; exists so the benchmark harness can
+/// measure the unoptimized validation cost on the same box.
+pub fn validate_conflicts_with_baseline(
     index: &HbIndex,
     report: &crate::conflict::ConflictReport,
 ) -> HbValidation {
@@ -200,7 +298,7 @@ pub fn validate_conflicts_with(
     for p in &report.pairs {
         if p.first.rank == p.second.rank {
             v.same_process += 1;
-        } else if index.happens_before_scratch(
+        } else if index.happens_before_exact(
             &mut reach,
             p.first.rank,
             p.first.t_end,

@@ -1,0 +1,913 @@
+//! Streaming incremental analysis: online conflict/overlap detection.
+//!
+//! The batch pipeline re-derives everything from the complete trace:
+//! resolve offsets, group by file, sort, sweep. This module consumes the
+//! run's POSIX records *as the simulation emits them* and maintains the
+//! analyses online, so that when the run finishes, the expensive
+//! per-trace passes (offset resolution, context build, the fused conflict
+//! sweep, both Figure 1 pattern folds, the Table 3 bucketing) are already
+//! done — the cold path pays only the finalize step.
+//!
+//! ## Equivalence with the batch pipeline
+//!
+//! Everything here is engineered to be **byte-identical** to the batch
+//! results, not merely equivalent:
+//!
+//! * **Drain order.** The batch pipeline's global order is
+//!   [`recorder::TraceSet::merged_by_time`]: a stable sort by
+//!   `(t_start, rank)` over per-rank program-order streams. A rank's POSIX
+//!   records have nondecreasing `t_start`, so a watermark merge of
+//!   per-rank FIFO queues — always draining the smallest `(t_start, rank)`
+//!   head — reproduces exactly the POSIX subsequence of the batch order,
+//!   and the offset resolver only consumes POSIX records. Feeding the
+//!   shared [`recorder::offset::StreamResolver`] step in that order makes
+//!   the streamed [`ResolvedTrace`] identical to the batch one by
+//!   construction.
+//! * **Conflict pairs.** An arriving access can only be the *later*
+//!   element of a candidate pair (drain order is time order), and the
+//!   earlier element must be a write (write-after-read never conflicts) —
+//!   so only writes are stored, and each arriving access is checked
+//!   against the file's live writes. A pair's §5.2 conditions are
+//!   evaluated only once the drain has passed its `t₂` strictly; at that
+//!   point an unfilled `tc` means the write's first close/commit (if any)
+//!   is later than `t₂`, which the conditions treat exactly as the batch
+//!   `None`/`Some(tc > t₂)` cases — the verdicts coincide. At finalize the
+//!   surviving pairs are sorted by `(file, k_min, k_max)` where `k` is the
+//!   per-file `(offset, end, arrival)` key — precisely the batch sweep's
+//!   emission order — and replayed through [`ConflictReport::add`].
+//! * **Patterns.** The local fold keys on `(rank, file)` and the global
+//!   fold on `file`; restricted to one key, the drain order equals the
+//!   batch's stable sort order, and [`PatternStats`] summation over
+//!   streams is order-independent. Table 3 buckets accumulate per file in
+//!   time order and finish through the same
+//!   [`crate::patterns::highlevel::classify_from_buckets`].
+//!
+//! ## Memory bound
+//!
+//! The conflict working set holds only *live* write intervals. A write
+//! retires once it can never appear in a future pair under **either**
+//! model: its `tc_commit` is filled (any future access has
+//! `t₂ > tc_commit`, clearing condition 3) *and* its `tc_close` is filled
+//! with `t₁ < tc` and every rank holding the file open has re-opened
+//! after that close (ranks without an open descriptor must re-open at a
+//! time past the watermark, which orders them after the close). Retired
+//! intervals are pruned at sync-epoch boundaries
+//! ([`StreamingAnalyzer::epoch_released`], driven by the simulator's
+//! barrier commits), so the store is bounded by the intervals live in the
+//! current epoch(s), not by trace length. `peak_live_intervals` reports
+//! the high-water mark.
+//!
+//! ## Assumptions
+//!
+//! The ε-cases where streaming could diverge from batch all require a
+//! zero-duration operation: an access at the exact instant of its own
+//! session `open`, a close at the exact instant of the write it commits,
+//! or two same-rank accesses at one timestamp. Every in-repo cost model
+//! charges nonzero latency for opens and data ops, so these cannot occur;
+//! the regression tests assert byte-identity across all application
+//! configurations, semantics models, and fault campaigns, which would
+//! surface any violation.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Mutex;
+
+use recorder::offset::StreamResolver;
+use recorder::{AccessKind, DataAccess, PathId, Record, ResolvedTrace, SyncEvent, SyncKind};
+
+use crate::conflict::{classify_pair, AnalysisModel, ConflictReport, ExtendedAccess};
+use crate::patterns::highlevel::{
+    classify_from_buckets, ClassifyOptions, FileBuckets, HighLevelReport,
+};
+use crate::patterns::lowlevel::{classify_step, PatternStats};
+
+/// Per-file sweep key: batch sorts each file's accesses stably by
+/// `(offset, end)` over arrival order, so lexicographic
+/// `(offset, end, arrival)` reproduces the exact sweep position.
+type SweepKey = (u64, u64, u32);
+
+/// One live (not yet retired) write interval.
+#[derive(Debug, Clone, Copy)]
+struct WriteInfo {
+    access: DataAccess,
+    k: SweepKey,
+    /// Last preceding open by this rank on this file (exact at creation).
+    to: Option<u64>,
+    /// First succeeding close / commit, filled when it drains (set-once,
+    /// so the fill is the *first* such event — matching `first_after`).
+    tc_close: Option<u64>,
+    tc_commit: Option<u64>,
+    /// Pending pairs referencing this write.
+    refs: u32,
+    /// Retired from the matchable set; freed once `refs` drains to zero.
+    pruned: bool,
+}
+
+/// A candidate pair awaiting its evaluation point (`drain > t₂`).
+#[derive(Debug, Clone, Copy)]
+struct PendingPair {
+    write_id: u64,
+    second: DataAccess,
+    second_k: SweepKey,
+    /// Last open ≤ t₂ by the second access's rank (fixed up if an open at
+    /// exactly t₂ drains after the access).
+    to2: Option<u64>,
+}
+
+/// A pair that conflicted under at least one model.
+#[derive(Debug, Clone, Copy)]
+struct Survivor {
+    file: PathId,
+    k_min: SweepKey,
+    k_max: SweepKey,
+    first: DataAccess,
+    second: DataAccess,
+    on_session: bool,
+    on_commit: bool,
+}
+
+#[derive(Debug, Default)]
+struct FileState {
+    /// Live write ids, in arrival order.
+    matchable: Vec<u64>,
+    /// Per-file arrival counter (the third component of [`SweepKey`]).
+    next_seq: u32,
+}
+
+/// Streaming sync state per `(rank, file)`.
+#[derive(Debug, Default)]
+struct RankFileState {
+    last_open: Option<u64>,
+    last_close: Option<u64>,
+    last_commit: Option<u64>,
+    /// Currently-open descriptors this rank holds on the file.
+    open_fds: u32,
+    /// Writes whose `tc_close` / `tc_commit` await the next such event.
+    waiting_close: Vec<u64>,
+    waiting_commit: Vec<u64>,
+}
+
+/// Everything the incremental engine has produced by finalize time.
+#[derive(Debug)]
+pub struct IncrementalOutput {
+    /// Byte-identical to `offset::resolve(adjusted_trace)`.
+    pub resolved: ResolvedTrace,
+    /// Byte-identical to the fused batch detector's session report.
+    pub session: ConflictReport,
+    /// … and its commit report.
+    pub commit: ConflictReport,
+    pub local: PatternStats,
+    pub global: PatternStats,
+    pub highlevel: HighLevelReport,
+    /// High-water mark of the live-interval store — the streaming memory
+    /// bound (batch holds every access of the trace instead).
+    pub peak_live_intervals: u64,
+    /// Candidate (overlapping) pairs enumerated online.
+    pub pairs_checked: u64,
+    /// Distinct `(rank, rank)` pairs (normalized, distinct ranks only)
+    /// with write-involved overlapping accesses — the online overlap
+    /// summary.
+    pub overlap_rank_pairs: Vec<(u32, u32)>,
+    /// Writes retired by epoch pruning before finalize.
+    pub pruned_intervals: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nranks: usize,
+    queues: Vec<VecDeque<Record>>,
+    /// Promise: every future record of rank `r` has
+    /// `t_start >= frontiers[r]`.
+    frontiers: Vec<u64>,
+    done: Vec<bool>,
+    resolver: StreamResolver,
+    hl_opts: ClassifyOptions,
+
+    writes: HashMap<u64, WriteInfo>,
+    next_write_id: u64,
+    files: HashMap<PathId, FileState>,
+    rf: HashMap<(u32, PathId), RankFileState>,
+    pending: VecDeque<PendingPair>,
+    survivors: Vec<Survivor>,
+
+    local_prev: HashMap<(u32, PathId), u64>,
+    global_prev: HashMap<PathId, u64>,
+    local_stats: PatternStats,
+    global_stats: PatternStats,
+    buckets: HashMap<PathId, FileBuckets>,
+
+    /// `remap[pre_canonical_id] = canonical id`, set after trace assembly.
+    remap: Vec<u32>,
+
+    live_intervals: u64,
+    peak_live_intervals: u64,
+    pairs_checked: u64,
+    pruned_intervals: u64,
+    overlap_rank_pairs: BTreeSet<(u32, u32)>,
+}
+
+/// The online analyzer. Thread-safe: simulated ranks push record chunks
+/// concurrently, the simulator signals epoch commits, and the analysis
+/// host finalizes once the run completes.
+#[derive(Debug)]
+pub struct StreamingAnalyzer {
+    inner: Mutex<Inner>,
+}
+
+impl StreamingAnalyzer {
+    pub fn new(nranks: u32) -> Self {
+        let n = nranks as usize;
+        StreamingAnalyzer {
+            inner: Mutex::new(Inner {
+                nranks: n,
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                frontiers: vec![0; n],
+                done: vec![false; n],
+                resolver: StreamResolver::new(),
+                hl_opts: ClassifyOptions::default(),
+                writes: HashMap::new(),
+                next_write_id: 0,
+                files: HashMap::new(),
+                rf: HashMap::new(),
+                pending: VecDeque::new(),
+                survivors: Vec::new(),
+                local_prev: HashMap::new(),
+                global_prev: HashMap::new(),
+                local_stats: PatternStats::default(),
+                global_stats: PatternStats::default(),
+                buckets: HashMap::new(),
+                remap: Vec::new(),
+                live_intervals: 0,
+                peak_live_intervals: 0,
+                pairs_checked: 0,
+                pruned_intervals: 0,
+                overlap_rank_pairs: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// Feed a chunk of `rank`'s records (adjusted timestamps, program
+    /// order). `frontier` promises that every future record of this rank
+    /// has `t_start >= frontier`; larger frontiers let the watermark merge
+    /// drain further.
+    pub fn push(&self, rank: u32, records: &[Record], frontier: u64) {
+        let mut g = self.lock();
+        let r = rank as usize;
+        let mut f = g.frontiers[r].max(frontier);
+        for rec in records {
+            debug_assert!(
+                g.queues[r]
+                    .back()
+                    .map_or(true, |p| p.t_start <= rec.t_start),
+                "per-rank records must arrive in nondecreasing t_start"
+            );
+            f = f.max(rec.t_start);
+            g.queues[r].push_back(*rec);
+        }
+        g.frontiers[r] = f;
+        g.drain();
+    }
+
+    /// `rank` will produce no further records.
+    pub fn rank_done(&self, rank: u32) {
+        let mut g = self.lock();
+        g.done[rank as usize] = true;
+        g.frontiers[rank as usize] = u64::MAX;
+        g.drain();
+    }
+
+    /// A synchronization epoch committed (all live ranks passed a
+    /// barrier): prune retired write intervals. Purely a memory-bound
+    /// trigger — calling it more or less often never changes results.
+    pub fn epoch_released(&self, _epoch: u64) {
+        self.lock().prune();
+    }
+
+    /// Install the PathId canonicalization the trace assembly applied
+    /// (`remap[old] = canonical`); streamed records carry pre-assembly
+    /// interner ids and are translated at finalize.
+    pub fn set_remap(&self, remap: &[u32]) {
+        self.lock().remap = remap.to_vec();
+    }
+
+    /// Drain everything, evaluate all pending pairs, and reconstruct the
+    /// batch-identical analysis outputs.
+    pub fn finalize(&self) -> IncrementalOutput {
+        let _span = obs::span("core", "incremental:finalize");
+        let mut g = self.lock();
+        g.finalize()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("streaming analyzer poisoned")
+    }
+}
+
+impl Inner {
+    /// Watermark merge: repeatedly drain the smallest `(t_start, rank)`
+    /// queue head, as long as it is strictly below every empty rank's
+    /// frontier (an empty rank could still produce a record at its
+    /// frontier with a smaller rank number).
+    fn drain(&mut self) {
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            let mut bound = u64::MAX;
+            for r in 0..self.nranks {
+                match self.queues[r].front() {
+                    Some(rec) => {
+                        let key = (rec.t_start, r);
+                        if best.is_none_or(|b| key < b) {
+                            best = Some(key);
+                        }
+                    }
+                    None => {
+                        if !self.done[r] {
+                            bound = bound.min(self.frontiers[r]);
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((t, r)) if t < bound => {
+                    let rec = self.queues[r].pop_front().expect("nonempty");
+                    self.process(rec);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn process(&mut self, rec: Record) {
+        // A pair's conditions are exact once the drain strictly passes its
+        // t₂: every sync that could fill a tc ≤ t₂ has drained.
+        self.flush_pending(rec.t_start);
+        let s0 = self.resolver.resolved().syncs.len();
+        let a0 = self.resolver.resolved().accesses.len();
+        self.resolver.push(&rec);
+        // One record yields at most one access or one sync.
+        if self.resolver.resolved().syncs.len() > s0 {
+            let s = self.resolver.resolved().syncs[s0];
+            self.on_sync(s);
+        }
+        if self.resolver.resolved().accesses.len() > a0 {
+            let a = self.resolver.resolved().accesses[a0];
+            self.on_access(a);
+        }
+    }
+
+    fn flush_pending(&mut self, before_t: u64) {
+        while let Some(p) = self.pending.front() {
+            if p.second.t_start >= before_t {
+                break;
+            }
+            let p = self.pending.pop_front().expect("nonempty");
+            self.eval_pair(p);
+        }
+    }
+
+    /// Evaluate one candidate pair with the batch conditions. `first`'s
+    /// unfilled `tc` options mean "first such event is past t₂", which
+    /// evaluates identically to the batch values (see module docs).
+    fn eval_pair(&mut self, p: PendingPair) {
+        let w = self
+            .writes
+            .get_mut(&p.write_id)
+            .expect("pending ref keeps the write alive");
+        w.refs -= 1;
+        let freed = w.pruned && w.refs == 0;
+        let wa = w.access;
+        // Drain order makes the stored write the earlier element; on an
+        // exact (t, rank) tie the sweep position (k) decides.
+        let tie = (wa.t_start, wa.rank) == (p.second.t_start, p.second.rank);
+        let w_first = !tie || w.k <= p.second_k;
+        let (fa, fk, f_tc_close, f_tc_commit, sa, sk, s_to) = if w_first {
+            (
+                wa,
+                w.k,
+                w.tc_close,
+                w.tc_commit,
+                p.second,
+                p.second_k,
+                p.to2,
+            )
+        } else {
+            (p.second, p.second_k, None, None, wa, w.k, w.to)
+        };
+        if freed {
+            self.writes.remove(&p.write_id);
+        }
+        if fa.kind != AccessKind::Write {
+            return; // write-after-read is not a potential conflict
+        }
+        // Condition 3 (commit) and condition 4 (session), as in
+        // `conflict::conflicting` with default options.
+        let on_commit = match f_tc_commit {
+            Some(tc) => tc > sa.t_start,
+            None => true,
+        };
+        let ordered = matches!(
+            (f_tc_close, s_to),
+            (Some(tc), Some(to)) if fa.t_start < tc && tc < to && to < sa.t_start
+        );
+        let on_session = !ordered;
+        if on_session || on_commit {
+            self.survivors.push(Survivor {
+                file: fa.file,
+                k_min: fk.min(sk),
+                k_max: fk.max(sk),
+                first: fa,
+                second: sa,
+                on_session,
+                on_commit,
+            });
+        }
+    }
+
+    fn on_sync(&mut self, s: SyncEvent) {
+        let rf = self.rf.entry((s.rank, s.file)).or_default();
+        match s.kind {
+            SyncKind::Open => {
+                rf.last_open = Some(s.t);
+                rf.open_fds += 1;
+                // An open at exactly t₂, draining after the access it
+                // belongs to, still counts as that access's `to` (the
+                // batch table query is `<= t`): fix up pending pairs.
+                for p in self.pending.iter_mut() {
+                    if p.second.t_start > s.t {
+                        break;
+                    }
+                    if p.second.rank == s.rank && p.second.file == s.file {
+                        p.to2 = Some(s.t);
+                    }
+                }
+            }
+            SyncKind::Close => {
+                rf.open_fds = rf.open_fds.saturating_sub(1);
+                rf.last_close = Some(s.t);
+                rf.last_commit = Some(s.t);
+                for id in std::mem::take(&mut rf.waiting_close) {
+                    if let Some(w) = self.writes.get_mut(&id) {
+                        w.tc_close = Some(s.t);
+                    }
+                }
+                for id in std::mem::take(&mut rf.waiting_commit) {
+                    if let Some(w) = self.writes.get_mut(&id) {
+                        w.tc_commit = Some(s.t);
+                    }
+                }
+            }
+            SyncKind::Commit => {
+                rf.last_commit = Some(s.t);
+                for id in std::mem::take(&mut rf.waiting_commit) {
+                    if let Some(w) = self.writes.get_mut(&id) {
+                        w.tc_commit = Some(s.t);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_access(&mut self, a: DataAccess) {
+        // Pattern folds (exact: see module docs).
+        let le = self.local_prev.insert((a.rank, a.file), a.end());
+        if let Some(pe) = le {
+            self.local_stats.add(classify_step(pe, a.offset));
+        }
+        let ge = self.global_prev.insert(a.file, a.end());
+        if let Some(pe) = ge {
+            self.global_stats.add(classify_step(pe, a.offset));
+        }
+        self.buckets
+            .entry(a.file)
+            .or_default()
+            .add(&a, self.hl_opts);
+
+        // Conflict candidates: this access against the file's live writes.
+        let fs = self.files.entry(a.file).or_default();
+        let k = (a.offset, a.end(), fs.next_seq);
+        fs.next_seq += 1;
+        let rf = self.rf.entry((a.rank, a.file)).or_default();
+        let to2 = rf.last_open;
+        for &id in &self.files[&a.file].matchable {
+            let w = self.writes.get_mut(&id).expect("matchable writes live");
+            let overlap = a.offset < w.access.end() && w.access.offset < a.end();
+            if !overlap {
+                continue;
+            }
+            w.refs += 1;
+            self.pairs_checked += 1;
+            if w.access.rank != a.rank {
+                let rp = (w.access.rank.min(a.rank), w.access.rank.max(a.rank));
+                self.overlap_rank_pairs.insert(rp);
+            }
+            self.pending.push_back(PendingPair {
+                write_id: id,
+                second: a,
+                second_k: k,
+                to2,
+            });
+        }
+
+        if a.kind == AccessKind::Write {
+            let rf = self.rf.entry((a.rank, a.file)).or_default();
+            // Tie fill: a close/commit at exactly t₁ drained before this
+            // write (per-rank FIFO) and is its `first_after`.
+            let tc_close = rf.last_close.filter(|&t| t == a.t_start);
+            let tc_commit = rf.last_commit.filter(|&t| t == a.t_start);
+            let id = self.next_write_id;
+            self.next_write_id += 1;
+            if tc_close.is_none() {
+                rf.waiting_close.push(id);
+            }
+            if tc_commit.is_none() {
+                rf.waiting_commit.push(id);
+            }
+            let to = rf.last_open;
+            self.writes.insert(
+                id,
+                WriteInfo {
+                    access: a,
+                    k,
+                    to,
+                    tc_close,
+                    tc_commit,
+                    refs: 0,
+                    pruned: false,
+                },
+            );
+            self.files
+                .get_mut(&a.file)
+                .expect("entry")
+                .matchable
+                .push(id);
+            self.live_intervals += 1;
+            self.peak_live_intervals = self.peak_live_intervals.max(self.live_intervals);
+        }
+    }
+
+    /// Retire writes that can never conflict again under either model
+    /// (see module docs for the exact conditions).
+    fn prune(&mut self) {
+        let Inner {
+            nranks,
+            writes,
+            files,
+            rf,
+            live_intervals,
+            pruned_intervals,
+            ..
+        } = self;
+        for (&file, fs) in files.iter_mut() {
+            if fs.matchable.is_empty() {
+                continue;
+            }
+            // Oldest session still open on this file: a future access by a
+            // rank holding an open fd inherits that open as its `to`.
+            let mut floor: Option<u64> = None;
+            for r in 0..*nranks {
+                if let Some(st) = rf.get(&(r as u32, file)) {
+                    if st.open_fds > 0 {
+                        let lo = st.last_open.unwrap_or(0);
+                        floor = Some(floor.map_or(lo, |f: u64| f.min(lo)));
+                    }
+                }
+            }
+            fs.matchable.retain(|id| {
+                let w = writes.get_mut(id).expect("matchable writes live");
+                let commit_dead = w.tc_commit.is_some();
+                let session_dead = match w.tc_close {
+                    Some(tc) if w.access.t_start < tc => floor.is_none_or(|f| f > tc),
+                    _ => false,
+                };
+                if commit_dead && session_dead {
+                    w.pruned = true;
+                    if w.refs == 0 {
+                        writes.remove(id);
+                    }
+                    *live_intervals -= 1;
+                    *pruned_intervals += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    fn finalize(&mut self) -> IncrementalOutput {
+        // Drain any residue (a rank that never reported done — e.g. a
+        // run finalized early — is treated as finished).
+        for r in 0..self.nranks {
+            self.frontiers[r] = u64::MAX;
+            self.done[r] = true;
+        }
+        self.drain();
+        self.flush_pending(u64::MAX);
+
+        let remap = std::mem::take(&mut self.remap);
+        let m = |p: PathId| -> PathId {
+            if remap.is_empty() {
+                p
+            } else {
+                PathId(remap[p.0 as usize])
+            }
+        };
+
+        let mut resolved = std::mem::take(&mut self.resolver).finish();
+        for a in &mut resolved.accesses {
+            a.file = m(a.file);
+        }
+        for s in &mut resolved.syncs {
+            s.file = m(s.file);
+        }
+
+        // Replay surviving pairs in the batch sweep's emission order:
+        // files in canonical PathId order, pairs by sweep position.
+        let mut survivors = std::mem::take(&mut self.survivors);
+        for sv in &mut survivors {
+            sv.file = m(sv.file);
+            sv.first.file = m(sv.first.file);
+            sv.second.file = m(sv.second.file);
+        }
+        survivors.sort_by_key(|sv| (sv.file, sv.k_min, sv.k_max));
+        let mut session = ConflictReport {
+            model_checked: Some(AnalysisModel::Session),
+            ..Default::default()
+        };
+        let mut commit = ConflictReport {
+            model_checked: Some(AnalysisModel::Commit),
+            ..Default::default()
+        };
+        let wrap = |a: DataAccess| ExtendedAccess {
+            access: a,
+            to: None,
+            tc_close: None,
+            tc_commit: None,
+        };
+        for sv in &survivors {
+            let pair = classify_pair(sv.file, &wrap(sv.first), &wrap(sv.second));
+            if sv.on_session {
+                session.add(pair);
+            }
+            if sv.on_commit {
+                commit.add(pair);
+            }
+        }
+
+        let canonical: BTreeMap<PathId, FileBuckets> = std::mem::take(&mut self.buckets)
+            .into_iter()
+            .map(|(f, b)| (m(f), b))
+            .collect();
+        let highlevel = classify_from_buckets(canonical.into_iter(), self.nranks as u32);
+
+        if obs::metrics_enabled() {
+            let mx = obs::metrics();
+            mx.add("core.incremental.pairs_checked", self.pairs_checked);
+            mx.add("core.incremental.pruned_intervals", self.pruned_intervals);
+            mx.observe(
+                "core.incremental.peak_live_intervals",
+                self.peak_live_intervals,
+            );
+        }
+
+        IncrementalOutput {
+            resolved,
+            session,
+            commit,
+            local: self.local_stats,
+            global: self.global_stats,
+            highlevel,
+            peak_live_intervals: self.peak_live_intervals,
+            pairs_checked: self.pairs_checked,
+            overlap_rank_pairs: std::mem::take(&mut self.overlap_rank_pairs)
+                .into_iter()
+                .collect(),
+            pruned_intervals: self.pruned_intervals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recorder::offset::{flag_bits, resolve};
+    use recorder::{Func, Layer, TraceSet};
+
+    fn posix(rank: u32, t: u64, func: Func) -> Record {
+        Record {
+            t_start: t,
+            t_end: t + 1,
+            rank,
+            layer: Layer::Posix,
+            origin: Layer::App,
+            func,
+        }
+    }
+
+    /// Two ranks sharing a file with overlapping writes and session
+    /// opens/closes — enough structure to exercise pairs, tc fill, and
+    /// pattern folds.
+    fn sample_trace() -> TraceSet {
+        let p = PathId(0);
+        let flags = flag_bits::READ | flag_bits::WRITE | flag_bits::CREATE;
+        TraceSet {
+            paths: vec!["/f".into()],
+            ranks: vec![
+                vec![
+                    posix(
+                        0,
+                        10,
+                        Func::Open {
+                            path: p,
+                            flags,
+                            fd: 3,
+                        },
+                    ),
+                    posix(0, 20, Func::Write { fd: 3, count: 100 }),
+                    posix(0, 40, Func::Fsync { fd: 3 }),
+                    posix(0, 60, Func::Write { fd: 3, count: 50 }),
+                    posix(0, 90, Func::Close { fd: 3 }),
+                ],
+                vec![
+                    posix(
+                        1,
+                        15,
+                        Func::Open {
+                            path: p,
+                            flags,
+                            fd: 3,
+                        },
+                    ),
+                    posix(
+                        1,
+                        30,
+                        Func::Read {
+                            fd: 3,
+                            count: 80,
+                            ret: 80,
+                        },
+                    ),
+                    posix(
+                        1,
+                        70,
+                        Func::Pwrite {
+                            fd: 3,
+                            offset: 120,
+                            count: 40,
+                        },
+                    ),
+                    posix(1, 95, Func::Close { fd: 3 }),
+                ],
+            ],
+            skews_ns: vec![0, 0],
+        }
+    }
+
+    fn feed(trace: &TraceSet, chunk: usize) -> IncrementalOutput {
+        let an = StreamingAnalyzer::new(trace.nranks());
+        for (r, records) in trace.ranks.iter().enumerate() {
+            for c in records.chunks(chunk.max(1)) {
+                let frontier = c.last().map_or(0, |x| x.t_start);
+                an.push(r as u32, c, frontier);
+            }
+            an.rank_done(r as u32);
+        }
+        an.finalize()
+    }
+
+    #[test]
+    fn matches_batch_on_sample() {
+        let trace = sample_trace();
+        let resolved = resolve(&trace);
+        let ctx = crate::context::AnalysisContext::new(&resolved);
+        let fused = ctx.fused_conflicts();
+        for chunk in [1usize, 2, 3, 100] {
+            let inc = feed(&trace, chunk);
+            assert_eq!(inc.resolved, resolved, "chunk={chunk}");
+            assert_eq!(inc.session, fused.session, "chunk={chunk}");
+            assert_eq!(inc.commit, fused.commit, "chunk={chunk}");
+            assert_eq!(inc.local, ctx.local_pattern(), "chunk={chunk}");
+            assert_eq!(inc.global, ctx.global_pattern(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn pruning_is_observation_only() {
+        // Injecting epoch_released at every possible point never changes
+        // the outputs, only the peak live-interval count.
+        let trace = sample_trace();
+        let resolved = resolve(&trace);
+        let ctx = crate::context::AnalysisContext::new(&resolved);
+        let fused = ctx.fused_conflicts();
+        let an = StreamingAnalyzer::new(trace.nranks());
+        let mut epoch = 0;
+        for (r, records) in trace.ranks.iter().enumerate() {
+            for rec in records {
+                an.push(r as u32, std::slice::from_ref(rec), rec.t_start);
+                an.epoch_released(epoch);
+                epoch += 1;
+            }
+            an.rank_done(r as u32);
+            an.epoch_released(epoch);
+            epoch += 1;
+        }
+        let inc = an.finalize();
+        assert_eq!(inc.session, fused.session);
+        assert_eq!(inc.commit, fused.commit);
+        assert_eq!(inc.resolved, resolved);
+    }
+
+    #[test]
+    fn memory_bounded_by_live_epochs_not_trace_length() {
+        // Many ranks cycling open/overlapping-write/close across many
+        // epochs: the batch pipeline holds every access of the trace
+        // (O(trace)); the streaming conflict store must stay bounded by
+        // the intervals live in the current epoch (O(ranks)), regardless
+        // of how long the trace grows.
+        let p = PathId(0);
+        let flags = flag_bits::READ | flag_bits::WRITE | flag_bits::CREATE;
+        let (nranks, epochs) = (8u32, 128u64);
+        let an = StreamingAnalyzer::new(nranks);
+        for e in 0..epochs {
+            let base = e * 1_000;
+            for r in 0..nranks {
+                let t = base + r as u64 * 10;
+                // Writes overlap the neighbouring rank's range, so every
+                // epoch also exercises pending-pair bookkeeping.
+                let recs = vec![
+                    posix(
+                        r,
+                        t + 1,
+                        Func::Open {
+                            path: p,
+                            flags,
+                            fd: 3,
+                        },
+                    ),
+                    posix(
+                        r,
+                        t + 2,
+                        Func::Pwrite {
+                            fd: 3,
+                            offset: r as u64 * 64,
+                            count: 96,
+                        },
+                    ),
+                    posix(r, t + 3, Func::Close { fd: 3 }),
+                ];
+                an.push(r, &recs, base + 900);
+            }
+            an.epoch_released(e);
+        }
+        for r in 0..nranks {
+            an.rank_done(r);
+        }
+        let inc = an.finalize();
+        let total = (nranks as u64) * epochs;
+        assert_eq!(inc.resolved.accesses.len() as u64, total);
+        assert!(
+            inc.peak_live_intervals <= 3 * nranks as u64,
+            "peak live intervals {} not O(ranks) for a {}-access trace",
+            inc.peak_live_intervals,
+            total
+        );
+        assert!(inc.pruned_intervals >= total - 2 * nranks as u64);
+        assert!(inc.pairs_checked > 0, "overlaps must have been enumerated");
+    }
+
+    #[test]
+    fn closed_epochs_prune_live_intervals() {
+        // Repeated open/write/close/epoch cycles: the live-interval count
+        // must stay flat instead of growing with the trace.
+        let p = PathId(0);
+        let flags = flag_bits::WRITE | flag_bits::CREATE;
+        let an = StreamingAnalyzer::new(1);
+        let rounds = 64u64;
+        for i in 0..rounds {
+            let base = i * 100;
+            let recs = vec![
+                posix(
+                    0,
+                    base + 1,
+                    Func::Open {
+                        path: p,
+                        flags,
+                        fd: 3,
+                    },
+                ),
+                posix(0, base + 10, Func::Write { fd: 3, count: 10 }),
+                posix(0, base + 20, Func::Close { fd: 3 }),
+            ];
+            an.push(0, &recs, base + 90);
+            an.epoch_released(i);
+        }
+        an.rank_done(0);
+        let inc = an.finalize();
+        assert!(
+            inc.peak_live_intervals <= 3,
+            "peak {} should be O(1) across {} closed epochs",
+            inc.peak_live_intervals,
+            rounds
+        );
+        assert!(inc.pruned_intervals >= rounds - 2);
+    }
+}

@@ -44,6 +44,7 @@ pub mod cachekey;
 pub mod conflict;
 pub mod context;
 pub mod hb;
+pub mod incremental;
 pub mod json;
 pub mod meta_conflict;
 pub mod metadata;
@@ -59,6 +60,7 @@ pub use conflict::{
     AnalysisModel, ConflictKind, ConflictPair, ConflictReport, ConflictScope, FusedReports,
 };
 pub use context::{AnalysisContext, SweepColumns};
+pub use incremental::{IncrementalOutput, StreamingAnalyzer};
 pub use model::{ConsistencyModel, PfsEntry, PfsRegistry};
 pub use overlap::{
     count_overlaps, detect_overlaps, detect_overlaps_bruteforce, detect_overlaps_merge, FileGroups,

@@ -289,33 +289,67 @@ pub fn classify_grouped(
     nranks: u32,
     opts: ClassifyOptions,
 ) -> HighLevelReport {
-    // Bucket above-threshold accesses per direction per rank, in time
-    // order; each file is then classified by its *dominant* direction
-    // (LBANN's dataset is written once by rank 0 but read in full by every
-    // rank — the reads are its pattern).
-    type PerRankStreams = BTreeMap<u32, Vec<(u64, u64)>>;
-    let mut per_file: Vec<FilePattern> = Vec::new();
-    for (file, idxs) in groups.iter() {
-        let mut dirs: [PerRankStreams; 2] = [BTreeMap::new(), BTreeMap::new()];
-        let mut dir_bytes = [0u64; 2];
+    let buckets = groups.iter().map(|(file, idxs)| {
+        let mut b = FileBuckets::default();
         for &i in idxs {
-            let a = &accesses[i as usize];
-            if a.len < opts.meta_threshold {
-                continue;
-            }
-            let d = match a.kind {
-                recorder::AccessKind::Write => 0,
-                recorder::AccessKind::Read => 1,
-            };
-            dirs[d].entry(a.rank).or_default().push((a.offset, a.len));
-            dir_bytes[d] += a.len;
+            b.add(&accesses[i as usize], opts);
         }
-        if dirs[0].is_empty() && dirs[1].is_empty() {
+        (file, b)
+    });
+    classify_from_buckets(buckets, nranks)
+}
+
+/// Per-file, per-direction accumulation state: above-threshold accesses
+/// bucketed per rank in arrival (time) order. Each file is classified by
+/// its *dominant* direction (LBANN's dataset is written once by rank 0 but
+/// read in full by every rank — the reads are its pattern). Exposed so the
+/// incremental analyzer can accumulate buckets online and finish through
+/// the exact same [`classify_from_buckets`] the batch path uses.
+#[derive(Debug, Clone, Default)]
+pub struct FileBuckets {
+    /// `[writes, reads]`, each rank → `(offset, len)` stream in time order.
+    dirs: [BTreeMap<u32, Vec<(u64, u64)>>; 2],
+    dir_bytes: [u64; 2],
+}
+
+impl FileBuckets {
+    /// Account one access (below-threshold accesses are ignored, as
+    /// library metadata).
+    pub fn add(&mut self, a: &DataAccess, opts: ClassifyOptions) {
+        if a.len < opts.meta_threshold {
+            return;
+        }
+        let d = match a.kind {
+            recorder::AccessKind::Write => 0,
+            recorder::AccessKind::Read => 1,
+        };
+        self.dirs[d]
+            .entry(a.rank)
+            .or_default()
+            .push((a.offset, a.len));
+        self.dir_bytes[d] += a.len;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dirs[0].is_empty() && self.dirs[1].is_empty()
+    }
+}
+
+/// Finish the Table 3 classification from per-file buckets supplied in
+/// [`PathId`] order. Files whose buckets are empty (only library metadata)
+/// are skipped, as in the batch pass.
+pub fn classify_from_buckets(
+    buckets: impl Iterator<Item = (PathId, FileBuckets)>,
+    nranks: u32,
+) -> HighLevelReport {
+    let mut per_file: Vec<FilePattern> = Vec::new();
+    for (file, b) in buckets {
+        if b.is_empty() {
             continue; // only below-threshold (library metadata) accesses
         }
-        let [w, r] = dir_bytes;
+        let [w, r] = b.dir_bytes;
         let (dominant, total) = if w >= r { (0, w) } else { (1, r) };
-        let [writes, reads] = dirs;
+        let [writes, reads] = b.dirs;
         let per_writer = if dominant == 0 { writes } else { reads };
         let (shape, stride) = classify_file(&per_writer);
         per_file.push(FilePattern {

@@ -60,20 +60,27 @@ impl PatternStats {
     }
 }
 
+/// Classify one access against its stream predecessor's end offset —
+/// the single step every variant (batch, zero-copy sorted, incremental)
+/// folds over.
+#[inline]
+pub fn classify_step(prev_end: u64, offset: u64) -> AccessClass {
+    if offset == prev_end {
+        AccessClass::Consecutive
+    } else if offset > prev_end {
+        AccessClass::Monotonic
+    } else {
+        AccessClass::Random
+    }
+}
+
 /// Classify one ordered stream of `(offset, len)` accesses.
 pub fn classify_stream(stream: impl IntoIterator<Item = (u64, u64)>) -> PatternStats {
     let mut stats = PatternStats::default();
     let mut prev_end: Option<u64> = None;
     for (offset, len) in stream {
         if let Some(pe) = prev_end {
-            let class = if offset == pe {
-                AccessClass::Consecutive
-            } else if offset > pe {
-                AccessClass::Monotonic
-            } else {
-                AccessClass::Random
-            };
-            stats.add(class);
+            stats.add(classify_step(pe, offset));
         }
         prev_end = Some(offset + len);
     }
@@ -95,14 +102,7 @@ fn classify_sorted<K: PartialEq>(
         let key = stream_key(a);
         if let Some((pk, pe)) = &prev {
             if *pk == key {
-                let class = if a.offset == *pe {
-                    AccessClass::Consecutive
-                } else if a.offset > *pe {
-                    AccessClass::Monotonic
-                } else {
-                    AccessClass::Random
-                };
-                stats.add(class);
+                stats.add(classify_step(*pe, a.offset));
             }
         }
         prev = Some((key, a.offset + a.len));

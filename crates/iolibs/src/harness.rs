@@ -20,6 +20,20 @@ use pfssim::{
 };
 use recorder::{Func, Layer, MetaKind, RankTracer, Record, SeekWhence, SharedInterner, TraceSet};
 
+use crate::sink::SinkHandle;
+
+/// Records buffered per rank before a tee'd chunk is pushed to the sink.
+const SINK_CHUNK: usize = 64;
+
+/// Adapter forwarding the simulator's epoch commits to the run sink.
+struct EpochForwarder(SinkHandle);
+
+impl mpisim::EpochNotify for EpochForwarder {
+    fn epoch_released(&self, epoch: u64, _t_ns: u64) {
+        self.0 .0.epoch_released(epoch);
+    }
+}
+
 /// A POSIX file descriptor in the simulated file system.
 pub type Fd = u32;
 
@@ -44,6 +58,9 @@ pub struct RunConfig {
     /// Label naming this run in observability output (trace timelines,
     /// run spans). Purely cosmetic; never affects the simulation.
     pub label: String,
+    /// Optional streaming sink the run tees its POSIX records to as they
+    /// are emitted (see [`crate::sink`]). `None` costs nothing.
+    pub sink: Option<SinkHandle>,
 }
 
 impl RunConfig {
@@ -59,6 +76,7 @@ impl RunConfig {
             start_time_ns: 0,
             faults: FaultPlan::none(),
             label: String::new(),
+            sink: None,
         }
     }
 
@@ -77,6 +95,14 @@ impl RunConfig {
         self
     }
 
+    /// Use per-operation lockstep instead of the default burst grants —
+    /// the maximally interleaved deterministic schedule. Slower; used by
+    /// the schedule-robustness tests.
+    pub fn per_op_lockstep(mut self) -> Self {
+        self.mode = SchedMode::DeterministicPerOp;
+        self
+    }
+
     pub fn with_max_skew_ns(mut self, ns: u64) -> Self {
         self.max_skew_ns = ns;
         self
@@ -84,6 +110,13 @@ impl RunConfig {
 
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Tee the run's POSIX records to `sink` as they are emitted (see
+    /// [`crate::sink`]).
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = Some(sink);
         self
     }
 }
@@ -225,6 +258,10 @@ where
         start_ns: cfg.start_time_ns,
         faults: cfg.faults.clone(),
         label: cfg.label.clone(),
+        epoch_sink: cfg
+            .sink
+            .as_ref()
+            .map(|s| mpisim::EpochSinkHandle::new(std::sync::Arc::new(EpochForwarder(s.clone())))),
     };
     let out = World::run(&world_cfg, |rank| {
         let r = rank.rank();
@@ -233,6 +270,7 @@ where
             pfs.client(r),
             RankTracer::new(r, SharedInterner::clone(&interner)),
             pfs.config().clone(),
+            cfg.sink.clone(),
         );
         // The paper's runs start with a barrier whose exit is used as t=0
         // for clock adjustment; the harness issues it on behalf of the app.
@@ -294,7 +332,10 @@ where
         tracers.push(t);
         observations.push(obs);
     }
-    let trace = TraceSet::assemble(interner, tracers, out.skews_ns);
+    let (trace, remap) = TraceSet::assemble_with_remap(interner, tracers, out.skews_ns);
+    if let Some(sink) = &cfg.sink {
+        sink.0.assembly_remap(&remap);
+    }
     let faults = out
         .faults
         .into_iter()
@@ -345,10 +386,24 @@ pub struct AppCtx {
     pfs_cfg: PfsConfig,
     origin: Layer,
     next_lib_id: u32,
+    /// Streaming tee (see [`crate::sink`]); `None` on ordinary runs.
+    sink: Option<SinkHandle>,
+    /// This rank's barrier-adjustment zero (local-clock exit time of the
+    /// startup barrier), captured at the first `barrier()`. Records are
+    /// tee'd only once it is known — before the startup barrier the app
+    /// has issued no I/O.
+    sink_zero: Option<u64>,
+    sink_buf: Vec<Record>,
 }
 
 impl AppCtx {
-    fn new(rank: Rank, client: pfssim::PfsClient, tracer: RankTracer, pfs_cfg: PfsConfig) -> Self {
+    fn new(
+        rank: Rank,
+        client: pfssim::PfsClient,
+        tracer: RankTracer,
+        pfs_cfg: PfsConfig,
+        sink: Option<SinkHandle>,
+    ) -> Self {
         AppCtx {
             rank,
             client,
@@ -356,12 +411,37 @@ impl AppCtx {
             pfs_cfg,
             origin: Layer::App,
             next_lib_id: 1,
+            sink,
+            sink_zero: None,
+            sink_buf: Vec::new(),
         }
     }
 
     fn into_parts(mut self) -> (RankTracer, Vec<Observation>) {
+        self.sink_finish();
         let obs = self.client.take_observations();
         (self.tracer, obs)
+    }
+
+    /// Flush buffered tee records. The chunk's own last `t_start` is the
+    /// frontier: per-rank POSIX records are emitted in nondecreasing
+    /// simulated time.
+    fn sink_flush(&mut self) {
+        if let Some(sink) = &self.sink {
+            if let Some(last) = self.sink_buf.last() {
+                sink.0.push(self.rank.rank(), &self.sink_buf, last.t_start);
+                self.sink_buf.clear();
+            }
+        }
+    }
+
+    /// Final flush + done signal; covers both normal completion and the
+    /// fail-stop salvage path (both go through `into_parts`).
+    fn sink_finish(&mut self) {
+        self.sink_flush();
+        if let Some(sink) = self.sink.take() {
+            sink.0.rank_done(self.rank.rank());
+        }
     }
 
     pub fn rank(&self) -> u32 {
@@ -424,7 +504,30 @@ impl AppCtx {
     // ------------------------------------------------------------------
 
     pub fn barrier(&mut self) {
-        self.rank.barrier();
+        if self.sink.is_none() {
+            self.rank.barrier();
+            return;
+        }
+        // Everything emitted so far is ordered before the barrier; hand it
+        // to the sink before blocking so the analysis can overlap with the
+        // wait.
+        self.sink_flush();
+        let info = self.rank.barrier();
+        let exit_local = self.rank.local_clock(info.t_exit);
+        match self.sink_zero {
+            // First barrier: its local-clock exit is the adjustment zero —
+            // exactly what `recorder::adjust::compute` derives post-hoc
+            // from the first MpiBarrier record's `t_end`.
+            None => self.sink_zero = Some(exit_local),
+            // Later barriers: no records to send, but the exit time is a
+            // frontier promise (no future record starts before it).
+            Some(zero) => {
+                if let Some(sink) = &self.sink {
+                    sink.0
+                        .push(self.rank.rank(), &[], exit_local.saturating_sub(zero));
+                }
+            }
+        }
     }
 
     pub fn send(&mut self, dst: u32, tag: u32, payload: Vec<u8>) {
@@ -536,6 +639,24 @@ impl AppCtx {
     fn rec_posix(&mut self, t0: u64, t1: u64, func: Func) {
         let (s, e) = (self.rank.local_clock(t0), self.rank.local_clock(t1));
         self.tracer.record(s, e, Layer::Posix, self.origin, func);
+        // Tee to the streaming sink, already barrier-adjusted. Only POSIX
+        // records are streamed (offset resolution ignores other layers;
+        // library-level spans are also not time-ordered per rank).
+        if self.sink.is_some() {
+            if let Some(zero) = self.sink_zero {
+                self.sink_buf.push(Record {
+                    t_start: s.saturating_sub(zero),
+                    t_end: e.saturating_sub(zero),
+                    rank: self.rank.rank(),
+                    layer: Layer::Posix,
+                    origin: self.origin,
+                    func,
+                });
+                if self.sink_buf.len() >= SINK_CHUNK {
+                    self.sink_flush();
+                }
+            }
+        }
     }
 
     /// Locks a strong-consistency PFS would take for a data op of `len`

@@ -26,6 +26,7 @@ pub mod hdf5;
 pub mod mpiio;
 pub mod netcdf;
 pub mod silo;
+pub mod sink;
 
 pub use adios::AdiosWriter;
 pub use harness::{
@@ -37,3 +38,4 @@ pub use mpiio::{MpiFile, MpiIoHints};
 pub use mpisim::{FaultKind, FaultPlan, FaultSite, IoFault, SimError};
 pub use netcdf::NcFile;
 pub use silo::{SiloFile, SiloOpts};
+pub use sink::{RunSink, SinkHandle};

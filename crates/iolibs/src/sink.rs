@@ -1,0 +1,76 @@
+//! Streaming record sink: online consumers of a run's POSIX trace.
+//!
+//! A [`RunConfig`](crate::RunConfig) carrying a [`SinkHandle`] makes every
+//! rank *tee* its POSIX records to the sink as they are emitted, already
+//! barrier-adjusted (re-based so the startup-barrier exit is t = 0, the
+//! same adjustment [`recorder::adjust::apply`] performs post-hoc). The
+//! harness additionally forwards the simulator's epoch commits and, after
+//! trace assembly, the [`PathId`](recorder::PathId) canonicalization.
+//!
+//! Contract:
+//!
+//! * `push` delivers one rank's records in program order with
+//!   nondecreasing `t_start`; `frontier` promises every *future* record of
+//!   that rank has `t_start >= frontier`. Chunks from different ranks
+//!   arrive concurrently (sinks must be `Sync`).
+//! * Record `PathId`s are the run's pre-assembly interner ids;
+//!   `assembly_remap` delivers the translation to the canonical trace ids
+//!   once the run completes.
+//! * Callbacks may run on simulation threads; `epoch_released` in
+//!   particular runs under the simulator's state lock and must not call
+//!   back into the run.
+//! * Streamed timestamps are only meaningful under the deterministic
+//!   scheduler (the default). A free-running world still delivers every
+//!   record, but cross-rank ordering then has real races and a streaming
+//!   analysis is not guaranteed to match the post-hoc one.
+
+use std::fmt;
+use std::sync::Arc;
+
+use recorder::Record;
+
+/// Receiver of streamed run records. Methods with empty defaults are
+/// optional signals.
+pub trait RunSink: Send + Sync {
+    /// A chunk of `rank`'s barrier-adjusted POSIX records, program order.
+    fn push(&self, rank: u32, records: &[Record], frontier: u64);
+
+    /// `rank` will emit no further records (finished or fail-stopped).
+    fn rank_done(&self, rank: u32);
+
+    /// Synchronization epoch `epoch` committed: all live ranks passed a
+    /// barrier. A happens-before boundary usable for retiring state.
+    fn epoch_released(&self, epoch: u64) {
+        let _ = epoch;
+    }
+
+    /// The path canonicalization applied at trace assembly:
+    /// `remap[streamed_id] = canonical_id`.
+    fn assembly_remap(&self, remap: &[u32]) {
+        let _ = remap;
+    }
+}
+
+/// Cloneable, debug-opaque handle around a shared [`RunSink`], so
+/// [`RunConfig`](crate::RunConfig) keeps its `Debug`/`Clone` derives.
+#[derive(Clone)]
+pub struct SinkHandle(pub Arc<dyn RunSink>);
+
+impl SinkHandle {
+    pub fn new(sink: Arc<dyn RunSink>) -> Self {
+        SinkHandle(sink)
+    }
+}
+
+// Rank bodies run under `catch_unwind` (graceful degradation); a config
+// holding a sink must stay unwind-safe. Sinks are already required to be
+// `Sync` (concurrent rank chunks), so their state is lock-guarded and a
+// panic cannot expose un-poisoned broken invariants.
+impl std::panic::UnwindSafe for SinkHandle {}
+impl std::panic::RefUnwindSafe for SinkHandle {}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SinkHandle(..)")
+    }
+}

@@ -41,6 +41,7 @@ mod error;
 mod event;
 mod fault;
 mod sched;
+mod sink;
 mod world;
 
 pub use clock::{CostModel, OpClass};
@@ -49,4 +50,5 @@ pub use error::{SimAbort, SimError};
 pub use event::{EventKind, MpiEvent};
 pub use fault::{FaultKind, FaultPlan, FaultSite, IoFault};
 pub use sched::SchedMode;
+pub use sink::{EpochNotify, EpochSinkHandle};
 pub use world::{Rank, RunOutput, World, WorldCfg};

@@ -1,0 +1,56 @@
+//! Epoch notifications for streaming consumers.
+//!
+//! A world configured with an [`EpochSinkHandle`] tells the sink when a
+//! synchronization epoch commits (all live ranks passed a barrier) and
+//! when a rank stops early (crash). Streaming analyses use the epoch
+//! signal as their happens-before commit point: everything before a
+//! released barrier is ordered before everything after it, so state that
+//! only mattered within the epoch can be retired.
+//!
+//! Callbacks run on simulation threads **while the world lock is held**:
+//! they must be cheap and must never call back into the world (barrier,
+//! send/recv, clock reads) — doing so would self-deadlock.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Receiver of simulation epoch signals. All methods have empty defaults
+/// so sinks implement only what they need.
+pub trait EpochNotify: Send + Sync {
+    /// Barrier epoch `epoch` released at simulated time `t_ns` (the
+    /// common exit timestamp every participant observes).
+    fn epoch_released(&self, epoch: u64, t_ns: u64) {
+        let _ = (epoch, t_ns);
+    }
+
+    /// `rank` terminally stopped (crash fault) at simulated time `t_ns`
+    /// and will emit no further operations.
+    fn rank_stopped(&self, rank: u32, t_ns: u64) {
+        let _ = (rank, t_ns);
+    }
+}
+
+/// Cloneable, debug-opaque handle around a shared [`EpochNotify`], so
+/// configuration structs can keep their `Debug`/`Clone` derives.
+#[derive(Clone)]
+pub struct EpochSinkHandle(pub Arc<dyn EpochNotify>);
+
+impl EpochSinkHandle {
+    pub fn new(sink: Arc<dyn EpochNotify>) -> Self {
+        EpochSinkHandle(sink)
+    }
+}
+
+// The harness wraps rank bodies in `catch_unwind` (graceful degradation),
+// and configs holding a sink must stay unwind-safe. Sinks are required to
+// guard their state behind a lock (they are called from concurrent rank
+// threads already), so a panic cannot leave observable broken invariants
+// that aren't poison-handled.
+impl std::panic::UnwindSafe for EpochSinkHandle {}
+impl std::panic::RefUnwindSafe for EpochSinkHandle {}
+
+impl fmt::Debug for EpochSinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("EpochSinkHandle(..)")
+    }
+}

@@ -10,6 +10,7 @@ use crate::error::{SimAbort, SimError};
 use crate::event::MpiEvent;
 use crate::fault::{FaultPlan, IoFault};
 use crate::sched::{RankStatus, SchedMode, SimState};
+use crate::sink::EpochSinkHandle;
 
 /// Configuration for a simulated world.
 #[derive(Debug, Clone)]
@@ -35,6 +36,9 @@ pub struct WorldCfg {
     /// traces (e.g. the report config name). Empty is fine; it only
     /// affects observability output, never simulation behaviour.
     pub label: String,
+    /// Optional streaming sink notified of epoch commits and rank stops
+    /// (see [`crate::sink`]); `None` costs nothing.
+    pub epoch_sink: Option<EpochSinkHandle>,
 }
 
 impl WorldCfg {
@@ -50,6 +54,7 @@ impl WorldCfg {
             start_ns: 0,
             faults: FaultPlan::none(),
             label: String::new(),
+            epoch_sink: None,
         }
     }
 
@@ -60,6 +65,12 @@ impl WorldCfg {
 
     pub fn free_running(mut self) -> Self {
         self.mode = SchedMode::Free;
+        self
+    }
+
+    /// Use per-operation lockstep instead of the default burst grants.
+    pub fn per_op_lockstep(mut self) -> Self {
+        self.mode = SchedMode::DeterministicPerOp;
         self
     }
 
@@ -75,6 +86,12 @@ impl WorldCfg {
 
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a streaming epoch sink (see [`crate::sink`]).
+    pub fn with_epoch_sink(mut self, sink: EpochSinkHandle) -> Self {
+        self.epoch_sink = Some(sink);
         self
     }
 }
@@ -192,7 +209,8 @@ impl World {
             .sites()
             .iter()
             .any(|s| matches!(s.kind, crate::fault::FaultKind::Io(_)));
-        let state = SimState::new(cfg.nranks, cfg.seed, cfg.mode, cfg.start_ns, &cfg.faults);
+        let mut state = SimState::new(cfg.nranks, cfg.seed, cfg.mode, cfg.start_ns, &cfg.faults);
+        state.epoch_sink = cfg.epoch_sink.clone();
         if let Some(base) = state.trace_pid_base {
             let label = if cfg.label.is_empty() {
                 "world"
@@ -481,7 +499,22 @@ impl Rank {
             };
             self.abort_with(st, err);
         }
-        st.status[me] = RankStatus::Requesting;
+        if st.status[me] == RankStatus::Granted {
+            // Burst mode: we kept the token across the previous
+            // `turn_end`, so this operation proceeds without a re-draw —
+            // but not before every other rank has stopped computing.
+            // Grants already enforce that rule; burst continuations must
+            // too, or the clock would advance while a computing rank can
+            // observe it (`Rank::now` reads in layer code are taken
+            // between operations), breaking schedule determinism.
+            while st.any_computing() {
+                st = self.shared.cvs[me]
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            return st;
+        }
+        st.set_status(me, RankStatus::Requesting);
         st.try_dispatch();
         self.drain_wakes(&mut st);
         loop {
@@ -499,10 +532,19 @@ impl Rank {
         }
     }
 
-    /// Release the turn acquired by [`Rank::turn_begin`].
+    /// Release the turn acquired by [`Rank::turn_begin`]. Under burst
+    /// grants ([`SchedMode::Deterministic`]) the rank *keeps* the token —
+    /// it is released at the next park, finish, or crash, the only points
+    /// where the rank cannot proceed anyway — so consecutive operations of
+    /// one rank cost no condvar handoff. Wakes queued by the operation
+    /// (e.g. a receiver unblocked by `put_msg`) are still signaled.
     pub(crate) fn turn_end(&self, mut st: MutexGuard<'_, SimState>) {
+        if st.mode == SchedMode::Deterministic {
+            self.drain_wakes(&mut st);
+            return;
+        }
         let me = self.rank as usize;
-        st.status[me] = RankStatus::Computing;
+        st.set_status(me, RankStatus::Computing);
         st.try_dispatch();
         self.drain_wakes(&mut st);
     }
@@ -518,7 +560,7 @@ impl Rank {
     ) -> MutexGuard<'a, SimState> {
         let me = self.rank as usize;
         let blocked_from_ns = st.clock_ns;
-        st.status[me] = RankStatus::Blocked(reason);
+        st.set_status(me, RankStatus::Blocked(reason));
         st.try_dispatch();
         self.drain_wakes(&mut st);
         loop {
@@ -583,7 +625,7 @@ impl Rank {
     pub fn finish(&self) {
         let mut st = self.lock_state();
         if st.status[self.rank as usize] != RankStatus::Crashed {
-            st.status[self.rank as usize] = RankStatus::Finished;
+            st.set_status(self.rank as usize, RankStatus::Finished);
         }
         st.try_dispatch();
         self.drain_wakes(&mut st);

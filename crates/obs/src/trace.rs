@@ -273,12 +273,24 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input came from &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Validate only
+                    // its own bytes — validating the whole remaining
+                    // document per character is quadratic in input size.
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("utf8")),
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
                         .map_err(|_| self.err("utf8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = s.chars().next().ok_or_else(|| self.err("utf8"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

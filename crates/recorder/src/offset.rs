@@ -85,7 +85,7 @@ pub struct SyncEvent {
 }
 
 /// The output of offset resolution over a whole trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResolvedTrace {
     /// All data accesses, in global (adjusted) time order.
     pub accesses: Vec<DataAccess>,
@@ -113,14 +113,47 @@ struct FdState {
 /// records in global `t_start` order, which is exactly the paper's "track
 /// the most up-to-date offset for each file".
 pub fn resolve(trace: &TraceSet) -> ResolvedTrace {
-    let mut out = ResolvedTrace::default();
-    let mut fds: HashMap<(u32, u32), FdState> = HashMap::new();
-    let mut sizes: HashMap<PathId, u64> = HashMap::new();
-
+    let mut r = StreamResolver::new();
     for rec in trace.merged_by_time() {
-        resolve_record(&rec, &mut fds, &mut sizes, &mut out);
+        r.push(&rec);
     }
-    out
+    r.finish()
+}
+
+/// Incremental offset resolution: the exact per-record step function of
+/// [`resolve`], packaged so records can be fed one at a time as a run
+/// streams them out. Feeding the records of a trace in `(t_start, rank)`
+/// order (the [`TraceSet::merged_by_time`] order) produces a
+/// [`ResolvedTrace`] identical to `resolve`'s — both call the same step on
+/// the same sequence.
+#[derive(Debug, Default)]
+pub struct StreamResolver {
+    fds: HashMap<(u32, u32), FdState>,
+    sizes: HashMap<PathId, u64>,
+    out: ResolvedTrace,
+}
+
+impl StreamResolver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed the next record in global `(t_start, rank)` order. Non-POSIX
+    /// records are ignored, as in the batch pass.
+    pub fn push(&mut self, rec: &Record) {
+        resolve_record(rec, &mut self.fds, &mut self.sizes, &mut self.out);
+    }
+
+    /// Everything resolved so far. New entries are appended to
+    /// `accesses`/`syncs` as records are pushed, so a consumer can track
+    /// its own high-water mark and process only the suffix.
+    pub fn resolved(&self) -> &ResolvedTrace {
+        &self.out
+    }
+
+    pub fn finish(self) -> ResolvedTrace {
+        self.out
+    }
 }
 
 fn resolve_record(

@@ -162,6 +162,18 @@ impl TraceSet {
         tracers: Vec<RankTracer>,
         skews_ns: Vec<i64>,
     ) -> Self {
+        Self::assemble_with_remap(interner, tracers, skews_ns).0
+    }
+
+    /// [`TraceSet::assemble`], also returning the applied canonicalization:
+    /// `remap[old_interner_id] = canonical PathId`. Consumers that saw
+    /// records *before* assembly (streaming sinks tapping the tracers
+    /// mid-run) hold pre-canonical ids and need this to translate them.
+    pub fn assemble_with_remap(
+        interner: SharedInterner,
+        tracers: Vec<RankTracer>,
+        skews_ns: Vec<i64>,
+    ) -> (Self, Vec<u32>) {
         for (i, t) in tracers.iter().enumerate() {
             assert_eq!(t.rank as usize, i, "tracers must be rank-ordered");
         }
@@ -185,11 +197,14 @@ impl TraceSet {
                 remap_func_paths(&mut rec.func, &remap);
             }
         }
-        TraceSet {
-            paths,
-            ranks,
-            skews_ns,
-        }
+        (
+            TraceSet {
+                paths,
+                ranks,
+                skews_ns,
+            },
+            remap,
+        )
     }
 
     pub fn nranks(&self) -> u32 {

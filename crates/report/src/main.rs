@@ -19,17 +19,19 @@
 //! Perfetto) covering the simulator, analysis, and report layers;
 //! `--metrics FILE` dumps the metrics registry. Both are write-only side
 //! channels: every table/figure artifact is byte-identical with them on
-//! or off. `check --keep-going` isolates per-configuration failures as
-//! DEGRADED rows; exit codes: 0 ok, 1 paper mismatch / campaign failure,
-//! 2 degraded run(s), 64 usage error.
+//! or off. `--keep-going` isolates per-configuration failures as
+//! DEGRADED rows on every analysis command (not just `check`); whenever
+//! at least one configuration was salvaged that way the process exits 2.
+//! Exit codes: 0 ok, 1 paper mismatch / campaign failure, 2 degraded
+//! configuration(s) salvaged by --keep-going, 64 usage error.
 //! ```
 
 use std::io::Write as _;
 
 use hpcapps::AppId;
 use report_gen::{
-    analyze, analyze_all_threaded, faultcamp, figures, hbval, matrix, scale, tables, ConfigOutcome,
-    ReportCfg,
+    analyze, analyze_all_isolated, analyze_all_threaded, faultcamp, figures, hbval, matrix, scale,
+    tables, ConfigOutcome, ReportCfg,
 };
 
 /// Exit code when `--keep-going` salvaged a run with degraded
@@ -86,6 +88,7 @@ fn usage() -> &'static str {
      \x20 --small A        scale-study small world (default 16)\n\
      \x20 --large B        scale-study large world (default 64)\n\
      \x20 --keep-going     isolate per-config failures as DEGRADED rows\n\
+     \x20                  (any analysis command; salvaged runs exit 2)\n\
      \x20 --camp-seeds N   seeds per fault-campaign cell (default 8)\n\
      \x20 --camp-ops M     campaign fault-site op ceiling (default 64)\n\
      \x20 --sweep-ops M    FLASH crash-sweep op ceiling (default 300)\n\
@@ -96,7 +99,12 @@ fn usage() -> &'static str {
      \x20 --cache-entries N  serve: verdict cache capacity (default 256)\n\
      \x20 --queue-cap N    serve: connection queue bound (default 64)\n\
      \x20 --quiet, -q      errors only\n\
-     \x20 --verbose, -v    debug-level logging\n"
+     \x20 --verbose, -v    debug-level logging\n\
+     exit codes:\n\
+     \x20  0   success\n\
+     \x20  1   paper mismatch / fault-campaign failure\n\
+     \x20  2   degraded configuration(s) salvaged by --keep-going\n\
+     \x20  64  usage error\n"
 }
 
 /// Parse the value following `flag`, reporting — not panicking on — a
@@ -237,6 +245,49 @@ fn main() {
     std::process::exit(code);
 }
 
+/// The full Table 4 suite, honoring `--keep-going`: degraded
+/// configurations become DEGRADED rows on stderr instead of aborting the
+/// whole command, and [`run`] exits `EXIT_DEGRADED` once the surviving
+/// artifacts are rendered. Without the flag any failure propagates
+/// (panics), exactly as before.
+fn run_suite(cfg: &ReportCfg, args: &Args, degraded: &mut usize) -> Vec<report_gen::AnalyzedRun> {
+    if !args.keep_going {
+        return analyze_all_threaded(cfg, false, args.threads);
+    }
+    let mut runs = Vec::new();
+    for outcome in analyze_all_isolated(cfg, false, args.threads) {
+        match outcome {
+            ConfigOutcome::Ok(run) => runs.push(*run),
+            ConfigOutcome::Degraded { name, error, .. } => {
+                eprintln!("DEGRADED {name:<24} {error}");
+                *degraded += 1;
+            }
+        }
+    }
+    runs
+}
+
+/// One configuration under the same `--keep-going` contract as
+/// [`run_suite`].
+fn run_one(
+    cfg: &ReportCfg,
+    args: &Args,
+    spec: &'static hpcapps::AppSpec,
+    degraded: &mut usize,
+) -> Option<report_gen::AnalyzedRun> {
+    if !args.keep_going {
+        return Some(analyze(cfg, spec));
+    }
+    match report_gen::analyze_isolated(cfg, spec, &spec.params, &iolibs::FaultPlan::none()) {
+        ConfigOutcome::Ok(run) => Some(*run),
+        ConfigOutcome::Degraded { name, error, .. } => {
+            eprintln!("DEGRADED {name:<24} {error}");
+            *degraded += 1;
+            None
+        }
+    }
+}
+
 /// Dispatch the command; returns the process exit code. Must `return`
 /// rather than `std::process::exit` so `main` can flush the profile and
 /// metrics dumps afterwards.
@@ -248,37 +299,54 @@ fn run(args: &Args) -> i32 {
         max_skew_ns: 20_000,
     };
     let specs = hpcapps::specs();
+    // Configurations salvaged as DEGRADED by `--keep-going` anywhere in
+    // the dispatch below; nonzero turns exit code 0 into EXIT_DEGRADED.
+    let mut degraded_cfgs = 0usize;
 
     match args.command.as_str() {
         "table1" => print!("{}", tables::table1()),
         "table2" => print!("{}", tables::table2()),
         "table5" => print!("{}", tables::table5()),
         "table3" => {
-            let runs = analyze_all_threaded(&cfg, false, args.threads);
+            let runs = run_suite(&cfg, args, &mut degraded_cfgs);
             print!("{}", tables::table3(&runs));
         }
         "table4" => {
-            let runs = analyze_all_threaded(&cfg, false, args.threads);
+            let runs = run_suite(&cfg, args, &mut degraded_cfgs);
             print!("{}", tables::table4(&runs));
         }
         "fig1" => {
-            let runs = analyze_all_threaded(&cfg, false, args.threads);
+            let runs = run_suite(&cfg, args, &mut degraded_cfgs);
             print!("{}", figures::fig1(&runs));
         }
         "fig2" => {
-            let fbs = analyze(&cfg, hpcapps::spec_ref(AppId::FlashFbs));
-            let nofbs = analyze(&cfg, hpcapps::spec_ref(AppId::FlashNofbs));
-            print!("{}", figures::fig2_summary(&fbs, "fbs / collective"));
-            print!("{}", figures::fig2_summary(&nofbs, "nofbs / independent"));
-            write_artifact(&args.out, "fig2_fbs.csv", &figures::fig2_csv(&fbs, true));
-            write_artifact(
-                &args.out,
-                "fig2_nofbs.csv",
-                &figures::fig2_csv(&nofbs, false),
+            let fbs = run_one(
+                &cfg,
+                args,
+                hpcapps::spec_ref(AppId::FlashFbs),
+                &mut degraded_cfgs,
             );
+            let nofbs = run_one(
+                &cfg,
+                args,
+                hpcapps::spec_ref(AppId::FlashNofbs),
+                &mut degraded_cfgs,
+            );
+            if let Some(fbs) = &fbs {
+                print!("{}", figures::fig2_summary(fbs, "fbs / collective"));
+                write_artifact(&args.out, "fig2_fbs.csv", &figures::fig2_csv(fbs, true));
+            }
+            if let Some(nofbs) = &nofbs {
+                print!("{}", figures::fig2_summary(nofbs, "nofbs / independent"));
+                write_artifact(
+                    &args.out,
+                    "fig2_nofbs.csv",
+                    &figures::fig2_csv(nofbs, false),
+                );
+            }
         }
         "fig3" => {
-            let runs = analyze_all_threaded(&cfg, false, args.threads);
+            let runs = run_suite(&cfg, args, &mut degraded_cfgs);
             print!("{}", figures::fig3(&runs));
         }
         "flash-fix" => {
@@ -289,13 +357,19 @@ fn run(args: &Args) -> i32 {
             ];
             let runs: Vec<_> = variants
                 .iter()
-                .map(|&id| analyze(&cfg, hpcapps::spec_ref(id)))
+                .filter_map(|&id| run_one(&cfg, args, hpcapps::spec_ref(id), &mut degraded_cfgs))
                 .collect();
             print!("{}", tables::flash_fix(&runs));
         }
         "validate-hb" => {
-            let run = analyze(&cfg, hpcapps::spec_ref(AppId::FlashFbs));
-            print!("{}", hbval::validate(&run));
+            if let Some(run) = run_one(
+                &cfg,
+                args,
+                hpcapps::spec_ref(AppId::FlashFbs),
+                &mut degraded_cfgs,
+            ) {
+                print!("{}", hbval::validate(&run));
+            }
         }
         "scale-study" => {
             // A representative subset, as rerunning everything twice is
@@ -332,7 +406,9 @@ fn run(args: &Args) -> i32 {
                     .as_ref()
                     .map_or(s.in_table4, |f| s.config_name().eq_ignore_ascii_case(f))
             }) {
-                let run = analyze(&cfg, spec);
+                let Some(run) = run_one(&cfg, args, spec, &mut degraded_cfgs) else {
+                    continue;
+                };
                 let adjusted = recorder::adjust::apply(&run.outcome.trace);
                 let rep = semantics_core::apprun::build_from_resolved(&adjusted, &run.resolved);
                 print!("{}", rep.render(&spec.config_name()));
@@ -345,20 +421,8 @@ fn run(args: &Args) -> i32 {
             // rows and the command exits 2 instead of crashing.
             let mut failures = 0usize;
             let mut degraded = 0usize;
-            let clean = iolibs::FaultPlan::none();
-            let table4_specs: Vec<_> = specs
-                .iter()
-                .filter(|s| s.in_table4 || matches!(s.id, AppId::FlashNofbs))
-                .collect();
             let outcomes: Vec<ConfigOutcome> = if args.keep_going {
-                semantics_core::parallel_map_indexed(table4_specs.len(), args.threads, |k| {
-                    report_gen::analyze_isolated(
-                        &cfg,
-                        table4_specs[k],
-                        &table4_specs[k].params,
-                        &clean,
-                    )
-                })
+                analyze_all_isolated(&cfg, false, args.threads)
             } else {
                 analyze_all_threaded(&cfg, false, args.threads)
                     .into_iter()
@@ -442,7 +506,9 @@ fn run(args: &Args) -> i32 {
                 "configuration", "commit conflicts", "insertions", "sufficient"
             );
             for spec in specs.iter().filter(|s| s.in_table4) {
-                let run = analyze(&cfg, spec);
+                let Some(run) = run_one(&cfg, args, spec, &mut degraded_cfgs) else {
+                    continue;
+                };
                 let advice = semantics_core::advisor::advise_commits(&run.resolved);
                 println!(
                     "{:<24} {:>16} {:>12} {:>10}",
@@ -464,7 +530,9 @@ fn run(args: &Args) -> i32 {
                 "configuration", "writes", "reads", "locks", "revocations"
             );
             for spec in specs.iter().filter(|s| s.in_table4) {
-                let run = analyze(&cfg, spec);
+                let Some(run) = run_one(&cfg, args, spec, &mut degraded_cfgs) else {
+                    continue;
+                };
                 let stats = run.outcome.pfs.stats();
                 println!(
                     "{:<24} {:>9} {:>9} {:>12} {:>12}",
@@ -484,7 +552,9 @@ fn run(args: &Args) -> i32 {
                 "configuration", "events", "create→observe", "create→mutate", "other"
             );
             for spec in specs.iter().filter(|s| s.in_table4) {
-                let run = analyze(&cfg, spec);
+                let Some(run) = run_one(&cfg, args, spec, &mut degraded_cfgs) else {
+                    continue;
+                };
                 let adjusted = recorder::adjust::apply(&run.outcome.trace);
                 let m = semantics_core::meta_conflict::detect_meta_conflicts(&adjusted);
                 use semantics_core::meta_conflict::MetaPairKind as K;
@@ -502,7 +572,7 @@ fn run(args: &Args) -> i32 {
             print!("{}", tables::table1());
             print!("{}", tables::table2());
             print!("{}", tables::table5());
-            let runs = analyze_all_threaded(&cfg, false, args.threads);
+            let runs = run_suite(&cfg, args, &mut degraded_cfgs);
             let t3 = tables::table3(&runs);
             let t4 = tables::table4(&runs);
             let f1 = figures::fig1(&runs);
@@ -545,7 +615,7 @@ fn run(args: &Args) -> i32 {
             // FLASH fixes.
             let fixes: Vec<_> = [AppId::FlashFbsCollectiveMeta, AppId::FlashFbsNoFlush]
                 .iter()
-                .map(|&id| analyze(&cfg, hpcapps::spec_ref(id)))
+                .filter_map(|&id| run_one(&cfg, args, hpcapps::spec_ref(id), &mut degraded_cfgs))
                 .collect();
             let mut fix_runs: Vec<_> = runs
                 .into_iter()
@@ -600,6 +670,9 @@ fn run(args: &Args) -> i32 {
             eprint!("{}", usage());
             return EXIT_USAGE;
         }
+    }
+    if degraded_cfgs > 0 {
+        return EXIT_DEGRADED;
     }
     0
 }

@@ -10,12 +10,15 @@
 //! implementation: the byte-identity test and the perf harness compare
 //! the two.
 
+use std::sync::Arc;
+
 use hpcapps::{AppSpec, ScaleParams};
-use iolibs::{run_app, run_app_result, FaultPlan, RunConfig, RunOutcome, SimError};
-use recorder::{adjust, offset, ResolvedTrace};
+use iolibs::{run_app, run_app_result, FaultPlan, RunConfig, RunOutcome, SimError, SinkHandle};
+use recorder::{adjust, offset, Record, ResolvedTrace};
 use semantics_core::conflict::{detect_conflicts, AnalysisModel, ConflictReport};
 use semantics_core::context::AnalysisContext;
 use semantics_core::hb::{validate_conflicts, HbValidation};
+use semantics_core::incremental::StreamingAnalyzer;
 use semantics_core::metadata::MetadataCensus;
 use semantics_core::patterns::{global_pattern, highlevel, local_pattern, PatternStats};
 use semantics_core::verdict::{required_model, Completeness, Verdict};
@@ -189,6 +192,106 @@ fn finish_analysis(cfg: &ReportCfg, spec: &'static AppSpec, outcome: RunOutcome)
     }
 }
 
+/// Bridge from the harness's streaming record tee to the online analyzer:
+/// the run pushes adjusted per-rank record chunks, epoch commits, and the
+/// assembly path remap; the analyzer does the rest.
+struct AnalyzerSink(Arc<StreamingAnalyzer>);
+
+impl iolibs::RunSink for AnalyzerSink {
+    fn push(&self, rank: u32, records: &[Record], frontier: u64) {
+        self.0.push(rank, records, frontier);
+    }
+
+    fn rank_done(&self, rank: u32) {
+        self.0.rank_done(rank);
+    }
+
+    fn epoch_released(&self, epoch: u64) {
+        self.0.epoch_released(epoch);
+    }
+
+    fn assembly_remap(&self, remap: &[u32]) {
+        self.0.set_remap(remap);
+    }
+}
+
+/// The streaming pipeline: run the configuration with a
+/// [`StreamingAnalyzer`] attached as a record sink, so offset resolution,
+/// conflict detection, and all pattern analyses happen *while the
+/// simulation runs*; on completion only the cheap finalize (plus the
+/// census, verdict, and happens-before validation) remains. Produces an
+/// [`AnalyzedRun`] byte-identical to [`analyze_with_faults`] —
+/// `tests/incremental_identity.rs` asserts it across every configuration,
+/// semantics model, and fault campaign.
+///
+/// Requires the deterministic scheduler (the constructed run config's
+/// default): under free running, streamed cross-rank order has real races
+/// and the online results are not reproducible.
+pub fn analyze_incremental(
+    cfg: &ReportCfg,
+    spec: &'static AppSpec,
+    params: &ScaleParams,
+    faults: &FaultPlan,
+) -> Result<AnalyzedRun, SimError> {
+    let mut span = obs::span("report", "config:incremental").with_arg("config", spec.config_name());
+    let t0 = std::time::Instant::now();
+    let analyzer = Arc::new(StreamingAnalyzer::new(cfg.nranks));
+    let run_cfg = RunConfig::new(cfg.nranks, cfg.seed)
+        .with_max_skew_ns(cfg.max_skew_ns)
+        .with_faults(faults.clone())
+        .with_label(spec.config_name())
+        .with_sink(SinkHandle::new(Arc::new(AnalyzerSink(Arc::clone(
+            &analyzer,
+        )))));
+    debug_assert!(matches!(run_cfg.mode, mpisim::SchedMode::Deterministic));
+    let outcome = match run_app_result(&run_cfg, |ctx| spec.run_with(ctx, params)) {
+        Ok(o) => o,
+        Err(e) => {
+            span.set_arg("outcome", "error");
+            if obs::metrics_enabled() {
+                obs::metrics().add("report.configs", 1);
+                obs::metrics().add("report.configs_failed", 1);
+            }
+            return Err(e);
+        }
+    };
+    span.set_arg(
+        "outcome",
+        if outcome.is_degraded() {
+            "partial"
+        } else {
+            "ok"
+        },
+    );
+    record_config_metrics(&outcome, t0);
+    let inc = analyzer.finalize();
+    // The remaining passes want the adjusted trace (identical input to the
+    // batch pipeline's): the census walks metadata records the stream does
+    // not carry, and happens-before needs the MPI event records.
+    let adjusted = adjust::apply(&outcome.trace);
+    let census = MetadataCensus::from_trace(&adjusted);
+    let verdict = required_model(&inc.session, &inc.commit);
+    let hb = validate_conflicts(&adjusted, &inc.session);
+    let completeness = Completeness::from_crashed(outcome.faults.iter().map(|(r, _)| *r).collect());
+    let highlevel = inc.highlevel;
+    Ok(AnalyzedRun {
+        spec,
+        name: spec.config_name(),
+        outcome,
+        resolved: inc.resolved,
+        session: inc.session,
+        commit: inc.commit,
+        highlevel,
+        local: inc.local,
+        global: inc.global,
+        census,
+        verdict,
+        hb,
+        nranks: cfg.nranks,
+        completeness,
+    })
+}
+
 /// The pre-context pipeline, kept as the reference: six independent full
 /// passes over the same resolved trace (two conflict detections, three
 /// pattern passes, the census), each re-deriving its own grouping and
@@ -265,6 +368,22 @@ pub fn analyze_all_threaded(
     semantics_core::parallel_map_indexed(specs.len(), threads, |k| analyze(cfg, specs[k]))
 }
 
+/// [`analyze_all_threaded`] with per-configuration error isolation
+/// (`--keep-going`): every configuration comes back as a
+/// [`ConfigOutcome`], so one degraded run cannot abort the suite. Result
+/// order is still spec order.
+pub fn analyze_all_isolated(
+    cfg: &ReportCfg,
+    include_variants: bool,
+    threads: usize,
+) -> Vec<ConfigOutcome> {
+    let specs = selected_specs(include_variants);
+    let clean = FaultPlan::none();
+    semantics_core::parallel_map_indexed(specs.len(), threads, |k| {
+        analyze_isolated(cfg, specs[k], &specs[k].params, &clean)
+    })
+}
+
 /// [`analyze_all_threaded`] through the unfused reference pipeline — the
 /// perf harness's baseline.
 pub fn analyze_all_threaded_unfused(
@@ -324,9 +443,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// [`analyze_with_faults`] with full per-config isolation: structured
+/// [`analyze_incremental`] with full per-config isolation: structured
 /// simulation errors *and* panics are both captured as
-/// [`ConfigOutcome::Degraded`] instead of propagating.
+/// [`ConfigOutcome::Degraded`] instead of propagating. This is the
+/// single-configuration entry point (the serve cold path, `check
+/// --keep-going`), so it runs the streaming pipeline; the batch pipeline
+/// ([`analyze_with_faults`]) is kept as the oracle the identity tests
+/// compare against.
 pub fn analyze_isolated(
     cfg: &ReportCfg,
     spec: &'static AppSpec,
@@ -335,7 +458,7 @@ pub fn analyze_isolated(
 ) -> ConfigOutcome {
     let mut span = obs::span("report", "config:isolated").with_arg("config", spec.config_name());
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        analyze_with_faults(cfg, spec, params, faults)
+        analyze_incremental(cfg, spec, params, faults)
     }));
     let outcome = match attempt {
         Ok(Ok(run)) => {

@@ -1,0 +1,47 @@
+//! The burst-grant scheduler is a performance lever, not a semantics
+//! change: every paper-level verdict produced under the default
+//! deterministic scheduler (one token per rank per barrier epoch) matches
+//! the per-op lockstep oracle — the pre-optimization schedule that
+//! round-robins a single operation at a time.
+//!
+//! The raw traces legitimately differ (grant timing moves timestamps);
+//! what must be schedule-invariant is the analysis: Table 3 labels,
+//! Table 4 conflict marks, and the paper-expected values themselves.
+
+use iolibs::{run_app, RunConfig};
+use recorder::{adjust, offset};
+use semantics_core::context::AnalysisContext;
+
+#[test]
+fn burst_grants_match_per_op_lockstep_oracle() {
+    let nranks = 8;
+    let specs: Vec<_> = hpcapps::specs()
+        .iter()
+        .filter(|s| s.in_table4)
+        .take(4)
+        .collect();
+    for spec in specs {
+        let tag = spec.config_name();
+        let base = RunConfig::new(nranks, 5).with_label(tag.clone());
+        let mut marks = Vec::new();
+        for cfg in [base.clone(), base.clone().per_op_lockstep()] {
+            let outcome = run_app(&cfg, |ctx| spec.run_with(ctx, &spec.params));
+            let adjusted = adjust::apply(&outcome.trace);
+            let resolved = offset::resolve(&adjusted);
+            let ctx = AnalysisContext::with_adjusted(&resolved, &adjusted);
+            let fused = ctx.fused_conflicts();
+            marks.push((
+                ctx.highlevel(nranks).label(),
+                fused.session.table4_marks(),
+                fused.commit.table4_marks(),
+            ));
+        }
+        assert_eq!(marks[0], marks[1], "{tag}: burst vs lockstep verdicts");
+        assert_eq!(marks[0].0, spec.expected_table3, "{tag}: Table 3 label");
+        assert_eq!(
+            marks[0].1,
+            spec.expected_session.as_tuple(),
+            "{tag}: Table 4 session marks"
+        );
+    }
+}

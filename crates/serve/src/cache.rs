@@ -13,6 +13,11 @@
 //! Lookups compare the full canonical key string, not just the
 //! fingerprint — a fingerprint collision can cost a false miss-and-evict,
 //! never a wrong answer.
+//!
+//! Degraded artifacts (the router's 422 bodies) are admitted under a
+//! separate, much smaller quota: a fault-campaign burst hammering the
+//! service with failing queries can only ever displace *other* degraded
+//! entries, never the healthy verdicts the cache exists to keep warm.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -23,18 +28,26 @@ struct Entry<V> {
     canonical: String,
     value: V,
     last_used: u64,
+    /// Admitted via [`ShardedLru::insert_degraded`] — counted against the
+    /// shard's degraded quota and the only eviction victims such inserts
+    /// may pick.
+    degraded: bool,
 }
 
 struct Shard<V> {
     /// Keyed by fingerprint; canonical string verified on hit.
     map: HashMap<(u64, u64), Entry<V>>,
     tick: u64,
+    /// Entries with `degraded` set, maintained incrementally.
+    degraded: usize,
 }
 
 /// The cache. `V` is cloned out on hit — use an `Arc` for large values.
 pub struct ShardedLru<V> {
     shards: Vec<Mutex<Shard<V>>>,
     per_shard_cap: usize,
+    /// Ceiling on degraded entries per shard (¼ of the shard, min 1).
+    per_shard_degraded_cap: usize,
 }
 
 impl<V: Clone> ShardedLru<V> {
@@ -48,10 +61,12 @@ impl<V: Clone> ShardedLru<V> {
                     Mutex::new(Shard {
                         map: HashMap::new(),
                         tick: 0,
+                        degraded: 0,
                     })
                 })
                 .collect(),
             per_shard_cap,
+            per_shard_degraded_cap: (per_shard_cap / 4).max(1),
         }
     }
 
@@ -73,26 +88,68 @@ impl<V: Clone> ShardedLru<V> {
         Some(entry.value.clone())
     }
 
-    /// Insert (or refresh) `key`, evicting the least-recently-used entry
-    /// of its shard when that shard is full.
+    /// Insert (or refresh) a healthy entry, evicting the
+    /// least-recently-used entry of its shard when that shard is full.
     pub fn insert(&self, key: &CacheKey, value: V) {
+        self.insert_classed(key, value, false);
+    }
+
+    /// Insert (or refresh) a degraded artifact under the smaller degraded
+    /// quota. Over quota — or with the shard full — the victim must be
+    /// another degraded entry; when none exists the insert is dropped
+    /// rather than evicting a healthy verdict. (The outcome is
+    /// deterministic, so the worst case is recomputing a failing run.)
+    pub fn insert_degraded(&self, key: &CacheKey, value: V) {
+        self.insert_classed(key, value, true);
+    }
+
+    fn insert_classed(&self, key: &CacheKey, value: V, degraded: bool) {
         let mut shard = self.shard(key).lock().unwrap();
         shard.tick += 1;
         let tick = shard.tick;
         let fp = key.fingerprint();
-        if !shard.map.contains_key(&fp) && shard.map.len() >= self.per_shard_cap {
-            if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.last_used) {
-                shard.map.remove(&victim);
+        if !shard.map.contains_key(&fp) {
+            if degraded {
+                if shard.degraded >= self.per_shard_degraded_cap
+                    || shard.map.len() >= self.per_shard_cap
+                {
+                    let victim = shard
+                        .map
+                        .iter()
+                        .filter(|(_, e)| e.degraded)
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(&k, _)| k);
+                    match victim {
+                        Some(v) => {
+                            shard.map.remove(&v);
+                            shard.degraded -= 1;
+                        }
+                        None => return,
+                    }
+                }
+            } else if shard.map.len() >= self.per_shard_cap {
+                if let Some((&victim, _)) = shard.map.iter().min_by_key(|(_, e)| e.last_used) {
+                    if shard.map.remove(&victim).is_some_and(|e| e.degraded) {
+                        shard.degraded -= 1;
+                    }
+                }
             }
         }
-        shard.map.insert(
+        let old = shard.map.insert(
             fp,
             Entry {
                 canonical: key.canonical().to_string(),
                 value,
                 last_used: tick,
+                degraded,
             },
         );
+        let was_degraded = old.is_some_and(|e| e.degraded);
+        if degraded && !was_degraded {
+            shard.degraded += 1;
+        } else if !degraded && was_degraded {
+            shard.degraded -= 1;
+        }
     }
 
     /// Total entries across every shard.
@@ -101,6 +158,11 @@ impl<V: Clone> ShardedLru<V> {
             .iter()
             .map(|s| s.lock().unwrap().map.len())
             .sum()
+    }
+
+    /// Degraded entries across every shard (for metrics and tests).
+    pub fn degraded_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().degraded).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -149,6 +211,62 @@ mod tests {
         }
         assert!(cache.len() <= 16, "len {} exceeds capacity", cache.len());
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn degraded_burst_cannot_evict_healthy_entries() {
+        // One shard, capacity 4 ⇒ degraded quota 1. Fill with healthy
+        // verdicts, then hammer with degraded artifacts.
+        let cache: ShardedLru<u64> = ShardedLru::new(4, 1);
+        for n in 0..4 {
+            cache.insert(&key(n), n);
+        }
+        for n in 100..200 {
+            cache.insert_degraded(&key(n), n);
+        }
+        for n in 0..4 {
+            assert_eq!(cache.get(&key(n)), Some(n), "healthy verdict {n} evicted");
+        }
+        assert!(cache.len() <= 4);
+        assert_eq!(
+            cache.degraded_entries(),
+            0,
+            "full shard of healthy entries admits no degraded artifact"
+        );
+    }
+
+    #[test]
+    fn degraded_entries_bounded_by_quota_and_displace_each_other() {
+        // One shard, capacity 8 ⇒ degraded quota 2.
+        let cache: ShardedLru<u64> = ShardedLru::new(8, 1);
+        cache.insert(&key(1), 1);
+        for n in 100..120 {
+            cache.insert_degraded(&key(n), n);
+        }
+        assert_eq!(cache.degraded_entries(), 2, "quota is capacity/4");
+        assert_eq!(cache.get(&key(1)), Some(1));
+        // The two most recent degraded artifacts survived (LRU among
+        // degraded only) and refresh normally.
+        assert_eq!(cache.get(&key(118)), Some(118));
+        assert_eq!(cache.get(&key(119)), Some(119));
+        // Refreshing an existing degraded entry is never dropped.
+        cache.insert_degraded(&key(119), 1190);
+        assert_eq!(cache.get(&key(119)), Some(1190));
+        assert_eq!(cache.degraded_entries(), 2);
+    }
+
+    #[test]
+    fn healthy_inserts_still_evict_degraded_lru_entries() {
+        // One shard, capacity 2 ⇒ quota 1. A healthy insert into a full
+        // shard may evict a degraded entry (global LRU), and the counter
+        // tracks it.
+        let cache: ShardedLru<u64> = ShardedLru::new(2, 1);
+        cache.insert_degraded(&key(100), 100);
+        cache.insert(&key(1), 1);
+        cache.insert(&key(2), 2); // shard full; key(100) is LRU
+        assert_eq!(cache.get(&key(100)), None, "degraded LRU evicted");
+        assert_eq!(cache.degraded_entries(), 0);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -84,7 +84,9 @@ pub enum ApiError {
     BadRequest(String),
     /// The isolated analysis degraded (simulation error or caught panic)
     /// → 422: the request was well-formed, the run itself failed. The
-    /// outcome is deterministic, so it is cached like any other result.
+    /// outcome is deterministic, so it is cached too — but under the
+    /// cache's smaller degraded quota, so failing-query bursts cannot
+    /// evict healthy verdicts.
     Degraded { config: String, error: String },
 }
 
@@ -253,7 +255,14 @@ impl Router {
                     .with_arg("cfg", query.config.clone());
                 let computed: CachedResult = Arc::new(self.backend.analyze(&query));
                 span.set_arg("ok", u64::from(computed.is_ok()));
-                self.cache.insert(&key, Arc::clone(&computed));
+                // Degraded outcomes are admitted under the cache's smaller
+                // degraded quota so a burst of failing queries cannot
+                // evict healthy verdicts.
+                if computed.is_ok() {
+                    self.cache.insert(&key, Arc::clone(&computed));
+                } else {
+                    self.cache.insert_degraded(&key, Arc::clone(&computed));
+                }
                 computed
             }
         };
@@ -395,6 +404,42 @@ mod tests {
         // Degraded results are cached too.
         assert_eq!(r.cached_entries(), 1);
         assert_eq!(r.handle(&request("/v1/verdict/sick/x")).status, 422);
+    }
+
+    #[test]
+    fn degraded_burst_leaves_healthy_verdicts_cached() {
+        // A backend that counts cold healthy runs: the healthy verdict
+        // must never be recomputed, however many failing queries burst
+        // through the (tiny) cache.
+        struct CountingBackend(std::sync::atomic::AtomicUsize);
+        impl Backend for CountingBackend {
+            fn apps_json(&self) -> String {
+                EchoBackend.apps_json()
+            }
+            fn canonicalize(&self, q: AnalysisQuery) -> Result<AnalysisQuery, ApiError> {
+                EchoBackend.canonicalize(q)
+            }
+            fn analyze(&self, q: &AnalysisQuery) -> Result<AnalysisViews, ApiError> {
+                if q.app != "sick" {
+                    self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                EchoBackend.analyze(q)
+            }
+        }
+        let backend = Arc::new(CountingBackend(std::sync::atomic::AtomicUsize::new(0)));
+        let r = Router::new(Arc::clone(&backend) as Arc<dyn Backend>, 2);
+        assert_eq!(r.handle(&request("/v1/verdict/a/b")).status, 200);
+        for n in 0..50 {
+            let line = format!("/v1/verdict/sick/x?seed={n}");
+            assert_eq!(r.handle(&request(&line)).status, 422);
+        }
+        assert_eq!(r.handle(&request("/v1/verdict/a/b")).status, 200);
+        assert_eq!(
+            backend.0.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "healthy verdict was evicted by the degraded burst"
+        );
+        assert!(r.cached_entries() <= 2);
     }
 
     #[test]

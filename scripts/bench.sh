@@ -1,20 +1,44 @@
 #!/usr/bin/env sh
-# Rebuild and run the perf harness, refreshing BENCH_PR2.json at the
+# Rebuild and run the perf harnesses, refreshing BENCH_PR2.json (fused
+# analysis pipeline) and BENCH_PR6.json (streaming cold path) at the
 # repo root. Extra arguments are passed through to `perf`, e.g.:
 #
 #   scripts/bench.sh                 # full run, best-of-3
 #   scripts/bench.sh --no-e2e        # skip the end-to-end fan-out
-#   scripts/bench.sh --ranks 64      # paper-scale end-to-end
+#   scripts/bench.sh --ranks 64     # paper-scale end-to-end
 #   scripts/bench.sh --smoke         # tiny sizes, CI sanity check
 #
-# The harness compares the fused AnalysisContext pipeline against the
+# `perf` compares the fused AnalysisContext pipeline against the
 # separate-pass baseline and, when BENCH_PR1.json is present, against the
 # PR-1 end-to-end numbers. A box with one hardware thread is flagged in
 # the artifact as "degraded_parallelism": true.
+#
+# `coldbench` measures the streaming incremental cold path against a
+# same-box reconstruction of the pre-streaming pipeline (per-op lockstep
+# scheduling + batch analysis + unmemoized conflict validation) and
+# exits 1 if the cold speedup falls below its floor (2x). --smoke is
+# forwarded so CI can exercise the harness without enforcing the gate.
 #
 # The mini micro-benchmarks (crates/bench) are separate:
 #   cargo bench -p bench
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release -p report-gen
-exec ./target/release/perf "$@"
+
+COLD_ARGS=""
+COLD_OUT="BENCH_PR6.json"
+PERF_ARGS=""
+for a in "$@"; do
+    # Smoke runs check the harnesses, not the numbers — keep them away
+    # from the committed artifacts.
+    if [ "$a" = "--smoke" ]; then
+        COLD_ARGS="--smoke"
+        COLD_OUT="target/BENCH_PR6_SMOKE.json"
+        PERF_ARGS="--out target/BENCH_PR2_SMOKE.json"
+    fi
+done
+
+# shellcheck disable=SC2086  # PERF_ARGS is empty or one flag pair
+./target/release/perf "$@" $PERF_ARGS
+# shellcheck disable=SC2086  # COLD_ARGS is empty or a single flag
+exec ./target/release/coldbench $COLD_ARGS --out "$COLD_OUT"

@@ -53,6 +53,19 @@ grep -q "shutdown complete" target/serve_smoke.log || {
     echo "serve did not drain cleanly"; cat target/serve_smoke.log; exit 1;
 }
 
+echo "ci: streaming equivalence smoke"
+# The streaming incremental analyzer must stay byte-identical to the
+# batch oracle. The debug suite above already ran the full matrix
+# (every app x every semantics model x fault campaigns); this re-checks
+# a 3-app x 2-model slice in release mode — optimizer-sensitive
+# ordering bugs would surface here — then exercises the cold-path
+# benchmark harness end-to-end, including its incremental-vs-baseline
+# verdict cross-check (--smoke sizes, speedup gate not enforced;
+# scripts/bench.sh runs the gated measurement into BENCH_PR6.json).
+cargo test --release -q -p report-gen --test incremental_identity \
+    smoke_three_apps_two_models
+./target/release/coldbench --smoke --out target/BENCH_COLD_SMOKE.json
+
 echo "ci: observability overhead smoke"
 # One interleaved off/on rep at small size — checks the harness and a
 # loose budget, not the headline number (CI boxes are noisy and often
