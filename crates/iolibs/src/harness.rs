@@ -12,7 +12,8 @@
 //! the assembled [`TraceSet`] together with the quiesced file system.
 
 use mpisim::{
-    CostModel, FaultPlan, IoFault, OpClass, Rank, SchedMode, SimAbort, SimError, World, WorldCfg,
+    CostModel, ExecModel, FaultPlan, IoFault, OpClass, Rank, SchedMode, SimAbort, SimError, World,
+    WorldCfg,
 };
 use pfssim::{
     FsError, FsResult, MetaOp, Observation, OpenFlags, Pfs, PfsConfig, ReadOut, SemanticsModel,
@@ -58,6 +59,10 @@ pub struct RunConfig {
     /// Label naming this run in observability output (trace timelines,
     /// run spans). Purely cosmetic; never affects the simulation.
     pub label: String,
+    /// Rank execution engine: event-loop tasks (host default) or one OS
+    /// thread per rank. Identical traces under the deterministic
+    /// scheduler modes; see `ExecModel`.
+    pub exec: ExecModel,
     /// Optional streaming sink the run tees its POSIX records to as they
     /// are emitted (see [`crate::sink`]). `None` costs nothing.
     pub sink: Option<SinkHandle>,
@@ -77,6 +82,7 @@ impl RunConfig {
             faults: FaultPlan::none(),
             label: String::new(),
             sink: None,
+            exec: ExecModel::default_for_host(),
         }
     }
 
@@ -117,6 +123,19 @@ impl RunConfig {
     /// [`crate::sink`]).
     pub fn with_sink(mut self, sink: SinkHandle) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Select the rank execution engine explicitly.
+    pub fn with_exec(mut self, exec: ExecModel) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Run ranks as OS threads — the oracle executor the event loop is
+    /// regression-tested against.
+    pub fn threaded_ranks(mut self) -> Self {
+        self.exec = ExecModel::Threads;
         self
     }
 }
@@ -262,6 +281,7 @@ where
             .sink
             .as_ref()
             .map(|s| mpisim::EpochSinkHandle::new(std::sync::Arc::new(EpochForwarder(s.clone())))),
+        exec: cfg.exec,
     };
     let out = World::run(&world_cfg, |rank| {
         let r = rank.rank();

@@ -35,7 +35,7 @@ pub use harness::{
 };
 pub use hdf5::{H5File, H5Opts};
 pub use mpiio::{MpiFile, MpiIoHints};
-pub use mpisim::{FaultKind, FaultPlan, FaultSite, IoFault, SimError};
+pub use mpisim::{ExecModel, FaultKind, FaultPlan, FaultSite, IoFault, SimError, MAX_RANKS};
 pub use netcdf::NcFile;
 pub use silo::{SiloFile, SiloOpts};
 pub use sink::{RunSink, SinkHandle};

@@ -214,32 +214,70 @@ impl Rank {
         }
     }
 
+    /// Reduce each rank's `u64` at rank 0 with `combine`, then broadcast
+    /// the 8-byte result — the skeleton under every scalar all-reduce.
+    ///
+    /// Same message count as an `allgather`-based formulation (a gather
+    /// leg plus a broadcast leg, `n-1` messages each), but Θ(n) payload
+    /// bytes instead of Θ(n²): the broadcast carries one scalar, not the
+    /// framed concatenation of every contribution. At thousands of ranks
+    /// the framed variant dominated entire runs — each of `n` receivers
+    /// got its own clone of an `n`-entry blob.
+    fn allreduce_u64(&self, mine: u64, combine: impl Fn(u64, u64) -> u64) -> u64 {
+        let gathered = self.gather(0, &mine.to_le_bytes());
+        if self.rank == 0 {
+            let total = gathered
+                .expect("root gather")
+                .iter()
+                .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
+                .fold(None, |acc: Option<u64>, v| {
+                    Some(acc.map_or(v, |a| combine(a, v)))
+                })
+                .unwrap_or(0);
+            self.bcast(0, &total.to_le_bytes());
+            total
+        } else {
+            let b = self.bcast(0, &[]);
+            u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload"))
+        }
+    }
+
     /// Sum-reduce a `u64` across all ranks; result on every rank.
     pub fn allreduce_sum_u64(&self, mine: u64) -> u64 {
-        let parts = self.allgather(&mine.to_le_bytes());
-        parts
-            .iter()
-            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
-            .sum()
+        self.allreduce_u64(mine, |a, b| a.wrapping_add(b))
     }
 
     /// Max-reduce a `u64` across all ranks; result on every rank.
     pub fn allreduce_max_u64(&self, mine: u64) -> u64 {
-        let parts = self.allgather(&mine.to_le_bytes());
-        parts
-            .iter()
-            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
-            .max()
-            .unwrap_or(0)
+        self.allreduce_u64(mine, std::cmp::max)
     }
 
     /// Exclusive prefix sum: rank r receives the sum over ranks < r.
+    /// Scalar gather + scalar scatter — Θ(n) payload bytes, the same
+    /// message count as the gather+broadcast shape above.
     pub fn exscan_sum_u64(&self, mine: u64) -> u64 {
-        let parts = self.allgather(&mine.to_le_bytes());
-        parts[..self.rank as usize]
-            .iter()
-            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
-            .sum()
+        let gathered = self.gather(0, &mine.to_le_bytes());
+        if self.rank == 0 {
+            let vals: Vec<u64> = gathered
+                .expect("root gather")
+                .iter()
+                .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
+                .collect();
+            let mut acc = 0u64;
+            let prefixes: Vec<Vec<u8>> = vals
+                .iter()
+                .map(|&v| {
+                    let p = acc.to_le_bytes().to_vec();
+                    acc = acc.wrapping_add(v);
+                    p
+                })
+                .collect();
+            let mine_out = self.scatter(0, Some(&prefixes));
+            u64::from_le_bytes(mine_out.as_slice().try_into().expect("u64 payload"))
+        } else {
+            let b = self.scatter(0, None);
+            u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload"))
+        }
     }
 
     /// Scatter: rank `root`'s `parts[d]` is delivered to rank `d`.

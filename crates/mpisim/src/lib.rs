@@ -1,9 +1,14 @@
 //! # mpisim — an in-process simulated MPI runtime
 //!
 //! The paper traces real MPI applications running on a cluster. This crate
-//! substitutes an in-process runtime: every MPI *rank* is a thread, and all
-//! communication (point-to-point messages, barriers, collectives) happens
-//! through shared simulator state guarded by a single lock.
+//! substitutes an in-process runtime: every MPI *rank* is a resumable task
+//! on one discrete-event loop (or, under [`ExecModel::Threads`], an OS
+//! thread), and all communication (point-to-point messages, barriers,
+//! collectives) happens through shared simulator state guarded by a single
+//! lock. The task executor is what makes thousand-rank worlds affordable:
+//! a rank switch is a userspace stack swap instead of a futex round trip,
+//! and rank memory is a lazily-committed task stack instead of an OS
+//! thread.
 //!
 //! Two properties matter for the reproduction:
 //!
@@ -42,6 +47,7 @@ mod event;
 mod fault;
 mod sched;
 mod sink;
+mod task;
 mod world;
 
 pub use clock::{CostModel, OpClass};
@@ -51,4 +57,4 @@ pub use event::{EventKind, MpiEvent};
 pub use fault::{FaultKind, FaultPlan, FaultSite, IoFault};
 pub use sched::SchedMode;
 pub use sink::{EpochNotify, EpochSinkHandle};
-pub use world::{Rank, RunOutput, World, WorldCfg};
+pub use world::{ExecModel, Rank, RunOutput, World, WorldCfg, MAX_RANKS};

@@ -94,6 +94,53 @@ pub(crate) enum RankStatus {
     Crashed,
 }
 
+/// Fenwick (binary-indexed) tree over rank indices with 0/1 membership:
+/// O(log n) point update, O(log n) *k-th member* selection. Backing store
+/// for the requester set — dispatch draws the k-th requester in rank-index
+/// order, and at thousands of ranks a status-vector `.nth(k)` scan per
+/// grant (plus a `.position()` scan per op for the token holder) turns the
+/// whole simulation Θ(n²), drowning everything else.
+pub(crate) struct RankSelect {
+    /// 1-based Fenwick array; `tree[i]` covers `i & -i` membership bits.
+    tree: Vec<u32>,
+    n: usize,
+}
+
+impl RankSelect {
+    fn new(n: usize) -> Self {
+        RankSelect {
+            tree: vec![0; n + 1],
+            n,
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, rank: usize, delta: i32) {
+        let mut i = rank + 1;
+        while i <= self.n {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// 0-based rank index of the k-th (0-based) member, in increasing
+    /// index order. Caller guarantees `k < membership count`.
+    fn select(&self, k: usize) -> usize {
+        let mut pos = 0usize; // 1-based prefix position accumulator
+        let mut rem = (k + 1) as u32;
+        let mut step = self.n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.n && self.tree[next] < rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos
+    }
+}
+
 /// A buffered point-to-point message.
 #[derive(Debug, Clone)]
 pub(crate) struct Msg {
@@ -121,6 +168,19 @@ pub(crate) struct SimState {
     n_granted: usize,
     n_blocked: usize,
     n_live: usize,
+    /// The requester set as an order-statistics structure; dispatch picks
+    /// the k-th requesting rank in index order without scanning `status`.
+    requesting: RankSelect,
+    /// The current token holder, if any (there is at most one). Tracked so
+    /// the per-op clock-freeze wake needs no `status` scan.
+    granted_rank: Option<u32>,
+    /// Whether the token holder is parked in `turn_begin`'s clock-freeze
+    /// wait (some rank still computing). Only then does a status change
+    /// need to wake it — pushing the holder on *every* transition queued a
+    /// spurious wake per simulated op, a full resume round-trip each in
+    /// task mode. Set under the lock by the holder before it waits, so
+    /// the transition that zeroes `n_computing` cannot miss it.
+    pub holder_waiting: bool,
     pub deadlocked: bool,
     /// Blocked set captured at the moment deadlock was declared. The
     /// parked ranks unwind (and leave `Blocked`) as they observe the
@@ -220,6 +280,9 @@ impl SimState {
             n_granted: 0,
             n_blocked: 0,
             n_live: n,
+            requesting: RankSelect::new(n),
+            granted_rank: None,
+            holder_waiting: false,
             deadlocked: false,
             deadlock_blocked: Vec::new(),
             clock_ns: start_ns,
@@ -311,6 +374,19 @@ impl SimState {
         if let Some(c) = self.counter_for(s) {
             *c += 1;
         }
+        if old == RankStatus::Requesting {
+            self.requesting.update(r, -1);
+        }
+        if s == RankStatus::Requesting {
+            self.requesting.update(r, 1);
+        }
+        if old == RankStatus::Granted {
+            self.granted_rank = None;
+            self.holder_waiting = false;
+        }
+        if s == RankStatus::Granted {
+            self.granted_rank = Some(r as u32);
+        }
         if s == RankStatus::Crashed && old != RankStatus::Crashed {
             self.n_live -= 1;
         }
@@ -331,9 +407,11 @@ impl SimState {
             // clock-freeze invariant (no rank still computing — see
             // `Rank::turn_begin`). The status transition that zeroed
             // `n_computing` must wake it.
-            if self.mode == SchedMode::Deterministic && self.n_computing == 0 {
-                if let Some(holder) = self.status.iter().position(|s| *s == RankStatus::Granted) {
-                    self.pending_wakes.push(holder as u32);
+            if self.mode == SchedMode::Deterministic && self.n_computing == 0 && self.holder_waiting
+            {
+                if let Some(holder) = self.granted_rank {
+                    self.holder_waiting = false;
+                    self.pending_wakes.push(holder);
                 }
             }
             return;
@@ -395,14 +473,15 @@ impl SimState {
             }
             SchedMode::Free => 0,
         };
-        let pick = self
-            .status
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == RankStatus::Requesting)
-            .nth(k)
-            .map(|(i, _)| i)
-            .expect("requesting counter out of sync with status vector");
+        // O(log n) order-statistics pick: the k-th requester in rank-index
+        // order, exactly the rank the old `.filter(Requesting).nth(k)`
+        // status scan produced — schedules are bit-identical.
+        let pick = self.requesting.select(k);
+        debug_assert_eq!(
+            self.status[pick],
+            RankStatus::Requesting,
+            "requester Fenwick tree out of sync with status vector"
+        );
         self.set_status(pick, RankStatus::Granted);
         self.pending_wakes.push(pick as u32);
     }

@@ -12,10 +12,44 @@ use crate::fault::{FaultPlan, IoFault};
 use crate::sched::{RankStatus, SchedMode, SimState};
 use crate::sink::EpochSinkHandle;
 
+/// Upper bound on the rank count of one world. The task executor commits
+/// stack pages lazily, so the real ceiling is address space and patience,
+/// not memory — but a rank count beyond this is always a typo or a unit
+/// error, and front ends reject it before allocating anything.
+pub const MAX_RANKS: u32 = 65_536;
+
+/// How rank programs are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecModel {
+    /// Every rank is a resumable stackful task; one OS thread drives all of
+    /// them on a discrete-event loop, switching at exactly the points where
+    /// the scheduler would have parked a thread. The default where
+    /// supported: byte-identical traces to [`ExecModel::Threads`] under the
+    /// deterministic scheduler modes, at a fraction of the wall-clock and
+    /// memory. See `DESIGN.md` §14.
+    Tasks,
+    /// One OS thread per rank — the original executor, kept as the oracle
+    /// the task engine is regression-tested against, and as the fallback on
+    /// architectures without a context-switch implementation.
+    Threads,
+}
+
+impl ExecModel {
+    /// [`ExecModel::Tasks`] where the coroutine engine exists for this
+    /// architecture, [`ExecModel::Threads`] otherwise.
+    pub fn default_for_host() -> Self {
+        if crate::task::supported() {
+            ExecModel::Tasks
+        } else {
+            ExecModel::Threads
+        }
+    }
+}
+
 /// Configuration for a simulated world.
 #[derive(Debug, Clone)]
 pub struct WorldCfg {
-    /// Number of MPI ranks (threads).
+    /// Number of MPI ranks (tasks or threads, per [`WorldCfg::exec`]).
     pub nranks: u32,
     /// Seed controlling both the deterministic scheduler and the per-rank
     /// clock skew.
@@ -39,6 +73,10 @@ pub struct WorldCfg {
     /// Optional streaming sink notified of epoch commits and rank stops
     /// (see [`crate::sink`]); `None` costs nothing.
     pub epoch_sink: Option<EpochSinkHandle>,
+    /// Rank execution engine. [`ExecModel::Tasks`] (the host default) and
+    /// [`ExecModel::Threads`] produce byte-identical traces under the
+    /// deterministic scheduler modes.
+    pub exec: ExecModel,
 }
 
 impl WorldCfg {
@@ -55,6 +93,7 @@ impl WorldCfg {
             faults: FaultPlan::none(),
             label: String::new(),
             epoch_sink: None,
+            exec: ExecModel::default_for_host(),
         }
     }
 
@@ -94,6 +133,18 @@ impl WorldCfg {
         self.epoch_sink = Some(sink);
         self
     }
+
+    /// Select the rank execution engine explicitly.
+    pub fn with_exec(mut self, exec: ExecModel) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Run ranks as OS threads (the pre-task oracle executor).
+    pub fn threaded_ranks(mut self) -> Self {
+        self.exec = ExecModel::Threads;
+        self
+    }
 }
 
 pub(crate) struct Shared {
@@ -113,7 +164,15 @@ pub(crate) struct Shared {
     /// harness skip the per-op fault probe (a lock acquisition) entirely
     /// on clean runs.
     pub has_io_faults: bool,
+    /// Whether ranks run as tasks on the event loop (true) or as OS
+    /// threads (false). Decides how a rank suspends: yield to the driving
+    /// loop vs. condvar wait. Fixed at world creation.
+    pub task_mode: bool,
 }
+
+/// A caught panic payload, carried from the rank that raised it to the
+/// driving thread, which re-panics with it after the world drains.
+type Payload = Box<dyn std::any::Any + Send>;
 
 /// Lock a poisonable mutex, tolerating poison: a rank thread that panicked
 /// while holding the lock must not cascade panics into every other rank —
@@ -192,8 +251,20 @@ impl<T> RunOutput<T> {
 }
 
 impl World {
+    /// A world whose ranks are driven by caller-owned threads (one per
+    /// rank, via [`World::rank`]). [`World::run`] constructs its own world
+    /// and honours [`WorldCfg::exec`] instead.
     pub fn new(cfg: &WorldCfg) -> Self {
+        Self::new_internal(cfg, false)
+    }
+
+    fn new_internal(cfg: &WorldCfg, task_mode: bool) -> Self {
         assert!(cfg.nranks > 0, "world must have at least one rank");
+        assert!(
+            cfg.nranks <= MAX_RANKS,
+            "world of {} ranks exceeds MAX_RANKS ({MAX_RANKS})",
+            cfg.nranks
+        );
         let mut skew_rng = SimRng::seed_from_u64(cfg.seed ^ 0x0c10_c0c1_0c0c_105e);
         let skews = (0..cfg.nranks)
             .map(|_| {
@@ -229,6 +300,7 @@ impl World {
                 cost: cfg.cost.clone(),
                 skews,
                 has_io_faults,
+                task_mode,
             }),
         }
     }
@@ -249,7 +321,8 @@ impl World {
         }
     }
 
-    /// Spawn one thread per rank running `f`, wait for all of them, and
+    /// Run `f` on every rank — tasks on one event loop or one OS thread
+    /// per rank, per [`WorldCfg::exec`] — wait for all of them, and
     /// collect results plus the event log.
     ///
     /// Runtime failures are reported, not panicked: a deadlock (every live
@@ -260,21 +333,75 @@ impl World {
     /// `None`. A genuine panic in application code still propagates —
     /// but only after the panicking rank is marked crashed in the
     /// scheduler, so surviving ranks drain (finish or cascade-abort)
-    /// instead of waiting forever on a dead thread's token.
+    /// instead of waiting forever on a dead rank's token.
     pub fn run<T, F>(cfg: &WorldCfg, f: F) -> Result<RunOutput<T>, SimError>
     where
         T: Send,
         F: Fn(Rank) -> T + Sync,
     {
         install_quiet_abort_hook();
-        let world = World::new(cfg);
-        type Payload = Box<dyn std::any::Any + Send>;
+        let task_mode = cfg.exec == ExecModel::Tasks && crate::task::supported();
+        let world = World::new_internal(cfg, task_mode);
+        let (results, panicked) = if task_mode {
+            Self::run_tasks(&world, cfg, &f)
+        } else {
+            Self::run_threads(&world, cfg, &f)
+        };
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+        let mut st = lock_state(&world.shared.state);
+        // Observability flush: one aggregate pass per world, never per op —
+        // the per-op fast path stays untouched so instrumented runs hold
+        // the <2% overhead budget.
+        if let Some(base) = st.trace_pid_base {
+            for r in 0..cfg.nranks as usize {
+                let dur = st.clock_ns.saturating_sub(cfg.start_ns);
+                let args = vec![
+                    ("rank", obs::Arg::U(r as u64)),
+                    ("ops", obs::Arg::U(st.op_index[r])),
+                    ("crashed", obs::Arg::U(st.faults[r].is_some() as u64)),
+                ];
+                st.buf_span(base + r as u64, "run", cfg.start_ns, dur, args);
+            }
+            obs::span::push_bulk(&mut st.trace_buf);
+        }
+        if obs::metrics_enabled() {
+            let m = obs::metrics();
+            m.add("mpisim.worlds", 1);
+            m.add("mpisim.ops", st.op_index.iter().sum());
+            m.add("mpisim.messages", st.next_msg_seq);
+            m.add("mpisim.barrier_epochs", st.barrier_epoch);
+            m.add("mpisim.crashes", st.faults.iter().flatten().count() as u64);
+            if st.deadlocked {
+                m.add("mpisim.deadlocks", 1);
+            }
+        }
+        if st.deadlocked {
+            return Err(SimError::Deadlock {
+                blocked: st.blocked_ranks(),
+            });
+        }
+        Ok(RunOutput {
+            results,
+            faults: std::mem::take(&mut st.faults),
+            events: std::mem::take(&mut st.events),
+            final_time_ns: st.clock_ns,
+            skews_ns: world.shared.skews.clone(),
+        })
+    }
+
+    /// The thread-per-rank executor (the oracle path).
+    fn run_threads<T, F>(world: &World, cfg: &WorldCfg, f: &F) -> (Vec<Option<T>>, Option<Payload>)
+    where
+        T: Send,
+        F: Fn(Rank) -> T + Sync,
+    {
         let mut panicked: Option<Payload> = None;
         let results: Vec<Option<T>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..cfg.nranks)
                 .map(|r| {
                     let rank = world.rank(r);
-                    let f = &f;
                     s.spawn(move || -> Result<Option<T>, Payload> {
                         match std::panic::catch_unwind(AssertUnwindSafe(|| f(rank.clone_handle())))
                         {
@@ -318,48 +445,137 @@ impl World {
                 })
                 .collect()
         });
-        if let Some(payload) = panicked {
-            std::panic::resume_unwind(payload);
-        }
-        let mut st = lock_state(&world.shared.state);
-        // Observability flush: one aggregate pass per world, never per op —
-        // the per-op fast path stays untouched so instrumented runs hold
-        // the <2% overhead budget.
-        if let Some(base) = st.trace_pid_base {
-            for r in 0..cfg.nranks as usize {
-                let dur = st.clock_ns.saturating_sub(cfg.start_ns);
-                let args = vec![
-                    ("rank", obs::Arg::U(r as u64)),
-                    ("ops", obs::Arg::U(st.op_index[r])),
-                    ("crashed", obs::Arg::U(st.faults[r].is_some() as u64)),
-                ];
-                st.buf_span(base + r as u64, "run", cfg.start_ns, dur, args);
+        (results, panicked)
+    }
+
+    /// The event-loop executor: every rank is a stackful task; this (the
+    /// caller's thread) is the scheduler, resuming one task at a time.
+    ///
+    /// The loop is wake-driven. A running task that changes another rank's
+    /// status queues it in `SimState::pending_wakes` exactly as under
+    /// threads — but with `Shared::task_mode` set, `Rank::drain_wakes`
+    /// leaves the queue alone instead of signaling condvars, and the loop
+    /// transfers it into its run queue after every resume. Resumes can be
+    /// spurious (a queued rank may have been woken for a predicate that no
+    /// longer holds); that is safe because every suspension site is a
+    /// predicate-recheck loop, identical to a spurious condvar wakeup.
+    ///
+    /// Determinism: under the lockstep scheduler modes the grant sequence
+    /// is a pure function of `(seed, program, faults)` — an RNG draw only
+    /// happens once every live rank has declared itself, and the pick is
+    /// by rank index over the requester set, not by arrival order — so
+    /// driving ranks from this loop instead of OS threads reproduces the
+    /// thread executor's traces byte for byte (see `sched_equivalence.rs`).
+    fn run_tasks<T, F>(world: &World, cfg: &WorldCfg, f: &F) -> (Vec<Option<T>>, Option<Payload>)
+    where
+        T: Send,
+        F: Fn(Rank) -> T + Sync,
+    {
+        use std::cell::RefCell;
+        use std::collections::VecDeque;
+
+        let n = cfg.nranks as usize;
+        let stack_bytes = crate::task::stack_bytes_from_env();
+        let results: Vec<RefCell<Option<T>>> = (0..n).map(|_| RefCell::new(None)).collect();
+        let panicked: RefCell<Option<Payload>> = RefCell::new(None);
+        let mut tasks: Vec<crate::task::Task> = (0..cfg.nranks)
+            .map(|r| {
+                let rank = world.rank(r);
+                let slot = &results[r as usize];
+                let panicked = &panicked;
+                // SAFETY: every task is resumed to completion below before
+                // `results`, `panicked` and `f` go out of scope, and all
+                // resumes happen on this thread.
+                unsafe {
+                    crate::task::Task::new(
+                        stack_bytes,
+                        Box::new(move || {
+                            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                f(rank.clone_handle())
+                            })) {
+                                Ok(out) => {
+                                    rank.finish();
+                                    *slot.borrow_mut() = Some(out);
+                                }
+                                Err(payload) => {
+                                    if payload.downcast_ref::<SimAbort>().is_some() {
+                                        // Controlled fail-stop; the aborting
+                                        // path already recorded the fault.
+                                    } else {
+                                        // A bug escaped the rank closure.
+                                        // Crash the rank so the world drains,
+                                        // then save the payload for the
+                                        // driver to re-panic with.
+                                        rank.poison(format!(
+                                            "panic: {}",
+                                            panic_payload_message(&payload)
+                                        ));
+                                        panicked.borrow_mut().get_or_insert(payload);
+                                    }
+                                }
+                            }
+                        }),
+                    )
+                }
+            })
+            .collect();
+
+        let mut runq: VecDeque<u32> = VecDeque::with_capacity(n);
+        let mut queued = vec![false; n];
+        let mut switches: u64 = 0;
+        let drain = |runq: &mut VecDeque<u32>, queued: &mut Vec<bool>| {
+            let mut st = lock_state(&world.shared.state);
+            while let Some(r) = st.pending_wakes.pop() {
+                if !queued[r as usize] {
+                    queued[r as usize] = true;
+                    runq.push_back(r);
+                }
             }
-            obs::span::push_bulk(&mut st.trace_buf);
+        };
+        // Start every rank once, in rank order. Under lockstep no grant can
+        // fire before the last rank has declared itself, so the start order
+        // cannot influence the schedule; fixing it anyway keeps even Free
+        // mode repeatable on this executor.
+        for t in tasks.iter_mut() {
+            t.resume();
+            switches += 1;
+            drain(&mut runq, &mut queued);
+        }
+        while let Some(r) = runq.pop_front() {
+            queued[r as usize] = false;
+            let t = &mut tasks[r as usize];
+            if t.finished() {
+                // Deadlock declaration (and some crash paths) wake every
+                // rank, including ones already done.
+                continue;
+            }
+            t.resume();
+            switches += 1;
+            drain(&mut runq, &mut queued);
+        }
+        if let Some(stuck) = tasks.iter().position(|t| !t.finished()) {
+            // Unreachable by construction: an empty run queue with an
+            // unfinished task would mean a suspension site that nobody ever
+            // wakes — every such site is covered by pending_wakes (grants,
+            // unparks, deadlock declaration). Abandoning a suspended task
+            // would leak its stack frames, so fail loudly instead.
+            let st = lock_state(&world.shared.state);
+            panic!(
+                "event loop stalled: rank {stuck} never finished \
+                 (status {:?}, deadlocked={})",
+                st.status[stuck], st.deadlocked
+            );
         }
         if obs::metrics_enabled() {
             let m = obs::metrics();
-            m.add("mpisim.worlds", 1);
-            m.add("mpisim.ops", st.op_index.iter().sum());
-            m.add("mpisim.messages", st.next_msg_seq);
-            m.add("mpisim.barrier_epochs", st.barrier_epoch);
-            m.add("mpisim.crashes", st.faults.iter().flatten().count() as u64);
-            if st.deadlocked {
-                m.add("mpisim.deadlocks", 1);
-            }
+            m.add("mpisim.task_switches", switches);
+            m.set_max("sim.live_tasks", n as u64);
+            m.set_max("sim.task_mem_peak_bytes", (n * stack_bytes) as u64);
         }
-        if st.deadlocked {
-            return Err(SimError::Deadlock {
-                blocked: st.blocked_ranks(),
-            });
-        }
-        Ok(RunOutput {
-            results,
-            faults: std::mem::take(&mut st.faults),
-            events: std::mem::take(&mut st.events),
-            final_time_ns: st.clock_ns,
-            skews_ns: world.shared.skews.clone(),
-        })
+        (
+            results.into_iter().map(|c| c.into_inner()).collect(),
+            panicked.into_inner(),
+        )
     }
 }
 
@@ -417,11 +633,40 @@ impl Rank {
     /// Signal every rank queued in `pending_wakes` (except ourselves: the
     /// caller re-checks its own predicate before sleeping). Must run before
     /// the mutating thread sleeps or releases the lock, so no wake is lost.
+    ///
+    /// Under the task executor this is a no-op: the event loop transfers
+    /// `pending_wakes` into its run queue after every task switch, and no
+    /// wake can be missed because nothing else runs until this rank yields
+    /// back to the loop.
     fn drain_wakes(&self, st: &mut SimState) {
+        if self.shared.task_mode {
+            return;
+        }
         while let Some(r) = st.pending_wakes.pop() {
             if r != self.rank {
                 self.shared.cvs[r as usize].notify_one();
             }
+        }
+    }
+
+    /// Suspend this rank until its status may have changed: a condvar wait
+    /// under the thread executor, a yield back to the event loop under the
+    /// task executor. Either way the world lock is released while
+    /// suspended and re-held on return, and the return may be spurious —
+    /// every caller sits in a predicate-recheck loop.
+    fn await_wake<'a>(&'a self, st: MutexGuard<'a, SimState>) -> MutexGuard<'a, SimState> {
+        if self.shared.task_mode {
+            debug_assert!(
+                crate::task::in_task(),
+                "task-mode world driven from outside the event loop"
+            );
+            drop(st);
+            crate::task::yield_now();
+            self.lock_state()
+        } else {
+            self.shared.cvs[self.rank as usize]
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner())
         }
     }
 
@@ -508,10 +753,14 @@ impl Rank {
             // observe it (`Rank::now` reads in layer code are taken
             // between operations), breaking schedule determinism.
             while st.any_computing() {
-                st = self.shared.cvs[me]
-                    .wait(st)
-                    .unwrap_or_else(|e| e.into_inner());
+                // Declare the park so the transition that zeroes
+                // `n_computing` wakes us (`SimState::holder_waiting`);
+                // undeclared, no status change targets the holder. Set
+                // under the same lock the transition takes — no lost wake.
+                st.holder_waiting = true;
+                st = self.await_wake(st);
             }
+            st.holder_waiting = false;
             return st;
         }
         st.set_status(me, RankStatus::Requesting);
@@ -526,9 +775,7 @@ impl Rank {
             if st.status[me] == RankStatus::Granted {
                 return st;
             }
-            st = self.shared.cvs[me]
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
+            st = self.await_wake(st);
         }
     }
 
@@ -589,9 +836,7 @@ impl Rank {
                 }
                 return st;
             }
-            st = self.shared.cvs[me]
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
+            st = self.await_wake(st);
         }
     }
 

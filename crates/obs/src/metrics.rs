@@ -34,6 +34,12 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise the counter to `v` if it is currently lower — a high-water
+    /// mark (peak live tasks, peak memory) rather than an accumulator.
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -180,6 +186,11 @@ impl Registry {
     /// One-shot `counter(name).add(n)`.
     pub fn add(&self, name: &str, n: u64) {
         self.counter(name).add(n);
+    }
+
+    /// One-shot `counter(name).set_max(v)` — record a high-water mark.
+    pub fn set_max(&self, name: &str, v: u64) {
+        self.counter(name).set_max(v);
     }
 
     /// The histogram registered under `name`, creating it empty.
@@ -373,6 +384,16 @@ mod tests {
         reg.reset();
         assert!(reg.snapshot_counters().is_empty());
         assert_eq!(reg.counter("alpha").get(), 0);
+    }
+
+    #[test]
+    fn set_max_is_a_high_water_mark() {
+        let reg = Registry::new();
+        reg.set_max("peak", 10);
+        reg.set_max("peak", 3);
+        assert_eq!(reg.counter("peak").get(), 10);
+        reg.set_max("peak", 12);
+        assert_eq!(reg.counter("peak").get(), 12);
     }
 
     #[test]

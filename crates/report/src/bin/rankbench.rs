@@ -1,0 +1,621 @@
+//! `rankbench` — rank-scale capacity: the event-loop rank executor vs the
+//! thread-per-rank oracle, across rank counts the paper never reached.
+//!
+//! ```text
+//! rankbench [--ranks-list A,B,C] [--gate-ranks N] [--top-ranks N]
+//!           [--seed S] [--writes K] [--floor F] [--out FILE] [--smoke]
+//! rankbench --pipeline [--ranks N] [--budget-s B]
+//! rankbench --worker tasks|threads --ranks N [--seed S] [--writes K]
+//! ```
+//!
+//! The workload is a synthetic checkpoint + halo-exchange cycle (mkdir,
+//! barrier, per-rank N-N file: open / `--writes` pwrites / fsync / close,
+//! barrier, two ring neighbor exchanges, allreduce) — Θ(n) simulated
+//! operations and messages per world, the phase structure the Table 4
+//! applications overwhelmingly take (§4.2): bursty I/O separated by
+//! communication in which ranks park on neighbors.
+//!
+//! Every measurement runs in its **own subprocess** (`--worker`): peak
+//! memory is read from `/proc/self/status` `VmHWM`, which is monotonic per
+//! process — measuring both executors in one process would charge the
+//! second one the first one's high-water mark. The parent re-invokes
+//! itself, enforces a per-measurement timeout (a thread-per-rank world
+//! that blows the budget is killed and recorded as `timed_out`, with the
+//! budget as a *lower bound* on its wall time), and writes the artifact.
+//!
+//! Gate (full runs, exit 1 on breach):
+//! * at `--gate-ranks` (default 1024): the event loop is ≥ `--floor` (4×)
+//!   faster **or** ≥ `--floor` leaner in peak RSS than thread-per-rank;
+//! * at `--top-ranks` (default 4096): the event loop completes, and
+//!   thread-per-rank either fails/times out there or is ≥ `--floor`
+//!   slower.
+//!
+//! Two same-seed event-loop runs must also produce identical deterministic
+//! metrics (`sim.*` / `mpisim.*` counters, including the new
+//! `sim.live_tasks` peak and `mpisim.task_switches`) — asserted in-process
+//! on every invocation, smoke included.
+//!
+//! `--pipeline` is the CI rank-scale smoke: one 1024-rank application
+//! end-to-end through the streaming analysis pipeline (simulation with the
+//! analyzer attached as a live sink, verdict included) under a wall-clock
+//! budget.
+
+use std::time::{Duration, Instant};
+
+use iolibs::{run_app, ExecModel, RunConfig};
+use semantics_core::json::Json;
+
+const EXIT_USAGE: i32 = 64;
+
+struct Args {
+    ranks_list: Vec<u32>,
+    gate_ranks: u32,
+    top_ranks: u32,
+    seed: u64,
+    writes: usize,
+    floor: f64,
+    out: Option<String>,
+    smoke: bool,
+    pipeline: bool,
+    budget_s: u64,
+    ranks: u32,
+    worker: Option<ExecModel>,
+    per_op: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: rankbench [options]\n\
+     \x20 --ranks-list A,B,C  rank counts to measure (default 256,1024,4096)\n\
+     \x20 --gate-ranks N      rank count the 4x floor is enforced at (default 1024)\n\
+     \x20 --top-ranks N       rank count that must complete on the event loop\n\
+     \x20                     where threads cannot or are far slower (default 4096)\n\
+     \x20 --seed S            simulation seed (default 2021)\n\
+     \x20 --writes K          pwrites per rank file (default 4)\n\
+     \x20 --floor F           speed-or-memory ratio floor (default 4.0)\n\
+     \x20 --out FILE          write the JSON artifact here\n\
+     \x20 --smoke             tiny rank counts, no gate (CI sanity)\n\
+     \x20 --pipeline          CI mode: one 1024-rank app through the streaming\n\
+     \x20                     pipeline under --budget-s (default 120)\n\
+     \x20 --budget-s B        pipeline wall-clock budget, seconds\n\
+     \x20 --ranks N           pipeline world size (default 1024)\n\
+     \x20 --worker tasks|threads  internal: run one measurement and print it\n"
+}
+
+fn flag_value<T: std::str::FromStr>(
+    argv: &[String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<T, String> {
+    *i += 1;
+    let val = argv
+        .get(*i)
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    val.parse()
+        .map_err(|_| format!("invalid value for {flag}: {val:?}"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        ranks_list: vec![256, 1024, 4096],
+        gate_ranks: 1024,
+        top_ranks: 4096,
+        seed: 2021,
+        writes: 4,
+        floor: 4.0,
+        out: None,
+        smoke: false,
+        pipeline: false,
+        budget_s: 120,
+        ranks: 1024,
+        worker: None,
+        per_op: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--ranks-list" => {
+                let list: String = flag_value(argv, &mut i, "--ranks-list")?;
+                args.ranks_list = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| format!("invalid rank count {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--gate-ranks" => args.gate_ranks = flag_value(argv, &mut i, "--gate-ranks")?,
+            "--top-ranks" => args.top_ranks = flag_value(argv, &mut i, "--top-ranks")?,
+            "--seed" => args.seed = flag_value(argv, &mut i, "--seed")?,
+            "--writes" => args.writes = flag_value(argv, &mut i, "--writes")?,
+            "--floor" => args.floor = flag_value(argv, &mut i, "--floor")?,
+            "--out" => args.out = Some(flag_value(argv, &mut i, "--out")?),
+            "--budget-s" => args.budget_s = flag_value(argv, &mut i, "--budget-s")?,
+            "--ranks" => args.ranks = flag_value(argv, &mut i, "--ranks")?,
+            "--smoke" => args.smoke = true,
+            "--pipeline" => args.pipeline = true,
+            "--per-op" => args.per_op = true,
+            "--worker" => {
+                let which: String = flag_value(argv, &mut i, "--worker")?;
+                args.worker = Some(match which.as_str() {
+                    "tasks" => ExecModel::Tasks,
+                    "threads" => ExecModel::Threads,
+                    other => return Err(format!("unknown executor {other:?}")),
+                });
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        args.ranks_list = vec![64, 256];
+        args.gate_ranks = 256;
+        args.top_ranks = 256;
+    }
+    if args.ranks_list.is_empty() || args.ranks_list.iter().any(|&r| r == 0) {
+        return Err("--ranks-list needs positive rank counts".to_string());
+    }
+    if args.ranks == 0 || args.ranks > iolibs::MAX_RANKS {
+        return Err(format!("--ranks must be in 1..={}", iolibs::MAX_RANKS));
+    }
+    if let Some(&r) = args.ranks_list.iter().find(|&&r| r > iolibs::MAX_RANKS) {
+        return Err(format!("rank count {r} exceeds {}", iolibs::MAX_RANKS));
+    }
+    Ok(args)
+}
+
+/// The synthetic checkpoint + halo-exchange cycle every measurement runs.
+fn workload(exec: ExecModel, ranks: u32, seed: u64, writes: usize, per_op: bool) -> u64 {
+    let mut cfg = RunConfig::new(ranks, seed)
+        .with_exec(exec)
+        .with_label("rankbench");
+    if per_op {
+        cfg = cfg.per_op_lockstep();
+    }
+    let outcome = run_app(&cfg, move |ctx| {
+        let r = ctx.rank();
+        ctx.mkdir_p("/ckpt").expect("mkdir");
+        ctx.barrier();
+        let fd = ctx
+            .open(
+                &format!("/ckpt/rank{r:05}.dat"),
+                pfssim::OpenFlags::wronly_create_trunc(),
+            )
+            .expect("open");
+        for k in 0..writes {
+            let block = vec![(r as usize + k) as u8; 4096];
+            ctx.pwrite(fd, (k * 4096) as u64, &block).expect("pwrite");
+        }
+        ctx.fsync(fd).expect("fsync");
+        ctx.close(fd).expect("close");
+        ctx.barrier();
+        // Halo-exchange epilogue: ring neighbor traffic, the communication
+        // phase between checkpoints. Receives park until the neighbor's
+        // message lands, so this is where executor suspension cost shows.
+        let n = ctx.nranks();
+        for step in 0..2u32 {
+            let right = (r + 1) % n;
+            let left = (r + n - 1) % n;
+            ctx.send(right, 100 + step, vec![r as u8; 64]);
+            let _ = ctx.recv(left, 100 + step);
+        }
+        let _ = ctx.allreduce_sum_u64(u64::from(r));
+    });
+    outcome.trace.ranks.iter().map(|r| r.len() as u64).sum()
+}
+
+/// Peak resident set of this process, KiB, from `/proc/self/status`
+/// (`VmHWM`). 0 where the proc filesystem is unavailable.
+fn vmhwm_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Worker mode: run one measurement in this (fresh) process and print it
+/// as the single stdout line the parent parses.
+fn run_worker(exec: ExecModel, args: &Args) -> ! {
+    let t = Instant::now();
+    let records = workload(exec, args.ranks, args.seed, args.writes, args.per_op);
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    println!(
+        "RANKBENCH wall_ns={wall_ns} vmhwm_kib={} records={records}",
+        vmhwm_kib()
+    );
+    std::process::exit(0);
+}
+
+/// One subprocess measurement as the parent records it.
+#[derive(Debug, Clone)]
+struct Measure {
+    exec: &'static str,
+    /// Scheduler grant mode of this cell: `"burst"` (the production
+    /// default — the token only changes hands at parks) or `"per-op"`
+    /// (`DeterministicPerOp`, one handoff per simulated operation — the
+    /// schedule-robustness oracle mode, and the cell the floors gate on,
+    /// since it isolates the executor's suspension cost).
+    mode: &'static str,
+    ranks: u32,
+    ok: bool,
+    timed_out: bool,
+    wall_ns: u64,
+    vmhwm_kib: u64,
+    records: u64,
+}
+
+impl Measure {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("exec", self.exec)
+            .field("mode", self.mode)
+            .field("ranks", self.ranks)
+            .field("ok", self.ok)
+            .field("timed_out", self.timed_out)
+            .field("wall_ns", self.wall_ns)
+            .field("wall_ms", self.wall_ns as f64 / 1e6)
+            .field("vmhwm_kib", self.vmhwm_kib)
+            .field("records", self.records)
+    }
+}
+
+fn parse_field(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Spawn one `--worker` measurement with a wall-clock budget. A worker
+/// that exceeds it is killed and recorded as `timed_out` with the budget
+/// as its (lower-bound) wall time; a worker that dies (e.g. thread spawn
+/// exhaustion at high rank counts) is recorded as failed.
+/// Median-of-`reps` wall time (and matching memory) for one cell; a
+/// timed-out or failed first attempt is returned as-is — its budget was
+/// already `floor × 2` of the event loop's time, repetition proves
+/// nothing further.
+fn measure(
+    exec_name: &'static str,
+    mode: &'static str,
+    ranks: u32,
+    args: &Args,
+    timeout: Duration,
+) -> Measure {
+    let reps = if args.smoke { 1 } else { 3 };
+    let mut runs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let m = measure_once(exec_name, mode, ranks, args, timeout);
+        if !m.ok {
+            return m;
+        }
+        runs.push(m);
+    }
+    runs.sort_by_key(|m| m.wall_ns);
+    runs.swap_remove(runs.len() / 2)
+}
+
+fn measure_once(
+    exec_name: &'static str,
+    mode: &'static str,
+    ranks: u32,
+    args: &Args,
+    timeout: Duration,
+) -> Measure {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args([
+        "--worker",
+        exec_name,
+        "--ranks",
+        &ranks.to_string(),
+        "--seed",
+        &args.seed.to_string(),
+        "--writes",
+        &args.writes.to_string(),
+    ]);
+    if mode == "per-op" {
+        cmd.arg("--per-op");
+    }
+    let mut child = cmd
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn worker");
+    let start = Instant::now();
+    let failed = |timed_out: bool, wall: Duration| Measure {
+        exec: exec_name,
+        mode,
+        ranks,
+        ok: false,
+        timed_out,
+        wall_ns: wall.as_nanos() as u64,
+        vmhwm_kib: 0,
+        records: 0,
+    };
+    loop {
+        match child.try_wait().expect("poll worker") {
+            Some(status) => {
+                let wall = start.elapsed();
+                if !status.success() {
+                    return failed(false, wall);
+                }
+                let mut out = String::new();
+                use std::io::Read as _;
+                child
+                    .stdout
+                    .take()
+                    .expect("worker stdout")
+                    .read_to_string(&mut out)
+                    .expect("read worker output");
+                let Some(line) = out.lines().find(|l| l.starts_with("RANKBENCH")) else {
+                    return failed(false, wall);
+                };
+                return Measure {
+                    exec: exec_name,
+                    mode,
+                    ranks,
+                    ok: true,
+                    timed_out: false,
+                    wall_ns: parse_field(line, "wall_ns").unwrap_or(0),
+                    vmhwm_kib: parse_field(line, "vmhwm_kib").unwrap_or(0),
+                    records: parse_field(line, "records").unwrap_or(0),
+                };
+            }
+            None if start.elapsed() > timeout => {
+                child.kill().ok();
+                child.wait().ok();
+                return failed(true, start.elapsed());
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Deterministic-metrics identity: two same-seed event-loop runs leave
+/// identical `sim.*` / `mpisim.*` counters (peak live tasks, task
+/// switches, ops, messages, …). Runs in-process — this binary owns its
+/// metrics registry, unlike a cargo-test process where parallel tests
+/// share it.
+fn assert_metrics_deterministic(ranks: u32, args: &Args) -> usize {
+    obs::set_metrics(true);
+    let snapshot = || {
+        obs::metrics().reset();
+        workload(ExecModel::Tasks, ranks, args.seed, args.writes, false);
+        obs::metrics()
+            .snapshot_counters()
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("sim.") || k.starts_with("mpisim."))
+            .collect::<Vec<_>>()
+    };
+    let a = snapshot();
+    let b = snapshot();
+    obs::set_metrics(false);
+    if a != b {
+        fail(&format!(
+            "deterministic metrics differ between same-seed runs:\n  {a:?}\nvs\n  {b:?}"
+        ));
+    }
+    if !a.iter().any(|(k, v)| k == "sim.live_tasks" && *v > 0) {
+        fail("sim.live_tasks missing from the metrics snapshot");
+    }
+    if !a.iter().any(|(k, v)| k == "mpisim.task_switches" && *v > 0) {
+        fail("mpisim.task_switches missing from the metrics snapshot");
+    }
+    a.len()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("rankbench: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// CI rank-scale smoke: one large application end-to-end through the
+/// streaming pipeline (live-sink simulation + incremental analysis +
+/// verdict) under a wall budget.
+fn run_pipeline(args: &Args) -> ! {
+    let spec = hpcapps::find_config("flash", "hdf5").expect("flash/hdf5 registered");
+    let cfg = report_gen::ReportCfg {
+        nranks: args.ranks,
+        seed: args.seed,
+        max_skew_ns: 20_000,
+    };
+    let budget = Duration::from_secs(args.budget_s);
+    let t = Instant::now();
+    let run = report_gen::analyze_incremental(&cfg, spec, &spec.params, &iolibs::FaultPlan::none())
+        .unwrap_or_else(|e| fail(&format!("pipeline run failed: {e}")));
+    let wall = t.elapsed();
+    let nrec: usize = run.outcome.trace.ranks.iter().map(|r| r.len()).sum();
+    if nrec == 0 {
+        fail("pipeline produced an empty resolved trace");
+    }
+    println!(
+        "rankbench: pipeline {} x {} ranks: {} records, verdict computed in {:.1}s (budget {}s)",
+        spec.config_name(),
+        args.ranks,
+        nrec,
+        wall.as_secs_f64(),
+        args.budget_s,
+    );
+    if wall > budget {
+        fail(&format!(
+            "pipeline took {:.1}s, over the {}s budget",
+            wall.as_secs_f64(),
+            args.budget_s
+        ));
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{}", usage());
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    if let Some(exec) = args.worker {
+        run_worker(exec, &args);
+    }
+    if args.pipeline {
+        run_pipeline(&args);
+    }
+
+    // The event loop first (it sets the scale for the thread budget),
+    // then thread-per-rank with a timeout derived from the event loop's
+    // wall time: a thread world `floor`-times slower than the task world
+    // has already lost the comparison, so letting it run longer only
+    // delays the verdict. Timeouts are recorded as lower bounds.
+    let mut measures: Vec<Measure> = Vec::new();
+    let list = args.ranks_list.clone();
+    for &ranks in &list {
+        args.ranks = ranks;
+        for mode in ["burst", "per-op"] {
+            let tasks = measure("tasks", mode, ranks, &args, Duration::from_secs(600));
+            if !tasks.ok {
+                fail(&format!(
+                    "event-loop run did not complete at {ranks} ranks ({mode})"
+                ));
+            }
+            let budget = Duration::from_nanos(tasks.wall_ns)
+                .mul_f64(args.floor * 2.0)
+                .max(Duration::from_secs(10));
+            let threads = measure("threads", mode, ranks, &args, budget);
+            println!(
+                "rankbench: {ranks:>5} ranks {mode:>6}: tasks {:>8.1} ms / {:>7} KiB peak; threads {}",
+                tasks.wall_ns as f64 / 1e6,
+                tasks.vmhwm_kib,
+                if threads.timed_out {
+                    format!(
+                        "killed after {:.1} s (> {:.0}x tasks)",
+                        threads.wall_ns as f64 / 1e9,
+                        (threads.wall_ns as f64 / tasks.wall_ns as f64).floor()
+                    )
+                } else if !threads.ok {
+                    "failed".to_string()
+                } else {
+                    format!(
+                        "{:>8.1} ms / {:>7} KiB peak ({:.1}x wall, {:.1}x mem)",
+                        threads.wall_ns as f64 / 1e6,
+                        threads.vmhwm_kib,
+                        threads.wall_ns as f64 / tasks.wall_ns.max(1) as f64,
+                        threads.vmhwm_kib as f64 / tasks.vmhwm_kib.max(1) as f64,
+                    )
+                }
+            );
+            if tasks.records > 0 && threads.ok && threads.records != tasks.records {
+                fail(&format!(
+                    "executors disagree on record count at {ranks} ranks ({mode}): \
+                     tasks {} vs threads {}",
+                    tasks.records, threads.records
+                ));
+            }
+            measures.push(tasks);
+            measures.push(threads);
+        }
+    }
+
+    let counters = assert_metrics_deterministic(list[0], &args);
+    println!(
+        "rankbench: deterministic metrics identical across same-seed runs ({counters} counters)"
+    );
+
+    let find = |exec: &str, mode: &str, ranks: u32| {
+        measures
+            .iter()
+            .find(|m| m.exec == exec && m.mode == mode && m.ranks == ranks)
+    };
+    // Gate 1 (per-op cells — the executor-isolating mode): ≥ floor× faster
+    // or ≥ floor× leaner at the gate rank count. A thread timeout there is
+    // a wall-ratio win by construction.
+    let mut speedup = 0.0;
+    let mut mem_ratio = 0.0;
+    let mut gate_speed_or_mem = false;
+    if let (Some(t), Some(h)) = (
+        find("tasks", "per-op", args.gate_ranks),
+        find("threads", "per-op", args.gate_ranks),
+    ) {
+        speedup = h.wall_ns as f64 / t.wall_ns.max(1) as f64;
+        mem_ratio = if h.ok {
+            h.vmhwm_kib as f64 / t.vmhwm_kib.max(1) as f64
+        } else {
+            0.0
+        };
+        gate_speed_or_mem =
+            (h.ok || h.timed_out) && (speedup >= args.floor) || (h.ok && mem_ratio >= args.floor);
+    }
+    // Burst ratios at the gate rank count, recorded for context.
+    let mut burst_speedup = 0.0;
+    if let (Some(t), Some(h)) = (
+        find("tasks", "burst", args.gate_ranks),
+        find("threads", "burst", args.gate_ranks),
+    ) {
+        burst_speedup = h.wall_ns as f64 / t.wall_ns.max(1) as f64;
+    }
+    // Gate 2: the top rank count completes on the event loop while
+    // thread-per-rank fails, times out, or is ≥ floor× slower (per-op).
+    let mut top_completes = false;
+    let mut top_threads_behind = false;
+    if let Some(t) = find("tasks", "per-op", args.top_ranks) {
+        top_completes = t.ok;
+        if let Some(h) = find("threads", "per-op", args.top_ranks) {
+            top_threads_behind =
+                !h.ok || h.timed_out || h.wall_ns as f64 >= args.floor * t.wall_ns as f64;
+        }
+    }
+
+    if let Some(out) = &args.out {
+        let doc = Json::obj()
+            .field("bench", "rank-scale")
+            .field("workload", "nn-checkpoint+halo")
+            .field("seed", args.seed)
+            .field("writes_per_rank", args.writes)
+            .field("floor", args.floor)
+            .field("gate_ranks", args.gate_ranks)
+            .field("top_ranks", args.top_ranks)
+            .field(
+                "measurements",
+                Json::Arr(measures.iter().map(|m| m.to_json()).collect()),
+            )
+            .field("gate_speedup", speedup)
+            .field("gate_burst_speedup", burst_speedup)
+            .field("gate_mem_ratio", mem_ratio)
+            .field("gate_speed_or_mem_ok", gate_speed_or_mem)
+            .field("top_event_loop_completes", top_completes)
+            .field("top_threads_fail_or_far_slower", top_threads_behind)
+            .field("metrics_deterministic", true)
+            .field("gate_enforced", !args.smoke);
+        if let Err(e) = std::fs::write(out, doc.pretty() + "\n") {
+            fail(&format!("cannot write {out}: {e}"));
+        }
+        println!("rankbench: wrote {out}");
+    }
+
+    if !args.smoke {
+        if !gate_speed_or_mem {
+            fail(&format!(
+                "at {} ranks the event loop is only {speedup:.2}x faster and \
+                 {mem_ratio:.2}x leaner — below the {:.1}x speed-or-memory floor",
+                args.gate_ranks, args.floor
+            ));
+        }
+        if !top_completes {
+            fail(&format!(
+                "event loop did not complete at {} ranks",
+                args.top_ranks
+            ));
+        }
+        if !top_threads_behind {
+            fail(&format!(
+                "thread-per-rank kept pace at {} ranks — the scale argument \
+                 does not hold on this box",
+                args.top_ranks
+            ));
+        }
+    }
+}

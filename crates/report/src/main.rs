@@ -78,10 +78,11 @@ struct Args {
 fn usage() -> &'static str {
     "usage: report <command> [options]\n\
      commands: table1..table5, fig1..fig3, all, check, flash-fix,\n\
-     \x20        validate-hb, scale-study, semantics-matrix, app-report,\n\
-     \x20        fault-campaign, advise, locks, meta-conflicts, serve\n\
+     \x20        validate-hb, scale-study, rank-sweep, semantics-matrix,\n\
+     \x20        app-report, fault-campaign, advise, locks, meta-conflicts,\n\
+     \x20        serve\n\
      options:\n\
-     \x20 --ranks N        world size (default 64)\n\
+     \x20 --ranks N        world size, 1..=65536 (default 64)\n\
      \x20 --seed S         base seed (default 2021)\n\
      \x20 --out DIR        artifact directory (default reports)\n\
      \x20 --threads N      worker threads, 0 = one per core (default 0)\n\
@@ -105,6 +106,27 @@ fn usage() -> &'static str {
      \x20  1   paper mismatch / fault-campaign failure\n\
      \x20  2   degraded configuration(s) salvaged by --keep-going\n\
      \x20  64  usage error\n"
+}
+
+/// The representative configuration subset shared by `scale-study` and
+/// the 4096-rank leg of `rank-sweep`: one per I/O-library family and
+/// checkpoint pattern, so every analysis path is exercised without
+/// rerunning the full registry at the most expensive scale.
+fn scale_subset(specs: &'static [hpcapps::AppSpec]) -> Vec<&'static hpcapps::AppSpec> {
+    specs
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.id,
+                AppId::FlashFbs
+                    | AppId::Enzo
+                    | AppId::LammpsAdios
+                    | AppId::Macsio
+                    | AppId::HaccIoPosix
+                    | AppId::VpicIo
+            )
+        })
+        .collect()
 }
 
 /// Parse the value following `flag`, reporting — not panicking on — a
@@ -175,6 +197,22 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.ranks == 0 {
         return Err("--ranks must be at least 1".to_string());
+    }
+    if args.ranks > mpisim::MAX_RANKS {
+        return Err(format!(
+            "--ranks {} exceeds the supported maximum of {} \
+             (rank counts beyond it are invariably typos or unit errors)",
+            args.ranks,
+            mpisim::MAX_RANKS
+        ));
+    }
+    for (flag, v) in [("--small", args.small), ("--large", args.large)] {
+        if v == 0 || v > mpisim::MAX_RANKS {
+            return Err(format!(
+                "{flag} must be between 1 and {}, got {v}",
+                mpisim::MAX_RANKS
+            ));
+        }
     }
     if args.workers == 0 {
         return Err("--workers must be at least 1".to_string());
@@ -374,24 +412,24 @@ fn run(args: &Args) -> i32 {
         "scale-study" => {
             // A representative subset, as rerunning everything twice is
             // the expensive part of the paper's own methodology.
-            let subset: Vec<_> = specs
-                .iter()
-                .filter(|s| {
-                    matches!(
-                        s.id,
-                        AppId::FlashFbs
-                            | AppId::Enzo
-                            | AppId::LammpsAdios
-                            | AppId::Macsio
-                            | AppId::HaccIoPosix
-                            | AppId::VpicIo
-                    )
-                })
-                .collect();
+            let subset = scale_subset(specs);
             print!(
                 "{}",
                 scale::scale_study(&cfg, &subset, args.small, args.large)
             );
+        }
+        "rank-sweep" => {
+            // §6.1 pushed past the paper's own scales, feasible on the
+            // event-loop executor: the full Table 4 suite at 256 and 1024
+            // ranks, then scale-study's representative subset at 4096
+            // (rerunning everything at every count is the expensive part
+            // of the paper's own methodology). Baseline is `--ranks`.
+            let t4: Vec<_> = specs.iter().filter(|s| s.in_table4).collect();
+            let rows = scale::rank_sweep(&cfg, &t4, args.ranks, &[256, 1024]);
+            print!("{}", scale::rank_sweep_report(&rows, &[256, 1024]));
+            let subset = scale_subset(specs);
+            let rows = scale::rank_sweep(&cfg, &subset, args.ranks, &[4096]);
+            print!("{}", scale::rank_sweep_report(&rows, &[4096]));
         }
         "semantics-matrix" => {
             let t4: Vec<_> = specs.iter().filter(|s| s.in_table4).collect();

@@ -60,6 +60,113 @@ pub fn compare(
         .collect()
 }
 
+/// One configuration's verdict stability across the rank sweep: the
+/// paper-scale baseline plus one cell per swept rank count.
+pub struct RankSweepRow {
+    pub config: String,
+    pub baseline_ranks: u32,
+    pub baseline_label: String,
+    pub baseline_marks: (bool, bool, bool, bool),
+    /// `(ranks, label, marks, analysis wall seconds)` per swept count.
+    pub cells: Vec<(u32, String, (bool, bool, bool, bool), f64)>,
+}
+
+impl RankSweepRow {
+    /// Whether every swept cell reproduces the baseline verdicts.
+    pub fn stable(&self) -> bool {
+        self.cells.iter().all(|(_, label, marks, _)| {
+            *label == self.baseline_label && *marks == self.baseline_marks
+        })
+    }
+}
+
+/// The §6.1 claim pushed past the paper's own scales: re-run `specs`
+/// through the streaming pipeline at each count in `ranks` (the counts
+/// the event-loop executor makes tractable) and compare Table 3 labels
+/// and Table 4 marks against the paper-scale baseline.
+pub fn rank_sweep(
+    base: &ReportCfg,
+    specs: &[&'static AppSpec],
+    baseline: u32,
+    ranks: &[u32],
+) -> Vec<RankSweepRow> {
+    specs
+        .iter()
+        .map(|&spec| {
+            let run_at = |nranks: u32| {
+                let t = std::time::Instant::now();
+                let run = crate::runner::analyze_incremental(
+                    &ReportCfg { nranks, ..*base },
+                    spec,
+                    &spec.params,
+                    &iolibs::FaultPlan::none(),
+                )
+                .unwrap_or_else(|e| panic!("{} at {nranks} ranks failed: {e}", spec.config_name()));
+                (
+                    run.highlevel.label(),
+                    run.session.table4_marks(),
+                    t.elapsed().as_secs_f64(),
+                )
+            };
+            let (baseline_label, baseline_marks, _) = run_at(baseline);
+            let cells = ranks
+                .iter()
+                .map(|&r| {
+                    let (label, marks, secs) = run_at(r);
+                    (r, label, marks, secs)
+                })
+                .collect();
+            RankSweepRow {
+                config: spec.config_name(),
+                baseline_ranks: baseline,
+                baseline_label,
+                baseline_marks,
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// Rendered rank sweep.
+pub fn rank_sweep_report(rows: &[RankSweepRow], ranks: &[u32]) -> String {
+    let mut out = String::new();
+    let counts = ranks
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    let _ = writeln!(
+        out,
+        "Rank sweep: verdict stability at {counts} ranks vs the paper-scale baseline"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {:<22} {}: {} @ {} ranks, marks {:?}",
+            row.config,
+            if row.stable() { "stable" } else { "DIFFERS" },
+            row.baseline_label,
+            row.baseline_ranks,
+            row.baseline_marks,
+        );
+        for (r, label, marks, secs) in &row.cells {
+            let _ = writeln!(
+                out,
+                "      {r:>5} ranks → {label} | marks {marks:?} ({secs:.1}s)"
+            );
+        }
+    }
+    let all = rows.iter().all(|r| r.stable());
+    let _ = writeln!(
+        out,
+        "  → Table 3 labels and Table 4 marks {} from {} to {} ranks",
+        if all { "are stable" } else { "DIFFER" },
+        rows.first().map_or(0, |r| r.baseline_ranks),
+        ranks.iter().copied().max().unwrap_or(0),
+    );
+    out
+}
+
 /// Rendered scale study.
 pub fn scale_study(base: &ReportCfg, specs: &[&'static AppSpec], small: u32, large: u32) -> String {
     let mut out = String::new();

@@ -41,6 +41,15 @@ fn zero_ranks_is_usage_error() {
 }
 
 #[test]
+fn absurd_ranks_is_usage_error() {
+    // Rejected up front with a clear message, before any allocation.
+    assert_usage_error(&["table4", "--ranks", "65537"], "supported maximum");
+    assert_usage_error(&["table4", "--ranks", "1000000000"], "supported maximum");
+    assert_usage_error(&["scale-study", "--large", "0"], "--large");
+    assert_usage_error(&["scale-study", "--small", "70000"], "--small");
+}
+
+#[test]
 fn malformed_seed_is_usage_error() {
     assert_usage_error(&["table4", "--seed", "1.5"], "--seed");
 }

@@ -36,6 +36,12 @@ use crate::http::{Request, Response};
 pub const DEFAULT_RANKS: u32 = 8;
 pub const DEFAULT_SEED: u64 = 2021;
 
+/// Ceiling on the `ranks` query parameter. The event-loop rank executor
+/// makes worlds this large tractable in one request (a few seconds, not
+/// minutes); anything beyond is rejected up front as a client error
+/// before the backend allocates a thing.
+pub const MAX_QUERY_RANKS: u32 = 4096;
+
 /// One canonicalized analysis query — the cache-key domain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisQuery {
@@ -219,8 +225,8 @@ impl Router {
             Ok(v) => v,
             Err(resp) => return resp,
         };
-        if ranks == 0 || ranks > 1024 {
-            return Response::error(400, "ranks must be in [1, 1024]");
+        if ranks == 0 || ranks > MAX_QUERY_RANKS {
+            return Response::error(400, "ranks must be in [1, 4096]");
         }
         let raw = AnalysisQuery {
             app: app.to_string(),

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Rebuild and run the perf harnesses, refreshing BENCH_PR2.json (fused
-# analysis pipeline) and BENCH_PR6.json (streaming cold path) at the
-# repo root. Extra arguments are passed through to `perf`, e.g.:
+# analysis pipeline), BENCH_PR6.json (streaming cold path) and
+# BENCH_PR7.json (rank-scale executor comparison) at the repo root.
+# Extra arguments are passed through to `perf`, e.g.:
 #
 #   scripts/bench.sh                 # full run, best-of-3
 #   scripts/bench.sh --no-e2e        # skip the end-to-end fan-out
@@ -19,6 +20,13 @@
 # exits 1 if the cold speedup falls below its floor (2x). --smoke is
 # forwarded so CI can exercise the harness without enforcing the gate.
 #
+# `rankbench` compares the event-loop rank executor against the
+# thread-per-rank oracle at 256/1024/4096 ranks (subprocess-isolated
+# wall clock + peak RSS, burst and per-op grant modes) and exits 1 if
+# the event loop is not >=4x faster-or-leaner at 1024 ranks in the
+# per-op cells, or if 4096 ranks fails to complete where threads keep
+# pace. --smoke drops to 64/256 ranks with no gate.
+#
 # The mini micro-benchmarks (crates/bench) are separate:
 #   cargo bench -p bench
 set -eu
@@ -27,6 +35,8 @@ cargo build --release -p report-gen
 
 COLD_ARGS=""
 COLD_OUT="BENCH_PR6.json"
+RANK_ARGS=""
+RANK_OUT="BENCH_PR7.json"
 PERF_ARGS=""
 for a in "$@"; do
     # Smoke runs check the harnesses, not the numbers — keep them away
@@ -34,6 +44,8 @@ for a in "$@"; do
     if [ "$a" = "--smoke" ]; then
         COLD_ARGS="--smoke"
         COLD_OUT="target/BENCH_PR6_SMOKE.json"
+        RANK_ARGS="--smoke"
+        RANK_OUT="target/BENCH_PR7_SMOKE.json"
         PERF_ARGS="--out target/BENCH_PR2_SMOKE.json"
     fi
 done
@@ -41,4 +53,6 @@ done
 # shellcheck disable=SC2086  # PERF_ARGS is empty or one flag pair
 ./target/release/perf "$@" $PERF_ARGS
 # shellcheck disable=SC2086  # COLD_ARGS is empty or a single flag
-exec ./target/release/coldbench $COLD_ARGS --out "$COLD_OUT"
+./target/release/coldbench $COLD_ARGS --out "$COLD_OUT"
+# shellcheck disable=SC2086  # RANK_ARGS is empty or a single flag
+exec ./target/release/rankbench $RANK_ARGS --out "$RANK_OUT"

@@ -66,6 +66,16 @@ cargo test --release -q -p report-gen --test incremental_identity \
     smoke_three_apps_two_models
 ./target/release/coldbench --smoke --out target/BENCH_COLD_SMOKE.json
 
+echo "ci: rank-scale smoke"
+# The event-loop executor at scale: a 64/256-rank executor comparison
+# (gate not enforced, but the deterministic-metrics identity check —
+# sim.live_tasks, mpisim.task_switches — always asserts), then one
+# 1024-rank application end-to-end through the streaming pipeline,
+# verdict included, under a wall budget. scripts/bench.sh runs the
+# gated 256-4096 measurement into BENCH_PR7.json.
+./target/release/rankbench --smoke --out target/BENCH_PR7_SMOKE.json
+./target/release/rankbench --pipeline --ranks 1024 --budget-s 120
+
 echo "ci: observability overhead smoke"
 # One interleaved off/on rep at small size — checks the harness and a
 # loose budget, not the headline number (CI boxes are noisy and often
