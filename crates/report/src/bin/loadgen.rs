@@ -23,12 +23,21 @@
 //! ratio. `--smoke` shrinks everything for the CI gate and is quiet on
 //! success. Exit codes: 0 ok, 1 failure (bad status, byte mismatch, or
 //! unreachable server), 64 usage error.
+//!
+//! `--restart --store-dir DIR` runs the crash-recovery benchmark
+//! instead: spawn a real `report serve` child on DIR, load it cold,
+//! SIGKILL it mid-traffic, restart it on the same DIR, and assert the
+//! restarted process answers *warm* — every body byte-identical to the
+//! pre-kill cold bytes, served from the recovered store without
+//! re-simulating. Reports recovery wall time, recovered record count,
+//! and the warm-after-restart/cold throughput ratio (gated at ≥ 10×
+//! outside `--smoke`); the JSON lands in `BENCH_PR8.json`.
 
-use std::io::Write as _;
+use std::io::{BufRead as _, Write as _};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use report_gen::ReportBackend;
 use semantics_core::json::Json;
@@ -46,6 +55,10 @@ struct Args {
     ranks: u32,
     out: Option<String>,
     smoke: bool,
+    /// Crash-recovery mode: spawn, kill -9, restart, assert warm.
+    restart: bool,
+    /// Store directory for `--restart` (passed to `report serve`).
+    store_dir: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -56,7 +69,11 @@ fn usage() -> &'static str {
      \x20 --configs N       distinct configurations to query (default 6)\n\
      \x20 --ranks R         world size per query (default 8)\n\
      \x20 --out FILE        write the JSON summary here\n\
-     \x20 --smoke           tiny quick-check shape (CI smoke)\n"
+     \x20 --smoke           tiny quick-check shape (CI smoke)\n\
+     \x20 --restart         crash-recovery benchmark: spawn `report serve`,\n\
+     \x20                   SIGKILL it mid-traffic, restart, assert the\n\
+     \x20                   restarted process answers warm byte-identically\n\
+     \x20 --store-dir DIR   store directory for --restart (required there)\n"
 }
 
 fn flag_value<T: std::str::FromStr>(
@@ -81,6 +98,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ranks: 8,
         out: None,
         smoke: false,
+        restart: false,
+        store_dir: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -92,6 +111,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--ranks" => args.ranks = flag_value(argv, &mut i, "--ranks")?,
             "--out" => args.out = Some(flag_value(argv, &mut i, "--out")?),
             "--smoke" => args.smoke = true,
+            "--restart" => args.restart = true,
+            "--store-dir" => args.store_dir = Some(flag_value(argv, &mut i, "--store-dir")?),
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
@@ -105,6 +126,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.clients == 0 || args.warm_requests == 0 || args.configs == 0 || args.ranks == 0 {
         return Err("counts must be at least 1".to_string());
+    }
+    if args.restart && args.store_dir.is_none() {
+        return Err("--restart requires --store-dir".to_string());
+    }
+    if args.restart && args.addr.is_some() {
+        return Err("--restart spawns its own server; drop --addr".to_string());
     }
     Ok(args)
 }
@@ -125,6 +152,266 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Closed-loop keep-alive clients over a shared request counter; returns
+/// (wall ns, error count).
+fn closed_loop(
+    addr: SocketAddr,
+    paths: &Arc<Vec<String>>,
+    clients: usize,
+    requests: usize,
+) -> (u64, usize) {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let counter = Arc::clone(&counter);
+            let errors = Arc::clone(&errors);
+            let paths = Arc::clone(paths);
+            s.spawn(move || {
+                let mut client = match HttpClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                        return;
+                    }
+                };
+                loop {
+                    let k = counter.fetch_add(1, Ordering::SeqCst);
+                    if k >= requests {
+                        return;
+                    }
+                    match client.get(&paths[k % paths.len()]) {
+                        Ok(r) if r.status == 200 => {}
+                        _ => {
+                            errors.fetch_add(1, Ordering::SeqCst);
+                            // Reconnect once; persistent failure drains the
+                            // counter and ends the phase.
+                            match HttpClient::connect(addr) {
+                                Ok(c) => client = c,
+                                Err(_) => return,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (
+        t0.elapsed().as_nanos() as u64,
+        errors.load(Ordering::SeqCst),
+    )
+}
+
+/// Pull an integer field out of a (flat) JSON body without a parser —
+/// enough for /healthz and the metrics counter dump.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let at = body.find(&format!("\"{key}\""))?;
+    let rest = &body[at..];
+    let rest = rest[rest.find(':')? + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Spawn a real `report serve --store-dir DIR` child (the binary sits
+/// next to loadgen in the target dir) and block until it prints its
+/// listening line. Returns the child and the bound address.
+fn spawn_server(store_dir: &str) -> (std::process::Child, SocketAddr) {
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let report = exe
+        .parent()
+        .map(|d| d.join("report"))
+        .filter(|p| p.exists())
+        .unwrap_or_else(|| fail("cannot locate the report binary next to loadgen"));
+    let mut child = std::process::Command::new(report)
+        .args(["serve", "--port", "0", "--store-dir", store_dir, "--quiet"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("cannot spawn report serve: {e}")));
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut addr = None;
+    for line in &mut lines {
+        let Ok(line) = line else { break };
+        if let Some(rest) = line.strip_prefix("serve: listening on ") {
+            addr = rest.trim().parse().ok();
+            break;
+        }
+    }
+    let Some(addr) = addr else {
+        let _ = child.kill();
+        fail("report serve never printed its listening line");
+    };
+    // Keep draining the child's stdout so it can never block on the pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// The crash-recovery benchmark: cold-load a spawned server, SIGKILL it
+/// mid-traffic, restart it on the same store dir, and require the
+/// restarted process to answer warm with byte-identical bodies.
+fn run_restart(args: &Args) -> ! {
+    let store_dir = args.store_dir.as_deref().expect("validated in parse_args");
+    let paths = Arc::new(query_paths(args.configs, args.ranks));
+
+    let (mut child, addr) = spawn_server(store_dir);
+    match get_once(addr, "/healthz") {
+        Ok(r) if r.status == 200 => {}
+        _ => fail("spawned server failed /healthz"),
+    }
+
+    // Cold phase: every body computed by the child's backend and — via
+    // the store tier — journaled durably before the response returns.
+    let t_cold = Instant::now();
+    let mut cold_bodies = Vec::with_capacity(paths.len());
+    for path in paths.iter() {
+        match get_once(addr, path) {
+            Ok(r) if r.status == 200 => cold_bodies.push(r.body),
+            Ok(r) => fail(&format!("{path}: cold status {}", r.status)),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+    let cold_ns = t_cold.elapsed().as_nanos() as u64;
+
+    // Pre-kill warm check: same process, same bytes.
+    for (path, cold) in paths.iter().zip(&cold_bodies) {
+        match get_once(addr, path) {
+            Ok(r) if r.status == 200 && &r.body == cold => {}
+            _ => fail(&format!("{path}: pre-kill warm bytes differ")),
+        }
+    }
+
+    // Hammer the server from the side and SIGKILL it mid-traffic — no
+    // drain, no flush, the journal tail is whatever fsync left behind.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let paths = Arc::clone(&paths);
+            std::thread::spawn(move || {
+                let mut k = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = get_once(addr, &paths[k % paths.len()]);
+                    k += 1;
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(if args.smoke { 30 } else { 150 }));
+    child
+        .kill()
+        .unwrap_or_else(|e| fail(&format!("kill -9: {e}")));
+    let _ = child.wait();
+    stop.store(true, Ordering::Relaxed);
+    for h in hammers {
+        let _ = h.join();
+    }
+
+    // Restart on the same directory; recovery time is spawn-to-listening,
+    // the full cost of coming back (process start + replay + bind).
+    let t_recover = Instant::now();
+    let (mut child, addr) = spawn_server(store_dir);
+    let recovery_ns = t_recover.elapsed().as_nanos() as u64;
+
+    let health = match get_once(addr, "/healthz") {
+        Ok(r) if r.status == 200 => r.body_text(),
+        _ => fail("restarted server failed /healthz"),
+    };
+    let recovered = json_u64(&health, "store_recovered_records")
+        .unwrap_or_else(|| fail("healthz has no store_recovered_records field"));
+    if recovered < paths.len() as u64 {
+        fail(&format!(
+            "recovered {recovered} record(s), expected at least {} — \
+             a committed verdict was lost across kill -9",
+            paths.len()
+        ));
+    }
+
+    // The heart of the gate: warm-after-restart bytes must be identical
+    // to what the dead process served cold.
+    for (path, cold) in paths.iter().zip(&cold_bodies) {
+        match get_once(addr, path) {
+            Ok(r) if r.status == 200 && &r.body == cold => {}
+            Ok(r) if r.status != 200 => fail(&format!("{path}: post-restart status {}", r.status)),
+            Ok(_) => fail(&format!(
+                "{path}: post-restart bytes differ from pre-kill cold"
+            )),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+
+    // And they must have come from the store, not recomputation.
+    let metrics = match get_once(addr, "/v1/metrics") {
+        Ok(r) if r.status == 200 => r.body_text(),
+        _ => fail("restarted server failed /v1/metrics"),
+    };
+    let store_hits = json_u64(&metrics, "store.hits").unwrap_or(0);
+    if store_hits < paths.len() as u64 {
+        fail(&format!(
+            "only {store_hits} store hit(s) after restart — responses were recomputed, not recovered"
+        ));
+    }
+
+    // Warm-after-restart throughput, closed loop.
+    let (warm_ns, errors) = closed_loop(addr, &paths, args.clients, args.warm_requests);
+    if errors > 0 {
+        fail(&format!("{errors} warm requests failed after restart"));
+    }
+
+    let rps = |n: usize, ns: u64| n as f64 / (ns.max(1) as f64 / 1e9);
+    let cold_rps = rps(cold_bodies.len(), cold_ns);
+    let warm_rps = rps(args.warm_requests, warm_ns);
+    let ratio = warm_rps / cold_rps.max(f64::MIN_POSITIVE);
+    if !args.smoke && ratio < 10.0 {
+        fail(&format!(
+            "warm-after-restart is only {ratio:.1}x cold (gate: 10x)"
+        ));
+    }
+
+    println!(
+        "loadgen: restart: cold {} reqs ({:.1} req/s); kill -9; recovery {:.1} ms, {} records; \
+         warm-after-restart {} reqs ({:.0} req/s, {:.0}x cold, {} store hits); bytes identical",
+        cold_bodies.len(),
+        cold_rps,
+        recovery_ns as f64 / 1e6,
+        recovered,
+        args.warm_requests,
+        warm_rps,
+        ratio,
+        store_hits,
+    );
+
+    if let Some(out) = &args.out {
+        let doc = Json::obj()
+            .field("bench", "serve-restart")
+            .field("configs", cold_bodies.len())
+            .field("ranks", u64::from(args.ranks))
+            .field("cold_requests", cold_bodies.len())
+            .field("cold_wall_ns", cold_ns)
+            .field("cold_rps", cold_rps)
+            .field("recovery_wall_ns", recovery_ns)
+            .field("recovered_records", recovered)
+            .field("store_hits_after_restart", store_hits)
+            .field("warm_requests", args.warm_requests)
+            .field("warm_clients", args.clients)
+            .field("warm_wall_ns", warm_ns)
+            .field("warm_after_restart_rps", warm_rps)
+            .field("warm_after_restart_over_cold", ratio)
+            .field("bytes_identical_after_restart", true)
+            .pretty();
+        std::fs::write(out, doc + "\n")
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("loadgen: wrote {out}");
+    }
+
+    let _ = child.kill();
+    let _ = child.wait();
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -135,6 +422,10 @@ fn main() {
             std::process::exit(EXIT_USAGE);
         }
     };
+
+    if args.restart {
+        run_restart(&args);
+    }
 
     // Self-host unless pointed at an external server.
     let mut server = None;
@@ -191,50 +482,10 @@ fn main() {
     }
 
     // Warm phase: closed-loop keep-alive clients over a shared counter.
-    let counter = Arc::new(AtomicUsize::new(0));
-    let errors = Arc::new(AtomicUsize::new(0));
     let paths = Arc::new(paths);
-    let t_warm = Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..args.clients {
-            let counter = Arc::clone(&counter);
-            let errors = Arc::clone(&errors);
-            let paths = Arc::clone(&paths);
-            s.spawn(move || {
-                let mut client = match HttpClient::connect(addr) {
-                    Ok(c) => c,
-                    Err(_) => {
-                        errors.fetch_add(1, Ordering::SeqCst);
-                        return;
-                    }
-                };
-                loop {
-                    let k = counter.fetch_add(1, Ordering::SeqCst);
-                    if k >= args.warm_requests {
-                        return;
-                    }
-                    match client.get(&paths[k % paths.len()]) {
-                        Ok(r) if r.status == 200 => {}
-                        _ => {
-                            errors.fetch_add(1, Ordering::SeqCst);
-                            // Reconnect once; persistent failure drains the
-                            // counter and ends the phase.
-                            match HttpClient::connect(addr) {
-                                Ok(c) => client = c,
-                                Err(_) => return,
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-    let warm_ns = t_warm.elapsed().as_nanos() as u64;
-    if errors.load(Ordering::SeqCst) > 0 {
-        fail(&format!(
-            "{} warm requests failed",
-            errors.load(Ordering::SeqCst)
-        ));
+    let (warm_ns, errors) = closed_loop(addr, &paths, args.clients, args.warm_requests);
+    if errors > 0 {
+        fail(&format!("{errors} warm requests failed"));
     }
 
     let rps = |n: usize, ns: u64| n as f64 / (ns.max(1) as f64 / 1e9);

@@ -73,6 +73,8 @@ struct Args {
     cache_entries: usize,
     /// `serve`: pending-connection queue bound (beyond it: 503).
     queue_cap: usize,
+    /// `serve`: persistent verdict-store directory (None = in-memory only).
+    store_dir: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -99,6 +101,8 @@ fn usage() -> &'static str {
      \x20 --workers N      serve: connection worker threads (default 4)\n\
      \x20 --cache-entries N  serve: verdict cache capacity (default 256)\n\
      \x20 --queue-cap N    serve: connection queue bound (default 64)\n\
+     \x20 --store-dir DIR  serve: persist verdicts to DIR (crash-safe\n\
+     \x20                  journal + snapshots; restart answers warm)\n\
      \x20 --quiet, -q      errors only\n\
      \x20 --verbose, -v    debug-level logging\n\
      exit codes:\n\
@@ -165,6 +169,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         workers: 4,
         cache_entries: 256,
         queue_cap: 64,
+        store_dir: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -184,6 +189,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--workers" => args.workers = flag_value(argv, &mut i, "--workers")?,
             "--cache-entries" => args.cache_entries = flag_value(argv, &mut i, "--cache-entries")?,
             "--queue-cap" => args.queue_cap = flag_value(argv, &mut i, "--queue-cap")?,
+            "--store-dir" => args.store_dir = Some(flag_value(argv, &mut i, "--store-dir")?),
             "--config" => {
                 i += 1; // consumed by the subcommand itself
             }
@@ -223,7 +229,32 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.queue_cap == 0 {
         return Err("--queue-cap must be at least 1".to_string());
     }
+    if let Some(dir) = &args.store_dir {
+        validate_store_dir(dir)?;
+    }
     Ok(args)
+}
+
+/// `--store-dir` must name a usable directory — catching a path that is
+/// actually a file, cannot be created, or cannot be written is a usage
+/// error (exit 64), not a crash three requests into serving.
+fn validate_store_dir(dir: &str) -> Result<(), String> {
+    if dir.is_empty() {
+        return Err("--store-dir requires a non-empty path".to_string());
+    }
+    let path = std::path::Path::new(dir);
+    if path.exists() && !path.is_dir() {
+        return Err(format!("--store-dir {dir:?} exists and is not a directory"));
+    }
+    std::fs::create_dir_all(path)
+        .map_err(|e| format!("--store-dir {dir:?} cannot be created: {e}"))?;
+    // Probe writability now: a read-only store dir should fail loudly at
+    // the door.
+    let probe = path.join(format!(".probe-{}", std::process::id()));
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("--store-dir {dir:?} is not writable: {e}"))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
 }
 
 fn write_artifact(dir: &str, name: &str, content: &str) {
@@ -671,11 +702,45 @@ fn run(args: &Args) -> i32 {
             // live counters are also queryable at /v1/metrics, so serving
             // turns metrics on even without the flag.
             obs::set_metrics(true);
+            // Open the persistent store before binding: a locked or
+            // unrecoverable store dir must fail the launch, not the
+            // first request.
+            let store_handle = match &args.store_dir {
+                None => None,
+                Some(dir) => {
+                    let path = std::path::Path::new(dir);
+                    match store::Store::open(path, store::StoreOptions::default()) {
+                        Ok(s) => {
+                            let rec = s.recovery();
+                            println!(
+                                "serve: store {dir} recovered {} record(s) \
+                                 (gen {}, {} byte(s) quarantined)",
+                                rec.recovered_records(),
+                                rec.generation,
+                                rec.quarantined_bytes
+                            );
+                            Some(std::sync::Arc::new(s))
+                        }
+                        Err(store::StoreError::Locked { holder_pid }) => {
+                            eprintln!(
+                                "error: store dir {dir} is locked by live pid {holder_pid} \
+                                 (one serve process per store dir)"
+                            );
+                            return 1;
+                        }
+                        Err(e) => {
+                            eprintln!("error: cannot open store dir {dir}: {e}");
+                            return 1;
+                        }
+                    }
+                }
+            };
             let serve_cfg = serve::ServeConfig {
                 port: args.port,
                 workers: args.workers,
                 cache_entries: args.cache_entries,
                 queue_cap: args.queue_cap,
+                store: store_handle,
                 ..serve::ServeConfig::default()
             };
             serve::signal::install_handlers();

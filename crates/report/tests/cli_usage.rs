@@ -101,6 +101,90 @@ fn malformed_serve_queue_cap_is_usage_error() {
 }
 
 #[test]
+fn store_dir_at_a_file_is_usage_error() {
+    // Point --store-dir at a regular file: a usage error at the door,
+    // not a crash mid-serve.
+    let file = std::env::temp_dir().join(format!("report_cli_store_file_{}", std::process::id()));
+    std::fs::write(&file, b"not a directory").unwrap();
+    let out = report(&["serve", "--store-dir", file.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(64), "stderr: {stderr}");
+    assert!(
+        stderr.contains("not a directory"),
+        "stderr missing reason: {stderr}"
+    );
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn store_dir_missing_value_is_usage_error() {
+    assert_usage_error(&["serve", "--store-dir"], "--store-dir requires a value");
+}
+
+#[test]
+fn store_dir_uncreatable_is_usage_error() {
+    // A path whose parent is a file cannot be created as a directory.
+    let file = std::env::temp_dir().join(format!("report_cli_store_parent_{}", std::process::id()));
+    std::fs::write(&file, b"file").unwrap();
+    let nested = file.join("store");
+    let out = report(&["serve", "--store-dir", nested.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(64),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn second_serve_on_one_store_dir_is_refused() {
+    use std::io::BufRead as _;
+    let dir = std::env::temp_dir().join(format!("report_cli_store_lock_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut first = Command::new(env!("CARGO_BIN_EXE_report"))
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--store-dir",
+            dir.to_str().unwrap(),
+            "--quiet",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn first serve");
+    // Wait until the first process holds the lock and is listening.
+    let stdout = first.stdout.take().unwrap();
+    let mut listening = false;
+    for line in std::io::BufReader::new(stdout)
+        .lines()
+        .map_while(Result::ok)
+    {
+        if line.starts_with("serve: listening on ") {
+            listening = true;
+            break;
+        }
+    }
+    assert!(listening, "first serve never came up");
+
+    // The second process must refuse the busy store dir: exit 1 with a
+    // clear "locked by" message, and without disturbing the first.
+    let out = report(&["serve", "--port", "0", "--store-dir", dir.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("locked by live pid"),
+        "stderr missing lock diagnostics: {stderr}"
+    );
+
+    first.kill().expect("kill first serve");
+    let _ = first.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn valid_static_command_succeeds() {
     let dir = std::env::temp_dir().join("report_cli_usage_ok");
     let out = report(&["table5", "--out", dir.to_str().unwrap(), "--quiet"]);

@@ -22,7 +22,11 @@
 //!   fingerprints with full-key verification on hit.
 //! * [`router`] — URL space and error mapping over a pluggable
 //!   [`router::Backend`]; `report-gen` supplies the real backend so the
-//!   dependency arrow stays serve ← report, never circular.
+//!   dependency arrow stays serve ← report, never circular. Misses are
+//!   single-flight coalesced (one cold analysis per canonical key, with
+//!   panic-safe abort publication) and optionally backed by the
+//!   crash-safe persistent `store` tier, so a restarted process answers
+//!   warm with bytes identical to what the dead one served.
 //! * [`server`] — accept loop, connection lifecycle, SIGTERM/ctrl-c
 //!   graceful drain (via [`signal`]).
 //! * [`client`] — the minimal blocking client loadgen and the tests use.
@@ -43,5 +47,7 @@ pub use cache::ShardedLru;
 pub use client::{get_once, ClientResponse, HttpClient};
 pub use http::{parse_request, ConnReader, HttpLimits, ParseError, Request, Response};
 pub use pool::{QueueFull, WorkerPool};
-pub use router::{AnalysisQuery, AnalysisViews, ApiError, Backend, Router};
+pub use router::{
+    decode_views, encode_views, AnalysisQuery, AnalysisViews, ApiError, Backend, Router,
+};
 pub use server::{serve, ServeConfig, ServerHandle};

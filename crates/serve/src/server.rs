@@ -54,6 +54,10 @@ pub struct ServeConfig {
     pub limits: HttpLimits,
     /// `Retry-After` seconds advertised on 503.
     pub retry_after_secs: u32,
+    /// Persistent verdict store. When set, cold results are journaled to
+    /// disk, misses consult the store before the backend, and the accept
+    /// loop compacts the journal into a snapshot at drain time.
+    pub store: Option<Arc<store::Store>>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +70,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_millis(50),
             limits: HttpLimits::default(),
             retry_after_secs: 1,
+            store: None,
         }
     }
 }
@@ -117,7 +122,11 @@ pub fn serve(cfg: ServeConfig, backend: Arc<dyn Backend>) -> std::io::Result<Ser
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let router = Arc::new(Router::new(backend, cfg.cache_entries));
+    let router = Arc::new(Router::with_store(
+        backend,
+        cfg.cache_entries,
+        cfg.store.clone(),
+    ));
 
     let accept_stop = Arc::clone(&stop);
     let accept_thread = std::thread::Builder::new()
@@ -175,8 +184,11 @@ fn accept_loop(listener: &TcpListener, cfg: &ServeConfig, stop: &AtomicBool, rou
             }
         }
     }
-    // Graceful drain: everything accepted gets served before we return.
+    // Graceful drain: everything accepted gets served before we return,
+    // then the store's journal tail is folded into a snapshot so the
+    // next process recovers from one segment.
     pool.shutdown();
+    router.flush_store();
 }
 
 fn handle_connection(stream: TcpStream, cfg: &ServeConfig, router: &Router, draining: &AtomicBool) {

@@ -1,0 +1,226 @@
+//! The persistent store tier under the router: a "restarted process"
+//! (new router + reopened store on the same directory) must answer warm
+//! with bytes identical to what the first process served cold — and
+//! must never serve bytes it cannot re-validate.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use serve::{
+    decode_views, encode_views, parse_request, AnalysisQuery, AnalysisViews, ApiError, Backend,
+    ConnReader, HttpLimits, Request, Router,
+};
+use store::{Store, StoreOptions};
+
+fn request(line: &str) -> Request {
+    let raw = format!("GET {line} HTTP/1.1\r\n\r\n");
+    let mut reader = ConnReader::new(raw.as_bytes());
+    parse_request(&mut reader, &HttpLimits::default()).unwrap()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("store-tier-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_store(dir: &Path) -> Arc<Store> {
+    Arc::new(Store::open(dir, StoreOptions::default()).unwrap())
+}
+
+/// Counts cold analyses; `sick` degrades.
+struct CountingBackend(AtomicUsize);
+
+impl CountingBackend {
+    fn new() -> Arc<CountingBackend> {
+        Arc::new(CountingBackend(AtomicUsize::new(0)))
+    }
+}
+
+impl Backend for CountingBackend {
+    fn apps_json(&self) -> String {
+        "{\"apps\": []}\n".to_string()
+    }
+
+    fn canonicalize(&self, q: AnalysisQuery) -> Result<AnalysisQuery, ApiError> {
+        Ok(q)
+    }
+
+    fn analyze(&self, q: &AnalysisQuery) -> Result<AnalysisViews, ApiError> {
+        self.0.fetch_add(1, Ordering::SeqCst);
+        if q.app == "sick" {
+            return Err(ApiError::Degraded {
+                config: q.config.clone(),
+                error: "synthetic failure".into(),
+            });
+        }
+        Ok(AnalysisViews {
+            verdict: format!("verdict:{}:{}:{}\n", q.app, q.config, q.ranks),
+            conflicts: format!("conflicts:{}\n", q.app),
+            patterns: format!("patterns:{}\n", q.app),
+        })
+    }
+}
+
+/// The canonical string the router derives for a default-parameter
+/// verdict query on `app/config` — for poking the store directly.
+fn canonical_for(app: &str, config: &str) -> String {
+    AnalysisQuery {
+        app: app.to_string(),
+        config: config.to_string(),
+        ranks: serve::router::DEFAULT_RANKS,
+        seed: serve::router::DEFAULT_SEED,
+        model: "both".to_string(),
+        faults: "none".to_string(),
+    }
+    .cache_key()
+    .canonical()
+    .to_string()
+}
+
+#[test]
+fn views_codec_roundtrip_and_rejects_damage() {
+    let views = AnalysisViews {
+        verdict: "{\"v\": 1}\n".to_string(),
+        conflicts: "{}\n".to_string(),
+        patterns: "{\"p\": [1, 2]}\n".to_string(),
+    };
+    let bytes = encode_views(&views);
+    let back = decode_views(&bytes).expect("roundtrip");
+    assert_eq!(back.verdict, views.verdict);
+    assert_eq!(back.conflicts, views.conflicts);
+    assert_eq!(back.patterns, views.patterns);
+    // Any truncation is rejected, never partially decoded.
+    for cut in 0..bytes.len() {
+        assert!(decode_views(&bytes[..cut]).is_none(), "cut {cut} decoded");
+    }
+    // Trailing garbage is rejected too.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(decode_views(&padded).is_none());
+}
+
+#[test]
+fn restart_serves_byte_identical_without_recomputing() {
+    let dir = tmpdir("restart");
+    let (cold_verdict, cold_conflicts) = {
+        let backend = CountingBackend::new();
+        let router = Router::with_store(
+            Arc::clone(&backend) as Arc<dyn Backend>,
+            16,
+            Some(open_store(&dir)),
+        );
+        let v = router.handle(&request("/v1/verdict/a/b"));
+        let c = router.handle(&request("/v1/conflicts/a/b"));
+        assert_eq!((v.status, c.status), (200, 200));
+        assert_eq!(backend.0.load(Ordering::SeqCst), 1);
+        (v.body, c.body)
+    };
+
+    // "Restart": fresh router, fresh backend, reopened store.
+    let backend = CountingBackend::new();
+    let router = Router::with_store(
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        16,
+        Some(open_store(&dir)),
+    );
+    let v = router.handle(&request("/v1/verdict/a/b"));
+    let c = router.handle(&request("/v1/conflicts/a/b"));
+    assert_eq!(v.status, 200);
+    assert_eq!(v.body, cold_verdict, "restart changed the verdict bytes");
+    assert_eq!(
+        c.body, cold_conflicts,
+        "restart changed the conflicts bytes"
+    );
+    assert_eq!(
+        backend.0.load(Ordering::SeqCst),
+        0,
+        "restart recomputed instead of serving from the store"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn degraded_results_are_not_persisted() {
+    let dir = tmpdir("degraded");
+    {
+        let backend = CountingBackend::new();
+        let store = open_store(&dir);
+        let router = Router::with_store(Arc::clone(&backend) as Arc<dyn Backend>, 16, Some(store));
+        assert_eq!(router.handle(&request("/v1/verdict/sick/x")).status, 422);
+        assert_eq!(
+            router.store().unwrap().len(),
+            0,
+            "degraded run was persisted"
+        );
+    }
+    // The restarted process retries the failure fresh.
+    let backend = CountingBackend::new();
+    let router = Router::with_store(
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        16,
+        Some(open_store(&dir)),
+    );
+    assert_eq!(router.handle(&request("/v1/verdict/sick/x")).status, 422);
+    assert_eq!(
+        backend.0.load(Ordering::SeqCst),
+        1,
+        "degraded outcome came from disk"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn undecodable_store_value_is_recomputed_never_served() {
+    let dir = tmpdir("corrupt-value");
+    {
+        // Plant a syntactically-journaled but semantically-garbage value
+        // under the exact canonical key the router will derive.
+        let store = open_store(&dir);
+        store
+            .put(&canonical_for("a", "b"), b"these are not encoded views")
+            .unwrap();
+    }
+    let backend = CountingBackend::new();
+    let router = Router::with_store(
+        Arc::clone(&backend) as Arc<dyn Backend>,
+        16,
+        Some(open_store(&dir)),
+    );
+    let resp = router.handle(&request("/v1/verdict/a/b"));
+    assert_eq!(resp.status, 200);
+    assert!(
+        String::from_utf8_lossy(&resp.body).starts_with("verdict:a:b"),
+        "garbage bytes leaked into a response"
+    );
+    assert_eq!(backend.0.load(Ordering::SeqCst), 1, "no recompute happened");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn drain_flush_compacts_for_snapshot_only_recovery() {
+    let dir = tmpdir("drain");
+    {
+        let backend = CountingBackend::new();
+        let router = Router::with_store(
+            Arc::clone(&backend) as Arc<dyn Backend>,
+            16,
+            Some(open_store(&dir)),
+        );
+        for cfg in ["x", "y", "z"] {
+            assert_eq!(
+                router
+                    .handle(&request(&format!("/v1/verdict/a/{cfg}")))
+                    .status,
+                200
+            );
+        }
+        router.flush_store();
+    }
+    let store = open_store(&dir);
+    let rec = store.recovery();
+    assert_eq!(rec.snapshot_records, 3, "drain flush did not snapshot");
+    assert_eq!(rec.journal_records, 0, "journal tail survived the flush");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,285 @@
+//! The append-only write-ahead journal.
+//!
+//! One journal file exists per snapshot generation —
+//! `journal-<gen>.log` holds every record accepted since
+//! `snapshot-<gen>.seg` was written. A record is *committed* once its
+//! frame is fully written and fsynced; recovery replays the longest
+//! valid frame prefix and **quarantines** whatever follows the first
+//! torn or corrupt frame into `quarantine-<gen>-<offset>.bin` before
+//! truncating the journal back to the committed prefix. Quarantined
+//! bytes are preserved for post-mortems, never replayed, and never
+//! reinterpreted — the store either recovers a committed record exactly
+//! or not at all.
+//!
+//! Compaction never truncates a live journal in place: the snapshot is
+//! written and renamed first, then a *new* journal file for the next
+//! generation is created, and only then are the old generation's files
+//! deleted. A crash anywhere in that sequence leaves either the old
+//! `(snapshot, journal)` pair or the new one fully recoverable.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame;
+
+/// Journal file magic; the trailing byte versions the format.
+pub const MAGIC: &[u8; 8] = b"PFSJNL1\n";
+
+/// File header: magic plus the generation echoed as `u64` LE.
+pub const HEADER_LEN: usize = 16;
+
+/// Name of the journal file for `gen` (relative to the store dir).
+pub fn file_name(gen: u64) -> String {
+    format!("journal-{gen:016x}.log")
+}
+
+fn header_bytes(gen: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..].copy_from_slice(&gen.to_le_bytes());
+    h
+}
+
+/// fsync a directory so renames/creates/removes inside it are durable.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// An open journal positioned for appends.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    /// Current file length, header included.
+    bytes: u64,
+    /// Records appended or replayed through this handle's lifetime.
+    records: u64,
+}
+
+impl Journal {
+    /// Create a fresh journal for `gen` (header only), fsynced.
+    pub fn create(dir: &Path, gen: u64) -> std::io::Result<Journal> {
+        let path = dir.join(file_name(gen));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(&header_bytes(gen))?;
+        file.sync_data()?;
+        Ok(Journal {
+            file,
+            path,
+            bytes: HEADER_LEN as u64,
+            records: 0,
+        })
+    }
+
+    /// Append one committed record: write the frame, then fsync. The
+    /// record is durable when this returns.
+    pub fn append(&mut self, key: &[u8], val: &[u8]) -> std::io::Result<u64> {
+        let mut buf = Vec::with_capacity(frame::frame_len(key, val));
+        frame::encode_into(&mut buf, key, val);
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        self.bytes += buf.len() as u64;
+        self.records += 1;
+        Ok(buf.len() as u64)
+    }
+
+    /// Current journal length in bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records written through or replayed into this handle.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The outcome of recovering (or creating) the journal for `gen`.
+pub struct Recovered {
+    pub journal: Journal,
+    /// Replayed records, in append order — later duplicates win.
+    pub entries: Vec<(String, Vec<u8>)>,
+    /// Bytes moved to a quarantine file (0 on a clean journal).
+    pub quarantined_bytes: u64,
+    /// The quarantine file, when a corrupt suffix was found.
+    pub quarantine_file: Option<PathBuf>,
+}
+
+/// Recover the journal for `gen` inside `dir`: replay the valid prefix,
+/// quarantine and truncate past the first torn or corrupt frame, and
+/// leave the file open for appends. A missing journal (crash between
+/// snapshot rename and new-journal creation) is created empty.
+pub fn recover(dir: &Path, gen: u64) -> std::io::Result<Recovered> {
+    let path = dir.join(file_name(gen));
+    let mut raw = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let journal = Journal::create(dir, gen)?;
+            sync_dir(dir)?;
+            return Ok(Recovered {
+                journal,
+                entries: Vec::new(),
+                quarantined_bytes: 0,
+                quarantine_file: None,
+            });
+        }
+        Err(e) => return Err(e),
+    }
+
+    // A bad header quarantines the whole file; a good one bounds the
+    // replay to the frames that follow it.
+    let header_ok = raw.len() >= HEADER_LEN && raw[..HEADER_LEN] == header_bytes(gen);
+    let mut entries = Vec::new();
+    let mut offset = if header_ok { HEADER_LEN } else { 0 };
+    if header_ok {
+        while offset < raw.len() {
+            match frame::decode_at(&raw, offset) {
+                Ok((key, val, next)) => match std::str::from_utf8(key) {
+                    // Keys are canonical cache-key strings; a non-UTF-8
+                    // key is corruption the checksum happened to miss.
+                    Ok(k) => {
+                        entries.push((k.to_string(), val.to_vec()));
+                        offset = next;
+                    }
+                    Err(_) => break,
+                },
+                Err(_) => break,
+            }
+        }
+    }
+
+    // Quarantine the suffix (if any), truncate back to the committed
+    // prefix, and reopen for appends.
+    let quarantined = (raw.len() - offset) as u64;
+    let mut quarantine_file = None;
+    if quarantined > 0 {
+        let qpath = dir.join(format!("quarantine-{gen:016x}-{offset:016x}.bin"));
+        let mut qf = File::create(&qpath)?;
+        qf.write_all(&raw[offset..])?;
+        qf.sync_data()?;
+        quarantine_file = Some(qpath);
+        obs::warn!(
+            "store: quarantined {quarantined} corrupt journal byte(s) at offset {offset} (gen {gen})"
+        );
+    }
+    let mut file = OpenOptions::new().write(true).read(true).open(&path)?;
+    if !header_ok {
+        // Nothing salvageable: rewrite a clean header in place.
+        file.set_len(0)?;
+        file.write_all(&header_bytes(gen))?;
+        offset = HEADER_LEN;
+    } else if quarantined > 0 {
+        file.set_len(offset as u64)?;
+    }
+    use std::io::Seek;
+    file.seek(std::io::SeekFrom::End(0))?;
+    file.sync_data()?;
+    if quarantined > 0 {
+        sync_dir(dir)?;
+    }
+    let records = entries.len() as u64;
+    Ok(Recovered {
+        journal: Journal {
+            file,
+            path,
+            bytes: offset as u64,
+            records,
+        },
+        entries,
+        quarantined_bytes: quarantined,
+        quarantine_file,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("store-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_then_recover_replays_everything() {
+        let dir = tmpdir("roundtrip");
+        let mut j = Journal::create(&dir, 0).unwrap();
+        j.append(b"a", b"1").unwrap();
+        j.append(b"b", b"22").unwrap();
+        j.append(b"a", b"333").unwrap();
+        drop(j);
+        let rec = recover(&dir, 0).unwrap();
+        assert_eq!(rec.quarantined_bytes, 0);
+        assert_eq!(
+            rec.entries,
+            vec![
+                ("a".into(), b"1".to_vec()),
+                ("b".into(), b"22".to_vec()),
+                ("a".into(), b"333".to_vec()),
+            ]
+        );
+        assert_eq!(rec.journal.records(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_created_empty() {
+        let dir = tmpdir("missing");
+        let rec = recover(&dir, 7).unwrap();
+        assert!(rec.entries.is_empty());
+        assert!(dir.join(file_name(7)).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_quarantined_and_appends_continue() {
+        let dir = tmpdir("torn");
+        let mut j = Journal::create(&dir, 0).unwrap();
+        j.append(b"k1", b"v1").unwrap();
+        drop(j);
+        // Simulate a torn write: half a frame at the tail.
+        let path = dir.join(file_name(0));
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[9, 0, 0, 0, 9, 0]).unwrap();
+        drop(f);
+        let rec = recover(&dir, 0).unwrap();
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.quarantined_bytes, 6);
+        assert!(rec.quarantine_file.as_ref().unwrap().exists());
+        // The journal is truncated back to the committed prefix and
+        // accepts new appends that survive another recovery.
+        let mut j = rec.journal;
+        j.append(b"k2", b"v2").unwrap();
+        drop(j);
+        let rec = recover(&dir, 0).unwrap();
+        assert_eq!(rec.entries.len(), 2);
+        assert_eq!(rec.quarantined_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_header_quarantines_whole_file() {
+        let dir = tmpdir("badheader");
+        std::fs::write(dir.join(file_name(0)), b"not a journal at all").unwrap();
+        let rec = recover(&dir, 0).unwrap();
+        assert!(rec.entries.is_empty());
+        assert_eq!(rec.quarantined_bytes, 20);
+        drop(rec);
+        let rec = recover(&dir, 0).unwrap();
+        assert_eq!(rec.quarantined_bytes, 0, "header was rewritten cleanly");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

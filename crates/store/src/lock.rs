@@ -1,0 +1,116 @@
+//! Single-writer lock file.
+//!
+//! Two live processes appending to one journal would interleave frames
+//! and corrupt each other's tails, so `Store::open` takes an exclusive
+//! `LOCK` file first: created with `O_EXCL` and holding the owner's
+//! pid. A lock left behind by a SIGKILLed process is detected by
+//! probing `/proc/<pid>` and reclaimed; a lock whose owner is alive —
+//! including this very process, which guards against two `Store`s over
+//! one directory in-process — refuses the open with a clear error.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Held for the lifetime of the store; removes the file on drop.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+/// Is `pid` a live process? Conservative: if liveness cannot be
+/// determined (no `/proc` on this platform), assume it is.
+fn pid_alive(pid: u32) -> bool {
+    if !Path::new("/proc/self").exists() {
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+impl LockFile {
+    /// Acquire `dir/LOCK`, reclaiming it only from a provably dead
+    /// owner. `Err` carries the holder pid when the directory is busy.
+    pub fn acquire(dir: &Path) -> Result<LockFile, Result<u32, std::io::Error>> {
+        let path = dir.join("LOCK");
+        // Two attempts: the second runs after reclaiming a stale file.
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = f.write_all(std::process::id().to_string().as_bytes());
+                    let _ = f.sync_data();
+                    return Ok(LockFile { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let mut contents = String::new();
+                    let holder = std::fs::File::open(&path)
+                        .and_then(|mut f| f.read_to_string(&mut contents).map(|_| ()))
+                        .ok()
+                        .and_then(|()| contents.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_alive(pid) => return Err(Ok(pid)),
+                        // Dead owner (or unreadable garbage): reclaim once.
+                        _ if attempt == 0 => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                        _ => return Err(Ok(0)),
+                    }
+                }
+                Err(e) => return Err(Err(e)),
+            }
+        }
+        unreachable!("second acquire attempt always returns");
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("store-lock-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn second_acquire_in_same_process_is_refused() {
+        let dir = tmpdir("self");
+        let lock = LockFile::acquire(&dir).unwrap();
+        match LockFile::acquire(&dir) {
+            Err(Ok(pid)) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected busy lock, got {other:?}"),
+        }
+        drop(lock);
+        // Released on drop: a fresh acquire succeeds.
+        LockFile::acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_reclaimed() {
+        let dir = tmpdir("stale");
+        // Pid 0 is the idle task — never a real journal owner, and
+        // /proc/0 does not exist.
+        std::fs::write(dir.join("LOCK"), b"0").unwrap();
+        LockFile::acquire(&dir).expect("stale lock reclaimed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_lock_is_reclaimed() {
+        let dir = tmpdir("garbage");
+        std::fs::write(dir.join("LOCK"), b"not a pid").unwrap();
+        LockFile::acquire(&dir).expect("garbage lock reclaimed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! Immutable snapshot segments.
+//!
+//! A snapshot is the whole key→value map serialized as checksummed
+//! frames behind a counted header, written to `snapshot-<gen>.tmp`,
+//! fsynced, and atomically renamed to `snapshot-<gen>.seg` — the
+//! object-store discipline: a `.seg` file is either absent or complete,
+//! never half-written, and once renamed it is never modified again.
+//! Recovery loads the highest-generation segment that validates
+//! (header, per-frame checksums, exact record count) and quarantines
+//! any that does not by renaming it `.bad`, falling back to the next
+//! older generation.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame;
+
+/// Snapshot file magic; trailing byte versions the format.
+pub const MAGIC: &[u8; 8] = b"PFSSNP1\n";
+
+/// File header: magic, generation (`u64` LE), record count (`u64` LE).
+pub const HEADER_LEN: usize = 24;
+
+/// Name of the live segment for `gen`.
+pub fn file_name(gen: u64) -> String {
+    format!("snapshot-{gen:016x}.seg")
+}
+
+/// Name of the in-flight temporary for `gen`.
+pub fn tmp_name(gen: u64) -> String {
+    format!("snapshot-{gen:016x}.tmp")
+}
+
+fn header_bytes(gen: u64, count: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..16].copy_from_slice(&gen.to_le_bytes());
+    h[16..].copy_from_slice(&count.to_le_bytes());
+    h
+}
+
+/// Write the temporary segment for `gen` and fsync it. The caller
+/// performs the rename + directory sync (with its crash points).
+pub fn write_tmp<'a>(
+    dir: &Path,
+    gen: u64,
+    entries: impl ExactSizeIterator<Item = (&'a str, &'a [u8])>,
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(tmp_name(gen));
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&header_bytes(gen, entries.len() as u64));
+    for (key, val) in entries {
+        frame::encode_into(&mut buf, key.as_bytes(), val);
+    }
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&path)?;
+    file.write_all(&buf)?;
+    file.sync_all()?;
+    Ok(path)
+}
+
+/// Why a segment failed to load.
+#[derive(Debug)]
+pub enum SnapError {
+    Io(std::io::Error),
+    /// Structurally invalid: bad header, bad frame, or count mismatch.
+    Invalid(&'static str),
+}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+/// Load and fully verify the segment for `gen`. Every frame checksum is
+/// checked and the record count must match the header exactly — a
+/// segment only exists post-rename, so anything invalid is bit rot, and
+/// the caller quarantines it rather than trusting a prefix.
+pub fn load(dir: &Path, gen: u64) -> Result<Vec<(String, Vec<u8>)>, SnapError> {
+    let mut raw = Vec::new();
+    File::open(dir.join(file_name(gen)))?.read_to_end(&mut raw)?;
+    if raw.len() < HEADER_LEN || raw[..8] != *MAGIC {
+        return Err(SnapError::Invalid("bad header"));
+    }
+    if raw[8..16] != gen.to_le_bytes() {
+        return Err(SnapError::Invalid("generation mismatch"));
+    }
+    let count = u64::from_le_bytes(raw[16..24].try_into().unwrap());
+    let mut entries = Vec::new();
+    let mut offset = HEADER_LEN;
+    for _ in 0..count {
+        let (key, val, next) =
+            frame::decode_at(&raw, offset).map_err(|_| SnapError::Invalid("bad frame"))?;
+        let key = std::str::from_utf8(key)
+            .map_err(|_| SnapError::Invalid("non-utf8 key"))?
+            .to_string();
+        entries.push((key, val.to_vec()));
+        offset = next;
+    }
+    if offset != raw.len() {
+        return Err(SnapError::Invalid("trailing bytes"));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("store-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn put(dir: &Path, gen: u64, entries: &[(&str, &[u8])]) {
+        let tmp = write_tmp(dir, gen, entries.iter().map(|&(k, v)| (k, v))).unwrap();
+        std::fs::rename(tmp, dir.join(file_name(gen))).unwrap();
+    }
+
+    #[test]
+    fn write_rename_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        put(&dir, 3, &[("a", b"1"), ("b", b"two")]);
+        let entries = load(&dir, 3).unwrap();
+        assert_eq!(
+            entries,
+            vec![("a".into(), b"1".to_vec()), ("b".into(), b"two".to_vec())]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_segment_is_invalid_everywhere() {
+        let dir = tmpdir("trunc");
+        put(
+            &dir,
+            1,
+            &[("key-one", b"value-one"), ("key-two", b"value-two")],
+        );
+        let path = dir.join(file_name(1));
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(load(&dir, 1).is_err(), "cut {cut} validated");
+        }
+        std::fs::write(&path, &full).unwrap();
+        assert!(load(&dir, 1).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_are_invalid() {
+        let dir = tmpdir("flip");
+        put(&dir, 2, &[("k", b"v")]);
+        let path = dir.join(file_name(2));
+        let full = std::fs::read(&path).unwrap();
+        for byte in 0..full.len() {
+            let mut bad = full.clone();
+            bad[byte] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(load(&dir, 2).is_err(), "flip at byte {byte} validated");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

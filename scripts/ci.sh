@@ -53,6 +53,17 @@ grep -q "shutdown complete" target/serve_smoke.log || {
     echo "serve did not drain cleanly"; cat target/serve_smoke.log; exit 1;
 }
 
+echo "ci: store crash-recovery smoke"
+# The persistent verdict store end-to-end: loadgen spawns a real
+# `report serve --store-dir`, loads it cold, SIGKILLs it mid-traffic,
+# restarts it on the same directory, and asserts the restarted process
+# answers warm — recovered records >= configs, responses byte-identical
+# to the pre-kill cold bytes, and served from the store (store.hits),
+# not recomputed. scripts/serve_bench.sh runs the gated (>= 10x)
+# measurement into BENCH_PR8.json.
+rm -rf target/ci_store
+./target/release/loadgen --restart --smoke --store-dir target/ci_store
+
 echo "ci: streaming equivalence smoke"
 # The streaming incremental analyzer must stay byte-identical to the
 # batch oracle. The debug suite above already ran the full matrix

@@ -13,7 +13,17 @@
 # (every request a cache hit), asserts warm responses are byte-identical
 # to cold, and records both throughputs plus the warm/cold ratio. The
 # acceptance floor for the artifact is a >= 10x warm speedup.
+#
+# It then runs the crash-recovery benchmark: spawn `report serve
+# --store-dir`, cold-load it, SIGKILL it mid-traffic, restart it on the
+# same store directory, and assert the restarted process answers warm
+# byte-identically from the recovered store. BENCH_PR8.json records the
+# recovery wall time and the warm-after-restart/cold ratio (gated at
+# >= 10x outside --smoke).
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release -p report-gen
-exec ./target/release/loadgen --out BENCH_PR5.json "$@"
+./target/release/loadgen --out BENCH_PR5.json "$@"
+rm -rf target/bench_store
+exec ./target/release/loadgen --restart --store-dir target/bench_store \
+    --out BENCH_PR8.json "$@"
