@@ -17,6 +17,15 @@
 //!   totals are identical across thread counts and across runs.
 //! * **Logging** ([`mod@log`]) — a leveled stderr logger behind one atomic,
 //!   replacing scattered `eprintln!` progress lines.
+//! * **Flight recorder** ([`flight`]) — an always-on lock-free ring of
+//!   recent structured serving events (request ids, single-flight
+//!   transitions, store verdicts), dumped to a postmortem file on panic
+//!   or drain. Unlike spans/metrics it defaults *on*: it exists for the
+//!   request nobody planned to watch.
+//! * **SLO telemetry** ([`slo`]) — sliding-window per-endpoint latency
+//!   histograms and outcome counters (deterministic under a
+//!   caller-supplied clock), plus a from-scratch Prometheus
+//!   text-exposition parser used to validate `/metricsz`.
 //!
 //! Everything is disabled by default. The hot-path check is a single
 //! relaxed atomic load ([`tracing_enabled`] / [`metrics_enabled`]), and
@@ -27,18 +36,25 @@
 //! spans and counters are write-only side channels, enforced by
 //! `crates/report/tests/obs.rs`.
 
+pub mod flight;
 pub mod log;
 pub mod metrics;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub use flight::{
+    dump_postmortem, flight, flight_enabled, set_flight, set_postmortem_path, FlightEvent,
+    FlightKind, FlightRecorder,
+};
 pub use log::Level;
 pub use metrics::{metrics, Counter, Histogram, Registry};
+pub use slo::{class_of, parse_exposition, Sample, SloRow, SloWindow};
 pub use span::{
-    alloc_sim_pids, instant, process_name, sim_instant, sim_span, span, wall_ns, Arg, Phase,
-    SpanGuard, TraceEvent, ANALYSIS_PID,
+    alloc_sim_pids, instant, process_name, sim_instant, sim_span, span, wall_ns, wall_ns_at, Arg,
+    Phase, SpanGuard, TraceEvent, ANALYSIS_PID,
 };
 pub use trace::{validate_chrome_trace, write_chrome_trace, TraceSummary};
 

@@ -132,6 +132,13 @@ pub fn wall_ns() -> u64 {
     anchor().elapsed().as_nanos() as u64
 }
 
+/// Translate an already-taken [`Instant`] to anchor-relative
+/// nanoseconds. Pure subtraction — no clock read — so a hot path that
+/// has an `Instant` in hand stamps events for free.
+pub fn wall_ns_at(t: Instant) -> u64 {
+    t.saturating_duration_since(anchor()).as_nanos() as u64
+}
+
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 static NEXT_SIM_PID: AtomicU64 = AtomicU64::new(ANALYSIS_PID + 1);
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--warm-requests N]
-//!         [--configs N] [--ranks R] [--out FILE] [--smoke]
+//!         [--configs N] [--ranks R] [--out FILE] [--out-json FILE]
+//!         [--smoke]
 //! ```
 //!
 //! Without `--addr` it self-hosts an in-process server (the same
@@ -32,6 +33,14 @@
 //! re-simulating. Reports recovery wall time, recovered record count,
 //! and the warm-after-restart/cold throughput ratio (gated at ≥ 10×
 //! outside `--smoke`); the JSON lands in `BENCH_PR8.json`.
+//!
+//! `--out-json FILE` writes a structured *run report* alongside the
+//! normal summary: exact per-phase latency quantiles (p50/p99 from the
+//! full sorted sample, not an estimate), error counts, and a sample of
+//! the `X-Request-Id` values the server echoed — enough to cross-match a
+//! load run against the server's flight recorder and SLO window. Not
+//! available with `--restart` (its phases span a process kill and are
+//! not comparable).
 
 use std::io::{BufRead as _, Write as _};
 use std::net::SocketAddr;
@@ -54,6 +63,8 @@ struct Args {
     configs: usize,
     ranks: u32,
     out: Option<String>,
+    /// Structured run report: per-phase quantiles, errors, rid sample.
+    out_json: Option<String>,
     smoke: bool,
     /// Crash-recovery mode: spawn, kill -9, restart, assert warm.
     restart: bool,
@@ -69,6 +80,10 @@ fn usage() -> &'static str {
      \x20 --configs N       distinct configurations to query (default 6)\n\
      \x20 --ranks R         world size per query (default 8)\n\
      \x20 --out FILE        write the JSON summary here\n\
+     \x20 --out-json FILE   write a structured run report: per-phase\n\
+     \x20                   p50/p99 latency, error counts, and a sample\n\
+     \x20                   of echoed X-Request-Id values (not with\n\
+     \x20                   --restart)\n\
      \x20 --smoke           tiny quick-check shape (CI smoke)\n\
      \x20 --restart         crash-recovery benchmark: spawn `report serve`,\n\
      \x20                   SIGKILL it mid-traffic, restart, assert the\n\
@@ -97,6 +112,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         configs: 6,
         ranks: 8,
         out: None,
+        out_json: None,
         smoke: false,
         restart: false,
         store_dir: None,
@@ -110,6 +126,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--configs" => args.configs = flag_value(argv, &mut i, "--configs")?,
             "--ranks" => args.ranks = flag_value(argv, &mut i, "--ranks")?,
             "--out" => args.out = Some(flag_value(argv, &mut i, "--out")?),
+            "--out-json" => args.out_json = Some(flag_value(argv, &mut i, "--out-json")?),
             "--smoke" => args.smoke = true,
             "--restart" => args.restart = true,
             "--store-dir" => args.store_dir = Some(flag_value(argv, &mut i, "--store-dir")?),
@@ -133,6 +150,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.restart && args.addr.is_some() {
         return Err("--restart spawns its own server; drop --addr".to_string());
     }
+    if args.restart && args.out_json.is_some() {
+        return Err("--out-json is not available with --restart".to_string());
+    }
     Ok(args)
 }
 
@@ -153,20 +173,23 @@ fn fail(msg: &str) -> ! {
 }
 
 /// Closed-loop keep-alive clients over a shared request counter; returns
-/// (wall ns, error count).
+/// (wall ns, error count, per-request latencies in ns — successful
+/// requests only, unordered).
 fn closed_loop(
     addr: SocketAddr,
     paths: &Arc<Vec<String>>,
     clients: usize,
     requests: usize,
-) -> (u64, usize) {
+) -> (u64, usize, Vec<u64>) {
     let counter = Arc::new(AtomicUsize::new(0));
     let errors = Arc::new(AtomicUsize::new(0));
+    let latencies = Arc::new(std::sync::Mutex::new(Vec::with_capacity(requests)));
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..clients {
             let counter = Arc::clone(&counter);
             let errors = Arc::clone(&errors);
+            let latencies = Arc::clone(&latencies);
             let paths = Arc::clone(paths);
             s.spawn(move || {
                 let mut client = match HttpClient::connect(addr) {
@@ -176,31 +199,48 @@ fn closed_loop(
                         return;
                     }
                 };
+                // Per-thread sample, merged once at the end — the
+                // measurement loop takes no locks.
+                let mut local = Vec::with_capacity(requests / clients.max(1) + 1);
                 loop {
                     let k = counter.fetch_add(1, Ordering::SeqCst);
                     if k >= requests {
-                        return;
+                        break;
                     }
+                    let t_req = Instant::now();
                     match client.get(&paths[k % paths.len()]) {
-                        Ok(r) if r.status == 200 => {}
+                        Ok(r) if r.status == 200 => {
+                            local.push(t_req.elapsed().as_nanos() as u64);
+                        }
                         _ => {
                             errors.fetch_add(1, Ordering::SeqCst);
                             // Reconnect once; persistent failure drains the
                             // counter and ends the phase.
                             match HttpClient::connect(addr) {
                                 Ok(c) => client = c,
-                                Err(_) => return,
+                                Err(_) => break,
                             }
                         }
                     }
                 }
+                latencies.lock().unwrap().extend(local);
             });
         }
     });
-    (
-        t0.elapsed().as_nanos() as u64,
-        errors.load(Ordering::SeqCst),
-    )
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let lats = std::mem::take(&mut *latencies.lock().unwrap());
+    (wall_ns, errors.load(Ordering::SeqCst), lats)
+}
+
+/// Exact quantile from the full sample: sort and index — no sketches,
+/// no interpolation surprises. Returns 0 on an empty sample.
+fn quantile_ns(latencies: &mut [u64], q_pct: usize) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    let idx = (latencies.len() * q_pct / 100).min(latencies.len() - 1);
+    latencies[idx]
 }
 
 /// Pull an integer field out of a (flat) JSON body without a parser —
@@ -356,7 +396,7 @@ fn run_restart(args: &Args) -> ! {
     }
 
     // Warm-after-restart throughput, closed loop.
-    let (warm_ns, errors) = closed_loop(addr, &paths, args.clients, args.warm_requests);
+    let (warm_ns, errors, _) = closed_loop(addr, &paths, args.clients, args.warm_requests);
     if errors > 0 {
         fail(&format!("{errors} warm requests failed after restart"));
     }
@@ -455,12 +495,24 @@ fn main() {
 
     let paths = query_paths(args.configs, args.ranks);
 
-    // Cold phase: serial, every request a miss.
+    // Cold phase: serial, every request a miss. Latencies and the echoed
+    // request ids feed the `--out-json` run report.
     let t_cold = Instant::now();
     let mut cold_bodies = Vec::with_capacity(paths.len());
+    let mut cold_lats = Vec::with_capacity(paths.len());
+    let mut rid_sample: Vec<String> = Vec::new();
     for path in &paths {
+        let t_req = Instant::now();
         match get_once(addr, path) {
-            Ok(r) if r.status == 200 => cold_bodies.push(r.body),
+            Ok(r) if r.status == 200 => {
+                cold_lats.push(t_req.elapsed().as_nanos() as u64);
+                if rid_sample.len() < 5 {
+                    if let Some(rid) = r.header("X-Request-Id") {
+                        rid_sample.push(rid.to_string());
+                    }
+                }
+                cold_bodies.push(r.body);
+            }
             Ok(r) => fail(&format!(
                 "{path}: cold status {} ({})",
                 r.status,
@@ -483,7 +535,8 @@ fn main() {
 
     // Warm phase: closed-loop keep-alive clients over a shared counter.
     let paths = Arc::new(paths);
-    let (warm_ns, errors) = closed_loop(addr, &paths, args.clients, args.warm_requests);
+    let (warm_ns, errors, mut warm_lats) =
+        closed_loop(addr, &paths, args.clients, args.warm_requests);
     if errors > 0 {
         fail(&format!("{errors} warm requests failed"));
     }
@@ -524,6 +577,49 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
         f.write_all(doc.as_bytes())
             .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("loadgen: wrote {out}");
+    }
+
+    if let Some(out) = &args.out_json {
+        let phase =
+            |requests: usize, clients: usize, wall_ns: u64, errors: usize, lats: &mut [u64]| {
+                Json::obj()
+                    .field("requests", requests)
+                    .field("clients", clients)
+                    .field("errors", errors)
+                    .field("wall_ns", wall_ns)
+                    .field("p50_ns", quantile_ns(lats, 50))
+                    .field("p99_ns", quantile_ns(lats, 99))
+            };
+        let doc = Json::obj()
+            .field("report", "loadgen-run")
+            .field("configs", cold_bodies.len())
+            .field("ranks", u64::from(args.ranks))
+            .field(
+                "phases",
+                Json::obj()
+                    .field(
+                        "cold",
+                        phase(cold_bodies.len(), 1, cold_ns, 0, &mut cold_lats),
+                    )
+                    .field(
+                        "warm",
+                        phase(
+                            args.warm_requests,
+                            args.clients,
+                            warm_ns,
+                            errors,
+                            &mut warm_lats,
+                        ),
+                    ),
+            )
+            .field(
+                "request_id_sample",
+                Json::Arr(rid_sample.iter().map(|r| Json::from(r.as_str())).collect()),
+            )
+            .pretty();
+        std::fs::write(out, doc + "\n")
             .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
         println!("loadgen: wrote {out}");
     }

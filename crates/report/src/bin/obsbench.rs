@@ -1,11 +1,12 @@
-//! `obsbench` — the PR-4 observability overhead harness.
+//! `obsbench` — the observability overhead harness.
 //!
 //! ```text
 //! obsbench [--out BENCH_PR4.json] [--ranks N] [--reps R] [--threads T]
-//!          [--budget-pct P] [--smoke]
+//!          [--budget-pct P] [--smoke] [--serve]
 //! ```
 //!
-//! Measures what turning the `obs` substrate on costs, at two scales:
+//! The default (PR 4) mode measures what turning the `obs` substrate on
+//! costs, at two scales:
 //!
 //! * **micro** — the per-site disabled check: a tight loop creating inert
 //!   [`obs::span`] guards with tracing off, reported in ns/site. This is
@@ -24,12 +25,24 @@
 //! overhead exceeds `P` percent — CI gates on this. The artifact
 //! (default `BENCH_PR4.json`) records both sides, the overhead, and the
 //! volume of telemetry the instrumented run produced.
+//!
+//! **`--serve` (PR 9) mode** instead measures the live observability
+//! layer on the serving hot path: a warm in-process [`serve::Router`]
+//! over the real `ReportBackend`, every request a cache hit, with the
+//! flight recorder + request ids + SLO window off vs. on (one
+//! `obs::set_flight` switch — off is byte-for-byte the pre-PR-9 request
+//! path). Reps are interleaved off/on, each side keeps its best ns/req,
+//! and `--budget-pct` gates the relative overhead (the artifact defaults
+//! to `BENCH_PR9.json`). The instrumented side carries the full per-hit
+//! cost: minting/echoing the request id, two flight-ring events, and the
+//! latency histogram update.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 use report_gen::json::Json;
-use report_gen::{analyze_all_threaded, ReportCfg};
+use report_gen::{analyze_all_threaded, ReportBackend, ReportCfg};
 
 struct Args {
     out: String,
@@ -38,6 +51,7 @@ struct Args {
     threads: usize,
     budget_pct: Option<f64>,
     smoke: bool,
+    serve: bool,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +62,7 @@ fn parse_args() -> Args {
         threads: 1,
         budget_pct: None,
         smoke: false,
+        serve: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -74,6 +89,7 @@ fn parse_args() -> Args {
                 args.budget_pct = Some(argv[i].parse().expect("--budget-pct P"));
             }
             "--smoke" => args.smoke = true,
+            "--serve" => args.serve = true,
             other => panic!("unknown argument {other}"),
         }
         i += 1;
@@ -81,6 +97,9 @@ fn parse_args() -> Args {
     if args.smoke {
         args.reps = 1;
         args.ranks = args.ranks.min(4);
+    }
+    if args.serve && args.out == "BENCH_PR4.json" {
+        args.out = "BENCH_PR9.json".to_string();
     }
     args
 }
@@ -105,8 +124,203 @@ fn micro_disabled_ns(iters: u64) -> f64 {
     t0.elapsed().as_secs_f64() * 1e9 / iters as f64
 }
 
+/// The PR-9 gate: the warm serve path with the live observability layer
+/// (flight recorder + request ids + SLO window) off vs. on.
+///
+/// Two measurements, both interleaved off/on with best-of-`reps`:
+///
+/// * **dispatch** — `Router::handle` in-process on a warm cache; no
+///   sockets, no parsing. This isolates the layer's absolute cost in
+///   ns/request (reported, not gated — nothing ~250 ns can be 2% of a
+///   ~800 ns in-memory dispatch).
+/// * **http** — the same warm requests through a real server: loopback
+///   TCP, keep-alive client, full parse → route → respond cycle. This is
+///   the path the SLO window actually times.
+///
+/// The gated overhead is the dispatch-measured absolute layer cost
+/// relative to the warm HTTP request it rides on: loopback RTTs jitter
+/// by hundreds of ns run to run, so differencing two ~10 µs HTTP sides
+/// cannot resolve a ~100 ns effect — the in-process diff can, and the
+/// HTTP side supplies the honest denominator. The raw HTTP off/on
+/// numbers are still reported as a diagnostic.
+fn serve_overhead(args: &Args) {
+    let reps = args.reps.max(1);
+    let dispatch_iters: u64 = if args.smoke { 2_000 } else { 200_000 };
+    let http_iters: u64 = if args.smoke { 500 } else { 20_000 };
+    let ranks = args.ranks.clamp(1, 2);
+    eprintln!(
+        "obsbench: serve-path overhead @ {ranks} ranks, best of {reps} \
+         interleaved reps ({dispatch_iters} dispatch + {http_iters} http \
+         warm requests per side)"
+    );
+
+    let mut seen = std::collections::BTreeSet::new();
+    let specs: Vec<_> = hpcapps::specs()
+        .iter()
+        .filter(|s| s.in_table4 && seen.insert((s.app, s.iolib)))
+        .take(2)
+        .collect();
+    assert!(!specs.is_empty(), "no table-4 configurations to query");
+    let paths: Vec<String> = specs
+        .iter()
+        .map(|s| format!("/v1/verdict/{}/{}?ranks={ranks}", s.app, s.iolib))
+        .collect();
+
+    // --- dispatch: Router::handle in-process ---------------------------
+    let router = serve::Router::new(Arc::new(ReportBackend::new()), 64);
+    let reqs: Vec<serve::Request> = specs
+        .iter()
+        .map(|s| serve::Request {
+            method: "GET".to_string(),
+            path: format!("/v1/verdict/{}/{}", s.app, s.iolib),
+            query: vec![("ranks".to_string(), ranks.to_string())],
+            headers: Vec::new(),
+            keep_alive: true,
+        })
+        .collect();
+    for on in [false, true] {
+        obs::set_flight(on);
+        for req in &reqs {
+            let resp = router.handle(req);
+            assert_eq!(resp.status, 200, "warmup {} failed", req.path);
+        }
+    }
+    let dispatch_side = |on: bool| {
+        obs::set_flight(on);
+        let t0 = Instant::now();
+        for k in 0..dispatch_iters {
+            let req = &reqs[(k as usize) % reqs.len()];
+            black_box(router.handle(req));
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / dispatch_iters as f64
+    };
+    let mut disp_off = f64::INFINITY;
+    let mut disp_on = f64::INFINITY;
+    for rep in 0..reps {
+        let off = dispatch_side(false);
+        disp_off = disp_off.min(off);
+        let on = dispatch_side(true);
+        disp_on = disp_on.min(on);
+        eprintln!("dispatch  rep {rep}: off {off:.0} ns/req, on {on:.0} ns/req");
+    }
+    let added_ns = disp_on - disp_off;
+    eprintln!(
+        "dispatch  best: off {disp_off:.0} ns/req, on {disp_on:.0} ns/req → \
+         the layer adds {added_ns:.0} ns/request absolute"
+    );
+
+    // --- http: the same requests through a real server -----------------
+    let handle = serve::serve(
+        serve::ServeConfig {
+            workers: 2,
+            ..serve::ServeConfig::default()
+        },
+        Arc::new(ReportBackend::new()),
+    )
+    .expect("bind bench server");
+    let mut client = serve::HttpClient::connect(handle.addr()).expect("connect bench client");
+    for on in [false, true] {
+        obs::set_flight(on);
+        for path in &paths {
+            let resp = client.get(path).expect("warmup request");
+            assert_eq!(resp.status, 200, "warmup {path} failed");
+        }
+    }
+    let mut http_side = |on: bool| {
+        obs::set_flight(on);
+        let t0 = Instant::now();
+        for k in 0..http_iters {
+            let path = &paths[(k as usize) % paths.len()];
+            let resp = client.get(path).expect("bench request");
+            debug_assert_eq!(resp.status, 200);
+            black_box(resp);
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / http_iters as f64
+    };
+    let mut http_off = f64::INFINITY;
+    let mut http_on = f64::INFINITY;
+    for rep in 0..reps {
+        let off = http_side(false);
+        http_off = http_off.min(off);
+        let on = http_side(true);
+        http_on = http_on.min(on);
+        eprintln!("http      rep {rep}: off {off:.0} ns/req, on {on:.0} ns/req");
+    }
+    obs::set_flight(true); // the always-on default
+    let flight_events = obs::flight().total();
+    drop(client);
+    handle.shutdown();
+
+    let direct_diff_pct = (http_on - http_off) / http_off * 100.0;
+    let overhead_pct = added_ns / http_off * 100.0;
+    eprintln!(
+        "http      best: off {http_off:.0} ns/req, on {http_on:.0} ns/req \
+         (direct diff {direct_diff_pct:+.2}%, noise-prone)"
+    );
+    eprintln!(
+        "overhead  {added_ns:.0} ns layer cost on a {http_off:.0} ns warm request \
+         → {overhead_pct:+.2}% ({flight_events} flight events recorded)"
+    );
+
+    let doc = Json::obj()
+        .field(
+            "bench",
+            "PR9 serve-path observability overhead (flight recorder + request ids + SLO window)",
+        )
+        .field("reps_best_of", reps)
+        .field("smoke", args.smoke)
+        .field("configs", paths.len())
+        .field("nranks", u64::from(ranks))
+        .field(
+            "dispatch",
+            Json::obj()
+                .field("what", "Router::handle in-process, warm cache")
+                .field("warm_requests_per_side", dispatch_iters)
+                .field("disabled_ns_per_req", disp_off)
+                .field("enabled_ns_per_req", disp_on)
+                .field("layer_added_ns_per_req", added_ns),
+        )
+        .field(
+            "http",
+            Json::obj()
+                .field("what", "keep-alive loopback HTTP, warm cache")
+                .field("warm_requests_per_side", http_iters)
+                .field("disabled_ns_per_req", http_off)
+                .field("enabled_ns_per_req", http_on)
+                .field("direct_diff_pct", direct_diff_pct),
+        )
+        .field(
+            "overhead_pct",
+            Json::obj()
+                .field(
+                    "what",
+                    "dispatch-measured layer cost / warm http request cost (the gated number)",
+                )
+                .field("value", overhead_pct),
+        )
+        .field("flight_events_recorded", flight_events)
+        .field("budget_pct", args.budget_pct.unwrap_or(2.0));
+    std::fs::write(&args.out, doc.pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {}", args.out);
+
+    if let Some(budget) = args.budget_pct {
+        if overhead_pct > budget {
+            eprintln!(
+                "obsbench: FAIL — serve-path overhead {overhead_pct:.2}% exceeds \
+                 the {budget:.1}% budget"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("obsbench: serve-path overhead within the {budget:.1}% budget");
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.serve {
+        serve_overhead(&args);
+        return;
+    }
     let avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

@@ -10,6 +10,7 @@
 //! tracetool report FILE               full per-run report (paper §7 artifact style)
 //! tracetool list                      available configurations for capture
 //! tracetool validate-trace FILE       check a `report --profile` Chrome trace
+//! tracetool validate-prom FILE        check a saved /metricsz exposition
 //! ```
 //!
 //! Traces are adjusted (barrier-rebased) before analysis, exactly as the
@@ -23,7 +24,7 @@ use semantics_core::patterns::{global_pattern, highlevel, local_pattern, AccessC
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tracetool <capture|info|dump|conflicts|patterns|census|report|list|validate-trace> [args]"
+        "usage: tracetool <capture|info|dump|conflicts|patterns|census|report|list|validate-trace|validate-prom> [args]"
     );
     std::process::exit(2);
 }
@@ -254,6 +255,31 @@ fn main() {
                 }
                 Err(e) => {
                     eprintln!("invalid Chrome trace {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "validate-prom" => {
+            // Consumer-side check of a saved /metricsz exposition (e.g.
+            // `report slo --raw FILE`): parse it with the from-scratch
+            // Prometheus text-format parser and summarize. Exit 1 on a
+            // malformed exposition, so CI can gate on it.
+            let Some(path) = rest.first() else { usage() };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            match obs::parse_exposition(&text) {
+                Ok(samples) => {
+                    let mut series: Vec<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+                    series.sort_unstable();
+                    series.dedup();
+                    println!("samples    : {}", samples.len());
+                    println!("series     : {}", series.len());
+                    println!("names      : {}", series.join(" "));
+                }
+                Err(e) => {
+                    eprintln!("invalid exposition {path}: {e}");
                     std::process::exit(1);
                 }
             }

@@ -75,6 +75,15 @@ struct Args {
     queue_cap: usize,
     /// `serve`: persistent verdict-store directory (None = in-memory only).
     store_dir: Option<String>,
+    /// `serve`: flight-recorder postmortem file (appended on handler
+    /// panic and on drain).
+    postmortem: Option<String>,
+    /// `slo`/`get`: target server address.
+    addr: Option<std::net::SocketAddr>,
+    /// `get`: request path on the target server.
+    path: Option<String>,
+    /// `slo`: also write the raw /metricsz exposition here.
+    raw: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -82,7 +91,7 @@ fn usage() -> &'static str {
      commands: table1..table5, fig1..fig3, all, check, flash-fix,\n\
      \x20        validate-hb, scale-study, rank-sweep, semantics-matrix,\n\
      \x20        app-report, fault-campaign, advise, locks, meta-conflicts,\n\
-     \x20        serve\n\
+     \x20        serve, slo, get\n\
      options:\n\
      \x20 --ranks N        world size, 1..=65536 (default 64)\n\
      \x20 --seed S         base seed (default 2021)\n\
@@ -103,6 +112,11 @@ fn usage() -> &'static str {
      \x20 --queue-cap N    serve: connection queue bound (default 64)\n\
      \x20 --store-dir DIR  serve: persist verdicts to DIR (crash-safe\n\
      \x20                  journal + snapshots; restart answers warm)\n\
+     \x20 --postmortem FILE  serve: append flight-recorder dumps here on\n\
+     \x20                  handler panic and on SIGTERM drain\n\
+     \x20 --addr HOST:PORT slo/get: target analysis service\n\
+     \x20 --path P         get: request path to fetch\n\
+     \x20 --raw FILE       slo: also write the raw /metricsz text here\n\
      \x20 --quiet, -q      errors only\n\
      \x20 --verbose, -v    debug-level logging\n\
      exit codes:\n\
@@ -170,6 +184,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cache_entries: 256,
         queue_cap: 64,
         store_dir: None,
+        postmortem: None,
+        addr: None,
+        path: None,
+        raw: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -190,6 +208,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--cache-entries" => args.cache_entries = flag_value(argv, &mut i, "--cache-entries")?,
             "--queue-cap" => args.queue_cap = flag_value(argv, &mut i, "--queue-cap")?,
             "--store-dir" => args.store_dir = Some(flag_value(argv, &mut i, "--store-dir")?),
+            "--postmortem" => args.postmortem = Some(flag_value(argv, &mut i, "--postmortem")?),
+            "--addr" => args.addr = Some(flag_value(argv, &mut i, "--addr")?),
+            "--path" => args.path = Some(flag_value(argv, &mut i, "--path")?),
+            "--raw" => args.raw = Some(flag_value(argv, &mut i, "--raw")?),
             "--config" => {
                 i += 1; // consumed by the subcommand itself
             }
@@ -231,6 +253,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if let Some(dir) = &args.store_dir {
         validate_store_dir(dir)?;
+    }
+    // The client-side commands need a target up front: a missing --addr
+    // (or --path for `get`) is a usage error, not a connect failure.
+    if matches!(args.command.as_str(), "slo" | "get") && args.addr.is_none() {
+        return Err(format!("{} requires --addr HOST:PORT", args.command));
+    }
+    if args.command == "get" && args.path.is_none() {
+        return Err("get requires --path P".to_string());
     }
     Ok(args)
 }
@@ -741,6 +771,7 @@ fn run(args: &Args) -> i32 {
                 cache_entries: args.cache_entries,
                 queue_cap: args.queue_cap,
                 store: store_handle,
+                postmortem: args.postmortem.clone().map(std::path::PathBuf::from),
                 ..serve::ServeConfig::default()
             };
             serve::signal::install_handlers();
@@ -768,6 +799,55 @@ fn run(args: &Args) -> i32 {
             handle.shutdown();
             println!("serve: shutdown complete");
         }
+        "get" => {
+            // Fetch one path from a running service and print the body —
+            // the scriptable probe the CI smoke uses for /v1/debug/flightrec.
+            let addr = args.addr.expect("validated in parse_args");
+            let path = args.path.as_deref().expect("validated in parse_args");
+            match serve::get_once(addr, path) {
+                Ok(r) if r.status == 200 => print!("{}", r.body_text()),
+                Ok(r) => {
+                    eprintln!("error: {path} returned {}", r.status);
+                    return 1;
+                }
+                Err(e) => {
+                    eprintln!("error: cannot reach {addr}: {e}");
+                    return 1;
+                }
+            }
+        }
+        "slo" => {
+            // Fetch /metricsz from a running service, validate the
+            // exposition with the from-scratch parser, and render the
+            // per-endpoint SLO summary. Exit 1 on connect or parse
+            // failure — this doubles as CI's exposition-format gate.
+            let addr = args.addr.expect("validated in parse_args");
+            let text = match serve::get_once(addr, "/metricsz") {
+                Ok(r) if r.status == 200 => r.body_text(),
+                Ok(r) => {
+                    eprintln!("error: /metricsz returned {}", r.status);
+                    return 1;
+                }
+                Err(e) => {
+                    eprintln!("error: cannot reach {addr}: {e}");
+                    return 1;
+                }
+            };
+            if let Some(raw) = &args.raw {
+                if let Err(e) = std::fs::write(raw, &text) {
+                    eprintln!("error: cannot write {raw}: {e}");
+                    return 1;
+                }
+            }
+            let samples = match obs::parse_exposition(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: /metricsz is not a valid exposition: {e}");
+                    return 1;
+                }
+            };
+            print!("{}", slo_table(&samples));
+        }
         other => {
             eprintln!("error: unknown command: {other}");
             eprint!("{}", usage());
@@ -778,6 +858,91 @@ fn run(args: &Args) -> i32 {
         return EXIT_DEGRADED;
     }
     0
+}
+
+/// Render the per-endpoint SLO summary from parsed `/metricsz` samples:
+/// windowed request counts by response class, windowed latency quantiles,
+/// and the error-budget burn, with the service-level lines underneath.
+fn slo_table(samples: &[obs::Sample]) -> String {
+    use std::fmt::Write as _;
+
+    #[derive(Default)]
+    struct Row {
+        window: [u64; 3],
+        total: u64,
+        p50: Option<f64>,
+        p99: Option<f64>,
+        burned: u64,
+    }
+    let mut rows: std::collections::BTreeMap<String, Row> = std::collections::BTreeMap::new();
+    let mut budget_remaining = None;
+    let mut uptime_ms = None;
+    let mut flightrec_depth = None;
+    for s in samples {
+        let endpoint = s.label("endpoint").unwrap_or("").to_string();
+        match s.name.as_str() {
+            "serve_window_requests" => {
+                let k = match s.label("class") {
+                    Some("2xx") => 0,
+                    Some("4xx") => 1,
+                    _ => 2,
+                };
+                rows.entry(endpoint).or_default().window[k] += s.value as u64;
+            }
+            "serve_requests_total" => {
+                rows.entry(endpoint).or_default().total += s.value as u64;
+            }
+            "serve_window_latency_ns" => {
+                let row = rows.entry(endpoint).or_default();
+                match s.label("quantile") {
+                    Some("0.5") => row.p50 = Some(s.value),
+                    Some("0.99") => row.p99 = Some(s.value),
+                    _ => {}
+                }
+            }
+            "serve_error_budget_burned" => {
+                rows.entry(endpoint).or_default().burned = s.value as u64;
+            }
+            "serve_error_budget_remaining" => budget_remaining = Some(s.value),
+            "serve_uptime_ms" => uptime_ms = Some(s.value as u64),
+            "serve_flightrec_depth" => flightrec_depth = Some(s.value as u64),
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>6} {:>6} {:>10} {:>11} {:>11} {:>7}",
+        "endpoint", "win-2xx", "4xx", "5xx", "total", "p50", "p99", "burned"
+    );
+    let fmt_ns = |v: Option<f64>| match v {
+        Some(ns) if ns >= 1e6 => format!("{:.1} ms", ns / 1e6),
+        Some(ns) if ns >= 1e3 => format!("{:.1} us", ns / 1e3),
+        Some(ns) => format!("{ns:.0} ns"),
+        None => "-".to_string(),
+    };
+    for (endpoint, r) in &rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>6} {:>6} {:>10} {:>11} {:>11} {:>7}",
+            endpoint,
+            r.window[0],
+            r.window[1],
+            r.window[2],
+            r.total,
+            fmt_ns(r.p50),
+            fmt_ns(r.p99),
+            r.burned,
+        );
+    }
+    if let Some(b) = budget_remaining {
+        let _ = writeln!(out, "error budget remaining: {b:.0}");
+    }
+    if let (Some(up), Some(depth)) = (uptime_ms, flightrec_depth) {
+        let _ = writeln!(out, "uptime: {up} ms, flight-recorder depth: {depth}");
+    }
+    out
 }
 
 fn summary_json(runs: &[report_gen::AnalyzedRun]) -> String {

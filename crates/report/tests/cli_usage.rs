@@ -101,6 +101,21 @@ fn malformed_serve_queue_cap_is_usage_error() {
 }
 
 #[test]
+fn slo_without_addr_is_usage_error() {
+    assert_usage_error(&["slo"], "requires --addr");
+}
+
+#[test]
+fn get_without_path_is_usage_error() {
+    assert_usage_error(&["get", "--addr", "127.0.0.1:1"], "requires --path");
+}
+
+#[test]
+fn postmortem_missing_value_is_usage_error() {
+    assert_usage_error(&["serve", "--postmortem"], "--postmortem requires a value");
+}
+
+#[test]
 fn store_dir_at_a_file_is_usage_error() {
     // Point --store-dir at a regular file: a usage error at the door,
     // not a crash mid-serve.

@@ -60,6 +60,32 @@ fn observability_is_invisible_and_deterministic() {
         assert_eq!(a, b, "{name}: artifact changed when observability was on");
     }
 
+    // --- 1b. the live layer (flight ring + SLO window) is invisible ----
+    // The flight recorder defaults *on*, so the interesting direction is
+    // proving artifacts don't change when it is off — and that hammering
+    // the ring and an SLO window mid-analysis changes nothing either.
+    obs::set_flight(false);
+    let quiet = render_artifacts(&cfg);
+    obs::set_flight(true);
+    static LABELS: &[&str] = &["a", "b"];
+    let window = obs::SloWindow::new(LABELS, 1_000_000, 4);
+    for i in 0..512u64 {
+        obs::flight().record_at(
+            i,
+            obs::FlightKind::ReqStart,
+            200,
+            i,
+            0,
+            "req-00000000000000ff",
+            "/v1/verdict/x/y",
+        );
+        window.observe((i % 2) as usize, 200, i * 100, i * 10_000);
+    }
+    let live = render_artifacts(&cfg);
+    for ((name, a), (_, b)) in quiet.iter().zip(&live) {
+        assert_eq!(a, b, "{name}: artifact changed under live flight/SLO load");
+    }
+
     // --- 2. the collected trace is valid and covers every layer --------
     let events = obs::span::drain();
     assert!(!events.is_empty(), "instrumented run collected no events");

@@ -7,9 +7,10 @@
 //! for free), [`parse_request`] with hard limits on every dimension a
 //! hostile peer controls (request-line length, header count, header-block
 //! bytes, total header time), and a deterministic [`Response`] writer
-//! whose output contains no timestamps or per-request identifiers — the
+//! whose *bodies* contain no timestamps or per-request identifiers — the
 //! property that lets the verdict cache promise byte-identical warm
-//! responses.
+//! responses. (Correlation ids like `X-Request-Id` ride in
+//! `extra_headers`, outside the body contract.)
 //!
 //! Every malformed, oversized, truncated, or dawdling request maps to a
 //! typed [`ParseError`]; the connection loop converts those into 4xx
@@ -387,7 +388,9 @@ pub fn percent_decode(s: &str) -> String {
 }
 
 /// One response, rendered deterministically: fixed header order, no
-/// `Date`, no request ids — identical inputs yield identical bytes.
+/// `Date`, and bodies free of request ids — identical inputs yield
+/// identical body bytes (per-request headers like `X-Request-Id` are
+/// appended via `extra_headers`).
 #[derive(Debug, Clone)]
 pub struct Response {
     pub status: u16,

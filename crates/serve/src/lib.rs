@@ -13,8 +13,10 @@
 //! `std` alone (the build must succeed with no registry access):
 //!
 //! * [`http`] — hand-rolled, bounds-checked HTTP/1.1 parser and a
-//!   deterministic response writer (no `Date` header, no request ids —
-//!   the property behind the warm-equals-cold byte-identity guarantee).
+//!   deterministic response writer (no `Date` header; response *bodies*
+//!   carry no timestamps or request ids — the property behind the
+//!   warm-equals-cold byte-identity guarantee; correlation ids live in
+//!   headers only).
 //! * [`pool`] — fixed worker pool over a bounded queue; a full queue is
 //!   answered 503 + `Retry-After` at the accept loop (explicit
 //!   backpressure), and shutdown drains in-flight work.
@@ -31,7 +33,14 @@
 //!   graceful drain (via [`signal`]).
 //! * [`client`] — the minimal blocking client loadgen and the tests use.
 //!
-//! Endpoints: `GET /healthz`, `/v1/apps`, `/v1/metrics`, and
+//! * [`reqid`] — deterministic-format request ids (inbound
+//!   `X-Request-Id` honored, echoed in responses, threaded through
+//!   router → single-flight → store as the span/flight-recorder
+//!   context).
+//!
+//! Endpoints: `GET /healthz`, `/metricsz` (Prometheus-style SLO
+//! exposition), `/v1/apps`, `/v1/metrics`, `/v1/debug/flightrec` (the
+//! flight-recorder ring as JSON), and
 //! `/v1/{verdict|conflicts|patterns}/{app}/{config}` with `ranks`,
 //! `seed`, `model`, `faults` query parameters.
 
@@ -39,6 +48,7 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod pool;
+pub mod reqid;
 pub mod router;
 pub mod server;
 pub mod signal;
@@ -47,7 +57,9 @@ pub use cache::ShardedLru;
 pub use client::{get_once, ClientResponse, HttpClient};
 pub use http::{parse_request, ConnReader, HttpLimits, ParseError, Request, Response};
 pub use pool::{QueueFull, WorkerPool};
+pub use reqid::{next_request_id, request_id, REQUEST_ID_HEADER};
 pub use router::{
     decode_views, encode_views, AnalysisQuery, AnalysisViews, ApiError, Backend, Router,
+    SLO_ENDPOINTS,
 };
 pub use server::{serve, ServeConfig, ServerHandle};

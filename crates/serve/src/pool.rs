@@ -153,6 +153,10 @@ fn worker_loop(inner: &PoolInner) {
             if obs::metrics_enabled() {
                 obs::metrics().add("serve.handler_panics", 1);
             }
+            // Crash forensics: the router's PanicTrap already stamped the
+            // dying request's id into the ring; persist the whole ring
+            // while the trail is hot.
+            obs::flight::dump_postmortem("handler-panic");
         }
     }
 }

@@ -1,0 +1,102 @@
+//! Deterministic-format request ids.
+//!
+//! Every request the router handles gets an id: an inbound
+//! `X-Request-Id` header is honored when it is sane (so a client or an
+//! upstream proxy can thread its own correlation id through), otherwise
+//! one is minted from a process-local counter in the fixed format
+//! `req-%016x`. The id is echoed back in the response headers, attached
+//! to log lines, spans, and flight-recorder events, and stored on a
+//! single-flight so a coalesced follower can name its leader.
+//!
+//! Ids live only in *headers* and observability side channels — never in
+//! a response body — which is what keeps them compatible with the
+//! warm-equals-cold byte-identity guarantee on bodies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::http::Request;
+
+/// The correlation header, inbound and outbound.
+pub const REQUEST_ID_HEADER: &str = "X-Request-Id";
+
+/// Cap on an accepted inbound id — matches the flight recorder's
+/// fixed-width rid field, so an honored id is never truncated in dumps.
+pub const MAX_REQUEST_ID_LEN: usize = obs::flight::RID_BYTES;
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// Mint a fresh id: `req-` + 16 hex digits of a process-local counter.
+/// Hand-rendered into one exact-capacity allocation — this runs on every
+/// live request, so it skips the `format!` machinery.
+pub fn next_request_id() -> String {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut id = String::with_capacity(20);
+    id.push_str("req-");
+    for shift in (0..16).rev() {
+        let digit = ((n >> (shift * 4)) & 0xf) as u32;
+        id.push(char::from_digit(digit, 16).expect("nibble is a hex digit"));
+    }
+    id
+}
+
+/// An inbound id is honored iff it is 1..=32 bytes of printable ASCII
+/// with nothing that could confuse a log line or a JSON dump.
+pub fn valid_inbound(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_REQUEST_ID_LEN
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_graphic() && b != b'"' && b != b'\\' && b != b',')
+}
+
+/// The id for this request: the client's, when acceptable, else a
+/// freshly minted one.
+pub fn request_id(req: &Request) -> String {
+    match req.header(REQUEST_ID_HEADER) {
+        Some(h) if valid_inbound(h) => h.to_string(),
+        _ => next_request_id(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{parse_request, ConnReader, HttpLimits};
+
+    fn request(raw: &str) -> Request {
+        let mut reader = ConnReader::new(raw.as_bytes());
+        parse_request(&mut reader, &HttpLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn minted_ids_have_fixed_format_and_advance() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_eq!(a.len(), 4 + 16);
+        assert!(a.starts_with("req-"));
+        assert!(a[4..].bytes().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn inbound_id_honored_when_sane() {
+        let req = request("GET / HTTP/1.1\r\nX-Request-Id: trace-42\r\n\r\n");
+        assert_eq!(request_id(&req), "trace-42");
+        // Case-insensitive header match.
+        let req = request("GET / HTTP/1.1\r\nx-request-id: lower\r\n\r\n");
+        assert_eq!(request_id(&req), "lower");
+    }
+
+    #[test]
+    fn bad_inbound_ids_are_replaced() {
+        for bad in [
+            "GET / HTTP/1.1\r\nX-Request-Id: has space\r\n\r\n",
+            "GET / HTTP/1.1\r\nX-Request-Id: quo\"te\r\n\r\n",
+            "GET / HTTP/1.1\r\nX-Request-Id: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n\r\n",
+            "GET / HTTP/1.1\r\nX-Request-Id:\r\n\r\n",
+        ] {
+            let rid = request_id(&request(bad));
+            assert!(rid.starts_with("req-"), "{bad:?} should be replaced");
+        }
+    }
+}

@@ -39,11 +39,13 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use obs::FlightKind;
 use semantics_core::json::Json;
 use semantics_core::{CacheKey, CacheKeyBuilder};
 
 use crate::cache::ShardedLru;
 use crate::http::{Request, Response};
+use crate::reqid;
 
 /// Defaults for the analysis query parameters. The service default world
 /// is deliberately smaller than the paper's 64 ranks: a verdict is
@@ -57,6 +59,28 @@ pub const DEFAULT_SEED: u64 = 2021;
 /// minutes); anything beyond is rejected up front as a client error
 /// before the backend allocates a thing.
 pub const MAX_QUERY_RANKS: u32 = 4096;
+
+/// Endpoint labels for SLO accounting, in index order. Fixed at compile
+/// time so an observation is an array index, not a hash lookup.
+pub static SLO_ENDPOINTS: [&str; 9] = [
+    "healthz",
+    "apps",
+    "metrics",
+    "metricsz",
+    "flightrec",
+    "verdict",
+    "conflicts",
+    "patterns",
+    "other",
+];
+
+/// SLO window shape: 16 epochs of 15 s — a four-minute sliding window.
+const SLO_EPOCH_NS: u64 = 15_000_000_000;
+const SLO_EPOCHS: usize = 16;
+
+/// Availability target backing the error-budget exposition: 99.9%, i.e.
+/// one 5xx allowed per thousand windowed requests.
+const SLO_BUDGET_DENOMINATOR: u64 = 1000;
 
 /// One canonicalized analysis query — the cache-key domain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -183,6 +207,19 @@ enum FlightOutcome {
 struct Flight {
     state: Mutex<FlightOutcome>,
     done: Condvar,
+    /// The leading request's id — how a coalesced follower names its
+    /// leader (in its `X-Coalesced-Leader` response header and its
+    /// flight-recorder event).
+    leader_rid: String,
+}
+
+/// Where a resolved analysis result came from — drives the follower's
+/// leader-attribution header.
+enum LoadOrigin {
+    Cache,
+    Store,
+    Computed,
+    Coalesced { leader: String },
 }
 
 /// Unwind-safety for the single-flight protocol: if the leader's
@@ -204,6 +241,14 @@ impl Drop for FlightGuard<'_> {
         if obs::metrics_enabled() {
             obs::metrics().add("serve.singleflight_aborts", 1);
         }
+        obs::flight::record(
+            FlightKind::SfAbort,
+            0,
+            0,
+            0,
+            &self.flight.leader_rid,
+            self.key,
+        );
         *self.flight.state.lock().unwrap() = FlightOutcome::Aborted;
         self.flight.done.notify_all();
         self.flights.lock().unwrap().remove(self.key);
@@ -217,6 +262,8 @@ pub struct Router {
     store: Option<Arc<store::Store>>,
     flights: Mutex<HashMap<String, Arc<Flight>>>,
     apps_body: String,
+    started: Instant,
+    slo: obs::SloWindow,
 }
 
 impl Router {
@@ -232,13 +279,48 @@ impl Router {
         store: Option<Arc<store::Store>>,
     ) -> Router {
         let apps_body = backend.apps_json();
+        if let Some(store) = &store {
+            // The recovery verdict belongs in the flight ring: a crash
+            // postmortem should show what the store salvaged at open.
+            let rec = store.recovery();
+            obs::flight::record(
+                FlightKind::StoreRecovery,
+                store.generation(),
+                rec.recovered_records(),
+                rec.quarantined_bytes,
+                "",
+                "store-open",
+            );
+        }
         Router {
             backend,
             cache: ShardedLru::new(cache_entries, 8),
             store,
             flights: Mutex::new(HashMap::new()),
             apps_body,
+            started: Instant::now(),
+            slo: obs::SloWindow::new(&SLO_ENDPOINTS, SLO_EPOCH_NS, SLO_EPOCHS),
         }
+    }
+
+    /// Index of a request path in [`SLO_ENDPOINTS`]. Works on the raw
+    /// path (no segment `Vec`): this runs on every live request.
+    fn endpoint_index(path: &str) -> usize {
+        let label = match path.trim_end_matches('/') {
+            "/healthz" => "healthz",
+            "/metricsz" => "metricsz",
+            "/v1/apps" => "apps",
+            "/v1/metrics" => "metrics",
+            "/v1/debug/flightrec" => "flightrec",
+            p if p.starts_with("/v1/verdict") => "verdict",
+            p if p.starts_with("/v1/conflicts") => "conflicts",
+            p if p.starts_with("/v1/patterns") => "patterns",
+            _ => "other",
+        };
+        SLO_ENDPOINTS
+            .iter()
+            .position(|l| *l == label)
+            .expect("label is drawn from SLO_ENDPOINTS")
     }
 
     /// Entries currently cached (for /healthz and tests).
@@ -247,11 +329,58 @@ impl Router {
     }
 
     /// Handle one parsed request, recording latency and outcome metrics.
+    ///
+    /// When the live-observability layer is on (the default), the
+    /// request also gets an id (inbound `X-Request-Id` honored, echoed
+    /// back in the response headers), a pair of flight-recorder events
+    /// bracketing it, and an SLO window observation. With the layer off
+    /// this is byte-for-byte the pre-observability request path.
     pub fn handle(&self, req: &Request) -> Response {
         let t0 = Instant::now();
+        let live = obs::flight_enabled();
+        let rid = if live {
+            reqid::request_id(req)
+        } else {
+            String::new()
+        };
+        // `t0` is already in hand, so the live layer stamps its ring
+        // events and SLO observation with a pure subtraction — zero
+        // additional clock reads per request.
+        let start_ns = if live { obs::wall_ns_at(t0) } else { 0 };
+        if live {
+            obs::flight().record_at(start_ns, FlightKind::ReqStart, 0, 0, 0, &rid, &req.path);
+        }
         let mut span = obs::span("serve", "request").with_arg("path", req.path.clone());
-        let resp = self.dispatch(req);
+        if live && obs::tracing_enabled() {
+            span = span.with_arg("rid", rid.clone());
+        }
+        let mut resp = {
+            // If dispatch unwinds, the trap drops while panicking and
+            // stamps the rid into the ring — that is how a postmortem
+            // names the request that killed the handler.
+            let _trap = PanicTrap {
+                rid: &rid,
+                path: &req.path,
+            };
+            self.dispatch(req, &rid, start_ns)
+        };
         span.set_arg("status", u64::from(resp.status));
+        let lat_ns = t0.elapsed().as_nanos() as u64;
+        if live {
+            let label = Self::endpoint_index(&req.path);
+            self.slo
+                .observe(label, resp.status, lat_ns, start_ns + lat_ns);
+            obs::flight().record_at(
+                start_ns + lat_ns,
+                FlightKind::ReqEnd,
+                u64::from(resp.status),
+                lat_ns,
+                0,
+                &rid,
+                &req.path,
+            );
+            resp.extra_headers.push((reqid::REQUEST_ID_HEADER, rid));
+        }
         if obs::metrics_enabled() {
             let m = obs::metrics();
             m.add("serve.requests", 1);
@@ -263,22 +392,24 @@ impl Router {
                 },
                 1,
             );
-            m.observe("serve.request_ns", t0.elapsed().as_nanos() as u64);
+            m.observe("serve.request_ns", lat_ns);
         }
         resp
     }
 
-    fn dispatch(&self, req: &Request) -> Response {
+    fn dispatch(&self, req: &Request, rid: &str, now_ns: u64) -> Response {
         if req.method != "GET" {
             return Response::error(405, "only GET is supported");
         }
         let segments = req.segments();
         match segments.as_slice() {
             ["healthz"] => self.healthz(),
+            ["metricsz"] => self.metricsz(),
             ["v1", "apps"] => Response::json(200, self.apps_body.clone()),
             ["v1", "metrics"] => self.metrics(),
+            ["v1", "debug", "flightrec"] => Response::json(200, obs::flight().dump_json()),
             ["v1", endpoint @ ("verdict" | "conflicts" | "patterns"), app, config] => {
-                self.analysis(endpoint, app, config, req)
+                self.analysis(endpoint, app, config, req, rid, now_ns)
             }
             ["v1", "verdict" | "conflicts" | "patterns"]
             | ["v1", "verdict" | "conflicts" | "patterns", _] => {
@@ -289,9 +420,14 @@ impl Router {
     }
 
     fn healthz(&self) -> Response {
+        let ring = obs::flight();
         let mut doc = Json::obj()
             .field("status", "ok")
-            .field("cache_entries", self.cache.len());
+            .field("build", env!("CARGO_PKG_VERSION"))
+            .field("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .field("cache_entries", self.cache.len())
+            .field("flightrec_depth", ring.depth())
+            .field("flightrec_total", ring.total());
         if let Some(store) = &self.store {
             let rec = store.recovery();
             doc = doc
@@ -301,6 +437,105 @@ impl Router {
                 .field("store_quarantined_bytes", rec.quarantined_bytes);
         }
         Response::json(200, doc.pretty() + "\n")
+    }
+
+    /// Prometheus-style text exposition of the SLO window, the flight
+    /// recorder's vitals, and the deterministic obs counters. Wall-clock
+    /// data — explicitly outside the byte-identity contract of the
+    /// analysis endpoints. The format is validated by
+    /// [`obs::parse_exposition`] in tests, CI, and `tracetool`.
+    fn metricsz(&self) -> Response {
+        let rows = self.slo.snapshot(obs::wall_ns());
+        let mut out = String::with_capacity(4096);
+        out.push_str("# HELP serve_requests_total Cumulative requests by endpoint and class.\n");
+        out.push_str("# TYPE serve_requests_total counter\n");
+        for row in &rows {
+            for (c, class) in obs::slo::CLASSES.iter().enumerate() {
+                out.push_str(&format!(
+                    "serve_requests_total{{endpoint=\"{}\",class=\"{class}\"}} {}\n",
+                    row.label, row.total[c]
+                ));
+            }
+        }
+        out.push_str("# HELP serve_window_requests Requests in the sliding SLO window.\n");
+        out.push_str("# TYPE serve_window_requests gauge\n");
+        for row in &rows {
+            for (c, class) in obs::slo::CLASSES.iter().enumerate() {
+                out.push_str(&format!(
+                    "serve_window_requests{{endpoint=\"{}\",class=\"{class}\"}} {}\n",
+                    row.label, row.window[c]
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP serve_window_latency_ns Windowed latency quantiles \
+             (inclusive log2-bucket upper bounds).\n",
+        );
+        out.push_str("# TYPE serve_window_latency_ns gauge\n");
+        for row in &rows {
+            if row.lat_count == 0 {
+                continue;
+            }
+            for (q, v) in [("0.5", row.p50_ns), ("0.99", row.p99_ns)] {
+                out.push_str(&format!(
+                    "serve_window_latency_ns{{endpoint=\"{}\",quantile=\"{q}\"}} {v}\n",
+                    row.label
+                ));
+            }
+            out.push_str(&format!(
+                "serve_window_latency_sum_ns{{endpoint=\"{}\"}} {}\n",
+                row.label, row.lat_sum
+            ));
+            out.push_str(&format!(
+                "serve_window_latency_count{{endpoint=\"{}\"}} {}\n",
+                row.label, row.lat_count
+            ));
+        }
+        out.push_str(
+            "# HELP serve_error_budget_remaining Windowed 5xx budget left at a \
+             99.9% availability target (burned = windowed 5xx count).\n",
+        );
+        out.push_str("# TYPE serve_error_budget_remaining gauge\n");
+        for row in &rows {
+            let total: u64 = row.window.iter().sum();
+            let allowed = total / SLO_BUDGET_DENOMINATOR;
+            let burned = row.window[2];
+            out.push_str(&format!(
+                "serve_error_budget_remaining{{endpoint=\"{}\"}} {}\n",
+                row.label,
+                allowed.saturating_sub(burned)
+            ));
+            out.push_str(&format!(
+                "serve_error_budget_burned{{endpoint=\"{}\"}} {burned}\n",
+                row.label
+            ));
+        }
+        let ring = obs::flight();
+        out.push_str("# TYPE serve_flightrec_events_total counter\n");
+        out.push_str(&format!("serve_flightrec_events_total {}\n", ring.total()));
+        out.push_str("# TYPE serve_flightrec_depth gauge\n");
+        out.push_str(&format!("serve_flightrec_depth {}\n", ring.depth()));
+        out.push_str("# TYPE serve_uptime_ms gauge\n");
+        out.push_str(&format!(
+            "serve_uptime_ms {}\n",
+            self.started.elapsed().as_millis()
+        ));
+        out.push_str("# TYPE serve_cache_entries gauge\n");
+        out.push_str(&format!("serve_cache_entries {}\n", self.cache.len()));
+        // The deterministic registry counters, dots and all, as one
+        // labeled family — so the exposition carries the same numbers
+        // the byte-identity tests compare.
+        out.push_str("# TYPE obs_counter gauge\n");
+        for (name, value) in obs::metrics().snapshot_counters() {
+            out.push_str(&format!("obs_counter{{name=\"{name}\"}} {value}\n"));
+        }
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: out.into_bytes(),
+            extra_headers: Vec::new(),
+            close: false,
+        }
     }
 
     /// The obs registry dump plus service-level latency quantiles derived
@@ -334,7 +569,15 @@ impl Router {
         Response::json(200, body)
     }
 
-    fn analysis(&self, endpoint: &str, app: &str, config: &str, req: &Request) -> Response {
+    fn analysis(
+        &self,
+        endpoint: &str,
+        app: &str,
+        config: &str,
+        req: &Request,
+        rid: &str,
+        now_ns: u64,
+    ) -> Response {
         // Parse query parameters; malformed values are client errors.
         let ranks = match parse_param(req, "ranks", DEFAULT_RANKS) {
             Ok(v) => v,
@@ -372,9 +615,19 @@ impl Router {
                 1,
             );
         }
-        let result = match cached {
-            Some(r) => r,
-            None => self.load_or_compute(&key, &query),
+        // Misses go to the ring; hits do not. A warm server takes
+        // thousands of hits a second, and an event per hit would evict
+        // every forensically interesting entry (misses, store traffic,
+        // single-flight transitions, degradations) from the fixed-size
+        // ring within milliseconds. Hits stay visible through the
+        // `serve.cache_hits` counter and the request's ReqStart/ReqEnd
+        // bracket.
+        if !hit && obs::flight_enabled() {
+            obs::flight().record_at(now_ns, FlightKind::CacheMiss, 0, 0, 0, rid, key.canonical());
+        }
+        let (result, origin) = match cached {
+            Some(r) => (r, LoadOrigin::Cache),
+            None => self.load_or_compute(&key, &query, rid),
         };
         match result.as_ref() {
             Ok(views) => {
@@ -383,15 +636,32 @@ impl Router {
                     "conflicts" => &views.conflicts,
                     _ => &views.patterns,
                 };
-                Response::json(200, body.clone())
+                let mut resp = Response::json(200, body.clone());
+                if let LoadOrigin::Coalesced { leader } = origin {
+                    // The follower names its leader — the coalescing is
+                    // visible in the response, not just the ring.
+                    resp.extra_headers.push(("X-Coalesced-Leader", leader));
+                }
+                resp
             }
-            Err(e) => error_response(e),
+            Err(e) => {
+                if let ApiError::Degraded { config, error } = e {
+                    obs::flight::record(FlightKind::Degraded, 422, 0, 0, rid, config);
+                    obs::debug!("serve: analysis degraded for {config:?} (rid {rid}): {error}");
+                }
+                error_response(e)
+            }
         }
     }
 
     /// Resolve a cache miss: persistent store, then single-flight
     /// coalesced backend analysis.
-    fn load_or_compute(&self, key: &CacheKey, query: &AnalysisQuery) -> CachedResult {
+    fn load_or_compute(
+        &self,
+        key: &CacheKey,
+        query: &AnalysisQuery,
+        rid: &str,
+    ) -> (CachedResult, LoadOrigin) {
         let canonical = key.canonical();
         loop {
             // Store tier first — a restarted process answers from disk.
@@ -403,10 +673,20 @@ impl Router {
                         if obs::metrics_enabled() {
                             obs::metrics().add("store.hits", 1);
                         }
-                        return result;
+                        obs::flight::record(
+                            FlightKind::StoreHit,
+                            0,
+                            bytes.len() as u64,
+                            0,
+                            rid,
+                            canonical,
+                        );
+                        return (result, LoadOrigin::Store);
                     }
                     // Undecodable bundle (version skew): recompute below.
-                    obs::warn!("store: undecodable bundle for {canonical:?}; recomputing");
+                    obs::warn!(
+                        "store: undecodable bundle for {canonical:?} (rid {rid}); recomputing"
+                    );
                 }
             }
 
@@ -419,6 +699,7 @@ impl Router {
                         let f = Arc::new(Flight {
                             state: Mutex::new(FlightOutcome::Running),
                             done: Condvar::new(),
+                            leader_rid: rid.to_string(),
                         });
                         flights.insert(canonical.to_string(), Arc::clone(&f));
                         (f, true)
@@ -430,11 +711,19 @@ impl Router {
                 if obs::metrics_enabled() {
                     obs::metrics().add("serve.coalesced_waiters", 1);
                 }
+                obs::flight::record(FlightKind::SfFollow, 0, 0, 0, rid, &flight.leader_rid);
                 let mut state = flight.state.lock().unwrap();
                 loop {
                     match &*state {
                         FlightOutcome::Running => state = flight.done.wait(state).unwrap(),
-                        FlightOutcome::Done(result) => return Arc::clone(result),
+                        FlightOutcome::Done(result) => {
+                            return (
+                                Arc::clone(result),
+                                LoadOrigin::Coalesced {
+                                    leader: flight.leader_rid.clone(),
+                                },
+                            )
+                        }
                         // Leader died: take another lap — maybe lead.
                         FlightOutcome::Aborted => break,
                     }
@@ -442,6 +731,7 @@ impl Router {
                 continue;
             }
 
+            obs::flight::record(FlightKind::SfLead, 0, 0, 0, rid, canonical);
             let mut guard = FlightGuard {
                 flights: &self.flights,
                 key: canonical,
@@ -461,10 +751,23 @@ impl Router {
                 Ok(views) => {
                     self.cache.insert(key, Arc::clone(&computed));
                     if let Some(store) = &self.store {
-                        if let Err(e) = store.put(canonical, &encode_views(views)) {
-                            // Durability degraded, service alive: the
-                            // bytes still come from memory.
-                            obs::warn!("store: persist failed for {canonical:?}: {e}");
+                        let encoded = encode_views(views);
+                        match store.put(canonical, &encoded) {
+                            Ok(()) => obs::flight::record(
+                                FlightKind::StorePut,
+                                0,
+                                encoded.len() as u64,
+                                0,
+                                rid,
+                                canonical,
+                            ),
+                            Err(e) => {
+                                // Durability degraded, service alive: the
+                                // bytes still come from memory.
+                                obs::warn!(
+                                    "store: persist failed for {canonical:?} (rid {rid}): {e}"
+                                );
+                            }
                         }
                     }
                 }
@@ -476,7 +779,7 @@ impl Router {
             flight.done.notify_all();
             self.flights.lock().unwrap().remove(canonical);
             guard.armed = false;
-            return computed;
+            return (computed, LoadOrigin::Computed);
         }
     }
 
@@ -495,6 +798,29 @@ impl Router {
     /// The persistent store handle, when one is attached.
     pub fn store(&self) -> Option<&Arc<store::Store>> {
         self.store.as_ref()
+    }
+}
+
+/// Dropped while unwinding ⇒ the dispatch under it panicked: stamp the
+/// request id and path into the flight ring so the postmortem dump (the
+/// worker pool triggers it after catching the unwind) names the request
+/// that died. Normal drops are a `thread::panicking()` check, nothing
+/// more.
+struct PanicTrap<'a> {
+    rid: &'a str,
+    path: &'a str,
+}
+
+impl Drop for PanicTrap<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            obs::flight::record(FlightKind::HandlerPanic, 0, 0, 0, self.rid, self.path);
+            obs::error!(
+                "serve: handler panicked (rid {} path {})",
+                self.rid,
+                self.path
+            );
+        }
     }
 }
 

@@ -58,6 +58,10 @@ pub struct ServeConfig {
     /// disk, misses consult the store before the backend, and the accept
     /// loop compacts the journal into a snapshot at drain time.
     pub store: Option<Arc<store::Store>>,
+    /// Where flight-recorder postmortems land (appended, one JSON doc
+    /// per line) on handler panic and on drain. `None` disables file
+    /// dumps; `GET /v1/debug/flightrec` works regardless.
+    pub postmortem: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +75,7 @@ impl Default for ServeConfig {
             limits: HttpLimits::default(),
             retry_after_secs: 1,
             store: None,
+            postmortem: None,
         }
     }
 }
@@ -120,6 +125,7 @@ impl Drop for ServerHandle {
 pub fn serve(cfg: ServeConfig, backend: Arc<dyn Backend>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     listener.set_nonblocking(true)?;
+    obs::set_postmortem_path(cfg.postmortem.as_deref());
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let router = Arc::new(Router::with_store(
@@ -168,6 +174,7 @@ fn accept_loop(listener: &TcpListener, cfg: &ServeConfig, stop: &AtomicBool, rou
                     if obs::metrics_enabled() {
                         obs::metrics().add("serve.rejected_503", 1);
                     }
+                    obs::flight::record(obs::FlightKind::Overload, 503, 0, 0, "", "accept-queue");
                     if let Some(mut stream) = slot.lock().unwrap().take() {
                         let _ = Response::overloaded(cfg.retry_after_secs).write_to(&mut stream);
                         let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -186,9 +193,12 @@ fn accept_loop(listener: &TcpListener, cfg: &ServeConfig, stop: &AtomicBool, rou
     }
     // Graceful drain: everything accepted gets served before we return,
     // then the store's journal tail is folded into a snapshot so the
-    // next process recovers from one segment.
+    // next process recovers from one segment. The flight ring is
+    // persisted last, so the postmortem shows the drain completing.
+    obs::flight::record(obs::FlightKind::Drain, 0, 0, 0, "", "drain-begin");
     pool.shutdown();
     router.flush_store();
+    obs::flight::dump_postmortem("sigterm-drain");
 }
 
 fn handle_connection(stream: TcpStream, cfg: &ServeConfig, router: &Router, draining: &AtomicBool) {

@@ -35,8 +35,13 @@ echo "ci: profiled smoke"
 echo "ci: serve smoke"
 # Start the analysis service on an OS-assigned port, drive it with the
 # load generator (cold + warm phases, byte-identity asserted inside
-# loadgen), then check SIGTERM drains to a clean exit 0.
+# loadgen), exercise the observability surface (flight-recorder dump,
+# /metricsz scraped and re-parsed by the from-scratch exposition
+# parser), then check SIGTERM drains to a clean exit 0 and writes the
+# postmortem flight-ring dump.
+rm -f target/serve_postmortem.jsonl
 ./target/release/report serve --port 0 --workers 2 --cache-entries 32 \
+    --postmortem target/serve_postmortem.jsonl \
     > target/serve_smoke.log 2>&1 &
 SERVE_PID=$!
 i=0
@@ -46,11 +51,20 @@ until grep -q "listening on" target/serve_smoke.log 2>/dev/null; do
     sleep 0.1
 done
 SERVE_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' target/serve_smoke.log)
-./target/release/loadgen --smoke --addr "127.0.0.1:${SERVE_PORT}"
+./target/release/loadgen --smoke --addr "127.0.0.1:${SERVE_PORT}" \
+    --out-json target/loadgen_run.json
+./target/release/report get --addr "127.0.0.1:${SERVE_PORT}" \
+    --path /v1/debug/flightrec > /dev/null
+./target/release/report slo --addr "127.0.0.1:${SERVE_PORT}" \
+    --raw target/metricsz.txt
+./target/release/tracetool validate-prom target/metricsz.txt
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q "shutdown complete" target/serve_smoke.log || {
     echo "serve did not drain cleanly"; cat target/serve_smoke.log; exit 1;
+}
+grep -q "sigterm-drain" target/serve_postmortem.jsonl || {
+    echo "SIGTERM drain wrote no postmortem flight dump"; exit 1;
 }
 
 echo "ci: store crash-recovery smoke"
@@ -94,5 +108,10 @@ echo "ci: observability overhead smoke"
 # disabled site, +0.15% end-to-end).
 ./target/release/obsbench --smoke --budget-pct 10 \
     --out target/BENCH_OBS_SMOKE.json
+# Live-layer overhead on the warm serve path (flight ring + request ids
+# + SLO window), same loose CI budget; BENCH_PR9.json records the real
+# measurement from scripts/serve_bench.sh.
+./target/release/obsbench --serve --smoke --budget-pct 10 \
+    --out target/BENCH_PR9_SMOKE.json
 
 echo "ci: OK"

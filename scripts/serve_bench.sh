@@ -20,10 +20,15 @@
 # byte-identically from the recovered store. BENCH_PR8.json records the
 # recovery wall time and the warm-after-restart/cold ratio (gated at
 # >= 10x outside --smoke).
+#
+# Finally obsbench --serve measures the live observability layer
+# (request ids + flight ring + SLO window) on the warm serve path and
+# gates it at <= 2% of a warm loopback request, into BENCH_PR9.json.
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release -p report-gen
 ./target/release/loadgen --out BENCH_PR5.json "$@"
 rm -rf target/bench_store
-exec ./target/release/loadgen --restart --store-dir target/bench_store \
+./target/release/loadgen --restart --store-dir target/bench_store \
     --out BENCH_PR8.json "$@"
+exec ./target/release/obsbench --serve --budget-pct 2 --out BENCH_PR9.json
