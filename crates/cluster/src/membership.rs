@@ -1,0 +1,147 @@
+//! Static-seed membership table: `--peers 1=host:port,2=host:port,...`.
+//!
+//! The seed table is the universe of nodes the fleet can ever contain;
+//! the *active member set* (which seed ids are currently on the ring) is
+//! tracked separately and changes with join/decommission. Parsing is
+//! strict — a malformed peer list is an operator error and must exit 64
+//! at the CLI, not limp into a half-configured ring.
+
+use std::fmt;
+
+/// One seed-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peer {
+    /// Ring node id, unique within the fleet, non-zero.
+    pub id: u32,
+    /// `host:port` as given; resolved lazily at connect time.
+    pub addr: String,
+}
+
+impl fmt::Display for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.id, self.addr)
+    }
+}
+
+/// Parse `1=host:port,2=host:port,...` into a seed table sorted by id.
+///
+/// Rejects: empty list, missing `=`, non-numeric or zero ids, duplicate
+/// ids, duplicate addresses, and addresses without a `host:port` shape.
+pub fn parse_peers(spec: &str) -> Result<Vec<Peer>, String> {
+    let mut peers: Vec<Peer> = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(format!("--peers: empty entry in {spec:?}"));
+        }
+        let (id_s, addr) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--peers: {part:?} is not id=host:port"))?;
+        let id: u32 = id_s
+            .parse()
+            .map_err(|_| format!("--peers: node id {id_s:?} is not a number"))?;
+        if id == 0 {
+            return Err("--peers: node id 0 is reserved".to_string());
+        }
+        let (host, port) = addr
+            .rsplit_once(':')
+            .ok_or_else(|| format!("--peers: address {addr:?} is not host:port"))?;
+        if host.is_empty() || port.is_empty() || port.parse::<u16>().is_err() {
+            return Err(format!("--peers: address {addr:?} is not host:port"));
+        }
+        if peers.iter().any(|p| p.id == id) {
+            return Err(format!("--peers: duplicate node id {id}"));
+        }
+        if peers.iter().any(|p| p.addr == addr) {
+            return Err(format!("--peers: duplicate address {addr:?}"));
+        }
+        peers.push(Peer {
+            id,
+            addr: addr.to_string(),
+        });
+    }
+    if peers.is_empty() {
+        return Err("--peers: empty list".to_string());
+    }
+    peers.sort_by_key(|p| p.id);
+    Ok(peers)
+}
+
+/// Render a member id set as the canonical comma-separated ascending
+/// list used in `/v1/cluster/*` query strings (`1,2,4`).
+pub fn format_members(members: &[u32]) -> String {
+    let mut ids: Vec<u32> = members.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut out = String::new();
+    for id in ids {
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+    out
+}
+
+/// Parse the `members=` csv back into ids. Strict: rejects empties and
+/// non-numerics so a truncated query string cannot silently shrink the
+/// ring.
+pub fn parse_members(spec: &str) -> Result<Vec<u32>, String> {
+    let mut ids = Vec::new();
+    for part in spec.split(',') {
+        let id: u32 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("members: {part:?} is not a node id"))?;
+        ids.push(id);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.is_empty() {
+        return Err("members: empty list".to_string());
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_sorts() {
+        let peers = parse_peers("2=127.0.0.1:9002,1=127.0.0.1:9001").unwrap();
+        assert_eq!(peers.len(), 2);
+        assert_eq!(peers[0].id, 1);
+        assert_eq!(peers[0].addr, "127.0.0.1:9001");
+        assert_eq!(peers[1].to_string(), "2=127.0.0.1:9002");
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for bad in [
+            "",
+            "1",
+            "1=",
+            "=127.0.0.1:9001",
+            "x=127.0.0.1:9001",
+            "0=127.0.0.1:9001",
+            "1=127.0.0.1",
+            "1=:9001",
+            "1=127.0.0.1:notaport",
+            "1=127.0.0.1:9001,1=127.0.0.1:9002",
+            "1=127.0.0.1:9001,2=127.0.0.1:9001",
+            "1=127.0.0.1:9001,,2=127.0.0.1:9002",
+        ] {
+            assert!(parse_peers(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn members_roundtrip() {
+        let rendered = format_members(&[4, 1, 2, 2]);
+        assert_eq!(rendered, "1,2,4");
+        assert_eq!(parse_members(&rendered).unwrap(), vec![1, 2, 4]);
+        assert!(parse_members("").is_err());
+        assert!(parse_members("1,x").is_err());
+    }
+}

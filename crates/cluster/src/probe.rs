@@ -1,0 +1,83 @@
+//! Liveness probing over the fleet's existing `/healthz`.
+//!
+//! A probe is one blocking GET with a short connect/read deadline; a
+//! peer is alive iff it answers `HTTP/1.1 200`. The prober is
+//! deliberately dumb — no backoff, no history — because the consumer
+//! (the serve router) already degrades gracefully when a "live" peer
+//! turns out dead mid-request: the proxy error marks it down and the
+//! request is recomputed locally.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One `/healthz` round-trip against `addr` (`host:port`). Returns true
+/// iff the peer answered 200 within `timeout` (applied to connect,
+/// read, and write independently).
+pub fn probe_healthz(addr: &str, timeout: Duration) -> bool {
+    let Some(sockaddr) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+        return false;
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&sockaddr, timeout) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let req = "GET /healthz HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+    if stream.write_all(req.as_bytes()).is_err() {
+        return false;
+    }
+    let mut first = [0u8; 16];
+    let mut got = 0;
+    while got < first.len() {
+        match stream.read(&mut first[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(_) => return false,
+        }
+    }
+    first[..got].starts_with(b"HTTP/1.1 200")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn unreachable_peer_is_dead() {
+        // Bind-then-drop: the port is (almost certainly) closed now.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        assert!(!probe_healthz(&addr, Duration::from_millis(200)));
+        assert!(!probe_healthz("not-an-addr", Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn healthy_listener_is_alive_and_non_200_is_dead() {
+        for (status, want) in [("200 OK", true), ("503 Service Unavailable", false)] {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = format!("127.0.0.1:{}", l.local_addr().unwrap().port());
+            let handle = std::thread::spawn(move || {
+                let (mut s, _) = l.accept().unwrap();
+                let mut buf = [0u8; 512];
+                let _ = s.read(&mut buf);
+                let body = "{}";
+                let resp = format!(
+                    "HTTP/1.1 {status}\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = s.write_all(resp.as_bytes());
+            });
+            assert_eq!(
+                probe_healthz(&addr, Duration::from_millis(500)),
+                want,
+                "status {status}"
+            );
+            handle.join().unwrap();
+        }
+    }
+}

@@ -76,6 +76,15 @@ impl CacheKey {
         &self.canonical
     }
 
+    /// Rehydrate a key from its canonical rendering (the form the
+    /// persistent store indexes by), recomputing the fingerprint. The
+    /// cluster tier uses this to place stored records back on the
+    /// consistent-hash ring when partitioning a store for handoff.
+    pub fn from_canonical(canonical: String) -> CacheKey {
+        let fp = fnv1a_128(canonical.as_bytes());
+        CacheKey { canonical, fp }
+    }
+
     /// The stable 128-bit fingerprint as two words.
     pub fn fingerprint(&self) -> (u64, u64) {
         self.fp

@@ -77,6 +77,17 @@ pub enum FlightKind {
     Drain = 13,
     /// The accept loop shed load with a 503.
     Overload = 14,
+    /// A request for a key another node owns was proxied to it.
+    /// `code` = owner node id, `a` = hop count. `detail` = path.
+    ClusterForward = 15,
+    /// Same routing decision answered with a 307 naming the owner.
+    ClusterRedirect = 16,
+    /// A peer was marked dead (`code` = peer id, `a` = 0) or alive
+    /// again (`a` = 1) — by the prober or by a proxy failure.
+    ClusterPeerDown = 17,
+    /// A rebalance step: `code` = new epoch, `a` = records moved,
+    /// `b` = segment bytes. `detail` = "join"/"decommission"/"commit".
+    ClusterRebalance = 18,
 }
 
 impl FlightKind {
@@ -97,6 +108,10 @@ impl FlightKind {
             FlightKind::StoreRecovery => "store-recovery",
             FlightKind::Drain => "drain",
             FlightKind::Overload => "overload",
+            FlightKind::ClusterForward => "cluster-forward",
+            FlightKind::ClusterRedirect => "cluster-redirect",
+            FlightKind::ClusterPeerDown => "cluster-peer-down",
+            FlightKind::ClusterRebalance => "cluster-rebalance",
         }
     }
 
@@ -116,6 +131,10 @@ impl FlightKind {
             12 => FlightKind::StoreRecovery,
             13 => FlightKind::Drain,
             14 => FlightKind::Overload,
+            15 => FlightKind::ClusterForward,
+            16 => FlightKind::ClusterRedirect,
+            17 => FlightKind::ClusterPeerDown,
+            18 => FlightKind::ClusterRebalance,
             _ => return None,
         })
     }

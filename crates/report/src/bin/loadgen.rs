@@ -41,6 +41,23 @@
 //! load run against the server's flight recorder and SLO window. Not
 //! available with `--restart` (its phases span a process kill and are
 //! not comparable).
+//!
+//! `--cluster ADDR1,ADDR2,...` drives a running fleet instead: every
+//! query is fetched through *every* entry node (following 307s when the
+//! fleet runs redirect forwarding) and the bodies are asserted
+//! byte-identical regardless of which node answered the door — the
+//! cluster-tier contract. Per-node cache-hit and forward/redirect ratios
+//! are reported from each node's `/v1/metrics`.
+//!
+//! `--cluster-bench` is the scaling benchmark behind `BENCH_PR10.json`:
+//! it self-hosts a 1-node and then a 2-node fleet (redirect forwarding)
+//! whose per-node verdict cache is sized *below* the working set. The
+//! single node LRU-thrashes — cyclic access over K keys with a K-1 cache
+//! re-simulates every request — while the fleet's consistent-hash ring
+//! splits the key space so each node's slice fits its cache and warm
+//! requests are pure hits. That is the honest cluster win on any core
+//! count: aggregate cache capacity scales with membership. Gated at
+//! ≥ 1.7x aggregate warm throughput outside `--smoke`.
 
 use std::io::{BufRead as _, Write as _};
 use std::net::SocketAddr;
@@ -70,6 +87,10 @@ struct Args {
     restart: bool,
     /// Store directory for `--restart` (passed to `report serve`).
     store_dir: Option<String>,
+    /// Fleet mode: entry-node addresses of a running cluster.
+    cluster: Option<Vec<String>>,
+    /// Cluster scaling benchmark: self-host 1-node vs 2-node fleets.
+    cluster_bench: bool,
 }
 
 fn usage() -> &'static str {
@@ -88,7 +109,12 @@ fn usage() -> &'static str {
      \x20 --restart         crash-recovery benchmark: spawn `report serve`,\n\
      \x20                   SIGKILL it mid-traffic, restart, assert the\n\
      \x20                   restarted process answers warm byte-identically\n\
-     \x20 --store-dir DIR   store directory for --restart (required there)\n"
+     \x20 --store-dir DIR   store directory for --restart (required there)\n\
+     \x20 --cluster A1,A2   drive a running fleet: fetch every query via\n\
+     \x20                   every entry node, assert byte identity, report\n\
+     \x20                   per-node hit and forward/redirect ratios\n\
+     \x20 --cluster-bench   1-node vs 2-node aggregate-cache scaling\n\
+     \x20                   benchmark (gated at 1.7x outside --smoke)\n"
 }
 
 fn flag_value<T: std::str::FromStr>(
@@ -116,6 +142,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         smoke: false,
         restart: false,
         store_dir: None,
+        cluster: None,
+        cluster_bench: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -130,6 +158,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--restart" => args.restart = true,
             "--store-dir" => args.store_dir = Some(flag_value(argv, &mut i, "--store-dir")?),
+            "--cluster" => {
+                let list: String = flag_value(argv, &mut i, "--cluster")?;
+                let addrs: Vec<String> = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if addrs.is_empty() {
+                    return Err("--cluster requires at least one address".to_string());
+                }
+                args.cluster = Some(addrs);
+            }
+            "--cluster-bench" => args.cluster_bench = true,
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
@@ -152,6 +193,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.restart && args.out_json.is_some() {
         return Err("--out-json is not available with --restart".to_string());
+    }
+    if args.cluster.is_some() && (args.addr.is_some() || args.restart || args.cluster_bench) {
+        return Err("--cluster conflicts with --addr, --restart, and --cluster-bench".to_string());
+    }
+    if args.cluster_bench && (args.addr.is_some() || args.restart) {
+        return Err("--cluster-bench self-hosts its fleets; drop --addr/--restart".to_string());
     }
     Ok(args)
 }
@@ -452,6 +499,322 @@ fn run_restart(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// Closed-loop clients against a fleet of entry nodes. Each client
+/// learns key→owner from 307s (redirect forwarding) and goes straight to
+/// the owner thereafter; under proxy forwarding every request is a plain
+/// 200 and the entry node does the forwarding. Returns (wall ns, errors).
+fn fleet_closed_loop(
+    addrs: &[String],
+    paths: &Arc<Vec<String>>,
+    clients: usize,
+    requests: usize,
+) -> (u64, usize) {
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+    let counter = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let counter = Arc::clone(&counter);
+            let errors = Arc::clone(&errors);
+            let paths = Arc::clone(paths);
+            let entry = addrs[c % addrs.len()].clone();
+            s.spawn(move || {
+                let mut conns: HashMap<String, HttpClient> = HashMap::new();
+                let mut learned: Vec<Option<String>> = vec![None; paths.len()];
+                loop {
+                    let k = counter.fetch_add(1, Ordering::SeqCst);
+                    if k >= requests {
+                        break;
+                    }
+                    let pi = k % paths.len();
+                    let mut target = learned[pi].clone().unwrap_or_else(|| entry.clone());
+                    let mut ok = false;
+                    // At most one redirect hop: the 307 names the owner.
+                    for _hop in 0..2 {
+                        let resp = {
+                            let conn = match conns.entry(target.clone()) {
+                                Entry::Occupied(e) => e.into_mut(),
+                                Entry::Vacant(v) => match HttpClient::connect_str(&target) {
+                                    Ok(c) => v.insert(c),
+                                    Err(_) => break,
+                                },
+                            };
+                            conn.get(&paths[pi])
+                        };
+                        match resp {
+                            Ok(r) if r.status == 200 => {
+                                ok = true;
+                                break;
+                            }
+                            Ok(r) if r.status == 307 => {
+                                let owner = r
+                                    .header("location")
+                                    .and_then(|l| l.strip_prefix("http://"))
+                                    .map(|rest| match rest.find('/') {
+                                        Some(slash) => rest[..slash].to_string(),
+                                        None => rest.to_string(),
+                                    });
+                                match owner {
+                                    Some(host) => {
+                                        learned[pi] = Some(host.clone());
+                                        target = host;
+                                    }
+                                    None => break,
+                                }
+                            }
+                            _ => {
+                                conns.remove(&target);
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    (
+        t0.elapsed().as_nanos() as u64,
+        errors.load(Ordering::SeqCst),
+    )
+}
+
+/// Fleet mode: drive a running cluster through every entry node and
+/// assert the cluster-tier contract — identical bytes for every query
+/// regardless of which node takes the request.
+fn run_cluster(args: &Args) -> ! {
+    let addrs = args.cluster.as_ref().expect("checked by caller");
+    let paths = query_paths(args.configs, args.ranks);
+
+    // Every entry node must be up and actually clustered.
+    for a in addrs {
+        let health = match HttpClient::connect_str(a).and_then(|mut c| c.get("/healthz")) {
+            Ok(r) if r.status == 200 => r.body_text(),
+            Ok(r) => fail(&format!("{a}: /healthz returned {}", r.status)),
+            Err(e) => fail(&format!("{a}: {e}")),
+        };
+        if json_u64(&health, "cluster_id").is_none() {
+            fail(&format!("{a} is not running in cluster mode"));
+        }
+    }
+
+    // Cold through the first entry node, following redirects.
+    let t_cold = Instant::now();
+    let mut cold_bodies = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match serve::get_redirecting(&addrs[0], path, 4) {
+            Ok((r, _served_by)) if r.status == 200 => cold_bodies.push(r.body),
+            Ok((r, by)) => fail(&format!("{path}: cold status {} via {by}", r.status)),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+    let cold_ns = t_cold.elapsed().as_nanos() as u64;
+
+    // The contract: every query through every entry node, byte-identical.
+    for a in addrs {
+        for (path, cold) in paths.iter().zip(&cold_bodies) {
+            match serve::get_redirecting(a, path, 4) {
+                Ok((r, _)) if r.status == 200 && &r.body == cold => {}
+                Ok((r, by)) if r.status != 200 => {
+                    fail(&format!("{path} via {a}: status {} from {by}", r.status))
+                }
+                Ok((_, by)) => fail(&format!(
+                    "{path}: bytes via entry {a} (served by {by}) differ from entry {}",
+                    addrs[0]
+                )),
+                Err(e) => fail(&format!("{path} via {a}: {e}")),
+            }
+        }
+    }
+
+    // Warm phase spread across all entry nodes.
+    let paths = Arc::new(paths);
+    let (warm_ns, errors) = fleet_closed_loop(addrs, &paths, args.clients, args.warm_requests);
+    if errors > 0 {
+        fail(&format!("{errors} warm requests failed"));
+    }
+
+    let rps = |n: usize, ns: u64| n as f64 / (ns.max(1) as f64 / 1e9);
+    println!(
+        "loadgen: cluster {} node(s): cold {} reqs ({:.1} req/s); warm {} reqs ({:.0} req/s); \
+         bytes identical across every entry node",
+        addrs.len(),
+        cold_bodies.len(),
+        rps(cold_bodies.len(), cold_ns),
+        args.warm_requests,
+        rps(args.warm_requests, warm_ns),
+    );
+
+    // Per-node serving profile: hit ratio and how much of its traffic
+    // the node handed to a peer.
+    for a in addrs {
+        let m = match HttpClient::connect_str(a).and_then(|mut c| c.get("/v1/metrics")) {
+            Ok(r) if r.status == 200 => r.body_text(),
+            _ => fail(&format!("{a}: /v1/metrics unreachable")),
+        };
+        let hits = json_u64(&m, "serve.cache_hits").unwrap_or(0);
+        let misses = json_u64(&m, "serve.cache_misses").unwrap_or(0);
+        let forwarded = json_u64(&m, "cluster.forwarded").unwrap_or(0);
+        let redirects = json_u64(&m, "cluster.redirects").unwrap_or(0);
+        let requests = json_u64(&m, "serve.requests").unwrap_or(0);
+        let pct = |n: u64, d: u64| 100.0 * n as f64 / (d.max(1) as f64);
+        println!(
+            "loadgen:   {a}: {requests} reqs, hit {:.0}% ({hits}/{}), \
+             forwarded {forwarded} + redirected {redirects} ({:.0}% of traffic)",
+            pct(hits, hits + misses),
+            hits + misses,
+            pct(forwarded + redirects, requests),
+        );
+    }
+    std::process::exit(0);
+}
+
+/// The scaling benchmark behind `BENCH_PR10.json`: same per-node
+/// resources, 1 node vs a 2-node ring, per-node verdict cache one entry
+/// smaller than the working set. The single node thrashes (cyclic access
+/// over K keys with a K-1 LRU misses every time, and a miss is a full
+/// simulation); the fleet's ring splits the keys so each slice fits and
+/// warm traffic is pure cache hits — aggregate cache capacity is the
+/// cluster win that holds on any core count.
+fn run_cluster_bench(args: &Args) -> ! {
+    obs::set_metrics(true);
+    let paths = query_paths(args.configs, args.ranks);
+    if paths.len() < 2 {
+        fail("--cluster-bench needs at least 2 configs");
+    }
+    let cache_cap = paths.len() - 1;
+    let backend = || Arc::new(ReportBackend::new());
+
+    // ---- Phase 1: one node, cache one entry short of the working set.
+    let h1 = serve::serve(
+        ServeConfig {
+            cache_entries: cache_cap,
+            ..ServeConfig::default()
+        },
+        backend(),
+    )
+    .unwrap_or_else(|e| fail(&format!("cannot self-host single node: {e}")));
+    let addr1 = h1.addr();
+    let mut reference = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match get_once(addr1, path) {
+            Ok(r) if r.status == 200 => reference.push(r.body),
+            Ok(r) => fail(&format!("{path}: single-node status {}", r.status)),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+    let shared = Arc::new(paths.clone());
+    let (single_ns, errors, _) = closed_loop(addr1, &shared, args.clients, args.warm_requests);
+    if errors > 0 {
+        fail(&format!("{errors} single-node warm requests failed"));
+    }
+    h1.shutdown();
+
+    // ---- Phase 2: two-node ring, same per-node cache, redirect
+    // forwarding so steady-state warm traffic goes straight to owners.
+    let pick_port = || {
+        std::net::TcpListener::bind(("127.0.0.1", 0))
+            .and_then(|l| l.local_addr())
+            .map(|a| a.port())
+            .unwrap_or_else(|e| fail(&format!("cannot pick a port: {e}")))
+    };
+    let (p1, p2) = (pick_port(), pick_port());
+    let peers = vec![
+        cluster::Peer {
+            id: 1,
+            addr: format!("127.0.0.1:{p1}"),
+        },
+        cluster::Peer {
+            id: 2,
+            addr: format!("127.0.0.1:{p2}"),
+        },
+    ];
+    let node = |id: u32, port: u16| ServeConfig {
+        port,
+        cache_entries: cache_cap,
+        cluster: Some(serve::ClusterConfig {
+            node_id: id,
+            peers: peers.clone(),
+            forwarding: serve::Forwarding::Redirect,
+        }),
+        ..ServeConfig::default()
+    };
+    let ha = serve::serve(node(1, p1), backend())
+        .unwrap_or_else(|e| fail(&format!("cannot self-host fleet node 1: {e}")));
+    let hb = serve::serve(node(2, p2), backend())
+        .unwrap_or_else(|e| fail(&format!("cannot self-host fleet node 2: {e}")));
+    let entries = vec![peers[0].addr.clone(), peers[1].addr.clone()];
+
+    // Cold through node 1, then byte identity through *both* entries
+    // against the single-node reference bodies.
+    for (path, reference) in paths.iter().zip(&reference) {
+        for entry in &entries {
+            match serve::get_redirecting(entry, path, 4) {
+                Ok((r, _)) if r.status == 200 && &r.body == reference => {}
+                Ok((r, by)) if r.status != 200 => fail(&format!(
+                    "{path} via {entry}: status {} from {by}",
+                    r.status
+                )),
+                Ok((_, by)) => fail(&format!(
+                    "{path} via {entry} (served by {by}): bytes differ from single-node"
+                )),
+                Err(e) => fail(&format!("{path} via {entry}: {e}")),
+            }
+        }
+    }
+
+    let (fleet_ns, errors) = fleet_closed_loop(&entries, &shared, args.clients, args.warm_requests);
+    if errors > 0 {
+        fail(&format!("{errors} fleet warm requests failed"));
+    }
+    ha.shutdown();
+    hb.shutdown();
+
+    let rps = |ns: u64| args.warm_requests as f64 / (ns.max(1) as f64 / 1e9);
+    let (single_rps, fleet_rps) = (rps(single_ns), rps(fleet_ns));
+    let speedup = fleet_rps / single_rps.max(f64::MIN_POSITIVE);
+    println!(
+        "loadgen: cluster-bench: {} configs, {}-entry caches; 1 node {:.1} req/s (thrashing), \
+         2 nodes {:.1} req/s (sharded, all hits); speedup {speedup:.1}x",
+        paths.len(),
+        cache_cap,
+        single_rps,
+        fleet_rps,
+    );
+    if !args.smoke && speedup < 1.7 {
+        fail(&format!(
+            "2-node aggregate warm throughput is only {speedup:.2}x the single node (gate: 1.7x)"
+        ));
+    }
+
+    if let Some(out) = &args.out {
+        let doc = Json::obj()
+            .field("bench", "serve-cluster")
+            .field("configs", paths.len())
+            .field("ranks", u64::from(args.ranks))
+            .field("cache_entries_per_node", cache_cap)
+            .field("forwarding", "redirect")
+            .field("warm_requests", args.warm_requests)
+            .field("warm_clients", args.clients)
+            .field("single_node_wall_ns", single_ns)
+            .field("single_node_rps", single_rps)
+            .field("fleet_nodes", 2u64)
+            .field("fleet_wall_ns", fleet_ns)
+            .field("fleet_rps", fleet_rps)
+            .field("fleet_over_single", speedup)
+            .field("bytes_identical_across_entry_nodes", true)
+            .pretty();
+        std::fs::write(out, doc + "\n")
+            .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("loadgen: wrote {out}");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -465,6 +828,12 @@ fn main() {
 
     if args.restart {
         run_restart(&args);
+    }
+    if args.cluster.is_some() {
+        run_cluster(&args);
+    }
+    if args.cluster_bench {
+        run_cluster_bench(&args);
     }
 
     // Self-host unless pointed at an external server.

@@ -84,6 +84,17 @@ struct Args {
     path: Option<String>,
     /// `slo`: also write the raw /metricsz exposition here.
     raw: Option<String>,
+    /// `serve`: this node's id in the cluster seed table.
+    cluster_id: Option<u32>,
+    /// `serve`: the full seed table, `id=host:port,id=host:port,...`
+    /// (parsed and validated up front; must include `--cluster-id`).
+    peers: Option<Vec<cluster::Peer>>,
+    /// `serve`: what to do with keys another node owns.
+    forwarding: serve::Forwarding,
+    /// `cluster <verb>`: status | join | decommission.
+    cluster_verb: Option<String>,
+    /// `pick-ports`: how many free localhost ports to print.
+    count: usize,
 }
 
 fn usage() -> &'static str {
@@ -91,7 +102,8 @@ fn usage() -> &'static str {
      commands: table1..table5, fig1..fig3, all, check, flash-fix,\n\
      \x20        validate-hb, scale-study, rank-sweep, semantics-matrix,\n\
      \x20        app-report, fault-campaign, advise, locks, meta-conflicts,\n\
-     \x20        serve, slo, get\n\
+     \x20        serve, slo, get, cluster {status|join|decommission},\n\
+     \x20        pick-ports\n\
      options:\n\
      \x20 --ranks N        world size, 1..=65536 (default 64)\n\
      \x20 --seed S         base seed (default 2021)\n\
@@ -114,9 +126,14 @@ fn usage() -> &'static str {
      \x20                  journal + snapshots; restart answers warm)\n\
      \x20 --postmortem FILE  serve: append flight-recorder dumps here on\n\
      \x20                  handler panic and on SIGTERM drain\n\
-     \x20 --addr HOST:PORT slo/get: target analysis service\n\
+     \x20 --addr HOST:PORT slo/get/cluster: target analysis service\n\
      \x20 --path P         get: request path to fetch\n\
      \x20 --raw FILE       slo: also write the raw /metricsz text here\n\
+     \x20 --cluster-id N   serve: this node's id in the seed table\n\
+     \x20 --peers LIST     serve: seed table id=host:port,id=host:port,...\n\
+     \x20                  (must include --cluster-id's own entry)\n\
+     \x20 --forwarding M   serve: proxy | redirect (default proxy)\n\
+     \x20 --count N        pick-ports: free ports to print (default 2)\n\
      \x20 --quiet, -q      errors only\n\
      \x20 --verbose, -v    debug-level logging\n\
      exit codes:\n\
@@ -188,6 +205,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         addr: None,
         path: None,
         raw: None,
+        cluster_id: None,
+        peers: None,
+        forwarding: serve::Forwarding::Proxy,
+        cluster_verb: None,
+        count: 2,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -212,13 +234,31 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--addr" => args.addr = Some(flag_value(argv, &mut i, "--addr")?),
             "--path" => args.path = Some(flag_value(argv, &mut i, "--path")?),
             "--raw" => args.raw = Some(flag_value(argv, &mut i, "--raw")?),
+            "--cluster-id" => args.cluster_id = Some(flag_value(argv, &mut i, "--cluster-id")?),
+            "--peers" => {
+                let spec: String = flag_value(argv, &mut i, "--peers")?;
+                args.peers =
+                    Some(cluster::parse_peers(&spec).map_err(|e| format!("invalid --peers: {e}"))?);
+            }
+            "--forwarding" => {
+                let mode: String = flag_value(argv, &mut i, "--forwarding")?;
+                args.forwarding = serve::Forwarding::parse(&mode)?;
+            }
+            "--count" => args.count = flag_value(argv, &mut i, "--count")?,
             "--config" => {
                 i += 1; // consumed by the subcommand itself
             }
             "--keep-going" => args.keep_going = true,
             "--quiet" | "-q" => args.quiet = true,
             "--verbose" | "-v" => args.verbose = true,
-            cmd if !cmd.starts_with('-') => args.command = cmd.to_string(),
+            cmd if !cmd.starts_with('-') => {
+                // `cluster` takes a verb as a second positional.
+                if args.command == "cluster" && args.cluster_verb.is_none() {
+                    args.cluster_verb = Some(cmd.to_string());
+                } else {
+                    args.command = cmd.to_string();
+                }
+            }
             other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
@@ -256,11 +296,43 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     // The client-side commands need a target up front: a missing --addr
     // (or --path for `get`) is a usage error, not a connect failure.
-    if matches!(args.command.as_str(), "slo" | "get") && args.addr.is_none() {
+    if matches!(args.command.as_str(), "slo" | "get" | "cluster") && args.addr.is_none() {
         return Err(format!("{} requires --addr HOST:PORT", args.command));
     }
     if args.command == "get" && args.path.is_none() {
         return Err("get requires --path P".to_string());
+    }
+    if args.command == "cluster" {
+        match args.cluster_verb.as_deref() {
+            Some("status" | "join" | "decommission") => {}
+            Some(other) => {
+                return Err(format!(
+                    "unknown cluster verb {other:?} (expected status, join, or decommission)"
+                ))
+            }
+            None => {
+                return Err("cluster requires a verb: status, join, or decommission".to_string())
+            }
+        }
+    }
+    // Clustered serving: both halves of the identity are required, and
+    // this node must appear in its own seed table — a ring that doesn't
+    // contain the node serving from it is always a config typo.
+    match (&args.cluster_id, &args.peers) {
+        (Some(_), None) => return Err("--cluster-id requires --peers".to_string()),
+        (None, Some(_)) => return Err("--peers requires --cluster-id".to_string()),
+        (Some(id), Some(peers)) => {
+            if !peers.iter().any(|p| p.id == *id) {
+                return Err(format!(
+                    "--cluster-id {id} does not appear in --peers \
+                     (the seed table must include this node's own entry)"
+                ));
+            }
+        }
+        (None, None) => {}
+    }
+    if args.command == "pick-ports" && (args.count == 0 || args.count > 64) {
+        return Err("--count must be between 1 and 64".to_string());
     }
     Ok(args)
 }
@@ -765,6 +837,25 @@ fn run(args: &Args) -> i32 {
                     }
                 }
             };
+            let cluster_cfg = match (&args.cluster_id, &args.peers) {
+                (Some(id), Some(peers)) => Some(serve::ClusterConfig {
+                    node_id: *id,
+                    peers: peers.clone(),
+                    forwarding: args.forwarding,
+                }),
+                _ => None,
+            };
+            if let Some(cl) = &cluster_cfg {
+                println!(
+                    "serve: cluster node {} of {} peer(s), {} forwarding",
+                    cl.node_id,
+                    cl.peers.len(),
+                    match cl.forwarding {
+                        serve::Forwarding::Proxy => "proxy",
+                        serve::Forwarding::Redirect => "redirect",
+                    }
+                );
+            }
             let serve_cfg = serve::ServeConfig {
                 port: args.port,
                 workers: args.workers,
@@ -772,6 +863,7 @@ fn run(args: &Args) -> i32 {
                 queue_cap: args.queue_cap,
                 store: store_handle,
                 postmortem: args.postmortem.clone().map(std::path::PathBuf::from),
+                cluster: cluster_cfg,
                 ..serve::ServeConfig::default()
             };
             serve::signal::install_handlers();
@@ -814,6 +906,59 @@ fn run(args: &Args) -> i32 {
                     eprintln!("error: cannot reach {addr}: {e}");
                     return 1;
                 }
+            }
+        }
+        "cluster" => {
+            // Operate on a running fleet through any member node:
+            //   status        render the ring as a table
+            //   join          this node pulls its slice, then epoch bumps
+            //   decommission  peers pull this node's slice, then epoch bumps
+            let addr = args.addr.expect("validated in parse_args");
+            let verb = args
+                .cluster_verb
+                .as_deref()
+                .expect("validated in parse_args");
+            let path = match verb {
+                "status" => "/v1/cluster/status?format=table",
+                "join" => "/v1/cluster/join",
+                "decommission" => "/v1/cluster/decommission",
+                _ => unreachable!("verb validated in parse_args"),
+            };
+            match serve::get_once(addr, path) {
+                Ok(r) if r.status == 200 => print!("{}", r.body_text()),
+                Ok(r) => {
+                    eprintln!(
+                        "error: cluster {verb} returned {}: {}",
+                        r.status,
+                        r.body_text().trim()
+                    );
+                    return 1;
+                }
+                Err(e) => {
+                    eprintln!("error: cannot reach {addr}: {e}");
+                    return 1;
+                }
+            }
+        }
+        "pick-ports" => {
+            // Print N free localhost ports, one per line — how ci.sh
+            // gets ephemeral ports for the two-node smoke fleet without
+            // races against itself (all N are held until printed).
+            let mut listeners = Vec::new();
+            for _ in 0..args.count {
+                match std::net::TcpListener::bind(("127.0.0.1", 0)) {
+                    Ok(l) => listeners.push(l),
+                    Err(e) => {
+                        eprintln!("error: cannot bind an ephemeral port: {e}");
+                        return 1;
+                    }
+                }
+            }
+            for l in &listeners {
+                println!(
+                    "{}",
+                    l.local_addr().expect("bound listener has addr").port()
+                );
             }
         }
         "slo" => {

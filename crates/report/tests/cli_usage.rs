@@ -200,6 +200,98 @@ fn second_serve_on_one_store_dir_is_refused() {
 }
 
 #[test]
+fn malformed_peers_is_usage_error() {
+    // Every malformed seed-table shape is caught at the door.
+    for (peers, expect) in [
+        ("", "invalid --peers"),
+        ("1=127.0.0.1:9001,banana", "invalid --peers"),
+        ("1=127.0.0.1:9001,1=127.0.0.1:9002", "invalid --peers"),
+        ("0=127.0.0.1:9001", "invalid --peers"),
+        ("1=127.0.0.1", "invalid --peers"),
+        ("1=127.0.0.1:9001,2=127.0.0.1:9001", "invalid --peers"),
+    ] {
+        assert_usage_error(&["serve", "--cluster-id", "1", "--peers", peers], expect);
+    }
+}
+
+#[test]
+fn malformed_cluster_id_is_usage_error() {
+    assert_usage_error(
+        &[
+            "serve",
+            "--cluster-id",
+            "abc",
+            "--peers",
+            "1=127.0.0.1:9001",
+        ],
+        "--cluster-id",
+    );
+    // A node serving from a ring it does not appear in is always a typo.
+    assert_usage_error(
+        &["serve", "--cluster-id", "7", "--peers", "1=127.0.0.1:9001"],
+        "does not appear in --peers",
+    );
+}
+
+#[test]
+fn half_a_cluster_identity_is_usage_error() {
+    assert_usage_error(
+        &["serve", "--cluster-id", "1"],
+        "--cluster-id requires --peers",
+    );
+    assert_usage_error(
+        &["serve", "--peers", "1=127.0.0.1:9001"],
+        "--peers requires --cluster-id",
+    );
+}
+
+#[test]
+fn bad_forwarding_mode_is_usage_error() {
+    assert_usage_error(
+        &[
+            "serve",
+            "--cluster-id",
+            "1",
+            "--peers",
+            "1=127.0.0.1:9001",
+            "--forwarding",
+            "carrier-pigeon",
+        ],
+        "forwarding",
+    );
+}
+
+#[test]
+fn cluster_subcommand_misuse_is_usage_error() {
+    assert_usage_error(&["cluster", "status"], "requires --addr");
+    assert_usage_error(&["cluster", "--addr", "127.0.0.1:1"], "requires a verb");
+    assert_usage_error(
+        &["cluster", "explode", "--addr", "127.0.0.1:1"],
+        "unknown cluster verb",
+    );
+}
+
+#[test]
+fn pick_ports_count_bounds_are_usage_errors() {
+    assert_usage_error(&["pick-ports", "--count", "0"], "--count");
+    assert_usage_error(&["pick-ports", "--count", "65"], "--count");
+}
+
+#[test]
+fn pick_ports_prints_distinct_free_ports() {
+    let out = report(&["pick-ports", "--count", "3"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let ports: Vec<u16> = stdout
+        .lines()
+        .map(|l| l.trim().parse().expect("port line"))
+        .collect();
+    assert_eq!(ports.len(), 3, "stdout: {stdout}");
+    let unique: std::collections::BTreeSet<_> = ports.iter().collect();
+    assert_eq!(unique.len(), 3, "ports not distinct: {stdout}");
+}
+
+#[test]
 fn valid_static_command_succeeds() {
     let dir = std::env::temp_dir().join("report_cli_usage_ok");
     let out = report(&["table5", "--out", dir.to_str().unwrap(), "--quiet"]);

@@ -44,9 +44,37 @@ impl HttpClient {
         })
     }
 
+    /// Connect by `host:port` string — how cluster peers are named in
+    /// the seed table.
+    pub fn connect_str(addr: &str) -> io::Result<HttpClient> {
+        let sockaddr = std::net::ToSocketAddrs::to_socket_addrs(addr)?
+            .next()
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+            })?;
+        HttpClient::connect(sockaddr)
+    }
+
     /// Issue `GET path` and read the full response.
     pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
-        let req = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+        self.get_with_headers(path, &[])
+    }
+
+    /// Issue `GET path` with extra request headers (how a proxying node
+    /// stamps `X-Cluster-Hops` onto a forwarded request).
+    pub fn get_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(&str, String)],
+    ) -> io::Result<ClientResponse> {
+        let mut req = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n");
+        for (name, value) in headers {
+            req.push_str(name);
+            req.push_str(": ");
+            req.push_str(value);
+            req.push_str("\r\n");
+        }
+        req.push_str("\r\n");
         self.stream.write_all(req.as_bytes())?;
         self.read_response()
     }
@@ -111,6 +139,38 @@ impl HttpClient {
 /// One-shot GET on a fresh connection.
 pub fn get_once(addr: SocketAddr, path: &str) -> io::Result<ClientResponse> {
     HttpClient::connect(addr)?.get(path)
+}
+
+/// One-shot GET on `addr` (`host:port`), following `307 Temporary
+/// Redirect` up to `max_redirects` times. Returns the final response
+/// plus the address that actually served it, so redirect-learning
+/// clients can cache key→owner and go straight there next time.
+pub fn get_redirecting(
+    addr: &str,
+    path: &str,
+    max_redirects: u32,
+) -> io::Result<(ClientResponse, String)> {
+    let mut here = addr.to_string();
+    for _ in 0..=max_redirects {
+        let resp = HttpClient::connect_str(&here)?.get(path)?;
+        if resp.status != 307 {
+            return Ok((resp, here));
+        }
+        let location = resp.header("location").ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "307 without a Location header")
+        })?;
+        let rest = location.strip_prefix("http://").ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "Location is not an http:// URL")
+        })?;
+        here = match rest.find('/') {
+            Some(slash) => rest[..slash].to_string(),
+            None => rest.to_string(),
+        };
+    }
+    Err(io::Error::new(
+        io::ErrorKind::Other,
+        "redirect limit exceeded (ring loop?)",
+    ))
 }
 
 fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {

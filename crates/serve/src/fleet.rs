@@ -1,0 +1,551 @@
+//! Cluster routing runtime: the glue between the `cluster` crate's pure
+//! route table and this crate's HTTP machinery.
+//!
+//! Every analysis request derives its cache key as usual; when the node
+//! runs clustered, the key's fingerprint is looked up on the ring first.
+//! A key the node owns is served locally. A key another node owns is
+//! either **proxied** (forwarded over a pooled keep-alive connection,
+//! with `X-Cluster-Hops` incremented so a misconfigured ring terminates
+//! in a 508 instead of a socket storm) or answered **307** with the
+//! authoritative peer in `Location` — selectable per node with
+//! `--forwarding {proxy,redirect}`.
+//!
+//! Two deliberate degradations keep the fleet correct when the ring is
+//! in flux:
+//!
+//! * **Epoch skew** — a *forwarded* request (hops ≥ 1) for a key this
+//!   node does not own, where the sender's `X-Cluster-Epoch` differs
+//!   from ours, means a rebalance is mid-commit. The node serves the
+//!   request locally: a verdict is a pure function of the query, so the
+//!   bytes are identical to the owner's — never wrong, merely computed
+//!   in the wrong place once.
+//! * **Dead peer** — a proxy target that fails to answer is marked dead
+//!   (flight-recorder event, per-peer counter) and the request falls
+//!   back to local recompute instead of surfacing an error.
+
+use std::io;
+use std::sync::Mutex;
+
+use cluster::{ClusterState, Peer, MAX_HOPS};
+use obs::FlightKind;
+
+use crate::client::{ClientResponse, HttpClient};
+use crate::http::{Request, Response};
+
+/// What to do with a request whose key another node owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Forwarding {
+    /// Forward server-side over a pooled keep-alive connection.
+    Proxy,
+    /// Answer 307 and let the client go to the owner itself.
+    Redirect,
+}
+
+impl Forwarding {
+    pub fn parse(s: &str) -> Result<Forwarding, String> {
+        match s {
+            "proxy" => Ok(Forwarding::Proxy),
+            "redirect" => Ok(Forwarding::Redirect),
+            other => Err(format!(
+                "--forwarding must be 'proxy' or 'redirect', got {other:?}"
+            )),
+        }
+    }
+}
+
+/// Cluster parameters carried by `ServeConfig`.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's id in the seed table.
+    pub node_id: u32,
+    /// The full seed table (must contain `node_id`).
+    pub peers: Vec<Peer>,
+    pub forwarding: Forwarding,
+}
+
+/// Forwarded-request hop count; incremented per proxy hop.
+pub const HOPS_HEADER: &str = "X-Cluster-Hops";
+/// The forwarding node's ring epoch, for skew detection at the receiver.
+pub const EPOCH_HEADER: &str = "X-Cluster-Epoch";
+/// On a 307: the authoritative peer, as `id@host:port`.
+pub const OWNER_HEADER: &str = "X-Cluster-Owner";
+
+/// A small pool of keep-alive connections to one peer. Connections are
+/// checked out per request and returned on success; a failed request
+/// drops its connection (the next checkout dials fresh).
+struct PeerPool {
+    addr: String,
+    conns: Mutex<Vec<HttpClient>>,
+}
+
+impl PeerPool {
+    fn request(&self, path: &str, headers: &[(&str, String)]) -> io::Result<ClientResponse> {
+        let pooled = self.conns.lock().unwrap().pop();
+        let mut conn = match pooled {
+            Some(c) => c,
+            None => HttpClient::connect_str(&self.addr)?,
+        };
+        match conn.get_with_headers(path, headers) {
+            Ok(resp) => {
+                let mut conns = self.conns.lock().unwrap();
+                if conns.len() < 8 {
+                    conns.push(conn);
+                }
+                Ok(resp)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The routing decision for one analysis request.
+pub enum RouteDecision {
+    /// Serve locally; `persist` says whether the store may journal the
+    /// result (only keys this node owns belong in its store slice).
+    Local { persist: bool },
+    /// The decision produced a complete response (proxied bytes, a 307,
+    /// or a 508) — return it as-is.
+    Respond(Response),
+}
+
+/// Per-node cluster runtime: route table + liveness + peer pools.
+pub struct ClusterRuntime {
+    state: ClusterState,
+    forwarding: Forwarding,
+    /// One pool per seed peer except self, in seed-table order.
+    pools: Vec<(u32, PeerPool)>,
+}
+
+impl ClusterRuntime {
+    pub fn new(cfg: ClusterConfig) -> Result<ClusterRuntime, String> {
+        let state = ClusterState::new(cfg.node_id, cfg.peers)?;
+        let pools = state
+            .peers()
+            .iter()
+            .filter(|p| p.id != cfg.node_id)
+            .map(|p| {
+                (
+                    p.id,
+                    PeerPool {
+                        addr: p.addr.clone(),
+                        conns: Mutex::new(Vec::new()),
+                    },
+                )
+            })
+            .collect();
+        Ok(ClusterRuntime {
+            state,
+            forwarding: cfg.forwarding,
+            pools,
+        })
+    }
+
+    pub fn state(&self) -> &ClusterState {
+        &self.state
+    }
+
+    pub fn forwarding(&self) -> Forwarding {
+        self.forwarding
+    }
+
+    /// Mark a peer's liveness, recording the transition in the flight
+    /// ring and the `cluster.peer_transitions` counter when it changes.
+    pub fn mark_alive(&self, id: u32, alive: bool) {
+        if self.state.set_alive(id, alive) {
+            obs::flight::record(
+                FlightKind::ClusterPeerDown,
+                u64::from(id),
+                u64::from(alive),
+                0,
+                "",
+                self.state.peer_addr(id).unwrap_or(""),
+            );
+            if obs::metrics_enabled() {
+                obs::metrics().add(
+                    if alive {
+                        "cluster.peer_up_transitions"
+                    } else {
+                        "cluster.peer_down_transitions"
+                    },
+                    1,
+                );
+            }
+            if alive {
+                obs::info!("cluster: peer {id} is back");
+            } else {
+                obs::warn!("cluster: peer {id} marked dead");
+            }
+        }
+    }
+
+    /// Decide where one analysis request runs. `point` is the high word
+    /// of the query's cache-key fingerprint; `rid` labels flight events.
+    pub fn route(&self, req: &Request, point: u64, rid: &str) -> RouteDecision {
+        let (owner, epoch) = self.state.owner_of(point);
+        let Some(owner) = owner else {
+            // Empty ring (every member decommissioned): serve locally,
+            // nothing owns the slice so nothing is persisted.
+            return RouteDecision::Local { persist: false };
+        };
+        if owner == self.state.node_id() {
+            return RouteDecision::Local { persist: true };
+        }
+
+        let hops: u32 = req
+            .header(HOPS_HEADER)
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if hops >= MAX_HOPS {
+            if obs::metrics_enabled() {
+                obs::metrics().add("cluster.loops_rejected", 1);
+            }
+            return RouteDecision::Respond(Response::error(
+                508,
+                &format!(
+                    "cluster routing loop detected after {hops} hops; \
+                     nodes disagree on ring ownership — check that every \
+                     node was started with the same --peers table and a \
+                     distinct --cluster-id"
+                ),
+            ));
+        }
+        if hops > 0 {
+            // Already forwarded once. If the sender disagrees with us on
+            // the epoch the ring is mid-rebalance; recompute locally
+            // (deterministic ⇒ byte-identical) instead of ping-ponging
+            // toward the hop limit.
+            let sender_epoch: Option<u64> =
+                req.header(EPOCH_HEADER).and_then(|v| v.trim().parse().ok());
+            if sender_epoch != Some(epoch) {
+                if obs::metrics_enabled() {
+                    obs::metrics().add("cluster.epoch_skew_local", 1);
+                }
+                return RouteDecision::Local { persist: false };
+            }
+        }
+
+        let path_query = render_path_query(req);
+        match self.forwarding {
+            Forwarding::Redirect => {
+                let addr = self.state.peer_addr(owner).unwrap_or("");
+                obs::flight::record(
+                    FlightKind::ClusterRedirect,
+                    u64::from(owner),
+                    u64::from(hops),
+                    0,
+                    rid,
+                    &req.path,
+                );
+                if obs::metrics_enabled() {
+                    let m = obs::metrics();
+                    m.add("cluster.redirects", 1);
+                    m.add(&format!("cluster.redirect_to.{owner}"), 1);
+                }
+                let mut resp = Response::json(
+                    307,
+                    format!(
+                        "{{\n  \"redirect\": \"owner\",\n  \"owner\": {owner},\n  \
+                         \"addr\": \"{addr}\",\n  \"epoch\": {epoch}\n}}\n"
+                    ),
+                );
+                resp.extra_headers
+                    .push(("Location", format!("http://{addr}{path_query}")));
+                resp.extra_headers
+                    .push((OWNER_HEADER, format!("{owner}@{addr}")));
+                RouteDecision::Respond(resp)
+            }
+            Forwarding::Proxy => {
+                if !self.state.is_alive(owner) {
+                    if obs::metrics_enabled() {
+                        obs::metrics().add("cluster.dead_peer_local", 1);
+                    }
+                    return RouteDecision::Local { persist: false };
+                }
+                match self.proxy_to(owner, &path_query, hops, epoch) {
+                    Ok(resp) => {
+                        obs::flight::record(
+                            FlightKind::ClusterForward,
+                            u64::from(owner),
+                            u64::from(hops),
+                            0,
+                            rid,
+                            &req.path,
+                        );
+                        if obs::metrics_enabled() {
+                            let m = obs::metrics();
+                            m.add("cluster.forwarded", 1);
+                            m.add(&format!("cluster.forward_to.{owner}"), 1);
+                        }
+                        RouteDecision::Respond(client_to_response(owner, resp))
+                    }
+                    Err(e) => {
+                        obs::warn!(
+                            "cluster: proxy to peer {owner} failed ({e}); recomputing locally"
+                        );
+                        self.mark_alive(owner, false);
+                        if obs::metrics_enabled() {
+                            obs::metrics().add("cluster.proxy_errors", 1);
+                        }
+                        RouteDecision::Local { persist: false }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward a GET to `owner` with hop and epoch headers stamped.
+    fn proxy_to(
+        &self,
+        owner: u32,
+        path_query: &str,
+        hops: u32,
+        epoch: u64,
+    ) -> io::Result<ClientResponse> {
+        let pool = self
+            .pools
+            .iter()
+            .find(|(id, _)| *id == owner)
+            .map(|(_, p)| p)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no pool for owner"))?;
+        pool.request(
+            path_query,
+            &[
+                (HOPS_HEADER, (hops + 1).to_string()),
+                (EPOCH_HEADER, epoch.to_string()),
+            ],
+        )
+    }
+
+    /// A probe pass over every peer (used by the server's prober thread).
+    pub fn probe_all(&self, timeout: std::time::Duration) {
+        for peer in self.state.peers() {
+            if peer.id == self.state.node_id() {
+                continue;
+            }
+            let alive = cluster::probe_healthz(&peer.addr, timeout);
+            self.mark_alive(peer.id, alive);
+        }
+    }
+}
+
+/// Re-render the request's path + query string for forwarding. Both were
+/// percent-decoded at parse time, so reserved bytes are re-escaped.
+fn render_path_query(req: &Request) -> String {
+    let mut out = String::new();
+    for seg in req.path.split('/').filter(|s| !s.is_empty()) {
+        out.push('/');
+        out.push_str(&percent_encode(seg));
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    for (i, (k, v)) in req.query.iter().enumerate() {
+        out.push(if i == 0 { '?' } else { '&' });
+        out.push_str(&percent_encode(k));
+        out.push('=');
+        out.push_str(&percent_encode(v));
+    }
+    out
+}
+
+/// Minimal percent-encoder: unreserved bytes pass, everything else is
+/// `%XX`. The inverse of `http::percent_decode` for round-tripping
+/// forwarded query values (fault plans contain `@` and `:`).
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Convert a proxied peer response into our response type. The peer's
+/// body bytes pass through untouched — that is the byte-identity
+/// contract — and the owner is named in a header for observability.
+fn client_to_response(owner: u32, resp: ClientResponse) -> Response {
+    let content_type = match resp.header("content-type") {
+        Some("application/octet-stream") => "application/octet-stream",
+        Some(ct) if ct.starts_with("text/plain") => "text/plain; version=0.0.4",
+        _ => "application/json",
+    };
+    Response {
+        status: resp.status,
+        content_type,
+        body: resp.body,
+        extra_headers: vec![("X-Cluster-Served-By", owner.to_string())],
+        close: false,
+    }
+}
+
+/// Extract `"name": <integer>` from a small JSON body — enough to read
+/// counts out of peer `/v1/cluster/*` responses without a JSON parser.
+pub fn json_u64_field(body: &str, name: &str) -> Option<u64> {
+    let tag = format!("\"{name}\"");
+    let at = body.find(&tag)? + tag.len();
+    let rest = body[at..].trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extract `"name": [1, 2, ...]` — the member list in a peer's
+/// `/v1/cluster/status` document.
+pub fn json_u32_array(body: &str, name: &str) -> Option<Vec<u32>> {
+    let tag = format!("\"{name}\"");
+    let at = body.find(&tag)? + tag.len();
+    let rest = &body[at..];
+    let open = rest.find('[')?;
+    let close = open + rest[open..].find(']')?;
+    let mut out = Vec::new();
+    for tok in rest[open + 1..close].split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        out.push(tok.parse().ok()?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{parse_request, ConnReader, HttpLimits};
+
+    fn request(line: &str, headers: &str) -> Request {
+        let raw = format!("GET {line} HTTP/1.1\r\n{headers}\r\n");
+        let mut reader = ConnReader::new(raw.as_bytes());
+        parse_request(&mut reader, &HttpLimits::default()).unwrap()
+    }
+
+    fn runtime(node_id: u32, forwarding: Forwarding) -> ClusterRuntime {
+        let peers = cluster::parse_peers("1=127.0.0.1:19001,2=127.0.0.1:19002").unwrap();
+        ClusterRuntime::new(ClusterConfig {
+            node_id,
+            peers,
+            forwarding,
+        })
+        .unwrap()
+    }
+
+    /// A fingerprint point owned by the given node under the 2-node ring.
+    fn point_owned_by(rt: &ClusterRuntime, id: u32) -> u64 {
+        for p in 0..100_000u64 {
+            let point = p.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            if rt.state().owner_of(point).0 == Some(id) {
+                return point;
+            }
+        }
+        panic!("no point owned by {id}");
+    }
+
+    #[test]
+    fn own_keys_are_local_with_persist() {
+        let rt = runtime(1, Forwarding::Proxy);
+        let req = request("/v1/verdict/a/b", "");
+        let point = point_owned_by(&rt, 1);
+        assert!(matches!(
+            rt.route(&req, point, ""),
+            RouteDecision::Local { persist: true }
+        ));
+    }
+
+    #[test]
+    fn foreign_keys_redirect_with_location() {
+        let rt = runtime(1, Forwarding::Redirect);
+        let req = request("/v1/verdict/a/b?ranks=4", "");
+        let point = point_owned_by(&rt, 2);
+        match rt.route(&req, point, "") {
+            RouteDecision::Respond(resp) => {
+                assert_eq!(resp.status, 307);
+                let loc = resp
+                    .extra_headers
+                    .iter()
+                    .find(|(k, _)| *k == "Location")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap();
+                assert_eq!(loc, "http://127.0.0.1:19002/v1/verdict/a/b?ranks=4");
+                let owner = resp
+                    .extra_headers
+                    .iter()
+                    .find(|(k, _)| *k == OWNER_HEADER)
+                    .map(|(_, v)| v.as_str())
+                    .unwrap();
+                assert_eq!(owner, "2@127.0.0.1:19002");
+            }
+            _ => panic!("expected a 307"),
+        }
+    }
+
+    #[test]
+    fn hop_limit_is_a_508_not_a_forward() {
+        let rt = runtime(1, Forwarding::Proxy);
+        let req = request("/v1/verdict/a/b", &format!("{HOPS_HEADER}: {MAX_HOPS}\r\n"));
+        let point = point_owned_by(&rt, 2);
+        match rt.route(&req, point, "") {
+            RouteDecision::Respond(resp) => {
+                assert_eq!(resp.status, 508);
+                assert!(resp.body_starts_with_loop_error());
+            }
+            _ => panic!("expected a 508"),
+        }
+    }
+
+    #[test]
+    fn epoch_skew_on_forwarded_request_degrades_to_local() {
+        let rt = runtime(1, Forwarding::Proxy);
+        // Forwarded once (hops 1) by a sender at a different epoch.
+        let req = request(
+            "/v1/verdict/a/b",
+            &format!("{HOPS_HEADER}: 1\r\n{EPOCH_HEADER}: 99\r\n"),
+        );
+        let point = point_owned_by(&rt, 2);
+        assert!(matches!(
+            rt.route(&req, point, ""),
+            RouteDecision::Local { persist: false }
+        ));
+    }
+
+    #[test]
+    fn dead_peer_degrades_to_local() {
+        let rt = runtime(1, Forwarding::Proxy);
+        rt.mark_alive(2, false);
+        let req = request("/v1/verdict/a/b", "");
+        let point = point_owned_by(&rt, 2);
+        assert!(matches!(
+            rt.route(&req, point, ""),
+            RouteDecision::Local { persist: false }
+        ));
+    }
+
+    #[test]
+    fn path_query_roundtrips_through_encoding() {
+        let req = request(
+            "/v1/verdict/MILC-QCD/Serial?faults=crash%40r1%3Aop5&ranks=8",
+            "",
+        );
+        let rendered = render_path_query(&req);
+        assert_eq!(
+            rendered,
+            "/v1/verdict/MILC-QCD/Serial?faults=crash%40r1%3Aop5&ranks=8"
+        );
+    }
+
+    #[test]
+    fn json_u64_field_reads_counts() {
+        assert_eq!(json_u64_field("{\"imported\": 42}", "imported"), Some(42));
+        assert_eq!(json_u64_field("{\"a\":{\"b\": 7}}", "b"), Some(7));
+        assert_eq!(json_u64_field("{}", "imported"), None);
+        assert_eq!(json_u64_field("{\"imported\": \"x\"}", "imported"), None);
+    }
+
+    impl Response {
+        fn body_starts_with_loop_error(&self) -> bool {
+            String::from_utf8_lossy(&self.body).contains("routing loop")
+        }
+    }
+}

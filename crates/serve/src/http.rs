@@ -436,6 +436,7 @@ impl Response {
     pub fn reason(status: u16) -> &'static str {
         match status {
             200 => "OK",
+            307 => "Temporary Redirect",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
@@ -443,9 +444,11 @@ impl Response {
             414 => "URI Too Long",
             422 => "Unprocessable Entity",
             431 => "Request Header Fields Too Large",
+            409 => "Conflict",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             505 => "HTTP Version Not Supported",
+            508 => "Loop Detected",
             _ => "Unknown",
         }
     }

@@ -32,6 +32,12 @@
 //! * [`server`] — accept loop, connection lifecycle, SIGTERM/ctrl-c
 //!   graceful drain (via [`signal`]).
 //! * [`client`] — the minimal blocking client loadgen and the tests use.
+//! * [`fleet`] — the cluster tier: consistent-hash routing of analysis
+//!   keys across a sharded serving fleet (`--cluster-id`/`--peers`),
+//!   proxy or 307-redirect forwarding with a hop limit, liveness-aware
+//!   degradation to local recompute, and snapshot-segment rebalancing
+//!   on membership change (the route table itself lives in the
+//!   zero-dependency `cluster` crate).
 //!
 //! * [`reqid`] — deterministic-format request ids (inbound
 //!   `X-Request-Id` honored, echoed in responses, threaded through
@@ -46,6 +52,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod pool;
 pub mod reqid;
@@ -54,7 +61,8 @@ pub mod server;
 pub mod signal;
 
 pub use cache::ShardedLru;
-pub use client::{get_once, ClientResponse, HttpClient};
+pub use client::{get_once, get_redirecting, ClientResponse, HttpClient};
+pub use fleet::{ClusterConfig, ClusterRuntime, Forwarding};
 pub use http::{parse_request, ConnReader, HttpLimits, ParseError, Request, Response};
 pub use pool::{QueueFull, WorkerPool};
 pub use reqid::{next_request_id, request_id, REQUEST_ID_HEADER};

@@ -44,6 +44,8 @@ use semantics_core::json::Json;
 use semantics_core::{CacheKey, CacheKeyBuilder};
 
 use crate::cache::ShardedLru;
+use crate::client::HttpClient;
+use crate::fleet::{self, ClusterRuntime, RouteDecision};
 use crate::http::{Request, Response};
 use crate::reqid;
 
@@ -260,6 +262,7 @@ pub struct Router {
     backend: Arc<dyn Backend>,
     cache: ShardedLru<CachedResult>,
     store: Option<Arc<store::Store>>,
+    cluster: Option<Arc<ClusterRuntime>>,
     flights: Mutex<HashMap<String, Arc<Flight>>>,
     apps_body: String,
     started: Instant,
@@ -277,6 +280,19 @@ impl Router {
         backend: Arc<dyn Backend>,
         cache_entries: usize,
         store: Option<Arc<store::Store>>,
+    ) -> Router {
+        Router::with_cluster(backend, cache_entries, store, None)
+    }
+
+    /// The full constructor: store tier plus (optionally) the cluster
+    /// routing runtime. When `cluster` is set, analysis keys are looked
+    /// up on the consistent-hash ring before local tiers, and the
+    /// `/v1/cluster/*` endpoints come alive.
+    pub fn with_cluster(
+        backend: Arc<dyn Backend>,
+        cache_entries: usize,
+        store: Option<Arc<store::Store>>,
+        cluster: Option<Arc<ClusterRuntime>>,
     ) -> Router {
         let apps_body = backend.apps_json();
         if let Some(store) = &store {
@@ -296,6 +312,7 @@ impl Router {
             backend,
             cache: ShardedLru::new(cache_entries, 8),
             store,
+            cluster,
             flights: Mutex::new(HashMap::new()),
             apps_body,
             started: Instant::now(),
@@ -408,6 +425,12 @@ impl Router {
             ["v1", "apps"] => Response::json(200, self.apps_body.clone()),
             ["v1", "metrics"] => self.metrics(),
             ["v1", "debug", "flightrec"] => Response::json(200, obs::flight().dump_json()),
+            ["v1", "cluster", "status"] => self.cluster_status(req),
+            ["v1", "cluster", "segment"] => self.cluster_segment(req),
+            ["v1", "cluster", "pull"] => self.cluster_pull(req),
+            ["v1", "cluster", "commit"] => self.cluster_commit(req),
+            ["v1", "cluster", "join"] => self.cluster_join(),
+            ["v1", "cluster", "decommission"] => self.cluster_decommission(),
             ["v1", endpoint @ ("verdict" | "conflicts" | "patterns"), app, config] => {
                 self.analysis(endpoint, app, config, req, rid, now_ns)
             }
@@ -435,6 +458,18 @@ impl Router {
                 .field("store_generation", store.generation())
                 .field("store_recovered_records", rec.recovered_records())
                 .field("store_quarantined_bytes", rec.quarantined_bytes);
+        }
+        // Cluster fields appear only when the node runs clustered, so
+        // existing /healthz parsers see exactly the document they always
+        // did on a standalone node.
+        if let Some(cl) = &self.cluster {
+            let st = cl.state();
+            let (epoch, members) = st.view();
+            doc = doc
+                .field("cluster_id", st.node_id())
+                .field("cluster_epoch", epoch)
+                .field("cluster_members", members.len())
+                .field("cluster_slice", st.slice_fraction(st.node_id()));
         }
         Response::json(200, doc.pretty() + "\n")
     }
@@ -522,6 +557,27 @@ impl Router {
         ));
         out.push_str("# TYPE serve_cache_entries gauge\n");
         out.push_str(&format!("serve_cache_entries {}\n", self.cache.len()));
+        if let Some(cl) = &self.cluster {
+            let st = cl.state();
+            let (epoch, members) = st.view();
+            out.push_str("# TYPE serve_cluster_epoch gauge\n");
+            out.push_str(&format!("serve_cluster_epoch {epoch}\n"));
+            out.push_str("# TYPE serve_cluster_members gauge\n");
+            out.push_str(&format!("serve_cluster_members {}\n", members.len()));
+            out.push_str("# TYPE serve_cluster_slice gauge\n");
+            out.push_str(&format!(
+                "serve_cluster_slice {:.6}\n",
+                st.slice_fraction(st.node_id())
+            ));
+            out.push_str("# TYPE serve_cluster_peer_alive gauge\n");
+            for peer in st.peers() {
+                out.push_str(&format!(
+                    "serve_cluster_peer_alive{{peer=\"{}\"}} {}\n",
+                    peer.id,
+                    u8::from(st.is_alive(peer.id))
+                ));
+            }
+        }
         // The deterministic registry counters, dots and all, as one
         // labeled family — so the exposition carries the same numbers
         // the byte-identity tests compare.
@@ -603,6 +659,18 @@ impl Router {
             Err(e) => return error_response(&e),
         };
         let key = query.cache_key();
+        // Clustered: the ring decides before any local tier is touched.
+        // A key another node owns is proxied or redirected there; local
+        // serving of foreign keys happens only as a deliberate
+        // degradation (dead peer, epoch skew) and never persists into
+        // this node's store slice.
+        let mut persist = true;
+        if let Some(cl) = &self.cluster {
+            match cl.route(req, key.fingerprint().0, rid) {
+                RouteDecision::Local { persist: p } => persist = p,
+                RouteDecision::Respond(resp) => return resp,
+            }
+        }
         let cached = self.cache.get(&key);
         let hit = cached.is_some();
         if obs::metrics_enabled() {
@@ -627,7 +695,7 @@ impl Router {
         }
         let (result, origin) = match cached {
             Some(r) => (r, LoadOrigin::Cache),
-            None => self.load_or_compute(&key, &query, rid),
+            None => self.load_or_compute(&key, &query, rid, persist),
         };
         match result.as_ref() {
             Ok(views) => {
@@ -655,12 +723,15 @@ impl Router {
     }
 
     /// Resolve a cache miss: persistent store, then single-flight
-    /// coalesced backend analysis.
+    /// coalesced backend analysis. `persist` gates journaling the result
+    /// (false for cluster-foreign keys computed here as a degradation —
+    /// they belong in the owner's store slice, not ours).
     fn load_or_compute(
         &self,
         key: &CacheKey,
         query: &AnalysisQuery,
         rid: &str,
+        persist: bool,
     ) -> (CachedResult, LoadOrigin) {
         let canonical = key.canonical();
         loop {
@@ -750,7 +821,7 @@ impl Router {
             match computed.as_ref() {
                 Ok(views) => {
                     self.cache.insert(key, Arc::clone(&computed));
-                    if let Some(store) = &self.store {
+                    if let (Some(store), true) = (&self.store, persist) {
                         let encoded = encode_views(views);
                         match store.put(canonical, &encoded) {
                             Ok(()) => obs::flight::record(
@@ -798,6 +869,513 @@ impl Router {
     /// The persistent store handle, when one is attached.
     pub fn store(&self) -> Option<&Arc<store::Store>> {
         self.store.as_ref()
+    }
+
+    /// The cluster runtime, when the node runs clustered.
+    pub fn cluster(&self) -> Option<&Arc<ClusterRuntime>> {
+        self.cluster.as_ref()
+    }
+
+    /// `/v1/cluster/*` guard: these endpoints exist only on a clustered
+    /// node.
+    fn clustered(&self) -> Result<&Arc<ClusterRuntime>, Response> {
+        self.cluster
+            .as_ref()
+            .ok_or_else(|| Response::error(400, "this node is not running in cluster mode"))
+    }
+
+    /// Ring view: JSON by default, a rendered table with `?format=table`
+    /// (what `report cluster status` prints).
+    fn cluster_status(&self, req: &Request) -> Response {
+        let cl = match self.clustered() {
+            Ok(cl) => cl,
+            Err(resp) => return resp,
+        };
+        let st = cl.state();
+        let (epoch, members) = st.view();
+        let mode = match cl.forwarding() {
+            fleet::Forwarding::Proxy => "proxy",
+            fleet::Forwarding::Redirect => "redirect",
+        };
+        if req.query_param("format") == Some("table") {
+            let mut out = format!(
+                "cluster: node {} @ {}  epoch {epoch}  forwarding {mode}\n\
+                 {:>4}  {:<21}  {:>6}  {:>5}  {:>7}\n",
+                st.node_id(),
+                st.self_addr(),
+                "id",
+                "addr",
+                "member",
+                "alive",
+                "slice"
+            );
+            for peer in st.peers() {
+                out.push_str(&format!(
+                    "{:>4}  {:<21}  {:>6}  {:>5}  {:>6.1}%\n",
+                    peer.id,
+                    peer.addr,
+                    if st.is_member(peer.id) { "yes" } else { "no" },
+                    if st.is_alive(peer.id) { "yes" } else { "no" },
+                    st.slice_fraction(peer.id) * 100.0
+                ));
+            }
+            return Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: out.into_bytes(),
+                extra_headers: Vec::new(),
+                close: false,
+            };
+        }
+        let peers: Vec<Json> = st
+            .peers()
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .field("id", p.id)
+                    .field("addr", p.addr.as_str())
+                    .field("member", st.is_member(p.id))
+                    .field("alive", st.is_alive(p.id))
+                    .field("slice", st.slice_fraction(p.id))
+            })
+            .collect();
+        let doc = Json::obj()
+            .field("node", st.node_id())
+            .field("addr", st.self_addr())
+            .field("epoch", epoch)
+            .field("forwarding", mode)
+            .field(
+                "members",
+                members
+                    .iter()
+                    .map(|&m| Json::U64(u64::from(m)))
+                    .collect::<Vec<_>>(),
+            )
+            .field("peers", peers);
+        Response::json(200, doc.pretty() + "\n")
+    }
+
+    /// Parse the common rebalance query triple: target node id, the
+    /// epoch under negotiation, and the proposed member csv.
+    fn rebalance_params(req: &Request) -> Result<(u64, Vec<u32>), Response> {
+        let epoch: u64 = req
+            .query_param("epoch")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| Response::error(400, "missing or invalid epoch parameter"))?;
+        let members = req
+            .query_param("members")
+            .ok_or_else(|| Response::error(400, "missing members parameter"))
+            .and_then(|csv| cluster::parse_members(csv).map_err(|e| Response::error(400, &e)))?;
+        Ok((epoch, members))
+    }
+
+    /// Export this node's store records that belong to `node` under the
+    /// proposed ring, as one checksummed snapshot segment stamped with
+    /// the epoch under negotiation.
+    fn cluster_segment(&self, req: &Request) -> Response {
+        let cl = match self.clustered() {
+            Ok(cl) => cl,
+            Err(resp) => return resp,
+        };
+        let Some(store) = &self.store else {
+            return Response::error(400, "no store attached; nothing to hand off");
+        };
+        let node: u32 = match req.query_param("node").and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => return Response::error(400, "missing or invalid node parameter"),
+        };
+        let (epoch, members) = match Self::rebalance_params(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let current = cl.state().epoch();
+        if epoch <= current {
+            return Response::error(
+                409,
+                &format!("stale rebalance epoch {epoch} (current {current})"),
+            );
+        }
+        let ring = cluster::Ring::build(&members);
+        let segment = store.export_segment(epoch, |canonical| {
+            let fp = CacheKey::from_canonical(canonical.to_string()).fingerprint();
+            ring.owner(fp.0) == Some(node)
+        });
+        let records = u64::from_le_bytes(segment[16..24].try_into().unwrap());
+        if obs::metrics_enabled() {
+            let m = obs::metrics();
+            m.add("cluster.segments_out", 1);
+            m.add("cluster.segment_records_out", records);
+            m.add(&format!("cluster.rebalance_out_to.{node}"), records);
+        }
+        obs::flight::record(
+            FlightKind::ClusterRebalance,
+            epoch,
+            records,
+            segment.len() as u64,
+            "",
+            "segment-export",
+        );
+        Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            body: segment,
+            extra_headers: vec![(fleet::EPOCH_HEADER, epoch.to_string())],
+            close: false,
+        }
+    }
+
+    /// Pull a segment from the losing node named in `from` and replay it
+    /// through normal store recovery. All-or-nothing: verification
+    /// failure imports zero records and is reported as an error.
+    fn cluster_pull(&self, req: &Request) -> Response {
+        let cl = match self.clustered() {
+            Ok(cl) => cl,
+            Err(resp) => return resp,
+        };
+        let Some(store) = &self.store else {
+            return Response::error(400, "no store attached; cannot import a segment");
+        };
+        let Some(from) = req.query_param("from") else {
+            return Response::error(400, "missing from parameter");
+        };
+        let (epoch, members) = match Self::rebalance_params(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let current = cl.state().epoch();
+        if epoch <= current {
+            return Response::error(
+                409,
+                &format!("stale rebalance epoch {epoch} (current {current})"),
+            );
+        }
+        let me = cl.state().node_id();
+        let path = format!(
+            "/v1/cluster/segment?node={me}&epoch={epoch}&members={}",
+            cluster::format_members(&members)
+        );
+        let resp = match HttpClient::connect_str(from).and_then(|mut c| c.get(&path)) {
+            Ok(r) => r,
+            Err(e) => {
+                return Response::error(502, &format!("segment fetch from {from} failed: {e}"))
+            }
+        };
+        if resp.status != 200 {
+            return Response::error(
+                502,
+                &format!("segment fetch from {from} answered {}", resp.status),
+            );
+        }
+        let bytes = resp.body.len() as u64;
+        let imported = match store.import_segment(epoch, &resp.body) {
+            Ok(n) => n,
+            Err(e) => return Response::error(500, &format!("segment verification failed: {e}")),
+        };
+        if obs::metrics_enabled() {
+            let m = obs::metrics();
+            m.add("cluster.segments_in", 1);
+            m.add("cluster.segment_records_in", imported);
+        }
+        obs::flight::record(
+            FlightKind::ClusterRebalance,
+            epoch,
+            imported,
+            bytes,
+            "",
+            "segment-import",
+        );
+        let doc = Json::obj()
+            .field("imported", imported)
+            .field("bytes", bytes)
+            .field("epoch", epoch);
+        Response::json(200, doc.pretty() + "\n")
+    }
+
+    /// Switch to the proposed member set at the negotiated epoch. Only
+    /// issued by the orchestrating node *after* byte-verified handoff.
+    fn cluster_commit(&self, req: &Request) -> Response {
+        let cl = match self.clustered() {
+            Ok(cl) => cl,
+            Err(resp) => return resp,
+        };
+        let (epoch, members) = match Self::rebalance_params(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        if let Err(e) = cl.state().commit(epoch, &members) {
+            return Response::error(409, &e);
+        }
+        if obs::metrics_enabled() {
+            obs::metrics().add("cluster.commits", 1);
+        }
+        obs::flight::record(FlightKind::ClusterRebalance, epoch, 0, 0, "", "commit");
+        let doc = Json::obj().field("epoch", epoch).field(
+            "members",
+            members
+                .iter()
+                .map(|&m| Json::U64(u64::from(m)))
+                .collect::<Vec<_>>(),
+        );
+        Response::json(200, doc.pretty() + "\n")
+    }
+
+    /// Join orchestration, run on the *gaining* node: pull the slice it
+    /// will own from every current member, then bump the epoch
+    /// everywhere. The epoch moves only after every segment verified.
+    fn cluster_join(&self) -> Response {
+        let cl = match self.clustered() {
+            Ok(cl) => cl,
+            Err(resp) => return resp,
+        };
+        let Some(store) = &self.store else {
+            return Response::error(400, "no store attached; cannot rebalance");
+        };
+        // A freshly booted node defaults to "every seed peer is a member
+        // at epoch 1" — adopt the running fleet's freshest view before
+        // deciding whether we are actually in it.
+        self.sync_view_from_peers(cl);
+        let st = cl.state();
+        let me = st.node_id();
+        let (epoch, members) = st.view();
+        if members.contains(&me) {
+            return Response::error(409, "this node is already a ring member");
+        }
+        let mut new_members = members.clone();
+        new_members.push(me);
+        new_members.sort_unstable();
+        let new_epoch = epoch + 1;
+        let csv = cluster::format_members(&new_members);
+
+        // Handoff: every current member exports the slice the new ring
+        // assigns to us; each segment is checksum-verified on import.
+        let mut imported = 0u64;
+        let mut moved_bytes = 0u64;
+        for &m in &members {
+            let addr = st.peer_addr(m).unwrap_or_default().to_string();
+            let path = format!("/v1/cluster/segment?node={me}&epoch={new_epoch}&members={csv}");
+            let resp = match HttpClient::connect_str(&addr).and_then(|mut c| c.get(&path)) {
+                Ok(r) => r,
+                Err(e) => {
+                    return Response::error(
+                        502,
+                        &format!("join aborted: segment fetch from node {m} failed: {e}"),
+                    )
+                }
+            };
+            if resp.status != 200 {
+                return Response::error(
+                    502,
+                    &format!("join aborted: node {m} answered {}", resp.status),
+                );
+            }
+            moved_bytes += resp.body.len() as u64;
+            match store.import_segment(new_epoch, &resp.body) {
+                Ok(n) => imported += n,
+                Err(e) => {
+                    return Response::error(
+                        500,
+                        &format!("join aborted: segment from node {m} failed verification: {e}"),
+                    )
+                }
+            }
+        }
+
+        // Byte-verified handoff complete: commit locally, then on peers.
+        if let Err(e) = st.commit(new_epoch, &new_members) {
+            return Response::error(409, &e);
+        }
+        let peer_commits = self.commit_on_peers(cl, new_epoch, &csv, &members);
+        obs::flight::record(
+            FlightKind::ClusterRebalance,
+            new_epoch,
+            imported,
+            moved_bytes,
+            "",
+            "join",
+        );
+        let doc = Json::obj()
+            .field("epoch", new_epoch)
+            .field("imported", imported)
+            .field("bytes", moved_bytes)
+            .field("peer_commits", peer_commits)
+            .field(
+                "members",
+                new_members
+                    .iter()
+                    .map(|&m| Json::U64(u64::from(m)))
+                    .collect::<Vec<_>>(),
+            );
+        Response::json(200, doc.pretty() + "\n")
+    }
+
+    /// Decommission orchestration, run on the *losing* node: every
+    /// gaining member pulls its share of our records, each pull's count
+    /// is verified against what the new ring says it should have moved,
+    /// and only then does the epoch bump fleet-wide.
+    fn cluster_decommission(&self) -> Response {
+        let cl = match self.clustered() {
+            Ok(cl) => cl,
+            Err(resp) => return resp,
+        };
+        let Some(store) = &self.store else {
+            return Response::error(400, "no store attached; cannot rebalance");
+        };
+        self.sync_view_from_peers(cl);
+        let st = cl.state();
+        let me = st.node_id();
+        let (epoch, members) = st.view();
+        if !members.contains(&me) {
+            return Response::error(409, "this node is not a ring member");
+        }
+        if members.len() == 1 {
+            return Response::error(400, "cannot decommission the last ring member");
+        }
+        let new_members: Vec<u32> = members.iter().copied().filter(|&m| m != me).collect();
+        let new_epoch = epoch + 1;
+        let csv = cluster::format_members(&new_members);
+        let ring = cluster::Ring::build(&new_members);
+
+        // What the new ring says each gaining member should receive.
+        let mut expected: HashMap<u32, u64> = HashMap::new();
+        for key in store.keys() {
+            let fp = CacheKey::from_canonical(key).fingerprint();
+            if let Some(owner) = ring.owner(fp.0) {
+                *expected.entry(owner).or_insert(0) += 1;
+            }
+        }
+
+        let self_addr = st.self_addr().to_string();
+        let mut moved = 0u64;
+        for &m in &new_members {
+            let want = expected.get(&m).copied().unwrap_or(0);
+            if want == 0 {
+                continue;
+            }
+            let addr = st.peer_addr(m).unwrap_or_default().to_string();
+            let path = format!("/v1/cluster/pull?from={self_addr}&epoch={new_epoch}&members={csv}");
+            let resp = match HttpClient::connect_str(&addr).and_then(|mut c| c.get(&path)) {
+                Ok(r) => r,
+                Err(e) => {
+                    return Response::error(
+                        502,
+                        &format!("decommission aborted: pull by node {m} failed: {e}"),
+                    )
+                }
+            };
+            if resp.status != 200 {
+                return Response::error(
+                    502,
+                    &format!(
+                        "decommission aborted: node {m} answered {}: {}",
+                        resp.status,
+                        resp.body_text().trim()
+                    ),
+                );
+            }
+            let got = fleet::json_u64_field(&resp.body_text(), "imported").unwrap_or(u64::MAX);
+            if got != want {
+                return Response::error(
+                    500,
+                    &format!(
+                        "decommission aborted: node {m} imported {got} records, expected {want}"
+                    ),
+                );
+            }
+            moved += got;
+        }
+
+        // Every gaining member verified its share: bump the epoch — on
+        // this node first (it starts forwarding everything immediately),
+        // then fleet-wide.
+        if let Err(e) = st.commit(new_epoch, &new_members) {
+            return Response::error(409, &e);
+        }
+        let peer_commits = self.commit_on_peers(cl, new_epoch, &csv, &new_members);
+        obs::flight::record(
+            FlightKind::ClusterRebalance,
+            new_epoch,
+            moved,
+            0,
+            "",
+            "decommission",
+        );
+        let doc = Json::obj()
+            .field("epoch", new_epoch)
+            .field("moved", moved)
+            .field("peer_commits", peer_commits)
+            .field(
+                "members",
+                new_members
+                    .iter()
+                    .map(|&m| Json::U64(u64::from(m)))
+                    .collect::<Vec<_>>(),
+            );
+        Response::json(200, doc.pretty() + "\n")
+    }
+
+    /// Adopt the freshest committed view any seed peer holds; best
+    /// effort (unreachable peers are skipped, a losing race is a no-op —
+    /// `commit` rejects stale epochs).
+    fn sync_view_from_peers(&self, cl: &ClusterRuntime) {
+        let st = cl.state();
+        let ours = st.epoch();
+        let mut best: Option<(u64, Vec<u32>)> = None;
+        for peer in st.peers() {
+            if peer.id == st.node_id() {
+                continue;
+            }
+            let Ok(resp) =
+                HttpClient::connect_str(&peer.addr).and_then(|mut c| c.get("/v1/cluster/status"))
+            else {
+                continue;
+            };
+            if resp.status != 200 {
+                continue;
+            }
+            let body = resp.body_text();
+            let Some(epoch) = fleet::json_u64_field(&body, "epoch") else {
+                continue;
+            };
+            if epoch > ours && best.as_ref().is_none_or(|(e, _)| epoch > *e) {
+                if let Some(members) = fleet::json_u32_array(&body, "members") {
+                    best = Some((epoch, members));
+                }
+            }
+        }
+        if let Some((epoch, members)) = best {
+            let _ = st.commit(epoch, &members);
+        }
+    }
+
+    /// Push a commit to each peer in `targets` (self excluded); returns
+    /// how many acknowledged. A peer that misses the commit catches up
+    /// through epoch-skew handling on its next forwarded request.
+    fn commit_on_peers(
+        &self,
+        cl: &ClusterRuntime,
+        epoch: u64,
+        members_csv: &str,
+        targets: &[u32],
+    ) -> u64 {
+        let st = cl.state();
+        let mut acked = 0u64;
+        for &m in targets {
+            if m == st.node_id() {
+                continue;
+            }
+            let Some(addr) = st.peer_addr(m) else {
+                continue;
+            };
+            let path = format!("/v1/cluster/commit?epoch={epoch}&members={members_csv}");
+            match HttpClient::connect_str(addr).and_then(|mut c| c.get(&path)) {
+                Ok(resp) if resp.status == 200 => acked += 1,
+                Ok(resp) => {
+                    obs::warn!("cluster: commit on node {m} answered {}", resp.status)
+                }
+                Err(e) => obs::warn!("cluster: commit on node {m} failed: {e}"),
+            }
+        }
+        acked
     }
 }
 

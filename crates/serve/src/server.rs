@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::fleet::{ClusterConfig, ClusterRuntime};
 use crate::http::{parse_request, ConnReader, HttpLimits, Response};
 use crate::pool::WorkerPool;
 use crate::router::{Backend, Router};
@@ -62,6 +63,11 @@ pub struct ServeConfig {
     /// per line) on handler panic and on drain. `None` disables file
     /// dumps; `GET /v1/debug/flightrec` works regardless.
     pub postmortem: Option<std::path::PathBuf>,
+    /// Cluster membership (`--cluster-id`/`--peers`). When set, this node
+    /// serves only its consistent-hash ring slice authoritatively and
+    /// forwards or redirects foreign keys; a liveness prober thread runs
+    /// alongside the accept loop.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +82,7 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             store: None,
             postmortem: None,
+            cluster: None,
         }
     }
 }
@@ -128,10 +135,19 @@ pub fn serve(cfg: ServeConfig, backend: Arc<dyn Backend>) -> std::io::Result<Ser
     obs::set_postmortem_path(cfg.postmortem.as_deref());
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let router = Arc::new(Router::with_store(
+    let cluster = match cfg.cluster.clone() {
+        Some(cl_cfg) => {
+            Some(Arc::new(ClusterRuntime::new(cl_cfg).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, e)
+            })?))
+        }
+        None => None,
+    };
+    let router = Arc::new(Router::with_cluster(
         backend,
         cfg.cache_entries,
         cfg.store.clone(),
+        cluster,
     ));
 
     let accept_stop = Arc::clone(&stop);
@@ -149,6 +165,30 @@ pub fn serve(cfg: ServeConfig, backend: Arc<dyn Backend>) -> std::io::Result<Ser
 fn accept_loop(listener: &TcpListener, cfg: &ServeConfig, stop: &AtomicBool, router: &Arc<Router>) {
     let pool = WorkerPool::new(cfg.workers, cfg.queue_cap);
     let draining = pool.draining_flag();
+
+    // Clustered nodes probe peer /healthz continuously so proxying can
+    // degrade to local recompute the moment a peer dies, rather than on
+    // the first failed forward.
+    let prober_stop = Arc::new(AtomicBool::new(false));
+    let prober = router.cluster().map(|cl| {
+        let cl = Arc::clone(cl);
+        let stop_flag = Arc::clone(&prober_stop);
+        std::thread::Builder::new()
+            .name("serve-cluster-probe".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::SeqCst) && !signal::shutdown_requested() {
+                    cl.probe_all(Duration::from_millis(250));
+                    // Sleep in small steps so drain isn't held up.
+                    for _ in 0..6 {
+                        if stop_flag.load(Ordering::SeqCst) || signal::shutdown_requested() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            })
+            .expect("spawn cluster prober")
+    });
 
     while !stop.load(Ordering::SeqCst) && !signal::shutdown_requested() {
         match listener.accept() {
@@ -196,6 +236,10 @@ fn accept_loop(listener: &TcpListener, cfg: &ServeConfig, stop: &AtomicBool, rou
     // next process recovers from one segment. The flight ring is
     // persisted last, so the postmortem shows the drain completing.
     obs::flight::record(obs::FlightKind::Drain, 0, 0, 0, "", "drain-begin");
+    prober_stop.store(true, Ordering::SeqCst);
+    if let Some(t) = prober {
+        let _ = t.join();
+    }
     pool.shutdown();
     router.flush_store();
     obs::flight::dump_postmortem("sigterm-drain");

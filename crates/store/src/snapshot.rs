@@ -40,6 +40,22 @@ fn header_bytes(gen: u64, count: u64) -> [u8; HEADER_LEN] {
     h
 }
 
+/// Serialize entries into the segment byte format: counted header +
+/// checksummed frames. This is both the on-disk snapshot layout and the
+/// wire format for cluster rebalancing (`/v1/cluster/segment`), so the
+/// same verification path covers bit rot and network corruption.
+pub fn encode<'a>(
+    gen: u64,
+    entries: impl ExactSizeIterator<Item = (&'a str, &'a [u8])>,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&header_bytes(gen, entries.len() as u64));
+    for (key, val) in entries {
+        frame::encode_into(&mut buf, key.as_bytes(), val);
+    }
+    buf
+}
+
 /// Write the temporary segment for `gen` and fsync it. The caller
 /// performs the rename + directory sync (with its crash points).
 pub fn write_tmp<'a>(
@@ -48,11 +64,7 @@ pub fn write_tmp<'a>(
     entries: impl ExactSizeIterator<Item = (&'a str, &'a [u8])>,
 ) -> std::io::Result<PathBuf> {
     let path = dir.join(tmp_name(gen));
-    let mut buf = Vec::new();
-    buf.extend_from_slice(&header_bytes(gen, entries.len() as u64));
-    for (key, val) in entries {
-        frame::encode_into(&mut buf, key.as_bytes(), val);
-    }
+    let buf = encode(gen, entries);
     let mut file = OpenOptions::new()
         .create(true)
         .write(true)
@@ -84,6 +96,15 @@ impl From<std::io::Error> for SnapError {
 pub fn load(dir: &Path, gen: u64) -> Result<Vec<(String, Vec<u8>)>, SnapError> {
     let mut raw = Vec::new();
     File::open(dir.join(file_name(gen)))?.read_to_end(&mut raw)?;
+    parse(&raw, gen)
+}
+
+/// Fully verify segment bytes against an expected generation tag.
+/// Nothing is returned unless *everything* validates — header magic,
+/// tag, every frame checksum, exact record count, no trailing bytes —
+/// so a network-transferred segment gets byte-verified before a single
+/// record is replayed.
+pub fn parse(raw: &[u8], gen: u64) -> Result<Vec<(String, Vec<u8>)>, SnapError> {
     if raw.len() < HEADER_LEN || raw[..8] != *MAGIC {
         return Err(SnapError::Invalid("bad header"));
     }

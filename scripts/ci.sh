@@ -67,6 +67,52 @@ grep -q "sigterm-drain" target/serve_postmortem.jsonl || {
     echo "SIGTERM drain wrote no postmortem flight dump"; exit 1;
 }
 
+echo "ci: cluster smoke"
+# The sharded serving fleet end-to-end across real processes: two nodes
+# on ephemeral ports with separate store dirs, cold through node A, the
+# same queries warm through node B (forwarded to their owners — byte
+# identity across entry nodes is asserted inside loadgen), ring status
+# rendered through the CLI, then SIGTERM both and require clean drains.
+rm -rf target/ci_cluster_a target/ci_cluster_b
+CLUSTER_PORTS=$(./target/release/report pick-ports --count 2)
+PORT_A=$(echo "$CLUSTER_PORTS" | sed -n 1p)
+PORT_B=$(echo "$CLUSTER_PORTS" | sed -n 2p)
+PEERS="1=127.0.0.1:${PORT_A},2=127.0.0.1:${PORT_B}"
+./target/release/report serve --port "$PORT_A" --workers 2 --cluster-id 1 \
+    --peers "$PEERS" --store-dir target/ci_cluster_a \
+    > target/cluster_a.log 2>&1 &
+NODE_A=$!
+./target/release/report serve --port "$PORT_B" --workers 2 --cluster-id 2 \
+    --peers "$PEERS" --store-dir target/ci_cluster_b \
+    > target/cluster_b.log 2>&1 &
+NODE_B=$!
+i=0
+until grep -q "listening on" target/cluster_a.log 2>/dev/null \
+   && grep -q "listening on" target/cluster_b.log 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "cluster nodes never came up"; \
+        cat target/cluster_a.log target/cluster_b.log; exit 1; }
+    sleep 0.1
+done
+# Cold through A, then every query re-fetched through B (and A) with
+# bodies asserted identical regardless of entry node.
+./target/release/loadgen --smoke \
+    --cluster "127.0.0.1:${PORT_B},127.0.0.1:${PORT_A}"
+./target/release/report cluster status --addr "127.0.0.1:${PORT_A}" \
+    > target/cluster_status.txt
+grep -q "epoch" target/cluster_status.txt || {
+    echo "cluster status did not render"; cat target/cluster_status.txt; exit 1;
+}
+kill -TERM "$NODE_A" "$NODE_B"
+wait "$NODE_A"
+wait "$NODE_B"
+grep -q "shutdown complete" target/cluster_a.log || {
+    echo "node A did not drain cleanly"; cat target/cluster_a.log; exit 1;
+}
+grep -q "shutdown complete" target/cluster_b.log || {
+    echo "node B did not drain cleanly"; cat target/cluster_b.log; exit 1;
+}
+
 echo "ci: store crash-recovery smoke"
 # The persistent verdict store end-to-end: loadgen spawns a real
 # `report serve --store-dir`, loads it cold, SIGKILLs it mid-traffic,

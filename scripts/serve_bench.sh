@@ -21,9 +21,16 @@
 # recovery wall time and the warm-after-restart/cold ratio (gated at
 # >= 10x outside --smoke).
 #
-# Finally obsbench --serve measures the live observability layer
-# (request ids + flight ring + SLO window) on the warm serve path and
-# gates it at <= 2% of a warm loopback request, into BENCH_PR9.json.
+# obsbench --serve measures the live observability layer (request ids +
+# flight ring + SLO window) on the warm serve path and gates it at <= 2%
+# of a warm loopback request, into BENCH_PR9.json.
+#
+# Finally the cluster scaling benchmark: a 1-node server vs a 2-node
+# consistent-hash fleet with the same per-node cache (sized one entry
+# below the working set). The single node LRU-thrashes — every warm
+# request re-runs the simulation — while the ring splits the key space
+# so each node's slice fits its cache. BENCH_PR10.json records the
+# aggregate warm throughput of both, gated at >= 1.7x for the fleet.
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release -p report-gen
@@ -31,4 +38,6 @@ cargo build --release -p report-gen
 rm -rf target/bench_store
 ./target/release/loadgen --restart --store-dir target/bench_store \
     --out BENCH_PR8.json "$@"
-exec ./target/release/obsbench --serve --budget-pct 2 --out BENCH_PR9.json
+./target/release/obsbench --serve --budget-pct 2 --out BENCH_PR9.json
+exec ./target/release/loadgen --cluster-bench --configs 6 --ranks 8 \
+    --warm-requests 60 --clients 4 --out BENCH_PR10.json
